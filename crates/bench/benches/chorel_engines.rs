@@ -1,0 +1,62 @@
+//! X1 — direct vs translated Chorel execution (the two strategies of
+//! Section 5), across database size and history length.
+//!
+//! The paper implements the translation strategy and conjectures the
+//! kernel-extension strategy as the alternative; this benchmark supplies
+//! the comparison the paper never ran. The translated numbers separate
+//! encoding cost (paid once per database) from per-query cost.
+
+use bench::evolving_doem;
+use chorel::{run_chorel, translate, EncodedSource, Strategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const QUERIES: &[(&str, &str)] = &[
+    ("new-entries", "select guide.<add>restaurant"),
+    (
+        "price-updates",
+        "select T, NV from guide.restaurant.price<upd at T to NV> where NV > 30",
+    ),
+    (
+        "plain-filter",
+        "select guide.restaurant where guide.restaurant.price < 30",
+    ),
+];
+
+fn bench_engines(c: &mut Criterion) {
+    for &size in &[10usize, 50, 200] {
+        let d = evolving_doem(42, size, 20, size / 4 + 1);
+        // Correctness precondition: both strategies agree on this workload.
+        for (_, q) in QUERIES {
+            chorel::run_both_checked(&d, q).expect("strategies agree");
+        }
+
+        let mut group = c.benchmark_group(format!("chorel_engines/{size}r"));
+        for (name, q) in QUERIES {
+            group.bench_with_input(BenchmarkId::new("direct", name), q, |b, q| {
+                b.iter(|| run_chorel(black_box(&d), q, Strategy::Direct).unwrap())
+            });
+            group.bench_with_input(
+                BenchmarkId::new("translated-cold", name),
+                q,
+                |b, q| {
+                    // Includes the per-database encoding cost.
+                    b.iter(|| run_chorel(black_box(&d), q, Strategy::Translated).unwrap())
+                },
+            );
+            // Warm translation: encode once, run the translated Lorel.
+            let encoded = EncodedSource::new(doem::encode_doem(&d).oem);
+            let parsed = lorel::parse_query(q).unwrap();
+            let lorel_q = translate(&parsed, d.name()).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new("translated-warm", name),
+                &lorel_q,
+                |b, lq| b.iter(|| lorel::run_parsed(black_box(&encoded), lq).unwrap()),
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

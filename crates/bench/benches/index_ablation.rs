@@ -1,0 +1,72 @@
+//! X2 — annotation-index ablation (the paper's Section 7 proposal:
+//! "designing indexes on annotations based on their types and
+//! timestamps"). Compares a Tindex-backed timestamp-range lookup against
+//! the full annotation scan it replaces, plus Lore's Vindex against a
+//! value scan.
+
+use bench::evolving_doem;
+use criterion::{criterion_group, criterion_main, Criterion};
+use doem::{AnnotationIndex, TimeRange};
+use lore::Vindex;
+use oem::{Label, Timestamp, Value};
+use std::hint::black_box;
+
+fn bench_annotation_index(c: &mut Criterion) {
+    for &steps in &[20usize, 100, 400] {
+        let d = evolving_doem(7, 50, steps, 8);
+        let idx = AnnotationIndex::build(&d);
+        let mid: Timestamp = "1Jan97".parse::<Timestamp>().unwrap().plus_minutes(steps as i64 * 30);
+        let range = TimeRange::since(mid);
+
+        let mut group = c.benchmark_group(format!("index_ablation/{steps}steps"));
+        group.bench_function("tindex-range", |b| {
+            b.iter(|| black_box(&idx).created_in(black_box(range)).count())
+        });
+        group.bench_function("full-scan", |b| {
+            b.iter(|| {
+                // The unindexed equivalent: scan every node's annotations.
+                d.annotated_nodes()
+                    .flat_map(|n| d.node_annotations(n))
+                    .filter(|a| a.is_cre() && a.at() >= mid)
+                    .count()
+            })
+        });
+        group.bench_function("tindex-build", |b| {
+            b.iter(|| AnnotationIndex::build(black_box(&d)))
+        });
+        group.finish();
+    }
+}
+
+fn bench_vindex(c: &mut Criterion) {
+    for &n in &[100usize, 1000] {
+        let db = qss::synthetic_guide(11, n);
+        let idx = Vindex::build(&db);
+        let price = Label::new("price");
+        let (lo, hi) = (Value::Int(10), Value::Int(20));
+
+        let mut group = c.benchmark_group(format!("vindex/{n}r"));
+        group.bench_function("indexed-range", |b| {
+            b.iter(|| black_box(&idx).range(price, &lo, &hi).len())
+        });
+        group.bench_function("scan-range", |b| {
+            b.iter(|| {
+                db.arcs()
+                    .filter(|a| a.label == price)
+                    .filter(|a| {
+                        let v = db.value(a.child).expect("child exists");
+                        lorel::compare(lorel::ast::CmpOp::Ge, v, &lo)
+                            && lorel::compare(lorel::ast::CmpOp::Le, v, &hi)
+                    })
+                    .count()
+            })
+        });
+        group.bench_function("build", |b| {
+            b.iter(|| Vindex::build(black_box(&db)))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_annotation_index, bench_vindex);
+criterion_main!(benches);

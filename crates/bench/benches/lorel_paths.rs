@@ -1,0 +1,74 @@
+//! X6 — Lorel path evaluation: cost versus database size, path depth, and
+//! the `#` wildcard's closure, plus parser and planner throughput.
+
+use bench::chain_db;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lorel::run_query;
+use qss::synthetic_guide;
+use std::hint::black_box;
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lorel/fanout");
+    for &n in &[100usize, 1000, 4000] {
+        let db = synthetic_guide(2, n);
+        group.bench_with_input(BenchmarkId::new("two-step-filter", n), &n, |b, _| {
+            b.iter(|| {
+                run_query(
+                    black_box(&db),
+                    "select guide.restaurant where guide.restaurant.price < 30",
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exists-rewrite", n), &n, |b, _| {
+            b.iter(|| {
+                run_query(
+                    black_box(&db),
+                    "select R from guide.restaurant R \
+                     where exists P in R.price : P < 30",
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_depth_and_wildcards(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lorel/depth");
+    for &depth in &[4usize, 16, 64] {
+        let db = chain_db(depth, 8);
+        let exact: String = {
+            let steps = vec!["level"; depth].join(".");
+            format!("select chain.{steps}")
+        };
+        group.bench_with_input(BenchmarkId::new("exact-path", depth), &exact, |b, q| {
+            b.iter(|| run_query(black_box(&db), q).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("hash-closure", depth), &depth, |b, _| {
+            b.iter(|| {
+                run_query(black_box(&db), "select chain.# where chain.# = \"leaf\"").unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parse_and_plan(c: &mut Criterion) {
+    let q = "select N, T, NV \
+             from guide.restaurant.price<upd at T to NV>, guide.restaurant.name N \
+             where T >= 1Jan97 and NV > 15 and N like \"%a%\"";
+    c.bench_function("lorel/parse", |b| {
+        b.iter(|| lorel::parse_query(black_box(q)).unwrap())
+    });
+    let parsed = lorel::parse_query(q).unwrap();
+    c.bench_function("lorel/plan", |b| {
+        b.iter(|| lorel::plan(black_box(&parsed), "guide").unwrap())
+    });
+    c.bench_function("lorel/translate", |b| {
+        b.iter(|| chorel::translate(black_box(&parsed), "guide").unwrap())
+    });
+}
+
+criterion_group!(benches, bench_fanout, bench_depth_and_wildcards, bench_parse_and_plan);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! X3 — OEMdiff scaling: differencing cost versus snapshot size and edit
+//! volume, for both matching modes. Id-based matching should be near
+//! linear in the snapshot size; structural matching pays signature
+//! computation and alignment on top.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oemdiff::MatchMode;
+use qss::{mutate_guide, synthetic_guide};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn snapshot_pair(n: usize, churn: usize) -> (oem::OemDatabase, oem::OemDatabase) {
+    let old = synthetic_guide(123, n);
+    let mut new = old.clone();
+    let mut rng = StdRng::seed_from_u64(321);
+    mutate_guide(&mut new, &mut rng, churn);
+    (old, new)
+}
+
+fn bench_diff_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oemdiff/size");
+    for &n in &[50usize, 200, 800] {
+        let (old, new) = snapshot_pair(n, 10);
+        group.bench_with_input(BenchmarkId::new("by-id", n), &n, |b, _| {
+            b.iter(|| oemdiff::diff(black_box(&old), black_box(&new), MatchMode::ById).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("structural", n), &n, |b, _| {
+            b.iter(|| {
+                oemdiff::diff(black_box(&old), black_box(&new), MatchMode::Structural).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_diff_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oemdiff/churn");
+    for &churn in &[2usize, 20, 80] {
+        let (old, new) = snapshot_pair(200, churn);
+        group.bench_with_input(BenchmarkId::new("by-id", churn), &churn, |b, _| {
+            b.iter(|| oemdiff::diff(black_box(&old), black_box(&new), MatchMode::ById).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_markup(c: &mut Criterion) {
+    let (old, new) = snapshot_pair(200, 20);
+    c.bench_function("oemdiff/markup-200r", |b| {
+        b.iter(|| oemdiff::markup(black_box(&old), black_box(&new), MatchMode::ById).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_diff_size, bench_diff_churn, bench_markup);
+criterion_main!(benches);

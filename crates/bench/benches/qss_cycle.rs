@@ -1,0 +1,100 @@
+//! X5 — the full QSS polling cycle: wrapper query → diff → DOEM append →
+//! filter query → notification, versus source size and change rate, plus
+//! the structural-matching and previous-result-mode overheads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lorel::QueryRegistry;
+use oem::Timestamp;
+use qss::{EvolvingSource, PreviousResult, QssServer, ScrambledSource, Subscription};
+use std::hint::black_box;
+
+fn subscription(reg_src: &str) -> Subscription {
+    let mut reg = QueryRegistry::new();
+    reg.load(reg_src).unwrap();
+    Subscription::from_registry(
+        "S",
+        "every 1 hours".parse().unwrap(),
+        &reg,
+        "Guide",
+        "News",
+    )
+    .unwrap()
+}
+
+const DEFS: &str = "define polling query Guide as select guide.restaurant \
+                    define filter query News as \
+                    select Guide.restaurant<cre at T> where T > t[-1]";
+
+fn ts(s: &str) -> Timestamp {
+    s.parse().unwrap()
+}
+
+fn bench_poll_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qss/cycle");
+    group.sample_size(20);
+    for &n in &[20usize, 100, 400] {
+        group.bench_with_input(BenchmarkId::new("24-polls", n), &n, |b, &n| {
+            b.iter(|| {
+                let source = EvolvingSource::new("gen", 5, ts("1Jan97"), 60, n, 4);
+                let mut server = QssServer::new(source);
+                server.subscribe(subscription(DEFS), ts("1Jan97"));
+                server.run_until(ts("2Jan97")).unwrap();
+                black_box(server.polls().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qss/matching");
+    group.sample_size(20);
+    group.bench_function("by-id", |b| {
+        b.iter(|| {
+            let source = EvolvingSource::new("gen", 5, ts("1Jan97"), 60, 100, 4);
+            let mut server = QssServer::new(source);
+            server.subscribe(subscription(DEFS), ts("1Jan97"));
+            server.run_until(ts("1Jan97 12:00pm")).unwrap();
+        })
+    });
+    group.bench_function("structural", |b| {
+        b.iter(|| {
+            let source =
+                ScrambledSource::new(EvolvingSource::new("gen", 5, ts("1Jan97"), 60, 100, 4), 3);
+            let mut server = QssServer::new(source);
+            server.subscribe(
+                subscription(DEFS).with_structural_matching(),
+                ts("1Jan97"),
+            );
+            server.run_until(ts("1Jan97 12:00pm")).unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn bench_previous_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qss/previous-result");
+    group.sample_size(20);
+    for (name, mode) in [
+        ("keep", PreviousResult::Keep),
+        ("recompute", PreviousResult::RecomputeFromDoem),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let source = EvolvingSource::new("gen", 5, ts("1Jan97"), 60, 100, 4);
+                let mut server = QssServer::new(source).with_previous_mode(mode);
+                server.subscribe(subscription(DEFS), ts("1Jan97"));
+                server.run_until(ts("1Jan97 12:00pm")).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_poll_cycle,
+    bench_matching_modes,
+    bench_previous_modes
+);
+criterion_main!(benches);

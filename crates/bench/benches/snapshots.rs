@@ -1,0 +1,74 @@
+//! X4 — snapshot extraction and representation costs: `Ot(D)` versus
+//! history length (the snapshot-delta approach reconstructs on demand),
+//! DOEM construction cost, and history extraction — the operational side
+//! of the snapshot-delta vs snapshot-collection comparison in
+//! Section 1.3. (The storage-footprint side is reported by
+//! `cargo run --bin experiments`.)
+
+use bench::evolving_history;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use doem::{current_snapshot, doem_from_history, extract_history, original_snapshot, snapshot_at};
+use oem::Timestamp;
+use std::hint::black_box;
+
+fn bench_snapshot_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshots/extract");
+    for &steps in &[10usize, 50, 200] {
+        let (db, h) = evolving_history(9, 50, steps, 6);
+        let d = doem_from_history(&db, &h).unwrap();
+        let mid: Timestamp = h.entries()[h.len() / 2].at;
+
+        group.bench_with_input(BenchmarkId::new("original", steps), &steps, |b, _| {
+            b.iter(|| original_snapshot(black_box(&d)))
+        });
+        group.bench_with_input(BenchmarkId::new("midpoint", steps), &steps, |b, _| {
+            b.iter(|| snapshot_at(black_box(&d), mid))
+        });
+        group.bench_with_input(BenchmarkId::new("current", steps), &steps, |b, _| {
+            b.iter(|| current_snapshot(black_box(&d)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshots/construct");
+    for &steps in &[10usize, 50, 200] {
+        let (db, h) = evolving_history(9, 50, steps, 6);
+        group.bench_with_input(BenchmarkId::new("doem-from-history", steps), &steps, |b, _| {
+            b.iter(|| doem_from_history(black_box(&db), black_box(&h)).unwrap())
+        });
+        let d = doem_from_history(&db, &h).unwrap();
+        group.bench_with_input(BenchmarkId::new("extract-history", steps), &steps, |b, _| {
+            b.iter(|| extract_history(black_box(&d)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshots/encoding");
+    for &steps in &[10usize, 100] {
+        let (db, h) = evolving_history(9, 50, steps, 6);
+        let d = doem_from_history(&db, &h).unwrap();
+        group.bench_with_input(BenchmarkId::new("encode", steps), &steps, |b, _| {
+            b.iter(|| doem::encode_doem(black_box(&d)))
+        });
+        let enc = doem::encode_doem(&d);
+        group.bench_with_input(BenchmarkId::new("decode", steps), &steps, |b, _| {
+            b.iter(|| doem::decode_doem(black_box(&enc.oem)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("codec-write", steps), &steps, |b, _| {
+            b.iter(|| lore::codec::encode_database(black_box(&enc.oem)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_snapshot_extraction,
+    bench_construction,
+    bench_encoding
+);
+criterion_main!(benches);

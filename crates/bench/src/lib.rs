@@ -1,0 +1,89 @@
+//! Workload generators shared by the benchmark suite and the experiment
+//! harness (`cargo run --bin experiments`).
+
+use oem::{History, OemDatabase, Timestamp};
+use qss::{mutate_guide, synthetic_guide};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A synthetic guide of `n` restaurants plus a valid history of `steps`
+/// change sets, each inferred from `churn` random edits. Returns the
+/// initial database and the history (valid for it by construction).
+pub fn evolving_history(
+    seed: u64,
+    n: usize,
+    steps: usize,
+    churn: usize,
+) -> (OemDatabase, History) {
+    let initial = synthetic_guide(seed, n);
+    let mut prev = initial.clone();
+    let mut history = History::new();
+    let mut t: Timestamp = "1Jan97".parse().expect("literal");
+    for step in 0..steps {
+        let mut rng = StdRng::seed_from_u64(seed ^ (step as u64 + 1).wrapping_mul(0x9E37));
+        let mut next = prev.clone();
+        mutate_guide(&mut next, &mut rng, churn);
+        let diff = oemdiff::diff(&prev, &next, oemdiff::MatchMode::ById)
+            .expect("snapshots share ids");
+        if diff.changes.is_empty() {
+            continue;
+        }
+        history.push(t, diff.changes.clone()).expect("increasing times");
+        diff.changes.apply_to(&mut prev).expect("verified by diff");
+        t = t.plus_minutes(60);
+    }
+    (initial, history)
+}
+
+/// The constructed DOEM database for an [`evolving_history`] workload.
+pub fn evolving_doem(seed: u64, n: usize, steps: usize, churn: usize) -> doem::DoemDatabase {
+    let (db, h) = evolving_history(seed, n, steps, churn);
+    doem::doem_from_history(&db, &h).expect("valid by construction")
+}
+
+/// A layered database for path-evaluation benchmarks: `depth` levels of
+/// `level`-labeled arcs, one complex spine child plus `fanout - 1` atom
+/// siblings per level.
+pub fn chain_db(depth: usize, fanout: usize) -> OemDatabase {
+    let mut b = oem::GraphBuilder::new("chain");
+    let mut spine = b.root();
+    for d in 0..depth {
+        let next = if d + 1 < depth {
+            b.complex_child(spine, "level")
+        } else {
+            b.atom_child(spine, "level", "leaf")
+        };
+        for i in 1..fanout {
+            b.atom_child(spine, "level", i as i64);
+        }
+        spine = next;
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evolving_history_is_valid() {
+        let (db, h) = evolving_history(3, 20, 10, 5);
+        assert!(h.is_valid_for(&db));
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn evolving_doem_is_feasible() {
+        let d = evolving_doem(5, 10, 5, 3);
+        assert!(doem::is_feasible(&d));
+    }
+
+    #[test]
+    fn chain_db_shape() {
+        let db = chain_db(4, 3);
+        db.check_invariants().unwrap();
+        let path: Vec<oem::Label> = (0..4).map(|_| oem::Label::new("level")).collect();
+        // The spine's final level: the leaf plus its two atom siblings.
+        assert_eq!(oem::follow_path(&db, db.root(), &path).len(), 3);
+    }
+}

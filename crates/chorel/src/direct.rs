@@ -1,0 +1,217 @@
+//! The direct Chorel execution strategy: evaluate annotation expressions
+//! natively against the DOEM database (the "extend the kernel" approach
+//! the paper sketches at the start of Section 5).
+//!
+//! [`DirectSource`] adapts a [`doem::DoemDatabase`] to the query engine's
+//! [`lorel::DataSource`]:
+//!
+//! * plain traversal sees the *current snapshot* (so an annotation-free
+//!   Chorel query over a DOEM database means the same query over its
+//!   current snapshot, as Section 4.2.1 requires);
+//! * the annotation functions `creFun`/`updFun`/`addFun`/`remFun` read the
+//!   annotation maps — including arcs that are no longer current;
+//! * the virtual-annotation hooks answer from the reconstructed history
+//!   (Section 4.2.2).
+
+use doem::DoemDatabase;
+use lorel::DataSource;
+use oem::{ArcTriple, Label, NodeId, Timestamp, Value};
+
+/// A [`DataSource`] view over a DOEM database.
+#[derive(Clone, Copy, Debug)]
+pub struct DirectSource<'a> {
+    d: &'a DoemDatabase,
+}
+
+impl<'a> DirectSource<'a> {
+    /// Wrap a DOEM database.
+    pub fn new(d: &'a DoemDatabase) -> DirectSource<'a> {
+        DirectSource { d }
+    }
+
+    /// The wrapped database.
+    pub fn database(&self) -> &DoemDatabase {
+        self.d
+    }
+}
+
+impl DataSource for DirectSource<'_> {
+    fn name(&self) -> &str {
+        self.d.name()
+    }
+
+    fn root(&self) -> NodeId {
+        self.d.root()
+    }
+
+    fn value(&self, n: NodeId) -> Option<Value> {
+        self.d.graph().value(n).ok().cloned()
+    }
+
+    fn children(&self, n: NodeId) -> Vec<(Label, NodeId)> {
+        self.d
+            .graph()
+            .children(n)
+            .iter()
+            .copied()
+            .filter(|&(l, c)| self.d.arc_is_current(ArcTriple::new(n, l, c)))
+            .collect()
+    }
+
+    fn cre_fun(&self, n: NodeId) -> Vec<Timestamp> {
+        self.d.created_at(n).into_iter().collect()
+    }
+
+    fn upd_fun(&self, n: NodeId) -> Vec<(Timestamp, Value, Value)> {
+        self.d
+            .updates_of(n)
+            .map(|(t, old)| {
+                let new = self
+                    .d
+                    .new_value_of_update(n, t)
+                    .expect("every upd has an implicit new value");
+                (t, old.clone(), new)
+            })
+            .collect()
+    }
+
+    fn add_fun(&self, n: NodeId, l: Label) -> Vec<(Timestamp, NodeId)> {
+        let mut out = Vec::new();
+        for &(label, c) in self.d.graph().children(n) {
+            if label != l {
+                continue;
+            }
+            let arc = ArcTriple::new(n, label, c);
+            for ann in self.d.arc_annotations(arc) {
+                if let doem::ArcAnnotation::Add(t) = ann {
+                    out.push((*t, c));
+                }
+            }
+        }
+        out
+    }
+
+    fn rem_fun(&self, n: NodeId, l: Label) -> Vec<(Timestamp, NodeId)> {
+        let mut out = Vec::new();
+        for &(label, c) in self.d.graph().children(n) {
+            if label != l {
+                continue;
+            }
+            let arc = ArcTriple::new(n, label, c);
+            for ann in self.d.arc_annotations(arc) {
+                if let doem::ArcAnnotation::Rem(t) = ann {
+                    out.push((*t, c));
+                }
+            }
+        }
+        out
+    }
+
+    fn add_fun_any(&self, n: NodeId) -> Vec<(Label, Timestamp, NodeId)> {
+        let mut out = Vec::new();
+        for &(label, c) in self.d.graph().children(n) {
+            for ann in self.d.arc_annotations(ArcTriple::new(n, label, c)) {
+                if let doem::ArcAnnotation::Add(t) = ann {
+                    out.push((label, *t, c));
+                }
+            }
+        }
+        out
+    }
+
+    fn rem_fun_any(&self, n: NodeId) -> Vec<(Label, Timestamp, NodeId)> {
+        let mut out = Vec::new();
+        for &(label, c) in self.d.graph().children(n) {
+            for ann in self.d.arc_annotations(ArcTriple::new(n, label, c)) {
+                if let doem::ArcAnnotation::Rem(t) = ann {
+                    out.push((label, *t, c));
+                }
+            }
+        }
+        out
+    }
+
+    fn children_at(&self, n: NodeId, t: Timestamp) -> Vec<(Label, NodeId)> {
+        self.d
+            .graph()
+            .children(n)
+            .iter()
+            .copied()
+            .filter(|&(label, c)| self.d.arc_existed_at(ArcTriple::new(n, label, c), t))
+            .collect()
+    }
+
+    fn children_labeled_at(&self, n: NodeId, l: Label, t: Timestamp) -> Vec<NodeId> {
+        self.d
+            .graph()
+            .children(n)
+            .iter()
+            .copied()
+            .filter(|&(label, c)| {
+                label == l && self.d.arc_existed_at(ArcTriple::new(n, label, c), t)
+            })
+            .map(|(_, c)| c)
+            .collect()
+    }
+
+    fn value_at(&self, n: NodeId, t: Timestamp) -> Option<Value> {
+        self.d.value_at(n, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doem::doem_figure4;
+    use oem::guide::ids;
+
+    #[test]
+    fn plain_traversal_sees_the_current_snapshot() {
+        let d = doem_figure4();
+        let s = DirectSource::new(&d);
+        // Janta's removed parking arc is invisible to plain traversal…
+        assert!(s.children_labeled(ids::N6, Label::new("parking")).is_empty());
+        // …but Bangkok's survives.
+        assert_eq!(
+            s.children_labeled(ids::BANGKOK, Label::new("parking")),
+            vec![ids::N7]
+        );
+    }
+
+    #[test]
+    fn annotation_functions_read_the_history() {
+        let d = doem_figure4();
+        let s = DirectSource::new(&d);
+        let t1: Timestamp = "1Jan97".parse().unwrap();
+        let t3: Timestamp = "8Jan97".parse().unwrap();
+        assert_eq!(s.cre_fun(ids::N2), vec![t1]);
+        assert_eq!(
+            s.upd_fun(ids::N1),
+            vec![(t1, Value::Int(10), Value::Int(20))]
+        );
+        assert_eq!(
+            s.add_fun(ids::N4, Label::new("restaurant")),
+            vec![(t1, ids::N2)]
+        );
+        // remFun finds the removed arc even though it is not current.
+        assert_eq!(
+            s.rem_fun(ids::N6, Label::new("parking")),
+            vec![(t3, ids::N7)]
+        );
+    }
+
+    #[test]
+    fn virtual_hooks_answer_historically() {
+        let d = doem_figure4();
+        let s = DirectSource::new(&d);
+        let before: Timestamp = "31Dec96".parse().unwrap();
+        assert_eq!(s.value_at(ids::N1, before), Some(Value::Int(10)));
+        assert_eq!(
+            s.children_labeled_at(ids::N6, Label::new("parking"), before),
+            vec![ids::N7]
+        );
+        assert!(s
+            .children_labeled_at(ids::N6, Label::new("parking"), "9Jan97".parse().unwrap())
+            .is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! QSS time variables `t[0]`, `t[-1]`, … (Section 6).
+//!
+//! A filter query may refer to the current polling time `t[0]` and past
+//! polling times `t[-1]`, `t[-2]`, …. "If the current polling time is tk,
+//! we define t[-i] to be tk−i if i < k, and negative infinity otherwise."
+//! The Chorel Engine's preprocessor replaces them with literal timestamps
+//! before execution.
+
+use lorel::ast::{Expr, Query};
+use lorel::{LorelError, Result};
+use oem::{Timestamp, Value};
+
+/// Replace every `t[i]` in `query` with a literal timestamp, given the
+/// polling times so far in chronological order (`times.last()` is the
+/// current polling time `t[0]`). Out-of-range history indexes become
+/// negative infinity; positive indexes are rejected.
+pub fn resolve_poll_times(query: &Query, times: &[Timestamp]) -> Result<Query> {
+    let mut q = query.clone();
+    for item in &mut q.select {
+        item.expr = subst(&item.expr, times)?;
+    }
+    if let Some(w) = &q.where_clause {
+        q.where_clause = Some(subst(w, times)?);
+    }
+    Ok(q)
+}
+
+fn poll_time(i: i64, times: &[Timestamp]) -> Result<Timestamp> {
+    if i > 0 {
+        return Err(LorelError::UnresolvedPollTime(i));
+    }
+    let back = (-i) as usize;
+    if back >= times.len() {
+        Ok(Timestamp::NEG_INFINITY)
+    } else {
+        Ok(times[times.len() - 1 - back])
+    }
+}
+
+fn subst(expr: &Expr, times: &[Timestamp]) -> Result<Expr> {
+    Ok(match expr {
+        Expr::PollTime(i) => Expr::Literal(Value::Time(poll_time(*i, times)?)),
+        Expr::Cmp { op, lhs, rhs } => Expr::Cmp {
+            op: *op,
+            lhs: Box::new(subst(lhs, times)?),
+            rhs: Box::new(subst(rhs, times)?),
+        },
+        Expr::Like { expr, pattern } => Expr::Like {
+            expr: Box::new(subst(expr, times)?),
+            pattern: Box::new(subst(pattern, times)?),
+        },
+        Expr::And(a, b) => Expr::And(Box::new(subst(a, times)?), Box::new(subst(b, times)?)),
+        Expr::Or(a, b) => Expr::Or(Box::new(subst(a, times)?), Box::new(subst(b, times)?)),
+        Expr::Not(e) => Expr::Not(Box::new(subst(e, times)?)),
+        Expr::Exists { var, path, pred } => Expr::Exists {
+            var: var.clone(),
+            path: path.clone(),
+            pred: Box::new(subst(pred, times)?),
+        },
+        other => other.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lorel::parse_query;
+
+    fn ts(s: &str) -> Timestamp {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn t_minus_one_is_the_previous_poll() {
+        let q = parse_query("select g.x<cre at T> where T > t[-1]").unwrap();
+        let times = [ts("30Dec96"), ts("31Dec96"), ts("1Jan97")];
+        let out = resolve_poll_times(&q, &times).unwrap();
+        assert!(out.to_string().contains("T > 31Dec96"), "{out}");
+    }
+
+    #[test]
+    fn t_zero_is_the_current_poll() {
+        let q = parse_query("select g.x<cre at T> where T <= t[0]").unwrap();
+        let out = resolve_poll_times(&q, &[ts("30Dec96")]).unwrap();
+        assert!(out.to_string().contains("T <= 30Dec96"), "{out}");
+    }
+
+    #[test]
+    fn out_of_range_history_is_negative_infinity() {
+        let q = parse_query("select g.x<cre at T> where T > t[-1]").unwrap();
+        let out = resolve_poll_times(&q, &[ts("30Dec96")]).unwrap();
+        assert!(out.to_string().contains("T > -inf"), "{out}");
+    }
+
+    #[test]
+    fn future_indexes_are_rejected() {
+        let q = parse_query("select g.x<cre at T> where T > t[1]").unwrap();
+        assert!(resolve_poll_times(&q, &[ts("30Dec96")]).is_err());
+    }
+}

@@ -1,0 +1,560 @@
+//! The DOEM database (Definition 3.1).
+//!
+//! A DOEM database is a triple `D = (O, fN, fA)`: an OEM graph plus maps
+//! assigning each node a finite set of node annotations and each arc a
+//! finite set of arc annotations. Removed arcs are *not* deleted from the
+//! graph — they carry a `rem` annotation instead — so the one graph holds
+//! the complete history (the snapshot-delta approach of Section 1.3).
+//!
+//! Because removed arcs linger, the underlying graph intentionally relaxes
+//! two OEM invariants: an atomic node may still have (removed) outgoing
+//! arcs, and "reachability" counts removed arcs. [`DoemDatabase::check_invariants`]
+//! checks the DOEM-specific well-formedness rules instead.
+
+use crate::{ArcAnnotation, DoemError, NodeAnnotation, Result};
+use oem::{ArcTriple, NodeId, OemDatabase, Timestamp, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A DOEM database: an annotated OEM graph.
+#[derive(Clone, Debug)]
+pub struct DoemDatabase {
+    graph: OemDatabase,
+    node_ann: HashMap<NodeId, Vec<NodeAnnotation>>,
+    arc_ann: HashMap<ArcTriple, Vec<ArcAnnotation>>,
+}
+
+impl DoemDatabase {
+    /// Wrap a snapshot with empty annotation sets (the `D0` of Section 3.1).
+    pub fn from_snapshot(snapshot: &OemDatabase) -> DoemDatabase {
+        DoemDatabase {
+            graph: snapshot.clone(),
+            node_ann: HashMap::new(),
+            arc_ann: HashMap::new(),
+        }
+    }
+
+    /// The underlying annotated graph. Its arcs include removed
+    /// (`rem`-annotated) arcs; its values are the *current* values.
+    pub fn graph(&self) -> &OemDatabase {
+        &self.graph
+    }
+
+    /// The database name.
+    pub fn name(&self) -> &str {
+        self.graph.name()
+    }
+
+    /// Rename the database.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.graph.set_name(name);
+    }
+
+    /// The root object.
+    pub fn root(&self) -> NodeId {
+        self.graph.root()
+    }
+
+    /// The annotations of node `n`, in time order (`fN(n)`).
+    pub fn node_annotations(&self, n: NodeId) -> &[NodeAnnotation] {
+        self.node_ann.get(&n).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The annotations of arc `a`, in time order (`fA(a)`).
+    pub fn arc_annotations(&self, a: ArcTriple) -> &[ArcAnnotation] {
+        self.arc_ann.get(&a).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Nodes that carry at least one annotation.
+    pub fn annotated_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ann.keys().copied()
+    }
+
+    /// Arcs that carry at least one annotation.
+    pub fn annotated_arcs(&self) -> impl Iterator<Item = ArcTriple> + '_ {
+        self.arc_ann.keys().copied()
+    }
+
+    /// The node's `cre` timestamp, if it was created during the recorded
+    /// history (nodes of the original snapshot have none).
+    pub fn created_at(&self, n: NodeId) -> Option<Timestamp> {
+        self.node_annotations(n).iter().find_map(|a| match a {
+            NodeAnnotation::Cre(t) => Some(*t),
+            _ => None,
+        })
+    }
+
+    /// The node's `upd` annotations, in time order.
+    pub fn updates_of(&self, n: NodeId) -> impl Iterator<Item = (Timestamp, &Value)> {
+        self.node_annotations(n).iter().filter_map(|a| match a {
+            NodeAnnotation::Upd { at, old } => Some((*at, old)),
+            _ => None,
+        })
+    }
+
+    /// The implicit *new* value of the `upd` at time `at` on node `n`
+    /// (Section 4.2): the old value of the temporally next `upd`, or the
+    /// node's current value if none follows.
+    pub fn new_value_of_update(&self, n: NodeId, at: Timestamp) -> Option<Value> {
+        let upds: Vec<(Timestamp, &Value)> = self.updates_of(n).collect();
+        let idx = upds.iter().position(|(t, _)| *t == at)?;
+        Some(match upds.get(idx + 1) {
+            Some((_, next_old)) => (*next_old).clone(),
+            None => self.graph.value(n).ok()?.clone(),
+        })
+    }
+
+    /// Whether the arc is in the *current* snapshot: present in the graph
+    /// and its temporally last annotation (if any) is not `rem`.
+    pub fn arc_is_current(&self, a: ArcTriple) -> bool {
+        self.graph.contains_arc(a)
+            && !matches!(
+                self.arc_annotations(a).last(),
+                Some(ArcAnnotation::Rem(_))
+            )
+    }
+
+    /// Whether the arc existed at time `t` (Section 3.2, corrected for
+    /// arcs whose earliest annotation is a *later* `add`; see DESIGN.md).
+    ///
+    /// Rules: with no annotation at or before `t`, the arc existed iff its
+    /// earliest annotation overall is `rem` or it has no annotations
+    /// (i.e. it is an original arc). Otherwise, it existed iff the latest
+    /// annotation at or before `t` is `add`.
+    pub fn arc_existed_at(&self, a: ArcTriple, t: Timestamp) -> bool {
+        if !self.graph.contains_arc(a) {
+            return false;
+        }
+        let anns = self.arc_annotations(a);
+        match anns.iter().rev().find(|ann| ann.at() <= t) {
+            Some(ann) => ann.is_add(),
+            None => match anns.first() {
+                None => true,
+                Some(first) => first.is_rem(),
+            },
+        }
+    }
+
+    /// The value of node `n` at time `t` (Section 3.2, step 1), or `None`
+    /// if `n` did not exist at `t` (created later) or is unknown.
+    pub fn value_at(&self, n: NodeId, t: Timestamp) -> Option<Value> {
+        let current = self.graph.value(n).ok()?;
+        if let Some(created) = self.created_at(n) {
+            if created > t {
+                return None;
+            }
+        }
+        let upds: Vec<(Timestamp, &Value)> = self.updates_of(n).collect();
+        match upds.iter().find(|(ti, _)| *ti > t) {
+            // The earliest update *after* t holds the value as of t.
+            Some((_, old)) => Some((*old).clone()),
+            None => Some(current.clone()),
+        }
+    }
+
+    /// Every timestamp occurring in any annotation, ascending and distinct.
+    pub fn timestamps(&self) -> Vec<Timestamp> {
+        let mut ts: Vec<Timestamp> = self
+            .node_ann
+            .values()
+            .flatten()
+            .map(NodeAnnotation::at)
+            .chain(self.arc_ann.values().flatten().map(ArcAnnotation::at))
+            .collect();
+        ts.sort();
+        ts.dedup();
+        ts
+    }
+
+    /// Total number of annotations (nodes + arcs).
+    pub fn annotation_count(&self) -> usize {
+        self.node_ann.values().map(Vec::len).sum::<usize>()
+            + self.arc_ann.values().map(Vec::len).sum::<usize>()
+    }
+
+    // ---- recording (used by construction and the QSS DOEM manager) ----
+
+    /// Record `creNode(n, v)` at time `t`: create the node and attach
+    /// `cre(t)`.
+    pub fn record_create(&mut self, n: NodeId, v: Value, t: Timestamp) -> Result<()> {
+        self.graph.create_node_with_id(n, v)?;
+        self.node_ann.entry(n).or_default().push(NodeAnnotation::Cre(t));
+        Ok(())
+    }
+
+    /// Record `updNode(n, v)` at time `t`: attach `upd(t, old)` and set the
+    /// new value.
+    pub fn record_update(&mut self, n: NodeId, v: Value, t: Timestamp) -> Result<()> {
+        let old = self.graph.value(n)?.clone();
+        self.graph.set_value(n, v)?;
+        self.node_ann
+            .entry(n)
+            .or_default()
+            .push(NodeAnnotation::Upd { at: t, old });
+        Ok(())
+    }
+
+    /// Record `addArc(a)` at time `t`. If the arc is entirely new it is
+    /// inserted with an `add(t)` annotation; if it is present but removed
+    /// (history `… rem`), the `add(t)` reopens it.
+    pub fn record_add(&mut self, a: ArcTriple, t: Timestamp) -> Result<()> {
+        if !self.graph.contains_arc(a) {
+            self.graph.insert_arc(a)?;
+        }
+        self.arc_ann.entry(a).or_default().push(ArcAnnotation::Add(t));
+        Ok(())
+    }
+
+    /// Record `remArc(a)` at time `t`: the arc *stays* in the graph and
+    /// gains a `rem(t)` annotation.
+    pub fn record_remove(&mut self, a: ArcTriple, t: Timestamp) -> Result<()> {
+        if !self.graph.contains_arc(a) {
+            return Err(DoemError::Oem(oem::OemError::NoSuchArc(a)));
+        }
+        self.arc_ann.entry(a).or_default().push(ArcAnnotation::Rem(t));
+        Ok(())
+    }
+
+    // ---- structural attachment (used by the Section 5.1 decoder) ----
+    //
+    // These do *not* re-play history semantics: they splice annotations and
+    // arcs into the representation as-is. Callers are expected to finish
+    // with `check_invariants`.
+
+    /// Attach an arc to the annotated graph if not already present (no
+    /// annotation is added).
+    pub fn attach_arc(&mut self, a: ArcTriple) -> Result<()> {
+        if !self.graph.contains_arc(a) {
+            self.graph.insert_arc(a)?;
+        }
+        Ok(())
+    }
+
+    /// Append a node annotation verbatim.
+    pub fn attach_node_annotation(&mut self, n: NodeId, ann: NodeAnnotation) -> Result<()> {
+        if !self.graph.contains_node(n) {
+            return Err(DoemError::Oem(oem::OemError::NoSuchNode(n)));
+        }
+        self.node_ann.entry(n).or_default().push(ann);
+        Ok(())
+    }
+
+    /// Append an arc annotation verbatim.
+    pub fn attach_arc_annotation(&mut self, a: ArcTriple, ann: ArcAnnotation) -> Result<()> {
+        if !self.graph.contains_arc(a) {
+            return Err(DoemError::Oem(oem::OemError::NoSuchArc(a)));
+        }
+        self.arc_ann.entry(a).or_default().push(ann);
+        Ok(())
+    }
+
+    /// Drop nodes unreachable in the annotated graph (counting removed
+    /// arcs), along with their annotations. Mirrors OEM's change-set
+    /// boundary GC: a node kept reachable only by a removed arc *survives*
+    /// here — its history is still part of the database.
+    pub fn collect_garbage(&mut self) -> Vec<NodeId> {
+        let dead = self.graph.collect_garbage();
+        for n in &dead {
+            self.node_ann.remove(n);
+        }
+        let graph = &self.graph;
+        self.arc_ann.retain(|a, _| graph.contains_arc(*a));
+        dead
+    }
+
+    /// Validate the DOEM well-formedness rules:
+    /// at most one `cre` per node and it must be first; `upd` timestamps
+    /// strictly increasing; arc annotations strictly increasing and
+    /// alternating `add`/`rem`; no annotation precedes its node's creation;
+    /// annotations only on existing nodes/arcs.
+    pub fn check_invariants(&self) -> Result<()> {
+        for (&n, anns) in &self.node_ann {
+            if !self.graph.contains_node(n) {
+                return Err(DoemError::Oem(oem::OemError::NoSuchNode(n)));
+            }
+            let mut cre_at: Option<Timestamp> = None;
+            let mut last_upd: Option<Timestamp> = None;
+            for (i, a) in anns.iter().enumerate() {
+                match a {
+                    NodeAnnotation::Cre(t) => {
+                        if i != 0 || cre_at.is_some() {
+                            return Err(DoemError::BadCreAnnotation(n));
+                        }
+                        cre_at = Some(*t);
+                    }
+                    NodeAnnotation::Upd { at, .. } => {
+                        if let Some(prev) = last_upd {
+                            if *at <= prev {
+                                return Err(DoemError::UnorderedUpdAnnotations(n));
+                            }
+                        }
+                        if let Some(c) = cre_at {
+                            if *at < c {
+                                return Err(DoemError::AnnotationBeforeCreation {
+                                    node: n,
+                                    created: c,
+                                    annotated: *at,
+                                });
+                            }
+                        }
+                        last_upd = Some(*at);
+                    }
+                }
+            }
+        }
+        for (&arc, anns) in &self.arc_ann {
+            if !self.graph.contains_arc(arc) {
+                return Err(DoemError::Oem(oem::OemError::NoSuchArc(arc)));
+            }
+            let mut prev: Option<&ArcAnnotation> = None;
+            for a in anns {
+                if let Some(p) = prev {
+                    if a.at() <= p.at() || a.is_add() == p.is_add() {
+                        return Err(DoemError::BadArcAnnotations(arc));
+                    }
+                }
+                prev = Some(a);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Identity-level equality of two DOEM databases: same graph (ids, values,
+/// arcs) and same annotation maps. This is the equality used by the
+/// feasibility test `D(O0(D), H(D)) = D`.
+pub fn same_doem(a: &DoemDatabase, b: &DoemDatabase) -> bool {
+    if !oem::same_database(a.graph(), b.graph()) {
+        return false;
+    }
+    let nodes_match = a.graph().node_ids().all(|n| {
+        a.node_annotations(n) == b.node_annotations(n)
+    });
+    let arcs_match = a
+        .graph()
+        .arcs()
+        .all(|arc| a.arc_annotations(arc) == b.arc_annotations(arc));
+    nodes_match && arcs_match
+}
+
+impl fmt::Display for DoemDatabase {
+    /// Shows the annotated graph: the textual OEM form followed by the
+    /// annotation table.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.graph)?;
+        let mut nodes: Vec<NodeId> = self.node_ann.keys().copied().collect();
+        nodes.sort();
+        for n in nodes {
+            let anns: Vec<String> = self.node_annotations(n).iter().map(|a| a.to_string()).collect();
+            writeln!(f, "{n}: {}", anns.join(", "))?;
+        }
+        let mut arcs: Vec<ArcTriple> = self.arc_ann.keys().copied().collect();
+        arcs.sort();
+        for a in arcs {
+            let anns: Vec<String> = self.arc_annotations(a).iter().map(|x| x.to_string()).collect();
+            writeln!(f, "{a}: {}", anns.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oem::GraphBuilder;
+
+    fn ts(s: &str) -> Timestamp {
+        s.parse().unwrap()
+    }
+
+    fn tiny() -> (DoemDatabase, NodeId, NodeId) {
+        let mut b = GraphBuilder::new("g");
+        let root = b.root();
+        let r = b.complex_child(root, "restaurant");
+        let p = b.atom_child(r, "price", 10);
+        let db = b.finish();
+        (DoemDatabase::from_snapshot(&db), r, p)
+    }
+
+    #[test]
+    fn fresh_doem_has_no_annotations() {
+        let (d, _, p) = tiny();
+        assert_eq!(d.annotation_count(), 0);
+        assert!(d.node_annotations(p).is_empty());
+        assert!(d.timestamps().is_empty());
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn record_update_keeps_old_value() {
+        let (mut d, _, p) = tiny();
+        d.record_update(p, Value::Int(20), ts("1Jan97")).unwrap();
+        assert_eq!(d.graph().value(p).unwrap(), &Value::Int(20));
+        assert_eq!(
+            d.node_annotations(p),
+            &[NodeAnnotation::Upd {
+                at: ts("1Jan97"),
+                old: Value::Int(10)
+            }]
+        );
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn removed_arc_stays_with_rem_annotation() {
+        let (mut d, r, p) = tiny();
+        let arc = ArcTriple::new(r, "price", p);
+        d.record_remove(arc, ts("8Jan97")).unwrap();
+        assert!(d.graph().contains_arc(arc));
+        assert!(!d.arc_is_current(arc));
+        assert!(d.arc_existed_at(arc, ts("7Jan97")));
+        assert!(!d.arc_existed_at(arc, ts("8Jan97")));
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn re_added_arc_alternates() {
+        let (mut d, r, p) = tiny();
+        let arc = ArcTriple::new(r, "price", p);
+        d.record_remove(arc, ts("2Jan97")).unwrap();
+        d.record_add(arc, ts("4Jan97")).unwrap();
+        assert!(d.arc_is_current(arc));
+        assert!(d.arc_existed_at(arc, ts("1Jan97"))); // original
+        assert!(!d.arc_existed_at(arc, ts("3Jan97"))); // removed window
+        assert!(d.arc_existed_at(arc, ts("5Jan97"))); // re-added
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn arc_added_later_did_not_exist_before() {
+        let (mut d, r, _) = tiny();
+        let mut g2 = d.graph().clone();
+        let c = g2.alloc_id();
+        d.record_create(c, Value::str("note"), ts("5Jan97")).unwrap();
+        let arc = ArcTriple::new(r, "comment", c);
+        d.record_add(arc, ts("5Jan97")).unwrap();
+        assert!(!d.arc_existed_at(arc, ts("4Jan97")));
+        assert!(d.arc_existed_at(arc, ts("5Jan97")));
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn value_at_reconstructs_old_values() {
+        let (mut d, _, p) = tiny();
+        d.record_update(p, Value::Int(20), ts("1Jan97")).unwrap();
+        d.record_update(p, Value::Int(30), ts("5Jan97")).unwrap();
+        assert_eq!(d.value_at(p, ts("31Dec96")), Some(Value::Int(10)));
+        assert_eq!(d.value_at(p, ts("1Jan97")), Some(Value::Int(20)));
+        assert_eq!(d.value_at(p, ts("3Jan97")), Some(Value::Int(20)));
+        assert_eq!(d.value_at(p, ts("5Jan97")), Some(Value::Int(30)));
+        assert_eq!(d.value_at(p, Timestamp::INFINITY), Some(Value::Int(30)));
+    }
+
+    #[test]
+    fn value_at_is_none_before_creation() {
+        let (mut d, r, _) = tiny();
+        let mut scratch = d.graph().clone();
+        let c = scratch.alloc_id();
+        d.record_create(c, Value::Int(1), ts("5Jan97")).unwrap();
+        d.record_add(ArcTriple::new(r, "new", c), ts("5Jan97")).unwrap();
+        assert_eq!(d.value_at(c, ts("4Jan97")), None);
+        assert_eq!(d.value_at(c, ts("5Jan97")), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn new_value_of_update_chains_through_upds() {
+        let (mut d, _, p) = tiny();
+        d.record_update(p, Value::Int(20), ts("1Jan97")).unwrap();
+        d.record_update(p, Value::Int(30), ts("5Jan97")).unwrap();
+        assert_eq!(
+            d.new_value_of_update(p, ts("1Jan97")),
+            Some(Value::Int(20))
+        );
+        assert_eq!(
+            d.new_value_of_update(p, ts("5Jan97")),
+            Some(Value::Int(30))
+        );
+        assert_eq!(d.new_value_of_update(p, ts("2Jan97")), None);
+    }
+
+    #[test]
+    fn timestamps_are_sorted_and_distinct() {
+        let (mut d, r, p) = tiny();
+        d.record_update(p, Value::Int(20), ts("5Jan97")).unwrap();
+        d.record_remove(ArcTriple::new(r, "price", p), ts("8Jan97"))
+            .unwrap();
+        let mut g2 = d.graph().clone();
+        let c = g2.alloc_id();
+        d.record_create(c, Value::Int(5), ts("8Jan97")).unwrap();
+        d.record_add(ArcTriple::new(r, "rating", c), ts("8Jan97"))
+            .unwrap();
+        assert_eq!(d.timestamps(), vec![ts("5Jan97"), ts("8Jan97")]);
+    }
+
+    #[test]
+    fn invariants_catch_double_cre() {
+        let (mut d, r, _) = tiny();
+        let _ = r;
+        let mut g2 = d.graph().clone();
+        let c = g2.alloc_id();
+        d.record_create(c, Value::Int(1), ts("1Jan97")).unwrap();
+        d.record_add(ArcTriple::new(d.root(), "x", c), ts("1Jan97"))
+            .unwrap();
+        // Corrupt: force a second cre.
+        d.node_ann
+            .get_mut(&c)
+            .unwrap()
+            .push(NodeAnnotation::Cre(ts("2Jan97")));
+        assert!(matches!(
+            d.check_invariants(),
+            Err(DoemError::BadCreAnnotation(_))
+        ));
+    }
+
+    #[test]
+    fn invariants_catch_nonalternating_arcs() {
+        let (mut d, r, p) = tiny();
+        let arc = ArcTriple::new(r, "price", p);
+        d.record_remove(arc, ts("1Jan97")).unwrap();
+        d.arc_ann
+            .get_mut(&arc)
+            .unwrap()
+            .push(ArcAnnotation::Rem(ts("2Jan97")));
+        assert!(matches!(
+            d.check_invariants(),
+            Err(DoemError::BadArcAnnotations(_))
+        ));
+    }
+
+    #[test]
+    fn same_doem_distinguishes_annotations() {
+        let (d1, _, _) = tiny();
+        let (mut d2, _, p) = tiny();
+        assert!(same_doem(&d1, &d2));
+        d2.record_update(p, Value::Int(99), ts("1Jan97")).unwrap();
+        assert!(!same_doem(&d1, &d2));
+    }
+
+    #[test]
+    fn gc_drops_annotations_of_dead_nodes() {
+        let (mut d, r, _) = tiny();
+        let mut g2 = d.graph().clone();
+        let orphan = g2.alloc_id();
+        let _ = r;
+        d.record_create(orphan, Value::Int(9), ts("1Jan97")).unwrap();
+        // Never linked: unreachable even through removed arcs.
+        let dead = d.collect_garbage();
+        assert_eq!(dead, vec![orphan]);
+        assert!(d.node_annotations(orphan).is_empty());
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn gc_keeps_nodes_reachable_only_via_removed_arcs() {
+        let (mut d, r, p) = tiny();
+        d.record_remove(ArcTriple::new(r, "price", p), ts("8Jan97"))
+            .unwrap();
+        assert!(d.collect_garbage().is_empty());
+        assert!(d.graph().contains_node(p));
+    }
+}

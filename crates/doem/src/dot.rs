@@ -1,0 +1,112 @@
+//! Graphviz rendering of DOEM databases — the annotated-graph drawing of
+//! the paper's Figure 4: annotations appear as note-shaped boxes attached
+//! to their node or arc, removed arcs render dashed.
+
+use crate::{ArcAnnotation, DoemDatabase, NodeAnnotation};
+use oem::{ArcTriple, Value};
+use std::fmt::Write as _;
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render `d` as a `digraph`, annotations included.
+pub fn to_dot(d: &DoemDatabase) -> String {
+    let g = d.graph();
+    let mut out = String::new();
+    writeln!(out, "digraph \"{}\" {{", escape(g.name())).expect("write to String");
+    writeln!(out, "  rankdir=TB;").expect("write to String");
+
+    for n in g.node_ids() {
+        let value = g.value(n).expect("own id");
+        let (shape, label) = match value {
+            Value::Complex => ("circle", n.to_string()),
+            v => ("box", format!("{n}\\n{}", escape(&v.to_string()))),
+        };
+        let root_mark = if n == g.root() { ", penwidth=2" } else { "" };
+        writeln!(out, "  {n} [shape={shape}, label=\"{label}\"{root_mark}];")
+            .expect("write to String");
+        // Node annotations: one note box per annotation (Figure 4 style).
+        for (i, ann) in d.node_annotations(n).iter().enumerate() {
+            let text = match ann {
+                NodeAnnotation::Cre(t) => format!("cre\\nt:{t}"),
+                NodeAnnotation::Upd { at, old } => {
+                    format!("upd\\nt:{at}\\nov:{}", escape(&old.to_string()))
+                }
+            };
+            writeln!(
+                out,
+                "  ann_{n}_{i} [shape=note, fontsize=9, label=\"{text}\"];"
+            )
+            .expect("write to String");
+            writeln!(out, "  ann_{n}_{i} -> {n} [style=dotted, arrowhead=none];")
+                .expect("write to String");
+        }
+    }
+
+    for (ai, arc) in g.arcs().enumerate() {
+        let ArcTriple {
+            parent,
+            label,
+            child,
+        } = arc;
+        let anns = d.arc_annotations(arc);
+        let style = if d.arc_is_current(arc) {
+            "solid"
+        } else {
+            "dashed"
+        };
+        writeln!(
+            out,
+            "  {parent} -> {child} [label=\"{}\", style={style}];",
+            escape(label.as_str())
+        )
+        .expect("write to String");
+        for (i, ann) in anns.iter().enumerate() {
+            let text = match ann {
+                ArcAnnotation::Add(t) => format!("add\\nt:{t}"),
+                ArcAnnotation::Rem(t) => format!("rem\\nt:{t}"),
+            };
+            writeln!(
+                out,
+                "  arcann_{ai}_{i} [shape=note, fontsize=9, label=\"{text}\"];"
+            )
+            .expect("write to String");
+            // Attach visually near the arc's parent.
+            writeln!(
+                out,
+                "  arcann_{ai}_{i} -> {parent} [style=dotted, arrowhead=none];"
+            )
+            .expect("write to String");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doem_figure4;
+
+    #[test]
+    fn figure4_dot_shows_annotations_and_dashed_removal() {
+        let d = doem_figure4();
+        let dot = to_dot(&d);
+        assert!(dot.contains("upd\\nt:1Jan97\\nov:10"), "{dot}");
+        assert!(dot.contains("cre\\nt:5Jan97"), "{dot}");
+        assert!(dot.contains("rem\\nt:8Jan97"), "{dot}");
+        assert!(dot.contains("style=dashed"), "{dot}");
+        // Annotation count matches the database.
+        let notes = dot.matches("shape=note").count();
+        assert_eq!(notes, d.annotation_count());
+    }
+
+    #[test]
+    fn unannotated_doem_renders_solid() {
+        let d = crate::DoemDatabase::from_snapshot(&oem::guide::guide_figure2());
+        let dot = to_dot(&d);
+        assert!(!dot.contains("shape=note"));
+        assert!(!dot.contains("dashed"));
+    }
+}

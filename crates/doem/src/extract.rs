@@ -1,0 +1,180 @@
+//! Extracting the encoded history `H(D)` from a DOEM database
+//! (Section 3.2).
+//!
+//! The timestamps of `H(D)` are exactly the timestamps occurring in `D`'s
+//! annotations; each `Ui` contains:
+//!
+//! 1. `addArc(p,l,c)` / `remArc(p,l,c)` for arcs annotated `add(ti)` /
+//!    `rem(ti)`;
+//! 2. `updNode(n, v)` for `upd(ti, ov)` annotations, where `v` is the
+//!    *next* value of `n` (the old value of the temporally next `upd`, or
+//!    the current value);
+//! 3. `creNode(n, v)` for `cre(ti)` annotations, with `v` defined the same
+//!    way.
+
+use crate::{ArcAnnotation, DoemDatabase, NodeAnnotation, Result};
+use oem::{ChangeOp, ChangeSet, History, NodeId, Timestamp, Value};
+use std::collections::BTreeMap;
+
+/// The value node `n` had immediately after time `t`: the `ov` of the
+/// earliest `upd` strictly after `t` (or at `t` itself when `inclusive`,
+/// for `creNode` extraction — a node may be created and updated in the
+/// same change set), else the current value.
+fn value_after(d: &DoemDatabase, n: NodeId, t: Timestamp, inclusive: bool) -> Value {
+    for (at, old) in d.updates_of(n) {
+        if at > t || (inclusive && at == t) {
+            return old.clone();
+        }
+    }
+    d.graph()
+        .value(n)
+        .expect("annotated nodes exist in the graph")
+        .clone()
+}
+
+/// Reconstruct `H(D)`.
+pub fn extract_history(d: &DoemDatabase) -> Result<History> {
+    let mut sets: BTreeMap<Timestamp, ChangeSet> = BTreeMap::new();
+
+    for n in d.annotated_nodes() {
+        for ann in d.node_annotations(n) {
+            let (t, op) = match ann {
+                NodeAnnotation::Cre(t) => {
+                    (*t, ChangeOp::CreNode(n, value_after(d, n, *t, true)))
+                }
+                NodeAnnotation::Upd { at, .. } => {
+                    (*at, ChangeOp::UpdNode(n, value_after(d, n, *at, false)))
+                }
+            };
+            sets.entry(t).or_default().push(op)?;
+        }
+    }
+    for arc in d.annotated_arcs() {
+        for ann in d.arc_annotations(arc) {
+            let (t, op) = match ann {
+                ArcAnnotation::Add(t) => (*t, ChangeOp::AddArc(arc)),
+                ArcAnnotation::Rem(t) => (*t, ChangeOp::RemArc(arc)),
+            };
+            sets.entry(t).or_default().push(op)?;
+        }
+    }
+
+    Ok(History::from_entries(sets)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doem_from_history;
+    use oem::guide::{guide_figure2, history_example_2_3, ids};
+    use oem::ArcTriple;
+
+    fn ts(s: &str) -> Timestamp {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn extracted_history_matches_example_2_3() {
+        let d = doem_from_history(&guide_figure2(), &history_example_2_3()).unwrap();
+        let h = extract_history(&d).unwrap();
+
+        assert_eq!(h.len(), 3);
+        let entries = h.entries();
+        assert_eq!(entries[0].at, ts("1Jan97"));
+        assert_eq!(entries[1].at, ts("5Jan97"));
+        assert_eq!(entries[2].at, ts("8Jan97"));
+
+        // U1: 5 operations, including updNode(n1, 20) with the *new* value.
+        assert_eq!(entries[0].changes.len(), 5);
+        assert!(entries[0]
+            .changes
+            .iter()
+            .any(|op| *op == ChangeOp::UpdNode(ids::N1, Value::Int(20))));
+        assert!(entries[0]
+            .changes
+            .iter()
+            .any(|op| *op == ChangeOp::CreNode(ids::N3, Value::str("Hakata"))));
+        assert!(entries[0]
+            .changes
+            .iter()
+            .any(|op| *op == ChangeOp::CreNode(ids::N2, Value::Complex)));
+
+        // U2: 2 operations.
+        assert_eq!(entries[1].changes.len(), 2);
+        // U3: the remArc.
+        assert_eq!(entries[2].changes.len(), 1);
+        assert!(entries[2]
+            .changes
+            .iter()
+            .any(|op| *op
+                == ChangeOp::RemArc(ArcTriple::new(ids::N6, "parking", ids::N7))));
+    }
+
+    #[test]
+    fn extracted_history_replays_onto_the_original() {
+        // The defining property: applying H(D) to O0(D) reproduces the
+        // current snapshot.
+        let d = doem_from_history(&guide_figure2(), &history_example_2_3()).unwrap();
+        let h = extract_history(&d).unwrap();
+        let mut o0 = crate::original_snapshot(&d);
+        h.apply_to(&mut o0).unwrap();
+        assert!(oem::same_database(&o0, &crate::current_snapshot(&d)));
+    }
+
+    #[test]
+    fn multi_update_values_chain_correctly() {
+        // n1: 10 -> 20 (t1) -> "pricey" (t2). Extracted ops must carry the
+        // *new* values 20 and "pricey".
+        let h = oem::History::from_entries([
+            (
+                ts("1Jan97"),
+                ChangeSet::from_ops([ChangeOp::UpdNode(ids::N1, Value::Int(20))]).unwrap(),
+            ),
+            (
+                ts("3Jan97"),
+                ChangeSet::from_ops([ChangeOp::UpdNode(ids::N1, Value::str("pricey"))]).unwrap(),
+            ),
+        ])
+        .unwrap();
+        let d = doem_from_history(&guide_figure2(), &h).unwrap();
+        let got = extract_history(&d).unwrap();
+        assert_eq!(
+            got.entries()[0].changes.ops(),
+            &[ChangeOp::UpdNode(ids::N1, Value::Int(20))]
+        );
+        assert_eq!(
+            got.entries()[1].changes.ops(),
+            &[ChangeOp::UpdNode(ids::N1, Value::str("pricey"))]
+        );
+    }
+
+    #[test]
+    fn create_and_update_in_one_set_extract_correctly() {
+        // creNode(n, 5) and updNode(n, 7) in the SAME change set: the
+        // extracted creNode must carry the creation value 5 (the upd's old
+        // value), and the updNode the new value 7.
+        let initial = guide_figure2();
+        let mut scratch = initial.clone();
+        let n = scratch.alloc_id();
+        let set = ChangeSet::from_ops([
+            ChangeOp::CreNode(n, Value::Int(5)),
+            ChangeOp::UpdNode(n, Value::Int(7)),
+            ChangeOp::add_arc(ids::N6, "rating", n),
+        ])
+        .unwrap();
+        let h = oem::History::from_entries([(ts("2Jan97"), set)]).unwrap();
+        let d = doem_from_history(&initial, &h).unwrap();
+        let got = extract_history(&d).unwrap();
+        let ops = got.entries()[0].changes.ops();
+        assert!(ops.contains(&ChangeOp::CreNode(n, Value::Int(5))), "{ops:?}");
+        assert!(ops.contains(&ChangeOp::UpdNode(n, Value::Int(7))), "{ops:?}");
+        // And feasibility still holds on this corner.
+        assert!(crate::is_feasible(&d));
+    }
+
+    #[test]
+    fn empty_doem_extracts_empty_history() {
+        let d = DoemDatabase::from_snapshot(&guide_figure2());
+        assert!(extract_history(&d).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,24 @@
+//! Ready-made DOEM fixtures from the paper.
+
+use crate::{doem_from_history, DoemDatabase};
+use oem::guide::{guide_figure2, history_example_2_3};
+
+/// The DOEM database of Figure 4 (Example 3.1): the Guide of Figure 2
+/// annotated with the history of Example 2.3.
+pub fn doem_figure4() -> DoemDatabase {
+    doem_from_history(&guide_figure2(), &history_example_2_3())
+        .expect("Example 2.3 is valid for Figure 2")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_is_well_formed_and_feasible() {
+        let d = doem_figure4();
+        d.check_invariants().unwrap();
+        assert!(crate::is_feasible(&d));
+        assert_eq!(d.annotation_count(), 8);
+    }
+}

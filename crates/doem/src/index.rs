@@ -1,0 +1,227 @@
+//! Annotation indexes (paper Section 7, "Designing indexes on annotations
+//! (based on their types and timestamps)").
+//!
+//! [`AnnotationIndex`] maps each annotation kind to a time-ordered index of
+//! the nodes/arcs annotated at each timestamp, answering the access pattern
+//! of Chorel change queries ("everything added before 4Jan97", "updates
+//! since the last poll") without scanning the whole database. The index
+//! ablation benchmark (EXPERIMENTS.md, X2) quantifies the benefit.
+
+use crate::{ArcAnnotation, DoemDatabase, NodeAnnotation};
+use oem::{ArcTriple, NodeId, Timestamp};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A time/type index over all annotations of a DOEM database.
+#[derive(Clone, Debug, Default)]
+pub struct AnnotationIndex {
+    cre: BTreeMap<Timestamp, Vec<NodeId>>,
+    upd: BTreeMap<Timestamp, Vec<NodeId>>,
+    add: BTreeMap<Timestamp, Vec<ArcTriple>>,
+    rem: BTreeMap<Timestamp, Vec<ArcTriple>>,
+}
+
+/// A half-open/closed time window `[since, until]` with optional bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct TimeRange {
+    /// Inclusive lower bound (`-∞` if `None`).
+    pub since: Option<Timestamp>,
+    /// Inclusive upper bound (`+∞` if `None`).
+    pub until: Option<Timestamp>,
+}
+
+impl TimeRange {
+    /// The unbounded range.
+    pub fn all() -> TimeRange {
+        TimeRange {
+            since: None,
+            until: None,
+        }
+    }
+
+    /// `[since, +∞)`.
+    pub fn since(t: Timestamp) -> TimeRange {
+        TimeRange {
+            since: Some(t),
+            until: None,
+        }
+    }
+
+    /// `(-∞, until]`.
+    pub fn until(t: Timestamp) -> TimeRange {
+        TimeRange {
+            since: None,
+            until: Some(t),
+        }
+    }
+
+    /// `[since, until]`.
+    pub fn between(since: Timestamp, until: Timestamp) -> TimeRange {
+        TimeRange {
+            since: Some(since),
+            until: Some(until),
+        }
+    }
+
+    fn bounds(self) -> (Bound<Timestamp>, Bound<Timestamp>) {
+        (
+            self.since.map_or(Bound::Unbounded, Bound::Included),
+            self.until.map_or(Bound::Unbounded, Bound::Included),
+        )
+    }
+}
+
+impl AnnotationIndex {
+    /// Build the index by one scan over `d`'s annotations.
+    pub fn build(d: &DoemDatabase) -> AnnotationIndex {
+        let mut idx = AnnotationIndex::default();
+        for n in d.annotated_nodes() {
+            for ann in d.node_annotations(n) {
+                idx.record_node(n, ann);
+            }
+        }
+        for arc in d.annotated_arcs() {
+            for ann in d.arc_annotations(arc) {
+                idx.record_arc(arc, ann);
+            }
+        }
+        idx
+    }
+
+    /// Incrementally index one node annotation (used by the QSS DOEM
+    /// manager as polling appends history).
+    pub fn record_node(&mut self, n: NodeId, ann: &NodeAnnotation) {
+        match ann {
+            NodeAnnotation::Cre(t) => self.cre.entry(*t).or_default().push(n),
+            NodeAnnotation::Upd { at, .. } => self.upd.entry(*at).or_default().push(n),
+        }
+    }
+
+    /// Incrementally index one arc annotation.
+    pub fn record_arc(&mut self, arc: ArcTriple, ann: &ArcAnnotation) {
+        match ann {
+            ArcAnnotation::Add(t) => self.add.entry(*t).or_default().push(arc),
+            ArcAnnotation::Rem(t) => self.rem.entry(*t).or_default().push(arc),
+        }
+    }
+
+    /// Nodes with a `cre` annotation in `range`, with their timestamps.
+    pub fn created_in(&self, range: TimeRange) -> impl Iterator<Item = (Timestamp, NodeId)> + '_ {
+        self.cre
+            .range(range.bounds())
+            .flat_map(|(&t, ns)| ns.iter().map(move |&n| (t, n)))
+    }
+
+    /// Nodes with an `upd` annotation in `range`.
+    pub fn updated_in(&self, range: TimeRange) -> impl Iterator<Item = (Timestamp, NodeId)> + '_ {
+        self.upd
+            .range(range.bounds())
+            .flat_map(|(&t, ns)| ns.iter().map(move |&n| (t, n)))
+    }
+
+    /// Arcs with an `add` annotation in `range`.
+    pub fn added_in(&self, range: TimeRange) -> impl Iterator<Item = (Timestamp, ArcTriple)> + '_ {
+        self.add
+            .range(range.bounds())
+            .flat_map(|(&t, arcs)| arcs.iter().map(move |&a| (t, a)))
+    }
+
+    /// Arcs with a `rem` annotation in `range`.
+    pub fn removed_in(
+        &self,
+        range: TimeRange,
+    ) -> impl Iterator<Item = (Timestamp, ArcTriple)> + '_ {
+        self.rem
+            .range(range.bounds())
+            .flat_map(|(&t, arcs)| arcs.iter().map(move |&a| (t, a)))
+    }
+
+    /// Total number of indexed annotations.
+    pub fn len(&self) -> usize {
+        self.cre.values().map(Vec::len).sum::<usize>()
+            + self.upd.values().map(Vec::len).sum::<usize>()
+            + self.add.values().map(Vec::len).sum::<usize>()
+            + self.rem.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// `true` iff nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doem_figure4;
+    use oem::guide::ids;
+
+    fn ts(s: &str) -> Timestamp {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn index_covers_every_annotation() {
+        let d = doem_figure4();
+        let idx = AnnotationIndex::build(&d);
+        assert_eq!(idx.len(), d.annotation_count());
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn created_in_filters_by_time() {
+        let idx = AnnotationIndex::build(&doem_figure4());
+        // n2 and n3 created 1Jan97; n5 created 5Jan97.
+        let before_4th: Vec<NodeId> = idx
+            .created_in(TimeRange::until(ts("4Jan97")))
+            .map(|(_, n)| n)
+            .collect();
+        assert_eq!(before_4th.len(), 2);
+        assert!(before_4th.contains(&ids::N2) && before_4th.contains(&ids::N3));
+        let after_4th: Vec<NodeId> = idx
+            .created_in(TimeRange::since(ts("4Jan97")))
+            .map(|(_, n)| n)
+            .collect();
+        assert_eq!(after_4th, vec![ids::N5]);
+    }
+
+    #[test]
+    fn add_and_rem_ranges() {
+        let idx = AnnotationIndex::build(&doem_figure4());
+        assert_eq!(idx.added_in(TimeRange::all()).count(), 3);
+        let removed: Vec<_> = idx
+            .removed_in(TimeRange::between(ts("8Jan97"), ts("8Jan97")))
+            .collect();
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].1.parent, ids::N6);
+    }
+
+    #[test]
+    fn updated_in_finds_the_price_change() {
+        let idx = AnnotationIndex::build(&doem_figure4());
+        let upd: Vec<_> = idx.updated_in(TimeRange::all()).collect();
+        assert_eq!(upd, vec![(ts("1Jan97"), ids::N1)]);
+    }
+
+    #[test]
+    fn incremental_recording_matches_bulk_build() {
+        let d = doem_figure4();
+        let bulk = AnnotationIndex::build(&d);
+        let mut inc = AnnotationIndex::default();
+        for n in d.annotated_nodes() {
+            for ann in d.node_annotations(n) {
+                inc.record_node(n, ann);
+            }
+        }
+        for a in d.annotated_arcs() {
+            for ann in d.arc_annotations(a) {
+                inc.record_arc(a, ann);
+            }
+        }
+        assert_eq!(bulk.len(), inc.len());
+        assert_eq!(
+            bulk.created_in(TimeRange::all()).count(),
+            inc.created_in(TimeRange::all()).count()
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! # DOEM — Delta-OEM, the paper's change-representation model
+//!
+//! Implements Section 3 of *"Representing and Querying Changes in
+//! Semistructured Data"* (Chawathe, Abiteboul, Widom; ICDE 1998): changes to
+//! an OEM database are represented by attaching annotations (`cre`, `upd`,
+//! `add`, `rem`) to the nodes and arcs of the graph. Removed arcs are never
+//! deleted — they carry `rem` annotations — so one annotated graph holds the
+//! entire history (the snapshot-delta approach).
+//!
+//! Provided here:
+//!
+//! * [`DoemDatabase`] — Definition 3.1's `(O, fN, fA)` triple;
+//! * [`doem_from_history`] — the `D(O, H)` construction of Section 3.1;
+//! * [`original_snapshot`] / [`snapshot_at`] / [`current_snapshot`] —
+//!   Section 3.2's snapshot extraction;
+//! * [`extract_history`] — Section 3.2's `H(D)` reconstruction;
+//! * [`is_feasible`] / [`feasibility`] — the feasibility decision procedure;
+//! * [`encode_doem`] / [`decode_doem`] — the Section 5.1 DOEM-in-OEM
+//!   encoding and its inverse;
+//! * [`AnnotationIndex`] — the timestamp/type annotation index the paper
+//!   proposes as future work (Section 7).
+//!
+//! ```
+//! use doem::{doem_from_history, current_snapshot, original_snapshot};
+//! use oem::guide::{guide_figure2, guide_figure3, history_example_2_3};
+//!
+//! let d = doem_from_history(&guide_figure2(), &history_example_2_3()).unwrap();
+//! assert!(oem::same_database(&original_snapshot(&d), &guide_figure2()));
+//! assert!(oem::same_database(&current_snapshot(&d), &guide_figure3()));
+//! ```
+
+#![warn(missing_docs)]
+
+mod annot;
+mod construct;
+mod db;
+mod dot;
+mod encode;
+mod error;
+mod extract;
+mod feasible;
+mod fixtures;
+mod index;
+mod snapshot;
+
+pub use annot::{ArcAnnotation, NodeAnnotation};
+pub use construct::{apply_set, doem_from_history};
+pub use db::{same_doem, DoemDatabase};
+pub use dot::to_dot;
+pub use encode::{decode_doem, encode_doem, EncodedDoem};
+pub use error::{DoemError, Result};
+pub use extract::extract_history;
+pub use feasible::{feasibility, is_feasible, replay_consistent};
+pub use fixtures::doem_figure4;
+pub use index::{AnnotationIndex, TimeRange};
+pub use snapshot::{current_snapshot, original_snapshot, snapshot_at};

@@ -1,0 +1,211 @@
+//! DataGuides — Lore's dynamic structural summaries.
+//!
+//! A DataGuide is a concise summary of every label path in a database:
+//! each label path of the source occurs exactly once in the guide, and
+//! each guide node remembers the *target set* of source objects reachable
+//! by its path. Built by determinizing the source graph (subset
+//! construction), which also terminates on cyclic databases.
+//!
+//! Query engines use DataGuides to prune path evaluation and to answer
+//! "what labels can follow here" — we use it for the path-exploration
+//! helper and in the structure-aware benchmarks.
+
+use oem::{Label, NodeId, OemDatabase};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// One node of the DataGuide.
+#[derive(Clone, Debug)]
+pub struct GuideNode {
+    /// Outgoing labeled edges to other guide nodes.
+    pub children: Vec<(Label, usize)>,
+    /// Source objects reachable by this guide node's path.
+    pub targets: Vec<NodeId>,
+}
+
+/// A structural summary of an OEM database.
+#[derive(Clone, Debug)]
+pub struct DataGuide {
+    nodes: Vec<GuideNode>,
+}
+
+impl DataGuide {
+    /// Build the DataGuide of `db` by subset construction. `max_nodes`
+    /// bounds the summary size (a determinized graph can blow up on
+    /// pathological inputs); `None` means unbounded.
+    pub fn build(db: &OemDatabase, max_nodes: Option<usize>) -> Option<DataGuide> {
+        let mut nodes: Vec<GuideNode> = Vec::new();
+        let mut state_of: HashMap<BTreeSet<NodeId>, usize> = HashMap::new();
+
+        let start: BTreeSet<NodeId> = [db.root()].into();
+        nodes.push(GuideNode {
+            children: Vec::new(),
+            targets: start.iter().copied().collect(),
+        });
+        state_of.insert(start.clone(), 0);
+        let mut queue = VecDeque::from([start]);
+
+        while let Some(set) = queue.pop_front() {
+            let state = state_of[&set];
+            // Group successors by label.
+            let mut successors: HashMap<Label, BTreeSet<NodeId>> = HashMap::new();
+            for &n in &set {
+                for &(l, c) in db.children(n) {
+                    successors.entry(l).or_default().insert(c);
+                }
+            }
+            let mut labels: Vec<Label> = successors.keys().copied().collect();
+            labels.sort();
+            for l in labels {
+                let next = successors.remove(&l).expect("grouped above");
+                let next_state = match state_of.get(&next) {
+                    Some(&s) => s,
+                    None => {
+                        if let Some(cap) = max_nodes {
+                            if nodes.len() >= cap {
+                                return None;
+                            }
+                        }
+                        let s = nodes.len();
+                        nodes.push(GuideNode {
+                            children: Vec::new(),
+                            targets: next.iter().copied().collect(),
+                        });
+                        state_of.insert(next.clone(), s);
+                        queue.push_back(next);
+                        s
+                    }
+                };
+                nodes[state].children.push((l, next_state));
+            }
+        }
+        Some(DataGuide { nodes })
+    }
+
+    /// The root guide node.
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// Node accessor.
+    pub fn node(&self, i: usize) -> &GuideNode {
+        &self.nodes[i]
+    }
+
+    /// Number of guide nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` iff the guide is a single root (empty database).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// The target set of a label path, if the path occurs.
+    pub fn target_set(&self, path: &[Label]) -> Option<&[NodeId]> {
+        let mut cur = 0usize;
+        for l in path {
+            cur = self.nodes[cur]
+                .children
+                .iter()
+                .find(|(label, _)| label == l)
+                .map(|&(_, s)| s)?;
+        }
+        Some(&self.nodes[cur].targets)
+    }
+
+    /// Enumerate every label path of the guide up to `max_depth`.
+    pub fn paths(&self, max_depth: usize) -> Vec<Vec<Label>> {
+        let mut out = Vec::new();
+        let mut stack: Vec<(usize, Vec<Label>)> = vec![(0, Vec::new())];
+        let mut seen = vec![false; self.nodes.len()];
+        while let Some((state, path)) = stack.pop() {
+            if path.len() >= max_depth || seen[state] {
+                continue;
+            }
+            seen[state] = true;
+            for &(l, next) in &self.nodes[state].children {
+                let mut p = path.clone();
+                p.push(l);
+                out.push(p.clone());
+                stack.push((next, p));
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oem::guide::{guide_figure2, ids};
+
+    fn l(s: &str) -> Label {
+        Label::new(s)
+    }
+
+    #[test]
+    fn every_source_path_occurs_once() {
+        let db = guide_figure2();
+        let g = DataGuide::build(&db, None).unwrap();
+        // guide has exactly one `restaurant` edge even though the source
+        // has two restaurant arcs.
+        let root = g.node(g.root());
+        assert_eq!(
+            root.children
+                .iter()
+                .filter(|(lab, _)| *lab == l("restaurant"))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn target_sets_collect_all_matches() {
+        let db = guide_figure2();
+        let g = DataGuide::build(&db, None).unwrap();
+        let prices = g.target_set(&[l("restaurant"), l("price")]).unwrap();
+        assert_eq!(prices.len(), 2);
+        assert!(prices.contains(&ids::N1));
+        let parking = g.target_set(&[l("restaurant"), l("parking")]).unwrap();
+        assert_eq!(parking, &[ids::N7]);
+        assert!(g.target_set(&[l("no-such")]).is_none());
+    }
+
+    #[test]
+    fn cyclic_databases_terminate() {
+        let db = guide_figure2(); // has the parking/nearby-eats cycle
+        let g = DataGuide::build(&db, None).unwrap();
+        assert!(g.len() > 1);
+        // A path around the cycle exists.
+        assert!(g
+            .target_set(&[
+                l("restaurant"),
+                l("parking"),
+                l("nearby-eats"),
+                l("parking")
+            ])
+            .is_some());
+    }
+
+    #[test]
+    fn node_budget_is_respected() {
+        let db = guide_figure2();
+        assert!(DataGuide::build(&db, Some(1)).is_none());
+        assert!(DataGuide::build(&db, Some(1000)).is_some());
+    }
+
+    #[test]
+    fn paths_enumeration_is_bounded_and_sorted() {
+        let db = guide_figure2();
+        let g = DataGuide::build(&db, None).unwrap();
+        let paths = g.paths(2);
+        assert!(paths.contains(&vec![l("restaurant")]));
+        assert!(paths.contains(&vec![l("restaurant"), l("price")]));
+        assert!(paths.iter().all(|p| p.len() <= 2));
+        let mut sorted = paths.clone();
+        sorted.sort();
+        assert_eq!(paths, sorted);
+    }
+}

@@ -1,0 +1,45 @@
+//! Storage errors.
+
+use std::fmt;
+
+/// Everything that can go wrong in the storage layer.
+#[derive(Debug)]
+pub enum LoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The on-disk bytes are not a valid database image.
+    Corrupt(String),
+    /// A named database does not exist in the store.
+    NotFound(String),
+    /// A decoded graph violates OEM/DOEM invariants.
+    Invalid(String),
+}
+
+impl fmt::Display for LoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoreError::Io(e) => write!(f, "i/o error: {e}"),
+            LoreError::Corrupt(msg) => write!(f, "corrupt database image: {msg}"),
+            LoreError::NotFound(name) => write!(f, "no database named {name:?} in the store"),
+            LoreError::Invalid(msg) => write!(f, "invalid database: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LoreError {
+    fn from(e: std::io::Error) -> LoreError {
+        LoreError::Io(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, LoreError>;

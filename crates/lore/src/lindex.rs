@@ -1,0 +1,97 @@
+//! Lindex — Lore's label index.
+//!
+//! Maps each arc label to the arcs carrying it, answering "all `l`-labeled
+//! arcs" and "all parents reaching a node via `l`" without scanning the
+//! whole graph. Used by the index-ablation benchmarks and by bottom-up
+//! query evaluation helpers.
+
+use oem::{ArcTriple, Label, NodeId, OemDatabase};
+use std::collections::HashMap;
+
+/// A label → arcs index.
+#[derive(Clone, Debug, Default)]
+pub struct Lindex {
+    by_label: HashMap<Label, Vec<ArcTriple>>,
+}
+
+impl Lindex {
+    /// Build the index with one scan.
+    pub fn build(db: &OemDatabase) -> Lindex {
+        let mut idx = Lindex::default();
+        for arc in db.arcs() {
+            idx.insert(arc);
+        }
+        idx
+    }
+
+    /// Record one arc (incremental maintenance).
+    pub fn insert(&mut self, arc: ArcTriple) {
+        self.by_label.entry(arc.label).or_default().push(arc);
+    }
+
+    /// Forget one arc.
+    pub fn remove(&mut self, arc: ArcTriple) {
+        if let Some(v) = self.by_label.get_mut(&arc.label) {
+            v.retain(|a| *a != arc);
+        }
+    }
+
+    /// All arcs labeled `l`.
+    pub fn arcs_labeled(&self, l: Label) -> &[ArcTriple] {
+        self.by_label.get(&l).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All parents with an `l` arc to `child`.
+    pub fn parents_via(&self, l: Label, child: NodeId) -> Vec<NodeId> {
+        self.arcs_labeled(l)
+            .iter()
+            .filter(|a| a.child == child)
+            .map(|a| a.parent)
+            .collect()
+    }
+
+    /// Number of indexed arcs.
+    pub fn len(&self) -> usize {
+        self.by_label.values().map(Vec::len).sum()
+    }
+
+    /// `true` iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oem::guide::{guide_figure2, ids};
+
+    #[test]
+    fn indexes_every_arc() {
+        let db = guide_figure2();
+        let idx = Lindex::build(&db);
+        assert_eq!(idx.len(), db.arc_count());
+        assert_eq!(idx.arcs_labeled(Label::new("restaurant")).len(), 2);
+        assert_eq!(idx.arcs_labeled(Label::new("parking")).len(), 2);
+        assert!(idx.arcs_labeled(Label::new("no-such")).is_empty());
+    }
+
+    #[test]
+    fn parents_via_finds_shared_children() {
+        let db = guide_figure2();
+        let idx = Lindex::build(&db);
+        let parents = idx.parents_via(Label::new("parking"), ids::N7);
+        assert_eq!(parents.len(), 2);
+    }
+
+    #[test]
+    fn incremental_maintenance() {
+        let db = guide_figure2();
+        let mut idx = Lindex::build(&db);
+        let arc = ArcTriple::new(ids::N6, "parking", ids::N7);
+        idx.remove(arc);
+        assert_eq!(idx.arcs_labeled(Label::new("parking")).len(), 1);
+        idx.insert(arc);
+        assert_eq!(idx.arcs_labeled(Label::new("parking")).len(), 2);
+    }
+}

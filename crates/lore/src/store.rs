@@ -1,0 +1,236 @@
+//! The persistent store: named database images in a directory.
+//!
+//! Plays the role Lore plays for the paper's implementation: the DOEM
+//! Manager "uses the Lore system to store OEM encodings of DOEM databases,
+//! using the scheme described in Section 5.1". Accordingly
+//! [`LoreStore::save_doem`]/[`LoreStore::load_doem`] go through
+//! [`doem::encode_doem`]/[`doem::decode_doem`]; plain OEM databases are
+//! stored directly.
+//!
+//! Writes are crash-conscious: image → temp file → fsync → atomic rename.
+
+use crate::codec::{decode_database, encode_database};
+use crate::{LoreError, Result};
+use doem::{decode_doem, encode_doem, DoemDatabase};
+use oem::OemDatabase;
+use parking_lot::Mutex;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A directory-backed store of named database images.
+///
+/// ```
+/// use lore::LoreStore;
+///
+/// let dir = std::env::temp_dir().join("lore-doc-example");
+/// let store = LoreStore::open(&dir).unwrap();
+/// store.save_doem("figure4", &doem::doem_figure4()).unwrap();
+/// let back = store.load_doem("figure4").unwrap();
+/// assert!(doem::same_doem(&back, &doem::doem_figure4()));
+/// ```
+#[derive(Debug)]
+pub struct LoreStore {
+    dir: PathBuf,
+    // Serializes writers; readers go straight to the filesystem.
+    write_lock: Mutex<()>,
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+impl LoreStore {
+    /// Open (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<LoreStore> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(LoreStore {
+            dir,
+            write_lock: Mutex::new(()),
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{}.oem", sanitize(name)))
+    }
+
+    /// Persist an OEM database under `name`.
+    pub fn save(&self, name: &str, db: &OemDatabase) -> Result<()> {
+        let bytes = encode_database(db);
+        let final_path = self.path_for(name);
+        let tmp_path = final_path.with_extension("oem.tmp");
+        let _guard = self.write_lock.lock();
+        {
+            let mut f = fs::File::create(&tmp_path)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        Ok(())
+    }
+
+    /// Load the OEM database stored under `name`.
+    pub fn load(&self, name: &str) -> Result<OemDatabase> {
+        let path = self.path_for(name);
+        let bytes = fs::read(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                LoreError::NotFound(name.to_string())
+            } else {
+                LoreError::Io(e)
+            }
+        })?;
+        decode_database(bytes.into())
+    }
+
+    /// Persist a DOEM database under `name` via its Section 5.1 encoding.
+    pub fn save_doem(&self, name: &str, d: &DoemDatabase) -> Result<()> {
+        self.save(name, &encode_doem(d).oem)
+    }
+
+    /// Load a DOEM database stored under `name`.
+    pub fn load_doem(&self, name: &str) -> Result<DoemDatabase> {
+        let oem = self.load(name)?;
+        decode_doem(&oem).map_err(|e| LoreError::Invalid(e.to_string()))
+    }
+
+    /// `true` iff a database named `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.path_for(name).exists()
+    }
+
+    /// Delete the database named `name` (idempotent).
+    pub fn remove(&self, name: &str) -> Result<()> {
+        match fs::remove_file(self.path_for(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Names of all stored databases, sorted.
+    pub fn names(&self) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("oem") {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    out.push(stem.to_string());
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doem::{doem_figure4, same_doem};
+    use oem::guide::guide_figure2;
+    use oem::same_database;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "lore-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let store = LoreStore::open(tmpdir("rt")).unwrap();
+        let db = guide_figure2();
+        store.save("guide", &db).unwrap();
+        let back = store.load("guide").unwrap();
+        assert!(same_database(&db, &back));
+        assert!(store.contains("guide"));
+        assert_eq!(store.names().unwrap(), vec!["guide"]);
+    }
+
+    #[test]
+    fn doem_round_trips_through_the_encoding() {
+        let store = LoreStore::open(tmpdir("doem")).unwrap();
+        let d = doem_figure4();
+        store.save_doem("LyttonRestaurants", &d).unwrap();
+        let back = store.load_doem("LyttonRestaurants").unwrap();
+        assert!(same_doem(&d, &back));
+    }
+
+    #[test]
+    fn missing_databases_are_not_found() {
+        let store = LoreStore::open(tmpdir("missing")).unwrap();
+        assert!(matches!(
+            store.load("ghost"),
+            Err(LoreError::NotFound(_))
+        ));
+        assert!(!store.contains("ghost"));
+        store.remove("ghost").unwrap(); // idempotent
+    }
+
+    #[test]
+    fn save_overwrites_atomically() {
+        let store = LoreStore::open(tmpdir("over")).unwrap();
+        let a = guide_figure2();
+        store.save("g", &a).unwrap();
+        let b = oem::guide::guide_figure3();
+        store.save("g", &b).unwrap();
+        assert!(same_database(&store.load("g").unwrap(), &b));
+        // No temp files left behind.
+        assert_eq!(store.names().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn odd_names_are_sanitized() {
+        let store = LoreStore::open(tmpdir("names")).unwrap();
+        store.save("week/1 report", &guide_figure2()).unwrap();
+        assert!(store.contains("week/1 report"));
+    }
+
+    #[test]
+    fn concurrent_saves_serialize_safely() {
+        let store = std::sync::Arc::new(LoreStore::open(tmpdir("concurrent")).unwrap());
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let store = std::sync::Arc::clone(&store);
+                std::thread::spawn(move || {
+                    let db = guide_figure2();
+                    for _ in 0..5 {
+                        store.save(&format!("db-{i}"), &db).unwrap();
+                        store.save("shared", &db).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Everything readable and intact afterwards.
+        assert!(same_database(&store.load("shared").unwrap(), &guide_figure2()));
+        assert_eq!(store.names().unwrap().len(), 9);
+    }
+
+    #[test]
+    fn corrupt_files_error_cleanly() {
+        let dir = tmpdir("corrupt");
+        let store = LoreStore::open(&dir).unwrap();
+        fs::write(dir.join("bad.oem"), b"not a database").unwrap();
+        assert!(matches!(store.load("bad"), Err(LoreError::Corrupt(_))));
+    }
+}

@@ -1,0 +1,133 @@
+//! Vindex — Lore's value index.
+//!
+//! Maps `(incoming label, atomic value)` to the atomic objects holding
+//! that value, with range scans over the ordered value domain. This is the
+//! index Lore uses to start query evaluation at the leaves ("find the
+//! `price` atoms below 20") instead of navigating from the root.
+
+use oem::{Label, NodeId, OemDatabase, Value};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A `(label, value)` → atoms index.
+#[derive(Clone, Debug, Default)]
+pub struct Vindex {
+    // Keyed by label, then by the value's total order.
+    by_label: BTreeMap<Label, BTreeMap<Value, Vec<NodeId>>>,
+}
+
+impl Vindex {
+    /// Build the index with one scan: every atomic object is indexed once
+    /// per distinct incoming label.
+    pub fn build(db: &OemDatabase) -> Vindex {
+        let mut idx = Vindex::default();
+        for arc in db.arcs() {
+            if let Ok(v) = db.value(arc.child) {
+                if v.is_atomic() {
+                    idx.insert(arc.label, v.clone(), arc.child);
+                }
+            }
+        }
+        idx
+    }
+
+    /// Record one `(label, value, atom)` triple.
+    pub fn insert(&mut self, label: Label, value: Value, node: NodeId) {
+        let per_value = self.by_label.entry(label).or_default();
+        let nodes = per_value.entry(value).or_default();
+        if !nodes.contains(&node) {
+            nodes.push(node);
+        }
+    }
+
+    /// Atoms reachable via `label` holding exactly `value`.
+    pub fn exact(&self, label: Label, value: &Value) -> &[NodeId] {
+        self.by_label
+            .get(&label)
+            .and_then(|m| m.get(value))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Atoms reachable via `label` with values in `[lo, hi]` (same-typed
+    /// ordering; mixed-type entries outside the bounds' type band are
+    /// skipped by the value total order).
+    pub fn range(&self, label: Label, lo: &Value, hi: &Value) -> Vec<NodeId> {
+        let Some(m) = self.by_label.get(&label) else {
+            return Vec::new();
+        };
+        m.range((Bound::Included(lo.clone()), Bound::Included(hi.clone())))
+            .flat_map(|(_, nodes)| nodes.iter().copied())
+            .collect()
+    }
+
+    /// Total indexed entries.
+    pub fn len(&self) -> usize {
+        self.by_label
+            .values()
+            .flat_map(|m| m.values())
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// `true` iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oem::guide::{guide_figure2, ids};
+
+    #[test]
+    fn exact_lookup() {
+        let db = guide_figure2();
+        let idx = Vindex::build(&db);
+        assert_eq!(
+            idx.exact(Label::new("price"), &Value::Int(10)),
+            &[ids::N1]
+        );
+        assert_eq!(
+            idx.exact(Label::new("price"), &Value::str("moderate")).len(),
+            1
+        );
+        assert!(idx.exact(Label::new("price"), &Value::Int(99)).is_empty());
+    }
+
+    #[test]
+    fn range_scan_over_ints() {
+        let mut b = oem::GraphBuilder::new("g");
+        let root = b.root();
+        for p in [5, 10, 15, 20, 25] {
+            let r = b.complex_child(root, "restaurant");
+            b.atom_child(r, "price", p);
+        }
+        let db = b.finish();
+        let idx = Vindex::build(&db);
+        let hits = idx.range(Label::new("price"), &Value::Int(10), &Value::Int(20));
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn shared_atoms_index_once_per_label() {
+        let mut b = oem::GraphBuilder::new("g");
+        let root = b.root();
+        let shared = b.atom(7);
+        b.arc(root, "a", shared);
+        b.arc(root, "b", shared);
+        let db = b.finish();
+        let idx = Vindex::build(&db);
+        assert_eq!(idx.exact(Label::new("a"), &Value::Int(7)), &[shared]);
+        assert_eq!(idx.exact(Label::new("b"), &Value::Int(7)), &[shared]);
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn complex_objects_are_not_indexed() {
+        let db = guide_figure2();
+        let idx = Vindex::build(&db);
+        assert!(idx.exact(Label::new("restaurant"), &Value::Complex).is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Append-only history log.
+//!
+//! QSS accumulates a DOEM database one polling interval at a time; the log
+//! persists each timestamped change set as it is inferred so the full
+//! history survives restarts (the paper's Section 7 roadmap item
+//! "enhancing QSS to allow access to the full history"). A history is
+//! reconstructed by replaying the log over the stored initial snapshot.
+//!
+//! Record framing: `u32 length | payload | u32 length | …`, with each
+//! payload a [`crate::codec::encode_entry`] image. A torn final record
+//! (crash mid-append) is detected and ignored.
+
+use crate::codec::{decode_entry, encode_entry};
+use crate::Result;
+use bytes::Bytes;
+use oem::{ChangeSet, History, Timestamp};
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+/// An append-only log of timestamped change sets.
+#[derive(Debug)]
+pub struct HistoryLog {
+    path: PathBuf,
+    file: File,
+}
+
+impl HistoryLog {
+    /// Open (creating if needed) the log at `path`.
+    pub fn open(path: impl AsRef<Path>) -> Result<HistoryLog> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(HistoryLog { path, file })
+    }
+
+    /// Append one history entry and fsync.
+    pub fn append(&mut self, at: Timestamp, changes: &ChangeSet) -> Result<()> {
+        let payload = encode_entry(at, changes);
+        let mut frame = Vec::with_capacity(4 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Replay the whole log into a [`History`]. A torn trailing record is
+    /// tolerated (dropped); corruption elsewhere is an error.
+    pub fn replay(&self) -> Result<History> {
+        let mut bytes = Vec::new();
+        File::open(&self.path)?.read_to_end(&mut bytes)?;
+        let mut history = History::new();
+        let mut offset = 0usize;
+        while offset + 4 <= bytes.len() {
+            let len =
+                u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+            if offset + 4 + len > bytes.len() {
+                break; // torn final record: crash mid-append
+            }
+            let mut payload = Bytes::copy_from_slice(&bytes[offset + 4..offset + 4 + len]);
+            let (at, set) = decode_entry(&mut payload)?;
+            history
+                .push(at, set)
+                .map_err(|e| crate::LoreError::Corrupt(e.to_string()))?;
+            offset += 4 + len;
+        }
+        Ok(history)
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oem::guide::{guide_figure2, guide_figure3, history_example_2_3};
+
+    fn tmpfile(tag: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!(
+            "lore-wal-{tag}-{}.log",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn append_replay_round_trip() {
+        let path = tmpfile("rt");
+        let mut log = HistoryLog::open(&path).unwrap();
+        let h = history_example_2_3();
+        for e in h.entries() {
+            log.append(e.at, &e.changes).unwrap();
+        }
+        let replayed = HistoryLog::open(&path).unwrap().replay().unwrap();
+        assert_eq!(replayed.len(), 3);
+        // Replaying over Figure 2 yields Figure 3.
+        let mut db = guide_figure2();
+        replayed.apply_to(&mut db).unwrap();
+        assert!(oem::same_database(&db, &guide_figure3()));
+    }
+
+    #[test]
+    fn empty_log_replays_empty() {
+        let log = HistoryLog::open(tmpfile("empty")).unwrap();
+        assert!(log.replay().unwrap().is_empty());
+    }
+
+    #[test]
+    fn torn_final_record_is_dropped() {
+        let path = tmpfile("torn");
+        let mut log = HistoryLog::open(&path).unwrap();
+        let h = history_example_2_3();
+        for e in h.entries() {
+            log.append(e.at, &e.changes).unwrap();
+        }
+        // Simulate a crash mid-append: chop the file.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let replayed = HistoryLog::open(&path).unwrap().replay().unwrap();
+        assert_eq!(replayed.len(), 2);
+    }
+
+    #[test]
+    fn appends_survive_reopen() {
+        let path = tmpfile("reopen");
+        let h = history_example_2_3();
+        for e in h.entries() {
+            let mut log = HistoryLog::open(&path).unwrap();
+            log.append(e.at, &e.changes).unwrap();
+        }
+        assert_eq!(HistoryLog::open(&path).unwrap().replay().unwrap().len(), 3);
+    }
+}

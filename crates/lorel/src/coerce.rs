@@ -1,0 +1,237 @@
+//! Lorel's forgiving comparison semantics (Section 4.1).
+//!
+//! "When faced with the task of comparing different types, Lorel first
+//! tries to coerce them to a common type. When such coercions fail, the
+//! comparison simply returns false instead of raising an error."
+//!
+//! Coercion lattice used here (pairwise):
+//!
+//! * int ↔ real — compare numerically (Example 4.1's `10 < 20.5`);
+//! * string → number — when the string parses as a number;
+//! * string → timestamp — when the string parses as a date (the paper lets
+//!   users type timestamps in any recognizable format);
+//! * string → bool — `"true"` / `"false"`;
+//! * complex values never compare (always `false`), and incompatible
+//!   types never compare.
+
+use crate::ast::CmpOp;
+use oem::Value;
+use std::cmp::Ordering;
+
+/// Compare two values under Lorel coercion. `None` means "not comparable"
+/// — which every caller must treat as `false`.
+pub fn coerce_compare(a: &Value, b: &Value) -> Option<Ordering> {
+    use Value::*;
+    match (a, b) {
+        (Complex, _) | (_, Complex) => None,
+        (Int(x), Int(y)) => Some(x.cmp(y)),
+        (Real(x), Real(y)) => x.partial_cmp(y),
+        (Int(x), Real(y)) => (*x as f64).partial_cmp(y),
+        (Real(x), Int(y)) => x.partial_cmp(&(*y as f64)),
+        (Str(x), Str(y)) => Some(x.cmp(y)),
+        (Bool(x), Bool(y)) => Some(x.cmp(y)),
+        (Time(x), Time(y)) => Some(x.cmp(y)),
+        // String coercions: try number, then timestamp, then bool.
+        (Str(s), Int(_) | Real(_)) => {
+            let parsed = parse_number(s)?;
+            coerce_compare(&parsed, b)
+        }
+        (Int(_) | Real(_), Str(s)) => {
+            let parsed = parse_number(s)?;
+            coerce_compare(a, &parsed)
+        }
+        (Str(s), Time(t)) => {
+            let parsed: oem::Timestamp = s.parse().ok()?;
+            Some(parsed.cmp(t))
+        }
+        (Time(t), Str(s)) => {
+            let parsed: oem::Timestamp = s.parse().ok()?;
+            Some(t.cmp(&parsed))
+        }
+        (Str(s), Bool(y)) => {
+            let parsed = parse_bool(s)?;
+            Some(parsed.cmp(y))
+        }
+        (Bool(x), Str(s)) => {
+            let parsed = parse_bool(s)?;
+            Some(x.cmp(&parsed))
+        }
+        // Numbers never coerce to timestamps or bools.
+        (Int(_) | Real(_), Time(_) | Bool(_)) | (Time(_) | Bool(_), Int(_) | Real(_)) => None,
+        (Time(_), Bool(_)) | (Bool(_), Time(_)) => None,
+    }
+}
+
+fn parse_number(s: &str) -> Option<Value> {
+    let t = s.trim();
+    if let Ok(i) = t.parse::<i64>() {
+        return Some(Value::Int(i));
+    }
+    t.parse::<f64>().ok().map(Value::Real)
+}
+
+fn parse_bool(s: &str) -> Option<bool> {
+    match s.trim() {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    }
+}
+
+/// Apply a comparison operator with coercion; incomparable pairs are
+/// `false`.
+pub fn compare(op: CmpOp, a: &Value, b: &Value) -> bool {
+    match coerce_compare(a, b) {
+        None => false,
+        Some(ord) => match op {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        },
+    }
+}
+
+/// SQL-style `like`: `%` matches any sequence, `_` any single character.
+/// Both operands coerce to strings (numbers print themselves).
+pub fn like(value: &Value, pattern: &Value) -> bool {
+    let Some(v) = to_text(value) else {
+        return false;
+    };
+    let Some(p) = to_text(pattern) else {
+        return false;
+    };
+    like_match(&v, &p)
+}
+
+fn to_text(v: &Value) -> Option<String> {
+    match v {
+        Value::Complex => None,
+        Value::Str(s) => Some(s.to_string()),
+        Value::Int(i) => Some(i.to_string()),
+        Value::Real(r) => Some(r.to_string()),
+        Value::Bool(b) => Some(b.to_string()),
+        Value::Time(t) => Some(t.to_string()),
+    }
+}
+
+fn like_match(text: &str, pattern: &str) -> bool {
+    // Classic two-pointer wildcard matching over chars.
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut ti, mut pi) = (0usize, 0usize);
+    let (mut star_p, mut star_t) = (usize::MAX, 0usize);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            ti += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star_p = pi;
+            star_t = ti;
+            pi += 1;
+        } else if star_p != usize::MAX {
+            star_t += 1;
+            ti = star_t;
+            pi = star_p + 1;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_4_1_coercions() {
+        // int 10 coerces to real and 10 < 20.5 holds.
+        assert!(compare(CmpOp::Lt, &Value::Int(10), &Value::Real(20.5)));
+        // "moderate" fails to coerce: comparison is false, not an error.
+        assert!(!compare(
+            CmpOp::Lt,
+            &Value::str("moderate"),
+            &Value::Real(20.5)
+        ));
+        // And so is its negation through Ge — "false" both ways.
+        assert!(!compare(
+            CmpOp::Ge,
+            &Value::str("moderate"),
+            &Value::Real(20.5)
+        ));
+    }
+
+    #[test]
+    fn numeric_strings_coerce() {
+        assert!(compare(CmpOp::Eq, &Value::str("10"), &Value::Int(10)));
+        assert!(compare(CmpOp::Lt, &Value::str("9.5"), &Value::Int(10)));
+        assert!(compare(CmpOp::Gt, &Value::Int(11), &Value::str("10.5")));
+    }
+
+    #[test]
+    fn timestamp_strings_coerce() {
+        let t: oem::Timestamp = "4Jan97".parse().unwrap();
+        assert!(compare(CmpOp::Eq, &Value::str("4Jan97"), &Value::Time(t)));
+        assert!(compare(
+            CmpOp::Lt,
+            &Value::Time("1Jan97".parse().unwrap()),
+            &Value::str("1997-01-04")
+        ));
+        // Times never coerce to numbers.
+        assert!(!compare(CmpOp::Eq, &Value::Time(t), &Value::Int(0)));
+    }
+
+    #[test]
+    fn complex_never_compares() {
+        assert!(!compare(CmpOp::Eq, &Value::Complex, &Value::Complex));
+        assert!(!compare(CmpOp::Ne, &Value::Complex, &Value::Int(1)));
+    }
+
+    #[test]
+    fn bool_coercion() {
+        assert!(compare(CmpOp::Eq, &Value::Bool(true), &Value::str("true")));
+        assert!(!compare(CmpOp::Eq, &Value::Bool(true), &Value::str("yes")));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like(&Value::str("120 Lytton Ave"), &Value::str("%Lytton%")));
+        assert!(like(&Value::str("Lytton"), &Value::str("%Lytton%")));
+        assert!(!like(&Value::str("University Ave"), &Value::str("%Lytton%")));
+        assert!(like(&Value::str("cat"), &Value::str("c_t")));
+        assert!(!like(&Value::str("cart"), &Value::str("c_t")));
+        assert!(like(&Value::str("anything"), &Value::str("%")));
+        assert!(like(&Value::str(""), &Value::str("%")));
+        assert!(!like(&Value::str(""), &Value::str("_")));
+        // Numbers coerce to their textual form.
+        assert!(like(&Value::Int(120), &Value::str("1%")));
+        // Complex objects never match.
+        assert!(!like(&Value::Complex, &Value::str("%")));
+    }
+
+    #[test]
+    fn like_backtracking_edge_cases() {
+        assert!(like(&Value::str("aXbXc"), &Value::str("a%X%c")));
+        assert!(like(&Value::str("abc"), &Value::str("%%abc%%")));
+        assert!(!like(&Value::str("ab"), &Value::str("a%c")));
+    }
+
+    #[test]
+    fn le_ge_use_orderings_not_negation() {
+        assert!(compare(CmpOp::Le, &Value::Int(10), &Value::Int(10)));
+        assert!(compare(CmpOp::Ge, &Value::Int(10), &Value::Int(10)));
+        assert!(!compare(CmpOp::Ne, &Value::Int(10), &Value::str("10")));
+    }
+
+    #[test]
+    fn nan_comparisons_are_false() {
+        assert!(!compare(CmpOp::Eq, &Value::Real(f64::NAN), &Value::Real(f64::NAN)));
+        assert!(!compare(CmpOp::Lt, &Value::Real(f64::NAN), &Value::Real(1.0)));
+    }
+}

@@ -1,0 +1,103 @@
+//! Named query definitions (`define [polling|filter] query N as …`).
+//!
+//! QSS subscriptions (Section 6) are built from a named polling query and
+//! a named filter query; the registry stores and resolves them.
+
+use crate::ast::Query;
+use crate::error::{LorelError, Result};
+use crate::parser::{parse_program, DefineKind, Statement};
+use std::collections::HashMap;
+
+/// A registry of named queries.
+#[derive(Clone, Debug, Default)]
+pub struct QueryRegistry {
+    queries: HashMap<String, (DefineKind, Query)>,
+}
+
+impl QueryRegistry {
+    /// An empty registry.
+    pub fn new() -> QueryRegistry {
+        QueryRegistry::default()
+    }
+
+    /// Register one definition (latest wins, like re-running a `define`).
+    pub fn define(&mut self, kind: DefineKind, name: impl Into<String>, query: Query) {
+        self.queries.insert(name.into(), (kind, query));
+    }
+
+    /// Parse a program and register every `define` in it; returns any bare
+    /// queries that were also present.
+    pub fn load(&mut self, src: &str) -> Result<Vec<Query>> {
+        let mut bare = Vec::new();
+        for stmt in parse_program(src)? {
+            match stmt {
+                Statement::Define { kind, name, query } => self.define(kind, name, query),
+                Statement::Query(q) => bare.push(q),
+            }
+        }
+        Ok(bare)
+    }
+
+    /// Look up a named query.
+    pub fn get(&self, name: &str) -> Result<&Query> {
+        self.queries
+            .get(name)
+            .map(|(_, q)| q)
+            .ok_or_else(|| LorelError::UnknownQuery(name.to_string()))
+    }
+
+    /// Look up a named query along with its declared kind.
+    pub fn get_with_kind(&self, name: &str) -> Result<(DefineKind, &Query)> {
+        self.queries
+            .get(name)
+            .map(|(k, q)| (*k, q))
+            .ok_or_else(|| LorelError::UnknownQuery(name.to_string()))
+    }
+
+    /// All defined names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.queries.keys().map(String::as_str).collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_registers_defines_and_returns_bare_queries() {
+        let mut reg = QueryRegistry::new();
+        let bare = reg
+            .load(
+                "define polling query Restaurants as select guide.restaurant \
+                 define filter query NewRestaurants as \
+                 select Restaurants.restaurant<cre at T> where T > t[-1] \
+                 select guide.restaurant",
+            )
+            .unwrap();
+        assert_eq!(bare.len(), 1);
+        assert_eq!(reg.names(), vec!["NewRestaurants", "Restaurants"]);
+        let (kind, _) = reg.get_with_kind("Restaurants").unwrap();
+        assert_eq!(kind, DefineKind::Polling);
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let reg = QueryRegistry::new();
+        assert!(matches!(
+            reg.get("Nope"),
+            Err(LorelError::UnknownQuery(_))
+        ));
+    }
+
+    #[test]
+    fn redefinition_replaces() {
+        let mut reg = QueryRegistry::new();
+        reg.load("define query Q as select a.b").unwrap();
+        reg.load("define query Q as select a.c").unwrap();
+        let q = reg.get("Q").unwrap();
+        assert!(q.to_string().contains("a.c"));
+    }
+}

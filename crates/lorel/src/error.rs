@@ -1,0 +1,67 @@
+//! Errors for parsing, planning, and evaluating queries.
+
+use std::fmt;
+
+/// Everything that can go wrong between query text and query result.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LorelError {
+    /// Lexical or grammatical error with position.
+    Syntax {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        col: usize,
+        /// Description.
+        msg: String,
+    },
+    /// The query references a variable that is never bound.
+    UnboundVariable(String),
+    /// A variable is introduced twice with conflicting definitions.
+    DuplicateVariable(String),
+    /// The query's path heads never mention the database being queried.
+    UnknownDatabase {
+        /// The head the query used.
+        head: String,
+        /// The database actually being queried.
+        database: String,
+    },
+    /// A `select` item is not something the packager can emit.
+    BadSelectItem(String),
+    /// A named query was not found in the registry.
+    UnknownQuery(String),
+    /// A `t[i]` poll-time variable survived to execution (the QSS
+    /// preprocessor must replace them; see Section 6).
+    UnresolvedPollTime(i64),
+    /// Evaluation hit an internal limit (runaway wildcard closure, etc.).
+    LimitExceeded(String),
+}
+
+impl fmt::Display for LorelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LorelError::Syntax { line, col, msg } => {
+                write!(f, "syntax error at {line}:{col}: {msg}")
+            }
+            LorelError::UnboundVariable(v) => write!(f, "unbound variable {v}"),
+            LorelError::DuplicateVariable(v) => {
+                write!(f, "variable {v} is introduced more than once")
+            }
+            LorelError::UnknownDatabase { head, database } => write!(
+                f,
+                "path head {head:?} matches neither a variable nor the database {database:?}"
+            ),
+            LorelError::BadSelectItem(s) => write!(f, "cannot select {s}"),
+            LorelError::UnknownQuery(name) => write!(f, "no query named {name:?} is defined"),
+            LorelError::UnresolvedPollTime(i) => write!(
+                f,
+                "t[{i}] must be resolved by the query subscription service before execution"
+            ),
+            LorelError::LimitExceeded(what) => write!(f, "evaluation limit exceeded: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LorelError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, LorelError>;

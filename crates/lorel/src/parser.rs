@@ -1,0 +1,826 @@
+//! Recursive-descent parser for Lorel/Chorel.
+//!
+//! The only delicate point is `<`: it is both the comparison operator and
+//! the opener of annotation expressions. Annotation expressions appear in
+//! exactly two positions — immediately after a `.` (arc annotations) and
+//! immediately after a step label (node annotations) — and always start
+//! with one of `add`, `rem`, `cre`, `upd`, `at`, so a one-token lookahead
+//! plus backtracking resolves the ambiguity.
+
+use crate::ast::*;
+use crate::error::LorelError;
+use crate::lexer::lex;
+use crate::token::{Keyword, Spanned, Token};
+use oem::Value;
+
+/// A parsed top-level statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    /// A bare query.
+    Query(Query),
+    /// A `define [polling|filter] query NAME as QUERY` statement
+    /// (Section 6's subscription components).
+    Define {
+        /// The declared kind.
+        kind: DefineKind,
+        /// The query's name.
+        name: String,
+        /// The query body.
+        query: Query,
+    },
+}
+
+/// The kind of a `define query` statement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DefineKind {
+    /// `define query`.
+    Plain,
+    /// `define polling query` (a Lorel query sent to the source).
+    Polling,
+    /// `define filter query` (a Chorel query over the QSS DOEM database).
+    Filter,
+}
+
+/// Parse a single query.
+pub fn parse_query(src: &str) -> Result<Query, LorelError> {
+    let mut p = Parser::new(src)?;
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+/// Parse a whole program: one or more statements (defines and/or a query).
+pub fn parse_program(src: &str) -> Result<Vec<Statement>, LorelError> {
+    let mut p = Parser::new(src)?;
+    let mut out = Vec::new();
+    while !p.at_eof() {
+        out.push(p.statement()?);
+        // Optional statement separator.
+        while p.eat_token(&Token::Colon) {}
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Parser, LorelError> {
+        Ok(Parser {
+            tokens: lex(src)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].token
+    }
+
+    fn peek_at(&self, off: usize) -> &Token {
+        &self.tokens[(self.pos + off).min(self.tokens.len() - 1)].token
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].token.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LorelError {
+        let s = &self.tokens[self.pos.min(self.tokens.len() - 1)];
+        LorelError::Syntax {
+            line: s.line,
+            col: s.col,
+            msg: msg.into(),
+        }
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Token::Eof)
+    }
+
+    fn expect_eof(&self) -> Result<(), LorelError> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected trailing input: {}", self.peek())))
+        }
+    }
+
+    fn eat_token(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, k: Keyword) -> bool {
+        if *self.peek() == Token::Keyword(k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, k: Keyword) -> Result<(), LorelError> {
+        if self.eat_keyword(k) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {k:?}, found {}", self.peek())))
+        }
+    }
+
+    fn expect(&mut self, t: Token) -> Result<(), LorelError> {
+        if self.eat_token(&t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {t}, found {}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, LorelError> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    // ---- statements ----
+
+    fn statement(&mut self) -> Result<Statement, LorelError> {
+        if self.eat_keyword(Keyword::Define) {
+            let kind = if self.eat_keyword(Keyword::Polling) {
+                DefineKind::Polling
+            } else if self.eat_keyword(Keyword::Filter) {
+                DefineKind::Filter
+            } else {
+                DefineKind::Plain
+            };
+            self.expect_keyword(Keyword::Query)?;
+            let name = self.ident()?;
+            self.expect_keyword(Keyword::As)?;
+            let query = self.query()?;
+            Ok(Statement::Define { kind, name, query })
+        } else {
+            Ok(Statement::Query(self.query()?))
+        }
+    }
+
+    // ---- queries ----
+
+    fn query(&mut self) -> Result<Query, LorelError> {
+        self.expect_keyword(Keyword::Select)?;
+        let mut select = vec![self.select_item()?];
+        while self.eat_token(&Token::Comma) {
+            select.push(self.select_item()?);
+        }
+        let mut from = Vec::new();
+        if self.eat_keyword(Keyword::From) {
+            from.push(self.parse_from_item()?);
+            while self.eat_token(&Token::Comma) {
+                from.push(self.parse_from_item()?);
+            }
+        }
+        let where_clause = if self.eat_keyword(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Query {
+            select,
+            from,
+            where_clause,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, LorelError> {
+        let expr = self.operand()?;
+        let label = if self.eat_keyword(Keyword::As) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem { expr, label })
+    }
+
+    fn parse_from_item(&mut self) -> Result<FromItem, LorelError> {
+        let path = self.path_expr()?;
+        // An identifier right after the path is the range variable.
+        let var = match self.peek() {
+            Token::Ident(_) => Some(self.ident()?),
+            _ => None,
+        };
+        Ok(FromItem { path, var })
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self) -> Result<Expr, LorelError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, LorelError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_keyword(Keyword::Or) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, LorelError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_keyword(Keyword::And) {
+            let rhs = self.not_expr()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, LorelError> {
+        if self.eat_keyword(Keyword::Not) {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr, LorelError> {
+        if self.eat_keyword(Keyword::Exists) {
+            let var = self.ident()?;
+            self.expect_keyword(Keyword::In)?;
+            let path = self.path_expr()?;
+            self.expect(Token::Colon)?;
+            let pred = self.not_expr()?;
+            return Ok(Expr::Exists {
+                var,
+                path,
+                pred: Box::new(pred),
+            });
+        }
+        if self.eat_token(&Token::LParen) {
+            let inner = self.expr()?;
+            self.expect(Token::RParen)?;
+            return Ok(inner);
+        }
+        let lhs = self.operand()?;
+        let op = match self.peek() {
+            Token::Eq => CmpOp::Eq,
+            Token::Ne => CmpOp::Ne,
+            Token::Lt => CmpOp::Lt,
+            Token::Le => CmpOp::Le,
+            Token::Gt => CmpOp::Gt,
+            Token::Ge => CmpOp::Ge,
+            Token::Keyword(Keyword::Like) => {
+                self.bump();
+                let pattern = self.operand()?;
+                return Ok(Expr::Like {
+                    expr: Box::new(lhs),
+                    pattern: Box::new(pattern),
+                });
+            }
+            _ => return Ok(lhs), // bare path: existence test
+        };
+        self.bump();
+        let rhs = self.operand()?;
+        Ok(Expr::Cmp {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
+    }
+
+    /// A value operand: literal, `t[i]`, or path expression.
+    fn operand(&mut self) -> Result<Expr, LorelError> {
+        match self.peek().clone() {
+            Token::Int(i) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Int(i)))
+            }
+            Token::Real(r) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Real(r)))
+            }
+            Token::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(Value::str(s)))
+            }
+            Token::Time(t) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Time(t)))
+            }
+            Token::Keyword(Keyword::True) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Bool(true)))
+            }
+            Token::Keyword(Keyword::False) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Bool(false)))
+            }
+            Token::Minus => {
+                self.bump();
+                match self.bump() {
+                    Token::Int(i) => Ok(Expr::Literal(Value::Int(-i))),
+                    Token::Real(r) => Ok(Expr::Literal(Value::Real(-r))),
+                    other => Err(self.err(format!("expected a number after '-', found {other}"))),
+                }
+            }
+            Token::Ident(name) if name == "t" && *self.peek_at(1) == Token::LBracket => {
+                self.bump(); // t
+                self.bump(); // [
+                let neg = self.eat_token(&Token::Minus);
+                let i = match self.bump() {
+                    Token::Int(i) => i,
+                    other => {
+                        return Err(self.err(format!("expected an index in t[...], found {other}")))
+                    }
+                };
+                self.expect(Token::RBracket)?;
+                Ok(Expr::PollTime(if neg { -i } else { i }))
+            }
+            Token::Ident(_) => Ok(Expr::Path(self.path_expr()?)),
+            other => Err(self.err(format!("expected an operand, found {other}"))),
+        }
+    }
+
+    // ---- path expressions ----
+
+    fn path_expr(&mut self) -> Result<PathExpr, LorelError> {
+        let head = self.ident()?;
+        let mut steps = Vec::new();
+        while self.eat_token(&Token::Dot) {
+            steps.push(self.path_step()?);
+        }
+        Ok(PathExpr { head, steps })
+    }
+
+    fn path_step(&mut self) -> Result<PathStep, LorelError> {
+        // Arc annotation?
+        let arc_annot = if *self.peek() == Token::Lt {
+            Some(self.arc_annot()?)
+        } else {
+            None
+        };
+        let label = match self.peek().clone() {
+            Token::Hash => {
+                self.bump();
+                LabelPattern::AnyPath
+            }
+            Token::Percent => {
+                self.bump();
+                LabelPattern::AnyLabel
+            }
+            Token::Ident(_) => LabelPattern::Label(self.ident()?),
+            // `(a|b|c)` — Lorel label alternation.
+            Token::LParen => {
+                self.bump();
+                let mut labels = vec![self.ident()?];
+                loop {
+                    if self.eat_token(&Token::Pipe) {
+                        labels.push(self.ident()?);
+                    } else {
+                        self.expect(Token::RParen)?;
+                        break;
+                    }
+                }
+                LabelPattern::Alternation(labels)
+            }
+            // Annotation keywords are contextual; a label may collide with
+            // a reserved word only via quoting, which the textual OEM
+            // format supports but query syntax does not need.
+            other => return Err(self.err(format!("expected a label, found {other}"))),
+        };
+        // Kleene closure: `l*` / `(a|b)*`.
+        let star = self.eat_token(&Token::Star);
+        if star && matches!(label, LabelPattern::AnyPath) {
+            return Err(self.err("`#*` is redundant; `#` already closes over paths"));
+        }
+        if star && arc_annot.is_some() {
+            return Err(self.err(
+                "arc annotation expressions cannot combine with Kleene closure",
+            ));
+        }
+        // Section 7 extension: annotation expressions attach to the
+        // single-arc wildcard `%` ("generalizing to allow such annotation
+        // expressions should not be difficult"). The closure wildcard `#`
+        // still rejects arc annotations — an add/rem requirement on "some
+        // arc along an arbitrary path" has no clear semantics.
+        if label == LabelPattern::AnyPath && arc_annot.is_some() {
+            return Err(self.err(
+                "arc annotation expressions on `#` are not supported (ambiguous scope)",
+            ));
+        }
+        // Node annotation? `<` here is ambiguous with a comparison;
+        // backtrack if it does not parse as an annotation.
+        let node_annot = if *self.peek() == Token::Lt && self.looks_like_node_annot() {
+            let save = self.pos;
+            match self.node_annot() {
+                Ok(a) => Some(a),
+                Err(_) => {
+                    self.pos = save;
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        Ok(PathStep {
+            arc_annot,
+            label,
+            star,
+            node_annot,
+        })
+    }
+
+    fn looks_like_node_annot(&self) -> bool {
+        matches!(self.peek_at(1), Token::Ident(w) if matches!(w.as_str(), "cre" | "upd" | "at"))
+    }
+
+    fn arc_annot(&mut self) -> Result<ArcAnnotExpr, LorelError> {
+        self.expect(Token::Lt)?;
+        let word = self.ident()?;
+        let annot = match word.as_str() {
+            "add" | "rem" => {
+                let at = self.opt_at_var()?;
+                if word == "add" {
+                    ArcAnnotExpr::Add { at }
+                } else {
+                    ArcAnnotExpr::Rem { at }
+                }
+            }
+            "at" => ArcAnnotExpr::AtTime(self.time_ref()?),
+            other => {
+                return Err(self.err(format!(
+                    "expected an arc annotation (add/rem/at), found {other:?}"
+                )))
+            }
+        };
+        self.expect(Token::Gt)?;
+        Ok(annot)
+    }
+
+    fn node_annot(&mut self) -> Result<NodeAnnotExpr, LorelError> {
+        self.expect(Token::Lt)?;
+        let word = self.ident()?;
+        let annot = match word.as_str() {
+            "cre" => NodeAnnotExpr::Cre {
+                at: self.opt_at_var()?,
+            },
+            "upd" => {
+                let mut at = None;
+                let mut from = None;
+                let mut to = None;
+                loop {
+                    match self.peek().clone() {
+                        Token::Ident(w) if w == "at" && at.is_none() => {
+                            self.bump();
+                            at = Some(self.ident()?);
+                        }
+                        Token::Ident(w) if w == "to" && to.is_none() => {
+                            self.bump();
+                            to = Some(self.ident()?);
+                        }
+                        // `from` lexes as a keyword.
+                        Token::Keyword(Keyword::From) if from.is_none() => {
+                            self.bump();
+                            from = Some(self.ident()?);
+                        }
+                        _ => break,
+                    }
+                }
+                NodeAnnotExpr::Upd { at, from, to }
+            }
+            "at" => NodeAnnotExpr::AtTime(self.time_ref()?),
+            other => {
+                return Err(self.err(format!(
+                    "expected a node annotation (cre/upd/at), found {other:?}"
+                )))
+            }
+        };
+        self.expect(Token::Gt)?;
+        Ok(annot)
+    }
+
+    fn opt_at_var(&mut self) -> Result<Option<String>, LorelError> {
+        if matches!(self.peek(), Token::Ident(w) if w == "at") {
+            self.bump();
+            Ok(Some(self.ident()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn time_ref(&mut self) -> Result<TimeRef, LorelError> {
+        match self.peek().clone() {
+            Token::Time(t) => {
+                self.bump();
+                Ok(TimeRef::Literal(t))
+            }
+            Token::Str(s) => {
+                self.bump();
+                s.parse()
+                    .map(TimeRef::Literal)
+                    .map_err(|e| self.err(e.to_string()))
+            }
+            Token::Ident(v) => {
+                self.bump();
+                Ok(TimeRef::Var(v))
+            }
+            other => Err(self.err(format!("expected a time reference, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_4_1_parses() {
+        let q = parse_query(
+            "select guide.restaurant\nwhere guide.restaurant.price < 20.5",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 1);
+        assert!(q.from.is_empty());
+        match &q.where_clause {
+            Some(Expr::Cmp { op: CmpOp::Lt, .. }) => {}
+            other => panic!("unexpected where: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn example_4_2_parses_with_add_annotation() {
+        let q = parse_query("select guide.<add>restaurant").unwrap();
+        let Expr::Path(p) = &q.select[0].expr else {
+            panic!()
+        };
+        assert_eq!(p.steps[0].arc_annot, Some(ArcAnnotExpr::Add { at: None }));
+    }
+
+    #[test]
+    fn example_4_3_rewritten_form_parses() {
+        let q = parse_query(
+            "select R\nfrom guide.<add at T>restaurant R\nwhere T < 4Jan97",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 1);
+        assert_eq!(q.from[0].var.as_deref(), Some("R"));
+        assert_eq!(
+            q.from[0].path.steps[0].arc_annot,
+            Some(ArcAnnotExpr::Add {
+                at: Some("T".into())
+            })
+        );
+    }
+
+    #[test]
+    fn example_4_4_parses() {
+        let q = parse_query(
+            "select N, T, NV\nfrom guide.restaurant.price<upd at T to NV>, guide.restaurant.name N\nwhere T >= 1Jan97 and NV > 15",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 3);
+        assert_eq!(q.from.len(), 2);
+        let price_step = q.from[0].path.steps.last().unwrap();
+        assert_eq!(
+            price_step.node_annot,
+            Some(NodeAnnotExpr::Upd {
+                at: Some("T".into()),
+                from: None,
+                to: Some("NV".into()),
+            })
+        );
+        assert_eq!(q.from[1].var.as_deref(), Some("N"));
+    }
+
+    #[test]
+    fn example_4_5_parses() {
+        let q = parse_query(
+            "select N\nfrom guide.restaurant R, R.name N\nwhere R.<add at T>price = \"moderate\" and T >= 1Jan97",
+        )
+        .unwrap();
+        let Some(Expr::And(lhs, _)) = &q.where_clause else {
+            panic!()
+        };
+        let Expr::Cmp { lhs: path, .. } = lhs.as_ref() else {
+            panic!()
+        };
+        let Expr::Path(p) = path.as_ref() else { panic!() };
+        assert_eq!(p.head, "R");
+        assert_eq!(
+            p.steps[0].arc_annot,
+            Some(ArcAnnotExpr::Add {
+                at: Some("T".into())
+            })
+        );
+    }
+
+    #[test]
+    fn node_annotation_vs_comparison_disambiguates() {
+        // Annotation:
+        let q = parse_query("select guide.restaurant.price<upd>").unwrap();
+        let Expr::Path(p) = &q.select[0].expr else {
+            panic!()
+        };
+        assert!(p.steps[1].node_annot.is_some());
+        // Comparison:
+        let q = parse_query("select x where x.price < 20").unwrap();
+        match &q.where_clause {
+            Some(Expr::Cmp { op: CmpOp::Lt, .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // Comparison against a variable whose name collides with `upd` —
+        // `< upd` only parses as an annotation when it closes with `>`.
+        let q = parse_query("select x where x.price < upd").unwrap();
+        match &q.where_clause {
+            Some(Expr::Cmp { op: CmpOp::Lt, .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn polling_query_with_wildcards_parses() {
+        let q = parse_query(
+            "select guide.restaurant\nwhere guide.restaurant.address.# like \"%Lytton%\"",
+        )
+        .unwrap();
+        let Some(Expr::Like { expr, .. }) = &q.where_clause else {
+            panic!()
+        };
+        let Expr::Path(p) = expr.as_ref() else { panic!() };
+        assert_eq!(p.steps.last().unwrap().label, LabelPattern::AnyPath);
+    }
+
+    #[test]
+    fn define_statements_parse() {
+        let stmts = parse_program(
+            "define polling query LyttonRestaurants as \
+             select guide.restaurant \
+             where guide.restaurant.address.# like \"%Lytton%\"",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 1);
+        match &stmts[0] {
+            Statement::Define { kind, name, .. } => {
+                assert_eq!(*kind, DefineKind::Polling);
+                assert_eq!(name, "LyttonRestaurants");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filter_query_with_poll_time_parses() {
+        let stmts = parse_program(
+            "define filter query NewOnLytton as \
+             select LyttonRestaurants.restaurant<cre at T> \
+             where T > t[-1]",
+        )
+        .unwrap();
+        let Statement::Define { kind, query, .. } = &stmts[0] else {
+            panic!()
+        };
+        assert_eq!(*kind, DefineKind::Filter);
+        match &query.where_clause {
+            Some(Expr::Cmp { rhs, .. }) => assert_eq!(**rhs, Expr::PollTime(-1)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exists_parses() {
+        let q = parse_query(
+            "select N from g.r R, R.name N where exists P in R.price : P = \"moderate\"",
+        )
+        .unwrap();
+        match &q.where_clause {
+            Some(Expr::Exists { var, .. }) => assert_eq!(var, "P"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boolean_precedence_is_not_over_and_over_or() {
+        let q = parse_query("select x where not a = 1 and b = 2 or c = 3").unwrap();
+        // ((not (a=1)) and (b=2)) or (c=3)
+        let Some(Expr::Or(lhs, _)) = &q.where_clause else {
+            panic!("or should be outermost: {:?}", q.where_clause)
+        };
+        let Expr::And(l, _) = lhs.as_ref() else {
+            panic!()
+        };
+        assert!(matches!(l.as_ref(), Expr::Not(_)));
+    }
+
+    #[test]
+    fn virtual_annotations_parse() {
+        let q = parse_query("select guide.restaurant.price<at 2Jan97>").unwrap();
+        let Expr::Path(p) = &q.select[0].expr else {
+            panic!()
+        };
+        assert_eq!(
+            p.steps[1].node_annot,
+            Some(NodeAnnotExpr::AtTime(TimeRef::Literal(
+                "2Jan97".parse().unwrap()
+            )))
+        );
+        let q = parse_query("select guide.<at T>restaurant").unwrap();
+        let Expr::Path(p) = &q.select[0].expr else {
+            panic!()
+        };
+        assert_eq!(
+            p.steps[0].arc_annot,
+            Some(ArcAnnotExpr::AtTime(TimeRef::Var("T".into())))
+        );
+    }
+
+    #[test]
+    fn annotated_wildcards() {
+        // Section 7 extension: `%` accepts annotations; `#` accepts node
+        // annotations but not arc annotations.
+        let q = parse_query("select guide.<add at T>%").unwrap();
+        let Expr::Path(p) = &q.select[0].expr else { panic!() };
+        assert_eq!(p.steps[0].label, LabelPattern::AnyLabel);
+        assert!(p.steps[0].arc_annot.is_some());
+        let q = parse_query("select guide.#<cre at T>").unwrap();
+        let Expr::Path(p) = &q.select[0].expr else { panic!() };
+        assert!(p.steps[0].node_annot.is_some());
+        assert!(parse_query("select guide.<add>#").is_err());
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_query("select").unwrap_err();
+        assert!(matches!(err, LorelError::Syntax { .. }));
+        assert!(parse_query("select x where").is_err());
+        assert!(parse_query("select x from").is_err());
+        assert!(parse_query("where x = 1").is_err());
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        for src in [
+            "select guide.<add at T>restaurant\nwhere T < 4Jan97",
+            "select N, T, NV\nfrom guide.restaurant R, R.price P, R.name N\nwhere (T >= 1Jan97 and NV > 15)",
+            "select R\nfrom guide.restaurant R\nwhere exists P in R.price : (P = \"moderate\")",
+        ] {
+            let q = parse_query(src).unwrap();
+            let printed = q.to_string();
+            let q2 = parse_query(&printed).unwrap();
+            assert_eq!(q, q2, "round trip failed for {src:?} -> {printed:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod fuzz_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+        /// The parser must reject garbage with an error, never panic.
+        #[test]
+        fn parser_never_panics_on_arbitrary_input(src in "\\PC{0,80}") {
+            let _ = parse_query(&src);
+            let _ = parse_program(&src);
+            let _ = crate::update::parse_update(&src);
+        }
+
+        /// Query-shaped fragments assembled from grammar atoms also never
+        /// panic, and successfully parsed queries re-parse from their
+        /// display form.
+        #[test]
+        fn display_of_parsed_queries_reparses(
+            parts in proptest::collection::vec(
+                proptest::sample::select(vec![
+                    "select", "from", "where", "guide", ".", "restaurant",
+                    "<add at T>", "<upd from OV to NV>", "price", "#", "%",
+                    "*", "(a|b)", "R", ",", "=", "<", "\"x\"", "10", "1Jan97",
+                    "and", "or", "not", "exists", "in", ":", "t[-1]", "like",
+                ]),
+                1..14,
+            )
+        ) {
+            let src = parts.join(" ");
+            if let Ok(q) = parse_query(&src) {
+                let printed = q.to_string();
+                let again = parse_query(&printed);
+                prop_assert!(again.is_ok(), "display {printed:?} failed to reparse");
+                prop_assert_eq!(q, again.unwrap());
+            }
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Tokens of the Lorel/Chorel surface syntax.
+
+use oem::Timestamp;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Identifier or label (`guide`, `restaurant`, `nearby-eats`).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// String literal (double quoted).
+    Str(String),
+    /// Bare timestamp literal (`4Jan97`).
+    Time(Timestamp),
+    /// Keyword (lowercased reserved word).
+    Keyword(Keyword),
+    /// `.`
+    Dot,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `!=` (also `<>`)
+    Ne,
+    /// `#` — matches an arbitrary path of length ≥ 0
+    Hash,
+    /// `%` — matches exactly one arc with any label
+    Percent,
+    /// `*` — Kleene closure on the preceding label pattern
+    Star,
+    /// `|` — separates alternatives in `(a|b)` label patterns
+    Pipe,
+    /// `-` (unary minus in `t[-1]` and negative literals)
+    Minus,
+    /// `:` (used in annotation sugar and reserved for extensions)
+    Colon,
+    /// End of input.
+    Eof,
+}
+
+/// Reserved words. Annotation words (`add`, `rem`, `cre`, `upd`, `at`,
+/// `from`, `to`) are *not* globally reserved — `from` is, but inside
+/// `<...>` the parser interprets identifiers contextually.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Keyword {
+    /// `select`
+    Select,
+    /// `from`
+    From,
+    /// `where`
+    Where,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+    /// `exists`
+    Exists,
+    /// `in`
+    In,
+    /// `like`
+    Like,
+    /// `define`
+    Define,
+    /// `query`
+    Query,
+    /// `as`
+    As,
+    /// `polling`
+    Polling,
+    /// `filter`
+    Filter,
+    /// `true`
+    True,
+    /// `false`
+    False,
+}
+
+impl Keyword {
+    /// Look up a lowercase word.
+    pub fn from_word(w: &str) -> Option<Keyword> {
+        Some(match w {
+            "select" => Keyword::Select,
+            "from" => Keyword::From,
+            "where" => Keyword::Where,
+            "and" => Keyword::And,
+            "or" => Keyword::Or,
+            "not" => Keyword::Not,
+            "exists" => Keyword::Exists,
+            "in" => Keyword::In,
+            "like" => Keyword::Like,
+            "define" => Keyword::Define,
+            "query" => Keyword::Query,
+            "as" => Keyword::As,
+            "polling" => Keyword::Polling,
+            "filter" => Keyword::Filter,
+            "true" => Keyword::True,
+            "false" => Keyword::False,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Real(r) => write!(f, "{r}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::Time(t) => write!(f, "{t}"),
+            Token::Keyword(k) => write!(f, "{}", format!("{k:?}").to_lowercase()),
+            Token::Dot => f.write_str("."),
+            Token::Comma => f.write_str(","),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::LBracket => f.write_str("["),
+            Token::RBracket => f.write_str("]"),
+            Token::Lt => f.write_str("<"),
+            Token::Gt => f.write_str(">"),
+            Token::Le => f.write_str("<="),
+            Token::Ge => f.write_str(">="),
+            Token::Eq => f.write_str("="),
+            Token::Ne => f.write_str("!="),
+            Token::Hash => f.write_str("#"),
+            Token::Percent => f.write_str("%"),
+            Token::Star => f.write_str("*"),
+            Token::Pipe => f.write_str("|"),
+            Token::Minus => f.write_str("-"),
+            Token::Colon => f.write_str(":"),
+            Token::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// A token plus its 1-based source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}

@@ -1,0 +1,60 @@
+//! Labeled arcs.
+
+use crate::{Label, NodeId};
+use std::fmt;
+
+/// A labeled, directed arc `(p, l, c)`: the object `c` is an `l`-labeled
+/// subobject (child) of the complex object `p` (Definition 2.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArcTriple {
+    /// Parent (source) object.
+    pub parent: NodeId,
+    /// Arc label.
+    pub label: Label,
+    /// Child (target) object.
+    pub child: NodeId,
+}
+
+impl ArcTriple {
+    /// Construct an arc triple.
+    pub fn new(parent: NodeId, label: impl Into<Label>, child: NodeId) -> ArcTriple {
+        ArcTriple {
+            parent,
+            label: label.into(),
+            child,
+        }
+    }
+}
+
+impl fmt::Debug for ArcTriple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.parent, self.label, self.child)
+    }
+}
+
+impl fmt::Display for ArcTriple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_paper_triple_notation() {
+        let a = ArcTriple::new(NodeId::from_raw(4), "restaurant", NodeId::from_raw(2));
+        assert_eq!(a.to_string(), "(n4, restaurant, n2)");
+    }
+
+    #[test]
+    fn arcs_are_set_elements() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        let a = ArcTriple::new(NodeId::from_raw(1), "a", NodeId::from_raw(2));
+        set.insert(a);
+        assert!(set.contains(&ArcTriple::new(NodeId::from_raw(1), "a", NodeId::from_raw(2))));
+        assert!(!set.contains(&ArcTriple::new(NodeId::from_raw(1), "b", NodeId::from_raw(2))));
+    }
+}

@@ -1,0 +1,155 @@
+//! Ergonomic construction of OEM graphs.
+//!
+//! [`GraphBuilder`] wraps an [`OemDatabase`] with handle-based helpers so
+//! fixtures and tests can express graphs (including shared subobjects and
+//! cycles) without spelling out every arc triple. `finish` checks the
+//! Definition 2.1 invariants, so a builder cannot hand back a malformed
+//! database.
+
+use crate::{ArcTriple, Label, NodeId, OemDatabase, Value};
+
+/// A fluent builder over a fresh [`OemDatabase`].
+#[derive(Debug)]
+pub struct GraphBuilder {
+    db: OemDatabase,
+}
+
+impl GraphBuilder {
+    /// Start a database named `name` with an auto-id root.
+    pub fn new(name: impl Into<String>) -> GraphBuilder {
+        GraphBuilder {
+            db: OemDatabase::new(name),
+        }
+    }
+
+    /// Start a database whose root carries a chosen id (paper-figure
+    /// numbering).
+    pub fn with_root_id(name: impl Into<String>, root: u64) -> GraphBuilder {
+        GraphBuilder {
+            db: OemDatabase::with_root_id(name, NodeId::from_raw(root)),
+        }
+    }
+
+    /// The root object.
+    pub fn root(&self) -> NodeId {
+        self.db.root()
+    }
+
+    /// Create a detached atomic object.
+    pub fn atom(&mut self, value: impl Into<Value>) -> NodeId {
+        self.db.create_node(value.into())
+    }
+
+    /// Create a detached atomic object with a chosen id.
+    pub fn atom_with_id(&mut self, id: u64, value: impl Into<Value>) -> NodeId {
+        let n = NodeId::from_raw(id);
+        self.db
+            .create_node_with_id(n, value.into())
+            .expect("builder ids must be fresh");
+        n
+    }
+
+    /// Create a detached complex object.
+    pub fn complex(&mut self) -> NodeId {
+        self.db.create_node(Value::Complex)
+    }
+
+    /// Create a detached complex object with a chosen id.
+    pub fn complex_with_id(&mut self, id: u64) -> NodeId {
+        let n = NodeId::from_raw(id);
+        self.db
+            .create_node_with_id(n, Value::Complex)
+            .expect("builder ids must be fresh");
+        n
+    }
+
+    /// Add an arc `(parent, label, child)` between existing objects.
+    pub fn arc(&mut self, parent: NodeId, label: impl Into<Label>, child: NodeId) -> &mut Self {
+        self.db
+            .insert_arc(ArcTriple::new(parent, label, child))
+            .expect("builder arcs must be well-formed");
+        self
+    }
+
+    /// Create an atomic child: `parent --label--> new_atom(value)`.
+    pub fn atom_child(
+        &mut self,
+        parent: NodeId,
+        label: impl Into<Label>,
+        value: impl Into<Value>,
+    ) -> NodeId {
+        let c = self.atom(value);
+        self.arc(parent, label, c);
+        c
+    }
+
+    /// Create a complex child: `parent --label--> new_complex`.
+    pub fn complex_child(&mut self, parent: NodeId, label: impl Into<Label>) -> NodeId {
+        let c = self.complex();
+        self.arc(parent, label, c);
+        c
+    }
+
+    /// Finish building; panics if the graph violates Definition 2.1
+    /// (fixtures are programmer-authored, so violations are bugs).
+    pub fn finish(self) -> OemDatabase {
+        if let Err(msg) = self.db.check_invariants() {
+            panic!("GraphBuilder produced an invalid database: {msg}");
+        }
+        self.db
+    }
+
+    /// Access the database mid-build (e.g. for assertions in tests).
+    pub fn db(&self) -> &OemDatabase {
+        &self.db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_structures() {
+        let mut b = GraphBuilder::new("guide");
+        let root = b.root();
+        let rest = b.complex_child(root, "restaurant");
+        b.atom_child(rest, "name", "Bangkok Cuisine");
+        b.atom_child(rest, "price", 10);
+        let db = b.finish();
+        assert_eq!(db.node_count(), 4);
+        assert_eq!(db.arc_count(), 3);
+    }
+
+    #[test]
+    fn supports_shared_children_and_cycles() {
+        let mut b = GraphBuilder::new("g");
+        let root = b.root();
+        let r1 = b.complex_child(root, "restaurant");
+        let r2 = b.complex_child(root, "restaurant");
+        let lot = b.complex_child(r1, "parking");
+        b.arc(r2, "parking", lot);
+        b.arc(lot, "nearby-eats", r1); // cycle r1 -> lot -> r1
+        let db = b.finish();
+        assert_eq!(db.parents(lot).len(), 2);
+        db.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable")]
+    fn finish_rejects_detached_nodes() {
+        let mut b = GraphBuilder::new("g");
+        b.atom("orphan");
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn chosen_ids_are_respected() {
+        let mut b = GraphBuilder::with_root_id("guide", 4);
+        assert_eq!(b.root().raw(), 4);
+        let price = b.atom_with_id(1, 10);
+        b.arc(b.root(), "price", price);
+        let db = b.finish();
+        assert_eq!(db.value(NodeId::from_raw(1)).unwrap(), &Value::Int(10));
+    }
+}

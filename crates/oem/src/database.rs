@@ -1,0 +1,496 @@
+//! The OEM database: a rooted, labeled graph of objects.
+//!
+//! Definition 2.1: an OEM database is `(N, A, v, r)` — object identifiers,
+//! labeled directed arcs, a value function, and a distinguished root. Only
+//! complex objects (value `C`) have outgoing arcs, and every node must be
+//! reachable from the root.
+//!
+//! Reachability is *enforced lazily*: while a change set is being applied,
+//! unreachable objects are permitted (Section 2.2), and
+//! [`OemDatabase::collect_garbage`] removes them at change-set boundaries.
+//! Collected ids are retired forever — Section 2.2 assumes deleted ids are
+//! never reused — so `creNode` on a previously used id is rejected.
+
+use crate::{ArcTriple, Label, NodeId, OemError, Result, Value};
+use std::collections::{BTreeMap, HashSet};
+
+/// Per-node storage: the value and outgoing arcs in insertion order.
+#[derive(Clone, Debug)]
+struct NodeData {
+    value: Value,
+    /// Outgoing arcs in insertion order. Order is not semantically
+    /// meaningful in OEM (arcs form a set) but deterministic order keeps
+    /// printing, diffing and query results stable.
+    out: Vec<(Label, NodeId)>,
+}
+
+/// A rooted OEM database.
+#[derive(Clone, Debug)]
+pub struct OemDatabase {
+    /// The database name; the first component of a Lorel path expression
+    /// resolves against it (e.g. `guide` in `guide.restaurant.price`).
+    name: String,
+    root: NodeId,
+    nodes: BTreeMap<NodeId, NodeData>,
+    /// Fast arc-membership checks (addArc/remArc preconditions).
+    arc_set: HashSet<ArcTriple>,
+    /// Ids that were used once and have been garbage-collected.
+    retired: HashSet<NodeId>,
+    /// Next id handed out by [`OemDatabase::create_node`].
+    next_id: u64,
+}
+
+impl OemDatabase {
+    /// Create a database named `name` with a fresh complex root object.
+    pub fn new(name: impl Into<String>) -> OemDatabase {
+        OemDatabase::with_root_id(name, NodeId(1))
+    }
+
+    /// Create a database whose root object has a chosen id. Used by
+    /// fixtures that reproduce the paper's figures with the paper's node
+    /// numbering (the Guide root is `n4`).
+    pub fn with_root_id(name: impl Into<String>, root: NodeId) -> OemDatabase {
+        let mut nodes = BTreeMap::new();
+        nodes.insert(
+            root,
+            NodeData {
+                value: Value::Complex,
+                out: Vec::new(),
+            },
+        );
+        OemDatabase {
+            name: name.into(),
+            root,
+            nodes,
+            arc_set: HashSet::new(),
+            retired: HashSet::new(),
+            next_id: root.0 + 1,
+        }
+    }
+
+    /// The database name (the implicit first label of path expressions).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the database.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The distinguished root object.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of objects currently in the database.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of arcs currently in the database.
+    pub fn arc_count(&self) -> usize {
+        self.arc_set.len()
+    }
+
+    /// Whether `n` is currently an object of the database.
+    pub fn contains_node(&self, n: NodeId) -> bool {
+        self.nodes.contains_key(&n)
+    }
+
+    /// Whether the arc `(p, l, c)` is currently present.
+    pub fn contains_arc(&self, arc: ArcTriple) -> bool {
+        self.arc_set.contains(&arc)
+    }
+
+    /// The value of object `n`.
+    pub fn value(&self, n: NodeId) -> Result<&Value> {
+        self.nodes
+            .get(&n)
+            .map(|d| &d.value)
+            .ok_or(OemError::NoSuchNode(n))
+    }
+
+    /// `true` iff `n` exists and is a complex object.
+    pub fn is_complex(&self, n: NodeId) -> bool {
+        matches!(self.nodes.get(&n), Some(d) if d.value.is_complex())
+    }
+
+    /// Outgoing arcs of `n` in insertion order (empty for atomic objects).
+    pub fn children(&self, n: NodeId) -> &[(Label, NodeId)] {
+        self.nodes.get(&n).map(|d| d.out.as_slice()).unwrap_or(&[])
+    }
+
+    /// The `l`-labeled children of `n`, in insertion order.
+    pub fn children_labeled<'a>(
+        &'a self,
+        n: NodeId,
+        l: Label,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.children(n)
+            .iter()
+            .filter(move |(label, _)| *label == l)
+            .map(|&(_, c)| c)
+    }
+
+    /// All object ids, ascending.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// All arcs, grouped by parent in id order, then insertion order.
+    pub fn arcs(&self) -> impl Iterator<Item = ArcTriple> + '_ {
+        self.nodes.iter().flat_map(|(&p, d)| {
+            d.out
+                .iter()
+                .map(move |&(label, child)| ArcTriple { parent: p, label, child })
+        })
+    }
+
+    /// The distinct labels on arcs out of `n`.
+    pub fn out_labels(&self, n: NodeId) -> Vec<Label> {
+        let mut seen = Vec::new();
+        for &(l, _) in self.children(n) {
+            if !seen.contains(&l) {
+                seen.push(l);
+            }
+        }
+        seen
+    }
+
+    /// Parents of `c`: every `(p, l)` with an arc `(p, l, c)`.
+    ///
+    /// O(|A|); incoming adjacency is not indexed because nothing in the hot
+    /// paths needs it — diffing and GC both walk outgoing arcs.
+    pub fn parents(&self, c: NodeId) -> Vec<(NodeId, Label)> {
+        self.arcs()
+            .filter(|a| a.child == c)
+            .map(|a| (a.parent, a.label))
+            .collect()
+    }
+
+    // ---- low-level mutation (validity is the ops layer's concern) ----
+
+    /// Hand out a fresh id without creating a node yet. Useful for building
+    /// `creNode` operations ahead of applying them: the returned id stays
+    /// fresh (a later `creNode` with it succeeds) but will never be handed
+    /// out again by this database.
+    pub fn alloc_id(&mut self) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// `true` iff `n` was never used as an object id.
+    pub fn is_fresh(&self, n: NodeId) -> bool {
+        !self.nodes.contains_key(&n) && !self.retired.contains(&n)
+    }
+
+    /// Create a node with a caller-chosen fresh id (the paper's
+    /// `creNode(n, v)` shape). Fails with [`OemError::IdNotFresh`] if the id
+    /// was ever used.
+    pub fn create_node_with_id(&mut self, n: NodeId, value: Value) -> Result<()> {
+        if !self.is_fresh(n) {
+            return Err(OemError::IdNotFresh(n));
+        }
+        self.nodes.insert(
+            n,
+            NodeData {
+                value,
+                out: Vec::new(),
+            },
+        );
+        if n.0 >= self.next_id {
+            self.next_id = n.0 + 1;
+        }
+        Ok(())
+    }
+
+    /// Create a node with an auto-allocated id.
+    pub fn create_node(&mut self, value: Value) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        self.nodes.insert(
+            id,
+            NodeData {
+                value,
+                out: Vec::new(),
+            },
+        );
+        id
+    }
+
+    /// Overwrite the value of `n` unconditionally (no paper preconditions;
+    /// see [`crate::ChangeOp::UpdNode`] for the checked path).
+    pub fn set_value(&mut self, n: NodeId, value: Value) -> Result<()> {
+        let data = self.nodes.get_mut(&n).ok_or(OemError::NoSuchNode(n))?;
+        data.value = value;
+        Ok(())
+    }
+
+    /// Insert the arc `(p, l, c)`. Checks only existence/duplication, not
+    /// parent complexity (see [`crate::ChangeOp::AddArc`] for full checks).
+    pub fn insert_arc(&mut self, arc: ArcTriple) -> Result<()> {
+        if !self.nodes.contains_key(&arc.parent) {
+            return Err(OemError::NoSuchNode(arc.parent));
+        }
+        if !self.nodes.contains_key(&arc.child) {
+            return Err(OemError::NoSuchNode(arc.child));
+        }
+        if !self.arc_set.insert(arc) {
+            return Err(OemError::ArcExists(arc));
+        }
+        self.nodes
+            .get_mut(&arc.parent)
+            .expect("parent checked above")
+            .out
+            .push((arc.label, arc.child));
+        Ok(())
+    }
+
+    /// Remove the arc `(p, l, c)`.
+    pub fn delete_arc(&mut self, arc: ArcTriple) -> Result<()> {
+        if !self.arc_set.remove(&arc) {
+            return Err(OemError::NoSuchArc(arc));
+        }
+        let out = &mut self
+            .nodes
+            .get_mut(&arc.parent)
+            .expect("arc_set implies parent exists")
+            .out;
+        let pos = out
+            .iter()
+            .position(|&(l, c)| l == arc.label && c == arc.child)
+            .expect("arc_set and adjacency agree");
+        out.remove(pos);
+        Ok(())
+    }
+
+    /// The set of nodes reachable from the root by directed paths.
+    pub fn reachable(&self) -> HashSet<NodeId> {
+        let mut seen = HashSet::with_capacity(self.nodes.len());
+        let mut stack = vec![self.root];
+        seen.insert(self.root);
+        while let Some(n) = stack.pop() {
+            for &(_, c) in self.children(n) {
+                if seen.insert(c) {
+                    stack.push(c);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Remove (and retire the ids of) every object unreachable from the
+    /// root, together with arcs among removed objects. Returns the removed
+    /// ids in ascending order.
+    ///
+    /// This implements OEM's deletion-by-unreachability (Section 2.1) and is
+    /// invoked at change-set boundaries (Section 2.2).
+    pub fn collect_garbage(&mut self) -> Vec<NodeId> {
+        let live = self.reachable();
+        let dead: Vec<NodeId> = self
+            .nodes
+            .keys()
+            .copied()
+            .filter(|n| !live.contains(n))
+            .collect();
+        for &n in &dead {
+            let data = self.nodes.remove(&n).expect("listed above");
+            for (label, child) in data.out {
+                self.arc_set.remove(&ArcTriple {
+                    parent: n,
+                    label,
+                    child,
+                });
+            }
+            self.retired.insert(n);
+        }
+        // Arcs *into* dead nodes can only originate from dead nodes (a live
+        // parent would make the child live), so the loop above removed them
+        // all; assert that in debug builds.
+        debug_assert!(self.arcs().all(|a| live.contains(&a.child)));
+        dead
+    }
+
+    /// Check the Definition 2.1 invariants; used by tests and debug
+    /// assertions. Returns a human-readable violation if any.
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        if !self.nodes.contains_key(&self.root) {
+            return Err(format!("root {} is not an object", self.root));
+        }
+        for (&n, data) in &self.nodes {
+            if data.value.is_atomic() && !data.out.is_empty() {
+                return Err(format!("atomic object {n} has outgoing arcs"));
+            }
+            let mut seen = HashSet::new();
+            for &(l, c) in &data.out {
+                if !self.nodes.contains_key(&c) {
+                    return Err(format!("dangling arc ({n}, {l}, {c})"));
+                }
+                if !seen.insert((l, c)) {
+                    return Err(format!("duplicate arc ({n}, {l}, {c})"));
+                }
+                if !self.arc_set.contains(&ArcTriple {
+                    parent: n,
+                    label: l,
+                    child: c,
+                }) {
+                    return Err(format!("arc ({n}, {l}, {c}) missing from arc set"));
+                }
+            }
+        }
+        if self.arc_set.len() != self.nodes.values().map(|d| d.out.len()).sum::<usize>() {
+            return Err("arc set and adjacency lists disagree".to_string());
+        }
+        let live = self.reachable();
+        if live.len() != self.nodes.len() {
+            let orphan = self
+                .nodes
+                .keys()
+                .find(|n| !live.contains(n))
+                .expect("count mismatch implies an orphan");
+            return Err(format!("object {orphan} is unreachable from the root"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for OemDatabase {
+    fn default() -> OemDatabase {
+        OemDatabase::new("db")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (OemDatabase, NodeId, NodeId) {
+        let mut db = OemDatabase::new("guide");
+        let a = db.create_node(Value::Complex);
+        let b = db.create_node(Value::Int(10));
+        db.insert_arc(ArcTriple::new(db.root(), "restaurant", a))
+            .unwrap();
+        db.insert_arc(ArcTriple::new(a, "price", b)).unwrap();
+        (db, a, b)
+    }
+
+    #[test]
+    fn fresh_database_has_complex_root() {
+        let db = OemDatabase::new("guide");
+        assert_eq!(db.name(), "guide");
+        assert!(db.is_complex(db.root()));
+        assert_eq!(db.node_count(), 1);
+        assert_eq!(db.arc_count(), 0);
+        db.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn arcs_and_children_agree() {
+        let (db, a, b) = tiny();
+        assert_eq!(db.children(db.root()), &[(Label::new("restaurant"), a)]);
+        assert_eq!(
+            db.children_labeled(a, Label::new("price")).collect::<Vec<_>>(),
+            vec![b]
+        );
+        assert_eq!(db.arc_count(), 2);
+        assert!(db.contains_arc(ArcTriple::new(a, "price", b)));
+        db.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_arc_is_rejected() {
+        let (mut db, a, b) = tiny();
+        let err = db.insert_arc(ArcTriple::new(a, "price", b)).unwrap_err();
+        assert!(matches!(err, OemError::ArcExists(_)));
+    }
+
+    #[test]
+    fn parallel_arcs_with_different_labels_are_fine() {
+        let (mut db, a, b) = tiny();
+        db.insert_arc(ArcTriple::new(a, "cost", b)).unwrap();
+        assert_eq!(db.children(a).len(), 2);
+        db.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn delete_arc_removes_exactly_one() {
+        let (mut db, a, b) = tiny();
+        db.delete_arc(ArcTriple::new(a, "price", b)).unwrap();
+        assert!(!db.contains_arc(ArcTriple::new(a, "price", b)));
+        assert!(db
+            .delete_arc(ArcTriple::new(a, "price", b))
+            .is_err());
+    }
+
+    #[test]
+    fn gc_removes_unreachable_and_retires_ids() {
+        let (mut db, a, b) = tiny();
+        db.delete_arc(ArcTriple::new(db.root(), "restaurant", a))
+            .unwrap();
+        let dead = db.collect_garbage();
+        assert_eq!(dead, vec![a, b]);
+        assert!(!db.contains_node(a));
+        // Retired ids are not fresh.
+        assert!(!db.is_fresh(a));
+        assert!(matches!(
+            db.create_node_with_id(a, Value::Int(1)),
+            Err(OemError::IdNotFresh(_))
+        ));
+        db.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn gc_keeps_cycles_reachable_from_root() {
+        let mut db = OemDatabase::new("g");
+        let a = db.create_node(Value::Complex);
+        let b = db.create_node(Value::Complex);
+        db.insert_arc(ArcTriple::new(db.root(), "x", a)).unwrap();
+        db.insert_arc(ArcTriple::new(a, "to", b)).unwrap();
+        db.insert_arc(ArcTriple::new(b, "back", a)).unwrap();
+        assert!(db.collect_garbage().is_empty());
+        // Cut the cycle off the root: both nodes die together.
+        db.delete_arc(ArcTriple::new(db.root(), "x", a)).unwrap();
+        let dead = db.collect_garbage();
+        assert_eq!(dead.len(), 2);
+        db.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn explicit_ids_bump_the_allocator() {
+        let mut db = OemDatabase::new("g");
+        db.create_node_with_id(NodeId::from_raw(100), Value::Int(5))
+            .unwrap();
+        let next = db.create_node(Value::Int(6));
+        assert!(next.raw() > 100);
+    }
+
+    #[test]
+    fn multiple_incoming_arcs_share_a_child() {
+        // Figure 2's n7 ("Lytton lot 2") has two incoming parking arcs.
+        let mut db = OemDatabase::new("g");
+        let r1 = db.create_node(Value::Complex);
+        let r2 = db.create_node(Value::Complex);
+        let lot = db.create_node(Value::str("Lytton lot 2"));
+        db.insert_arc(ArcTriple::new(db.root(), "restaurant", r1))
+            .unwrap();
+        db.insert_arc(ArcTriple::new(db.root(), "restaurant", r2))
+            .unwrap();
+        db.insert_arc(ArcTriple::new(r1, "parking", lot)).unwrap();
+        db.insert_arc(ArcTriple::new(r2, "parking", lot)).unwrap();
+        assert_eq!(db.parents(lot).len(), 2);
+        db.check_invariants().unwrap();
+        // Removing one incoming arc keeps the shared child alive.
+        db.delete_arc(ArcTriple::new(r1, "parking", lot)).unwrap();
+        assert!(db.collect_garbage().is_empty());
+        assert!(db.contains_node(lot));
+    }
+
+    #[test]
+    fn invariant_checker_catches_atomic_with_children() {
+        let (mut db, a, _) = tiny();
+        db.set_value(a, Value::Int(3)).unwrap(); // a still has a child arc
+        assert!(db.check_invariants().is_err());
+    }
+}

@@ -1,0 +1,309 @@
+//! Database equality.
+//!
+//! Two notions are used throughout the test suites:
+//!
+//! * [`same_database`] — identity-level equality: same ids, same values,
+//!   same arc set. This is what "D(O₀(D), H(D)) = D"-style round-trip
+//!   properties need.
+//! * [`isomorphic`] — structural equality up to a renaming of node ids,
+//!   needed when comparing databases built through different routes (e.g.
+//!   a diff-reconstructed snapshot whose ids differ from the original's).
+//!
+//! Isomorphism of rooted labeled graphs is decided by iterated color
+//! refinement (1-WL) followed by a backtracking search over the (usually
+//! tiny) ambiguous classes. Databases in this project are small-to-medium
+//! and highly value-labeled, so refinement almost always singles out a
+//! unique matching.
+
+use crate::{Label, NodeId, OemDatabase, Value};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+
+/// Identity-level equality: same name is *not* required, but node ids,
+/// values, root and arcs must coincide exactly.
+pub fn same_database(a: &OemDatabase, b: &OemDatabase) -> bool {
+    if a.root() != b.root() || a.node_count() != b.node_count() || a.arc_count() != b.arc_count()
+    {
+        return false;
+    }
+    for n in a.node_ids() {
+        match (a.value(n), b.value(n)) {
+            (Ok(va), Ok(vb)) if va == vb => {}
+            _ => return false,
+        }
+    }
+    a.arcs().all(|arc| b.contains_arc(arc))
+}
+
+fn hash64(h: impl Hash) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    h.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// One round of color refinement: a node's new color hashes its old color
+/// with the multiset of (label, child color) pairs.
+fn refine(db: &OemDatabase, colors: &HashMap<NodeId, u64>) -> HashMap<NodeId, u64> {
+    let mut next = HashMap::with_capacity(colors.len());
+    for n in db.node_ids() {
+        let mut sig: Vec<(Label, u64)> = db
+            .children(n)
+            .iter()
+            .map(|&(l, c)| (l, colors[&c]))
+            .collect();
+        sig.sort();
+        next.insert(n, hash64((colors[&n], sig)));
+    }
+    next
+}
+
+fn initial_colors(db: &OemDatabase) -> HashMap<NodeId, u64> {
+    db.node_ids()
+        .map(|n| {
+            let v: &Value = db.value(n).expect("iterating own ids");
+            let root_tag = n == db.root();
+            (n, hash64((root_tag, v)))
+        })
+        .collect()
+}
+
+/// Partition nodes by color.
+fn classes(colors: &HashMap<NodeId, u64>) -> BTreeMap<u64, Vec<NodeId>> {
+    let mut m: BTreeMap<u64, Vec<NodeId>> = BTreeMap::new();
+    for (&n, &c) in colors {
+        m.entry(c).or_default().push(n);
+    }
+    for v in m.values_mut() {
+        v.sort();
+    }
+    m
+}
+
+/// Check whether a complete mapping `a -> b` is an isomorphism.
+fn is_valid_mapping(a: &OemDatabase, b: &OemDatabase, map: &HashMap<NodeId, NodeId>) -> bool {
+    if map.get(&a.root()) != Some(&b.root()) {
+        return false;
+    }
+    for n in a.node_ids() {
+        let m = map[&n];
+        if a.value(n).ok() != b.value(m).ok() {
+            return false;
+        }
+        let mut ca: Vec<(Label, NodeId)> = a
+            .children(n)
+            .iter()
+            .map(|&(l, c)| (l, map[&c]))
+            .collect();
+        let mut cb: Vec<(Label, NodeId)> = b.children(m).to_vec();
+        ca.sort();
+        cb.sort();
+        if ca != cb {
+            return false;
+        }
+    }
+    true
+}
+
+/// Structural equality of two rooted databases up to node renaming.
+///
+/// Complete for the graphs in this project; on pathological highly-regular
+/// graphs the bounded backtracking may give a false negative (never a false
+/// positive), which is the safe direction for tests.
+pub fn isomorphic(a: &OemDatabase, b: &OemDatabase) -> bool {
+    if a.node_count() != b.node_count() || a.arc_count() != b.arc_count() {
+        return false;
+    }
+    let mut ca = initial_colors(a);
+    let mut cb = initial_colors(b);
+    // |N| rounds suffice for 1-WL to stabilize.
+    for _ in 0..a.node_count().max(1) {
+        let na = refine(a, &ca);
+        let nb = refine(b, &cb);
+        let stable = classes(&na).len() == classes(&ca).len();
+        ca = na;
+        cb = nb;
+        if stable {
+            break;
+        }
+    }
+    let pa = classes(&ca);
+    let pb = classes(&cb);
+    if pa.len() != pb.len() {
+        return false;
+    }
+    let mut groups = Vec::new();
+    for ((col_a, nodes_a), (col_b, nodes_b)) in pa.into_iter().zip(pb) {
+        if col_a != col_b || nodes_a.len() != nodes_b.len() {
+            return false;
+        }
+        groups.push((nodes_a, nodes_b));
+    }
+    // Sort ambiguous classes first ascending so the search fails fast.
+    groups.sort_by_key(|(ga, _)| ga.len());
+    // Per-class `used` flags: since we process one class fully before the
+    // next, a single flag vector sized to the largest class works if reset
+    // per class — simpler: give each class its own flags by offsetting.
+    // We run the search class-by-class with one shared map, recursing
+    // through classes; flags are per current class.
+    fn solve(
+        a: &OemDatabase,
+        b: &OemDatabase,
+        groups: &[(Vec<NodeId>, Vec<NodeId>)],
+        gi: usize,
+        map: &mut HashMap<NodeId, NodeId>,
+        budget: &mut usize,
+    ) -> bool {
+        if gi == groups.len() {
+            return is_valid_mapping(a, b, map);
+        }
+        let mut used = vec![false; groups[gi].1.len()];
+        backtrack_class(a, b, groups, gi, 0, &mut used, map, budget)
+    }
+    #[allow(clippy::too_many_arguments)]
+    fn backtrack_class(
+        a: &OemDatabase,
+        b: &OemDatabase,
+        groups: &[(Vec<NodeId>, Vec<NodeId>)],
+        gi: usize,
+        ii: usize,
+        used: &mut [bool],
+        map: &mut HashMap<NodeId, NodeId>,
+        budget: &mut usize,
+    ) -> bool {
+        if *budget == 0 {
+            return false;
+        }
+        let (ref ga, ref gb) = groups[gi];
+        if ii == ga.len() {
+            return solve(a, b, groups, gi + 1, map, budget);
+        }
+        let n = ga[ii];
+        for k in 0..gb.len() {
+            if used[k] {
+                continue;
+            }
+            *budget = budget.saturating_sub(1);
+            used[k] = true;
+            map.insert(n, gb[k]);
+            if backtrack_class(a, b, groups, gi, ii + 1, used, map, budget) {
+                return true;
+            }
+            used[k] = false;
+            map.remove(&n);
+            if *budget == 0 {
+                return false;
+            }
+        }
+        false
+    }
+    let mut map = HashMap::new();
+    let mut budget = 200_000usize;
+    solve(a, b, &groups, 0, &mut map, &mut budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guide::guide_figure2;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn database_equals_itself() {
+        let db = guide_figure2();
+        assert!(same_database(&db, &db));
+        assert!(isomorphic(&db, &db));
+    }
+
+    #[test]
+    fn clone_is_same_and_isomorphic() {
+        let db = guide_figure2();
+        let copy = db.clone();
+        assert!(same_database(&db, &copy));
+        assert!(isomorphic(&db, &copy));
+    }
+
+    #[test]
+    fn renamed_ids_are_isomorphic_but_not_same() {
+        let db = guide_figure2();
+        // Rebuild the same shape with fresh auto-ids.
+        let mut b = GraphBuilder::new("guide");
+        let root = b.root();
+        let bangkok = b.complex_child(root, "restaurant");
+        b.atom_child(bangkok, "name", "Bangkok Cuisine");
+        b.atom_child(bangkok, "price", 10);
+        let addr = b.complex_child(bangkok, "address");
+        b.atom_child(addr, "street", "Lytton");
+        b.atom_child(addr, "city", "Palo Alto");
+        let janta = b.complex_child(root, "restaurant");
+        b.atom_child(janta, "name", "Janta");
+        b.atom_child(janta, "price", "moderate");
+        b.atom_child(janta, "address", "120 Lytton");
+        b.atom_child(janta, "cuisine", "Indian");
+        let lot = b.complex_child(bangkok, "parking");
+        b.arc(janta, "parking", lot);
+        b.atom_child(lot, "name", "Lytton lot 2");
+        b.atom_child(lot, "comment", "usually full");
+        b.arc(lot, "nearby-eats", bangkok);
+        let rebuilt = b.finish();
+
+        assert!(!same_database(&db, &rebuilt));
+        assert!(isomorphic(&db, &rebuilt));
+    }
+
+    #[test]
+    fn value_difference_breaks_isomorphism() {
+        let a = guide_figure2();
+        let mut b = guide_figure2();
+        b.set_value(crate::guide::ids::N1, crate::Value::Int(11))
+            .unwrap();
+        assert!(!isomorphic(&a, &b));
+        assert!(!same_database(&a, &b));
+    }
+
+    #[test]
+    fn arc_label_difference_breaks_isomorphism() {
+        let mut x = GraphBuilder::new("g");
+        let r = x.root();
+        x.atom_child(r, "a", 1);
+        let x = x.finish();
+        let mut y = GraphBuilder::new("g");
+        let r = y.root();
+        y.atom_child(r, "b", 1);
+        let y = y.finish();
+        assert!(!isomorphic(&x, &y));
+    }
+
+    #[test]
+    fn symmetric_siblings_need_backtracking() {
+        // Two structurally identical children: refinement cannot split
+        // them, so the matcher must try assignments.
+        fn twin() -> OemDatabase {
+            let mut b = GraphBuilder::new("g");
+            let r = b.root();
+            let c1 = b.complex_child(r, "kid");
+            let c2 = b.complex_child(r, "kid");
+            b.atom_child(c1, "v", 1);
+            b.atom_child(c2, "v", 1);
+            b.finish()
+        }
+        assert!(isomorphic(&twin(), &twin()));
+    }
+
+    #[test]
+    fn root_position_matters() {
+        // Same underlying graph, different root designation.
+        let mut b1 = GraphBuilder::new("g");
+        let r1 = b1.root();
+        let mid = b1.complex_child(r1, "x");
+        b1.atom_child(mid, "y", 1);
+        let g1 = b1.finish();
+
+        let mut b2 = GraphBuilder::new("g");
+        let r2 = b2.root();
+        b2.atom_child(r2, "y", 1);
+        let _ = mid;
+        let g2 = b2.finish();
+        assert!(!isomorphic(&g1, &g2));
+    }
+}

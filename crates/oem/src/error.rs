@@ -1,0 +1,102 @@
+//! Errors for OEM databases, change operations, histories and the text
+//! format.
+
+use crate::{ArcTriple, NodeId, Timestamp};
+use std::fmt;
+
+/// Everything that can go wrong when manipulating an OEM database.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OemError {
+    /// A referenced object does not exist in the database.
+    NoSuchNode(NodeId),
+    /// `creNode` was given an identifier that is already in use or retired.
+    /// Section 2.2: "object identifiers of deleted nodes are not reused".
+    IdNotFresh(NodeId),
+    /// `addArc`/`remArc` constraint violation: the named arc already exists.
+    ArcExists(ArcTriple),
+    /// `remArc` was asked to remove an arc that is not present.
+    NoSuchArc(ArcTriple),
+    /// `addArc` requires the parent to be a complex object.
+    ParentNotComplex(NodeId),
+    /// `updNode` requires an atomic object or a complex object without
+    /// subobjects (Section 2.1).
+    UpdateOnNodeWithChildren(NodeId),
+    /// A change *set* contained two `updNode` operations for the same node,
+    /// so different valid orderings would produce different databases
+    /// (violates Definition 2.2's order-independence requirement).
+    ConflictingUpdates(NodeId),
+    /// A change set contained two `creNode` operations for the same id.
+    ConflictingCreates(NodeId),
+    /// A change set contained both `addArc(p,l,c)` and `remArc(p,l,c)`
+    /// (explicitly forbidden, Section 2.2, condition 3).
+    AddRemConflict(ArcTriple),
+    /// No ordering of the change set is valid for the database; the payload
+    /// is the error from the first operation that could not be scheduled.
+    NoValidOrdering(Box<OemError>),
+    /// History timestamps must be strictly increasing (Definition 2.2).
+    NonIncreasingTimestamp {
+        /// Timestamp of the preceding entry.
+        previous: Timestamp,
+        /// Offending timestamp (≤ `previous`).
+        next: Timestamp,
+    },
+    /// Histories may not operate on infinite timestamps.
+    InfiniteTimestamp,
+    /// A parse error in the OEM text format, with 1-based line/column.
+    Text {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column number.
+        col: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+}
+
+impl fmt::Display for OemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OemError::NoSuchNode(n) => write!(f, "no such object: {n}"),
+            OemError::IdNotFresh(n) => {
+                write!(f, "creNode: identifier {n} is already in use or retired")
+            }
+            OemError::ArcExists(a) => write!(f, "addArc: arc {a} already exists"),
+            OemError::NoSuchArc(a) => write!(f, "remArc: no such arc {a}"),
+            OemError::ParentNotComplex(n) => {
+                write!(f, "addArc: parent {n} is not a complex object")
+            }
+            OemError::UpdateOnNodeWithChildren(n) => write!(
+                f,
+                "updNode: {n} is a complex object with subobjects; remove them first"
+            ),
+            OemError::ConflictingUpdates(n) => {
+                write!(f, "change set has multiple updNode operations for {n}")
+            }
+            OemError::ConflictingCreates(n) => {
+                write!(f, "change set has multiple creNode operations for {n}")
+            }
+            OemError::AddRemConflict(a) => write!(
+                f,
+                "change set contains both addArc and remArc for {a} (forbidden)"
+            ),
+            OemError::NoValidOrdering(e) => {
+                write!(f, "no valid ordering of the change set exists: {e}")
+            }
+            OemError::NonIncreasingTimestamp { previous, next } => write!(
+                f,
+                "history timestamps must strictly increase: {next} follows {previous}"
+            ),
+            OemError::InfiniteTimestamp => {
+                f.write_str("history timestamps must be finite")
+            }
+            OemError::Text { line, col, msg } => {
+                write!(f, "OEM text parse error at {line}:{col}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OemError {}
+
+/// Result alias for OEM operations.
+pub type Result<T> = std::result::Result<T, OemError>;

@@ -1,0 +1,198 @@
+//! The paper's running example: the Palo Alto Weekly restaurant Guide.
+//!
+//! These fixtures reproduce Figures 2 and 3 and the history of Example 2.3
+//! with the paper's node numbering wherever the paper names a node:
+//!
+//! * `n1` — Bangkok Cuisine's price object (10, updated to 20 on 1Jan97)
+//! * `n2` — the new Hakata restaurant object (created 1Jan97)
+//! * `n3` — the "Hakata" name object (created 1Jan97)
+//! * `n4` — the Guide root object
+//! * `n5` — the "need info" comment object (created 5Jan97)
+//! * `n6` — the Janta restaurant object
+//! * `n7` — the "Lytton lot 2" parking object (shared by both restaurants;
+//!   its `nearby-eats` arc back to Bangkok Cuisine forms the cycle the
+//!   paper points out)
+//!
+//! Nodes the paper leaves unnumbered get ids from `n8` upward.
+//!
+//! The figure in the available text is a flattened diagram, so a few
+//! attachment choices are interpolated from the prose: the paper states the
+//! price irregularity (int 10 vs string "moderate"), the address
+//! irregularity (string "120 Lytton" vs complex street/city), n7's multiple
+//! incoming arcs, and the parking/nearby-eats cycle; we satisfy all of them.
+
+use crate::{ChangeOp, ChangeSet, GraphBuilder, History, OemDatabase, Timestamp, Value};
+
+/// Ids for the paper-named nodes of the Guide example.
+pub mod ids {
+    use crate::NodeId;
+
+    /// Bangkok Cuisine's price object.
+    pub const N1: NodeId = NodeId::from_raw_const(1);
+    /// The Hakata restaurant object (created by `U1`).
+    pub const N2: NodeId = NodeId::from_raw_const(2);
+    /// The "Hakata" name object (created by `U1`).
+    pub const N3: NodeId = NodeId::from_raw_const(3);
+    /// The Guide root.
+    pub const N4: NodeId = NodeId::from_raw_const(4);
+    /// The "need info" comment object (created by `U2`).
+    pub const N5: NodeId = NodeId::from_raw_const(5);
+    /// The Janta restaurant object.
+    pub const N6: NodeId = NodeId::from_raw_const(6);
+    /// The "Lytton lot 2" parking object.
+    pub const N7: NodeId = NodeId::from_raw_const(7);
+    /// The Bangkok Cuisine restaurant object (unnumbered in the paper).
+    pub const BANGKOK: NodeId = NodeId::from_raw_const(8);
+}
+
+/// The Guide database of Figure 2 (Example 2.1).
+pub fn guide_figure2() -> OemDatabase {
+    let mut b = GraphBuilder::with_root_id("guide", ids::N4.raw());
+    let guide = b.root();
+
+    // Bangkok Cuisine: integer price, complex address.
+    let bangkok = b.complex_with_id(ids::BANGKOK.raw());
+    b.arc(guide, "restaurant", bangkok);
+    b.atom_child(bangkok, "name", "Bangkok Cuisine");
+    let price = b.atom_with_id(ids::N1.raw(), 10);
+    b.arc(bangkok, "price", price);
+    let address = b.complex_child(bangkok, "address");
+    b.atom_child(address, "street", "Lytton");
+    b.atom_child(address, "city", "Palo Alto");
+
+    // Janta: string price, simple string address, a cuisine.
+    let janta = b.complex_with_id(ids::N6.raw());
+    b.arc(guide, "restaurant", janta);
+    b.atom_child(janta, "name", "Janta");
+    b.atom_child(janta, "price", "moderate");
+    b.atom_child(janta, "address", "120 Lytton");
+    b.atom_child(janta, "cuisine", "Indian");
+
+    // The shared parking object n7: two incoming `parking` arcs, and a
+    // `nearby-eats` arc back to Bangkok Cuisine closing the cycle.
+    let lot = b.complex_with_id(ids::N7.raw());
+    b.arc(bangkok, "parking", lot);
+    b.arc(janta, "parking", lot);
+    b.atom_child(lot, "name", "Lytton lot 2");
+    b.atom_child(lot, "comment", "usually full");
+    b.arc(lot, "nearby-eats", bangkok);
+
+    b.finish()
+}
+
+/// The history `H = ((t1,U1),(t2,U2),(t3,U3))` of Example 2.3, valid for
+/// [`guide_figure2`].
+pub fn history_example_2_3() -> History {
+    let t1: Timestamp = "1Jan97".parse().expect("literal");
+    let t2: Timestamp = "5Jan97".parse().expect("literal");
+    let t3: Timestamp = "8Jan97".parse().expect("literal");
+
+    let u1 = ChangeSet::from_ops([
+        ChangeOp::UpdNode(ids::N1, Value::Int(20)),
+        ChangeOp::CreNode(ids::N2, Value::Complex),
+        ChangeOp::CreNode(ids::N3, Value::str("Hakata")),
+        ChangeOp::add_arc(ids::N4, "restaurant", ids::N2),
+        ChangeOp::add_arc(ids::N2, "name", ids::N3),
+    ])
+    .expect("U1 is conflict-free");
+
+    let u2 = ChangeSet::from_ops([
+        ChangeOp::CreNode(ids::N5, Value::str("need info")),
+        ChangeOp::add_arc(ids::N2, "comment", ids::N5),
+    ])
+    .expect("U2 is conflict-free");
+
+    let u3 = ChangeSet::from_ops([ChangeOp::rem_arc(ids::N6, "parking", ids::N7)])
+        .expect("U3 is conflict-free");
+
+    History::from_entries([(t1, u1), (t2, u2), (t3, u3)]).expect("timestamps increase")
+}
+
+/// The Guide database of Figure 3 (Example 2.2): Figure 2 after the
+/// Example 2.3 history.
+pub fn guide_figure3() -> OemDatabase {
+    let mut db = guide_figure2();
+    history_example_2_3()
+        .apply_to(&mut db)
+        .expect("Example 2.3 is valid for Figure 2");
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArcTriple, Label};
+
+    #[test]
+    fn figure2_shape_matches_the_prose() {
+        let db = guide_figure2();
+        db.check_invariants().unwrap();
+        assert_eq!(db.root(), ids::N4);
+        // Two restaurants.
+        assert_eq!(
+            db.children_labeled(db.root(), Label::new("restaurant"))
+                .count(),
+            2
+        );
+        // Price irregularity: int vs string.
+        assert_eq!(db.value(ids::N1).unwrap(), &Value::Int(10));
+        let janta_price = db
+            .children_labeled(ids::N6, Label::new("price"))
+            .next()
+            .unwrap();
+        assert_eq!(db.value(janta_price).unwrap(), &Value::str("moderate"));
+        // Address irregularity: complex vs string.
+        let bangkok_addr = db
+            .children_labeled(ids::BANGKOK, Label::new("address"))
+            .next()
+            .unwrap();
+        assert!(db.is_complex(bangkok_addr));
+        let janta_addr = db
+            .children_labeled(ids::N6, Label::new("address"))
+            .next()
+            .unwrap();
+        assert_eq!(db.value(janta_addr).unwrap(), &Value::str("120 Lytton"));
+        // n7 shared: multiple incoming arcs.
+        assert_eq!(db.parents(ids::N7).len(), 2);
+        // Cycle through parking / nearby-eats.
+        assert!(db.contains_arc(ArcTriple::new(ids::BANGKOK, "parking", ids::N7)));
+        assert!(db.contains_arc(ArcTriple::new(ids::N7, "nearby-eats", ids::BANGKOK)));
+    }
+
+    #[test]
+    fn example_2_3_history_is_valid_for_figure2() {
+        assert!(history_example_2_3().is_valid_for(&guide_figure2()));
+    }
+
+    #[test]
+    fn figure3_reflects_all_three_change_sets() {
+        let db = guide_figure3();
+        db.check_invariants().unwrap();
+        // U1: price 10 -> 20.
+        assert_eq!(db.value(ids::N1).unwrap(), &Value::Int(20));
+        // U1: Hakata added with a name.
+        assert!(db.contains_arc(ArcTriple::new(ids::N4, "restaurant", ids::N2)));
+        assert_eq!(db.value(ids::N3).unwrap(), &Value::str("Hakata"));
+        // U2: "need info" comment on Hakata.
+        assert!(db.contains_arc(ArcTriple::new(ids::N2, "comment", ids::N5)));
+        assert_eq!(db.value(ids::N5).unwrap(), &Value::str("need info"));
+        // U3: Janta's parking arc removed; n7 stays (Bangkok still parks there).
+        assert!(!db.contains_arc(ArcTriple::new(ids::N6, "parking", ids::N7)));
+        assert!(db.contains_node(ids::N7));
+        // Three restaurants now.
+        assert_eq!(
+            db.children_labeled(db.root(), Label::new("restaurant"))
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn history_display_matches_example_2_3() {
+        let h = history_example_2_3();
+        let text = h.to_string();
+        assert!(text.contains("(1Jan97, {updNode(n1, 20), creNode(n2, C), creNode(n3, \"Hakata\"), addArc(n4, restaurant, n2), addArc(n2, name, n3)})"));
+        assert!(text.contains("(5Jan97, {creNode(n5, \"need info\"), addArc(n2, comment, n5)})"));
+        assert!(text.contains("(8Jan97, {remArc(n6, parking, n7)})"));
+    }
+}

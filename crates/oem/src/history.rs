@@ -1,0 +1,238 @@
+//! OEM histories (Definition 2.2).
+//!
+//! A history `H = (t1, U1), …, (tn, Un)` is a strictly time-ordered sequence
+//! of change sets. `H` is valid for `O` when each `Ui` is valid for the
+//! database produced by the prefix before it.
+
+use crate::{ChangeSet, NodeId, OemDatabase, OemError, Result, Timestamp};
+use std::fmt;
+
+/// One history entry: a timestamp and the change set applied at that time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistoryEntry {
+    /// When the change set was applied.
+    pub at: Timestamp,
+    /// The set of basic change operations.
+    pub changes: ChangeSet,
+}
+
+/// A strictly time-ordered sequence of timestamped change sets.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct History {
+    entries: Vec<HistoryEntry>,
+}
+
+impl History {
+    /// The empty history.
+    pub fn new() -> History {
+        History::default()
+    }
+
+    /// Build a history from `(timestamp, change set)` pairs, enforcing
+    /// strictly increasing, finite timestamps.
+    pub fn from_entries(
+        entries: impl IntoIterator<Item = (Timestamp, ChangeSet)>,
+    ) -> Result<History> {
+        let mut h = History::new();
+        for (at, changes) in entries {
+            h.push(at, changes)?;
+        }
+        Ok(h)
+    }
+
+    /// Append a change set at time `at`, which must exceed every existing
+    /// timestamp.
+    pub fn push(&mut self, at: Timestamp, changes: ChangeSet) -> Result<()> {
+        if at.is_infinite() {
+            return Err(OemError::InfiniteTimestamp);
+        }
+        if let Some(last) = self.entries.last() {
+            if at <= last.at {
+                return Err(OemError::NonIncreasingTimestamp {
+                    previous: last.at,
+                    next: at,
+                });
+            }
+        }
+        self.entries.push(HistoryEntry { at, changes });
+        Ok(())
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries in time order.
+    pub fn entries(&self) -> &[HistoryEntry] {
+        &self.entries
+    }
+
+    /// The timestamps `t1 < t2 < … < tn`.
+    pub fn timestamps(&self) -> impl Iterator<Item = Timestamp> + '_ {
+        self.entries.iter().map(|e| e.at)
+    }
+
+    /// Apply the whole history to `db` (the paper's `L(O)` / successive
+    /// `Ui(O_{i-1})`), garbage-collecting at each change-set boundary.
+    /// Returns all ids deleted along the way.
+    ///
+    /// Validation is per-entry: on failure, `db` holds the state after the
+    /// last *successful* entry and the error names the offender.
+    pub fn apply_to(&self, db: &mut OemDatabase) -> Result<Vec<NodeId>> {
+        let mut deleted = Vec::new();
+        for entry in &self.entries {
+            deleted.extend(entry.changes.apply_to(db)?);
+        }
+        Ok(deleted)
+    }
+
+    /// `true` iff the history is valid for `db` (Definition 2.2): applies
+    /// cleanly to a scratch copy.
+    pub fn is_valid_for(&self, db: &OemDatabase) -> bool {
+        let mut scratch = db.clone();
+        self.apply_to(&mut scratch).is_ok()
+    }
+
+    /// The prefix of this history with timestamps `≤ t`.
+    pub fn prefix_through(&self, t: Timestamp) -> History {
+        History {
+            entries: self
+                .entries
+                .iter()
+                .take_while(|e| e.at <= t)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Merge another history strictly after this one (all of `later`'s
+    /// timestamps must exceed ours).
+    pub fn extend(&mut self, later: History) -> Result<()> {
+        for e in later.entries {
+            self.push(e.at, e.changes)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "({}, {})", e.at, e.changes)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArcTriple, ChangeOp, Value};
+
+    fn ts(s: &str) -> Timestamp {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn timestamps_must_strictly_increase() {
+        let mut h = History::new();
+        h.push(ts("1Jan97"), ChangeSet::new()).unwrap();
+        let err = h.push(ts("1Jan97"), ChangeSet::new()).unwrap_err();
+        assert!(matches!(err, OemError::NonIncreasingTimestamp { .. }));
+        let err = h.push(ts("31Dec96"), ChangeSet::new()).unwrap_err();
+        assert!(matches!(err, OemError::NonIncreasingTimestamp { .. }));
+        h.push(ts("2Jan97"), ChangeSet::new()).unwrap();
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn infinite_timestamps_are_rejected() {
+        let mut h = History::new();
+        assert!(matches!(
+            h.push(Timestamp::INFINITY, ChangeSet::new()),
+            Err(OemError::InfiniteTimestamp)
+        ));
+    }
+
+    #[test]
+    fn apply_runs_entries_in_order() {
+        let mut db = OemDatabase::new("g");
+        let price = db.create_node(Value::Int(10));
+        db.insert_arc(ArcTriple::new(db.root(), "price", price))
+            .unwrap();
+        let h = History::from_entries([
+            (
+                ts("1Jan97"),
+                ChangeSet::from_ops([ChangeOp::UpdNode(price, Value::Int(20))]).unwrap(),
+            ),
+            (
+                ts("5Jan97"),
+                ChangeSet::from_ops([ChangeOp::UpdNode(price, Value::Int(30))]).unwrap(),
+            ),
+        ])
+        .unwrap();
+        assert!(h.is_valid_for(&db));
+        h.apply_to(&mut db).unwrap();
+        assert_eq!(db.value(price).unwrap(), &Value::Int(30));
+    }
+
+    #[test]
+    fn prefix_through_selects_a_time_range() {
+        let h = History::from_entries([
+            (ts("1Jan97"), ChangeSet::new()),
+            (ts("5Jan97"), ChangeSet::new()),
+            (ts("8Jan97"), ChangeSet::new()),
+        ])
+        .unwrap();
+        assert_eq!(h.prefix_through(ts("5Jan97")).len(), 2);
+        assert_eq!(h.prefix_through(ts("4Jan97")).len(), 1);
+        assert_eq!(h.prefix_through(Timestamp::NEG_INFINITY).len(), 0);
+        assert_eq!(h.prefix_through(Timestamp::INFINITY).len(), 3);
+    }
+
+    #[test]
+    fn display_matches_paper_history_notation() {
+        let h = History::from_entries([(
+            ts("8Jan97"),
+            ChangeSet::from_ops([ChangeOp::rem_arc(
+                crate::NodeId::from_raw(6),
+                "parking",
+                crate::NodeId::from_raw(7),
+            )])
+            .unwrap(),
+        )])
+        .unwrap();
+        assert_eq!(h.to_string(), "(8Jan97, {remArc(n6, parking, n7)})");
+    }
+
+    #[test]
+    fn failed_entry_reports_error_and_stops() {
+        let mut db = OemDatabase::new("g");
+        let n = db.create_node(Value::Int(1));
+        db.insert_arc(ArcTriple::new(db.root(), "x", n)).unwrap();
+        let h = History::from_entries([
+            (
+                ts("1Jan97"),
+                ChangeSet::from_ops([ChangeOp::UpdNode(n, Value::Int(2))]).unwrap(),
+            ),
+            (
+                ts("2Jan97"),
+                ChangeSet::from_ops([ChangeOp::rem_arc(db.root(), "nope", n)]).unwrap(),
+            ),
+        ])
+        .unwrap();
+        assert!(!h.is_valid_for(&db));
+        assert!(h.apply_to(&mut db).is_err());
+        // First entry landed before the failure.
+        assert_eq!(db.value(n).unwrap(), &Value::Int(2));
+    }
+}

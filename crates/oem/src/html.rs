@@ -1,0 +1,307 @@
+//! Encoding HTML documents as OEM graphs.
+//!
+//! The paper's opening example is `htmldiff` over the Palo Alto Weekly's
+//! restaurant pages, and Section 2 notes that "OEM can encode numerous
+//! kinds of data, including … electronic documents in formats such as SGML
+//! and HTML". This module supplies that encoding: a lenient parser for an
+//! HTML subset producing an OEM tree —
+//!
+//! * an element becomes a complex object, reached from its parent by an
+//!   arc labeled with the (lowercased) tag name;
+//! * an attribute `k="v"` becomes an atomic subobject under label `@k`;
+//! * a text run becomes a string atom under label `text`.
+//!
+//! Leniency matches 1990s HTML: unknown tags pass through, unclosed tags
+//! close at their ancestor's end tag, void elements (`br`, `img`, `hr`, …)
+//! never take children, comments and doctypes are skipped.
+
+use crate::{ArcTriple, OemDatabase, Result, Value};
+
+const VOID_ELEMENTS: &[&str] = &[
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param",
+    "source", "track", "wbr",
+];
+
+/// Parse an HTML document into an OEM database named `name`. The root
+/// object is the document; top-level elements hang off it.
+pub fn parse_html(name: &str, src: &str) -> Result<OemDatabase> {
+    let mut db = OemDatabase::new(name);
+    let root = db.root();
+    let mut stack: Vec<(String, crate::NodeId)> = vec![(String::new(), root)];
+    let mut chars = src.char_indices().peekable();
+    let bytes = src;
+
+    let mut text_start: Option<usize> = None;
+    let flush_text = |db: &mut OemDatabase,
+                          stack: &[(String, crate::NodeId)],
+                          start: Option<usize>,
+                          end: usize| {
+        if let Some(s) = start {
+            let text = bytes[s..end].trim();
+            if !text.is_empty() {
+                let collapsed = collapse_ws(text);
+                let atom = db.create_node(Value::str(collapsed));
+                let parent = stack.last().expect("root never pops").1;
+                db.insert_arc(ArcTriple::new(parent, "text", atom))
+                    .expect("fresh atom");
+            }
+        }
+    };
+
+    while let Some(&(i, c)) = chars.peek() {
+        if c != '<' {
+            if text_start.is_none() {
+                text_start = Some(i);
+            }
+            chars.next();
+            continue;
+        }
+        // A tag begins: flush pending text.
+        flush_text(&mut db, &stack, text_start.take(), i);
+        chars.next(); // consume '<'
+
+        // Comment / doctype?
+        if bytes[i..].starts_with("<!--") {
+            let end = bytes[i..].find("-->").map(|k| i + k + 3).unwrap_or(bytes.len());
+            while chars.peek().is_some_and(|&(j, _)| j < end) {
+                chars.next();
+            }
+            continue;
+        }
+        if bytes[i + 1..].starts_with('!') || bytes[i + 1..].starts_with('?') {
+            while let Some(&(_, c2)) = chars.peek() {
+                chars.next();
+                if c2 == '>' {
+                    break;
+                }
+            }
+            continue;
+        }
+
+        // Closing tag?
+        let closing = chars.peek().is_some_and(|&(_, c2)| c2 == '/');
+        if closing {
+            chars.next();
+        }
+        // Tag name.
+        let mut tag = String::new();
+        while let Some(&(_, c2)) = chars.peek() {
+            if c2.is_ascii_alphanumeric() || c2 == '-' {
+                tag.push(c2.to_ascii_lowercase());
+                chars.next();
+            } else {
+                break;
+            }
+        }
+        // Attributes (also consumed for closing tags, which have none).
+        let mut attrs: Vec<(String, String)> = Vec::new();
+        let mut self_closed = false;
+        loop {
+            // skip whitespace
+            while chars.peek().is_some_and(|&(_, c2)| c2.is_whitespace()) {
+                chars.next();
+            }
+            match chars.peek() {
+                None => break,
+                Some(&(_, '>')) => {
+                    chars.next();
+                    break;
+                }
+                Some(&(_, '/')) => {
+                    self_closed = true;
+                    chars.next();
+                }
+                Some(&(_, _)) => {
+                    // attribute name
+                    let mut key = String::new();
+                    while let Some(&(_, c2)) = chars.peek() {
+                        if c2.is_ascii_alphanumeric() || c2 == '-' || c2 == '_' || c2 == ':' {
+                            key.push(c2.to_ascii_lowercase());
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    if key.is_empty() {
+                        chars.next(); // unparseable char; skip
+                        continue;
+                    }
+                    // skip ws, optional ="value"
+                    while chars.peek().is_some_and(|&(_, c2)| c2.is_whitespace()) {
+                        chars.next();
+                    }
+                    let mut value = String::new();
+                    if chars.peek().is_some_and(|&(_, c2)| c2 == '=') {
+                        chars.next();
+                        while chars.peek().is_some_and(|&(_, c2)| c2.is_whitespace()) {
+                            chars.next();
+                        }
+                        match chars.peek() {
+                            Some(&(_, q)) if q == '"' || q == '\'' => {
+                                chars.next();
+                                while let Some(&(_, c2)) = chars.peek() {
+                                    chars.next();
+                                    if c2 == q {
+                                        break;
+                                    }
+                                    value.push(c2);
+                                }
+                            }
+                            _ => {
+                                while let Some(&(_, c2)) = chars.peek() {
+                                    if c2.is_whitespace() || c2 == '>' || c2 == '/' {
+                                        break;
+                                    }
+                                    value.push(c2);
+                                    chars.next();
+                                }
+                            }
+                        }
+                    }
+                    attrs.push((key, value));
+                }
+            }
+        }
+
+        if tag.is_empty() {
+            continue; // stray '<'
+        }
+        if closing {
+            // Pop to the matching open tag if present (lenient).
+            if let Some(pos) = stack.iter().rposition(|(t, _)| *t == tag) {
+                stack.truncate(pos.max(1));
+            }
+            continue;
+        }
+        // Open element.
+        let parent = stack.last().expect("root never pops").1;
+        let node = db.create_node(Value::Complex);
+        db.insert_arc(ArcTriple::new(parent, tag.as_str(), node))
+            .expect("fresh element");
+        for (k, v) in attrs {
+            let atom = db.create_node(Value::str(v));
+            db.insert_arc(ArcTriple::new(node, format!("@{k}").as_str(), atom))
+                .expect("fresh attribute");
+        }
+        if !self_closed && !VOID_ELEMENTS.contains(&tag.as_str()) {
+            stack.push((tag, node));
+        }
+    }
+    flush_text(&mut db, &stack, text_start.take(), bytes.len());
+
+    debug_assert!(db.check_invariants().is_ok());
+    Ok(db)
+}
+
+fn collapse_ws(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut in_ws = false;
+    for c in s.chars() {
+        if c.is_whitespace() {
+            if !in_ws {
+                out.push(' ');
+            }
+            in_ws = true;
+        } else {
+            out.push(c);
+            in_ws = false;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{follow_path, Label};
+
+    #[test]
+    fn elements_attributes_and_text() {
+        let db = parse_html(
+            "page",
+            r#"<html><body><h1>Guide</h1><p class="entry">Janta</p></body></html>"#,
+        )
+        .unwrap();
+        db.check_invariants().unwrap();
+        let h1_text = follow_path(
+            &db,
+            db.root(),
+            &["html", "body", "h1", "text"].map(Label::new),
+        );
+        assert_eq!(h1_text.len(), 1);
+        assert_eq!(db.value(h1_text[0]).unwrap(), &Value::str("Guide"));
+        let class = follow_path(
+            &db,
+            db.root(),
+            &["html", "body", "p", "@class"].map(Label::new),
+        );
+        assert_eq!(db.value(class[0]).unwrap(), &Value::str("entry"));
+    }
+
+    #[test]
+    fn void_and_self_closing_elements() {
+        let db = parse_html("p", "<p>a<br>b</p><img src='x.gif'/> tail").unwrap();
+        db.check_invariants().unwrap();
+        // br and img take no children; "a" and "b" are both p's text runs.
+        let texts = follow_path(&db, db.root(), &["p", "text"].map(Label::new));
+        assert_eq!(texts.len(), 2);
+        let src = follow_path(&db, db.root(), &["img", "@src"].map(Label::new));
+        assert_eq!(db.value(src[0]).unwrap(), &Value::str("x.gif"));
+    }
+
+    #[test]
+    fn comments_and_doctype_are_skipped() {
+        let db = parse_html(
+            "p",
+            "<!DOCTYPE html><!-- hidden <b>not a tag</b> --><p>shown</p>",
+        )
+        .unwrap();
+        assert_eq!(
+            follow_path(&db, db.root(), &["p", "text"].map(Label::new)).len(),
+            1
+        );
+        assert!(db
+            .node_ids()
+            .all(|n| db.value(n).unwrap() != &Value::str("hidden")));
+    }
+
+    #[test]
+    fn unclosed_tags_are_tolerated() {
+        // 1990s-style list markup without </li>.
+        let db = parse_html("l", "<ul><li>one<li>two<li>three</ul><p>after</p>").unwrap();
+        db.check_invariants().unwrap();
+        let items = follow_path(&db, db.root(), &["ul", "li"].map(Label::new));
+        // Lenient nesting may nest subsequent <li> under the previous one;
+        // all three text runs must exist somewhere under ul.
+        let ul = follow_path(&db, db.root(), &[Label::new("ul")].map(|l| l))[0];
+        let all_text: Vec<String> = crate::preorder(&db, ul)
+            .into_iter()
+            .filter_map(|n| match db.value(n).ok()? {
+                Value::Str(s) => Some(s.to_string()),
+                _ => None,
+            })
+            .collect();
+        assert!(all_text.contains(&"one".to_string()));
+        assert!(all_text.contains(&"three".to_string()));
+        assert!(!items.is_empty());
+        // The paragraph after the list is outside it.
+        assert_eq!(
+            follow_path(&db, db.root(), &["p", "text"].map(Label::new)).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn whitespace_collapses_inside_text_runs() {
+        let db = parse_html("p", "<p>  hello\n   world  </p>").unwrap();
+        let t = follow_path(&db, db.root(), &["p", "text"].map(Label::new));
+        assert_eq!(db.value(t[0]).unwrap(), &Value::str("hello world"));
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        for bad in ["<", "</", "<<<>>>", "<p", "a<b=''", "<!--", "<p att=>x"] {
+            let _ = parse_html("g", bad);
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Parsing change operations, change sets and histories from the paper's
+//! textual notation — the inverse of their `Display` forms:
+//!
+//! ```text
+//! creNode(n2, C)
+//! updNode(n1, 20)
+//! addArc(n4, restaurant, n2)
+//! remArc(n6, parking, n7)
+//! {updNode(n1, 20), creNode(n2, C)}
+//! (1Jan97, {updNode(n1, 20)})
+//! ```
+
+use crate::{ArcTriple, ChangeOp, ChangeSet, History, NodeId, OemError, Result, Timestamp, Value};
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err(&self, msg: impl Into<String>) -> OemError {
+        OemError::Text {
+            line: 1,
+            col: self.pos + 1,
+            msg: msg.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.src[self.pos..].chars().next() {
+            if !c.is_whitespace() {
+                break;
+            }
+            self.pos += c.len_utf8();
+        }
+    }
+
+    fn eat(&mut self, want: char) -> Result<()> {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(want) {
+            self.pos += want.len_utf8();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {want:?}")))
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.src[self.pos..].chars().next()
+    }
+
+    fn word(&mut self) -> Result<&'a str> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(c) = self.src[self.pos..].chars().next() {
+            if !(c.is_alphanumeric() || c == '-' || c == '_') {
+                break;
+            }
+            self.pos += c.len_utf8();
+        }
+        if self.pos == start {
+            return Err(self.err("expected a word"));
+        }
+        Ok(&self.src[start..self.pos])
+    }
+
+    fn node_id(&mut self) -> Result<NodeId> {
+        let w = self.word()?;
+        w.strip_prefix('n')
+            .and_then(|d| d.parse::<u64>().ok())
+            .map(NodeId::from_raw)
+            .ok_or_else(|| self.err(format!("expected a node id like n7, found {w:?}")))
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some('"') => {
+                self.pos += 1;
+                let mut out = String::new();
+                let mut chars = self.src[self.pos..].char_indices();
+                loop {
+                    let Some((i, c)) = chars.next() else {
+                        return Err(self.err("unterminated string"));
+                    };
+                    match c {
+                        '"' => {
+                            self.pos += i + 1;
+                            return Ok(Value::str(out));
+                        }
+                        '\\' => match chars.next() {
+                            Some((_, 'n')) => out.push('\n'),
+                            Some((_, 't')) => out.push('\t'),
+                            Some((_, c2)) => out.push(c2),
+                            None => return Err(self.err("bad escape")),
+                        },
+                        c => out.push(c),
+                    }
+                }
+            }
+            Some('@') => {
+                self.pos += 1;
+                // Timestamp value up to the closing paren.
+                let rest = &self.src[self.pos..];
+                let end = rest.find([',', ')']).unwrap_or(rest.len());
+                let text = rest[..end].trim();
+                self.pos += end;
+                text.parse::<Timestamp>()
+                    .map(Value::Time)
+                    .map_err(|e| self.err(e.to_string()))
+            }
+            _ => {
+                let start = self.pos;
+                while let Some(c) = self.src[self.pos..].chars().next() {
+                    if !(c.is_alphanumeric() || c == '.' || c == '-') {
+                        break;
+                    }
+                    self.pos += c.len_utf8();
+                }
+                let text = &self.src[start..self.pos];
+                match text {
+                    "C" => Ok(Value::Complex),
+                    "true" => Ok(Value::Bool(true)),
+                    "false" => Ok(Value::Bool(false)),
+                    t if t.contains('.') => t
+                        .parse::<f64>()
+                        .map(Value::Real)
+                        .map_err(|e| self.err(format!("bad value {t:?}: {e}"))),
+                    t => t
+                        .parse::<i64>()
+                        .map(Value::Int)
+                        .map_err(|e| self.err(format!("bad value {t:?}: {e}"))),
+                }
+            }
+        }
+    }
+
+    fn op(&mut self) -> Result<ChangeOp> {
+        let kind = self.word()?;
+        self.eat('(')?;
+        let op = match kind {
+            "creNode" | "updNode" => {
+                let n = self.node_id()?;
+                self.eat(',')?;
+                let v = self.value()?;
+                if kind == "creNode" {
+                    ChangeOp::CreNode(n, v)
+                } else {
+                    ChangeOp::UpdNode(n, v)
+                }
+            }
+            "addArc" | "remArc" => {
+                let p = self.node_id()?;
+                self.eat(',')?;
+                let label = self.label()?;
+                self.eat(',')?;
+                let c = self.node_id()?;
+                let arc = ArcTriple::new(p, label.as_str(), c);
+                if kind == "addArc" {
+                    ChangeOp::AddArc(arc)
+                } else {
+                    ChangeOp::RemArc(arc)
+                }
+            }
+            other => {
+                return Err(self.err(format!(
+                    "expected creNode/updNode/addArc/remArc, found {other:?}"
+                )))
+            }
+        };
+        self.eat(')')?;
+        Ok(op)
+    }
+
+    fn label(&mut self) -> Result<String> {
+        self.skip_ws();
+        if self.peek() == Some('"') {
+            match self.value()? {
+                Value::Str(s) => Ok(s.to_string()),
+                _ => Err(self.err("expected a label string")),
+            }
+        } else {
+            Ok(self.word()?.to_string())
+        }
+    }
+
+    fn change_set(&mut self) -> Result<ChangeSet> {
+        self.eat('{')?;
+        let mut set = ChangeSet::new();
+        loop {
+            if self.peek() == Some('}') {
+                self.pos += 1;
+                return Ok(set);
+            }
+            set.push(self.op()?)?;
+            if self.peek() == Some(',') {
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn done(&mut self) -> Result<()> {
+        self.skip_ws();
+        if self.pos == self.src.len() {
+            Ok(())
+        } else {
+            Err(self.err("trailing input"))
+        }
+    }
+}
+
+/// Parse a single change operation in the paper's notation.
+pub fn parse_op(src: &str) -> Result<ChangeOp> {
+    let mut c = Cursor { src, pos: 0 };
+    let op = c.op()?;
+    c.done()?;
+    Ok(op)
+}
+
+/// Parse a change set: `{op, op, …}` (or a single bare op).
+pub fn parse_change_set(src: &str) -> Result<ChangeSet> {
+    let mut c = Cursor { src, pos: 0 };
+    let set = if c.peek() == Some('{') {
+        c.change_set()?
+    } else {
+        ChangeSet::from_ops([c.op()?])?
+    };
+    c.done()?;
+    Ok(set)
+}
+
+/// Parse a history: one `(timestamp, {ops})` entry per line (blank lines
+/// and `//` comments ignored).
+pub fn parse_history(src: &str) -> Result<History> {
+    let mut h = History::new();
+    for line in src.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("//") {
+            continue;
+        }
+        let mut c = Cursor { src: line, pos: 0 };
+        c.eat('(')?;
+        c.skip_ws();
+        let rest = &line[c.pos..];
+        let comma = rest.find(',').ok_or_else(|| c.err("expected ','"))?;
+        let at: Timestamp = rest[..comma]
+            .trim()
+            .parse()
+            .map_err(|e: crate::ParseTimestampError| c.err(e.to_string()))?;
+        c.pos += comma + 1;
+        let set = c.change_set()?;
+        c.eat(')')?;
+        c.done()?;
+        h.push(at, set)?;
+    }
+    Ok(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guide::history_example_2_3;
+
+    #[test]
+    fn ops_round_trip_their_display_forms() {
+        for text in [
+            "creNode(n2, C)",
+            "creNode(n3, \"Hakata\")",
+            "updNode(n1, 20)",
+            "updNode(n1, 20.5)",
+            "updNode(n1, true)",
+            "addArc(n4, restaurant, n2)",
+            "remArc(n6, parking, n7)",
+        ] {
+            let op = parse_op(text).unwrap();
+            assert_eq!(op.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn timestamp_values_parse() {
+        let op = parse_op("updNode(n5, @1Jan97)").unwrap();
+        assert_eq!(
+            op,
+            ChangeOp::UpdNode(NodeId::from_raw(5), Value::Time("1Jan97".parse().unwrap()))
+        );
+    }
+
+    #[test]
+    fn change_sets_round_trip() {
+        let text = "{updNode(n1, 20), creNode(n2, C), addArc(n4, restaurant, n2)}";
+        let set = parse_change_set(text).unwrap();
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.to_string(), text);
+        // Bare single op also accepted.
+        assert_eq!(parse_change_set("remArc(n6, parking, n7)").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn example_2_3_history_round_trips() {
+        let h = history_example_2_3();
+        let text = h.to_string();
+        let back = parse_history(&text).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn bad_inputs_error() {
+        assert!(parse_op("delNode(n1)").is_err());
+        assert!(parse_op("updNode(x1, 20)").is_err());
+        assert!(parse_op("updNode(n1, 20) extra").is_err());
+        assert!(parse_change_set("{updNode(n1, 1), updNode(n1, 2)}").is_err()); // conflict
+        assert!(parse_history("(notadate, {creNode(n1, C)})").is_err());
+    }
+
+    #[test]
+    fn quoted_labels_parse() {
+        let op = parse_op("addArc(n1, \"label with space\", n2)").unwrap();
+        let ChangeOp::AddArc(a) = op else { panic!() };
+        assert_eq!(a.label.as_str(), "label with space");
+    }
+}

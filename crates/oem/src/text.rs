@@ -1,0 +1,696 @@
+//! A textual OEM format, in the spirit of Lore's textual object syntax.
+//!
+//! Writer and parser for whole databases, used by fixtures, examples, and
+//! golden tests. The format renders nesting directly and handles shared
+//! subobjects and cycles through `&oid` definitions and references:
+//!
+//! ```text
+//! guide {
+//!   restaurant &n8 {
+//!     name "Bangkok Cuisine",
+//!     price 10,
+//!     parking &n7 {
+//!       name "Lytton lot 2",
+//!       nearby-eats &n8          // reference back: a cycle
+//!     }
+//!   },
+//!   restaurant {
+//!     parking &n7                // reference: shared subobject
+//!   }
+//! }
+//! ```
+//!
+//! An object is written as `[&oid] value`; a bare `&oid` with no following
+//! value is a reference. With [`TextOptions::always_ids`], every node gets
+//! an explicit id and parsing reproduces the database id-for-id.
+
+use crate::{ArcTriple, Label, NodeId, OemDatabase, OemError, Result, Value};
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+/// Options controlling the writer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TextOptions {
+    /// Emit an `&nK` id for every object (not just shared ones), making the
+    /// text a lossless, id-preserving encoding.
+    pub always_ids: bool,
+}
+
+/// Serialize `db` to the textual format.
+pub fn write_text(db: &OemDatabase, opts: TextOptions) -> String {
+    // Nodes needing an id: shared (in-degree > 1) or revisited via a cycle.
+    let mut indeg: HashMap<NodeId, usize> = HashMap::new();
+    for arc in db.arcs() {
+        *indeg.entry(arc.child).or_insert(0) += 1;
+    }
+    let needs_id = |n: NodeId| -> bool {
+        opts.always_ids || indeg.get(&n).copied().unwrap_or(0) > 1
+    };
+
+    let mut out = String::new();
+    let mut defined: HashSet<NodeId> = HashSet::new();
+    write!(out, "{} ", db.name()).expect("write to String");
+    write_object(db, db.root(), 0, &mut out, &mut defined, &needs_id, &indeg);
+    out.push('\n');
+    out
+}
+
+fn write_object(
+    db: &OemDatabase,
+    n: NodeId,
+    indent: usize,
+    out: &mut String,
+    defined: &mut HashSet<NodeId>,
+    needs_id: &dyn Fn(NodeId) -> bool,
+    indeg: &HashMap<NodeId, usize>,
+) {
+    if defined.contains(&n) {
+        write!(out, "&{n}").expect("write to String");
+        return;
+    }
+    // A node on the current DFS path (cycle target) also needs a ref; we
+    // treat all defined-set membership uniformly above, and mark nodes
+    // *before* descending so back-edges become references.
+    let show_id = needs_id(n) || on_a_cycle(db, n, indeg);
+    defined.insert(n);
+    if show_id {
+        write!(out, "&{n} ").expect("write to String");
+    }
+    let value = db.value(n).expect("writer walks existing nodes");
+    if value.is_atomic() {
+        write!(out, "{value}").expect("write to String");
+        if !show_id {
+            defined.remove(&n); // atoms without ids can't be referenced
+        }
+        return;
+    }
+    let children = db.children(n);
+    if children.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push_str("{\n");
+    for (i, &(label, child)) in children.iter().enumerate() {
+        for _ in 0..indent + 1 {
+            out.push_str("  ");
+        }
+        write_label(label, out);
+        out.push(' ');
+        write_object(db, child, indent + 1, out, defined, needs_id, indeg);
+        if i + 1 < children.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+    out.push('}');
+}
+
+/// Conservative cycle check: does any path from `n` lead back to `n`?
+fn on_a_cycle(db: &OemDatabase, n: NodeId, _indeg: &HashMap<NodeId, usize>) -> bool {
+    let mut seen = HashSet::new();
+    let mut stack: Vec<NodeId> = db.children(n).iter().map(|&(_, c)| c).collect();
+    while let Some(x) = stack.pop() {
+        if x == n {
+            return true;
+        }
+        if seen.insert(x) {
+            stack.extend(db.children(x).iter().map(|&(_, c)| c));
+        }
+    }
+    false
+}
+
+fn label_needs_quoting(l: &str) -> bool {
+    l.is_empty()
+        || !l
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '&')
+        || l.chars().next().is_some_and(|c| c.is_ascii_digit())
+}
+
+fn write_label(label: Label, out: &mut String) {
+    let s = label.as_str();
+    if label_needs_quoting(s) {
+        write!(out, "`{s}`").expect("write to String");
+    } else {
+        out.push_str(s);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Parser<'a> {
+        Parser {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> OemError {
+        OemError::Text {
+            line: self.line,
+            col: self.col,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(b) = self.bump() {
+                        if b == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn eat(&mut self, want: u8) -> Result<()> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b) if b == want => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err(format!(
+                "expected {:?}, found {:?}",
+                want as char,
+                other.map(|b| b as char)
+            ))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'&' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ascii slice")
+            .to_string())
+    }
+
+    fn label(&mut self) -> Result<Label> {
+        self.skip_ws();
+        if self.peek() == Some(b'`') {
+            self.bump();
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'`' {
+                    break;
+                }
+                self.bump();
+            }
+            let s = std::str::from_utf8(&self.src[start..self.pos])
+                .map_err(|_| self.err("invalid utf8 in label"))?
+                .to_string();
+            self.eat(b'`')?;
+            Ok(Label::new(&s))
+        } else {
+            Ok(Label::new(&self.ident()?))
+        }
+    }
+
+    fn string_lit(&mut self) -> Result<String> {
+        self.eat(b'"')?;
+        let mut bytes = Vec::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => break,
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => bytes.push(b'\n'),
+                    Some(b't') => bytes.push(b'\t'),
+                    Some(b'"') => bytes.push(b'"'),
+                    Some(b'\\') => bytes.push(b'\\'),
+                    other => {
+                        return Err(self.err(format!(
+                            "bad escape: \\{:?}",
+                            other.map(|b| b as char)
+                        )))
+                    }
+                },
+                Some(b) => bytes.push(b),
+            }
+        }
+        String::from_utf8(bytes).map_err(|_| self.err("invalid utf8 in string"))
+    }
+
+    fn atom(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.string_lit()?.into())),
+            Some(b'@') => {
+                // Timestamp atom: `@` followed by text up to a delimiter
+                // (possibly containing one space for the time of day).
+                self.bump();
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if matches!(c, b',' | b'}' | b'{' | b'\n') {
+                        break;
+                    }
+                    self.bump();
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .map_err(|_| self.err("invalid utf8 in timestamp"))?
+                    .trim();
+                text.parse::<crate::Timestamp>()
+                    .map(Value::Time)
+                    .map_err(|e| self.err(e.to_string()))
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => {
+                let start = self.pos;
+                if b == b'-' {
+                    self.bump();
+                }
+                let mut is_real = false;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        self.bump();
+                    } else if c == b'.' && !is_real {
+                        is_real = true;
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+                if is_real {
+                    text.parse::<f64>()
+                        .map(Value::Real)
+                        .map_err(|e| self.err(format!("bad real: {e}")))
+                } else {
+                    text.parse::<i64>()
+                        .map(Value::Int)
+                        .map_err(|e| self.err(format!("bad int: {e}")))
+                }
+            }
+            _ => {
+                let word = self.ident()?;
+                match word.as_str() {
+                    "true" => Ok(Value::Bool(true)),
+                    "false" => Ok(Value::Bool(false)),
+                    "C" => Ok(Value::Complex),
+                    w => Err(self.err(format!("expected a value, found {w:?}"))),
+                }
+            }
+        }
+    }
+}
+
+/// State for building the database while parsing.
+struct Builder2 {
+    db: OemDatabase,
+    /// Text oid → node; nodes may be created as placeholders on first
+    /// reference and filled in at their definition.
+    named: HashMap<String, NodeId>,
+    defined: HashSet<String>,
+}
+
+impl Builder2 {
+    fn node_for(&mut self, name: &str) -> Result<NodeId> {
+        if let Some(&n) = self.named.get(name) {
+            return Ok(n);
+        }
+        // Prefer the numeric id embedded in `nK` names so id-preserving
+        // round trips work; fall back to a fresh id.
+        let n = if let Some(raw) = name.strip_prefix('n').and_then(|d| d.parse::<u64>().ok()) {
+            let id = NodeId::from_raw(raw);
+            if self.db.is_fresh(id) {
+                self.db.create_node_with_id(id, Value::Complex)?;
+                id
+            } else {
+                self.db.create_node(Value::Complex)
+            }
+        } else {
+            self.db.create_node(Value::Complex)
+        };
+        self.named.insert(name.to_string(), n);
+        Ok(n)
+    }
+}
+
+/// Parse the textual format into a database.
+pub fn parse_text(src: &str) -> Result<OemDatabase> {
+    let mut p = Parser::new(src);
+    let name = p.ident()?;
+    p.skip_ws();
+    // Optional explicit root id.
+    let root_name = if p.peek() == Some(b'&') {
+        p.bump();
+        Some(p.ident()?)
+    } else {
+        None
+    };
+    // Without an explicit root id, pick one above every `&nK` mentioned in
+    // the source so user-chosen ids never collide with the root.
+    let root_id = match root_name
+        .as_deref()
+        .and_then(|s| s.strip_prefix('n'))
+        .and_then(|d| d.parse::<u64>().ok())
+    {
+        Some(raw) => NodeId::from_raw(raw),
+        None => NodeId::from_raw(max_mentioned_id(src) + 1),
+    };
+    let mut b = Builder2 {
+        db: OemDatabase::with_root_id(name, root_id),
+        named: HashMap::new(),
+        defined: HashSet::new(),
+    };
+    if let Some(rn) = root_name {
+        b.named.insert(rn.clone(), root_id);
+        b.defined.insert(rn);
+    }
+    parse_value_into(&mut p, &mut b, root_id)?;
+    p.skip_ws();
+    if p.peek().is_some() {
+        return Err(p.err("trailing input after database"));
+    }
+    b.db
+        .check_invariants()
+        .map_err(|msg| OemError::Text {
+            line: 0,
+            col: 0,
+            msg,
+        })?;
+    Ok(b.db)
+}
+
+/// The largest numeric id mentioned as `&nK` anywhere in the source.
+fn max_mentioned_id(src: &str) -> u64 {
+    let bytes = src.as_bytes();
+    let mut best = 0u64;
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'&' && bytes.get(i + 1) == Some(&b'n') {
+            let mut j = i + 2;
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+            if j > i + 2 {
+                if let Ok(v) = src[i + 2..j].parse::<u64>() {
+                    best = best.max(v);
+                }
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    best
+}
+
+/// Parse an object (which may be `&oid`, `&oid value`, or a bare value)
+/// and return its node.
+fn parse_object(p: &mut Parser, b: &mut Builder2) -> Result<NodeId> {
+    p.skip_ws();
+    if p.peek() == Some(b'&') {
+        p.bump();
+        let name = p.ident()?;
+        let n = b.node_for(&name)?;
+        p.skip_ws();
+        let has_value = matches!(p.peek(), Some(b'{') | Some(b'"'))
+            || p.peek().is_some_and(|c| c.is_ascii_digit() || c == b'-')
+            || lookahead_word(p);
+        if has_value {
+            if !b.defined.insert(name.clone()) {
+                return Err(p.err(format!("object &{name} defined twice")));
+            }
+            parse_value_into(p, b, n)?;
+        }
+        Ok(n)
+    } else {
+        let n = b.db.create_node(Value::Complex);
+        parse_value_into(p, b, n)?;
+        Ok(n)
+    }
+}
+
+/// `true` if the next token is a bare word that could start an atom
+/// (`true` / `false` / `C`).
+fn lookahead_word(p: &Parser) -> bool {
+    let rest = &p.src[p.pos..];
+    for w in [b"true" as &[u8], b"false", b"C"] {
+        if rest.starts_with(w) {
+            let after = rest.get(w.len()).copied();
+            if !after.is_some_and(|c| c.is_ascii_alphanumeric() || c == b'-' || c == b'_') {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn parse_value_into(p: &mut Parser, b: &mut Builder2, n: NodeId) -> Result<()> {
+    p.skip_ws();
+    if p.peek() == Some(b'{') {
+        p.bump();
+        b.db.set_value(n, Value::Complex)?;
+        loop {
+            p.skip_ws();
+            if p.peek() == Some(b'}') {
+                p.bump();
+                break;
+            }
+            let label = p.label()?;
+            let child = parse_object(p, b)?;
+            b.db.insert_arc(ArcTriple::new(n, label, child))?;
+            p.skip_ws();
+            if p.peek() == Some(b',') {
+                p.bump();
+            }
+        }
+        Ok(())
+    } else {
+        let v = p.atom()?;
+        b.db.set_value(n, v)
+    }
+}
+
+impl std::fmt::Display for OemDatabase {
+    /// Databases display in the textual OEM format (shared/cyclic nodes
+    /// get explicit ids).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&write_text(self, TextOptions::default()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guide::guide_figure2;
+    use crate::{isomorphic, same_database, GraphBuilder};
+
+    #[test]
+    fn simple_database_round_trips() {
+        let mut b = GraphBuilder::new("guide");
+        let root = b.root();
+        let rest = b.complex_child(root, "restaurant");
+        b.atom_child(rest, "name", "Janta");
+        b.atom_child(rest, "price", 10);
+        b.atom_child(rest, "rating", 4.5);
+        b.atom_child(rest, "open", true);
+        let db = b.finish();
+        let text = write_text(&db, TextOptions::default());
+        let back = parse_text(&text).unwrap();
+        assert!(isomorphic(&db, &back));
+        assert_eq!(back.name(), "guide");
+    }
+
+    #[test]
+    fn guide_round_trips_isomorphically() {
+        let db = guide_figure2();
+        let text = write_text(&db, TextOptions::default());
+        let back = parse_text(&text).unwrap();
+        assert!(isomorphic(&db, &back), "text was:\n{text}");
+    }
+
+    #[test]
+    fn always_ids_round_trips_identically() {
+        let db = guide_figure2();
+        let text = write_text(
+            &db,
+            TextOptions {
+                always_ids: true,
+            },
+        );
+        let back = parse_text(&text).unwrap();
+        assert!(same_database(&db, &back), "text was:\n{text}");
+    }
+
+    #[test]
+    fn shared_nodes_use_references() {
+        let db = guide_figure2();
+        let text = write_text(&db, TextOptions::default());
+        // n7 appears once as a definition and once as a bare reference.
+        assert_eq!(text.matches("&n7").count(), 2, "text was:\n{text}");
+    }
+
+    #[test]
+    fn cycles_are_printable_and_parseable() {
+        let mut b = GraphBuilder::new("g");
+        let root = b.root();
+        let a = b.complex_child(root, "a");
+        b.arc(a, "self", a); // tight self-loop
+        b.arc(a, "up", root); // cycle through the root
+        let db = b.finish();
+        let text = write_text(&db, TextOptions::default());
+        let back = parse_text(&text).unwrap();
+        assert!(isomorphic(&db, &back), "text was:\n{text}");
+    }
+
+    #[test]
+    fn strings_with_escapes_round_trip() {
+        let mut b = GraphBuilder::new("g");
+        let root = b.root();
+        b.atom_child(root, "note", "line1\nline2 \"quoted\" \\slash");
+        let db = b.finish();
+        let back = parse_text(&write_text(&db, TextOptions::default())).unwrap();
+        assert!(isomorphic(&db, &back));
+    }
+
+    #[test]
+    fn odd_labels_are_backquoted() {
+        let mut b = GraphBuilder::new("g");
+        let root = b.root();
+        b.atom_child(root, "label with space", 1);
+        b.atom_child(root, "&val", 2);
+        let db = b.finish();
+        let text = write_text(&db, TextOptions::default());
+        assert!(text.contains("`label with space`"));
+        // &-prefixed labels are identifier-shaped and need no quoting.
+        assert!(text.contains("&val"));
+        let back = parse_text(&text).unwrap();
+        assert!(isomorphic(&db, &back));
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        let err = parse_text("guide {\n  name \"unterminated\n}").unwrap_err();
+        match err {
+            OemError::Text { line, .. } => assert!(line >= 2),
+            other => panic!("expected text error, got {other:?}"),
+        }
+        assert!(parse_text("guide { price }").is_err());
+        assert!(parse_text("guide { price 1 } extra").is_err());
+    }
+
+    #[test]
+    fn timestamp_atoms_round_trip() {
+        let mut b = GraphBuilder::new("g");
+        let root = b.root();
+        let t: crate::Timestamp = "30Dec96 11:30pm".parse().unwrap();
+        b.atom_child(root, "polled-at", t);
+        let db = b.finish();
+        let text = write_text(&db, TextOptions::default());
+        assert!(text.contains("@30Dec96 11:30pm"));
+        let back = parse_text(&text).unwrap();
+        assert!(isomorphic(&db, &back));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let db = parse_text("guide { // a comment\n  price 10\n}").unwrap();
+        assert_eq!(db.node_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_definition_is_rejected() {
+        let src = "g { a &x { v 1 }, b &x { v 2 } }";
+        assert!(parse_text(src).is_err());
+    }
+
+    #[test]
+    fn empty_complex_object_parses() {
+        let db = parse_text("g { item {} }").unwrap();
+        assert_eq!(db.node_count(), 2);
+        assert_eq!(db.arc_count(), 1);
+    }
+}
+
+#[cfg(test)]
+mod fuzz_tests {
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+        /// All the textual parsers reject garbage with errors, never panic.
+        #[test]
+        fn parsers_never_panic(src in "\\PC{0,120}") {
+            let _ = super::parse_text(&src);
+            let _ = crate::parse_op(&src);
+            let _ = crate::parse_change_set(&src);
+            let _ = crate::parse_history(&src);
+            let _ = src.parse::<crate::Timestamp>();
+        }
+
+        /// Structured fragments assembled from format atoms never panic.
+        #[test]
+        fn structured_fragments_never_panic(
+            parts in proptest::collection::vec(
+                proptest::sample::select(vec![
+                    "guide", "{", "}", "&n1", "&n2", "name", "price",
+                    "\"x\"", "10", "2.5", "true", "C", ",", "@1Jan97",
+                    "`odd label`", "//c\n",
+                ]),
+                0..16,
+            )
+        ) {
+            let src = parts.join(" ");
+            if let Ok(db) = super::parse_text(&src) {
+                db.check_invariants().unwrap();
+                // Whatever parsed must round-trip through the writer.
+                let text = super::write_text(&db, super::TextOptions::default());
+                let back = super::parse_text(&text).unwrap();
+                prop_assert!(crate::isomorphic(&db, &back));
+            }
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! The time domain.
+//!
+//! Section 2.2 assumes "some time domain *time* that is discrete and totally
+//! ordered". We use minutes since 1990-01-01 00:00 (signed), which covers
+//! the paper's examples (`1Jan97`, `8Jan97`, polling "every night at
+//! 11:30pm") with room to spare, plus ±∞ sentinels required by the QSS time
+//! variables `t[-i]`, which the paper defines as negative infinity when the
+//! subscription has not yet polled `i` times.
+//!
+//! In keeping with Lorel's "extensive use of coercion" (Section 4.2), any
+//! recognizable textual format is accepted: `8Jan97`, `08Jan1997`,
+//! `1997-01-08`, each optionally followed by a time of day (`11:30pm`,
+//! `23:30`).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A point in the discrete, totally ordered time domain.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Timestamp(i64);
+
+const MONTHS: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+
+/// Days from 1970-01-01 to the given civil date (Howard Hinnant's algorithm).
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = i64::from((m + 9) % 12); // [0, 11], Mar == 0
+    let doy = (153 * mp + 2) / 5 + i64::from(d) - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// Inverse of [`days_from_civil`].
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Days from the epoch used by [`Timestamp`] (1990-01-01) to 1970-01-01.
+const EPOCH_OFFSET_DAYS: i64 = 7305; // days_from_civil(1990, 1, 1)
+
+impl Timestamp {
+    /// Negative infinity: earlier than every finite timestamp.
+    pub const NEG_INFINITY: Timestamp = Timestamp(i64::MIN);
+    /// Positive infinity: later than every finite timestamp.
+    pub const INFINITY: Timestamp = Timestamp(i64::MAX);
+
+    /// Build a timestamp from a civil date and time of day.
+    ///
+    /// `year` is the full year (1997, not 97). Panics on out-of-range
+    /// month/day/hour/minute — callers validating user input should go
+    /// through [`str::parse`] instead.
+    pub fn from_ymd_hm(year: i64, month: u32, day: u32, hour: u32, minute: u32) -> Timestamp {
+        assert!((1..=12).contains(&month), "month out of range: {month}");
+        assert!((1..=31).contains(&day), "day out of range: {day}");
+        assert!(hour < 24, "hour out of range: {hour}");
+        assert!(minute < 60, "minute out of range: {minute}");
+        let days = days_from_civil(year, month, day) - EPOCH_OFFSET_DAYS;
+        Timestamp(days * 24 * 60 + i64::from(hour) * 60 + i64::from(minute))
+    }
+
+    /// A date at midnight.
+    pub fn from_ymd(year: i64, month: u32, day: u32) -> Timestamp {
+        Timestamp::from_ymd_hm(year, month, day, 0, 0)
+    }
+
+    /// Raw minutes since 1990-01-01 00:00.
+    pub fn raw_minutes(self) -> i64 {
+        self.0
+    }
+
+    /// Rebuild from raw minutes (inverse of [`Timestamp::raw_minutes`]).
+    pub fn from_raw_minutes(minutes: i64) -> Timestamp {
+        Timestamp(minutes)
+    }
+
+    /// `true` for the two infinity sentinels.
+    pub fn is_infinite(self) -> bool {
+        self == Timestamp::NEG_INFINITY || self == Timestamp::INFINITY
+    }
+
+    /// This timestamp advanced by `minutes` (saturating; infinities are
+    /// fixed points).
+    pub fn plus_minutes(self, minutes: i64) -> Timestamp {
+        if self.is_infinite() {
+            return self;
+        }
+        Timestamp(self.0.saturating_add(minutes))
+    }
+
+    /// This timestamp advanced by `days`.
+    pub fn plus_days(self, days: i64) -> Timestamp {
+        self.plus_minutes(days * 24 * 60)
+    }
+
+    /// Decompose into (year, month, day, hour, minute).
+    ///
+    /// Panics on the infinity sentinels, which have no civil form.
+    pub fn civil(self) -> (i64, u32, u32, u32, u32) {
+        assert!(!self.is_infinite(), "infinite timestamp has no civil form");
+        let minutes_of_day = self.0.rem_euclid(24 * 60);
+        let days = (self.0 - minutes_of_day) / (24 * 60);
+        let (y, m, d) = civil_from_days(days + EPOCH_OFFSET_DAYS);
+        (
+            y,
+            m,
+            d,
+            (minutes_of_day / 60) as u32,
+            (minutes_of_day % 60) as u32,
+        )
+    }
+
+    /// Day of week, 0 = Monday … 6 = Sunday.
+    pub fn weekday(self) -> u32 {
+        assert!(!self.is_infinite(), "infinite timestamp has no weekday");
+        let days = self.0.div_euclid(24 * 60) + EPOCH_OFFSET_DAYS;
+        // 1970-01-01 was a Thursday (index 3 with Monday = 0).
+        ((days + 3).rem_euclid(7)) as u32
+    }
+
+    /// The timestamp at 00:00 of the same day.
+    pub fn midnight(self) -> Timestamp {
+        assert!(!self.is_infinite(), "infinite timestamp has no midnight");
+        Timestamp(self.0 - self.0.rem_euclid(24 * 60))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    /// Canonical form matches the paper: `8Jan97`, with a time-of-day suffix
+    /// when not midnight (`8Jan97 11:30pm`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Timestamp::NEG_INFINITY {
+            return f.write_str("-inf");
+        }
+        if *self == Timestamp::INFINITY {
+            return f.write_str("+inf");
+        }
+        let (y, m, d, hh, mm) = self.civil();
+        // Two-digit years are only unambiguous inside the parser's
+        // 1970–2069 pivot window; elsewhere print the full year.
+        if (1970..=2069).contains(&y) {
+            let yy = y.rem_euclid(100);
+            write!(f, "{d}{}{yy:02}", MONTHS[(m - 1) as usize])?;
+        } else {
+            write!(f, "{d}{}{y}", MONTHS[(m - 1) as usize])?;
+        }
+        if hh != 0 || mm != 0 {
+            let (h12, ampm) = match hh {
+                0 => (12, "am"),
+                1..=11 => (hh, "am"),
+                12 => (12, "pm"),
+                _ => (hh - 12, "pm"),
+            };
+            write!(f, " {h12}:{mm:02}{ampm}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Error produced when a timestamp cannot be parsed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseTimestampError {
+    input: String,
+}
+
+impl fmt::Display for ParseTimestampError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unrecognized timestamp: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseTimestampError {}
+
+fn parse_time_of_day(s: &str) -> Option<(u32, u32)> {
+    let s = s.trim();
+    let (clock, ampm) = if let Some(rest) = s.strip_suffix("pm").or_else(|| s.strip_suffix("PM")) {
+        (rest.trim_end(), Some(true))
+    } else if let Some(rest) = s.strip_suffix("am").or_else(|| s.strip_suffix("AM")) {
+        (rest.trim_end(), Some(false))
+    } else {
+        (s, None)
+    };
+    let (h, m) = clock.split_once(':')?;
+    let h: u32 = h.trim().parse().ok()?;
+    let m: u32 = m.trim().parse().ok()?;
+    if m >= 60 {
+        return None;
+    }
+    let h = match ampm {
+        None => {
+            if h >= 24 {
+                return None;
+            }
+            h
+        }
+        Some(pm) => {
+            if !(1..=12).contains(&h) {
+                return None;
+            }
+            match (pm, h) {
+                (false, 12) => 0,
+                (false, h) => h,
+                (true, 12) => 12,
+                (true, h) => h + 12,
+            }
+        }
+    };
+    Some((h, m))
+}
+
+fn month_from_name(name: &str) -> Option<u32> {
+    MONTHS
+        .iter()
+        .position(|m| m.eq_ignore_ascii_case(name))
+        .map(|i| (i + 1) as u32)
+}
+
+/// Widen a two-digit year with a 1970 pivot: `97` → 1997, `05` → 2005.
+fn widen_year(y: i64, digits: usize) -> i64 {
+    if digits <= 2 {
+        if y >= 70 {
+            1900 + y
+        } else {
+            2000 + y
+        }
+    } else {
+        y
+    }
+}
+
+/// Parse `8Jan97` / `08Jan1997` style dates.
+fn parse_compact_date(s: &str) -> Option<(i64, u32, u32)> {
+    let day_len = s.chars().take_while(|c| c.is_ascii_digit()).count();
+    if !(1..=2).contains(&day_len) {
+        return None;
+    }
+    let day: u32 = s[..day_len].parse().ok()?;
+    let rest = &s[day_len..];
+    let alpha_len = rest.chars().take_while(|c| c.is_ascii_alphabetic()).count();
+    if alpha_len != 3 {
+        return None;
+    }
+    let month = month_from_name(&rest[..alpha_len])?;
+    let year_str = &rest[alpha_len..];
+    if year_str.is_empty() || !year_str.chars().all(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    let year = widen_year(year_str.parse().ok()?, year_str.len());
+    if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return None;
+    }
+    Some((year, month, day))
+}
+
+/// Parse ISO `1997-01-08` dates.
+fn parse_iso_date(s: &str) -> Option<(i64, u32, u32)> {
+    let mut parts = s.split('-');
+    let y: i64 = parts.next()?.parse().ok()?;
+    let m: u32 = parts.next()?.parse().ok()?;
+    let d: u32 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    Some((y, m, d))
+}
+
+impl FromStr for Timestamp {
+    type Err = ParseTimestampError;
+
+    fn from_str(input: &str) -> Result<Timestamp, ParseTimestampError> {
+        let s = input.trim();
+        match s {
+            "-inf" | "-infinity" => return Ok(Timestamp::NEG_INFINITY),
+            "+inf" | "inf" | "+infinity" | "infinity" => return Ok(Timestamp::INFINITY),
+            _ => {}
+        }
+        // Split an optional time-of-day suffix on the first space.
+        let (date_part, time_part) = match s.split_once(' ') {
+            Some((d, t)) => (d, Some(t)),
+            None => (s, None),
+        };
+        let date = parse_compact_date(date_part).or_else(|| parse_iso_date(date_part));
+        let Some((y, m, d)) = date else {
+            return Err(ParseTimestampError {
+                input: input.to_string(),
+            });
+        };
+        let (hh, mm) = match time_part {
+            None => (0, 0),
+            Some(t) => parse_time_of_day(t).ok_or_else(|| ParseTimestampError {
+                input: input.to_string(),
+            })?,
+        };
+        // Reject dates that normalize to a different day (e.g. 31Feb).
+        let ts = Timestamp::from_ymd_hm(y, m, d, hh, mm);
+        let (cy, cm, cd, _, _) = ts.civil();
+        if (cy, cm, cd) != (y, m, d) {
+            return Err(ParseTimestampError {
+                input: input.to_string(),
+            });
+        }
+        Ok(ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dates_parse_and_order() {
+        let t1: Timestamp = "1Jan97".parse().unwrap();
+        let t2: Timestamp = "5Jan97".parse().unwrap();
+        let t3: Timestamp = "8Jan97".parse().unwrap();
+        assert!(t1 < t2 && t2 < t3);
+        assert_eq!(t1, Timestamp::from_ymd(1997, 1, 1));
+        assert_eq!(t3.to_string(), "8Jan97");
+    }
+
+    #[test]
+    fn coercion_accepts_many_formats() {
+        let a: Timestamp = "08Jan1997".parse().unwrap();
+        let b: Timestamp = "1997-01-08".parse().unwrap();
+        let c: Timestamp = "8Jan97".parse().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn time_of_day_suffix() {
+        let t: Timestamp = "30Dec96 11:30pm".parse().unwrap();
+        assert_eq!(t.civil(), (1996, 12, 30, 23, 30));
+        assert_eq!(t.to_string(), "30Dec96 11:30pm");
+        let u: Timestamp = "30Dec96 23:30".parse().unwrap();
+        assert_eq!(t, u);
+        let noon: Timestamp = "1Jan97 12:00pm".parse().unwrap();
+        assert_eq!(noon.civil().3, 12);
+        let midnight_ish: Timestamp = "1Jan97 12:05am".parse().unwrap();
+        assert_eq!(midnight_ish.civil().3, 0);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        for bad in ["", "Jan97", "32Jan97", "1Foo97", "1Jan97 25:00", "31Feb97"] {
+            assert!(bad.parse::<Timestamp>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn infinities_order_around_everything() {
+        let t: Timestamp = "1Jan97".parse().unwrap();
+        assert!(Timestamp::NEG_INFINITY < t);
+        assert!(t < Timestamp::INFINITY);
+        assert_eq!("-inf".parse::<Timestamp>().unwrap(), Timestamp::NEG_INFINITY);
+        assert_eq!("+inf".parse::<Timestamp>().unwrap(), Timestamp::INFINITY);
+        assert_eq!(Timestamp::NEG_INFINITY.to_string(), "-inf");
+    }
+
+    #[test]
+    fn civil_round_trip() {
+        for (y, m, d, hh, mm) in [
+            (1990, 1, 1, 0, 0),
+            (1996, 12, 30, 23, 30),
+            (1997, 1, 1, 0, 0),
+            (2000, 2, 29, 12, 0), // leap day
+            (1975, 6, 15, 6, 45), // before the epoch
+            (2038, 1, 19, 3, 14),
+        ] {
+            let ts = Timestamp::from_ymd_hm(y, m, d, hh, mm);
+            assert_eq!(ts.civil(), (y, m, d, hh, mm));
+        }
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        for s in ["1Jan97", "8Jan97", "30Dec96 11:30pm", "15Jun05 6:45am"] {
+            let ts: Timestamp = s.parse().unwrap();
+            assert_eq!(ts.to_string(), s);
+            assert_eq!(ts.to_string().parse::<Timestamp>().unwrap(), ts);
+        }
+    }
+
+    #[test]
+    fn weekday_is_correct() {
+        // 1997-01-01 was a Wednesday.
+        assert_eq!(Timestamp::from_ymd(1997, 1, 1).weekday(), 2);
+        // 1997-01-03 was a Friday.
+        assert_eq!(Timestamp::from_ymd(1997, 1, 3).weekday(), 4);
+        // 1990-01-01 (the epoch) was a Monday.
+        assert_eq!(Timestamp::from_ymd(1990, 1, 1).weekday(), 0);
+    }
+
+    #[test]
+    fn midnight_and_arithmetic() {
+        let t: Timestamp = "30Dec96 11:30pm".parse().unwrap();
+        assert_eq!(t.midnight().to_string(), "30Dec96");
+        assert_eq!(t.plus_days(2).to_string(), "1Jan97 11:30pm");
+        assert_eq!(t.plus_minutes(30).to_string(), "31Dec96");
+        assert_eq!(Timestamp::INFINITY.plus_days(5), Timestamp::INFINITY);
+    }
+
+    #[test]
+    fn two_digit_year_window() {
+        assert_eq!("1Jan70".parse::<Timestamp>().unwrap().civil().0, 1970);
+        assert_eq!("1Jan69".parse::<Timestamp>().unwrap().civil().0, 2069);
+        assert_eq!("1Jan05".parse::<Timestamp>().unwrap().civil().0, 2005);
+    }
+}

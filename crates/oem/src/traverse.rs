@@ -1,0 +1,153 @@
+//! Graph traversal utilities.
+//!
+//! Preorder walks (the paper's snapshot-extraction procedure in Section 3.2
+//! traverses "in preorder"), reachability frontiers, and simple label-path
+//! enumeration shared by the query engines.
+
+use crate::{Label, NodeId, OemDatabase};
+use std::collections::HashSet;
+
+/// Preorder depth-first traversal from `start`, visiting each node once
+/// (cycles and shared subobjects are handled by a visited set). Children
+/// are explored in arc insertion order.
+pub fn preorder(db: &OemDatabase, start: NodeId) -> Vec<NodeId> {
+    let mut order = Vec::new();
+    let mut seen = HashSet::new();
+    let mut stack = vec![start];
+    while let Some(n) = stack.pop() {
+        if !seen.insert(n) || !db.contains_node(n) {
+            continue;
+        }
+        order.push(n);
+        // Push children in reverse so they pop in insertion order.
+        for &(_, c) in db.children(n).iter().rev() {
+            if !seen.contains(&c) {
+                stack.push(c);
+            }
+        }
+    }
+    order
+}
+
+/// The set of nodes reachable from `start` (inclusive).
+pub fn reachable_from(db: &OemDatabase, start: NodeId) -> HashSet<NodeId> {
+    preorder(db, start).into_iter().collect()
+}
+
+/// All nodes reached from `start` by following exactly the label sequence
+/// `path`. Duplicate bindings are preserved (a node reachable along two
+/// distinct arc paths appears twice), matching query-binding semantics.
+pub fn follow_path(db: &OemDatabase, start: NodeId, path: &[Label]) -> Vec<NodeId> {
+    let mut frontier = vec![start];
+    for &label in path {
+        let mut next = Vec::new();
+        for n in frontier {
+            next.extend(db.children_labeled(n, label));
+        }
+        frontier = next;
+    }
+    frontier
+}
+
+/// Depth of the graph viewed as a DAG from the root: the longest acyclic
+/// path length, used by workload generators and diff heuristics.
+pub fn max_depth(db: &OemDatabase) -> usize {
+    fn go(
+        db: &OemDatabase,
+        n: NodeId,
+        on_path: &mut HashSet<NodeId>,
+        memo: &mut std::collections::HashMap<NodeId, usize>,
+    ) -> usize {
+        if let Some(&d) = memo.get(&n) {
+            return d;
+        }
+        if !on_path.insert(n) {
+            return 0; // back-edge: cycles contribute no extra depth
+        }
+        let d = db
+            .children(n)
+            .iter()
+            .map(|&(_, c)| go(db, c, on_path, memo) + 1)
+            .max()
+            .unwrap_or(0);
+        on_path.remove(&n);
+        memo.insert(n, d);
+        d
+    }
+    let mut on_path = HashSet::new();
+    let mut memo = std::collections::HashMap::new();
+    go(db, db.root(), &mut on_path, &mut memo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guide::{guide_figure2, ids};
+    use crate::GraphBuilder;
+
+    #[test]
+    fn preorder_visits_each_node_once() {
+        let db = guide_figure2();
+        let order = preorder(&db, db.root());
+        assert_eq!(order.len(), db.node_count());
+        assert_eq!(order[0], db.root());
+        let unique: HashSet<_> = order.iter().collect();
+        assert_eq!(unique.len(), order.len());
+    }
+
+    #[test]
+    fn preorder_survives_cycles() {
+        let mut b = GraphBuilder::new("g");
+        let root = b.root();
+        let a = b.complex_child(root, "a");
+        b.arc(a, "back", root);
+        let db = b.finish();
+        assert_eq!(preorder(&db, db.root()).len(), 2);
+    }
+
+    #[test]
+    fn follow_path_walks_label_sequences() {
+        let db = guide_figure2();
+        let names = follow_path(
+            &db,
+            db.root(),
+            &[Label::new("restaurant"), Label::new("name")],
+        );
+        assert_eq!(names.len(), 2);
+        let streets = follow_path(
+            &db,
+            db.root(),
+            &[
+                Label::new("restaurant"),
+                Label::new("address"),
+                Label::new("street"),
+            ],
+        );
+        assert_eq!(streets.len(), 1);
+        assert_eq!(
+            db.value(streets[0]).unwrap(),
+            &crate::Value::str("Lytton")
+        );
+    }
+
+    #[test]
+    fn follow_path_preserves_duplicate_bindings() {
+        // Both restaurants park at n7, so restaurant.parking binds n7 twice.
+        let db = guide_figure2();
+        let lots = follow_path(
+            &db,
+            db.root(),
+            &[Label::new("restaurant"), Label::new("parking")],
+        );
+        assert_eq!(lots, vec![ids::N7, ids::N7]);
+    }
+
+    #[test]
+    fn max_depth_ignores_cycles() {
+        let db = guide_figure2();
+        // root -> restaurant -> address -> street is depth 3; the
+        // parking/nearby-eats cycle adds reachability but finite depth.
+        assert!(max_depth(&db) >= 3);
+        assert!(max_depth(&db) < db.node_count());
+    }
+}

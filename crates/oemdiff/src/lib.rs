@@ -1,0 +1,38 @@
+//! # OEMdiff — inferring changes from snapshots of semistructured data
+//!
+//! The differencing substrate of *"Representing and Querying Changes in
+//! Semistructured Data"* (ICDE 1998). Autonomous sources rarely expose
+//! triggers or history, so QSS (Section 6) infers change operations from
+//! consecutive snapshots: this crate computes, for snapshots `R_old` and
+//! `R_new`, a valid OEM change set `U` with `U(R_old) = R_new` — the
+//! property the paper's `OEMdiff` module guarantees — following the
+//! matching-then-script approach of the cited CRGMW96/CGM97 algorithms.
+//!
+//! Two matching modes: [`MatchMode::ById`] when the source preserves
+//! object identifiers across polls, and [`MatchMode::Structural`]
+//! (signature + LCS alignment) when it does not.
+//!
+//! [`markup`] renders an `htmldiff`-style marked-up copy of the new
+//! snapshot highlighting insertions, updates, and deletions (the paper's
+//! Figure 1 behaviour).
+//!
+//! ```
+//! use oem::guide::{guide_figure2, guide_figure3};
+//! use oemdiff::{diff, stats, MatchMode};
+//!
+//! let r = diff(&guide_figure2(), &guide_figure3(), MatchMode::ById).unwrap();
+//! let s = stats(&r.changes);
+//! assert_eq!((s.creates, s.updates, s.adds, s.removes), (3, 1, 3, 1));
+//! ```
+
+#![warn(missing_docs)]
+
+mod markup;
+mod matching;
+mod script;
+mod signature;
+
+pub use markup::{markup, render};
+pub use matching::{match_by_id, match_structural, Matching};
+pub use script::{diff, diff_verified, stats, verify_diff, DiffResult, DiffStats, MatchMode};
+pub use signature::Signatures;

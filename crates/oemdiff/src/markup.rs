@@ -1,0 +1,166 @@
+//! htmldiff-style marked-up rendering (paper Section 1.1, Figure 1).
+//!
+//! The paper's `htmldiff` tool renders a marked-up copy of a page that
+//! highlights the differences between two versions. We produce the same
+//! behaviour over OEM snapshots: the *new* snapshot is rendered in the
+//! textual OEM style with a gutter mark per line —
+//!
+//! * `+` — inserted object or added arc,
+//! * `*` — updated value (the old value is shown inline as `old => new`),
+//! * `-` — removed arc (rendered where it used to hang, with its old
+//!   target summarized),
+//! * ` ` — unchanged.
+
+use crate::script::DiffResult;
+use crate::{diff, MatchMode};
+use oem::{ArcTriple, NodeId, OemDatabase, Value};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Render the marked-up diff between two snapshots.
+pub fn markup(old: &OemDatabase, new: &OemDatabase, mode: MatchMode) -> oem::Result<String> {
+    let result = diff(old, new, mode)?;
+    Ok(render(old, new, &result))
+}
+
+/// Render a precomputed diff.
+pub fn render(old: &OemDatabase, new: &OemDatabase, result: &DiffResult) -> String {
+    let mut out = String::new();
+    let mut visited = HashSet::new();
+    let _ = writeln!(out, "  {} {{", new.name());
+    render_children(
+        old,
+        new,
+        result,
+        new.root(),
+        1,
+        &mut visited,
+        &mut out,
+    );
+    out.push_str("  }\n");
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn summary(db: &OemDatabase, n: NodeId) -> String {
+    match db.value(n) {
+        Ok(Value::Complex) => format!("{{…{}}}", n),
+        Ok(v) => v.to_string(),
+        Err(_) => "?".to_string(),
+    }
+}
+
+fn render_children(
+    old: &OemDatabase,
+    new: &OemDatabase,
+    r: &DiffResult,
+    n: NodeId,
+    depth: usize,
+    visited: &mut HashSet<NodeId>,
+    out: &mut String,
+) {
+    // Removed arcs first (they no longer exist in `new`): arcs out of the
+    // old counterpart whose mapped form is absent.
+    if let Some(o) = r.matching.old_of(n) {
+        for &(label, old_child) in old.children(o) {
+            let still_there = r
+                .matching
+                .new_of(old_child)
+                .is_some_and(|nc| new.contains_arc(ArcTriple::new(n, label, nc)));
+            if !still_there {
+                let _ = write!(out, "- ");
+                indent(out, depth);
+                let _ = writeln!(out, "{label} {}", summary(old, old_child));
+            }
+        }
+    }
+    for &(label, child) in new.children(n) {
+        let inserted = r.matching.old_of(child).is_none();
+        let arc_added = !inserted
+            && r.matching
+                .old_of(n)
+                .is_none_or(|o| {
+                    let oc = r.matching.old_of(child).expect("checked above");
+                    !old.contains_arc(ArcTriple::new(o, label, oc))
+                });
+        let value = new.value(child).expect("child exists");
+        let updated_from: Option<&Value> = r.matching.old_of(child).and_then(|oc| {
+            let ov = old.value(oc).ok()?;
+            (ov != value).then_some(ov)
+        });
+        let mark = if inserted || arc_added {
+            '+'
+        } else if updated_from.is_some() {
+            '*'
+        } else {
+            ' '
+        };
+        let _ = write!(out, "{mark} ");
+        indent(out, depth);
+        let _ = write!(out, "{label} ");
+        if !visited.insert(child) {
+            let _ = writeln!(out, "&{child}");
+            continue;
+        }
+        match value {
+            Value::Complex => {
+                let _ = writeln!(out, "{{");
+                render_children(old, new, r, child, depth + 1, visited, out);
+                let _ = write!(out, "{mark} ");
+                indent(out, depth);
+                let _ = writeln!(out, "}}");
+            }
+            v => {
+                if let Some(ov) = updated_from {
+                    let _ = writeln!(out, "{ov} => {v}");
+                } else {
+                    let _ = writeln!(out, "{v}");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oem::guide::{guide_figure2, guide_figure3};
+
+    #[test]
+    fn figure1_style_markup_of_the_guide_update() {
+        let old = guide_figure2();
+        let new = guide_figure3();
+        let text = markup(&old, &new, MatchMode::ById).unwrap();
+        // The new Hakata restaurant is marked inserted.
+        assert!(text.contains("+"), "{text}");
+        assert!(text.contains("\"Hakata\""), "{text}");
+        // The price update shows old and new values.
+        assert!(text.contains("10 => 20"), "{text}");
+        // The removed parking arc is rendered with a '-' gutter.
+        assert!(text.lines().any(|l| l.starts_with('-') && l.contains("parking")),
+            "{text}");
+        // Unchanged lines keep a blank gutter.
+        assert!(text.lines().any(|l| l.starts_with(' ') && l.contains("Janta")),
+            "{text}");
+    }
+
+    #[test]
+    fn identical_snapshots_have_a_clean_gutter() {
+        let db = guide_figure2();
+        let text = markup(&db, &db, MatchMode::ById).unwrap();
+        assert!(text.lines().all(|l| l.starts_with(' ') || l.starts_with("  ")), "{text}");
+    }
+
+    #[test]
+    fn shared_nodes_render_as_references_once() {
+        let old = guide_figure2();
+        let text = markup(&old, &old, MatchMode::ById).unwrap();
+        // n7 appears once expanded and once as &n7.
+        assert_eq!(text.matches("&n7").count(), 1, "{text}");
+    }
+}

@@ -1,0 +1,521 @@
+//! Change-script generation: from a node matching to a valid change set
+//! `U` with `U(R_old) = R_new`.
+//!
+//! This is the contract QSS depends on (Section 6: "QSS obtains a history
+//! H … that is, `Ui(Ri−1) = Ri` for all i > 0"). The generated set is
+//! verified by application before it is returned.
+
+use crate::matching::{match_by_id, match_structural, Matching};
+use oem::{same_database, ArcTriple, ChangeOp, ChangeSet, NodeId, OemDatabase, OemError};
+use std::collections::{HashMap, HashSet};
+
+/// How nodes are matched across the two snapshots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MatchMode {
+    /// Object identifiers are stable across snapshots (the fast path; our
+    /// in-process polling results preserve ids).
+    #[default]
+    ById,
+    /// Identifiers are not comparable — match by structure (the general
+    /// autonomous-source case, per CRGMW96).
+    Structural,
+}
+
+/// The outcome of differencing.
+#[derive(Clone, Debug)]
+pub struct DiffResult {
+    /// The change set; applying it to the old snapshot yields the new one.
+    pub changes: ChangeSet,
+    /// The node matching used (old → new).
+    pub matching: Matching,
+    /// New-snapshot node → id it received in the updated old snapshot
+    /// (matched nodes keep the old id; created nodes get a fresh one).
+    pub new_ids: HashMap<NodeId, NodeId>,
+}
+
+impl DiffResult {
+    /// Number of operations in the script.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// `true` iff the snapshots were found identical.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+}
+
+/// Compute a change set transforming `old` into `new`.
+///
+/// The script is *verified*: it is applied to a copy of `old` and the
+/// result compared with `new` (by id when matched ids are preserved). An
+/// [`OemError`] here indicates an internal inconsistency, not bad input.
+///
+/// ```
+/// use oem::guide::{guide_figure2, guide_figure3};
+/// use oemdiff::{diff, MatchMode};
+///
+/// let r = diff(&guide_figure2(), &guide_figure3(), MatchMode::ById).unwrap();
+/// let mut db = guide_figure2();
+/// r.changes.apply_to(&mut db).unwrap();       // U(R_old) …
+/// assert!(oem::same_database(&db, &guide_figure3())); // … = R_new
+/// ```
+pub fn diff(old: &OemDatabase, new: &OemDatabase, mode: MatchMode) -> oem::Result<DiffResult> {
+    let mut matching = match mode {
+        MatchMode::ById => {
+            let mut m = match_by_id(old, new);
+            m.pair(old.root(), new.root()); // roots always correspond
+            m
+        }
+        MatchMode::Structural => match_structural(old, new),
+    };
+    // In id mode the root pairing may have failed above if either root was
+    // already paired to a different node (only possible when the two roots
+    // have different ids and one root's id appears as a non-root in the
+    // other database — then that id pairing is wrong; rebuild without it).
+    if matching.new_of(old.root()) != Some(new.root()) {
+        let mut m = Matching::default();
+        m.pair(old.root(), new.root());
+        for (o, n) in matching.pairs() {
+            if o != old.root() && n != new.root() {
+                m.pair(o, n);
+            }
+        }
+        matching = m;
+    }
+
+    // Assign result ids to every new node.
+    let mut scratch = old.clone();
+    let mut new_ids: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut taken: HashSet<NodeId> = old.node_ids().collect();
+    for n in new.node_ids() {
+        if let Some(o) = matching.old_of(n) {
+            new_ids.insert(n, o);
+        }
+    }
+    for n in new.node_ids() {
+        if new_ids.contains_key(&n) {
+            continue;
+        }
+        // Prefer keeping the new node's own id when it is fresh for the
+        // old database; otherwise allocate — skipping ids already claimed
+        // by other kept new nodes (the allocator only knows the old
+        // database's ids).
+        let id = if scratch.is_fresh(n) && !taken.contains(&n) {
+            n
+        } else {
+            loop {
+                let candidate = scratch.alloc_id();
+                if !taken.contains(&candidate) {
+                    break candidate;
+                }
+            }
+        };
+        taken.insert(id);
+        new_ids.insert(n, id);
+    }
+
+    // Operations.
+    let mut ops: Vec<ChangeOp> = Vec::new();
+    for n in new.node_ids() {
+        let value = new.value(n).expect("own id").clone();
+        match matching.old_of(n) {
+            None => ops.push(ChangeOp::CreNode(new_ids[&n], value)),
+            Some(o) => {
+                if old.value(o).expect("matched id") != &value {
+                    ops.push(ChangeOp::UpdNode(o, value));
+                }
+            }
+        }
+    }
+    let old_arcs: HashSet<ArcTriple> = old.arcs().collect();
+    let mapped_new: HashSet<ArcTriple> = new
+        .arcs()
+        .map(|a| ArcTriple {
+            parent: new_ids[&a.parent],
+            label: a.label,
+            child: new_ids[&a.child],
+        })
+        .collect();
+    for &arc in mapped_new.difference(&old_arcs) {
+        ops.push(ChangeOp::AddArc(arc));
+    }
+    for &arc in old_arcs.difference(&mapped_new) {
+        ops.push(ChangeOp::RemArc(arc));
+    }
+
+    let changes = ChangeSet::from_ops(ops)?;
+
+    // Verify: U(old) must equal new under the id mapping.
+    let mut check = old.clone();
+    changes.apply_to(&mut check)?;
+    if !equal_under_mapping(&check, new, &new_ids) {
+        return Err(OemError::NoValidOrdering(Box::new(OemError::Text {
+            line: 0,
+            col: 0,
+            msg: "internal: diff verification failed".to_string(),
+        })));
+    }
+    Ok(DiffResult {
+        changes,
+        matching,
+        new_ids,
+    })
+}
+
+/// `check` equals `new` with every new id replaced through `new_ids`.
+fn equal_under_mapping(
+    check: &OemDatabase,
+    new: &OemDatabase,
+    new_ids: &HashMap<NodeId, NodeId>,
+) -> bool {
+    if check.node_count() != new.node_count() || check.arc_count() != new.arc_count() {
+        return false;
+    }
+    for n in new.node_ids() {
+        let mapped = new_ids[&n];
+        if check.value(mapped).ok() != new.value(n).ok() {
+            return false;
+        }
+    }
+    new.arcs().all(|a| {
+        check.contains_arc(ArcTriple {
+            parent: new_ids[&a.parent],
+            label: a.label,
+            child: new_ids[&a.child],
+        })
+    })
+}
+
+/// Standalone verification helper used by tests and benchmarks: does
+/// applying `changes` to `old` produce a database identical to `new`?
+/// (Id-preserving sources only — for structural diffs use the mapping in
+/// [`DiffResult`].)
+pub fn verify_diff(old: &OemDatabase, new: &OemDatabase, changes: &ChangeSet) -> bool {
+    let mut db = old.clone();
+    if changes.apply_to(&mut db).is_err() {
+        return false;
+    }
+    same_database(&db, new)
+}
+
+/// Summary statistics of a change set, used by reports and benchmarks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiffStats {
+    /// `creNode` count.
+    pub creates: usize,
+    /// `updNode` count.
+    pub updates: usize,
+    /// `addArc` count.
+    pub adds: usize,
+    /// `remArc` count.
+    pub removes: usize,
+}
+
+/// Compute summary statistics.
+pub fn stats(changes: &ChangeSet) -> DiffStats {
+    let mut s = DiffStats::default();
+    for op in changes.iter() {
+        match op {
+            ChangeOp::CreNode(..) => s.creates += 1,
+            ChangeOp::UpdNode(..) => s.updates += 1,
+            ChangeOp::AddArc(..) => s.adds += 1,
+            ChangeOp::RemArc(..) => s.removes += 1,
+        }
+    }
+    s
+}
+
+/// Convenience for tests: diff expecting id-stable snapshots and verify.
+pub fn diff_verified(old: &OemDatabase, new: &OemDatabase) -> DiffResult {
+    let r = diff(old, new, MatchMode::ById).expect("diff must succeed");
+    assert!(verify_diff(old, new, &r.changes) || {
+        // Structural fallback: ids may not be preserved (fresh creNode ids).
+        let mut db = old.clone();
+        r.changes.apply_to(&mut db).expect("verified in diff");
+        oem::isomorphic(&db, new)
+    });
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oem::guide::{guide_figure2, guide_figure3, ids};
+    use oem::{isomorphic, GraphBuilder, Value};
+
+    #[test]
+    fn identical_snapshots_diff_empty() {
+        let r = diff_verified(&guide_figure2(), &guide_figure2());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn figure2_to_figure3_reproduces_example_2_3s_operations() {
+        let r = diff_verified(&guide_figure2(), &guide_figure3());
+        let s = stats(&r.changes);
+        // Example 2.3: 3 creNode, 1 updNode, 3 addArc, 1 remArc —
+        // flattened into one set here (the diff sees only endpoints).
+        assert_eq!(
+            s,
+            DiffStats {
+                creates: 3,
+                updates: 1,
+                adds: 3,
+                removes: 1
+            }
+        );
+        // New nodes keep their (fresh) snapshot ids.
+        assert_eq!(r.new_ids[&ids::N2], ids::N2);
+    }
+
+    #[test]
+    fn structural_diff_handles_renamed_ids() {
+        // Old and new describe the same world with disjoint id spaces,
+        // except the new snapshot adds a rating.
+        let mut b = GraphBuilder::with_root_id("g", 50);
+        let root = b.root();
+        let r1 = b.complex_child(root, "restaurant");
+        b.atom_child(r1, "name", "Janta");
+        b.atom_child(r1, "price", 10);
+        let old = b.finish();
+
+        let mut b = GraphBuilder::with_root_id("g", 90);
+        let root = b.root();
+        let r1 = b.complex_child(root, "restaurant");
+        b.atom_child(r1, "name", "Janta");
+        b.atom_child(r1, "price", 10);
+        b.atom_child(r1, "rating", 5);
+        let new = b.finish();
+
+        let r = diff(&old, &new, MatchMode::Structural).unwrap();
+        let s = stats(&r.changes);
+        assert_eq!(s.creates, 1, "{:?}", r.changes);
+        assert_eq!(s.adds, 1);
+        assert_eq!(s.removes, 0);
+        assert_eq!(s.updates, 0);
+        let mut db = old.clone();
+        r.changes.apply_to(&mut db).unwrap();
+        assert!(isomorphic(&db, &new));
+    }
+
+    #[test]
+    fn value_update_is_one_updnode() {
+        let old = guide_figure2();
+        let mut new = guide_figure2();
+        new.set_value(ids::N1, Value::Int(20)).unwrap();
+        let r = diff_verified(&old, &new);
+        assert_eq!(
+            r.changes.ops(),
+            &[ChangeOp::UpdNode(ids::N1, Value::Int(20))]
+        );
+    }
+
+    #[test]
+    fn arc_removal_leading_to_deletion() {
+        let old = guide_figure2();
+        let mut new = guide_figure2();
+        // Drop Janta's cuisine arc; the atom becomes unreachable in `new`
+        // only after GC, so build new properly:
+        let cuisine = new
+            .children_labeled(ids::N6, oem::Label::new("cuisine"))
+            .next()
+            .unwrap();
+        new.delete_arc(ArcTriple::new(ids::N6, "cuisine", cuisine))
+            .unwrap();
+        new.collect_garbage();
+        let r = diff_verified(&old, &new);
+        let s = stats(&r.changes);
+        assert_eq!(s.removes, 1);
+        assert_eq!(s.creates + s.adds + s.updates, 0);
+    }
+
+    #[test]
+    fn retyping_complex_to_atomic_diffs_validly() {
+        let old = guide_figure2();
+        let mut new = guide_figure2();
+        // Bangkok's complex address collapses to a plain string.
+        let addr = new
+            .children_labeled(ids::BANGKOK, oem::Label::new("address"))
+            .next()
+            .unwrap();
+        for (l, c) in new.children(addr).to_vec() {
+            new.delete_arc(ArcTriple::new(addr, l, c)).unwrap();
+        }
+        new.set_value(addr, Value::str("417 Lytton")).unwrap();
+        new.collect_garbage();
+        let r = diff_verified(&old, &new);
+        let s = stats(&r.changes);
+        assert_eq!(s.updates, 1);
+        assert_eq!(s.removes, 2);
+    }
+
+    #[test]
+    fn atomic_to_complex_diffs_validly() {
+        let old = guide_figure2();
+        let mut new = guide_figure2();
+        // Janta's plain address becomes a street/city object.
+        let addr = new
+            .children_labeled(ids::N6, oem::Label::new("address"))
+            .next()
+            .unwrap();
+        new.set_value(addr, Value::Complex).unwrap();
+        let street = new.create_node(Value::str("120 Lytton"));
+        new.insert_arc(ArcTriple::new(addr, "street", street)).unwrap();
+        let r = diff_verified(&old, &new);
+        let s = stats(&r.changes);
+        assert_eq!(s.updates, 1);
+        assert_eq!(s.creates, 1);
+        assert_eq!(s.adds, 1);
+    }
+
+    #[test]
+    fn id_collision_allocates_fresh_ids() {
+        // The new snapshot reuses an id that the old database already
+        // spends on something else entirely.
+        let mut b = GraphBuilder::with_root_id("g", 1);
+        let root = b.root();
+        b.atom_child(root, "x", 1); // takes id 2
+        let old = b.finish();
+
+        let mut b = GraphBuilder::with_root_id("g", 1);
+        let root = b.root();
+        b.atom_child(root, "x", 1); // id 2 again (matched)
+        b.atom_child(root, "y", 99); // id 3 — fresh for old? old never used 3
+        let new = b.finish();
+
+        let r = diff(&old, &new, MatchMode::ById).unwrap();
+        let mut db = old.clone();
+        r.changes.apply_to(&mut db).unwrap();
+        assert!(isomorphic(&db, &new));
+    }
+
+    #[test]
+    fn moved_subtree_diffs_as_arc_rewiring() {
+        // The parking object moves from Janta to Hakata-like new parent:
+        // id-mode diff should produce only arc ops, no node churn.
+        let old = guide_figure2();
+        let mut new = guide_figure2();
+        new.delete_arc(ArcTriple::new(ids::N6, "parking", ids::N7)).unwrap();
+        let addr = new
+            .children_labeled(ids::BANGKOK, oem::Label::new("address"))
+            .next()
+            .unwrap();
+        new.insert_arc(ArcTriple::new(addr, "parking", ids::N7)).unwrap();
+        let r = diff_verified(&old, &new);
+        let s = stats(&r.changes);
+        assert_eq!((s.creates, s.updates, s.adds, s.removes), (0, 0, 1, 1));
+    }
+
+    #[test]
+    fn value_type_changes_are_single_updates() {
+        // Janta's "moderate" price becomes the integer 25.
+        let old = guide_figure2();
+        let mut new = guide_figure2();
+        let p = new
+            .children_labeled(ids::N6, oem::Label::new("price"))
+            .next()
+            .unwrap();
+        new.set_value(p, Value::Int(25)).unwrap();
+        let r = diff_verified(&old, &new);
+        assert_eq!(r.changes.ops(), &[ChangeOp::UpdNode(p, Value::Int(25))]);
+    }
+
+    #[test]
+    fn empty_to_populated_is_all_creates() {
+        let old = oem::OemDatabase::new("guide");
+        let new = guide_figure2();
+        // Different root ids: the diff still works through root pairing.
+        let r = diff(&old, &new, MatchMode::ById).unwrap();
+        let mut db = old.clone();
+        r.changes.apply_to(&mut db).unwrap();
+        assert!(isomorphic(&db, &new));
+        let s = stats(&r.changes);
+        assert_eq!(s.removes, 0);
+        assert_eq!(s.updates, 0);
+        assert_eq!(s.creates, new.node_count() - 1); // all but the root
+    }
+
+    #[test]
+    fn structural_diff_of_reordered_siblings_is_cheap() {
+        // Same children, different insertion order: the content is
+        // identical (arcs are a set), so the diff must be empty.
+        let mut b = GraphBuilder::new("g");
+        let root = b.root();
+        for i in [1i64, 2, 3] {
+            b.atom_child(root, "x", i);
+        }
+        let old = b.finish();
+        let mut b = GraphBuilder::with_root_id("g", 10);
+        let root = b.root();
+        for i in [3i64, 1, 2] {
+            b.atom_child(root, "x", i);
+        }
+        let new = b.finish();
+        let r = diff(&old, &new, MatchMode::Structural).unwrap();
+        assert!(r.is_empty(), "{:?}", r.changes);
+    }
+
+    #[test]
+    fn allocated_ids_skip_ids_kept_by_other_new_nodes() {
+        // Old: root n1 + atom n2 (next alloc would be 3). New: a matched
+        // n2, a new node that deliberately *takes* id 3 (fresh for old,
+        // kept), and a new node whose id collides with old's n2 parent
+        // structure — its replacement id must not collide with the kept 3.
+        let mut b = GraphBuilder::with_root_id("g", 1);
+        let r = b.root();
+        b.atom_child(r, "a", 1); // id 2
+        let old = b.finish();
+
+        let mut b = GraphBuilder::with_root_id("g", 1);
+        let r = b.root();
+        b.atom_child(r, "a", 1); // id 2, matches
+        let keeps_three = b.atom_with_id(3, 33);
+        b.arc(r, "b", keeps_three);
+        // Unmatched new node whose id (2) is taken in old: needs an
+        // allocated id, and the naive allocator would hand out 3.
+        let mut clash = GraphBuilder::with_root_id("h", 50);
+        let cr = clash.root();
+        let c2 = clash.atom_with_id(2, 44);
+        clash.arc(cr, "x", c2);
+        let clash_db = clash.finish();
+        // Merge the clash into `new` manually: create value-44 node under
+        // a fresh label so it stays unmatched (different value than old 2).
+        let _ = clash_db;
+        let c = b.atom(44);
+        b.arc(r, "c", c);
+        let mut new = b.finish();
+        // Force the unmatched node to carry id 2's semantics by id: we
+        // need an unmatched node whose own id is NOT fresh for old. The
+        // atom `c` got an auto id (4) — rebuild it as id 2 is impossible
+        // (2 exists here). Instead simulate via old retiring id 4:
+        let mut old = old;
+        let tmp = old.create_node(Value::Int(0));
+        old.insert_arc(ArcTriple::new(old.root(), "tmp", tmp)).unwrap();
+        old.delete_arc(ArcTriple::new(old.root(), "tmp", tmp)).unwrap();
+        old.collect_garbage(); // retires id 3? no — tmp got id 3; retired.
+        // Now old has retired id 3; `new`'s kept id 3 is NOT fresh for old
+        // → needs alloc; old.next is 4 which equals new's auto atom id 4
+        // (also unmatched, kept because fresh) → naive alloc collides.
+        new.set_name("g");
+        let r = diff(&old, &new, MatchMode::ById).unwrap();
+        let mut db = old.clone();
+        r.changes.apply_to(&mut db).unwrap();
+        assert!(isomorphic(&db, &new));
+    }
+
+    #[test]
+    fn cyclic_structures_diff() {
+        let old = guide_figure2();
+        let mut new = guide_figure2();
+        // Re-point the cycle: nearby-eats moves from Bangkok to Janta.
+        new.delete_arc(ArcTriple::new(ids::N7, "nearby-eats", ids::BANGKOK))
+            .unwrap();
+        new.insert_arc(ArcTriple::new(ids::N7, "nearby-eats", ids::N6))
+            .unwrap();
+        let r = diff_verified(&old, &new);
+        let s = stats(&r.changes);
+        assert_eq!(s.adds, 1);
+        assert_eq!(s.removes, 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! Structural node signatures.
+//!
+//! The matcher compares nodes across two snapshots by signature: an
+//! iterated hash of a node's value and its children's labels and
+//! signatures (color refinement). Unlike a bottom-up subtree hash, color
+//! refinement converges on cyclic graphs too, which OEM permits.
+//!
+//! Two nodes with equal signatures are *very likely* roots of isomorphic
+//! reachable subgraphs; the change-script generator never relies on that
+//! blindly — it verifies the final script by applying it — so a hash
+//! collision can only cost script quality, not correctness.
+
+use oem::{Label, NodeId, OemDatabase};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// The number of refinement rounds. Signatures distinguish structure up to
+/// this depth; deeper differences are caught by the verification step.
+const ROUNDS: usize = 8;
+
+fn hash64(h: impl Hash) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    h.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Per-node signatures for one database.
+#[derive(Clone, Debug)]
+pub struct Signatures {
+    sig: HashMap<NodeId, u64>,
+    /// Shallow signature: value only (used as a weaker fallback tier).
+    value_sig: HashMap<NodeId, u64>,
+}
+
+impl Signatures {
+    /// Compute signatures for every node of `db`.
+    pub fn compute(db: &OemDatabase) -> Signatures {
+        let mut sig: HashMap<NodeId, u64> = db
+            .node_ids()
+            .map(|n| (n, hash64(db.value(n).expect("own id"))))
+            .collect();
+        let value_sig = sig.clone();
+        for _ in 0..ROUNDS {
+            let mut next = HashMap::with_capacity(sig.len());
+            for n in db.node_ids() {
+                let mut child_sigs: Vec<(Label, u64)> = db
+                    .children(n)
+                    .iter()
+                    .map(|&(l, c)| (l, sig[&c]))
+                    .collect();
+                child_sigs.sort();
+                next.insert(n, hash64((sig[&n], child_sigs)));
+            }
+            sig = next;
+        }
+        Signatures { sig, value_sig }
+    }
+
+    /// The deep (refined) signature of `n`.
+    pub fn deep(&self, n: NodeId) -> u64 {
+        self.sig[&n]
+    }
+
+    /// The shallow (value-only) signature of `n`.
+    pub fn shallow(&self, n: NodeId) -> u64 {
+        self.value_sig[&n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oem::guide::guide_figure2;
+    use oem::GraphBuilder;
+
+    #[test]
+    fn identical_structures_get_identical_signatures() {
+        let a = guide_figure2();
+        let b = guide_figure2();
+        let sa = Signatures::compute(&a);
+        let sb = Signatures::compute(&b);
+        for n in a.node_ids() {
+            assert_eq!(sa.deep(n), sb.deep(n));
+        }
+    }
+
+    #[test]
+    fn value_changes_change_signatures_up_the_path() {
+        let a = guide_figure2();
+        let mut b = guide_figure2();
+        b.set_value(oem::guide::ids::N1, oem::Value::Int(20)).unwrap();
+        let sa = Signatures::compute(&a);
+        let sb = Signatures::compute(&b);
+        // The changed leaf and the root both differ.
+        assert_ne!(sa.deep(oem::guide::ids::N1), sb.deep(oem::guide::ids::N1));
+        assert_ne!(sa.deep(a.root()), sb.deep(b.root()));
+        // An untouched leaf (Janta's cuisine) is unchanged.
+        let cuisine = a
+            .children_labeled(oem::guide::ids::N6, oem::Label::new("cuisine"))
+            .next()
+            .unwrap();
+        assert_eq!(sa.deep(cuisine), sb.deep(cuisine));
+    }
+
+    #[test]
+    fn cycles_converge() {
+        let mut b = GraphBuilder::new("g");
+        let root = b.root();
+        let a = b.complex_child(root, "x");
+        b.arc(a, "loop", a);
+        let db = b.finish();
+        let s = Signatures::compute(&db); // must terminate
+        assert_ne!(s.deep(db.root()), s.deep(a));
+    }
+
+    #[test]
+    fn shallow_signature_ignores_structure() {
+        let mut b = GraphBuilder::new("g");
+        let root = b.root();
+        let x = b.atom_child(root, "a", 1);
+        let y = b.atom_child(root, "b", 1);
+        let db = b.finish();
+        let s = Signatures::compute(&db);
+        assert_eq!(s.shallow(x), s.shallow(y));
+    }
+}

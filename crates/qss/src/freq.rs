@@ -1,0 +1,285 @@
+//! Frequency specifications (Section 6).
+//!
+//! "The first component is a frequency specification f that specifies how
+//! often QSS should check the information source … Examples … are 'every
+//! Friday at 5:00pm' and 'every 10 minutes'." A specification implies the
+//! sequence of polling times `(t1, t2, t3, …)`.
+
+use oem::Timestamp;
+use std::fmt;
+use std::str::FromStr;
+
+/// A parsed frequency specification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrequencySpec {
+    /// `every N minutes` / `every N hours` / `every N days` (interval in
+    /// minutes).
+    EveryMinutes(i64),
+    /// `every day|night at H:MMam/pm` — daily at a fixed time of day
+    /// (minutes after midnight).
+    DailyAt(i64),
+    /// `every <weekday> at H:MMam/pm` — weekly; weekday 0 = Monday.
+    WeeklyAt {
+        /// 0 = Monday … 6 = Sunday.
+        weekday: u32,
+        /// Minutes after midnight.
+        minute_of_day: i64,
+    },
+}
+
+impl FrequencySpec {
+    /// The first polling time strictly after `now`.
+    pub fn next_after(&self, now: Timestamp) -> Timestamp {
+        match *self {
+            FrequencySpec::EveryMinutes(n) => now.plus_minutes(n),
+            FrequencySpec::DailyAt(m) => {
+                let today = now.midnight().plus_minutes(m);
+                if today > now {
+                    today
+                } else {
+                    today.plus_days(1)
+                }
+            }
+            FrequencySpec::WeeklyAt {
+                weekday,
+                minute_of_day,
+            } => {
+                let mut candidate = now.midnight().plus_minutes(minute_of_day);
+                // Walk forward to the requested weekday, strictly after now.
+                for _ in 0..8 {
+                    if candidate.weekday() == weekday && candidate > now {
+                        return candidate;
+                    }
+                    candidate = candidate.plus_days(1);
+                }
+                unreachable!("a weekday occurs within 8 days")
+            }
+        }
+    }
+
+    /// The polling times within `(after, until]`, in order.
+    pub fn times_between(&self, after: Timestamp, until: Timestamp) -> Vec<Timestamp> {
+        let mut out = Vec::new();
+        let mut t = self.next_after(after);
+        while t <= until {
+            out.push(t);
+            t = self.next_after(t);
+        }
+        out
+    }
+}
+
+impl fmt::Display for FrequencySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FrequencySpec::EveryMinutes(n) => write!(f, "every {n} minutes"),
+            FrequencySpec::DailyAt(m) => {
+                write!(f, "every day at {}", fmt_minute_of_day(m))
+            }
+            FrequencySpec::WeeklyAt {
+                weekday,
+                minute_of_day,
+            } => write!(
+                f,
+                "every {} at {}",
+                WEEKDAYS[weekday as usize],
+                fmt_minute_of_day(minute_of_day)
+            ),
+        }
+    }
+}
+
+const WEEKDAYS: [&str; 7] = [
+    "monday",
+    "tuesday",
+    "wednesday",
+    "thursday",
+    "friday",
+    "saturday",
+    "sunday",
+];
+
+fn fmt_minute_of_day(m: i64) -> String {
+    let (h, mm) = (m / 60, m % 60);
+    let (h12, ap) = match h {
+        0 => (12, "am"),
+        1..=11 => (h, "am"),
+        12 => (12, "pm"),
+        _ => (h - 12, "pm"),
+    };
+    format!("{h12}:{mm:02}{ap}")
+}
+
+/// Error for unparseable frequency specifications.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseFrequencyError(String);
+
+impl fmt::Display for ParseFrequencyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unrecognized frequency specification: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseFrequencyError {}
+
+fn parse_time_of_day(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let (clock, pm) = if let Some(r) = s.strip_suffix("pm") {
+        (r, Some(true))
+    } else if let Some(r) = s.strip_suffix("am") {
+        (r, Some(false))
+    } else {
+        (s, None)
+    };
+    let (h, m) = clock.trim().split_once(':')?;
+    let h: i64 = h.trim().parse().ok()?;
+    let m: i64 = m.trim().parse().ok()?;
+    if m >= 60 {
+        return None;
+    }
+    let h = match pm {
+        None if h < 24 => h,
+        Some(false) if (1..=12).contains(&h) => h % 12,
+        Some(true) if (1..=12).contains(&h) => h % 12 + 12,
+        _ => return None,
+    };
+    Some(h * 60 + m)
+}
+
+impl FromStr for FrequencySpec {
+    type Err = ParseFrequencyError;
+
+    /// Accepts the paper's phrasings: `every 10 minutes`, `every hour`,
+    /// `every night at 11:30pm`, `every day at 9:00am`, `every Friday at
+    /// 5:00pm`.
+    fn from_str(input: &str) -> Result<FrequencySpec, ParseFrequencyError> {
+        let err = || ParseFrequencyError(input.to_string());
+        let lower = input.trim().to_lowercase();
+        let rest = lower.strip_prefix("every").ok_or_else(err)?.trim();
+        let words: Vec<&str> = rest.split_whitespace().collect();
+        match words.as_slice() {
+            [n, unit] => {
+                let n: i64 = n.parse().map_err(|_| err())?;
+                if n <= 0 {
+                    return Err(err());
+                }
+                let mult = match *unit {
+                    "minute" | "minutes" => 1,
+                    "hour" | "hours" => 60,
+                    "day" | "days" => 24 * 60,
+                    _ => return Err(err()),
+                };
+                Ok(FrequencySpec::EveryMinutes(n * mult))
+            }
+            ["minute"] => Ok(FrequencySpec::EveryMinutes(1)),
+            ["hour"] => Ok(FrequencySpec::EveryMinutes(60)),
+            ["day"] => Ok(FrequencySpec::DailyAt(0)),
+            [d @ ("day" | "night"), "at", time @ ..] => {
+                let _ = d;
+                let m = parse_time_of_day(&time.join(" ")).ok_or_else(err)?;
+                Ok(FrequencySpec::DailyAt(m))
+            }
+            [weekday, "at", time @ ..] => {
+                let wd = WEEKDAYS
+                    .iter()
+                    .position(|w| w == weekday)
+                    .ok_or_else(err)? as u32;
+                let m = parse_time_of_day(&time.join(" ")).ok_or_else(err)?;
+                Ok(FrequencySpec::WeeklyAt {
+                    weekday: wd,
+                    minute_of_day: m,
+                })
+            }
+            _ => Err(err()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: &str) -> Timestamp {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn example_6_1_nightly_schedule() {
+        // Subscription created Dec 30 1996 at 10:00am, "every night at
+        // 11:30pm" → t1=30Dec96, t2=31Dec96, t3=1Jan97, all at 11:30pm.
+        let f: FrequencySpec = "every night at 11:30pm".parse().unwrap();
+        let created = ts("30Dec96 10:00am");
+        let times = f.times_between(created, ts("1Jan97 11:30pm"));
+        assert_eq!(
+            times,
+            vec![
+                ts("30Dec96 11:30pm"),
+                ts("31Dec96 11:30pm"),
+                ts("1Jan97 11:30pm"),
+            ]
+        );
+    }
+
+    #[test]
+    fn every_ten_minutes() {
+        let f: FrequencySpec = "every 10 minutes".parse().unwrap();
+        let t = ts("1Jan97 9:00am");
+        assert_eq!(f.next_after(t), ts("1Jan97 9:10am"));
+        assert_eq!(f.times_between(t, ts("1Jan97 9:30am")).len(), 3);
+    }
+
+    #[test]
+    fn every_friday_at_five() {
+        let f: FrequencySpec = "every Friday at 5:00pm".parse().unwrap();
+        // 1997-01-01 was a Wednesday; the next Friday is Jan 3.
+        assert_eq!(f.next_after(ts("1Jan97")), ts("3Jan97 5:00pm"));
+        // From Friday 6pm, the next is a week later.
+        assert_eq!(f.next_after(ts("3Jan97 6:00pm")), ts("10Jan97 5:00pm"));
+        // From Friday 5pm exactly, strictly after → next week.
+        assert_eq!(f.next_after(ts("3Jan97 5:00pm")), ts("10Jan97 5:00pm"));
+    }
+
+    #[test]
+    fn daily_boundary_cases() {
+        let f: FrequencySpec = "every day at 9:00am".parse().unwrap();
+        assert_eq!(f.next_after(ts("1Jan97 8:59am")), ts("1Jan97 9:00am"));
+        assert_eq!(f.next_after(ts("1Jan97 9:00am")), ts("2Jan97 9:00am"));
+        let midnight: FrequencySpec = "every day".parse().unwrap();
+        assert_eq!(midnight.next_after(ts("1Jan97 12:01am")), ts("2Jan97"));
+    }
+
+    #[test]
+    fn hours_and_days_units() {
+        assert_eq!(
+            "every 2 hours".parse::<FrequencySpec>().unwrap(),
+            FrequencySpec::EveryMinutes(120)
+        );
+        assert_eq!(
+            "every 3 days".parse::<FrequencySpec>().unwrap(),
+            FrequencySpec::EveryMinutes(3 * 24 * 60)
+        );
+        assert_eq!(
+            "every hour".parse::<FrequencySpec>().unwrap(),
+            FrequencySpec::EveryMinutes(60)
+        );
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for s in [
+            "every 10 minutes",
+            "every day at 11:30pm",
+            "every friday at 5:00pm",
+        ] {
+            let f: FrequencySpec = s.parse().unwrap();
+            assert_eq!(f.to_string().parse::<FrequencySpec>().unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        for bad in ["", "sometimes", "every", "every -5 minutes", "every blue at 9:00am", "every day at 25:00"] {
+            assert!(bad.parse::<FrequencySpec>().is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # QSS — the Query Subscription Service
+//!
+//! The application of Section 6 of *"Representing and Querying Changes in
+//! Semistructured Data"* (ICDE 1998): users *subscribe* to changes in
+//! autonomous semistructured sources. A subscription is `⟨f, Ql, Qc⟩` — a
+//! frequency specification, a polling Lorel query, and a Chorel filter
+//! query. At each polling time the server queries the source, infers the
+//! change set against the previous result with OEMdiff, folds it into a
+//! per-subscription DOEM database, evaluates the filter query (with the
+//! `t[i]` time variables resolved), and notifies clients of non-empty
+//! results.
+//!
+//! Sources are simulated in-process (the paper's live Web/library sources
+//! are unreachable three decades later — see DESIGN.md); everything
+//! downstream of the wrapper boundary is the paper's architecture.
+//!
+//! ```
+//! use qss::{QssServer, ScriptedSource, Subscription};
+//! use lorel::QueryRegistry;
+//!
+//! let mut reg = QueryRegistry::new();
+//! reg.load(
+//!     "define polling query Restaurants as select guide.restaurant \
+//!      define filter query NewRestaurants as \
+//!      select Restaurants.restaurant<cre at T> where T > t[-1]",
+//! ).unwrap();
+//! let sub = Subscription::from_registry(
+//!     "S", "every night at 11:30pm".parse().unwrap(),
+//!     &reg, "Restaurants", "NewRestaurants").unwrap();
+//!
+//! let mut server = QssServer::new(ScriptedSource::paper_guide());
+//! server.subscribe(sub, "30Dec96 10:00am".parse().unwrap());
+//! server.run_until("1Jan97 11:30pm".parse().unwrap()).unwrap();
+//! // t1: initial results; t2: silent; t3: Hakata (Example 6.1).
+//! assert_eq!(server.notifications().len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+mod freq;
+mod notify;
+mod persist;
+mod script;
+mod server;
+mod source;
+mod subscription;
+mod trigger;
+
+pub use freq::{FrequencySpec, ParseFrequencyError};
+pub use notify::{Notification, PollRecord};
+pub use persist::state_db_name;
+pub use script::SubscriptionScript;
+pub use server::{latest_result, PreviousResult, QssServer};
+pub use source::{
+    library_source, mutate_guide, synthetic_guide, EvolvingSource, ScrambledSource,
+    ScriptedSource, Source,
+};
+pub use subscription::Subscription;
+pub use trigger::{Trigger, TriggerAction, TriggerEvent, TriggerFiring};

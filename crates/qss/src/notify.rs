@@ -1,0 +1,37 @@
+//! Notifications delivered to Query Subscription Clients.
+
+use lorel::QueryResult;
+use oem::Timestamp;
+
+/// A non-empty filter-query result pushed to subscribers.
+#[derive(Clone, Debug)]
+pub struct Notification {
+    /// The subscription that fired.
+    pub subscription: String,
+    /// The polling time that produced it.
+    pub at: Timestamp,
+    /// The filter query's result (rows + packaged OEM database).
+    pub result: QueryResult,
+}
+
+impl Notification {
+    /// Number of result rows.
+    pub fn rows(&self) -> usize {
+        self.result.len()
+    }
+}
+
+/// One record per poll, whether or not it produced a notification —
+/// the experiment harness reads these to reproduce the paper's
+/// Example 6.1 trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PollRecord {
+    /// The subscription polled.
+    pub subscription: String,
+    /// When.
+    pub at: Timestamp,
+    /// Size of the inferred change set.
+    pub changes: usize,
+    /// Rows the filter query returned.
+    pub filter_rows: usize,
+}

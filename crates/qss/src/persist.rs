@@ -1,0 +1,187 @@
+//! Server-state persistence: a QSS server survives restarts.
+//!
+//! The subscription metadata itself is stored *as an OEM database* — the
+//! model is its own configuration store:
+//!
+//! ```text
+//! qss-state {
+//!   subscription {
+//!     id "S",
+//!     frequency "every day at 11:30pm",
+//!     polling-name "Restaurants",
+//!     polling "select guide.restaurant",
+//!     filter-name "NewRestaurants",
+//!     filter "select Restaurants.restaurant<cre at T> …",
+//!     match-mode "by-id",
+//!     next-due @1Jan97 11:30pm,
+//!     poll-time @30Dec96 11:30pm,
+//!     poll-time @31Dec96 11:30pm,
+//!     trigger "create trigger price-hike on updated price …"
+//!   }
+//! }
+//! ```
+//!
+//! Each subscription's accumulated DOEM database is stored separately under
+//! its id (via the Section 5.1 encoding, as the DOEM Manager always does).
+
+use crate::{FrequencySpec, QssServer, Source, Subscription, Trigger};
+use lore::{LoreError, LoreStore};
+use oem::{GraphBuilder, Label, Timestamp, Value};
+
+const STATE_DB: &str = "qss-state";
+
+fn invalid(msg: impl Into<String>) -> LoreError {
+    LoreError::Invalid(msg.into())
+}
+
+impl<S: Source> QssServer<S> {
+    /// Persist every subscription's metadata, schedule, triggers, and DOEM
+    /// database into `store`.
+    pub fn persist_state(&self, store: &LoreStore) -> lore::Result<()> {
+        let mut b = GraphBuilder::new(STATE_DB);
+        let root = b.root();
+        b.atom_child(root, "merge-similar", self.merges_similar());
+        for id in self.subscription_ids() {
+            let snapshot = self
+                .subscription_snapshot(&id)
+                .expect("listed ids exist");
+            let node = b.complex_child(root, "subscription");
+            b.atom_child(node, "id", id.as_str());
+            b.atom_child(node, "frequency", snapshot.sub.frequency.to_string());
+            b.atom_child(node, "polling-name", snapshot.sub.polling_name.as_str());
+            b.atom_child(node, "polling", snapshot.sub.polling.to_string());
+            b.atom_child(node, "filter-name", snapshot.sub.filter_name.as_str());
+            b.atom_child(node, "filter", snapshot.sub.filter.to_string());
+            b.atom_child(
+                node,
+                "match-mode",
+                match snapshot.sub.match_mode {
+                    oemdiff::MatchMode::ById => "by-id",
+                    oemdiff::MatchMode::Structural => "structural",
+                },
+            );
+            b.atom_child(node, "next-due", snapshot.next_due);
+            for &t in snapshot.poll_times {
+                b.atom_child(node, "poll-time", t);
+            }
+            for trigger in snapshot.triggers {
+                let node_t = b.atom_child(node, "trigger", trigger.to_string());
+                if !trigger.enabled {
+                    // Disabled triggers are re-created disabled.
+                    let _ = node_t;
+                    b.atom_child(node, "trigger-disabled", trigger.name.as_str());
+                }
+            }
+            store.save_doem(&id, self.doem_of(&id).expect("listed ids exist"))?;
+        }
+        store.save(STATE_DB, &b.finish())
+    }
+
+    /// Rebuild a server over `source` from a previously persisted state.
+    pub fn restore_state(source: S, store: &LoreStore) -> lore::Result<QssServer<S>> {
+        let state = store.load(STATE_DB)?;
+        let mut server = QssServer::new(source);
+        let merged = state
+            .children_labeled(state.root(), Label::new("merge-similar"))
+            .next()
+            .and_then(|n| match state.value(n).ok() {
+                Some(Value::Bool(b)) => Some(*b),
+                _ => None,
+            })
+            .unwrap_or(false);
+        if merged {
+            server = server.with_merged_subscriptions();
+        }
+        for sub_node in state.children_labeled(state.root(), Label::new("subscription")) {
+            let text = |label: &str| -> lore::Result<String> {
+                let child = state
+                    .children_labeled(sub_node, Label::new(label))
+                    .next()
+                    .ok_or_else(|| invalid(format!("subscription missing {label}")))?;
+                match state.value(child).map_err(|e| invalid(e.to_string()))? {
+                    Value::Str(s) => Ok(s.to_string()),
+                    other => Err(invalid(format!("{label} is not a string: {other}"))),
+                }
+            };
+            let time = |label: &str| -> lore::Result<Timestamp> {
+                let child = state
+                    .children_labeled(sub_node, Label::new(label))
+                    .next()
+                    .ok_or_else(|| invalid(format!("subscription missing {label}")))?;
+                match state.value(child).map_err(|e| invalid(e.to_string()))? {
+                    Value::Time(t) => Ok(*t),
+                    other => Err(invalid(format!("{label} is not a time: {other}"))),
+                }
+            };
+
+            let id = text("id")?;
+            let frequency: FrequencySpec = text("frequency")?
+                .parse()
+                .map_err(|e: crate::ParseFrequencyError| invalid(e.to_string()))?;
+            let polling =
+                lorel::parse_query(&text("polling")?).map_err(|e| invalid(e.to_string()))?;
+            let filter =
+                lorel::parse_query(&text("filter")?).map_err(|e| invalid(e.to_string()))?;
+            let match_mode = match text("match-mode")?.as_str() {
+                "by-id" => oemdiff::MatchMode::ById,
+                "structural" => oemdiff::MatchMode::Structural,
+                other => return Err(invalid(format!("unknown match mode {other:?}"))),
+            };
+            let sub = Subscription {
+                id: id.clone(),
+                frequency,
+                polling_name: text("polling-name")?,
+                polling,
+                filter_name: text("filter-name")?,
+                filter,
+                match_mode,
+            };
+
+            let mut poll_times: Vec<Timestamp> = state
+                .children_labeled(sub_node, Label::new("poll-time"))
+                .filter_map(|c| match state.value(c).ok() {
+                    Some(Value::Time(t)) => Some(*t),
+                    _ => None,
+                })
+                .collect();
+            poll_times.sort();
+            let next_due = time("next-due")?;
+
+            let doem = store.load_doem(&id)?;
+            server.install_restored(sub, doem, poll_times, next_due);
+
+            // Triggers, disabled names applied afterwards.
+            let disabled: Vec<String> = state
+                .children_labeled(sub_node, Label::new("trigger-disabled"))
+                .filter_map(|c| match state.value(c).ok() {
+                    Some(Value::Str(s)) => Some(s.to_string()),
+                    _ => None,
+                })
+                .collect();
+            for t in state.children_labeled(sub_node, Label::new("trigger")) {
+                if let Ok(Value::Str(src_text)) = state.value(t) {
+                    let mut trigger =
+                        Trigger::parse(src_text).map_err(|e| invalid(e.to_string()))?;
+                    if disabled.contains(&trigger.name) {
+                        trigger.enabled = false;
+                    }
+                    server.add_trigger(&id, trigger);
+                }
+            }
+        }
+        Ok(server)
+    }
+}
+
+/// Internal view used by persistence (defined in `server.rs`).
+pub(crate) struct SubscriptionSnapshot<'a> {
+    pub sub: &'a Subscription,
+    pub poll_times: &'a [Timestamp],
+    pub next_due: Timestamp,
+    pub triggers: &'a [Trigger],
+}
+
+/// The name under which the server's state database is stored.
+pub fn state_db_name() -> &'static str {
+    STATE_DB
+}

@@ -1,0 +1,218 @@
+//! Subscription scripts: the whole of a QSS configuration as text.
+//!
+//! Combines the paper's `define polling query` / `define filter query`
+//! statements (Section 6) with subscription declarations and the ECA
+//! trigger syntax (Section 7 extension):
+//!
+//! ```text
+//! define polling query Restaurants as select guide.restaurant
+//! define filter query NewRestaurants as
+//!     select Restaurants.restaurant<cre at T> where T > t[-1]
+//!
+//! subscribe S every night at 11:30pm poll Restaurants filter NewRestaurants
+//! create trigger price-hike on S updated price when NV > OV do notify
+//! ```
+//!
+//! `subscribe` lines reference previously defined queries; `create trigger
+//! … on SUBSCRIPTION …` lines attach to a previously declared
+//! subscription.
+
+use crate::{FrequencySpec, Subscription, Trigger};
+use lorel::{LorelError, QueryRegistry, Result};
+
+/// A parsed subscription script: subscriptions with their triggers.
+#[derive(Clone, Debug, Default)]
+pub struct SubscriptionScript {
+    /// Declared subscriptions in order.
+    pub subscriptions: Vec<Subscription>,
+    /// `(subscription id, trigger)` pairs in order.
+    pub triggers: Vec<(String, Trigger)>,
+}
+
+impl SubscriptionScript {
+    /// Parse a whole script. `define` statements may span lines (they end
+    /// where the next `define`/`subscribe`/`create trigger` begins);
+    /// `subscribe` and `create trigger` statements are one line each.
+    pub fn parse(src: &str) -> Result<SubscriptionScript> {
+        let mut registry = QueryRegistry::new();
+        let mut out = SubscriptionScript::default();
+        let mut define_buffer = String::new();
+
+        let flush =
+            |buffer: &mut String, registry: &mut QueryRegistry| -> Result<()> {
+                if !buffer.trim().is_empty() {
+                    registry.load(buffer)?;
+                    buffer.clear();
+                }
+                Ok(())
+            };
+
+        for raw in src.lines() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') || line.starts_with("//") {
+                continue;
+            }
+            if line.starts_with("subscribe ") {
+                flush(&mut define_buffer, &mut registry)?;
+                out.subscriptions.push(parse_subscribe(line, &registry)?);
+            } else if line.starts_with("create trigger ") {
+                flush(&mut define_buffer, &mut registry)?;
+                let (sub_id, trigger) = parse_scoped_trigger(line)?;
+                if !out.subscriptions.iter().any(|s| s.id == sub_id) {
+                    return Err(LorelError::UnknownQuery(format!(
+                        "trigger references undeclared subscription {sub_id:?}"
+                    )));
+                }
+                out.triggers.push((sub_id, trigger));
+            } else {
+                if line.starts_with("define ") {
+                    flush(&mut define_buffer, &mut registry)?;
+                }
+                define_buffer.push_str(raw);
+                define_buffer.push('\n');
+            }
+        }
+        flush(&mut define_buffer, &mut registry)?;
+        Ok(out)
+    }
+
+    /// Install everything into a server, with subscriptions created at
+    /// `created_at`.
+    pub fn install<S: crate::Source>(
+        &self,
+        server: &mut crate::QssServer<S>,
+        created_at: oem::Timestamp,
+    ) {
+        for sub in &self.subscriptions {
+            server.subscribe(sub.clone(), created_at);
+        }
+        for (sub_id, trigger) in &self.triggers {
+            server.add_trigger(sub_id, trigger.clone());
+        }
+    }
+}
+
+/// `subscribe ID every … poll POLLING filter FILTER [structural]`
+fn parse_subscribe(line: &str, registry: &QueryRegistry) -> Result<Subscription> {
+    let err = |msg: &str| LorelError::Syntax {
+        line: 1,
+        col: 1,
+        msg: msg.to_string(),
+    };
+    let rest = line.strip_prefix("subscribe ").expect("checked by caller");
+    let (id, rest) = rest
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| err("expected a subscription id"))?;
+    let poll_pos = rest
+        .find(" poll ")
+        .ok_or_else(|| err("expected `poll <query>`"))?;
+    let freq_text = &rest[..poll_pos];
+    let rest = &rest[poll_pos + 6..];
+    let (polling_name, rest) = rest
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| err("expected `filter <query>` after the polling query"))?;
+    let rest = rest
+        .trim_start()
+        .strip_prefix("filter ")
+        .ok_or_else(|| err("expected `filter <query>`"))?;
+    let (filter_name, tail) = match rest.split_once(char::is_whitespace) {
+        Some((f, t)) => (f, t.trim()),
+        None => (rest.trim(), ""),
+    };
+    let frequency: FrequencySpec = freq_text
+        .trim()
+        .parse()
+        .map_err(|e: crate::ParseFrequencyError| err(&e.to_string()))?;
+    let sub = Subscription::from_registry(id, frequency, registry, polling_name, filter_name)?;
+    Ok(match tail {
+        "" => sub,
+        "structural" => sub.with_structural_matching(),
+        other => return Err(err(&format!("unexpected trailing {other:?}"))),
+    })
+}
+
+/// `create trigger NAME on SUBSCRIPTION EVENT LABEL [when …] [do …]`
+fn parse_scoped_trigger(line: &str) -> Result<(String, Trigger)> {
+    let err = |msg: &str| LorelError::Syntax {
+        line: 1,
+        col: 1,
+        msg: msg.to_string(),
+    };
+    // Pull the subscription id out of `on <sub> <event…>` and re-use the
+    // plain trigger parser on the rest.
+    let rest = line
+        .strip_prefix("create trigger ")
+        .expect("checked by caller");
+    let (name, rest) = rest
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| err("expected a trigger name"))?;
+    let rest = rest
+        .trim_start()
+        .strip_prefix("on ")
+        .ok_or_else(|| err("expected `on <subscription>`"))?;
+    let (sub_id, event_part) = rest
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| err("expected an event after the subscription id"))?;
+    let rebuilt = format!("create trigger {name} on {event_part}");
+    Ok((sub_id.to_string(), Trigger::parse(&rebuilt)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QssServer, ScriptedSource};
+    use oem::Timestamp;
+
+    fn ts(s: &str) -> Timestamp {
+        s.parse().unwrap()
+    }
+
+    const SCRIPT: &str = "\
+        # Example 6.1 as a script, plus a trigger.\n\
+        define polling query Restaurants as select guide.restaurant\n\
+        define filter query NewRestaurants as\n\
+            select Restaurants.restaurant<cre at T> where T > t[-1]\n\
+        \n\
+        subscribe S every night at 11:30pm poll Restaurants filter NewRestaurants\n\
+        create trigger price-hike on S updated price when NV > OV do record\n";
+
+    #[test]
+    fn script_parses_and_installs() {
+        let script = SubscriptionScript::parse(SCRIPT).unwrap();
+        assert_eq!(script.subscriptions.len(), 1);
+        assert_eq!(script.triggers.len(), 1);
+
+        let mut server = QssServer::new(ScriptedSource::paper_guide());
+        script.install(&mut server, ts("30Dec96 10:00am"));
+        server.run_until(ts("9Jan97 11:30pm")).unwrap();
+        // The Example 6.1 notifications plus the recorded trigger firing.
+        assert_eq!(server.notifications().len(), 2);
+        assert_eq!(server.trigger_log().len(), 1);
+        assert_eq!(server.trigger_log()[0].trigger, "price-hike");
+    }
+
+    #[test]
+    fn structural_flag_and_errors() {
+        let script = SubscriptionScript::parse(
+            "define polling query P as select g.x \
+             \ndefine filter query F as select P.x \
+             \nsubscribe Z every hour poll P filter F structural",
+        )
+        .unwrap();
+        assert_eq!(
+            script.subscriptions[0].match_mode,
+            oemdiff::MatchMode::Structural
+        );
+
+        for bad in [
+            "subscribe S every night at 11:30pm poll P filter F", // P undefined
+            "define polling query P as select g.x\nsubscribe S sometimes poll P filter P",
+            "define polling query P as select g.x\nsubscribe S every hour poll P",
+            "define polling query P as select g.x\n\
+             subscribe S every hour poll P filter P\n\
+             create trigger t on OTHER updated x",
+        ] {
+            assert!(SubscriptionScript::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

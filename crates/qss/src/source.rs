@@ -1,0 +1,423 @@
+//! Information sources (the paper's Tsimmis wrappers/mediators).
+//!
+//! QSS never sees a source's internals: it sends a polling query and gets
+//! back an OEM result (Section 6, Figure 7). A [`Source`] therefore only
+//! exposes its OEM view as of a given time. Real 1997 Web sources are
+//! simulated in-process (see DESIGN.md's substitution table):
+//!
+//! * [`ScriptedSource`] — an initial database plus a fixed change
+//!   timeline; replays the paper's Example 2.2 edits for the Guide;
+//! * [`EvolvingSource`] — seeded random mutations per step, for tests and
+//!   benchmarks;
+//! * [`ScrambledSource`] — a wrapper that renumbers object ids on every
+//!   snapshot, modeling wrappers that do not preserve identifiers (forces
+//!   structural diffing);
+//! * [`library_source`] — the library-circulation scenario from the
+//!   paper's introduction (popular books, checkouts and returns).
+
+use oem::{
+    ArcTriple, ChangeOp, ChangeSet, GraphBuilder, History, NodeId, OemDatabase, Timestamp, Value,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// An autonomous information source, as seen through its wrapper.
+pub trait Source: Send {
+    /// A short name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// The source's OEM view as of time `t`.
+    fn state_at(&self, t: Timestamp) -> OemDatabase;
+
+    /// The times in `(after, until]` at which the source changed, when the
+    /// source can tell (the paper's third snapshot mode: "snapshots are
+    /// obtained as a result of a trigger on the source database firing, if
+    /// the source provides such a triggering mechanism"). `None` means the
+    /// source offers no trigger mechanism and must be polled blindly.
+    fn change_times(&self, _after: Timestamp, _until: Timestamp) -> Option<Vec<Timestamp>> {
+        None
+    }
+}
+
+/// A source defined by an initial database and a fixed history.
+#[derive(Clone, Debug)]
+pub struct ScriptedSource {
+    name: String,
+    initial: OemDatabase,
+    history: History,
+}
+
+impl ScriptedSource {
+    /// Build from an initial state and a timeline of changes.
+    pub fn new(name: impl Into<String>, initial: OemDatabase, history: History) -> ScriptedSource {
+        assert!(
+            history.is_valid_for(&initial),
+            "scripted history must be valid for the initial state"
+        );
+        ScriptedSource {
+            name: name.into(),
+            initial,
+            history,
+        }
+    }
+
+    /// The Guide source with the paper's Example 2.2/2.3 timeline.
+    pub fn paper_guide() -> ScriptedSource {
+        ScriptedSource::new(
+            "palo-alto-weekly",
+            oem::guide::guide_figure2(),
+            oem::guide::history_example_2_3(),
+        )
+    }
+}
+
+impl Source for ScriptedSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn state_at(&self, t: Timestamp) -> OemDatabase {
+        let mut db = self.initial.clone();
+        self.history
+            .prefix_through(t)
+            .apply_to(&mut db)
+            .expect("validated in constructor");
+        db
+    }
+
+    fn change_times(&self, after: Timestamp, until: Timestamp) -> Option<Vec<Timestamp>> {
+        Some(
+            self.history
+                .timestamps()
+                .filter(|&t| t > after && t <= until)
+                .collect(),
+        )
+    }
+}
+
+/// A source that mutates pseudo-randomly over time: every `step_minutes` it
+/// applies a batch of random updates/insertions/removals to a generated
+/// restaurant-guide-shaped database. Deterministic for a given seed.
+#[derive(Clone, Debug)]
+pub struct EvolvingSource {
+    name: String,
+    seed: u64,
+    start: Timestamp,
+    step_minutes: i64,
+    initial_restaurants: usize,
+    churn_per_step: usize,
+}
+
+impl EvolvingSource {
+    /// Create a generator-backed source.
+    pub fn new(
+        name: impl Into<String>,
+        seed: u64,
+        start: Timestamp,
+        step_minutes: i64,
+        initial_restaurants: usize,
+        churn_per_step: usize,
+    ) -> EvolvingSource {
+        EvolvingSource {
+            name: name.into(),
+            seed,
+            start,
+            step_minutes,
+            initial_restaurants,
+            churn_per_step,
+        }
+    }
+
+    fn initial(&self) -> OemDatabase {
+        synthetic_guide(self.seed, self.initial_restaurants)
+    }
+
+    fn steps_until(&self, t: Timestamp) -> i64 {
+        if t <= self.start {
+            return 0;
+        }
+        (t.raw_minutes() - self.start.raw_minutes()) / self.step_minutes
+    }
+}
+
+impl Source for EvolvingSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn state_at(&self, t: Timestamp) -> OemDatabase {
+        let mut db = self.initial();
+        let steps = self.steps_until(t);
+        for step in 0..steps {
+            let mut rng = StdRng::seed_from_u64(self.seed ^ (step as u64).wrapping_mul(0x9E37_79B9));
+            mutate_guide(&mut db, &mut rng, self.churn_per_step);
+        }
+        db
+    }
+}
+
+/// Generate a synthetic restaurant guide with `n` restaurants.
+pub fn synthetic_guide(seed: u64, n: usize) -> OemDatabase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new("guide");
+    let root = b.root();
+    for i in 0..n {
+        let r = b.complex_child(root, "restaurant");
+        b.atom_child(r, "name", format!("Restaurant {i}"));
+        b.atom_child(r, "price", (rng.gen_range(5..60)) as i64);
+        if rng.gen_bool(0.7) {
+            b.atom_child(r, "address", format!("{} Lytton", rng.gen_range(1..999)));
+        } else {
+            let a = b.complex_child(r, "address");
+            b.atom_child(a, "street", "Lytton");
+            b.atom_child(a, "city", "Palo Alto");
+        }
+        if rng.gen_bool(0.5) {
+            b.atom_child(
+                r,
+                "cuisine",
+                ["Indian", "Thai", "Italian", "Mexican"][rng.gen_range(0..4)],
+            );
+        }
+    }
+    b.finish()
+}
+
+/// Apply `churn` random edits to a guide-shaped database.
+pub fn mutate_guide(db: &mut OemDatabase, rng: &mut StdRng, churn: usize) {
+    for _ in 0..churn {
+        let restaurants: Vec<NodeId> = db
+            .children_labeled(db.root(), oem::Label::new("restaurant"))
+            .collect();
+        let mut ops: Vec<ChangeOp> = Vec::new();
+        match rng.gen_range(0..10) {
+            // 40%: price update.
+            0..=3 if !restaurants.is_empty() => {
+                let r = restaurants[rng.gen_range(0..restaurants.len())];
+                if let Some(p) = db.children_labeled(r, oem::Label::new("price")).next() {
+                    ops.push(ChangeOp::UpdNode(p, Value::Int(rng.gen_range(5..60))));
+                }
+            }
+            // 30%: new restaurant.
+            4..=6 => {
+                let r = db.alloc_id();
+                let name = db.alloc_id();
+                ops.push(ChangeOp::CreNode(r, Value::Complex));
+                ops.push(ChangeOp::CreNode(
+                    name,
+                    Value::str(format!("New place {}", rng.gen::<u16>())),
+                ));
+                ops.push(ChangeOp::add_arc(db.root(), "restaurant", r));
+                ops.push(ChangeOp::add_arc(r, "name", name));
+            }
+            // 20%: add a comment to an existing restaurant.
+            7..=8 if !restaurants.is_empty() => {
+                let r = restaurants[rng.gen_range(0..restaurants.len())];
+                let c = db.alloc_id();
+                ops.push(ChangeOp::CreNode(c, Value::str("needs review")));
+                // Avoid duplicate-arc collisions by using a fresh child.
+                ops.push(ChangeOp::add_arc(r, "comment", c));
+            }
+            // 10%: close a restaurant (remove its arc from the root).
+            _ if restaurants.len() > 1 => {
+                let r = restaurants[rng.gen_range(0..restaurants.len())];
+                ops.push(ChangeOp::rem_arc(db.root(), "restaurant", r));
+            }
+            _ => {}
+        }
+        if ops.is_empty() {
+            continue;
+        }
+        if let Ok(set) = ChangeSet::from_ops(ops) {
+            let _ = set.apply_to(db);
+        }
+    }
+}
+
+/// A wrapper that renumbers every object id on each snapshot — modeling
+/// wrappers over sources without stable identifiers (forces the
+/// structural matcher in OEMdiff).
+pub struct ScrambledSource<S> {
+    inner: S,
+    salt: u64,
+}
+
+impl<S: Source> ScrambledSource<S> {
+    /// Wrap a source.
+    pub fn new(inner: S, salt: u64) -> ScrambledSource<S> {
+        ScrambledSource { inner, salt }
+    }
+}
+
+impl<S: Source> Source for ScrambledSource<S> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn state_at(&self, t: Timestamp) -> OemDatabase {
+        let db = self.inner.state_at(t);
+        // Renumber deterministically but time-dependently.
+        let shift = 1000 + (t.raw_minutes().unsigned_abs() % 7919) * 31 + self.salt;
+        let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+        for (i, n) in db.node_ids().enumerate() {
+            map.insert(n, NodeId::from_raw(shift + i as u64));
+        }
+        let mut out = OemDatabase::with_root_id(db.name(), map[&db.root()]);
+        for n in db.node_ids() {
+            if n == db.root() {
+                out.set_value(map[&n], db.value(n).expect("own id").clone())
+                    .expect("root exists");
+            } else {
+                out.create_node_with_id(map[&n], db.value(n).expect("own id").clone())
+                    .expect("renumbered ids are distinct");
+            }
+        }
+        for a in db.arcs() {
+            out.insert_arc(ArcTriple::new(map[&a.parent], a.label, map[&a.child]))
+                .expect("arcs map 1-1");
+        }
+        out
+    }
+}
+
+/// The library-circulation source from the paper's introduction: books
+/// with checkout events; a book is "popular" if it was checked out twice
+/// or more in the past month. The timeline covers December 1996: book
+/// "Dune" accumulates checkouts and is returned ("available" flips).
+pub fn library_source() -> ScriptedSource {
+    let mut b = GraphBuilder::new("library");
+    let root = b.root();
+
+    let dune = b.complex_child(root, "book");
+    b.atom_child(dune, "title", "Dune");
+    let dune_avail = b.atom_child(dune, "available", false);
+    let dune_checkouts = b.complex_child(dune, "circulation");
+    b.atom_child(dune_checkouts, "checkout", "1Dec96".parse::<Timestamp>().unwrap());
+
+    let sicp = b.complex_child(root, "book");
+    b.atom_child(sicp, "title", "Structure and Interpretation");
+    b.atom_child(sicp, "available", true);
+    b.complex_child(sicp, "circulation");
+
+    let db = b.finish();
+
+    // Timeline: Dune checked out again mid-December (now popular), then
+    // returned on Jan 2 — at which point a popular book became available.
+    let mut h = History::new();
+    let mut scratch = db.clone();
+
+    let co2 = scratch.alloc_id();
+    h.push(
+        "15Dec96".parse().unwrap(),
+        ChangeSet::from_ops([
+            ChangeOp::CreNode(co2, Value::Time("15Dec96".parse().unwrap())),
+            ChangeOp::add_arc(dune_checkouts, "checkout", co2),
+        ])
+        .unwrap(),
+    )
+    .unwrap();
+
+    h.push(
+        "2Jan97".parse().unwrap(),
+        ChangeSet::from_ops([ChangeOp::UpdNode(dune_avail, Value::Bool(true))]).unwrap(),
+    )
+    .unwrap();
+
+    ScriptedSource::new("library", db, h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: &str) -> Timestamp {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn scripted_source_replays_the_paper_timeline() {
+        let src = ScriptedSource::paper_guide();
+        assert!(oem::same_database(
+            &src.state_at(ts("31Dec96")),
+            &oem::guide::guide_figure2()
+        ));
+        assert!(oem::same_database(
+            &src.state_at(ts("9Jan97")),
+            &oem::guide::guide_figure3()
+        ));
+        // Mid-history state: Hakata exists, parking arc still present.
+        let mid = src.state_at(ts("6Jan97"));
+        assert!(mid.contains_node(oem::guide::ids::N2));
+        assert!(mid.contains_arc(ArcTriple::new(
+            oem::guide::ids::N6,
+            "parking",
+            oem::guide::ids::N7
+        )));
+    }
+
+    #[test]
+    fn evolving_source_is_deterministic_and_monotone_in_time() {
+        let src = EvolvingSource::new("gen", 42, ts("1Jan97"), 60, 10, 3);
+        let a = src.state_at(ts("1Jan97 5:00am"));
+        let b = src.state_at(ts("1Jan97 5:00am"));
+        assert!(oem::same_database(&a, &b));
+        let later = src.state_at(ts("2Jan97"));
+        later.check_invariants().unwrap();
+        assert_ne!(later.node_count(), 0);
+    }
+
+    #[test]
+    fn synthetic_guide_is_valid_and_sized() {
+        let db = synthetic_guide(7, 50);
+        db.check_invariants().unwrap();
+        assert_eq!(
+            db.children_labeled(db.root(), oem::Label::new("restaurant"))
+                .count(),
+            50
+        );
+    }
+
+    #[test]
+    fn scrambled_source_preserves_structure_but_not_ids() {
+        let inner = ScriptedSource::paper_guide();
+        let scrambled = ScrambledSource::new(ScriptedSource::paper_guide(), 5);
+        let t = ts("31Dec96");
+        let plain = inner.state_at(t);
+        let scr = scrambled.state_at(t);
+        assert!(oem::isomorphic(&plain, &scr));
+        assert!(!oem::same_database(&plain, &scr));
+        scr.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn library_source_flips_availability() {
+        let src = library_source();
+        let before = src.state_at(ts("1Jan97"));
+        let after = src.state_at(ts("3Jan97"));
+        let avail = |db: &OemDatabase| -> Vec<Value> {
+            oem::follow_path(
+                db,
+                db.root(),
+                &[oem::Label::new("book"), oem::Label::new("available")],
+            )
+            .iter()
+            .map(|&n| db.value(n).unwrap().clone())
+            .collect()
+        };
+        assert!(avail(&before).contains(&Value::Bool(false)));
+        assert!(!avail(&after).contains(&Value::Bool(false)));
+        // Dune has two checkouts by mid-December.
+        let mid = src.state_at(ts("16Dec96"));
+        let checkouts = oem::follow_path(
+            &mid,
+            mid.root(),
+            &[
+                oem::Label::new("book"),
+                oem::Label::new("circulation"),
+                oem::Label::new("checkout"),
+            ],
+        );
+        assert_eq!(checkouts.len(), 2);
+    }
+}

@@ -1,0 +1,102 @@
+//! Subscriptions: `S = ⟨f, Ql, Qc⟩` (Section 6).
+//!
+//! A subscription bundles a frequency specification, a *polling* Lorel
+//! query sent to the wrapper at each polling time, and a *filter* Chorel
+//! query evaluated over the accumulated DOEM database. The polling query's
+//! name doubles as the DOEM database name, which is how the filter query's
+//! path heads resolve (`select Restaurants.restaurant<cre at T> …`).
+
+use crate::FrequencySpec;
+use lorel::ast::Query;
+use lorel::{LorelError, QueryRegistry};
+use oemdiff::MatchMode;
+
+/// A change subscription.
+#[derive(Clone, Debug)]
+pub struct Subscription {
+    /// Unique subscription id (also the client-visible name).
+    pub id: String,
+    /// How often to poll.
+    pub frequency: FrequencySpec,
+    /// The polling query's name (names the DOEM database too).
+    pub polling_name: String,
+    /// The polling Lorel query.
+    pub polling: Query,
+    /// The filter query's name.
+    pub filter_name: String,
+    /// The filter Chorel query (may use `t[i]`).
+    pub filter: Query,
+    /// How OEMdiff matches consecutive polling results.
+    pub match_mode: MatchMode,
+}
+
+impl Subscription {
+    /// Assemble a subscription from named queries in a registry
+    /// (mirroring the paper's `define polling query` / `define filter
+    /// query` workflow).
+    pub fn from_registry(
+        id: impl Into<String>,
+        frequency: FrequencySpec,
+        registry: &QueryRegistry,
+        polling_name: &str,
+        filter_name: &str,
+    ) -> Result<Subscription, LorelError> {
+        Ok(Subscription {
+            id: id.into(),
+            frequency,
+            polling_name: polling_name.to_string(),
+            polling: registry.get(polling_name)?.clone(),
+            filter_name: filter_name.to_string(),
+            filter: registry.get(filter_name)?.clone(),
+            match_mode: MatchMode::ById,
+        })
+    }
+
+    /// Builder-style: use structural matching (for sources that do not
+    /// preserve object ids across polls).
+    pub fn with_structural_matching(mut self) -> Subscription {
+        self.match_mode = MatchMode::Structural;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_6_1_subscription_assembles() {
+        let mut reg = QueryRegistry::new();
+        reg.load(
+            "define polling query Restaurants as select guide.restaurant \
+             define filter query NewRestaurants as \
+             select Restaurants.restaurant<cre at T> where T > t[-1]",
+        )
+        .unwrap();
+        let s = Subscription::from_registry(
+            "S",
+            "every night at 11:30pm".parse().unwrap(),
+            &reg,
+            "Restaurants",
+            "NewRestaurants",
+        )
+        .unwrap();
+        assert_eq!(s.polling_name, "Restaurants");
+        assert_eq!(s.match_mode, MatchMode::ById);
+        let s = s.with_structural_matching();
+        assert_eq!(s.match_mode, MatchMode::Structural);
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let reg = QueryRegistry::new();
+        assert!(Subscription::from_registry(
+            "S",
+            "every hour".parse().unwrap(),
+            &reg,
+            "Nope",
+            "AlsoNope"
+        )
+        .is_err());
+    }
+}

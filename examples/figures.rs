@@ -1,0 +1,52 @@
+//! Render every figure of the paper for visual inspection: the textual
+//! forms plus Graphviz DOT files written to `target/figures/`.
+//!
+//! Run with: `cargo run --example figures`
+
+use doem::{doem_figure4, encode_doem};
+use oem::guide::{guide_figure2, guide_figure3, history_example_2_3};
+use std::fs;
+use std::path::PathBuf;
+
+fn main() {
+    let out = PathBuf::from("target/figures");
+    fs::create_dir_all(&out).expect("create output dir");
+
+    // Figure 2: the Guide database.
+    let fig2 = guide_figure2();
+    println!("=== Figure 2: the Guide OEM database ===\n{fig2}");
+    fs::write(out.join("figure2.dot"), oem::to_dot(&fig2)).unwrap();
+
+    // Example 2.3: the history in the paper's notation.
+    println!("=== Example 2.3: the history H ===\n{}\n", history_example_2_3());
+
+    // Figure 3: after the modifications.
+    let fig3 = guide_figure3();
+    println!("=== Figure 3: the modified Guide ===\n{fig3}");
+    fs::write(out.join("figure3.dot"), oem::to_dot(&fig3)).unwrap();
+
+    // Figure 1: the htmldiff-style rendering of the two versions.
+    println!("=== Figure 1: htmldiff-style marked-up diff ===");
+    println!(
+        "{}",
+        oemdiff::markup(&fig2, &fig3, oemdiff::MatchMode::ById).unwrap()
+    );
+
+    // Figure 4: the DOEM database with its annotations.
+    let fig4 = doem_figure4();
+    println!("=== Figure 4: the DOEM database (graph, then annotations) ===\n{fig4}");
+    fs::write(out.join("figure4.dot"), doem::to_dot(&fig4)).unwrap();
+
+    // Figure 5: the OEM encoding.
+    let enc = encode_doem(&fig4);
+    println!(
+        "=== Figure 5: the OEM encoding of the DOEM database ===\n\
+         ({} objects, {} arcs; textual form elided — see figure5.dot)",
+        enc.oem.node_count(),
+        enc.oem.arc_count()
+    );
+    fs::write(out.join("figure5.dot"), oem::to_dot(&enc.oem)).unwrap();
+
+    println!("\nDOT files written to {}", out.display());
+    println!("(Figures 6 and 7 are live traces: run `cargo run --example qss_demo`.)");
+}

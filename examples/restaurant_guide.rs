@@ -1,0 +1,81 @@
+//! The paper's motivating scenario (Section 1.1): track changes to the
+//! Palo Alto Weekly restaurant guide — browse them htmldiff-style, then
+//! query them directly with Chorel once browsing stops scaling.
+//!
+//! Run with: `cargo run --example restaurant_guide`
+
+use doem_suite::prelude::*;
+use oem::guide::{guide_figure2, guide_figure3, history_example_2_3};
+
+fn main() {
+    let old = guide_figure2();
+    let new = guide_figure3();
+
+    // --- Figure 1: the htmldiff view -------------------------------
+    println!("=== htmldiff-style marked-up guide (+ insert, * update, - delete) ===\n");
+    let marked = markup(&old, &new, MatchMode::ById).expect("diffable");
+    println!("{marked}");
+
+    // --- "As documents get larger … one soon feels the need to use
+    //      queries to directly find changes of interest" ------------
+    let d = doem_from_history(&old, &history_example_2_3()).expect("paper history");
+
+    let queries = [
+        (
+            "find all new restaurant entries",
+            "select R.name from guide.<add>restaurant R",
+        ),
+        (
+            "find all restaurants whose price changed",
+            "select N, OV, NV from guide.restaurant R, R.name N, \
+             R.price<upd from OV to NV>",
+        ),
+        (
+            "restaurants that lost parking since Jan 7",
+            "select R.name from guide.restaurant R \
+             where R.<rem at T>parking and T > 7Jan97",
+        ),
+        (
+            "what was Bangkok Cuisine's price on New Year's Eve?",
+            "select R.price<at 31Dec96> from guide.restaurant R \
+             where R.name = \"Bangkok Cuisine\"",
+        ),
+    ];
+
+    for (what, q) in queries {
+        // Virtual annotations (<at …>) only run on the direct engine; all
+        // other queries are cross-checked through both strategies.
+        let result = if q.contains("<at ") {
+            run_chorel(&d, q, Strategy::Direct)
+        } else {
+            run_both_checked(&d, q)
+        }
+        .expect("valid query");
+        println!("=== {what} ===");
+        println!("    {q}");
+        if result.is_empty() {
+            println!("    -> (empty)");
+        }
+        for row in &result.rows {
+            let rendered: Vec<String> = row
+                .cols
+                .iter()
+                .map(|(label, b)| match b {
+                    lorel::Binding::Node(n) => match d.graph().value(*n) {
+                        Ok(v) if v.is_atomic() => format!("{label}: {v}"),
+                        _ => format!("{label}: {n}"),
+                    },
+                    lorel::Binding::Val(v) => format!("{label}: {v}"),
+                    lorel::Binding::Missing => format!("{label}: -"),
+                })
+                .collect();
+            println!("    -> {}", rendered.join(", "));
+        }
+        println!();
+    }
+
+    // --- the change script itself ----------------------------------
+    let r = diff(&old, &new, MatchMode::ById).expect("diffable");
+    println!("=== the inferred change set (U such that U(old) = new) ===");
+    println!("{}", r.changes);
+}

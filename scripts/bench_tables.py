@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Summarize Criterion output (bench_output.txt) into the markdown tables
+embedded in EXPERIMENTS.md. Usage: python3 scripts/bench_tables.py"""
+import re
+import sys
+
+def parse(path):
+    results = {}
+    pending = None
+    for line in open(path):
+        m = re.match(r"^(\S.*?)\s+time:\s+\[(\S+) (\S+) (\S+) (\S+) (\S+) (\S+)\]", line)
+        if m:
+            results[m.group(1).strip()] = f"{m.group(4)} {m.group(5)}"
+            pending = None
+            continue
+        t = re.match(r"^\s+time:\s+\[(\S+) (\S+) (\S+) (\S+) (\S+) (\S+)\]", line)
+        if t and pending:
+            results[pending] = f"{t.group(3)} {t.group(4)}"
+            pending = None
+            continue
+        b = re.match(r"^Benchmarking (\S+): Analyzing", line)
+        if b:
+            pending = b.group(1)
+    return results
+
+def table(results, prefix, header):
+    rows = [(k[len(prefix):], v) for k, v in sorted(results.items()) if k.startswith(prefix)]
+    if not rows:
+        return f"(no results under {prefix})\n"
+    out = [f"| {header} | median time |", "|---|---:|"]
+    for name, t in rows:
+        out.append(f"| `{name}` | {t} |")
+    return "\n".join(out) + "\n"
+
+if __name__ == "__main__":
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    r = parse(path)
+    for section, prefix, header in [
+        ("X1", "chorel_engines/", "size / strategy / query"),
+        ("X2a", "index_ablation/", "history size / access"),
+        ("X2b", "vindex/", "db size / access"),
+        ("X3", "oemdiff/", "dimension / mode"),
+        ("X4", "snapshots/", "operation / history length"),
+        ("X5", "qss/", "scenario"),
+        ("X6", "lorel/", "workload"),
+    ]:
+        print(f"### {section} ({prefix})")
+        print(table(r, prefix, header))

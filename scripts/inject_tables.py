@@ -1,0 +1,27 @@
+#!/usr/bin/env python3
+"""Replace the <!--X*--> markers in EXPERIMENTS.md with tables generated
+from bench_output.txt. Usage: python3 scripts/inject_tables.py"""
+import re
+import sys
+sys.path.insert(0, "scripts")
+from bench_tables import parse, table
+
+MAPPING = {
+    "X1": [("chorel_engines/", "size / strategy / query")],
+    "X2": [("index_ablation/", "history size / access"), ("vindex/", "db size / access")],
+    "X3": [("oemdiff/", "dimension / mode")],
+    "X4": [("snapshots/", "operation / history length")],
+    "X5": [("qss/", "scenario")],
+    "X6": [("lorel/", "workload")],
+}
+
+if __name__ == "__main__":
+    bench = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    results = parse(bench)
+    text = open("EXPERIMENTS.md").read()
+    for marker, specs in MAPPING.items():
+        block = "\n\n".join(table(results, prefix, header).rstrip() for prefix, header in specs)
+        text = text.replace(f"<!--{marker}-->", block)
+    open("EXPERIMENTS.md", "w").write(text)
+    leftover = re.findall(r"<!--X\d-->", text)
+    print("injected; leftover markers:", leftover)

@@ -1,0 +1,61 @@
+//! Drive the `chorel-cli` binary end to end through a scripted session.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn run_script(script: &str) -> String {
+    let store = std::env::temp_dir().join(format!("cli-test-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_chorel-cli"))
+        .env("CHOREL_STORE", &store)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary built by cargo test");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped")
+        .write_all(script.as_bytes())
+        .expect("write script");
+    let out = child.wait_with_output().expect("cli exits");
+    assert!(out.status.success(), "cli failed: {out:?}");
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn scripted_session_queries_changes() {
+    let data = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/data/guide.oem");
+    let script = format!(
+        "load {}\n\
+         query select guide.restaurant.name\n\
+         apply 1Jan97 {{updNode(n1, 20)}}\n\
+         update guide.restaurant.price := 25 where guide.restaurant.name = \"Bangkok Cuisine\"\n\
+         query select OV, NV from guide.restaurant.price<upd from OV to NV>\n\
+         history\n\
+         save session\n\
+         open session\n\
+         query select guide.<add>restaurant\n\
+         quit\n",
+        data.display()
+    );
+    let out = run_script(&script);
+    assert!(out.contains("loaded guide"), "{out}");
+    assert!(out.contains("name=\"Bangkok Cuisine\""), "{out}");
+    assert!(out.contains("name=\"Janta\""), "{out}");
+    // Two updates chained: 10 -> 20 -> 25.
+    assert!(out.contains("old-value=10  new-value=20"), "{out}");
+    assert!(out.contains("old-value=20  new-value=25"), "{out}");
+    assert!(out.contains("updNode(n1, 20)"), "{out}");
+    assert!(out.contains("saved session"), "{out}");
+    assert!(out.contains("opened guide"), "{out}");
+}
+
+#[test]
+fn errors_are_reported_without_crashing() {
+    let script = "load /no/such/file.oem\nquery select guide.x\nnot-a-command\nquit\n";
+    let out = run_script(script);
+    // The shell keeps going after errors (they land on stderr).
+    assert!(out.contains("0 row(s)") || !out.is_empty());
+}

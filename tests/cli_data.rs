@@ -1,0 +1,19 @@
+//! The shipped sample data parses to exactly the paper's Figure 2 graph.
+
+#[test]
+fn guide_oem_sample_matches_figure2() {
+    let text = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/data/guide.oem"),
+    )
+    .expect("sample data present");
+    let db = oem::parse_text(&text).expect("parses");
+    assert!(oem::isomorphic(&db, &oem::guide::guide_figure2()));
+    // Paper-named ids are preserved by the explicit &nK annotations.
+    assert_eq!(db.root(), oem::guide::ids::N4);
+    assert_eq!(
+        db.value(oem::guide::ids::N1).unwrap(),
+        &oem::Value::Int(10)
+    );
+    // The history of Example 2.3 is valid for it.
+    assert!(oem::guide::history_example_2_3().is_valid_for(&db));
+}

@@ -1,0 +1,153 @@
+//! Shared helpers for the integration suites: deterministic random
+//! databases and histories.
+
+use oem::{ChangeOp, ChangeSet, GraphBuilder, History, Label, NodeId, OemDatabase, Timestamp, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random guide-shaped database with `n` restaurants.
+pub fn random_db(seed: u64, n: usize) -> OemDatabase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new("guide");
+    let root = b.root();
+    let mut complexes = vec![root];
+    for i in 0..n {
+        let r = b.complex_child(root, "restaurant");
+        complexes.push(r);
+        b.atom_child(r, "name", format!("R{i}"));
+        if rng.gen_bool(0.8) {
+            b.atom_child(r, "price", rng.gen_range(1..100) as i64);
+        }
+        if rng.gen_bool(0.3) {
+            let a = b.complex_child(r, "address");
+            complexes.push(a);
+            b.atom_child(a, "street", format!("{} Main", rng.gen_range(1..50)));
+        }
+    }
+    // A few shared nodes and a cycle to keep the graph interesting.
+    if complexes.len() >= 3 {
+        let shared = b.complex_child(complexes[1], "parking");
+        b.atom_child(shared, "name", "lot");
+        b.arc(complexes[2], "parking", shared);
+        b.arc(shared, "nearby-eats", complexes[1]);
+    }
+    b.finish()
+}
+
+/// A random valid history of `steps` change sets over `db`, each with up
+/// to `ops_per_step` operations. Deterministic per seed. Returns the
+/// history (valid for `db` by construction: every op is validated against
+/// a replica as it is generated).
+pub fn random_history(db: &OemDatabase, seed: u64, steps: usize, ops_per_step: usize) -> History {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+    let mut replica = db.clone();
+    let mut history = History::new();
+    let mut t: Timestamp = "1Jan97".parse().expect("literal");
+
+    for _ in 0..steps {
+        let mut set = ChangeSet::new();
+        let mut staged = replica.clone();
+        for _ in 0..rng.gen_range(0..=ops_per_step) {
+            let nodes: Vec<NodeId> = staged.node_ids().collect();
+            let op = match rng.gen_range(0..10) {
+                // update an atomic (or childless) node
+                0..=2 => {
+                    let candidates: Vec<NodeId> = nodes
+                        .iter()
+                        .copied()
+                        .filter(|&n| staged.children(n).is_empty() && n != staged.root())
+                        .collect();
+                    if candidates.is_empty() {
+                        continue;
+                    }
+                    let n = candidates[rng.gen_range(0..candidates.len())];
+                    let v: Value = match rng.gen_range(0..4) {
+                        0 => Value::Int(rng.gen_range(-50..50)),
+                        1 => Value::Real(f64::from(rng.gen_range(0..100)) / 4.0),
+                        2 => Value::str(format!("s{}", rng.gen::<u8>())),
+                        _ => Value::Complex,
+                    };
+                    ChangeOp::UpdNode(n, v)
+                }
+                // create a node and link it somewhere (two paired ops)
+                3..=5 => {
+                    let parents: Vec<NodeId> = nodes
+                        .iter()
+                        .copied()
+                        .filter(|&n| staged.is_complex(n))
+                        .collect();
+                    if parents.is_empty() {
+                        continue;
+                    }
+                    let p = parents[rng.gen_range(0..parents.len())];
+                    let c = staged.alloc_id();
+                    let label = ["note", "tag", "extra"][rng.gen_range(0..3)];
+                    let cre = ChangeOp::CreNode(c, Value::Int(rng.gen_range(0..9)));
+                    let add = ChangeOp::add_arc(p, label, c);
+                    let mut probe = set.clone();
+                    if probe.push(cre.clone()).is_ok()
+                        && probe.push(add.clone()).is_ok()
+                        && probe.validate_for(&replica).is_ok()
+                    {
+                        cre.apply(&mut staged).expect("fresh id");
+                        add.apply(&mut staged).expect("validated");
+                        set = probe;
+                    }
+                    continue;
+                }
+                // add an arc between existing nodes
+                6..=7 => {
+                    let parents: Vec<NodeId> = nodes
+                        .iter()
+                        .copied()
+                        .filter(|&n| staged.is_complex(n))
+                        .collect();
+                    if parents.is_empty() || nodes.is_empty() {
+                        continue;
+                    }
+                    let p = parents[rng.gen_range(0..parents.len())];
+                    let c = nodes[rng.gen_range(0..nodes.len())];
+                    ChangeOp::add_arc(p, "link", c)
+                }
+                // remove an arc
+                _ => {
+                    let arcs: Vec<oem::ArcTriple> = staged.arcs().collect();
+                    if arcs.is_empty() {
+                        continue;
+                    }
+                    ChangeOp::RemArc(arcs[rng.gen_range(0..arcs.len())])
+                }
+            };
+            // Keep only ops that are valid against the staged database and
+            // conflict-free within the set.
+            if op.validate(&staged).is_ok() {
+                let mut probe = set.clone();
+                if probe.push(op.clone()).is_ok() && probe.validate_for(&replica).is_ok() {
+                    op.apply(&mut staged).expect("validated");
+                    set = probe;
+                }
+            }
+        }
+        if set.is_empty() {
+            continue;
+        }
+        history.push(t, set).expect("times increase");
+        replica = staged;
+        replica.collect_garbage();
+        t = t.plus_minutes(rng.gen_range(1..2000));
+    }
+    debug_assert!(history.is_valid_for(db));
+    history
+}
+
+/// Labels that occur anywhere in `db` (handy for generating queries).
+#[allow(dead_code)]
+pub fn labels_of(db: &OemDatabase) -> Vec<Label> {
+    let mut seen = Vec::new();
+    for arc in db.arcs() {
+        if !seen.contains(&arc.label) {
+            seen.push(arc.label);
+        }
+    }
+    seen
+}

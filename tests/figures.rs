@@ -1,0 +1,199 @@
+//! Reproduction of every figure in the paper (F1–F7 in DESIGN.md's
+//! experiment index). Each test asserts the load-bearing facts the figure
+//! depicts; `examples/figures.rs` renders them for human inspection.
+
+use doem::{doem_figure4, encode_doem};
+use lorel::QueryRegistry;
+use oem::guide::{guide_figure2, guide_figure3, history_example_2_3, ids};
+use oem::{ArcTriple, Label, Timestamp, Value};
+use qss::{QssServer, ScriptedSource, Subscription};
+
+fn ts(s: &str) -> Timestamp {
+    s.parse().unwrap()
+}
+
+/// Figure 1 — htmldiff's marked-up output: insertions, updates and
+/// deletions highlighted over the new version of the page.
+#[test]
+fn figure1_marked_up_diff() {
+    let text = oemdiff::markup(
+        &guide_figure2(),
+        &guide_figure3(),
+        oemdiff::MatchMode::ById,
+    )
+    .unwrap();
+    // The three kinds of change marks all appear, anchored to the right
+    // content.
+    let plus_lines: Vec<&str> = text.lines().filter(|l| l.starts_with('+')).collect();
+    assert!(plus_lines.iter().any(|l| l.contains("restaurant")));
+    assert!(text.contains("10 => 20"));
+    assert!(text
+        .lines()
+        .any(|l| l.starts_with('-') && l.contains("parking")));
+    // Unchanged content renders unmarked.
+    assert!(text.lines().any(|l| l.starts_with(' ') && l.contains("Janta")));
+}
+
+/// Figure 2 — the Guide database (Example 2.1): irregular prices and
+/// addresses, the shared parking object, the cycle.
+#[test]
+fn figure2_guide_database() {
+    let db = guide_figure2();
+    db.check_invariants().unwrap();
+    assert_eq!(db.node_count(), 15);
+    assert_eq!(db.value(ids::N1).unwrap(), &Value::Int(10));
+    assert_eq!(db.parents(ids::N7).len(), 2);
+    assert!(db.contains_arc(ArcTriple::new(ids::N7, "nearby-eats", ids::BANGKOK)));
+    // The textual rendering shows the shared object by reference.
+    let text = db.to_string();
+    assert_eq!(text.matches("&n7").count(), 2, "{text}");
+}
+
+/// Figure 3 — the Guide after Example 2.2's modifications.
+#[test]
+fn figure3_modified_guide() {
+    let db = guide_figure3();
+    assert_eq!(db.value(ids::N1).unwrap(), &Value::Int(20));
+    assert_eq!(db.value(ids::N3).unwrap(), &Value::str("Hakata"));
+    assert_eq!(db.value(ids::N5).unwrap(), &Value::str("need info"));
+    assert!(!db.contains_arc(ArcTriple::new(ids::N6, "parking", ids::N7)));
+    // Deriving it through the history equals building it directly.
+    let mut replayed = guide_figure2();
+    history_example_2_3().apply_to(&mut replayed).unwrap();
+    assert!(oem::same_database(&replayed, &db));
+}
+
+/// Figure 4 — the DOEM database of Example 3.1: exactly eight annotations
+/// with the paper's timestamps, removed arc still present.
+#[test]
+fn figure4_doem_database() {
+    let d = doem_figure4();
+    assert_eq!(d.annotation_count(), 8);
+    let timestamps = d.timestamps();
+    assert_eq!(
+        timestamps,
+        vec![ts("1Jan97"), ts("5Jan97"), ts("8Jan97")]
+    );
+    assert!(d.graph().contains_arc(ArcTriple::new(ids::N6, "parking", ids::N7)));
+    assert!(!d.arc_is_current(ArcTriple::new(ids::N6, "parking", ids::N7)));
+    // The display form shows the annotation boxes.
+    let text = d.to_string();
+    assert!(text.contains("upd(t:1Jan97, ov:10)"), "{text}");
+    assert!(text.contains("rem(t:8Jan97)"), "{text}");
+}
+
+/// Figure 5 — the OEM encoding of DOEM objects: &val, &cre, &upd with
+/// &time/&ov/&nv, and &B-history objects with &target / &rem.
+#[test]
+fn figure5_oem_encoding() {
+    let d = doem_figure4();
+    let enc = encode_doem(&d);
+    let oem_db = &enc.oem;
+    oem_db.check_invariants().unwrap();
+
+    // o1-style: the updated price object has &val = 20 and one &upd with
+    // time 1Jan97, ov 10, nv 20.
+    let price = enc.node_map[&ids::N1];
+    let val = oem_db
+        .children_labeled(price, Label::new("&val"))
+        .next()
+        .unwrap();
+    assert_eq!(oem_db.value(val).unwrap(), &Value::Int(20));
+    let upd = oem_db
+        .children_labeled(price, Label::new("&upd"))
+        .next()
+        .unwrap();
+    let time = oem_db.children_labeled(upd, Label::new("&time")).next().unwrap();
+    let ov = oem_db.children_labeled(upd, Label::new("&ov")).next().unwrap();
+    let nv = oem_db.children_labeled(upd, Label::new("&nv")).next().unwrap();
+    assert_eq!(oem_db.value(time).unwrap(), &Value::Time(ts("1Jan97")));
+    assert_eq!(oem_db.value(ov).unwrap(), &Value::Int(10));
+    assert_eq!(oem_db.value(nv).unwrap(), &Value::Int(20));
+
+    // o2-style: Janta's removed parking arc appears only as a history
+    // object with &target and &rem(t3).
+    let janta = enc.node_map[&ids::N6];
+    assert!(oem_db
+        .children_labeled(janta, Label::new("parking"))
+        .next()
+        .is_none());
+    let hist = oem_db
+        .children_labeled(janta, Label::new("&parking-history"))
+        .next()
+        .unwrap();
+    let target = oem_db
+        .children_labeled(hist, Label::new("&target"))
+        .next()
+        .unwrap();
+    assert_eq!(target, enc.node_map[&ids::N7]);
+    let rem = oem_db.children_labeled(hist, Label::new("&rem")).next().unwrap();
+    assert_eq!(oem_db.value(rem).unwrap(), &Value::Time(ts("8Jan97")));
+}
+
+fn example_6_1_subscription() -> Subscription {
+    let mut reg = QueryRegistry::new();
+    reg.load(
+        "define polling query Restaurants as select guide.restaurant \
+         define filter query NewRestaurants as \
+         select Restaurants.restaurant<cre at T> where T > t[-1]",
+    )
+    .unwrap();
+    Subscription::from_registry(
+        "S",
+        "every night at 11:30pm".parse().unwrap(),
+        &reg,
+        "Restaurants",
+        "NewRestaurants",
+    )
+    .unwrap()
+}
+
+/// Figure 6 — the QSS timeline: polling times, per-poll change sets, and
+/// the DOEM database accumulating the history of polling results.
+#[test]
+fn figure6_qss_timeline() {
+    let mut server = QssServer::new(ScriptedSource::paper_guide());
+    server.subscribe(example_6_1_subscription(), ts("30Dec96 10:00am"));
+    server.run_until(ts("1Jan97 11:30pm")).unwrap();
+
+    let polls = server.polls();
+    assert_eq!(
+        polls.iter().map(|p| p.at).collect::<Vec<_>>(),
+        vec![
+            ts("30Dec96 11:30pm"),
+            ts("31Dec96 11:30pm"),
+            ts("1Jan97 11:30pm"),
+        ]
+    );
+    // The accumulated DOEM database is feasible and carries cre
+    // annotations at t1 for the initial results.
+    let d = server.doem_of("S").unwrap();
+    assert!(doem::is_feasible(d));
+    let t1_creates = d
+        .annotated_nodes()
+        .filter(|&n| d.created_at(n) == Some(ts("30Dec96 11:30pm")))
+        .count();
+    assert!(t1_creates >= 2, "both initial restaurants created at t1");
+}
+
+/// Figure 7 — the QSS architecture end to end: wrapper → Query Manager →
+/// OEMdiff → DOEM Manager (persisted via Lore) → Chorel Engine → client.
+#[test]
+fn figure7_architecture_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("figure7-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut server = QssServer::new(ScriptedSource::paper_guide())
+        .with_store(lore::LoreStore::open(&dir).unwrap());
+    let client = server.attach_client();
+    server.subscribe(example_6_1_subscription(), ts("30Dec96 10:00am"));
+    server.run_until(ts("1Jan97 11:30pm")).unwrap();
+
+    // Client notifications flowed through the channel.
+    let received: Vec<_> = client.try_iter().collect();
+    assert_eq!(received.len(), 2);
+
+    // The DOEM store holds the subscription's database as an OEM encoding.
+    let store = lore::LoreStore::open(&dir).unwrap();
+    let reloaded = store.load_doem("S").unwrap();
+    assert!(doem::same_doem(server.doem_of("S").unwrap(), &reloaded));
+}

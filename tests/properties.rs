@@ -1,0 +1,203 @@
+//! Property-based tests over the whole stack: random databases and random
+//! valid histories drive the paper's core invariants end to end.
+
+mod common;
+
+use common::{random_db, random_history};
+use doem::{
+    current_snapshot, decode_doem, doem_from_history, encode_doem, extract_history, is_feasible,
+    original_snapshot, snapshot_at, same_doem,
+};
+use oem::{same_database, Timestamp};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, ..ProptestConfig::default()
+    })]
+
+    /// Section 3.2's headline property: a constructed DOEM database is
+    /// feasible, and the unique `(O0(D), H(D))` pair it encodes is the one
+    /// it was built from.
+    #[test]
+    fn doem_feasibility_round_trip(seed in 0u64..1_000, n in 2usize..10, steps in 1usize..6) {
+        let db = random_db(seed, n);
+        let h = random_history(&db, seed, steps, 5);
+        let d = doem_from_history(&db, &h).unwrap();
+        d.check_invariants().unwrap();
+        prop_assert!(is_feasible(&d));
+        prop_assert!(same_database(&original_snapshot(&d), &db));
+        // The extracted history replays to the current snapshot.
+        let mut replay = db.clone();
+        extract_history(&d).unwrap().apply_to(&mut replay).unwrap();
+        prop_assert!(same_database(&replay, &current_snapshot(&d)));
+    }
+
+    /// Snapshot extraction agrees with direct replay at *every* prefix of
+    /// the history, not just the endpoints.
+    #[test]
+    fn snapshots_match_prefix_replay(seed in 0u64..1_000, n in 2usize..8, steps in 1usize..6) {
+        let db = random_db(seed, n);
+        let h = random_history(&db, seed.wrapping_add(7), steps, 4);
+        let d = doem_from_history(&db, &h).unwrap();
+        for entry in h.entries() {
+            let mut replayed = db.clone();
+            h.prefix_through(entry.at).apply_to(&mut replayed).unwrap();
+            let snap = snapshot_at(&d, entry.at);
+            prop_assert!(
+                same_database(&snap, &replayed),
+                "divergence at {}",
+                entry.at
+            );
+            // And just before the entry: the previous state.
+            let before = Timestamp::from_raw_minutes(entry.at.raw_minutes() - 1);
+            let mut prev = db.clone();
+            h.prefix_through(before).apply_to(&mut prev).unwrap();
+            prop_assert!(same_database(&snapshot_at(&d, before), &prev));
+        }
+    }
+
+    /// The Section 5.1 encoding decodes back to the identical DOEM
+    /// database.
+    #[test]
+    fn encode_decode_is_identity(seed in 0u64..1_000, n in 2usize..8, steps in 0usize..5) {
+        let db = random_db(seed, n);
+        let h = random_history(&db, seed.wrapping_add(13), steps, 4);
+        let d = doem_from_history(&db, &h).unwrap();
+        let enc = encode_doem(&d);
+        enc.oem.check_invariants().unwrap();
+        let back = decode_doem(&enc.oem).unwrap();
+        prop_assert!(same_doem(&d, &back));
+    }
+
+    /// The storage codec is lossless.
+    #[test]
+    fn codec_round_trips(seed in 0u64..1_000, n in 1usize..12) {
+        let db = random_db(seed, n);
+        let back = lore::codec::decode_database(lore::codec::encode_database(&db)).unwrap();
+        prop_assert!(same_database(&db, &back));
+    }
+
+    /// The textual OEM format round-trips (isomorphically in the default
+    /// mode, identically with `always_ids`).
+    #[test]
+    fn text_format_round_trips(seed in 0u64..1_000, n in 1usize..10) {
+        let db = random_db(seed, n);
+        let text = oem::write_text(&db, oem::TextOptions { always_ids: true });
+        let back = oem::parse_text(&text).unwrap();
+        prop_assert!(same_database(&db, &back), "text was:\n{text}");
+        let loose = oem::parse_text(&oem::write_text(&db, oem::TextOptions::default())).unwrap();
+        prop_assert!(oem::isomorphic(&db, &loose));
+    }
+
+    /// OEMdiff's contract: for any two random snapshots (related or not),
+    /// the generated change set transforms one into the other.
+    #[test]
+    fn diff_transforms_old_into_new(
+        seed_a in 0u64..500, seed_b in 0u64..500, n in 1usize..8, m in 1usize..8
+    ) {
+        let old = random_db(seed_a, n);
+        let new = random_db(seed_b, m);
+        for mode in [oemdiff::MatchMode::ById, oemdiff::MatchMode::Structural] {
+            let r = oemdiff::diff(&old, &new, mode).unwrap();
+            let mut db = old.clone();
+            r.changes.apply_to(&mut db).unwrap();
+            prop_assert!(oem::isomorphic(&db, &new), "mode {mode:?} failed");
+        }
+    }
+
+    /// Evolved snapshots (the realistic QSS case): diff the states before
+    /// and after a random history.
+    #[test]
+    fn diff_recovers_histories(seed in 0u64..1_000, n in 2usize..8, steps in 1usize..6) {
+        let old = random_db(seed, n);
+        let h = random_history(&old, seed.wrapping_add(23), steps, 5);
+        let mut new = old.clone();
+        h.apply_to(&mut new).unwrap();
+        let r = oemdiff::diff(&old, &new, oemdiff::MatchMode::ById).unwrap();
+        let exact = oemdiff::verify_diff(&old, &new, &r.changes);
+        let isomorphic = {
+            let mut db = old.clone();
+            r.changes.apply_to(&mut db).unwrap();
+            oem::isomorphic(&db, &new)
+        };
+        prop_assert!(exact || isomorphic);
+    }
+
+    /// Timestamps survive display/parse round trips at minute granularity
+    /// across a wide range of dates.
+    #[test]
+    fn timestamps_round_trip(minutes in -20_000_000i64..40_000_000) {
+        let t = Timestamp::from_raw_minutes(minutes);
+        let text = t.to_string();
+        let back: Timestamp = text.parse().unwrap();
+        prop_assert_eq!(t, back, "via {}", text);
+    }
+
+    /// Update statements compile to change sets that apply cleanly, and
+    /// the resulting database state matches a direct query check.
+    #[test]
+    fn update_statements_apply_cleanly(seed in 0u64..500, n in 1usize..8, price in 0i64..500) {
+        let db = random_db(seed, n);
+        let stmt = format!("update guide.restaurant.price := {price}");
+        let compiled = lorel::run_update(&db, &stmt).unwrap();
+        let mut after = db.clone();
+        compiled.changes.apply_to(&mut after).unwrap();
+        after.check_invariants().unwrap();
+        // Every restaurant that had a price now has the new one.
+        let r = lorel::run_query(
+            &after,
+            &format!("select guide.restaurant.price where guide.restaurant.price = {price}"),
+        )
+        .unwrap();
+        let had_price = lorel::run_query(&db, "select guide.restaurant.price").unwrap();
+        // Every price object was updated; rows dedup per object.
+        prop_assert_eq!(r.len(), had_price.len());
+    }
+
+    /// Inserting a structure then removing its arc restores the original
+    /// (after garbage collection) — a write-path inverse property.
+    #[test]
+    fn insert_then_remove_is_identity(seed in 0u64..500, n in 1usize..8) {
+        let db = random_db(seed, n);
+        let ins = lorel::run_update(
+            &db,
+            "insert guide.special := (name \"pop-up\", price 1)",
+        )
+        .unwrap();
+        let mut mid = db.clone();
+        ins.changes.apply_to(&mut mid).unwrap();
+        let rem = lorel::run_update(&mid, "remove guide.special").unwrap();
+        let mut back = mid.clone();
+        rem.changes.apply_to(&mut back).unwrap();
+        prop_assert!(oem::isomorphic(&back, &db));
+    }
+
+    /// The two Chorel strategies agree on a pool of representative change
+    /// queries over arbitrary DOEM databases.
+    #[test]
+    fn chorel_strategies_agree(seed in 0u64..400, n in 2usize..8, steps in 1usize..5) {
+        let db = random_db(seed, n);
+        let h = random_history(&db, seed.wrapping_add(31), steps, 5);
+        let d = doem_from_history(&db, &h).unwrap();
+        for query in [
+            "select guide.restaurant",
+            "select guide.<add>note",
+            "select guide.restaurant.<add at T>note where T >= 1Jan97",
+            "select guide.restaurant.<rem>link",
+            "select T, NV from guide.restaurant.price<upd at T to NV>",
+            "select OV from guide.#.price<upd from OV>",
+            "select guide.restaurant where guide.restaurant.price < 50",
+            "select R from guide.restaurant R where R.<rem at T>parking and T > 1Jan97",
+            "select guide.restaurant.name<cre at T> where T < 1Feb97",
+            "select X from guide.% X where X.name",
+            "select guide.restaurant.(price|cuisine)",
+            "select R.link*.name from guide.restaurant R",
+            "select X, T from guide.restaurant.<add at T>(note|tag) X",
+        ] {
+            // Skip the ones the translator cannot express if any arise;
+            // run_both_checked errors on mismatch, which is the assertion.
+            chorel::run_both_checked(&d, query).unwrap();
+        }
+    }
+}
