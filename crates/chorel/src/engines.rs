@@ -97,6 +97,26 @@ pub fn canonical_rows(
     rows
 }
 
+/// Render canonical rows as stable text lines, one row per line, columns
+/// tab-separated as `label=binding`. This is the wire format of the serve
+/// crate's `ROW` responses, shared here so clients and tests can compare
+/// server output against a locally evaluated query byte for byte.
+pub fn canonical_row_strings(d: &DoemDatabase, result: &QueryResult) -> Vec<String> {
+    canonical_rows(d, result)
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|(label, b)| match b {
+                    CanonBinding::Id(n) => format!("{label}=&{n}"),
+                    CanonBinding::V(v) => format!("{label}={v}"),
+                    CanonBinding::None => format!("{label}=⊥"),
+                })
+                .collect::<Vec<_>>()
+                .join("\t")
+        })
+        .collect()
+}
+
 /// Run both strategies and assert they agree; returns the direct result.
 ///
 /// This is the workhorse of the equivalence test suite (and of the X1

@@ -35,6 +35,9 @@ mod translate;
 
 pub use direct::DirectSource;
 pub use encoded::EncodedSource;
-pub use engines::{canonical_rows, run_chorel, run_chorel_parsed, run_both_checked, CanonBinding, Strategy};
+pub use engines::{
+    canonical_row_strings, canonical_rows, run_chorel, run_chorel_parsed, run_both_checked,
+    CanonBinding, Strategy,
+};
 pub use timevar::resolve_poll_times;
 pub use translate::translate;

@@ -1,0 +1,12 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the `crossbeam::channel` MPMC API used by this workspace
+//! (`unbounded`, `bounded`, cloneable `Sender`/`Receiver`, blocking and
+//! timed receives) implemented over `std::sync` — a `Mutex<VecDeque>` plus
+//! two condition variables. Throughput is far below the real crossbeam's
+//! lock-free queues, but semantics (disconnection, bounded back-pressure,
+//! FIFO per channel) match what the code under test relies on.
+
+#![warn(missing_docs)]
+
+pub mod channel;

@@ -1,0 +1,108 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset of proptest this workspace uses: the [`proptest!`]
+//! macro with an optional `#![proptest_config(...)]` attribute and
+//! `var in strategy` argument lists, range and string-pattern strategies,
+//! [`collection::vec`], [`sample::select`], and the `prop_assert*` macros.
+//!
+//! Differences from the real crate, deliberate for an offline test rig:
+//!
+//! * no shrinking — a failing case reports its generated inputs and
+//!   panics immediately;
+//! * string strategies interpret only the simple `\PC{lo,hi}` shape this
+//!   repo uses (arbitrary printable strings with a length range); any other
+//!   pattern falls back to arbitrary printable strings of length ≤ 64;
+//! * regression-file persistence (`*.proptest-regressions`) is ignored;
+//! * the case count honors `PROPTEST_CASES` from the environment.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a test module typically imports.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert a condition inside a property; reports the generated inputs on
+/// failure (no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Define property tests: each `fn name(var in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` for `config.cases` generated
+/// input tuples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            cfg = ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);
+     $( $(#[$meta:meta])*
+        fn $name:ident ( $( $var:ident in $strat:expr ),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let __base = $crate::test_runner::stable_seed(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::test_runner::TestRng::from_seed(
+                        __base ^ (__case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    $(
+                        let $var = $crate::strategy::Strategy::generate(
+                            &($strat), &mut __rng,
+                        );
+                    )*
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $body }),
+                    );
+                    if let Err(__panic) = __outcome {
+                        eprintln!(
+                            "proptest(offline stand-in): {} failed at case {}/{}; inputs:",
+                            stringify!($name), __case + 1, __cfg.cases
+                        );
+                        $( eprintln!("    {} = {:?}", stringify!($var), &$var); )*
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,40 @@
+//! Sampling strategies (`select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy drawing uniformly from a fixed list; see [`select`].
+#[derive(Clone, Debug)]
+pub struct Select<T: Clone> {
+    items: Vec<T>,
+}
+
+/// Uniform choice among `items`. Panics on an empty list, like the real
+/// crate.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select requires at least one item");
+    Select { items }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.items[rng.below(self.items.len() as u64) as usize].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_items_eventually() {
+        let strat = select(vec!["a", "b", "c"]);
+        let mut rng = TestRng::from_seed(4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(strat.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

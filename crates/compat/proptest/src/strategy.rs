@@ -1,0 +1,132 @@
+//! The [`Strategy`] trait and the built-in strategies for ranges,
+//! constants, and string patterns.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type. Unlike real proptest there
+/// is no value tree and no shrinking: `generate` directly produces a value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Strategy always yielding a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Integer types range strategies can generate.
+pub trait RangeValue: Copy {
+    /// Uniform draw from `[lo, hi)` or `[lo, hi]` when `inclusive`.
+    fn draw(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_range_value {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn draw(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + u128::from(inclusive);
+                assert!(span > 0, "empty range strategy");
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+impl_range_value!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: RangeValue + PartialOrd> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(self.start < self.end, "empty range strategy");
+        T::draw(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: RangeValue + PartialOrd> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        T::draw(rng, lo, hi, true)
+    }
+}
+
+/// Character pool for pattern strategies: printable ASCII plus a few
+/// multi-byte and syntactically interesting characters, so parsers get
+/// exercised on quoting, escapes, and UTF-8 boundaries.
+const CHAR_POOL: &[char] = &[
+    'a', 'b', 'c', 'x', 'y', 'z', 'A', 'Z', '0', '1', '7', '9', ' ', ' ', '.', ',', ';', ':', '"',
+    '\'', '`', '\\', '/', '(', ')', '[', ']', '{', '}', '<', '>', '|', '*', '%', '#', '&', '@',
+    '-', '+', '=', '_', '~', '!', '?', '$', '^', 'é', 'λ', '気', '🦀', '½',
+];
+
+/// `&str` regex-like patterns act as string strategies. Only the shape this
+/// workspace uses is interpreted: `\PC{lo,hi}` (printable characters with a
+/// length range). Anything else falls back to length ≤ 64.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_repeat_bounds(self).unwrap_or((0, 64));
+        let len = if hi > lo {
+            lo + rng.below((hi - lo + 1) as u64) as usize
+        } else {
+            lo
+        };
+        (0..len)
+            .map(|_| CHAR_POOL[rng.below(CHAR_POOL.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Extract `{lo,hi}` bounds from the tail of a pattern like `\PC{0,80}`.
+fn parse_repeat_bounds(pattern: &str) -> Option<(usize, usize)> {
+    let open = pattern.rfind('{')?;
+    let close = pattern.rfind('}')?;
+    if close != pattern.len() - 1 || open >= close {
+        return None;
+    }
+    let body = &pattern[open + 1..close];
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let v = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (-5i64..=5).generate(&mut rng);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn string_pattern_bounds_respected() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..100 {
+            let s = "\\PC{0,80}".generate(&mut rng);
+            assert!(s.chars().count() <= 80);
+        }
+    }
+
+    #[test]
+    fn repeat_bounds_parse() {
+        assert_eq!(parse_repeat_bounds("\\PC{0,120}"), Some((0, 120)));
+        assert_eq!(parse_repeat_bounds("abc"), None);
+    }
+}

@@ -1,0 +1,70 @@
+//! Configuration and the deterministic RNG behind generated cases.
+
+/// Configuration accepted by `#![proptest_config(...)]`. Only `cases` has
+/// an effect in this stand-in; the other fields exist so real-proptest
+/// config expressions keep compiling.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated input tuples per property.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; fork mode is not implemented.
+    pub fork: bool,
+    /// Accepted for compatibility; per-case timeouts are not implemented.
+    pub timeout: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig {
+            cases,
+            max_shrink_iters: 0,
+            fork: false,
+            timeout: 0,
+        }
+    }
+}
+
+/// FNV-1a hash of a test path: a stable per-test base seed, so failures
+/// reproduce across runs without any persistence files.
+pub fn stable_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Deterministic SplitMix64 generator driving all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Build from a seed; equal seeds generate equal cases.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}

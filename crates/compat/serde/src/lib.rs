@@ -1,0 +1,14 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! `serde` is on the workspace's sanctioned dependency list but no code
+//! currently uses it; this placeholder keeps the dependency edge resolving
+//! offline. It declares marker traits with serde's names so signatures can
+//! mention them; there is no data model, no serializers, and no derive.
+
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -57,6 +57,14 @@ pub use source::DataSource;
 pub use token::{Keyword, Spanned, Token};
 pub use update::{compile_update, parse_update, run_update, CompiledUpdate, NewObject, UpdateStmt};
 
+/// The canonical text of a query: parse it and print it back. Two query
+/// strings that differ only in whitespace, comments, or redundant
+/// parentheses share one canonical text, which is what makes it usable as
+/// a cache key (the serve crate keys its result cache on it).
+pub fn canonical_text(text: &str) -> Result<String> {
+    Ok(parse_query(text)?.to_string())
+}
+
 /// Parse, plan, execute and package a query in one call.
 pub fn run_query(source: &dyn DataSource, text: &str) -> Result<QueryResult> {
     let query = parse_query(text)?;

@@ -40,6 +40,20 @@ pub trait Source: Send {
     }
 }
 
+impl<S: Source + ?Sized> Source for Box<S> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn state_at(&self, t: Timestamp) -> OemDatabase {
+        (**self).state_at(t)
+    }
+
+    fn change_times(&self, after: Timestamp, until: Timestamp) -> Option<Vec<Timestamp>> {
+        (**self).change_times(after, until)
+    }
+}
+
 /// A source defined by an initial database and a fixed history.
 #[derive(Clone, Debug)]
 pub struct ScriptedSource {

@@ -1,0 +1,143 @@
+//! The query-result cache.
+//!
+//! Keys are `(scope, canonical query text, generation)` — scope is the
+//! database (or `sub:<id>` DOEM) the query ran against, the canonical text
+//! comes from the parser's printer (so formatting differences share an
+//! entry), and the generation is the service's write counter. A write
+//! bumps the generation, which makes every older entry unreachable; the
+//! writer then calls [`ResultCache::retain_generation`] so dead entries
+//! don't occupy capacity.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A cache key. Equal keys ⇒ identical result rows.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Which database the query ran against (`sub:<id>` for subscription
+    /// DOEMs).
+    pub scope: String,
+    /// Canonical query text (parse → print).
+    pub canonical: String,
+    /// Database generation the result was computed at.
+    pub generation: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<CacheKey, Arc<Vec<String>>>,
+    order: VecDeque<CacheKey>,
+}
+
+/// A bounded FIFO result cache, shared across workers.
+#[derive(Debug)]
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results (0 disables caching).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(Inner::default()),
+            capacity,
+        }
+    }
+
+    /// Look up a result.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<String>>> {
+        self.inner.lock().map.get(key).cloned()
+    }
+
+    /// Store a result, evicting the oldest entry when full.
+    pub fn insert(&self, key: CacheKey, rows: Arc<Vec<String>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if inner.map.insert(key.clone(), rows).is_none() {
+            inner.order.push_back(key);
+            while inner.map.len() > self.capacity {
+                let Some(oldest) = inner.order.pop_front() else {
+                    break;
+                };
+                inner.map.remove(&oldest);
+            }
+        }
+    }
+
+    /// Drop every entry computed before `generation` (they can never be
+    /// hit again — the generation counter only moves forward).
+    pub fn retain_generation(&self, generation: u64) {
+        let mut inner = self.inner.lock();
+        inner.map.retain(|k, _| k.generation >= generation);
+        let map = std::mem::take(&mut inner.map);
+        inner.order.retain(|k| map.contains_key(k));
+        inner.map = map;
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// `true` when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(scope: &str, q: &str, g: u64) -> CacheKey {
+        CacheKey {
+            scope: scope.into(),
+            canonical: q.into(),
+            generation: g,
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_generation_isolation() {
+        let cache = ResultCache::new(8);
+        let rows = Arc::new(vec!["r".to_string()]);
+        cache.insert(key("db", "q", 1), rows.clone());
+        assert_eq!(cache.get(&key("db", "q", 1)), Some(rows));
+        // Same text at a newer generation is a different key.
+        assert_eq!(cache.get(&key("db", "q", 2)), None);
+        assert_eq!(cache.get(&key("other", "q", 1)), None);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let cache = ResultCache::new(2);
+        for i in 0..3u64 {
+            cache.insert(key("db", &format!("q{i}"), 1), Arc::new(vec![]));
+        }
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key("db", "q0", 1)).is_none());
+        assert!(cache.get(&key("db", "q2", 1)).is_some());
+    }
+
+    #[test]
+    fn retain_generation_purges_stale() {
+        let cache = ResultCache::new(8);
+        cache.insert(key("db", "old", 1), Arc::new(vec![]));
+        cache.insert(key("db", "new", 2), Arc::new(vec![]));
+        cache.retain_generation(2);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key("db", "new", 2)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = ResultCache::new(0);
+        cache.insert(key("db", "q", 1), Arc::new(vec![]));
+        assert!(cache.is_empty());
+    }
+}

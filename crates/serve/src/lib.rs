@@ -1,0 +1,47 @@
+//! # serve — a concurrent multi-session query service over the DOEM stack
+//!
+//! The paper's Lore context ran as a long-lived server process; this crate
+//! supplies that missing deployment layer for the reproduction. One
+//! process owns a set of OEM/DOEM databases plus an embedded Query
+//! Subscription Service, and serves many concurrent sessions over two
+//! transports that share every byte of machinery:
+//!
+//! * an in-process [`Client`] handle (cheap to clone, used by tests and
+//!   benchmarks), and
+//! * a hand-rolled line-oriented TCP protocol ([`protocol`]) behind
+//!   [`Service::listen`], spoken by the `doem-serve` binary.
+//!
+//! Architecture: sessions parse requests at the edge and submit jobs to a
+//! **bounded** queue (admission control — a full queue answers `BUSY`
+//! immediately). A fixed worker pool executes jobs against shared state
+//! behind a [`parking_lot::RwLock`]: queries take the read path and run in
+//! parallel; updates and QSS polls take the write path and bump a
+//! **generation counter**. Query results are cached keyed on *(database,
+//! canonical query text, generation)* — a write structurally invalidates
+//! every stale entry without any notification machinery. A [`metrics`]
+//! registry (counters + log2 latency histograms for parse / queue-wait /
+//! exec / end-to-end) is readable over the wire as `STATS`.
+//!
+//! ```
+//! use serve::{Service, ServeConfig, Response};
+//! use oem::guide::{guide_figure2, history_example_2_3};
+//!
+//! let svc = Service::start(ServeConfig::default()).unwrap();
+//! svc.install(&guide_figure2(), &history_example_2_3()).unwrap();
+//! let client = svc.client();
+//! let resp = client.request_line("QUERY guide select guide.restaurant");
+//! assert!(matches!(resp, Response::Rows(ref rows) if rows.len() == 3));
+//! svc.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod metrics;
+pub mod protocol;
+mod service;
+mod tcp;
+
+pub use protocol::{parse_request, ErrKind, ProtoError, Request, Response};
+pub use service::{AutoTick, Client, DynSource, ServeConfig, Service};
+pub use tcp::{TcpHandle, WireClient};

@@ -1,0 +1,182 @@
+//! The service's metrics registry: lock-free counters plus log2-bucketed
+//! latency histograms for the request pipeline stages (parse, queue wait,
+//! execution, end-to-end). A snapshot is exposed over the wire as the
+//! `STATS` command.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log2 latency buckets: bucket `i` holds samples in
+/// `[2^(i-1), 2^i)` microseconds (bucket 0 is `< 1µs`), so the top bucket
+/// covers everything from ~8.6 minutes up.
+const BUCKETS: usize = 30;
+
+/// A log2-bucketed latency histogram with exact count/sum/max.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Histogram {
+    /// Record one latency sample.
+    pub fn record(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// Largest recorded sample in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Approximate p50 in microseconds: the upper bound of the bucket
+    /// containing the median sample.
+    pub fn p50_us(&self) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen * 2 >= n {
+                return if i == 0 { 1 } else { 1u64 << i };
+            }
+        }
+        self.max_us()
+    }
+
+    fn render(&self, name: &str, out: &mut Vec<String>) {
+        out.push(format!(
+            "latency {name} count={} mean_us={} p50_us={} max_us={}",
+            self.count(),
+            self.mean_us(),
+            self.p50_us(),
+            self.max_us()
+        ));
+    }
+}
+
+/// All counters and histograms the service maintains.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests submitted (whether or not admitted).
+    pub requests: AtomicU64,
+    /// Requests taking the shared read path.
+    pub reads: AtomicU64,
+    /// Requests taking the exclusive write path.
+    pub writes: AtomicU64,
+    /// Error responses produced (any kind).
+    pub errors: AtomicU64,
+    /// Requests rejected by admission control (queue full).
+    pub busy_rejected: AtomicU64,
+    /// Requests that timed out waiting for a worker's reply.
+    pub timeouts: AtomicU64,
+    /// Result-cache hits.
+    pub cache_hits: AtomicU64,
+    /// Result-cache misses.
+    pub cache_misses: AtomicU64,
+    /// QSS polls executed by TICKs and the background task.
+    pub qss_polls: AtomicU64,
+    /// TCP sessions accepted.
+    pub sessions: AtomicU64,
+    /// Time spent parsing request lines.
+    pub parse: Histogram,
+    /// Time jobs spent queued before a worker picked them up.
+    pub queue: Histogram,
+    /// Time workers spent evaluating queries/updates (cache misses only).
+    pub exec: Histogram,
+    /// End-to-end time from submission to reply.
+    pub total: Histogram,
+}
+
+impl Metrics {
+    /// Fresh, all-zero registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Bump a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Render the `STATS` snapshot, one `counter …`/`latency …` line each.
+    pub fn render(&self) -> Vec<String> {
+        let c = |v: &AtomicU64| v.load(Ordering::Relaxed);
+        let mut out = vec![
+            format!("counter requests {}", c(&self.requests)),
+            format!("counter reads {}", c(&self.reads)),
+            format!("counter writes {}", c(&self.writes)),
+            format!("counter errors {}", c(&self.errors)),
+            format!("counter busy_rejected {}", c(&self.busy_rejected)),
+            format!("counter timeouts {}", c(&self.timeouts)),
+            format!("counter cache_hits {}", c(&self.cache_hits)),
+            format!("counter cache_misses {}", c(&self.cache_misses)),
+            format!("counter qss_polls {}", c(&self.qss_polls)),
+            format!("counter sessions {}", c(&self.sessions)),
+        ];
+        self.parse.render("parse", &mut out);
+        self.queue.render("queue", &mut out);
+        self.exec.render("exec", &mut out);
+        self.total.render("total", &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_statistics() {
+        let h = Histogram::default();
+        for us in [1u64, 10, 100, 1000, 10_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max_us(), 10_000);
+        assert_eq!(h.mean_us(), (1 + 10 + 100 + 1000 + 10_000) / 5);
+        let p50 = h.p50_us();
+        assert!((64..=256).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn huge_samples_clamp_to_top_bucket() {
+        let h = Histogram::default();
+        h.record(Duration::from_secs(1 << 40));
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn stats_snapshot_mentions_every_stage() {
+        let m = Metrics::new();
+        Metrics::bump(&m.requests);
+        m.exec.record(Duration::from_micros(42));
+        let lines = m.render();
+        assert!(lines.iter().any(|l| l == "counter requests 1"));
+        for stage in ["parse", "queue", "exec", "total"] {
+            assert!(lines.iter().any(|l| l.contains(&format!("latency {stage} "))));
+        }
+    }
+}

@@ -1,0 +1,713 @@
+//! The line-oriented wire protocol.
+//!
+//! Requests are single lines of UTF-8 text; the first word is a verb, the
+//! rest is verb-specific. Embedded Lorel/Chorel text is parsed *here*, at
+//! the session edge, so workers never see unvalidated input and the
+//! canonical query text (the cache key) is computed exactly once.
+//!
+//! ```text
+//! PING                                       liveness probe
+//! STATS                                      metrics snapshot
+//! GEN                                        database generation counter
+//! DBS                                        list installed databases
+//! CREATE <db>                                install an empty database
+//! SAVE <db>  /  LOAD <db>                    persist to / restore from store
+//! QUERY <db> <lorel-or-chorel query>         evaluate, canonical rows back
+//! UPDATE <db> AT <ts> ; <change set>         apply `{creNode(...), ...}`
+//! MUTATE <db> AT <ts> ; <update stmt>        compile a Lorel update & apply
+//! DEFINE <define program>                    add named queries to registry
+//! SUBSCRIBE <id> POLL <q> FILTER <q> FREQ <spec>
+//! UNSUBSCRIBE <id>
+//! TICK <ts>                                  advance QSS simulated time
+//! NOTES <id|*>                               pending QSS notifications
+//! SUBQUERY <id> <chorel query>               query a subscription's DOEM
+//! QUIT                                       close the session
+//! ```
+//!
+//! Responses are `OK <msg>`, an `ERR <KIND> <msg>` line, or a row block:
+//! `ROWS <n>` followed by `n` `ROW <text>` lines and a final `END`. Row
+//! text is escaped (`\\`, `\n`, `\t`, `\r`) so a response line never
+//! contains a raw newline or tab collision.
+
+use lorel::ast::Query;
+use oem::{parse_change_set, parse_op, ChangeSet, Timestamp};
+use qss::FrequencySpec;
+use std::io::BufRead;
+
+/// Machine-readable error classes, carried on `ERR` responses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrKind {
+    /// The request line or its embedded query/update text failed to parse
+    /// (message contains the parser's line/column span).
+    Syntax,
+    /// Unknown verb.
+    Unknown,
+    /// Named database, subscription, or registered query does not exist.
+    NotFound,
+    /// Admission control rejected the request: the queue is full.
+    Busy,
+    /// The request did not complete within the configured timeout.
+    Timeout,
+    /// The request conflicts with current state (e.g. duplicate CREATE,
+    /// change set invalid against the database).
+    Conflict,
+    /// Storage-layer failure (or no store configured).
+    Io,
+    /// Anything else; the service itself misbehaved.
+    Internal,
+}
+
+impl ErrKind {
+    /// The wire token for the kind.
+    pub fn code(self) -> &'static str {
+        match self {
+            ErrKind::Syntax => "SYNTAX",
+            ErrKind::Unknown => "UNKNOWN",
+            ErrKind::NotFound => "NOTFOUND",
+            ErrKind::Busy => "BUSY",
+            ErrKind::Timeout => "TIMEOUT",
+            ErrKind::Conflict => "CONFLICT",
+            ErrKind::Io => "IO",
+            ErrKind::Internal => "INTERNAL",
+        }
+    }
+
+    /// Inverse of [`ErrKind::code`]; unknown tokens map to `Internal`.
+    pub fn from_code(code: &str) -> ErrKind {
+        match code {
+            "SYNTAX" => ErrKind::Syntax,
+            "UNKNOWN" => ErrKind::Unknown,
+            "NOTFOUND" => ErrKind::NotFound,
+            "BUSY" => ErrKind::Busy,
+            "TIMEOUT" => ErrKind::Timeout,
+            "CONFLICT" => ErrKind::Conflict,
+            "IO" => ErrKind::Io,
+            _ => ErrKind::Internal,
+        }
+    }
+}
+
+/// A fully parsed request: embedded query text is already a [`Query`],
+/// timestamps are [`Timestamp`]s, change sets are [`ChangeSet`]s.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// `PING`
+    Ping,
+    /// `STATS`
+    Stats,
+    /// `GEN`
+    Generation,
+    /// `DBS`
+    ListDbs,
+    /// `QUIT`
+    Quit,
+    /// `CREATE <db>`
+    Create {
+        /// Database name.
+        db: String,
+    },
+    /// `SAVE <db>`
+    Save {
+        /// Database name.
+        db: String,
+    },
+    /// `LOAD <db>`
+    Load {
+        /// Database name.
+        db: String,
+    },
+    /// `QUERY <db> <query>`
+    Query {
+        /// Database name.
+        db: String,
+        /// The parsed query.
+        query: Box<Query>,
+        /// Canonical query text — the result-cache key component.
+        key: String,
+    },
+    /// `SUBQUERY <id> <query>` — query a subscription's DOEM database.
+    SubQuery {
+        /// Subscription id.
+        id: String,
+        /// The parsed query.
+        query: Box<Query>,
+        /// Canonical query text.
+        key: String,
+    },
+    /// `UPDATE <db> AT <ts> ; <change set>`
+    Update {
+        /// Database name.
+        db: String,
+        /// When the changes happened.
+        at: Timestamp,
+        /// The parsed change set.
+        changes: ChangeSet,
+    },
+    /// `MUTATE <db> AT <ts> ; <lorel update statement>`
+    Mutate {
+        /// Database name.
+        db: String,
+        /// When the update happens.
+        at: Timestamp,
+        /// The raw statement text — compiled under the write lock against
+        /// the then-current snapshot (syntax is pre-checked at parse time).
+        stmt: String,
+    },
+    /// `DEFINE <define program>`
+    Define {
+        /// The raw program text — loaded into the registry under the write
+        /// lock (syntax is pre-checked at parse time).
+        program: String,
+    },
+    /// `SUBSCRIBE <id> POLL <name> FILTER <name> FREQ <spec>`
+    Subscribe {
+        /// Subscription id.
+        id: String,
+        /// Registered polling query name.
+        polling: String,
+        /// Registered filter query name.
+        filter: String,
+        /// Parsed frequency specification.
+        freq: FrequencySpec,
+    },
+    /// `UNSUBSCRIBE <id>`
+    Unsubscribe {
+        /// Subscription id.
+        id: String,
+    },
+    /// `TICK <ts>` — advance simulated time, running due QSS polls.
+    Tick {
+        /// The new horizon.
+        until: Timestamp,
+    },
+    /// `NOTES <id|*>` — list notifications for one subscription (or all).
+    Notes {
+        /// Subscription id, or `*`.
+        id: String,
+    },
+}
+
+impl Request {
+    /// Whether execution takes the shared read path (queries, listings)
+    /// rather than the exclusive write path.
+    pub fn is_read(&self) -> bool {
+        matches!(
+            self,
+            Request::Ping
+                | Request::Stats
+                | Request::Generation
+                | Request::ListDbs
+                | Request::Quit
+                | Request::Save { .. }
+                | Request::Query { .. }
+                | Request::SubQuery { .. }
+                | Request::Notes { .. }
+        )
+    }
+}
+
+/// A protocol-level error: what went wrong and how to class it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Error class.
+    pub kind: ErrKind,
+    /// Human-readable message (parser spans included where available).
+    pub message: String,
+}
+
+impl ProtoError {
+    fn syntax(message: impl Into<String>) -> ProtoError {
+        ProtoError {
+            kind: ErrKind::Syntax,
+            message: message.into(),
+        }
+    }
+}
+
+/// A response, as produced by the service and rendered onto the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Success with a one-line message.
+    Ok(String),
+    /// Success with a block of result rows.
+    Rows(Vec<String>),
+    /// Failure.
+    Error {
+        /// Error class.
+        kind: ErrKind,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl From<ProtoError> for Response {
+    fn from(e: ProtoError) -> Response {
+        Response::Error {
+            kind: e.kind,
+            message: e.message,
+        }
+    }
+}
+
+impl Response {
+    /// Shorthand for an error response.
+    pub fn err(kind: ErrKind, message: impl Into<String>) -> Response {
+        Response::Error {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// `true` for [`Response::Error`].
+    pub fn is_error(&self) -> bool {
+        matches!(self, Response::Error { .. })
+    }
+
+    /// Render onto the wire (every line newline-terminated).
+    pub fn render(&self) -> String {
+        match self {
+            Response::Ok(msg) => format!("OK {}\n", escape(msg)),
+            Response::Rows(rows) => {
+                let mut out = format!("ROWS {}\n", rows.len());
+                for row in rows {
+                    out.push_str("ROW ");
+                    out.push_str(&escape(row));
+                    out.push('\n');
+                }
+                out.push_str("END\n");
+                out
+            }
+            Response::Error { kind, message } => {
+                format!("ERR {} {}\n", kind.code(), escape(message))
+            }
+        }
+    }
+
+    /// Read one response off a buffered stream — the client half of
+    /// [`Response::render`]. Returns `None` at EOF.
+    pub fn read_from(reader: &mut impl BufRead) -> std::io::Result<Option<Response>> {
+        let Some(first) = read_line(reader)? else {
+            return Ok(None);
+        };
+        if let Some(msg) = first.strip_prefix("OK") {
+            return Ok(Some(Response::Ok(unescape(msg.trim_start()))));
+        }
+        if let Some(rest) = first.strip_prefix("ERR ") {
+            let (code, msg) = split_word(rest);
+            return Ok(Some(Response::Error {
+                kind: ErrKind::from_code(code),
+                message: unescape(msg),
+            }));
+        }
+        if let Some(n) = first.strip_prefix("ROWS ") {
+            let n: usize = n.trim().parse().map_err(bad_frame)?;
+            let mut rows = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let line = read_line(reader)?.ok_or_else(|| bad_frame("eof in row block"))?;
+                let row = line
+                    .strip_prefix("ROW ")
+                    .or_else(|| line.strip_prefix("ROW"))
+                    .ok_or_else(|| bad_frame("expected ROW line"))?;
+                rows.push(unescape(row));
+            }
+            let end = read_line(reader)?.ok_or_else(|| bad_frame("eof before END"))?;
+            if end.trim() != "END" {
+                return Err(bad_frame("expected END"));
+            }
+            return Ok(Some(Response::Rows(rows)));
+        }
+        Err(bad_frame(format!("unrecognized response line {first:?}")))
+    }
+}
+
+fn bad_frame(msg: impl std::fmt::Display) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn read_line(reader: &mut impl BufRead) -> std::io::Result<Option<String>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+/// Escape a row/message for single-line transport.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape`]. Total: a trailing lone backslash or an unknown
+/// escape passes through literally rather than erroring.
+pub fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// First whitespace-delimited word and the trimmed remainder.
+fn split_word(s: &str) -> (&str, &str) {
+    let s = s.trim_start();
+    match s.split_once(char::is_whitespace) {
+        Some((w, rest)) => (w, rest.trim_start()),
+        None => (s, ""),
+    }
+}
+
+/// Validate a database/subscription/query name.
+fn name_ok(word: &str, what: &str) -> Result<String, ProtoError> {
+    if word.is_empty() {
+        return Err(ProtoError::syntax(format!("missing {what} name")));
+    }
+    if !word
+        .chars()
+        .all(|c| c.is_alphanumeric() || matches!(c, '-' | '_' | '.'))
+    {
+        return Err(ProtoError::syntax(format!(
+            "bad {what} name {word:?} (alphanumeric, '-', '_', '.' only)"
+        )));
+    }
+    Ok(word.to_string())
+}
+
+fn expect_empty(rest: &str, verb: &str) -> Result<(), ProtoError> {
+    if rest.trim().is_empty() {
+        Ok(())
+    } else {
+        Err(ProtoError::syntax(format!("{verb} takes no arguments")))
+    }
+}
+
+/// Eat a case-insensitive keyword off the front of `rest`.
+fn expect_kw<'a>(rest: &'a str, kw: &str) -> Result<&'a str, ProtoError> {
+    let (word, tail) = split_word(rest);
+    if word.eq_ignore_ascii_case(kw) {
+        Ok(tail)
+    } else {
+        Err(ProtoError::syntax(format!(
+            "expected {kw}, found {word:?}"
+        )))
+    }
+}
+
+/// `AT <ts> ; <payload>` — shared tail of UPDATE and MUTATE.
+fn parse_at_clause(rest: &str) -> Result<(Timestamp, &str), ProtoError> {
+    let rest = expect_kw(rest, "AT")?;
+    let (ts_text, payload) = rest
+        .split_once(';')
+        .ok_or_else(|| ProtoError::syntax("expected ';' after the AT timestamp"))?;
+    let at: Timestamp = ts_text
+        .trim()
+        .parse()
+        .map_err(|e| ProtoError::syntax(format!("bad timestamp {:?}: {e}", ts_text.trim())))?;
+    Ok((at, payload.trim()))
+}
+
+fn parse_query_text(text: &str) -> Result<(Box<Query>, String), ProtoError> {
+    if text.trim().is_empty() {
+        return Err(ProtoError::syntax("missing query text"));
+    }
+    let query = lorel::parse_query(text).map_err(|e| ProtoError::syntax(e.to_string()))?;
+    let key = query.to_string();
+    Ok((Box::new(query), key))
+}
+
+/// Parse one request line. Total over arbitrary input: every failure is a
+/// [`ProtoError`], never a panic (fuzz-enforced below).
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Err(ProtoError::syntax("empty request"));
+    }
+    let (verb, rest) = split_word(line);
+    match verb.to_ascii_uppercase().as_str() {
+        "PING" => expect_empty(rest, "PING").map(|()| Request::Ping),
+        "STATS" => expect_empty(rest, "STATS").map(|()| Request::Stats),
+        "GEN" => expect_empty(rest, "GEN").map(|()| Request::Generation),
+        "DBS" => expect_empty(rest, "DBS").map(|()| Request::ListDbs),
+        "QUIT" => expect_empty(rest, "QUIT").map(|()| Request::Quit),
+        "CREATE" => Ok(Request::Create {
+            db: name_ok(rest, "database")?,
+        }),
+        "SAVE" => Ok(Request::Save {
+            db: name_ok(rest, "database")?,
+        }),
+        "LOAD" => Ok(Request::Load {
+            db: name_ok(rest, "database")?,
+        }),
+        "QUERY" => {
+            let (db, text) = split_word(rest);
+            let db = name_ok(db, "database")?;
+            let (query, key) = parse_query_text(text)?;
+            Ok(Request::Query { db, query, key })
+        }
+        "SUBQUERY" => {
+            let (id, text) = split_word(rest);
+            let id = name_ok(id, "subscription")?;
+            let (query, key) = parse_query_text(text)?;
+            Ok(Request::SubQuery { id, query, key })
+        }
+        "UPDATE" => {
+            let (db, rest) = split_word(rest);
+            let db = name_ok(db, "database")?;
+            let (at, payload) = parse_at_clause(rest)?;
+            let changes = if payload.starts_with('{') {
+                parse_change_set(payload).map_err(|e| ProtoError::syntax(e.to_string()))?
+            } else {
+                // A single bare op is accepted as a one-element set.
+                let op = parse_op(payload).map_err(|e| ProtoError::syntax(e.to_string()))?;
+                let mut set = ChangeSet::new();
+                set.push(op)
+                    .map_err(|e| ProtoError::syntax(e.to_string()))?;
+                set
+            };
+            Ok(Request::Update { db, at, changes })
+        }
+        "MUTATE" => {
+            let (db, rest) = split_word(rest);
+            let db = name_ok(db, "database")?;
+            let (at, payload) = parse_at_clause(rest)?;
+            // Syntax check now (spans surface at the session edge);
+            // compilation against the live snapshot happens in the worker.
+            lorel::parse_update(payload).map_err(|e| ProtoError::syntax(e.to_string()))?;
+            Ok(Request::Mutate {
+                db,
+                at,
+                stmt: payload.to_string(),
+            })
+        }
+        "DEFINE" => {
+            let program = format!("define {rest}");
+            lorel::parse_program(&program).map_err(|e| ProtoError::syntax(e.to_string()))?;
+            Ok(Request::Define { program })
+        }
+        "SUBSCRIBE" => {
+            let (id, rest) = split_word(rest);
+            let id = name_ok(id, "subscription")?;
+            let rest = expect_kw(rest, "POLL")?;
+            let (polling, rest) = split_word(rest);
+            let polling = name_ok(polling, "polling query")?;
+            let rest = expect_kw(rest, "FILTER")?;
+            let (filter, rest) = split_word(rest);
+            let filter = name_ok(filter, "filter query")?;
+            let spec = expect_kw(rest, "FREQ")?;
+            let freq: FrequencySpec = spec
+                .trim()
+                .parse()
+                .map_err(|e| ProtoError::syntax(format!("bad frequency {spec:?}: {e}")))?;
+            Ok(Request::Subscribe {
+                id,
+                polling,
+                filter,
+                freq,
+            })
+        }
+        "UNSUBSCRIBE" => Ok(Request::Unsubscribe {
+            id: name_ok(rest, "subscription")?,
+        }),
+        "TICK" => {
+            let until: Timestamp = rest
+                .trim()
+                .parse()
+                .map_err(|e| ProtoError::syntax(format!("bad timestamp {rest:?}: {e}")))?;
+            Ok(Request::Tick { until })
+        }
+        "NOTES" => {
+            let id = rest.trim();
+            if id == "*" {
+                Ok(Request::Notes {
+                    id: id.to_string(),
+                })
+            } else {
+                Ok(Request::Notes {
+                    id: name_ok(id, "subscription")?,
+                })
+            }
+        }
+        other => Err(ProtoError {
+            kind: ErrKind::Unknown,
+            message: format!("unknown verb {other:?}"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn verbs_parse() {
+        assert!(matches!(parse_request("PING"), Ok(Request::Ping)));
+        assert!(matches!(parse_request("  stats  "), Ok(Request::Stats)));
+        assert!(matches!(
+            parse_request("CREATE guide"),
+            Ok(Request::Create { .. })
+        ));
+        let q = parse_request("QUERY guide select guide.restaurant").unwrap();
+        match q {
+            Request::Query { db, key, .. } => {
+                assert_eq!(db, "guide");
+                assert!(key.contains("guide . restaurant") || key.contains("guide.restaurant"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_line_parses_set_and_single_op() {
+        let r = parse_request("UPDATE guide AT 1Jan97 8:00pm ; {updNode(n1, 20)}").unwrap();
+        match r {
+            Request::Update { db, changes, .. } => {
+                assert_eq!(db, "guide");
+                assert_eq!(changes.len(), 1);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let r = parse_request("UPDATE guide AT 1Jan97 8:00pm ; updNode(n1, 20)").unwrap();
+        assert!(matches!(r, Request::Update { .. }));
+    }
+
+    #[test]
+    fn subscribe_line_parses() {
+        let r = parse_request(
+            "SUBSCRIBE S1 POLL Restaurants FILTER NewRestaurants FREQ every night at 11:30pm",
+        )
+        .unwrap();
+        match r {
+            Request::Subscribe {
+                id, polling, filter, ..
+            } => {
+                assert_eq!((id.as_str(), polling.as_str(), filter.as_str()),
+                           ("S1", "Restaurants", "NewRestaurants"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_have_kinds() {
+        assert_eq!(parse_request("FROB x").unwrap_err().kind, ErrKind::Unknown);
+        assert_eq!(parse_request("").unwrap_err().kind, ErrKind::Syntax);
+        assert_eq!(
+            parse_request("QUERY guide select ...bad(((").unwrap_err().kind,
+            ErrKind::Syntax
+        );
+        assert_eq!(
+            parse_request("TICK not-a-time").unwrap_err().kind,
+            ErrKind::Syntax
+        );
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        for s in ["", "plain", "a\tb\nc\\d\re", "\\", "trailing\\"] {
+            assert_eq!(unescape(&escape(s)), s);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_the_wire() {
+        let cases = vec![
+            Response::Ok("pong".into()),
+            Response::Rows(vec!["x=&n1\ty=20".into(), "weird\\row".into()]),
+            Response::Rows(vec![]),
+            Response::err(ErrKind::Busy, "queue full"),
+        ];
+        for resp in cases {
+            let wire = resp.render();
+            let mut reader = BufReader::new(wire.as_bytes());
+            let back = Response::read_from(&mut reader).unwrap().unwrap();
+            assert_eq!(back, resp);
+        }
+        let mut empty = BufReader::new(&b""[..]);
+        assert_eq!(Response::read_from(&mut empty).unwrap(), None);
+    }
+}
+
+#[cfg(test)]
+mod fuzz_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+        /// The request parser must reject garbage with an error, never
+        /// panic — the same contract as `lorel::parser::fuzz_tests`.
+        #[test]
+        fn parse_request_never_panics_on_arbitrary_input(line in "\\PC{0,120}") {
+            let _ = parse_request(&line);
+            let _ = unescape(&line);
+        }
+
+        /// Request-shaped fragments assembled from protocol atoms: the
+        /// parser still never panics, and whatever parses classifies as
+        /// read or write without panicking either.
+        #[test]
+        fn parse_request_never_panics_on_protocol_fragments(
+            parts in proptest::collection::vec(
+                proptest::sample::select(vec![
+                    "QUERY", "UPDATE", "MUTATE", "SUBSCRIBE", "TICK", "DEFINE",
+                    "NOTES", "SUBQUERY", "guide", "S1", "AT", ";", "POLL",
+                    "FILTER", "FREQ", "every", "10", "minutes", "night", "at",
+                    "11:30pm", "select", "guide.restaurant", "where", "<",
+                    "creNode(n9, C)", "{updNode(n1, 20)}", "1Jan97", "8:00pm",
+                    "*", "price", "=", "\"x\"", "insert", "t[-1]",
+                ]),
+                0..12,
+            )
+        ) {
+            let line = parts.join(" ");
+            if let Ok(req) = parse_request(&line) {
+                let _ = req.is_read();
+            }
+        }
+
+        /// Wire escaping round-trips any string.
+        #[test]
+        fn escape_round_trips(s in "\\PC{0,100}") {
+            prop_assert_eq!(unescape(&escape(&s)), s);
+        }
+
+        /// A rendered response frame parses back to itself.
+        #[test]
+        fn response_frames_round_trip(rows in proptest::collection::vec("\\PC{0,40}", 0..6)) {
+            let resp = Response::Rows(rows.clone());
+            let wire = resp.render();
+            let mut reader = std::io::BufReader::new(wire.as_bytes());
+            let back = Response::read_from(&mut reader).unwrap().unwrap();
+            prop_assert_eq!(back, resp);
+        }
+    }
+}

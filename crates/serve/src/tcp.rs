@@ -1,0 +1,195 @@
+//! The TCP front end: a nonblocking accept loop handing each connection
+//! to a thread that speaks the line protocol through an in-process
+//! [`Client`](crate::Client). Sessions multiplex onto the same worker
+//! pool, cache, and metrics as in-process clients — the wire adds framing,
+//! nothing else.
+
+use crate::protocol::Response;
+use crate::service::{Client, Service};
+use crate::metrics::Metrics;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Handle on a listening TCP endpoint. Dropping it does *not* stop the
+/// listener; call [`TcpHandle::stop`].
+pub struct TcpHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl TcpHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept loop. Connections already
+    /// handed to session threads drain on their own.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Service {
+    /// Listen on `addr` (e.g. `127.0.0.1:0`) and serve the line protocol.
+    pub fn listen(&self, addr: impl ToSocketAddrs) -> std::io::Result<TcpHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let loop_stop = Arc::clone(&stop);
+        let service_stop = Arc::clone(&self.stop);
+        let client = self.client();
+        let accept = thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || {
+                accept_loop(&listener, &client, &loop_stop, &service_stop);
+            })?;
+        Ok(TcpHandle {
+            addr: local,
+            stop,
+            accept: Some(accept),
+        })
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    client: &Client,
+    stop: &AtomicBool,
+    service_stop: &AtomicBool,
+) {
+    while !stop.load(Ordering::SeqCst) && !service_stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                Metrics::bump(&client.shared.metrics.sessions);
+                let session = client.clone();
+                let _ = thread::Builder::new()
+                    .name("serve-session".into())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, &session);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Drive one connection: read request lines, write response frames. Ends
+/// at EOF, on a write error, or after `QUIT`.
+fn serve_connection(stream: TcpStream, client: &Client) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let quit = line.trim().eq_ignore_ascii_case("QUIT");
+        let resp = client.request_line(&line);
+        writer.write_all(resp.render().as_bytes())?;
+        writer.flush()?;
+        if quit {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// A minimal synchronous wire client: connect, send a line, read a frame.
+/// Used by the test suite and handy for scripting against `doem-serve`.
+pub struct WireClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl WireClient {
+    /// Connect to a listening service.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<WireClient> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(WireClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one request line and read the matching response frame.
+    pub fn roundtrip(&mut self, line: &str) -> std::io::Result<Response> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Response::read_from(&mut self.reader)?.ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server closed connection")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServeConfig;
+    use oem::guide::{guide_figure2, history_example_2_3};
+
+    #[test]
+    fn tcp_round_trips_match_in_process() {
+        let svc = Service::start(ServeConfig::default()).unwrap();
+        svc.install(&guide_figure2(), &history_example_2_3()).unwrap();
+        let handle = svc.listen("127.0.0.1:0").unwrap();
+
+        let mut wire = WireClient::connect(handle.addr()).unwrap();
+        let local = svc.client();
+        for line in [
+            "PING",
+            "DBS",
+            "QUERY guide select guide.restaurant",
+            "QUERY guide select guide.restaurant<add at T>",
+            "BOGUS verb",
+        ] {
+            let over_wire = wire.roundtrip(line).unwrap();
+            let in_process = local.request_line(line);
+            assert_eq!(over_wire, in_process, "divergence on {line:?}");
+        }
+        assert_eq!(wire.roundtrip("QUIT").unwrap(), Response::Ok("bye".into()));
+        handle.stop();
+        svc.shutdown();
+    }
+
+    #[test]
+    fn several_tcp_sessions_interleave() {
+        let svc = Service::start(ServeConfig::default()).unwrap();
+        svc.install(&guide_figure2(), &history_example_2_3()).unwrap();
+        let handle = svc.listen("127.0.0.1:0").unwrap();
+        let addr = handle.addr();
+
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                thread::spawn(move || {
+                    let mut wire = WireClient::connect(addr).unwrap();
+                    let resp = wire
+                        .roundtrip("QUERY guide select guide.restaurant")
+                        .unwrap();
+                    assert!(matches!(resp, Response::Rows(ref r) if !r.is_empty()));
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(svc.metrics().sessions.load(Ordering::Relaxed) >= 4);
+        handle.stop();
+        svc.shutdown();
+    }
+}

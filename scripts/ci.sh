@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Local CI gate: build, full test suite, lints, and the paper-claim
+# experiment table. Run from the repo root; exits non-zero on the first
+# failure. This is the same sequence the verify recipe in
+# .claude/skills/verify/SKILL.md walks through by hand.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo run --bin experiments"
+out="$(cargo run -q --release --offline --bin experiments)"
+echo "$out" | tail -n 3
+if ! grep -q "14 experiments, 14 matched" <<<"$out"; then
+    echo "ci: experiments table no longer matches the paper's claims" >&2
+    exit 1
+fi
+
+echo "ci: all gates passed"

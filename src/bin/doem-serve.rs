@@ -1,0 +1,122 @@
+//! doem-serve — the concurrent query service, on a socket.
+//!
+//! Starts a [`serve::Service`] over the paper's restaurant-guide fixture
+//! (Figure 2 plus the Example 2.3 history), listens on a TCP address, and
+//! doubles as an interactive console: lines typed on stdin are protocol
+//! requests too. `quit` (or EOF) shuts everything down.
+//!
+//! ```text
+//! doem-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//!            [--store DIR] [--autotick-ms MS] [--tick-minutes M]
+//!            [--translated] [--empty]
+//! ```
+
+use serve::{AutoTick, Response, ServeConfig, Service};
+use std::io::BufRead;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: doem-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\
+         \x20                 [--store DIR] [--autotick-ms MS] [--tick-minutes M]\n\
+         \x20                 [--translated] [--empty]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:4545".to_string();
+    let mut cfg = ServeConfig::default();
+    let mut autotick_ms: Option<u64> = None;
+    let mut tick_minutes: i64 = 60;
+    let mut seed_guide = true;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| args.next().unwrap_or_else(|| {
+            eprintln!("{name} needs a value");
+            usage()
+        });
+        match arg.as_str() {
+            "--addr" => addr = val("--addr"),
+            "--workers" => cfg.workers = parse_num(&val("--workers")),
+            "--queue" => cfg.queue_depth = parse_num(&val("--queue")),
+            "--cache" => cfg.cache_capacity = parse_num(&val("--cache")),
+            "--store" => cfg.store_dir = Some(val("--store").into()),
+            "--autotick-ms" => autotick_ms = Some(parse_num(&val("--autotick-ms")) as u64),
+            "--tick-minutes" => tick_minutes = parse_num(&val("--tick-minutes")) as i64,
+            "--translated" => cfg.strategy = chorel::Strategy::Translated,
+            "--empty" => seed_guide = false,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    if let Some(ms) = autotick_ms {
+        cfg.autotick = Some(AutoTick {
+            interval: Duration::from_millis(ms),
+            step_minutes: tick_minutes,
+        });
+    }
+
+    let svc = match Service::start(cfg) {
+        Ok(svc) => svc,
+        Err(e) => {
+            eprintln!("doem-serve: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    if seed_guide {
+        svc.install(
+            &oem::guide::guide_figure2(),
+            &oem::guide::history_example_2_3(),
+        )
+        .expect("the paper fixture installs");
+    }
+    let handle = match svc.listen(&addr) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("doem-serve: cannot listen on {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("doem-serve listening on {}", handle.addr());
+    println!("try:  QUERY guide select guide.restaurant");
+    println!("      UPDATE guide AT 1Mar97 9:00am ; {{updNode(n1, 25)}}");
+    println!("      STATS   DBS   GEN   quit");
+
+    // Stdin is an admin session speaking the same protocol.
+    let console = svc.client();
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed.eq_ignore_ascii_case("quit") {
+            break;
+        }
+        match console.request_line(trimmed) {
+            Response::Ok(msg) => println!("OK {msg}"),
+            Response::Rows(rows) => {
+                println!("ROWS {}", rows.len());
+                for row in rows {
+                    println!("  {row}");
+                }
+            }
+            Response::Error { kind, message } => println!("ERR {} {message}", kind.code()),
+        }
+    }
+    handle.stop();
+    svc.shutdown();
+}
+
+fn parse_num(s: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("not a number: {s:?}");
+        usage()
+    })
+}

@@ -201,3 +201,47 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, ..ProptestConfig::default()
+    })]
+
+    /// The serve path is a third execution strategy: rows coming back
+    /// through the service's parse → queue → worker → cache pipeline must
+    /// equal the canonical rows of `run_both_checked` (which itself
+    /// asserts direct and translated agree) for the same query pool.
+    #[test]
+    fn chorel_strategies_agree_through_serve(seed in 0u64..400, n in 2usize..8, steps in 1usize..5) {
+        let db = random_db(seed, n);
+        let h = random_history(&db, seed.wrapping_add(31), steps, 5);
+        let d = doem_from_history(&db, &h).unwrap();
+
+        let svc = serve::Service::start(serve::ServeConfig::default()).unwrap();
+        svc.install(&db, &h).unwrap();
+        let client = svc.client();
+        for query in [
+            "select guide.restaurant",
+            "select guide.<add>note",
+            "select guide.restaurant.<add at T>note where T >= 1Jan97",
+            "select T, NV from guide.restaurant.price<upd at T to NV>",
+            "select guide.restaurant where guide.restaurant.price < 50",
+            "select R from guide.restaurant R where R.<rem at T>parking and T > 1Jan97",
+            "select guide.restaurant.name<cre at T> where T < 1Feb97",
+            "select X from guide.% X where X.name",
+            "select guide.restaurant.(price|cuisine)",
+        ] {
+            let expected =
+                chorel::canonical_row_strings(&d, &chorel::run_both_checked(&d, query).unwrap());
+            // Twice: the second answer comes from the result cache and
+            // must be byte-identical.
+            for round in 0..2 {
+                let served = client.query("guide", query).unwrap_or_else(|e| {
+                    panic!("serve rejected {query:?}: {e:?}")
+                });
+                prop_assert_eq!(&served, &expected, "query {} round {}", query, round);
+            }
+        }
+        svc.shutdown();
+    }
+}
