@@ -9,7 +9,10 @@
 //! * `read-cold` — per-thread distinct query texts, defeating the cache,
 //!   measuring parallel read-path evaluation;
 //! * `mixed` — 1 update per 8 queries, exercising the write path and
-//!   generation-based invalidation under contention.
+//!   generation-based invalidation under contention;
+//! * `multi-db-writes` — 8 writer threads spread over 1/2/4/8 databases,
+//!   measuring how write throughput scales with shard count (the point
+//!   of the sharded registry: disjoint databases don't share a lock).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use oem::guide::{guide_figure2, history_example_2_3};
@@ -131,5 +134,58 @@ fn bench_mixed_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_read_throughput, bench_mixed_throughput);
+fn bench_multi_db_write_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qss_serve/multi-db-writes");
+    group.sample_size(10);
+    const WRITERS: usize = 8;
+    for &dbs in &[1usize, 2, 4, 8] {
+        let svc = Service::start(ServeConfig {
+            workers: WRITERS,
+            queue_depth: 256,
+            cache_capacity: 0, // pure write path; no result caching at play
+            ..ServeConfig::default()
+        })
+        .expect("service starts");
+        let setup = svc.client();
+        for d in 0..dbs {
+            let resp = setup.request_line(&format!("CREATE db{d}"));
+            assert!(!resp.is_error(), "{resp:?}");
+        }
+        let next_id = AtomicU64::new(1_000);
+        group.throughput(Throughput::Elements((WRITERS * BATCH) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(dbs), &dbs, |b, &dbs| {
+            b.iter(|| {
+                black_box(fan_out(&svc, WRITERS, |t, _| {
+                    // Writer t hammers db (t mod dbs): with 1 database all
+                    // eight serialize on one shard lock; with 8 they are
+                    // fully disjoint.
+                    let id = next_id.fetch_add(1, Ordering::Relaxed);
+                    format!(
+                        "UPDATE db{} AT 1Mar97 9:00am ; \
+                         {{creNode(n{id}, {id}), addArc(n1, item, n{id})}}",
+                        t % dbs
+                    )
+                }))
+            })
+        });
+        let stats = svc.client().request_line("STATS");
+        if let Response::Rows(rows) = stats {
+            let errors = rows
+                .iter()
+                .find(|l| l.starts_with("counter errors "))
+                .and_then(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
+                .unwrap_or(0);
+            assert_eq!(errors, 0, "multi-db write workload produced errors");
+        }
+        svc.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_read_throughput,
+    bench_mixed_throughput,
+    bench_multi_db_write_scaling
+);
 criterion_main!(benches);

@@ -1,6 +1,8 @@
 //! Workload generators shared by the benchmark suite and the experiment
 //! harness (`cargo run --bin experiments`).
 
+#![warn(missing_docs)]
+
 use oem::{History, OemDatabase, Timestamp};
 use qss::{mutate_guide, synthetic_guide};
 use rand::rngs::StdRng;

@@ -6,6 +6,12 @@
 //! two condition variables. Throughput is far below the real crossbeam's
 //! lock-free queues, but semantics (disconnection, bounded back-pressure,
 //! FIFO per channel) match what the code under test relies on.
+//!
+//! Known limitations versus the real crate: no `select!`, no `tick`/`after`
+//! timer channels, no zero-capacity rendezvous channels, and no iterator
+//! integration (`Receiver` is not `IntoIterator`; loop on `recv()`).
+//! Wake-ups use `notify_all`, so heavily contended channels pay a
+//! thundering-herd cost the real crate avoids.
 
 #![warn(missing_docs)]
 

@@ -5,6 +5,14 @@
 //! (a thread panicked while holding it) is recovered rather than propagated
 //! — exactly `parking_lot`'s observable behavior, minus its performance
 //! tricks, which no test in this workspace depends on.
+//!
+//! Known limitations versus the real crate: no eventual-fairness
+//! guarantee (the real `parking_lot` forces a fair unlock every ~0.5 ms;
+//! `std::sync` inherits whatever the OS primitive does, so a hot writer
+//! *can* starve readers longer), no `const fn` constructors, and none of
+//! the extras (`try_lock_for`, upgradable read locks, `MappedGuard`s).
+//! The serve layer's shard locks are held only for pointer-sized critical
+//! sections precisely so none of those guarantees are load-bearing.
 
 #![warn(missing_docs)]
 

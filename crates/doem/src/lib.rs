@@ -40,6 +40,7 @@ mod error;
 mod extract;
 mod feasible;
 mod fixtures;
+mod handle;
 mod index;
 mod snapshot;
 
@@ -52,5 +53,6 @@ pub use error::{DoemError, Result};
 pub use extract::extract_history;
 pub use feasible::{feasibility, is_feasible, replay_consistent};
 pub use fixtures::doem_figure4;
+pub use handle::SharedDoem;
 pub use index::{AnnotationIndex, TimeRange};
 pub use snapshot::{current_snapshot, original_snapshot, snapshot_at};

@@ -52,6 +52,7 @@ mod ids;
 mod label;
 mod ops;
 mod parse_ops;
+mod shared;
 mod text;
 mod timestamp;
 mod traverse;
@@ -70,6 +71,7 @@ pub use ids::NodeId;
 pub use label::Label;
 pub use ops::ChangeOp;
 pub use parse_ops::{parse_change_set, parse_history, parse_op};
+pub use shared::SharedOem;
 pub use text::{parse_text, write_text, TextOptions};
 pub use timestamp::{ParseTimestampError, Timestamp};
 pub use traverse::{follow_path, max_depth, preorder, reachable_from};

@@ -8,19 +8,31 @@
 //!
 //! * an in-process [`Client`] handle (cheap to clone, used by tests and
 //!   benchmarks), and
-//! * a hand-rolled line-oriented TCP protocol ([`protocol`]) behind
-//!   [`Service::listen`], spoken by the `doem-serve` binary.
+//! * a hand-rolled line-oriented TCP protocol ([`protocol`], specified in
+//!   full in `crates/serve/PROTOCOL.md`) behind [`Service::listen`],
+//!   spoken by the `doem-serve` binary.
 //!
-//! Architecture: sessions parse requests at the edge and submit jobs to a
-//! **bounded** queue (admission control — a full queue answers `BUSY`
-//! immediately). A fixed worker pool executes jobs against shared state
-//! behind a [`parking_lot::RwLock`]: queries take the read path and run in
-//! parallel; updates and QSS polls take the write path and bump a
-//! **generation counter**. Query results are cached keyed on *(database,
-//! canonical query text, generation)* — a write structurally invalidates
-//! every stale entry without any notification machinery. A [`metrics`]
-//! registry (counters + log2 latency histograms for parse / queue-wait /
-//! exec / end-to-end) is readable over the wire as `STATS`.
+//! Architecture (full treatment: DESIGN.md, "Concurrency model"):
+//! sessions parse requests at the edge and submit jobs to a **bounded**
+//! queue (admission control — a full queue answers `BUSY` immediately). A
+//! fixed worker pool executes jobs against a **sharded registry**: each
+//! database is its own shard with its own `RwLock`, **generation
+//! counter**, and result cache, so writers to different databases never
+//! contend. Within a shard, queries are **snapshot isolated** — they
+//! clone a cheap copy-on-write handle ([`doem::SharedDoem`]) under a
+//! brief lock and evaluate entirely outside it, so a slow query never
+//! delays a write, even to its own database. Query results are cached
+//! keyed on *(database, canonical query text, shard generation)* — a
+//! write structurally invalidates every stale entry without any
+//! notification machinery. QSS state lives in a separate control shard,
+//! so polls invalidate only subscription-query caches.
+//!
+//! TCP sessions may **pipeline**: requests tagged `#<id>` complete out of
+//! order, with the tag echoed on the response frame for matching
+//! (in-process, the same split is [`Client::begin_line`] +
+//! [`PendingReply::wait`]). A [`metrics`] registry (counters + log2
+//! latency histograms for parse / queue-wait / exec / end-to-end) is
+//! readable over the wire as `STATS`.
 //!
 //! ```
 //! use serve::{Service, ServeConfig, Response};
@@ -42,6 +54,6 @@ pub mod protocol;
 mod service;
 mod tcp;
 
-pub use protocol::{parse_request, ErrKind, ProtoError, Request, Response};
-pub use service::{AutoTick, Client, DynSource, ServeConfig, Service};
+pub use protocol::{parse_request, parse_tagged_request, ErrKind, ProtoError, Request, Response};
+pub use service::{AutoTick, Client, DynSource, PendingReply, ServeConfig, Service};
 pub use tcp::{TcpHandle, WireClient};

@@ -100,6 +100,11 @@ pub struct Metrics {
     pub qss_polls: AtomicU64,
     /// TCP sessions accepted.
     pub sessions: AtomicU64,
+    /// Requests that carried a `#<id>` pipelining tag.
+    pub pipelined: AtomicU64,
+    /// Writes that paid a copy-on-write clone because a query snapshot
+    /// was still outstanding.
+    pub cow_clones: AtomicU64,
     /// Time spent parsing request lines.
     pub parse: Histogram,
     /// Time jobs spent queued before a worker picked them up.
@@ -135,6 +140,8 @@ impl Metrics {
             format!("counter cache_misses {}", c(&self.cache_misses)),
             format!("counter qss_polls {}", c(&self.qss_polls)),
             format!("counter sessions {}", c(&self.sessions)),
+            format!("counter pipelined {}", c(&self.pipelined)),
+            format!("counter cow_clones {}", c(&self.cow_clones)),
         ];
         self.parse.render("parse", &mut out);
         self.queue.render("queue", &mut out);

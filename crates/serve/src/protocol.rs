@@ -8,7 +8,7 @@
 //! ```text
 //! PING                                       liveness probe
 //! STATS                                      metrics snapshot
-//! GEN                                        database generation counter
+//! GEN [<db>]                                 global (or per-database) generation
 //! DBS                                        list installed databases
 //! CREATE <db>                                install an empty database
 //! SAVE <db>  /  LOAD <db>                    persist to / restore from store
@@ -28,6 +28,15 @@
 //! `ROWS <n>` followed by `n` `ROW <text>` lines and a final `END`. Row
 //! text is escaped (`\\`, `\n`, `\t`, `\r`) so a response line never
 //! contains a raw newline or tab collision.
+//!
+//! # Pipelining tags
+//!
+//! Any request may be prefixed with a tag word `#<id>` (1–40 characters,
+//! alphanumeric plus `-`, `_`, `.`). Tagged requests may complete **out of
+//! order**: the response's first line carries the same `#<id>` prefix so
+//! the client can match it to its request. Untagged requests keep the
+//! classic serial contract — their responses come back in submission
+//! order, untagged. See `crates/serve/PROTOCOL.md` for the full grammar.
 
 use lorel::ast::Query;
 use oem::{parse_change_set, parse_op, ChangeSet, Timestamp};
@@ -95,8 +104,11 @@ pub enum Request {
     Ping,
     /// `STATS`
     Stats,
-    /// `GEN`
-    Generation,
+    /// `GEN` (global write counter) or `GEN <db>` (that shard's counter).
+    Generation {
+        /// `None` asks for the global counter; `Some` for one shard's.
+        db: Option<String>,
+    },
     /// `DBS`
     ListDbs,
     /// `QUIT`
@@ -195,7 +207,7 @@ impl Request {
             self,
             Request::Ping
                 | Request::Stats
-                | Request::Generation
+                | Request::Generation { .. }
                 | Request::ListDbs
                 | Request::Quit
                 | Request::Save { .. }
@@ -263,6 +275,16 @@ impl Response {
         matches!(self, Response::Error { .. })
     }
 
+    /// Render onto the wire with an optional pipelining tag: the frame's
+    /// first line gains a `#<id> ` prefix so the client can match the
+    /// response to its request. `None` renders the classic untagged frame.
+    pub fn render_tagged(&self, tag: Option<&str>) -> String {
+        match tag {
+            Some(id) => format!("#{id} {}", self.render()),
+            None => self.render(),
+        }
+    }
+
     /// Render onto the wire (every line newline-terminated).
     pub fn render(&self) -> String {
         match self {
@@ -289,15 +311,42 @@ impl Response {
         let Some(first) = read_line(reader)? else {
             return Ok(None);
         };
+        Ok(Some(Response::finish(first, reader)?))
+    }
+
+    /// Read one possibly-tagged response off a buffered stream — the
+    /// client half of [`Response::render_tagged`]. Returns the tag (if the
+    /// frame carried one) alongside the response; `None` at EOF.
+    pub fn read_tagged_from(
+        reader: &mut impl BufRead,
+    ) -> std::io::Result<Option<(Option<String>, Response)>> {
+        let Some(mut first) = read_line(reader)? else {
+            return Ok(None);
+        };
+        let mut tag = None;
+        if let Some(rest) = first.strip_prefix('#') {
+            let (id, remainder) = split_word(rest);
+            if id.is_empty() {
+                return Err(bad_frame("empty response tag"));
+            }
+            tag = Some(id.to_string());
+            first = remainder.to_string();
+        }
+        Ok(Some((tag, Response::finish(first, reader)?)))
+    }
+
+    /// Parse a frame whose (tag-stripped) first line is `first`, pulling
+    /// any remaining row-block lines off `reader`.
+    fn finish(first: String, reader: &mut impl BufRead) -> std::io::Result<Response> {
         if let Some(msg) = first.strip_prefix("OK") {
-            return Ok(Some(Response::Ok(unescape(msg.trim_start()))));
+            return Ok(Response::Ok(unescape(msg.trim_start())));
         }
         if let Some(rest) = first.strip_prefix("ERR ") {
             let (code, msg) = split_word(rest);
-            return Ok(Some(Response::Error {
+            return Ok(Response::Error {
                 kind: ErrKind::from_code(code),
                 message: unescape(msg),
-            }));
+            });
         }
         if let Some(n) = first.strip_prefix("ROWS ") {
             let n: usize = n.trim().parse().map_err(bad_frame)?;
@@ -314,7 +363,7 @@ impl Response {
             if end.trim() != "END" {
                 return Err(bad_frame("expected END"));
             }
-            return Ok(Some(Response::Rows(rows)));
+            return Ok(Response::Rows(rows));
         }
         Err(bad_frame(format!("unrecognized response line {first:?}")))
     }
@@ -453,7 +502,16 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
     match verb.to_ascii_uppercase().as_str() {
         "PING" => expect_empty(rest, "PING").map(|()| Request::Ping),
         "STATS" => expect_empty(rest, "STATS").map(|()| Request::Stats),
-        "GEN" => expect_empty(rest, "GEN").map(|()| Request::Generation),
+        "GEN" => {
+            let rest = rest.trim();
+            if rest.is_empty() {
+                Ok(Request::Generation { db: None })
+            } else {
+                Ok(Request::Generation {
+                    db: Some(name_ok(rest, "database")?),
+                })
+            }
+        }
         "DBS" => expect_empty(rest, "DBS").map(|()| Request::ListDbs),
         "QUIT" => expect_empty(rest, "QUIT").map(|()| Request::Quit),
         "CREATE" => Ok(Request::Create {
@@ -561,6 +619,44 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
     }
 }
 
+/// Whether `id` is a well-formed pipelining tag: 1–40 characters, each
+/// alphanumeric or `-`, `_`, `.`.
+fn tag_ok(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 40
+        && id
+            .chars()
+            .all(|c| c.is_alphanumeric() || matches!(c, '-' | '_' | '.'))
+}
+
+/// Parse one request line with an optional leading `#<id>` pipelining tag.
+///
+/// A well-formed tag is returned alongside the parse of the remainder; a
+/// line with no `#` prefix parses exactly like [`parse_request`] with no
+/// tag. A *malformed* tag (empty, too long, or bad characters) yields
+/// `(None, Err(..))` — the error response goes back untagged, since the
+/// tag itself cannot be trusted for matching.
+pub fn parse_tagged_request(line: &str) -> (Option<String>, Result<Request, ProtoError>) {
+    let trimmed = line.trim_start();
+    let Some(rest) = trimmed.strip_prefix('#') else {
+        return (None, parse_request(line));
+    };
+    // The id must hug the '#' — no `split_word`, which would skip
+    // leading whitespace and mistake the verb for a tag.
+    let (id, remainder) = rest
+        .split_once(char::is_whitespace)
+        .unwrap_or((rest, ""));
+    if !tag_ok(id) {
+        return (
+            None,
+            Err(ProtoError::syntax(format!(
+                "bad request tag {id:?} (1-40 chars: alphanumeric, '-', '_', '.')"
+            ))),
+        );
+    }
+    (Some(id.to_string()), parse_request(remainder))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -612,6 +708,66 @@ mod tests {
                            ("S1", "Restaurants", "NewRestaurants"));
             }
             other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gen_parses_with_and_without_database() {
+        assert!(matches!(
+            parse_request("GEN"),
+            Ok(Request::Generation { db: None })
+        ));
+        match parse_request("GEN guide").unwrap() {
+            Request::Generation { db: Some(db) } => assert_eq!(db, "guide"),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert_eq!(parse_request("GEN bad/name").unwrap_err().kind, ErrKind::Syntax);
+    }
+
+    #[test]
+    fn tagged_requests_parse() {
+        let (tag, req) = parse_tagged_request("#q1 PING");
+        assert_eq!(tag.as_deref(), Some("q1"));
+        assert!(matches!(req, Ok(Request::Ping)));
+
+        let (tag, req) = parse_tagged_request("PING");
+        assert_eq!(tag, None);
+        assert!(matches!(req, Ok(Request::Ping)));
+
+        // A tagged syntax error keeps its tag (the tag itself is fine).
+        let (tag, req) = parse_tagged_request("#a.b-c QUERY guide selec x");
+        assert_eq!(tag.as_deref(), Some("a.b-c"));
+        assert_eq!(req.unwrap_err().kind, ErrKind::Syntax);
+
+        // Malformed tags are untrustworthy: no tag, syntax error.
+        for line in ["# PING", "#bad/tag PING", &format!("#{} PING", "x".repeat(41))] {
+            let (tag, req) = parse_tagged_request(line);
+            assert_eq!(tag, None, "{line:?}");
+            assert_eq!(req.unwrap_err().kind, ErrKind::Syntax, "{line:?}");
+        }
+    }
+
+    #[test]
+    fn tagged_responses_round_trip_the_wire() {
+        let cases = vec![
+            Response::Ok("pong".into()),
+            Response::Rows(vec!["a".into(), "b".into()]),
+            Response::err(ErrKind::Timeout, "too slow"),
+        ];
+        for resp in cases {
+            let wire = resp.render_tagged(Some("req-7"));
+            assert!(wire.starts_with("#req-7 "));
+            let mut reader = BufReader::new(wire.as_bytes());
+            let (tag, back) = Response::read_tagged_from(&mut reader).unwrap().unwrap();
+            assert_eq!(tag.as_deref(), Some("req-7"));
+            assert_eq!(back, resp);
+
+            // Untagged frames read back with no tag through the same API.
+            let wire = resp.render_tagged(None);
+            let mut reader = BufReader::new(wire.as_bytes());
+            let (tag, back) = Response::read_tagged_from(&mut reader).unwrap().unwrap();
+            assert_eq!(tag, None);
+            assert_eq!(back, resp);
         }
     }
 
@@ -668,7 +824,32 @@ mod fuzz_tests {
         #[test]
         fn parse_request_never_panics_on_arbitrary_input(line in "\\PC{0,120}") {
             let _ = parse_request(&line);
+            let _ = parse_tagged_request(&line);
             let _ = unescape(&line);
+        }
+
+        /// Tagged frames round-trip for arbitrary tags and rows. (The tag
+        /// alphabet is enforced by construction — the offline proptest
+        /// stand-in does not honor regex character classes.)
+        #[test]
+        fn tagged_frames_round_trip(
+            raw in "\\PC{0,40}",
+            rows in proptest::collection::vec("\\PC{0,40}", 0..4),
+        ) {
+            let mut id: String = raw
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+                .take(40)
+                .collect();
+            if id.is_empty() {
+                id.push('t');
+            }
+            let resp = Response::Rows(rows.clone());
+            let wire = resp.render_tagged(Some(&id));
+            let mut reader = std::io::BufReader::new(wire.as_bytes());
+            let (tag, back) = Response::read_tagged_from(&mut reader).unwrap().unwrap();
+            prop_assert_eq!(tag.as_deref(), Some(id.as_str()));
+            prop_assert_eq!(back, resp);
         }
 
         /// Request-shaped fragments assembled from protocol atoms: the

@@ -1,35 +1,51 @@
-//! The service core: shared database state behind a [`RwLock`], a worker
-//! pool fed by a bounded [`crossbeam`] channel, and the request executor.
+//! The service core: a sharded database registry, snapshot-isolated query
+//! execution, a worker pool fed by a bounded [`crossbeam`] channel, and
+//! the request executor.
 //!
-//! Concurrency model (one paragraph): sessions parse requests at the edge
-//! and submit jobs to a bounded queue (`try_send` — a full queue is an
-//! immediate `BUSY`, the admission-control contract). Workers pull jobs
-//! and execute them against `RwLock<DbState>`: queries take the shared
-//! read path (many run in parallel), updates/QSS polls take the exclusive
-//! write path and bump the generation counter, which structurally
-//! invalidates the result cache. The submitting session waits on a
-//! single-slot reply channel with a deadline — a worker stuck on a slow
-//! query turns into a `TIMEOUT` response instead of a hung session.
+//! Concurrency model (see DESIGN.md §7 for the full treatment): sessions
+//! parse requests at the edge and submit jobs to a bounded queue
+//! (`try_send` — a full queue is an immediate `BUSY`, the admission-control
+//! contract). Workers pull jobs and execute them against a **shard map**:
+//! a lightweight `RwLock<HashMap>` from database name to an [`Arc<Shard>`],
+//! where each shard owns its *own* lock, generation counter, and result
+//! cache. Writers to different databases therefore never contend — the map
+//! lock is held only to look up or insert a shard, never during execution.
+//!
+//! Inside a shard, queries are **snapshot isolated**: a reader takes the
+//! shard lock just long enough to clone a cheap [`SharedDoem`] handle
+//! (an `Arc` of the annotated graph) plus the generation, then evaluates
+//! Chorel entirely outside the lock. A slow query never stalls updates;
+//! an update that lands while snapshots are outstanding pays one
+//! copy-on-write clone (counted in `STATS` as `cow_clones`) and bumps the
+//! shard generation, which structurally invalidates that shard's cache.
+//!
+//! QSS state (subscriptions, the registry of named queries, the simulated
+//! clock) lives in a separate *control* shard with its own lock and
+//! generation, so QSS ticks invalidate only subscription-query caches,
+//! never per-database ones. The submitting session waits on a single-slot
+//! reply channel with a deadline — a worker stuck on a slow query turns
+//! into a `TIMEOUT` response instead of a hung session; pipelined sessions
+//! get the same guarantee through [`PendingReply::wait`].
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::metrics::Metrics;
 use crate::protocol::{ErrKind, Request, Response};
 use chorel::{canonical_row_strings, run_chorel_parsed, Strategy};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
-use doem::{apply_set, current_snapshot, doem_from_history, DoemDatabase};
+use doem::{apply_set, current_snapshot, doem_from_history, DoemDatabase, SharedDoem};
 use lorel::{run_update, QueryRegistry};
-use oem::{History, OemDatabase, Timestamp};
+use oem::{History, OemDatabase, SharedOem, Timestamp};
 use parking_lot::RwLock;
 use qss::{QssServer, ScriptedSource, Source, Subscription};
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 /// The source type the embedded QSS polls: any [`Source`], boxed. `Sync`
-/// is required because the QSS lives under the service's `RwLock`.
+/// is required because the QSS lives under the control shard's `RwLock`.
 pub type DynSource = Box<dyn Source + Sync>;
 
 /// Background QSS driving: every `interval` of wall-clock time, advance
@@ -51,7 +67,8 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// How long a session waits for its reply before answering `TIMEOUT`.
     pub request_timeout: Duration,
-    /// Result-cache capacity in entries (0 disables caching).
+    /// Result-cache capacity in entries, per database shard (0 disables
+    /// caching).
     pub cache_capacity: usize,
     /// Chorel evaluation strategy for queries.
     pub strategy: Strategy,
@@ -78,40 +95,86 @@ impl Default for ServeConfig {
     }
 }
 
-/// One database the service owns: the DOEM graph plus the plain-OEM
-/// replica kept in lockstep (change validity is judged against the
-/// replica, and Lorel update statements compile against it).
-pub(crate) struct DbEntry {
-    pub(crate) doem: DoemDatabase,
-    pub(crate) replica: OemDatabase,
+/// The graphs one database shard guards: the DOEM database behind a
+/// copy-on-write handle (queries snapshot it), the plain-OEM replica kept
+/// in lockstep (change validity is judged against it, and Lorel update
+/// statements compile against it), and the shard's write counter.
+pub(crate) struct ShardState {
+    pub(crate) doem: SharedDoem,
+    pub(crate) replica: SharedOem,
+    /// Bumped by every successful write to this shard; cache keys carry
+    /// it, so a bump structurally invalidates the shard's cache.
+    pub(crate) generation: u64,
 }
 
-/// Everything behind the lock.
-pub(crate) struct DbState {
-    /// Write counter; every mutation bumps it, invalidating the cache.
-    pub(crate) generation: u64,
+/// One database shard: its own lock, generation counter, and result
+/// cache. Shards are handed around as `Arc<Shard>` so the registry lock
+/// is never held during execution.
+pub(crate) struct Shard {
+    pub(crate) state: RwLock<ShardState>,
+    pub(crate) cache: ResultCache,
+}
+
+impl Shard {
+    fn new(doem: DoemDatabase, replica: OemDatabase, cache_capacity: usize) -> Shard {
+        Shard {
+            state: RwLock::new(ShardState {
+                doem: SharedDoem::new(doem),
+                replica: SharedOem::new(replica),
+                generation: 1,
+            }),
+            cache: ResultCache::new(cache_capacity),
+        }
+    }
+
+    /// Bump the shard generation and drop newly unreachable cache entries.
+    fn bump(state: &mut ShardState, cache: &ResultCache) -> u64 {
+        state.generation += 1;
+        cache.retain_generation(state.generation);
+        state.generation
+    }
+}
+
+/// Everything behind the control shard's lock: QSS subscriptions, the
+/// registry of named queries, and the simulated clock.
+pub(crate) struct ControlState {
     /// Simulated time (QSS polls run up to here).
     pub(crate) clock: Timestamp,
-    pub(crate) dbs: HashMap<String, DbEntry>,
     pub(crate) registry: QueryRegistry,
     pub(crate) qss: QssServer<DynSource>,
-    pub(crate) store: Option<lore::LoreStore>,
-}
-
-impl DbState {
-    fn bump(&mut self, cache: &ResultCache) -> u64 {
-        self.generation += 1;
-        cache.retain_generation(self.generation);
-        self.generation
-    }
+    /// Bumped whenever a QSS poll, subscribe, or unsubscribe changes what
+    /// subscription queries can observe; keys the `sub:` cache.
+    pub(crate) generation: u64,
 }
 
 /// State shared by the service handle, every worker, and every client.
 pub(crate) struct Shared {
     pub(crate) cfg: ServeConfig,
-    pub(crate) state: RwLock<DbState>,
-    pub(crate) cache: ResultCache,
+    /// Database name → shard. Held only to look up / insert / list
+    /// shards; execution happens against a cloned `Arc<Shard>`.
+    pub(crate) shards: RwLock<HashMap<String, Arc<Shard>>>,
+    /// The QSS/registry/clock shard.
+    pub(crate) control: RwLock<ControlState>,
+    /// Result cache for subscription (`sub:<id>`) queries, keyed by the
+    /// control generation.
+    pub(crate) sub_cache: ResultCache,
+    /// SAVE/LOAD storage; internally synchronized, so no lock here.
+    pub(crate) store: Option<lore::LoreStore>,
+    /// Monotonic write counter across *all* shards — the `GEN` verb.
+    pub(crate) global_gen: AtomicU64,
     pub(crate) metrics: Metrics,
+}
+
+impl Shared {
+    /// Look up a shard, cloning its `Arc` so the map lock drops
+    /// immediately.
+    fn shard(&self, db: &str) -> Option<Arc<Shard>> {
+        self.shards.read().get(db).cloned()
+    }
+
+    fn bump_global(&self) -> u64 {
+        self.global_gen.fetch_add(1, Ordering::Relaxed) + 1
+    }
 }
 
 /// A queued unit of work.
@@ -148,19 +211,20 @@ impl Service {
             ),
             None => None,
         };
-        let state = DbState {
-            generation: 1,
+        let control = ControlState {
             clock: cfg.epoch,
-            dbs: HashMap::new(),
             registry: QueryRegistry::new(),
             qss: QssServer::new(source).with_strategy(cfg.strategy),
-            store,
+            generation: 1,
         };
         let (job_tx, job_rx) = channel::bounded::<Job>(cfg.queue_depth.max(1));
         let shared = Arc::new(Shared {
-            cache: ResultCache::new(cfg.cache_capacity),
+            shards: RwLock::new(HashMap::new()),
+            control: RwLock::new(control),
+            sub_cache: ResultCache::new(cfg.cache_capacity),
+            store,
+            global_gen: AtomicU64::new(1),
             metrics: Metrics::new(),
-            state: RwLock::new(state),
             cfg,
         });
         let stop = Arc::new(AtomicBool::new(false));
@@ -193,14 +257,16 @@ impl Service {
     }
 
     /// Install a database built from an initial snapshot and a history
-    /// (the name comes from the snapshot). Replaces any same-named
-    /// database and invalidates the cache.
+    /// (the name comes from the snapshot). Replaces any same-named shard —
+    /// in-flight queries against the old shard finish against their
+    /// snapshots; its cache dies with it.
     pub fn install(&self, initial: &OemDatabase, history: &History) -> doem::Result<()> {
         let doem = doem_from_history(initial, history)?;
         let replica = current_snapshot(&doem);
-        let mut st = self.shared.state.write();
-        st.dbs.insert(doem.name().to_string(), DbEntry { doem, replica });
-        st.bump(&self.shared.cache);
+        let name = doem.name().to_string();
+        let shard = Arc::new(Shard::new(doem, replica, self.shared.cfg.cache_capacity));
+        self.shared.shards.write().insert(name, shard);
+        self.shared.bump_global();
         Ok(())
     }
 
@@ -240,11 +306,65 @@ impl Service {
 }
 
 /// An in-process session handle. Cloning is cheap; every clone shares the
-/// service's queue, cache, and metrics.
+/// service's queue, caches, and metrics.
 #[derive(Clone)]
 pub struct Client {
     pub(crate) shared: Arc<Shared>,
     tx: Sender<Job>,
+}
+
+/// An in-flight request: the submission half has already happened (with
+/// admission control applied); [`PendingReply::wait`] blocks for the
+/// response, enforcing the configured request timeout. This is what lets
+/// a pipelined session keep reading new requests while earlier ones
+/// execute.
+pub struct PendingReply {
+    shared: Arc<Shared>,
+    started: Instant,
+    state: PendingState,
+}
+
+enum PendingState {
+    /// Resolved at submission time (parse error, BUSY, shutdown).
+    Ready(Response),
+    /// A worker will send the response here.
+    Waiting(Receiver<Response>),
+}
+
+impl PendingReply {
+    fn ready(shared: Arc<Shared>, started: Instant, resp: Response) -> PendingReply {
+        PendingReply {
+            shared,
+            started,
+            state: PendingState::Ready(resp),
+        }
+    }
+
+    /// Block until the response arrives (or the request timeout elapses),
+    /// recording end-to-end latency and error metrics exactly once.
+    pub fn wait(self) -> Response {
+        let m = &self.shared.metrics;
+        let resp = match self.state {
+            PendingState::Ready(resp) => resp,
+            PendingState::Waiting(rx) => {
+                match rx.recv_timeout(self.shared.cfg.request_timeout) {
+                    Ok(resp) => resp,
+                    Err(_) => {
+                        Metrics::bump(&m.timeouts);
+                        Response::err(
+                            ErrKind::Timeout,
+                            format!("no reply within {:?}", self.shared.cfg.request_timeout),
+                        )
+                    }
+                }
+            }
+        };
+        m.total.record(self.started.elapsed());
+        if resp.is_error() {
+            Metrics::bump(&m.errors);
+        }
+        resp
+    }
 }
 
 impl Client {
@@ -252,21 +372,43 @@ impl Client {
     /// and the request timeout. Never blocks longer than the configured
     /// timeout (plus queue admission, which is immediate).
     pub fn request_line(&self, line: &str) -> Response {
-        let t = Instant::now();
-        let parsed = crate::protocol::parse_request(line);
-        self.shared.metrics.parse.record(t.elapsed());
+        let (_tag, pending) = self.begin_line(line);
+        pending.wait()
+    }
+
+    /// Submit an already-parsed request and block for the response.
+    pub fn submit(&self, req: Request) -> Response {
+        self.begin(req).wait()
+    }
+
+    /// Parse one protocol line — including an optional `#<id>` pipelining
+    /// tag — and submit it without blocking for the response. Returns the
+    /// tag (to match the eventual response to its request) and the
+    /// in-flight handle.
+    pub fn begin_line(&self, line: &str) -> (Option<String>, PendingReply) {
+        let m = &self.shared.metrics;
+        let started = Instant::now();
+        let (tag, parsed) = crate::protocol::parse_tagged_request(line);
+        m.parse.record(started.elapsed());
+        if tag.is_some() {
+            Metrics::bump(&m.pipelined);
+        }
         match parsed {
-            Ok(req) => self.submit(req),
+            Ok(req) => (tag, self.begin(req)),
             Err(e) => {
-                Metrics::bump(&self.shared.metrics.requests);
-                Metrics::bump(&self.shared.metrics.errors);
-                e.into()
+                Metrics::bump(&m.requests);
+                (
+                    tag,
+                    PendingReply::ready(Arc::clone(&self.shared), started, e.into()),
+                )
             }
         }
     }
 
-    /// Submit an already-parsed request.
-    pub fn submit(&self, req: Request) -> Response {
+    /// Submit an already-parsed request without blocking for the
+    /// response. Admission control applies immediately: a full queue
+    /// resolves the reply to `BUSY` before this returns.
+    pub fn begin(&self, req: Request) -> PendingReply {
         let m = &self.shared.metrics;
         Metrics::bump(&m.requests);
         Metrics::bump(if req.is_read() { &m.reads } else { &m.writes });
@@ -277,33 +419,21 @@ impl Client {
             reply: reply_tx,
             enqueued: Instant::now(),
         };
-        let resp = match self.tx.try_send(job) {
+        let state = match self.tx.try_send(job) {
             Err(channel::TrySendError::Full(_)) => {
                 Metrics::bump(&m.busy_rejected);
-                Response::err(ErrKind::Busy, "request queue full, try again")
+                PendingState::Ready(Response::err(ErrKind::Busy, "request queue full, try again"))
             }
             Err(channel::TrySendError::Disconnected(_)) => {
-                Response::err(ErrKind::Internal, "service is shut down")
+                PendingState::Ready(Response::err(ErrKind::Internal, "service is shut down"))
             }
-            Ok(()) => match reply_rx.recv_timeout(self.shared.cfg.request_timeout) {
-                Ok(resp) => resp,
-                Err(_) => {
-                    Metrics::bump(&m.timeouts);
-                    Response::err(
-                        ErrKind::Timeout,
-                        format!(
-                            "no reply within {:?}",
-                            self.shared.cfg.request_timeout
-                        ),
-                    )
-                }
-            },
+            Ok(()) => PendingState::Waiting(reply_rx),
         };
-        m.total.record(started.elapsed());
-        if resp.is_error() {
-            Metrics::bump(&m.errors);
+        PendingReply {
+            shared: Arc::clone(&self.shared),
+            started,
+            state,
         }
-        resp
     }
 
     /// Convenience: run a query and return its canonical row strings.
@@ -340,12 +470,14 @@ fn ticker_loop(shared: &Shared, tick: AutoTick, stop: &AtomicBool) {
         if stop.load(Ordering::SeqCst) {
             return;
         }
-        let mut st = shared.state.write();
-        let horizon = st.clock.plus_minutes(tick.step_minutes);
-        if let Ok(polls) = st.qss.run_until(horizon) {
-            st.clock = horizon;
+        let mut ctl = shared.control.write();
+        let horizon = ctl.clock.plus_minutes(tick.step_minutes);
+        if let Ok(polls) = ctl.qss.run_until(horizon) {
+            ctl.clock = horizon;
             if polls > 0 {
-                st.bump(&shared.cache);
+                ctl.generation += 1;
+                shared.sub_cache.retain_generation(ctl.generation);
+                shared.bump_global();
                 shared
                     .metrics
                     .qss_polls
@@ -359,9 +491,12 @@ fn not_found(what: &str, name: &str) -> Response {
     Response::err(ErrKind::NotFound, format!("no {what} named {name:?}"))
 }
 
-/// Run a parsed query against a DOEM database through the cache.
+/// Run a parsed query against a DOEM snapshot through a shard's cache.
+/// The caller has already dropped every lock: `doem` is a snapshot
+/// handle, so evaluation happens entirely outside the shard.
 fn cached_query(
     shared: &Shared,
+    cache: &ResultCache,
     scope: String,
     key: String,
     generation: u64,
@@ -373,7 +508,7 @@ fn cached_query(
         canonical: key,
         generation,
     };
-    if let Some(rows) = shared.cache.get(&ck) {
+    if let Some(rows) = cache.get(&ck) {
         Metrics::bump(&shared.metrics.cache_hits);
         return Response::Rows(rows.as_ref().clone());
     }
@@ -384,126 +519,178 @@ fn cached_query(
     match outcome {
         Ok(result) => {
             let rows = canonical_row_strings(doem, &result);
-            shared.cache.insert(ck, Arc::new(rows.clone()));
+            cache.insert(ck, Arc::new(rows.clone()));
             Response::Rows(rows)
         }
         Err(e) => Response::err(ErrKind::Conflict, format!("query failed: {e}")),
     }
 }
 
-/// Execute one request against the shared state. Read requests take the
-/// shared lock; everything else takes the exclusive lock.
+/// Execute one request. Queries resolve their shard, snapshot it, and
+/// evaluate lock-free; writes take only their own shard's write lock;
+/// QSS/registry requests take the control lock.
 pub(crate) fn execute(shared: &Shared, req: Request) -> Response {
     match req {
         Request::Ping => Response::Ok("pong".into()),
         Request::Quit => Response::Ok("bye".into()),
         Request::Stats => Response::Rows(shared.metrics.render()),
-        Request::Generation => {
-            let g = shared.state.read().generation;
+        Request::Generation { db: None } => {
+            Response::Ok(shared.global_gen.load(Ordering::Relaxed).to_string())
+        }
+        Request::Generation { db: Some(db) } => {
+            let Some(shard) = shared.shard(&db) else {
+                return not_found("database", &db);
+            };
+            let g = shard.state.read().generation;
             Response::Ok(g.to_string())
         }
         Request::ListDbs => {
-            let st = shared.state.read();
-            let mut names: Vec<String> = st.dbs.keys().cloned().collect();
+            let shards = shared.shards.read();
+            let mut names: Vec<String> = shards.keys().cloned().collect();
             names.sort();
             Response::Rows(names)
         }
         Request::Create { db } => {
-            let mut st = shared.state.write();
-            if st.dbs.contains_key(&db) {
+            let mut shards = shared.shards.write();
+            if shards.contains_key(&db) {
                 return Response::err(ErrKind::Conflict, format!("database {db:?} exists"));
             }
             let initial = OemDatabase::new(db.clone());
-            st.dbs.insert(
+            let doem = DoemDatabase::from_snapshot(&initial);
+            shards.insert(
                 db.clone(),
-                DbEntry {
-                    doem: DoemDatabase::from_snapshot(&initial),
-                    replica: initial,
-                },
+                Arc::new(Shard::new(doem, initial, shared.cfg.cache_capacity)),
             );
-            let g = st.bump(&shared.cache);
+            drop(shards);
+            let g = shared.bump_global();
             Response::Ok(format!("created {db}; generation {g}"))
         }
         Request::Save { db } => {
-            let st = shared.state.read();
-            let Some(store) = &st.store else {
+            let Some(store) = &shared.store else {
                 return Response::err(ErrKind::Io, "no store configured");
             };
-            let Some(entry) = st.dbs.get(&db) else {
+            let Some(shard) = shared.shard(&db) else {
                 return not_found("database", &db);
             };
-            match store.save_doem(&db, &entry.doem) {
+            let st = shard.state.read();
+            match store.save_doem(&db, &st.doem) {
                 Ok(()) => Response::Ok(format!("saved {db}")),
                 Err(e) => Response::err(ErrKind::Io, format!("save failed: {e}")),
             }
         }
         Request::Load { db } => {
-            let mut st = shared.state.write();
-            if st.store.is_none() {
+            let Some(store) = &shared.store else {
                 return Response::err(ErrKind::Io, "no store configured");
-            }
-            let loaded = st.store.as_ref().expect("checked above").load_doem(&db);
-            match loaded {
+            };
+            match store.load_doem(&db) {
                 Ok(doem) => {
                     let replica = current_snapshot(&doem);
-                    st.dbs.insert(db.clone(), DbEntry { doem, replica });
-                    let g = st.bump(&shared.cache);
+                    let shard = Arc::new(Shard::new(doem, replica, shared.cfg.cache_capacity));
+                    shared.shards.write().insert(db.clone(), shard);
+                    let g = shared.bump_global();
                     Response::Ok(format!("loaded {db}; generation {g}"))
                 }
                 Err(e) => Response::err(ErrKind::NotFound, format!("load failed: {e}")),
             }
         }
         Request::Query { db, query, key } => {
-            let st = shared.state.read();
-            let Some(entry) = st.dbs.get(&db) else {
+            let Some(shard) = shared.shard(&db) else {
                 return not_found("database", &db);
             };
-            cached_query(shared, db, key, st.generation, &entry.doem, &query)
+            // Snapshot: hold the shard lock only for an Arc clone.
+            let (doem, generation) = {
+                let st = shard.state.read();
+                (st.doem.snapshot(), st.generation)
+            };
+            cached_query(shared, &shard.cache, db, key, generation, &doem, &query)
         }
         Request::SubQuery { id, query, key } => {
-            let st = shared.state.read();
-            let Some(doem) = st.qss.doem_of(&id) else {
-                return Response::err(
-                    ErrKind::NotFound,
-                    format!("no DOEM for subscription {id:?} (not yet polled?)"),
-                );
+            let ck = {
+                let ctl = shared.control.read();
+                if ctl.qss.doem_of(&id).is_none() {
+                    return Response::err(
+                        ErrKind::NotFound,
+                        format!("no DOEM for subscription {id:?} (not yet polled?)"),
+                    );
+                }
+                CacheKey {
+                    scope: format!("sub:{id}"),
+                    canonical: key,
+                    generation: ctl.generation,
+                }
             };
-            cached_query(shared, format!("sub:{id}"), key, st.generation, doem, &query)
+            if let Some(rows) = shared.sub_cache.get(&ck) {
+                Metrics::bump(&shared.metrics.cache_hits);
+                return Response::Rows(rows.as_ref().clone());
+            }
+            // Miss: materialize a snapshot (subscription DOEMs are small —
+            // they hold poll results, not whole databases) and evaluate
+            // outside the control lock.
+            let doem = {
+                let ctl = shared.control.read();
+                match ctl.qss.doem_of(&id) {
+                    Some(d) => d.clone(),
+                    // Unsubscribed between the two lock acquisitions.
+                    None => return not_found("subscription", &id),
+                }
+            };
+            Metrics::bump(&shared.metrics.cache_misses);
+            let t = Instant::now();
+            let outcome = run_chorel_parsed(&doem, &query, shared.cfg.strategy);
+            shared.metrics.exec.record(t.elapsed());
+            match outcome {
+                Ok(result) => {
+                    let rows = canonical_row_strings(&doem, &result);
+                    shared.sub_cache.insert(ck, Arc::new(rows.clone()));
+                    Response::Rows(rows)
+                }
+                Err(e) => Response::err(ErrKind::Conflict, format!("query failed: {e}")),
+            }
         }
         Request::Update { db, at, changes } => {
-            let mut st = shared.state.write();
-            let Some(entry) = st.dbs.get_mut(&db) else {
+            let Some(shard) = shared.shard(&db) else {
                 return not_found("database", &db);
             };
+            let mut st = shard.state.write();
             let t = Instant::now();
-            let outcome = apply_set(&mut entry.doem, &mut entry.replica, &changes, at);
+            if st.doem.is_shared() || st.replica.is_shared() {
+                Metrics::bump(&shared.metrics.cow_clones);
+            }
+            let ShardState { doem, replica, .. } = &mut *st;
+            let outcome = apply_set(doem.make_mut(), replica.make_mut(), &changes, at);
             shared.metrics.exec.record(t.elapsed());
             match outcome {
                 Ok(()) => {
-                    let g = st.bump(&shared.cache);
+                    let g = Shard::bump(&mut st, &shard.cache);
+                    shared.bump_global();
                     Response::Ok(format!("applied {} ops at {at}; generation {g}", changes.len()))
                 }
                 Err(e) => Response::err(ErrKind::Conflict, format!("change set rejected: {e}")),
             }
         }
         Request::Mutate { db, at, stmt } => {
-            let mut st = shared.state.write();
-            let Some(entry) = st.dbs.get_mut(&db) else {
+            let Some(shard) = shared.shard(&db) else {
                 return not_found("database", &db);
             };
+            let mut st = shard.state.write();
             let t = Instant::now();
-            let compiled = match run_update(&entry.replica, &stmt) {
+            let compiled = match run_update(&st.replica, &stmt) {
                 Ok(c) => c,
                 Err(e) => {
                     shared.metrics.exec.record(t.elapsed());
                     return Response::err(ErrKind::Conflict, format!("update rejected: {e}"));
                 }
             };
-            let outcome = apply_set(&mut entry.doem, &mut entry.replica, &compiled.changes, at);
+            if st.doem.is_shared() || st.replica.is_shared() {
+                Metrics::bump(&shared.metrics.cow_clones);
+            }
+            let ShardState { doem, replica, .. } = &mut *st;
+            let outcome = apply_set(doem.make_mut(), replica.make_mut(), &compiled.changes, at);
             shared.metrics.exec.record(t.elapsed());
             match outcome {
                 Ok(()) => {
-                    let g = st.bump(&shared.cache);
+                    let g = Shard::bump(&mut st, &shard.cache);
+                    shared.bump_global();
                     Response::Ok(format!(
                         "applied {} ops ({} created) at {at}; generation {g}",
                         compiled.changes.len(),
@@ -514,11 +701,11 @@ pub(crate) fn execute(shared: &Shared, req: Request) -> Response {
             }
         }
         Request::Define { program } => {
-            let mut st = shared.state.write();
-            match st.registry.load(&program) {
+            let mut ctl = shared.control.write();
+            match ctl.registry.load(&program) {
                 Ok(_) => Response::Ok(format!(
                     "defined; registry has {} queries",
-                    st.registry.names().len()
+                    ctl.registry.names().len()
                 )),
                 Err(e) => Response::err(ErrKind::Syntax, e.to_string()),
             }
@@ -529,49 +716,55 @@ pub(crate) fn execute(shared: &Shared, req: Request) -> Response {
             filter,
             freq,
         } => {
-            let mut st = shared.state.write();
-            if st.qss.subscription_ids().iter().any(|s| s == &id) {
+            let mut ctl = shared.control.write();
+            if ctl.qss.subscription_ids().iter().any(|s| s == &id) {
                 return Response::err(ErrKind::Conflict, format!("subscription {id:?} exists"));
             }
             let sub =
-                match Subscription::from_registry(id.clone(), freq, &st.registry, &polling, &filter)
+                match Subscription::from_registry(id.clone(), freq, &ctl.registry, &polling, &filter)
                 {
                     Ok(sub) => sub,
                     Err(e) => return Response::err(ErrKind::NotFound, e.to_string()),
                 };
-            let clock = st.clock;
-            st.qss.subscribe(sub, clock);
-            let g = st.bump(&shared.cache);
+            let clock = ctl.clock;
+            ctl.qss.subscribe(sub, clock);
+            ctl.generation += 1;
+            shared.sub_cache.retain_generation(ctl.generation);
+            let g = shared.bump_global();
             Response::Ok(format!("subscribed {id} at {clock}; generation {g}"))
         }
         Request::Unsubscribe { id } => {
-            let mut st = shared.state.write();
-            if !st.qss.subscription_ids().iter().any(|s| s == &id) {
+            let mut ctl = shared.control.write();
+            if !ctl.qss.subscription_ids().iter().any(|s| s == &id) {
                 return not_found("subscription", &id);
             }
-            st.qss.unsubscribe(&id);
-            let g = st.bump(&shared.cache);
+            ctl.qss.unsubscribe(&id);
+            ctl.generation += 1;
+            shared.sub_cache.retain_generation(ctl.generation);
+            let g = shared.bump_global();
             Response::Ok(format!("unsubscribed {id}; generation {g}"))
         }
         Request::Tick { until } => {
-            let mut st = shared.state.write();
-            if until <= st.clock {
-                return Response::Ok(format!("clock already at {}", st.clock));
+            let mut ctl = shared.control.write();
+            if until <= ctl.clock {
+                return Response::Ok(format!("clock already at {}", ctl.clock));
             }
             let t = Instant::now();
-            let outcome = st.qss.run_until(until);
+            let outcome = ctl.qss.run_until(until);
             shared.metrics.exec.record(t.elapsed());
             match outcome {
                 Ok(polls) => {
-                    st.clock = until;
+                    ctl.clock = until;
                     shared
                         .metrics
                         .qss_polls
                         .fetch_add(polls as u64, Ordering::Relaxed);
                     let g = if polls > 0 {
-                        st.bump(&shared.cache)
+                        ctl.generation += 1;
+                        shared.sub_cache.retain_generation(ctl.generation);
+                        shared.bump_global()
                     } else {
-                        st.generation
+                        shared.global_gen.load(Ordering::Relaxed)
                     };
                     Response::Ok(format!("clock {until}; {polls} polls; generation {g}"))
                 }
@@ -579,11 +772,11 @@ pub(crate) fn execute(shared: &Shared, req: Request) -> Response {
             }
         }
         Request::Notes { id } => {
-            let st = shared.state.read();
-            if id != "*" && !st.qss.subscription_ids().iter().any(|s| s == &id) {
+            let ctl = shared.control.read();
+            if id != "*" && !ctl.qss.subscription_ids().iter().any(|s| s == &id) {
                 return not_found("subscription", &id);
             }
-            let rows = st
+            let rows = ctl
                 .qss
                 .notifications()
                 .iter()
@@ -612,6 +805,9 @@ mod tests {
         let c = svc.client();
         assert_eq!(c.request_line("PING"), Response::Ok("pong".into()));
         assert_eq!(c.request_line("GEN"), Response::Ok("2".into()));
+        // Per-shard generation: fresh shard, no writes yet.
+        assert_eq!(c.request_line("GEN guide"), Response::Ok("1".into()));
+        assert!(c.request_line("GEN nosuch").is_error());
         assert_eq!(
             c.request_line("DBS"),
             Response::Rows(vec!["guide".into()])
@@ -645,6 +841,9 @@ mod tests {
         };
         let Response::Rows(rows1) = &first else { unreachable!() };
         assert_eq!(rows3.len(), rows1.len() + 1);
+        // The write bumped both the shard and the global counters.
+        assert_eq!(c.request_line("GEN guide"), Response::Ok("2".into()));
+        assert_eq!(c.request_line("GEN"), Response::Ok("3".into()));
         svc.shutdown();
     }
 
@@ -656,6 +855,27 @@ mod tests {
         let b = c.request_line("QUERY guide select   guide . restaurant");
         assert_eq!(a, b);
         assert_eq!(svc.metrics().cache_hits.load(Ordering::Relaxed), 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn writes_to_distinct_databases_have_distinct_generations() {
+        let svc = guide_service(ServeConfig::default());
+        let c = svc.client();
+        assert!(!c.request_line("CREATE a").is_error());
+        assert!(!c.request_line("CREATE b").is_error());
+        for i in 0..3 {
+            let resp = c.request_line(&format!(
+                "UPDATE a AT 1Mar97 9:0{i}am ; {{creNode(n{}, {i}), addArc(n1, x, n{})}}",
+                10 + i,
+                10 + i
+            ));
+            assert!(!resp.is_error(), "{resp:?}");
+        }
+        // Shard generations move independently: a took 3 writes, b none.
+        assert_eq!(c.request_line("GEN a"), Response::Ok("4".into()));
+        assert_eq!(c.request_line("GEN b"), Response::Ok("1".into()));
+        assert_eq!(c.request_line("GEN guide"), Response::Ok("1".into()));
         svc.shutdown();
     }
 
@@ -718,6 +938,31 @@ mod tests {
         // And cleanly removable.
         assert!(!c.request_line("UNSUBSCRIBE S1").is_error());
         assert!(c.request_line("NOTES S1").is_error());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn qss_ticks_do_not_invalidate_database_caches() {
+        let svc = guide_service(ServeConfig::default());
+        let c = svc.client();
+        c.request_line(
+            "DEFINE polling query Restaurants as select guide.restaurant \
+             define filter query NewRestaurants as \
+             select Restaurants.restaurant<cre at T> where T > t[-1]",
+        );
+        c.request_line(
+            "SUBSCRIBE S1 POLL Restaurants FILTER NewRestaurants FREQ every night at 11:30pm",
+        );
+        let q = "QUERY guide select guide.restaurant";
+        let _ = c.request_line(q); // prime the guide shard cache
+        assert!(!c.request_line("TICK 1Jan97 11:30pm").is_error());
+        let hits_before = svc.metrics().cache_hits.load(Ordering::Relaxed);
+        let _ = c.request_line(q);
+        assert_eq!(
+            svc.metrics().cache_hits.load(Ordering::Relaxed),
+            hits_before + 1,
+            "a QSS poll must not evict database query results"
+        );
         svc.shutdown();
     }
 

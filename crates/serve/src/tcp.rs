@@ -1,12 +1,21 @@
 //! The TCP front end: a nonblocking accept loop handing each connection
 //! to a thread that speaks the line protocol through an in-process
 //! [`Client`](crate::Client). Sessions multiplex onto the same worker
-//! pool, cache, and metrics as in-process clients — the wire adds framing,
-//! nothing else.
+//! pool, caches, and metrics as in-process clients — the wire adds framing
+//! and **pipelining**, nothing else.
+//!
+//! Pipelining: each connection separates its reader from execution. The
+//! reader thread parses and submits requests without waiting for replies;
+//! a dedicated writer thread serializes response frames back onto the
+//! socket as they complete. Requests tagged `#<id>` complete out of order
+//! (the tag comes back on the response's first line); untagged requests
+//! keep the classic contract — the reader blocks on each one, so their
+//! responses return in submission order.
 
+use crate::metrics::Metrics;
 use crate::protocol::Response;
 use crate::service::{Client, Service};
-use crate::metrics::Metrics;
+use crossbeam::channel;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -86,25 +95,86 @@ fn accept_loop(
     }
 }
 
+/// Whether a raw request line is `QUIT`, with or without a pipelining tag.
+fn is_quit(line: &str) -> bool {
+    let line = line.trim_start();
+    let rest = match line.strip_prefix('#') {
+        Some(tagged) => match tagged.split_once(char::is_whitespace) {
+            Some((_, rest)) => rest,
+            None => "",
+        },
+        None => line,
+    };
+    rest.trim().eq_ignore_ascii_case("QUIT")
+}
+
 /// Drive one connection: read request lines, write response frames. Ends
 /// at EOF, on a write error, or after `QUIT`.
+///
+/// The reader submits each request through [`Client::begin_line`] and —
+/// for tagged requests — hands the wait to a short-lived waiter thread,
+/// so later requests execute while earlier ones are still in flight. All
+/// frames funnel through one writer thread; in-flight tagged responses
+/// drain before the connection closes. Concurrent waiters are bounded by
+/// the service's queue depth plus worker count (anything beyond that is
+/// rejected `BUSY` at submission, and no waiter outlives the request
+/// timeout).
 fn serve_connection(stream: TcpStream, client: &Client) -> std::io::Result<()> {
     stream.set_nonblocking(false)?;
     let mut writer = stream.try_clone()?;
     let reader = BufReader::new(stream);
+    let (resp_tx, resp_rx) = channel::unbounded::<(Option<String>, Response)>();
+    let writer_thread = thread::Builder::new()
+        .name("serve-session-writer".into())
+        .spawn(move || {
+            while let Ok((tag, resp)) = resp_rx.recv() {
+                if writer
+                    .write_all(resp.render_tagged(tag.as_deref()).as_bytes())
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        })?;
+
+    let mut waiters = Vec::new();
     for line in reader.lines() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let quit = line.trim().eq_ignore_ascii_case("QUIT");
-        let resp = client.request_line(&line);
-        writer.write_all(resp.render().as_bytes())?;
-        writer.flush()?;
+        let quit = is_quit(&line);
+        let (tag, pending) = client.begin_line(&line);
+        match tag {
+            // Untagged: block the reader, preserving serial ordering.
+            None => {
+                if resp_tx.send((None, pending.wait())).is_err() {
+                    break;
+                }
+            }
+            Some(tag) => {
+                let tx = resp_tx.clone();
+                match thread::Builder::new()
+                    .name("serve-session-waiter".into())
+                    .spawn(move || {
+                        let _ = tx.send((Some(tag), pending.wait()));
+                    }) {
+                    Ok(handle) => waiters.push(handle),
+                    Err(_) => break,
+                }
+            }
+        }
         if quit {
             break;
         }
     }
+    // Let in-flight tagged responses drain, then release the writer.
+    for w in waiters {
+        let _ = w.join();
+    }
+    drop(resp_tx);
+    let _ = writer_thread.join();
     Ok(())
 }
 
@@ -128,10 +198,23 @@ impl WireClient {
 
     /// Send one request line and read the matching response frame.
     pub fn roundtrip(&mut self, line: &str) -> std::io::Result<Response> {
+        self.send(line)?;
+        Ok(self.recv()?.1)
+    }
+
+    /// Send one request line without waiting for the response. Tag lines
+    /// with `#<id> ` to pipeline; responses then come back via
+    /// [`WireClient::recv`] in completion order.
+    pub fn send(&mut self, line: &str) -> std::io::Result<()> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
-        Response::read_from(&mut self.reader)?.ok_or_else(|| {
+        self.writer.flush()
+    }
+
+    /// Read the next response frame, returning its pipelining tag (if
+    /// any) alongside the response.
+    pub fn recv(&mut self) -> std::io::Result<(Option<String>, Response)> {
+        Response::read_tagged_from(&mut self.reader)?.ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server closed connection")
         })
     }
@@ -163,6 +246,31 @@ mod tests {
             assert_eq!(over_wire, in_process, "divergence on {line:?}");
         }
         assert_eq!(wire.roundtrip("QUIT").unwrap(), Response::Ok("bye".into()));
+        handle.stop();
+        svc.shutdown();
+    }
+
+    #[test]
+    fn tagged_requests_come_back_with_their_tags() {
+        let svc = Service::start(ServeConfig::default()).unwrap();
+        svc.install(&guide_figure2(), &history_example_2_3()).unwrap();
+        let handle = svc.listen("127.0.0.1:0").unwrap();
+
+        let mut wire = WireClient::connect(handle.addr()).unwrap();
+        let tags = ["a", "b", "c", "d"];
+        for tag in tags {
+            wire.send(&format!("#{tag} QUERY guide select guide.restaurant"))
+                .unwrap();
+        }
+        let mut seen: Vec<String> = Vec::new();
+        for _ in tags {
+            let (tag, resp) = wire.recv().unwrap();
+            assert!(matches!(resp, Response::Rows(_)), "{resp:?}");
+            seen.push(tag.expect("tagged request must get a tagged response"));
+        }
+        seen.sort();
+        assert_eq!(seen, tags);
+        assert!(svc.metrics().pipelined.load(Ordering::Relaxed) >= 4);
         handle.stop();
         svc.shutdown();
     }

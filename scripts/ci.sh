@@ -15,6 +15,9 @@ cargo test -q --offline
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> cargo doc --workspace --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
+
 echo "==> cargo run --bin experiments"
 out="$(cargo run -q --release --offline --bin experiments)"
 echo "$out" | tail -n 3

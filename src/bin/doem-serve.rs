@@ -8,8 +8,11 @@
 //! ```text
 //! doem-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
 //!            [--store DIR] [--autotick-ms MS] [--tick-minutes M]
-//!            [--translated] [--empty]
+//!            [--translated] [--empty] [--create NAME]...
 //! ```
+//!
+//! The wire protocol (including `#<id>` pipelining tags) is specified in
+//! `crates/serve/PROTOCOL.md`.
 
 use serve::{AutoTick, Response, ServeConfig, Service};
 use std::io::BufRead;
@@ -19,7 +22,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: doem-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\
          \x20                 [--store DIR] [--autotick-ms MS] [--tick-minutes M]\n\
-         \x20                 [--translated] [--empty]"
+         \x20                 [--translated] [--empty] [--create NAME]..."
     );
     std::process::exit(2);
 }
@@ -30,6 +33,7 @@ fn main() {
     let mut autotick_ms: Option<u64> = None;
     let mut tick_minutes: i64 = 60;
     let mut seed_guide = true;
+    let mut create: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -47,6 +51,7 @@ fn main() {
             "--tick-minutes" => tick_minutes = parse_num(&val("--tick-minutes")) as i64,
             "--translated" => cfg.strategy = chorel::Strategy::Translated,
             "--empty" => seed_guide = false,
+            "--create" => create.push(val("--create")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -75,6 +80,14 @@ fn main() {
         )
         .expect("the paper fixture installs");
     }
+    let bootstrap = svc.client();
+    for name in &create {
+        let resp = bootstrap.request_line(&format!("CREATE {name}"));
+        if resp.is_error() {
+            eprintln!("doem-serve: --create {name}: {resp:?}");
+            std::process::exit(1);
+        }
+    }
     let handle = match svc.listen(&addr) {
         Ok(h) => h,
         Err(e) => {
@@ -85,7 +98,8 @@ fn main() {
     println!("doem-serve listening on {}", handle.addr());
     println!("try:  QUERY guide select guide.restaurant");
     println!("      UPDATE guide AT 1Mar97 9:00am ; {{updNode(n1, 25)}}");
-    println!("      STATS   DBS   GEN   quit");
+    println!("      STATS   DBS   GEN   GEN <db>   quit");
+    println!("pipelining: prefix requests with #<id> to overlap them over TCP");
 
     // Stdin is an admin session speaking the same protocol.
     let console = svc.client();

@@ -41,6 +41,8 @@
 //! assert_eq!(result.len(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub use chorel;
 pub use doem;
 pub use lore;

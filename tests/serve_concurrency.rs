@@ -6,10 +6,11 @@
 use chorel::{canonical_row_strings, run_both_checked};
 use doem::doem_from_history;
 use oem::guide::{guide_figure2, history_example_2_3};
-use oem::{parse_change_set, Timestamp};
-use serve::{ErrKind, Response, ServeConfig, Service};
+use oem::{parse_change_set, ArcTriple, History, OemDatabase, Timestamp, Value};
+use serve::{ErrKind, Response, ServeConfig, Service, WireClient};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn ts(s: &str) -> Timestamp {
     s.parse().unwrap()
@@ -166,6 +167,143 @@ fn cache_invalidation_keeps_results_fresh_under_interleaving() {
         expected += 1;
         assert_eq!(rows.len(), expected, "stale cache after write {i}");
     }
+    svc.shutdown();
+}
+
+/// A database whose self-join is expensive: `items` atomic children under
+/// the root, so `select R, S from <name>.item R, <name>.item S` has
+/// `items²` result rows.
+fn big_database(name: &str, items: i64) -> OemDatabase {
+    let mut db = OemDatabase::new(name);
+    let root = db.root();
+    for i in 0..items {
+        let n = db.create_node(Value::Int(i));
+        db.insert_arc(ArcTriple::new(root, "item", n)).unwrap();
+    }
+    db
+}
+
+/// Block until `svc` has started evaluating at least one fresh query
+/// (`cached_query` bumps the miss counter *before* evaluating).
+fn wait_for_query_start(svc: &Service, misses_before: u64) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while svc.metrics().cache_misses.load(Ordering::Relaxed) <= misses_before {
+        assert!(Instant::now() < deadline, "slow query never started");
+        thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn slow_query_on_one_database_does_not_delay_writes_anywhere() {
+    let svc = Service::start(ServeConfig {
+        workers: 4,
+        request_timeout: Duration::from_secs(120),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    // A self-join over `big` yields 350² = 122 500 rows — seconds of
+    // evaluation, all of it outside the shard lock.
+    svc.install(&big_database("big", 350), &History::new()).unwrap();
+    assert!(!svc.client().request_line("CREATE other").is_error());
+
+    let misses_before = svc.metrics().cache_misses.load(Ordering::Relaxed);
+    let done = AtomicBool::new(false);
+    thread::scope(|scope| {
+        let slow_client = svc.client();
+        let done = &done;
+        scope.spawn(move || {
+            let resp =
+                slow_client.request_line("QUERY big select R, S from big.item R, big.item S");
+            done.store(true, Ordering::SeqCst);
+            match resp {
+                Response::Rows(rows) => assert_eq!(rows.len(), 350 * 350),
+                other => panic!("slow query failed: {other:?}"),
+            }
+        });
+
+        wait_for_query_start(&svc, misses_before);
+        // While the slow query evaluates: writes to another database AND
+        // to `big` itself (snapshot isolation — the reader holds a
+        // snapshot, not the lock) must all land immediately.
+        let client = svc.client();
+        for i in 0..20 {
+            for db in ["other", "big"] {
+                let resp = client.request_line(&format!(
+                    "UPDATE {db} AT 1Mar97 {}:{:02}pm ; \
+                     {{creNode(n{}, {i}), addArc(n1, fresh, n{})}}",
+                    1 + i / 60,
+                    i % 60,
+                    9000 + i,
+                    9000 + i
+                ));
+                assert!(!resp.is_error(), "write {i} to {db}: {resp:?}");
+            }
+        }
+        assert!(
+            !done.load(Ordering::SeqCst),
+            "the slow query finished before the writes — grow the database \
+             until the writes demonstrably overlap it"
+        );
+    });
+
+    // Writing to `big` mid-query must have paid at least one COW clone.
+    assert!(
+        svc.metrics().cow_clones.load(Ordering::Relaxed) >= 1,
+        "a write under an outstanding snapshot must copy-on-write"
+    );
+    // And the shard generations moved while the query ran.
+    let c = svc.client();
+    assert_eq!(c.request_line("GEN other"), Response::Ok("21".into()));
+    assert_eq!(c.request_line("GEN big"), Response::Ok("21".into()));
+    svc.shutdown();
+}
+
+#[test]
+fn pipelined_requests_complete_out_of_order_with_matching_tags() {
+    let svc = Service::start(ServeConfig {
+        workers: 4,
+        request_timeout: Duration::from_secs(120),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    svc.install(&big_database("big", 250), &History::new()).unwrap();
+    let handle = svc.listen("127.0.0.1:0").unwrap();
+    let mut wire = WireClient::connect(handle.addr()).unwrap();
+
+    // A slow self-join first, then a trivial PING on the same connection:
+    // the PING's response must overtake the query's.
+    wire.send("#slow QUERY big select R, S from big.item R, big.item S")
+        .unwrap();
+    wire.send("#fast PING").unwrap();
+    let (first_tag, first) = wire.recv().unwrap();
+    assert_eq!(first_tag.as_deref(), Some("fast"), "PING must overtake: {first:?}");
+    assert_eq!(first, Response::Ok("pong".into()));
+    let (second_tag, second) = wire.recv().unwrap();
+    assert_eq!(second_tag.as_deref(), Some("slow"));
+    assert!(matches!(second, Response::Rows(ref r) if r.len() == 250 * 250));
+
+    // Responses carry whichever tag their request did, so completion
+    // order never scrambles attribution: distinct GENs per database.
+    let c = svc.client();
+    assert!(!c.request_line("CREATE a").is_error());
+    assert!(!c.request_line("CREATE b").is_error());
+    assert!(!c
+        .request_line("UPDATE a AT 1Mar97 9:00am ; {creNode(n10, 1), addArc(n1, x, n10)}")
+        .is_error());
+    wire.send("#gen-a GEN a").unwrap();
+    wire.send("#gen-b GEN b").unwrap();
+    wire.send("#gen-all GEN").unwrap();
+    let mut by_tag = std::collections::HashMap::new();
+    for _ in 0..3 {
+        let (tag, resp) = wire.recv().unwrap();
+        by_tag.insert(tag.unwrap(), resp);
+    }
+    assert_eq!(by_tag["gen-a"], Response::Ok("2".into()));
+    assert_eq!(by_tag["gen-b"], Response::Ok("1".into()));
+    assert!(matches!(by_tag["gen-all"], Response::Ok(_)));
+
+    assert!(svc.metrics().pipelined.load(Ordering::Relaxed) >= 5);
+    handle.stop();
     svc.shutdown();
 }
 
