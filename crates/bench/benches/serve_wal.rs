@@ -1,0 +1,136 @@
+//! X8 — durability costs: WAL append throughput (the fsync-bound write
+//! path), recovery time as a function of log-tail length, and the
+//! checkpoint that trades log length for startup time.
+//!
+//! Like X7 this file lives beside the X1–X6 benches but belongs to the
+//! root package (the bench crate does not depend on `serve`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use doem::{apply_set, current_snapshot, DoemDatabase};
+use oem::{parse_change_set, ChangeSet, OemDatabase, Timestamp};
+use serve::wal::{replay, DbWal};
+use serve::{Faults, Service};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("serve-wal-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The i-th record of the benchmark history: one create + one link, with
+/// strictly increasing timestamps (minute resolution).
+fn record(i: usize) -> (Timestamp, ChangeSet) {
+    let at = Timestamp::from_raw_minutes(1_000_000 + i as i64);
+    let changes = parse_change_set(&format!(
+        "{{creNode(n{0}, {1}), addArc(n1, item, n{0})}}",
+        500 + i,
+        i
+    ))
+    .unwrap();
+    (at, changes)
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal/append");
+    group.sample_size(10);
+    let dir = tmp("append");
+    // Each sample appends (and fsyncs) a 32-record batch; per-record cost
+    // is the reported time divided by 32.
+    group.bench_function("fsync-batch-32", |b| {
+        let (m, f) = (serve::metrics::Metrics::new(), Faults::disabled());
+        let mut i = 0usize;
+        b.iter(|| {
+            let mut wal = DbWal::open(dir.join(format!("a{i}.wal")), 0).unwrap();
+            for k in 0..32 {
+                let (at, changes) = record(i * 32 + k);
+                wal.append(at, &changes, &f, &m).unwrap();
+            }
+            i += 1;
+            black_box(wal.len())
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal/recovery");
+    group.sample_size(10);
+    for &n in &[64usize, 256, 1024] {
+        // Lay down a checkpoint of the empty database plus an n-record
+        // log tail, then measure replay + apply — the startup path.
+        let dir = tmp(&format!("recover-{n}"));
+        let store = lore::LoreStore::open(&dir).unwrap();
+        let initial = OemDatabase::new("r".to_string());
+        store
+            .save_doem("r", &DoemDatabase::from_snapshot(&initial))
+            .unwrap();
+        let wal_path = dir.join("r.wal");
+        {
+            let (m, f) = (serve::metrics::Metrics::new(), Faults::disabled());
+            let mut wal = DbWal::open(&wal_path, 0).unwrap();
+            for i in 0..n {
+                let (at, changes) = record(i);
+                wal.append(at, &changes, &f, &m).unwrap();
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("replay-apply", n), &n, |b, _| {
+            b.iter(|| {
+                let rep = replay(&wal_path).unwrap();
+                let mut doem = store.load_doem("r").unwrap();
+                let mut replica = current_snapshot(&doem);
+                for (at, changes) in &rep.entries {
+                    apply_set(&mut doem, &mut replica, changes, *at).unwrap();
+                }
+                black_box(doem.annotation_count())
+            })
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+fn bench_checkpoint_tradeoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal/checkpoint-policy");
+    group.sample_size(10);
+    // End-to-end: run a 64-write workload through a durable service with
+    // different checkpoint cadences, then measure the restart.
+    for &every in &[0u64, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("write+restart", every), &every, |b, &every| {
+            b.iter(|| {
+                let dir = tmp(&format!("policy-{every}"));
+                let svc = Service::start(serve::ServeConfig {
+                    wal_dir: Some(dir.clone()),
+                    checkpoint_every: every,
+                    ..serve::ServeConfig::default()
+                })
+                .unwrap();
+                let client = svc.client();
+                assert!(!client.request_line("CREATE w").is_error());
+                for i in 0..64 {
+                    let (at, changes) = record(i);
+                    let resp = client.request_line(&format!("UPDATE w AT {at} ; {changes}"));
+                    assert!(!resp.is_error(), "{resp:?}");
+                }
+                drop(client);
+                drop(svc); // crash-stop: the restart below pays for real recovery
+                let svc2 = Service::start(serve::ServeConfig {
+                    wal_dir: Some(dir.clone()),
+                    ..serve::ServeConfig::default()
+                })
+                .unwrap();
+                let names = svc2.database_names();
+                svc2.shutdown();
+                let _ = std::fs::remove_dir_all(&dir);
+                black_box(names.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_append, bench_recovery, bench_checkpoint_tradeoff);
+criterion_main!(benches);

@@ -65,6 +65,13 @@ impl LoreStore {
     }
 
     fn path_for(&self, name: &str) -> PathBuf {
+        self.path_of(name)
+    }
+
+    /// The file a database named `name` is (or would be) stored at —
+    /// exposed so sibling files (e.g. a write-ahead log) can live next to
+    /// the image with the same sanitized stem.
+    pub fn path_of(&self, name: &str) -> PathBuf {
         self.dir.join(format!("{}.oem", sanitize(name)))
     }
 

@@ -1,0 +1,192 @@
+//! Deterministic fault injection for the durability pipeline.
+//!
+//! A [`Faults`] handle is threaded through every WAL append, fsync, and
+//! checkpoint. Disabled (the default) it is a single `Option` check.
+//! Armed, it fires an injected I/O failure at an exact operation index —
+//! "the 17th WAL append short-writes 9 bytes and dies" — so crash
+//! recovery can be exercised against a simulated kill-9 at *every* prefix
+//! of a workload, reproducibly. Plans are either spelled out
+//! ([`Faults::fail_nth`]) or derived from a seed ([`Faults::from_seed`],
+//! the `SERVE_FAULT_SEED` matrix in `scripts/ci.sh`).
+//!
+//! The layer is deliberately dumb: it neither knows which database an
+//! operation belongs to nor retries — it counts matching operations and
+//! fails the chosen one, optionally *sticky* (every later matching
+//! operation fails too, simulating a disk that stays dead after the first
+//! `ENOSPC`, or a process that never comes back after kill-9).
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A durability-pipeline site where a fault can fire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// The framed record write of a WAL append.
+    WalAppend,
+    /// The fsync that makes an appended record durable.
+    WalFsync,
+    /// A snapshot checkpoint (the save that precedes log truncation).
+    Checkpoint,
+}
+
+/// How an injected fault manifests at its site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultMode {
+    /// The operation fails outright; nothing reaches the file.
+    Error,
+    /// Only the first `n` bytes of the frame reach the file before the
+    /// failure — a kill-9 mid-`write(2)`. Clamped to the frame length;
+    /// only meaningful at [`FaultPoint::WalAppend`].
+    ShortWrite(usize),
+}
+
+#[derive(Debug)]
+struct Plan {
+    point: FaultPoint,
+    /// Fail the operation with this 0-based index among operations
+    /// matching `point`.
+    nth: u64,
+    mode: FaultMode,
+    /// Keep failing every matching operation after the first hit.
+    sticky: bool,
+    /// Matching operations observed so far.
+    seen: u64,
+    /// Faults actually fired.
+    fired: u64,
+}
+
+/// A cloneable fault-injection handle; [`Faults::disabled`] is free.
+#[derive(Clone, Debug, Default)]
+pub struct Faults {
+    plan: Option<Arc<Mutex<Plan>>>,
+}
+
+impl Faults {
+    /// No faults, ever. Every check is a single `Option` test.
+    pub fn disabled() -> Faults {
+        Faults::default()
+    }
+
+    /// Fail the `nth` (0-based) operation at `point` with `mode`; when
+    /// `sticky`, every later operation at `point` fails too.
+    pub fn fail_nth(point: FaultPoint, nth: u64, mode: FaultMode, sticky: bool) -> Faults {
+        Faults {
+            plan: Some(Arc::new(Mutex::new(Plan {
+                point,
+                nth,
+                mode,
+                sticky,
+                seen: 0,
+                fired: 0,
+            }))),
+        }
+    }
+
+    /// Derive a plan pseudo-randomly from `seed`: a site, an operation
+    /// index below `horizon`, and a mode. Same seed, same plan — the
+    /// contract the `SERVE_FAULT_SEED` CI matrix relies on.
+    pub fn from_seed(seed: u64, horizon: u64) -> Faults {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let point = match rng.gen_range(0..3u32) {
+            0 => FaultPoint::WalAppend,
+            1 => FaultPoint::WalFsync,
+            _ => FaultPoint::Checkpoint,
+        };
+        let nth = rng.gen_range(0..horizon.max(1));
+        let mode = if rng.gen_bool(0.5) {
+            FaultMode::Error
+        } else {
+            FaultMode::ShortWrite(rng.gen_range(0..512usize))
+        };
+        let sticky = rng.gen_bool(0.5);
+        Faults::fail_nth(point, nth, mode, sticky)
+    }
+
+    /// Record one operation at `point`; `Some(mode)` means the caller
+    /// must fail it as `mode` directs.
+    pub fn check(&self, point: FaultPoint) -> Option<FaultMode> {
+        let plan = self.plan.as_ref()?;
+        let mut p = plan.lock();
+        if p.point != point {
+            return None;
+        }
+        let idx = p.seen;
+        p.seen += 1;
+        let hit = idx == p.nth || (p.sticky && idx > p.nth);
+        if hit {
+            p.fired += 1;
+            Some(p.mode)
+        } else {
+            None
+        }
+    }
+
+    /// How many faults have actually fired.
+    pub fn fired(&self) -> u64 {
+        self.plan.as_ref().map_or(0, |p| p.lock().fired)
+    }
+
+    /// The `std::io::Error` an injected fault surfaces as.
+    pub fn injected_error(point: FaultPoint) -> std::io::Error {
+        std::io::Error::other(format!("injected fault at {point:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_never_fires() {
+        let f = Faults::disabled();
+        for _ in 0..100 {
+            assert_eq!(f.check(FaultPoint::WalAppend), None);
+        }
+        assert_eq!(f.fired(), 0);
+    }
+
+    #[test]
+    fn nth_one_shot_fires_exactly_once() {
+        let f = Faults::fail_nth(FaultPoint::WalAppend, 2, FaultMode::Error, false);
+        let hits: Vec<bool> = (0..6)
+            .map(|_| f.check(FaultPoint::WalAppend).is_some())
+            .collect();
+        assert_eq!(hits, vec![false, false, true, false, false, false]);
+        // Other points never match.
+        assert_eq!(f.check(FaultPoint::Checkpoint), None);
+        assert_eq!(f.fired(), 1);
+    }
+
+    #[test]
+    fn sticky_keeps_failing() {
+        let f = Faults::fail_nth(FaultPoint::WalFsync, 1, FaultMode::Error, true);
+        let hits: Vec<bool> = (0..5)
+            .map(|_| f.check(FaultPoint::WalFsync).is_some())
+            .collect();
+        assert_eq!(hits, vec![false, true, true, true, true]);
+        assert_eq!(f.fired(), 4);
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        for seed in [0u64, 7, 42, u64::MAX] {
+            let a = Faults::from_seed(seed, 100);
+            let b = Faults::from_seed(seed, 100);
+            let fire = |f: &Faults| -> Vec<Option<FaultMode>> {
+                (0..100)
+                    .flat_map(|_| {
+                        [
+                            f.check(FaultPoint::WalAppend),
+                            f.check(FaultPoint::WalFsync),
+                            f.check(FaultPoint::Checkpoint),
+                        ]
+                    })
+                    .collect()
+            };
+            assert_eq!(fire(&a), fire(&b), "seed {seed}");
+            assert!(a.fired() > 0, "a seeded plan must fire within its horizon");
+        }
+    }
+}

@@ -30,9 +30,21 @@
 //! TCP sessions may **pipeline**: requests tagged `#<id>` complete out of
 //! order, with the tag echoed on the response frame for matching
 //! (in-process, the same split is [`Client::begin_line`] +
-//! [`PendingReply::wait`]). A [`metrics`] registry (counters + log2
-//! latency histograms for parse / queue-wait / exec / end-to-end) is
-//! readable over the wire as `STATS`.
+//! [`PendingReply::wait`]); a service-wide completion pool waits out the
+//! tagged requests. A [`metrics`] registry (counters + log2 latency
+//! histograms for parse / queue-wait / exec / end-to-end) is readable
+//! over the wire as `STATS`.
+//!
+//! With [`ServeConfig::wal_dir`] set the service is **durable**
+//! (DESIGN.md §8): every committed mutation is appended to a per-database
+//! change-operation [`wal`] (the paper's own notation, length+CRC framed,
+//! fsynced before the in-memory apply), periodically folded into snapshot
+//! checkpoints, and replayed through the `D(O, H)` construction on
+//! startup — tolerating a torn final record. A deterministic [`faults`]
+//! layer can fail any append/fsync/checkpoint at a chosen operation
+//! index for crash testing, and a shard whose log stops accepting writes
+//! degrades to read-only ([`ErrKind::ReadOnly`]) instead of taking the
+//! service down.
 //!
 //! ```
 //! use serve::{Service, ServeConfig, Response};
@@ -49,11 +61,14 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod faults;
 pub mod metrics;
 pub mod protocol;
 mod service;
 mod tcp;
+pub mod wal;
 
+pub use faults::{FaultMode, FaultPoint, Faults};
 pub use protocol::{parse_request, parse_tagged_request, ErrKind, ProtoError, Request, Response};
 pub use service::{AutoTick, Client, DynSource, PendingReply, ServeConfig, Service};
-pub use tcp::{TcpHandle, WireClient};
+pub use tcp::{RetryPolicy, TcpHandle, WireClient};

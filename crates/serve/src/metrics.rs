@@ -105,6 +105,22 @@ pub struct Metrics {
     /// Writes that paid a copy-on-write clone because a query snapshot
     /// was still outstanding.
     pub cow_clones: AtomicU64,
+    /// WAL records appended (and fsynced) successfully.
+    pub wal_appends: AtomicU64,
+    /// Bytes of framed WAL records appended successfully.
+    pub wal_bytes: AtomicU64,
+    /// Snapshot checkpoints written (each followed by a log truncation).
+    pub checkpoints: AtomicU64,
+    /// Databases recovered from checkpoint + log replay at startup.
+    pub recoveries: AtomicU64,
+    /// Recoveries that found (and discarded) a torn or unusable log tail.
+    pub torn_tails: AtomicU64,
+    /// Faults fired by the injection layer (tests only; 0 in production).
+    pub faults_injected: AtomicU64,
+    /// Shards flipped to read-only by a persistent log I/O failure. The
+    /// *current* count of read-only shards is the `read_only_shards`
+    /// gauge appended to `STATS` by the service.
+    pub read_only_flips: AtomicU64,
     /// Time spent parsing request lines.
     pub parse: Histogram,
     /// Time jobs spent queued before a worker picked them up.
@@ -142,6 +158,13 @@ impl Metrics {
             format!("counter sessions {}", c(&self.sessions)),
             format!("counter pipelined {}", c(&self.pipelined)),
             format!("counter cow_clones {}", c(&self.cow_clones)),
+            format!("counter wal_appends {}", c(&self.wal_appends)),
+            format!("counter wal_bytes {}", c(&self.wal_bytes)),
+            format!("counter checkpoints {}", c(&self.checkpoints)),
+            format!("counter recoveries {}", c(&self.recoveries)),
+            format!("counter torn_tails {}", c(&self.torn_tails)),
+            format!("counter faults_injected {}", c(&self.faults_injected)),
+            format!("counter read_only_flips {}", c(&self.read_only_flips)),
         ];
         self.parse.render("parse", &mut out);
         self.queue.render("queue", &mut out);

@@ -62,6 +62,10 @@ pub enum ErrKind {
     Conflict,
     /// Storage-layer failure (or no store configured).
     Io,
+    /// The target database is read-only: a persistent WAL I/O failure
+    /// (e.g. disk full) disabled writes to it while queries keep serving
+    /// from the in-memory snapshot.
+    ReadOnly,
     /// Anything else; the service itself misbehaved.
     Internal,
 }
@@ -77,6 +81,7 @@ impl ErrKind {
             ErrKind::Timeout => "TIMEOUT",
             ErrKind::Conflict => "CONFLICT",
             ErrKind::Io => "IO",
+            ErrKind::ReadOnly => "READONLY",
             ErrKind::Internal => "INTERNAL",
         }
     }
@@ -91,6 +96,7 @@ impl ErrKind {
             "TIMEOUT" => ErrKind::Timeout,
             "CONFLICT" => ErrKind::Conflict,
             "IO" => ErrKind::Io,
+            "READONLY" => ErrKind::ReadOnly,
             _ => ErrKind::Internal,
         }
     }

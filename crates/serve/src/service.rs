@@ -1,6 +1,7 @@
 //! The service core: a sharded database registry, snapshot-isolated query
-//! execution, a worker pool fed by a bounded [`crossbeam`] channel, and
-//! the request executor.
+//! execution, a worker pool fed by a bounded [`crossbeam`] channel, the
+//! request executor, and — when a WAL directory is configured — crash
+//! durability.
 //!
 //! Concurrency model (see DESIGN.md §7 for the full treatment): sessions
 //! parse requests at the edge and submit jobs to a bounded queue
@@ -19,6 +20,17 @@
 //! copy-on-write clone (counted in `STATS` as `cow_clones`) and bumps the
 //! shard generation, which structurally invalidates that shard's cache.
 //!
+//! Durability model (DESIGN.md §8): with [`ServeConfig::wal_dir`] set,
+//! every committed mutation appends one record to the database's
+//! [`wal`](crate::wal) *before* it is applied in memory, and
+//! [`Service::start`] recovers each database by loading its latest
+//! checkpoint and replaying the log tail through [`doem::apply_set`] —
+//! the paper's `D(O, H)` construction doubling as crash recovery. A shard
+//! whose log can no longer be written (disk full, injected fault) flips
+//! to **read-only**: queries keep serving from the in-memory snapshot,
+//! writes answer `ErrKind::ReadOnly`, and the condition is visible in
+//! `STATS`.
+//!
 //! QSS state (subscriptions, the registry of named queries, the simulated
 //! clock) lives in a separate *control* shard with its own lock and
 //! generation, so QSS ticks invalidate only subscription-query caches,
@@ -28,17 +40,19 @@
 //! get the same guarantee through [`PendingReply::wait`].
 
 use crate::cache::{CacheKey, ResultCache};
+use crate::faults::{FaultPoint, Faults};
 use crate::metrics::Metrics;
 use crate::protocol::{ErrKind, Request, Response};
+use crate::wal::{self, DbWal};
 use chorel::{canonical_row_strings, run_chorel_parsed, Strategy};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use doem::{apply_set, current_snapshot, doem_from_history, DoemDatabase, SharedDoem};
 use lorel::{run_update, QueryRegistry};
-use oem::{History, OemDatabase, SharedOem, Timestamp};
+use oem::{ChangeSet, History, OemDatabase, SharedOem, Timestamp};
 use parking_lot::RwLock;
 use qss::{QssServer, ScriptedSource, Source, Subscription};
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -78,6 +92,23 @@ pub struct ServeConfig {
     pub autotick: Option<AutoTick>,
     /// Directory for SAVE/LOAD persistence (no store when `None`).
     pub store_dir: Option<PathBuf>,
+    /// Durability root: per-database write-ahead logs and snapshot
+    /// checkpoints live here, and [`Service::start`] recovers every
+    /// database it finds in it. `None` (the default) keeps the service
+    /// purely in-memory. Use a directory dedicated to the WAL — `SAVE`
+    /// images from `store_dir` share the same file format.
+    pub wal_dir: Option<PathBuf>,
+    /// Checkpoint a database after this many WAL appends (then truncate
+    /// its log). 0 disables automatic checkpoints — the log grows until
+    /// shutdown. Ignored without `wal_dir`.
+    pub checkpoint_every: u64,
+    /// Threads in the completion pool that waits out pipelined (tagged)
+    /// TCP requests (min 1). Bounds waiter concurrency regardless of how
+    /// many sessions pipeline how deeply.
+    pub completion_threads: usize,
+    /// Fault-injection plan for the durability pipeline (tests; disabled
+    /// by default and free when disabled).
+    pub faults: Faults,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +122,10 @@ impl Default for ServeConfig {
             epoch: Timestamp::from_ymd(1996, 12, 30),
             autotick: None,
             store_dir: None,
+            wal_dir: None,
+            checkpoint_every: 64,
+            completion_threads: 4,
+            faults: Faults::disabled(),
         }
     }
 }
@@ -105,6 +140,18 @@ pub(crate) struct ShardState {
     /// Bumped by every successful write to this shard; cache keys carry
     /// it, so a bump structurally invalidates the shard's cache.
     pub(crate) generation: u64,
+    /// The durable log, when the service runs with a WAL directory.
+    pub(crate) wal: Option<DbWal>,
+    /// Highest change timestamp committed to this shard. Durable shards
+    /// enforce the paper's Definition 2.2 on it — change timestamps must
+    /// strictly increase — which makes the timestamp a log sequence
+    /// number: recovery skips WAL entries at or before the checkpoint's
+    /// high-water mark, so a crash between checkpoint save and log
+    /// truncation can never double-apply.
+    pub(crate) last_at: Timestamp,
+    /// Set on persistent log I/O failure; writes answer
+    /// [`ErrKind::ReadOnly`] while queries keep serving.
+    pub(crate) read_only: bool,
 }
 
 /// One database shard: its own lock, generation counter, and result
@@ -116,12 +163,21 @@ pub(crate) struct Shard {
 }
 
 impl Shard {
-    fn new(doem: DoemDatabase, replica: OemDatabase, cache_capacity: usize) -> Shard {
+    fn new(
+        doem: DoemDatabase,
+        replica: OemDatabase,
+        cache_capacity: usize,
+        wal: Option<DbWal>,
+        last_at: Timestamp,
+    ) -> Shard {
         Shard {
             state: RwLock::new(ShardState {
                 doem: SharedDoem::new(doem),
                 replica: SharedOem::new(replica),
                 generation: 1,
+                wal,
+                last_at,
+                read_only: false,
             }),
             cache: ResultCache::new(cache_capacity),
         }
@@ -147,6 +203,20 @@ pub(crate) struct ControlState {
     pub(crate) generation: u64,
 }
 
+/// The durability half of the shared state: the checkpoint store (a
+/// [`lore::LoreStore`] rooted at `wal_dir`) and the checkpoint policy.
+pub(crate) struct Durability {
+    pub(crate) store: lore::LoreStore,
+    pub(crate) checkpoint_every: u64,
+}
+
+impl Durability {
+    /// The WAL file beside the checkpoint image of database `name`.
+    fn wal_path(&self, name: &str) -> PathBuf {
+        self.store.path_of(name).with_extension("wal")
+    }
+}
+
 /// State shared by the service handle, every worker, and every client.
 pub(crate) struct Shared {
     pub(crate) cfg: ServeConfig,
@@ -160,6 +230,11 @@ pub(crate) struct Shared {
     pub(crate) sub_cache: ResultCache,
     /// SAVE/LOAD storage; internally synchronized, so no lock here.
     pub(crate) store: Option<lore::LoreStore>,
+    /// WAL + checkpoint machinery; `None` without a `wal_dir`.
+    pub(crate) durable: Option<Durability>,
+    /// Cleared at the start of shutdown: new submissions fail fast while
+    /// already-queued jobs drain.
+    pub(crate) accepting: AtomicBool,
     /// Monotonic write counter across *all* shards — the `GEN` verb.
     pub(crate) global_gen: AtomicU64,
     pub(crate) metrics: Metrics,
@@ -184,20 +259,33 @@ pub(crate) struct Job {
     pub(crate) enqueued: Instant,
 }
 
-/// The service handle: owns the worker pool and (optionally) the QSS
-/// ticker. Create sessions with [`Service::client`], stop everything with
-/// [`Service::shutdown`].
+/// A tagged in-flight request handed to the completion pool: wait out
+/// `pending` and forward the tagged response to `out` (a session's writer
+/// channel).
+pub(crate) struct CompletionJob {
+    pub(crate) tag: String,
+    pub(crate) pending: PendingReply,
+    pub(crate) out: Sender<(Option<String>, Response)>,
+}
+
+/// The service handle: owns the worker pool, the completion pool, and
+/// (optionally) the QSS ticker. Create sessions with [`Service::client`],
+/// stop everything with [`Service::shutdown`].
 pub struct Service {
     pub(crate) shared: Arc<Shared>,
     job_tx: Sender<Job>,
+    completion_tx: Sender<CompletionJob>,
     workers: Vec<JoinHandle<()>>,
+    completions: Vec<JoinHandle<()>>,
     ticker: Option<JoinHandle<()>>,
     pub(crate) stop: Arc<AtomicBool>,
 }
 
 impl Service {
     /// Start a service over the paper's guide source (Example 6.1's
-    /// scripted restaurant guide feeds the embedded QSS).
+    /// scripted restaurant guide feeds the embedded QSS). With a
+    /// [`ServeConfig::wal_dir`], first recovers every database found
+    /// there (checkpoint + log-tail replay).
     pub fn start(cfg: ServeConfig) -> std::io::Result<Service> {
         Service::start_with_source(cfg, Box::new(ScriptedSource::paper_guide()))
     }
@@ -211,6 +299,19 @@ impl Service {
             ),
             None => None,
         };
+        let durable = match &cfg.wal_dir {
+            Some(dir) => Some(Durability {
+                store: lore::LoreStore::open(dir)
+                    .map_err(|e| std::io::Error::other(e.to_string()))?,
+                checkpoint_every: cfg.checkpoint_every,
+            }),
+            None => None,
+        };
+        let metrics = Metrics::new();
+        let mut shards = HashMap::new();
+        if let Some(d) = &durable {
+            recover_all(d, &cfg, &metrics, &mut shards)?;
+        }
         let control = ControlState {
             clock: cfg.epoch,
             registry: QueryRegistry::new(),
@@ -218,13 +319,16 @@ impl Service {
             generation: 1,
         };
         let (job_tx, job_rx) = channel::bounded::<Job>(cfg.queue_depth.max(1));
+        let (completion_tx, completion_rx) = channel::unbounded::<CompletionJob>();
         let shared = Arc::new(Shared {
-            shards: RwLock::new(HashMap::new()),
+            shards: RwLock::new(shards),
             control: RwLock::new(control),
             sub_cache: ResultCache::new(cfg.cache_capacity),
             store,
+            durable,
+            accepting: AtomicBool::new(true),
             global_gen: AtomicU64::new(1),
-            metrics: Metrics::new(),
+            metrics,
             cfg,
         });
         let stop = Arc::new(AtomicBool::new(false));
@@ -239,6 +343,16 @@ impl Service {
                     .expect("spawn worker")
             })
             .collect();
+        let completions = (0..shared.cfg.completion_threads.max(1))
+            .map(|i| {
+                let rx = completion_rx.clone();
+                let stop = Arc::clone(&stop);
+                thread::Builder::new()
+                    .name(format!("serve-completion-{i}"))
+                    .spawn(move || completion_loop(&rx, &stop))
+                    .expect("spawn completion worker")
+            })
+            .collect();
         let ticker = shared.cfg.autotick.map(|tick| {
             let shared = Arc::clone(&shared);
             let stop = Arc::clone(&stop);
@@ -250,7 +364,9 @@ impl Service {
         Ok(Service {
             shared,
             job_tx,
+            completion_tx,
             workers,
+            completions,
             ticker,
             stop,
         })
@@ -259,13 +375,35 @@ impl Service {
     /// Install a database built from an initial snapshot and a history
     /// (the name comes from the snapshot). Replaces any same-named shard —
     /// in-flight queries against the old shard finish against their
-    /// snapshots; its cache dies with it.
-    pub fn install(&self, initial: &OemDatabase, history: &History) -> doem::Result<()> {
-        let doem = doem_from_history(initial, history)?;
+    /// snapshots; its cache dies with it. With durability on, the
+    /// installed database is checkpointed (and its log reset) before this
+    /// returns, so it survives a crash immediately.
+    pub fn install(&self, initial: &OemDatabase, history: &History) -> std::io::Result<()> {
+        let doem =
+            doem_from_history(initial, history).map_err(|e| std::io::Error::other(e.to_string()))?;
         let replica = current_snapshot(&doem);
         let name = doem.name().to_string();
-        let shard = Arc::new(Shard::new(doem, replica, self.shared.cfg.cache_capacity));
-        self.shared.shards.write().insert(name, shard);
+        let last_at = doem
+            .timestamps()
+            .last()
+            .copied()
+            .unwrap_or(Timestamp::NEG_INFINITY);
+        // Hold the map lock across the durable prep: a racing CREATE/LOAD
+        // of the same name must not interleave with checkpoint + log reset.
+        let mut shards = self.shared.shards.write();
+        let wal = match &self.shared.durable {
+            Some(d) => Some(fresh_durable_db(d, &self.shared, &name, &doem)?),
+            None => None,
+        };
+        let shard = Arc::new(Shard::new(
+            doem,
+            replica,
+            self.shared.cfg.cache_capacity,
+            wal,
+            last_at,
+        ));
+        shards.insert(name, shard);
+        drop(shards);
         self.shared.bump_global();
         Ok(())
     }
@@ -275,6 +413,7 @@ impl Service {
         Client {
             shared: Arc::clone(&self.shared),
             tx: self.job_tx.clone(),
+            completion_tx: self.completion_tx.clone(),
         }
     }
 
@@ -283,26 +422,211 @@ impl Service {
         &self.shared.metrics
     }
 
-    /// Stop workers and the ticker and wait for them. In-flight requests
-    /// finish; queued-but-unclaimed jobs are dropped (their sessions see
-    /// a disconnect or timeout).
+    /// Names of the installed databases, sorted.
+    pub fn database_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.shared.shards.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// An O(1) snapshot handle on one database's DOEM graph (as the query
+    /// path takes them), for inspection and tests. `None` if no such
+    /// database.
+    pub fn doem_snapshot(&self, db: &str) -> Option<SharedDoem> {
+        let shard = self.shared.shard(db)?;
+        let st = shard.state.read();
+        Some(st.doem.snapshot())
+    }
+
+    /// Stop the service, **draining** first: new submissions are refused
+    /// immediately, queued requests execute to completion, in-flight
+    /// replies are delivered, and every dirty writable shard is
+    /// checkpointed (WAL flushed and truncated) before this returns — a
+    /// clean shutdown followed by a restart loses nothing.
     pub fn shutdown(self) {
         let Service {
-            shared: _,
+            shared,
             job_tx,
+            completion_tx,
             workers,
+            completions,
             ticker,
             stop,
         } = self;
+        // Refuse new work, then signal loops; workers keep pulling until
+        // the queue is empty (they exit on an idle tick with stop set).
+        shared.accepting.store(false, Ordering::SeqCst);
         stop.store(true, Ordering::SeqCst);
         drop(job_tx);
         for w in workers {
             let _ = w.join();
         }
+        drop(completion_tx);
+        for c in completions {
+            let _ = c.join();
+        }
         if let Some(t) = ticker {
             let _ = t.join();
         }
+        // Final checkpoints: anything appended since the last checkpoint
+        // becomes part of the image and the logs reset, so the next start
+        // recovers without replay. Read-only shards are left untouched —
+        // their durable prefix on disk is already the best truth we have.
+        if let Some(d) = &shared.durable {
+            let shards: Vec<(String, Arc<Shard>)> = shared
+                .shards
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), Arc::clone(v)))
+                .collect();
+            for (name, shard) in shards {
+                let mut st = shard.state.write();
+                if st.read_only {
+                    continue;
+                }
+                if st.wal.as_ref().is_some_and(|w| !w.is_empty()) {
+                    let _ = checkpoint_shard(d, &shared.cfg.faults, &shared.metrics, &name, &mut st);
+                }
+            }
+        }
     }
+}
+
+/// Prepare the durable files for a brand-new incarnation of database
+/// `name`: write its checkpoint image and reset its log to empty.
+/// Caller holds the shard-map write lock, so no two incarnations race.
+fn fresh_durable_db(
+    d: &Durability,
+    shared: &Shared,
+    name: &str,
+    doem: &DoemDatabase,
+) -> std::io::Result<DbWal> {
+    if shared.cfg.faults.check(FaultPoint::Checkpoint).is_some() {
+        Metrics::bump(&shared.metrics.faults_injected);
+        return Err(Faults::injected_error(FaultPoint::Checkpoint));
+    }
+    d.store
+        .save_doem(name, doem)
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    Metrics::bump(&shared.metrics.checkpoints);
+    DbWal::open(d.wal_path(name), 0)
+}
+
+/// Recover every database found under the WAL directory: load its
+/// checkpoint, replay the usable log tail through [`apply_set`], truncate
+/// anything past the durable prefix, and install the shard.
+fn recover_all(
+    d: &Durability,
+    cfg: &ServeConfig,
+    metrics: &Metrics,
+    shards: &mut HashMap<String, Arc<Shard>>,
+) -> std::io::Result<()> {
+    let names = d
+        .store
+        .names()
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    for stem in names {
+        let doem = d
+            .store
+            .load_doem(&stem)
+            .map_err(|e| std::io::Error::other(format!("checkpoint {stem:?}: {e}")))?;
+        let name = doem.name().to_string();
+        let wal_path = d.wal_path(&name);
+        let (doem, replica, last_at, applied, good_len, torn) = recover_one(doem, &wal_path)?;
+        let mut wal = DbWal::open(&wal_path, good_len)?;
+        wal.since_checkpoint = applied;
+        metrics.recoveries.fetch_add(1, Ordering::Relaxed);
+        if torn {
+            metrics.torn_tails.fetch_add(1, Ordering::Relaxed);
+        }
+        let shard = Arc::new(Shard::new(
+            doem,
+            replica,
+            cfg.cache_capacity,
+            Some(wal),
+            last_at,
+        ));
+        shards.insert(name, shard);
+    }
+    Ok(())
+}
+
+/// Replay one database's log tail onto its checkpoint. Returns the
+/// recovered graphs, the timestamp high-water mark, how many entries were
+/// applied, the byte length of the durable prefix, and whether anything
+/// past it had to be discarded.
+#[allow(clippy::type_complexity)]
+fn recover_one(
+    checkpoint: DoemDatabase,
+    wal_path: &Path,
+) -> std::io::Result<(DoemDatabase, OemDatabase, Timestamp, u64, u64, bool)> {
+    let ckpt_max = checkpoint
+        .timestamps()
+        .last()
+        .copied()
+        .unwrap_or(Timestamp::NEG_INFINITY);
+    let replayed = wal::replay(wal_path)?;
+    // First pass: how many leading entries apply cleanly? Entries at or
+    // before the checkpoint's high-water mark are already inside the
+    // image (a crash landed between checkpoint save and log truncation)
+    // and are skipped, not re-applied.
+    let usable = {
+        let mut doem = checkpoint.clone();
+        let mut replica = current_snapshot(&doem);
+        let mut n = 0usize;
+        for (at, changes) in &replayed.entries {
+            if *at <= ckpt_max || apply_set(&mut doem, &mut replica, changes, *at).is_ok() {
+                n += 1;
+            } else {
+                break;
+            }
+        }
+        n
+    };
+    // Second pass: rebuild from the pristine checkpoint with exactly the
+    // usable prefix (the first pass may have half-applied the entry it
+    // stopped on).
+    let mut doem = checkpoint;
+    let mut replica = current_snapshot(&doem);
+    let mut last_at = ckpt_max;
+    let mut applied = 0u64;
+    let mut good_len = 0u64;
+    for (at, changes) in &replayed.entries[..usable] {
+        if *at > ckpt_max {
+            apply_set(&mut doem, &mut replica, changes, *at)
+                .expect("prefix validated by the first pass");
+            last_at = *at;
+            applied += 1;
+        }
+        good_len += wal::encode_record(*at, changes).len() as u64;
+    }
+    let torn = replayed.torn || usable < replayed.entries.len();
+    Ok((doem, replica, last_at, applied, good_len, torn))
+}
+
+/// Checkpoint one shard: save its DOEM image (atomic tmp + rename through
+/// the lore store), then truncate its log. Caller holds the shard's write
+/// lock. On failure the log is left intact — nothing durable is lost, the
+/// log just keeps growing until a later checkpoint succeeds.
+fn checkpoint_shard(
+    d: &Durability,
+    faults: &Faults,
+    metrics: &Metrics,
+    name: &str,
+    st: &mut ShardState,
+) -> std::io::Result<()> {
+    if faults.check(FaultPoint::Checkpoint).is_some() {
+        Metrics::bump(&metrics.faults_injected);
+        return Err(Faults::injected_error(FaultPoint::Checkpoint));
+    }
+    d.store
+        .save_doem(name, &st.doem)
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    if let Some(wal) = &mut st.wal {
+        wal.truncate()?;
+    }
+    Metrics::bump(&metrics.checkpoints);
+    Ok(())
 }
 
 /// An in-process session handle. Cloning is cheap; every clone shares the
@@ -311,6 +635,7 @@ impl Service {
 pub struct Client {
     pub(crate) shared: Arc<Shared>,
     tx: Sender<Job>,
+    completion_tx: Sender<CompletionJob>,
 }
 
 /// An in-flight request: the submission half has already happened (with
@@ -413,6 +738,13 @@ impl Client {
         Metrics::bump(&m.requests);
         Metrics::bump(if req.is_read() { &m.reads } else { &m.writes });
         let started = Instant::now();
+        if !self.shared.accepting.load(Ordering::SeqCst) {
+            return PendingReply::ready(
+                Arc::clone(&self.shared),
+                started,
+                Response::err(ErrKind::Internal, "service is shutting down"),
+            );
+        }
         let (reply_tx, reply_rx) = channel::bounded(1);
         let job = Job {
             req,
@@ -436,6 +768,23 @@ impl Client {
         }
     }
 
+    /// Hand a tagged in-flight request to the service's completion pool,
+    /// which waits it out and forwards the tagged response to `out`. If
+    /// the pool is gone (service shut down) the wait happens inline, so
+    /// the response is never dropped.
+    pub(crate) fn complete(
+        &self,
+        tag: String,
+        pending: PendingReply,
+        out: Sender<(Option<String>, Response)>,
+    ) {
+        if let Err(channel::SendError(job)) =
+            self.completion_tx.send(CompletionJob { tag, pending, out })
+        {
+            let _ = job.out.send((Some(job.tag), job.pending.wait()));
+        }
+    }
+
     /// Convenience: run a query and return its canonical row strings.
     pub fn query(&self, db: &str, text: &str) -> Result<Vec<String>, (ErrKind, String)> {
         match self.request_line(&format!("QUERY {db} {text}")) {
@@ -448,9 +797,6 @@ impl Client {
 
 fn worker_loop(shared: &Shared, rx: &Receiver<Job>, stop: &AtomicBool) {
     loop {
-        if stop.load(Ordering::SeqCst) {
-            return;
-        }
         match rx.recv_timeout(Duration::from_millis(50)) {
             Ok(job) => {
                 shared.metrics.queue.record(job.enqueued.elapsed());
@@ -458,7 +804,29 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>, stop: &AtomicBool) {
                 // The session may have timed out and gone; that's fine.
                 let _ = job.reply.send(resp);
             }
-            Err(RecvTimeoutError::Timeout) => continue,
+            // An idle tick with the stop flag set means the queue has
+            // drained — shutdown processes everything already admitted.
+            Err(RecvTimeoutError::Timeout) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn completion_loop(rx: &Receiver<CompletionJob>, stop: &AtomicBool) {
+    loop {
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(job) => {
+                let _ = job.out.send((Some(job.tag), job.pending.wait()));
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
             Err(RecvTimeoutError::Disconnected) => return,
         }
     }
@@ -526,6 +894,99 @@ fn cached_query(
     }
 }
 
+/// Commit one change set to a shard the WAL-first way. Caller holds the
+/// shard's write lock and has already compiled/validated the request
+/// shape; this function owns the durability contract:
+///
+/// 1. read-only shards refuse immediately ([`ErrKind::ReadOnly`]);
+/// 2. durable shards enforce strictly increasing change timestamps
+///    (Definition 2.2 — the log *is* a history);
+/// 3. the record is appended and fsynced **before** the in-memory apply;
+///    an append failure flips the shard read-only without touching state;
+/// 4. an in-memory rejection after a successful append rewinds the log,
+///    so memory and disk never disagree;
+/// 5. every `checkpoint_every` appends, the shard is checkpointed and its
+///    log truncated (failure is tolerated: the log just keeps growing).
+///
+/// Returns the new shard generation, or the error response to send.
+fn commit_changes(
+    shared: &Shared,
+    shard: &Shard,
+    db: &str,
+    st: &mut ShardState,
+    changes: &ChangeSet,
+    at: Timestamp,
+) -> Result<u64, Response> {
+    if st.read_only {
+        return Err(Response::err(
+            ErrKind::ReadOnly,
+            format!("database {db:?} is read-only after a log I/O failure"),
+        ));
+    }
+    let wal_pos = match &mut st.wal {
+        Some(wal) => {
+            if at <= st.last_at {
+                return Err(Response::err(
+                    ErrKind::Conflict,
+                    format!(
+                        "change set rejected: timestamp {at} is not after {} \
+                         (durable histories are strictly time-ordered)",
+                        st.last_at
+                    ),
+                ));
+            }
+            let pos = wal.len();
+            if let Err(e) = wal.append(at, changes, &shared.cfg.faults, &shared.metrics) {
+                st.read_only = true;
+                Metrics::bump(&shared.metrics.read_only_flips);
+                return Err(Response::err(
+                    ErrKind::Io,
+                    format!("log append failed ({e}); database {db:?} is now read-only"),
+                ));
+            }
+            Some(pos)
+        }
+        None => None,
+    };
+    let t = Instant::now();
+    if st.doem.is_shared() || st.replica.is_shared() {
+        Metrics::bump(&shared.metrics.cow_clones);
+    }
+    let ShardState { doem, replica, .. } = &mut *st;
+    let outcome = apply_set(doem.make_mut(), replica.make_mut(), changes, at);
+    shared.metrics.exec.record(t.elapsed());
+    match outcome {
+        Ok(()) => {
+            st.last_at = at;
+            let g = Shard::bump(st, &shard.cache);
+            shared.bump_global();
+            if let Some(d) = &shared.durable {
+                let due = d.checkpoint_every > 0
+                    && st
+                        .wal
+                        .as_ref()
+                        .is_some_and(|w| w.since_checkpoint >= d.checkpoint_every);
+                if due {
+                    let _ = checkpoint_shard(d, &shared.cfg.faults, &shared.metrics, db, st);
+                }
+            }
+            Ok(g)
+        }
+        Err(e) => {
+            if let (Some(pos), Some(wal)) = (wal_pos, &mut st.wal) {
+                if wal.rewind(pos).is_err() {
+                    st.read_only = true;
+                    Metrics::bump(&shared.metrics.read_only_flips);
+                }
+            }
+            Err(Response::err(
+                ErrKind::Conflict,
+                format!("change set rejected: {e}"),
+            ))
+        }
+    }
+}
+
 /// Execute one request. Queries resolve their shard, snapshot it, and
 /// evaluate lock-free; writes take only their own shard's write lock;
 /// QSS/registry requests take the control lock.
@@ -533,7 +994,17 @@ pub(crate) fn execute(shared: &Shared, req: Request) -> Response {
     match req {
         Request::Ping => Response::Ok("pong".into()),
         Request::Quit => Response::Ok("bye".into()),
-        Request::Stats => Response::Rows(shared.metrics.render()),
+        Request::Stats => {
+            let mut rows = shared.metrics.render();
+            let read_only = shared
+                .shards
+                .read()
+                .values()
+                .filter(|s| s.state.read().read_only)
+                .count();
+            rows.push(format!("gauge read_only_shards {read_only}"));
+            Response::Rows(rows)
+        }
         Request::Generation { db: None } => {
             Response::Ok(shared.global_gen.load(Ordering::Relaxed).to_string())
         }
@@ -557,9 +1028,30 @@ pub(crate) fn execute(shared: &Shared, req: Request) -> Response {
             }
             let initial = OemDatabase::new(db.clone());
             let doem = DoemDatabase::from_snapshot(&initial);
+            // Durable prep under the map lock (see `fresh_durable_db`):
+            // checkpoint the empty image so the database exists across a
+            // crash from the moment CREATE is acknowledged.
+            let wal = match &shared.durable {
+                Some(d) => match fresh_durable_db(d, shared, &db, &doem) {
+                    Ok(wal) => Some(wal),
+                    Err(e) => {
+                        return Response::err(
+                            ErrKind::Io,
+                            format!("create not durable ({e}); nothing installed"),
+                        )
+                    }
+                },
+                None => None,
+            };
             shards.insert(
                 db.clone(),
-                Arc::new(Shard::new(doem, initial, shared.cfg.cache_capacity)),
+                Arc::new(Shard::new(
+                    doem,
+                    initial,
+                    shared.cfg.cache_capacity,
+                    wal,
+                    Timestamp::NEG_INFINITY,
+                )),
             );
             drop(shards);
             let g = shared.bump_global();
@@ -585,8 +1077,33 @@ pub(crate) fn execute(shared: &Shared, req: Request) -> Response {
             match store.load_doem(&db) {
                 Ok(doem) => {
                     let replica = current_snapshot(&doem);
-                    let shard = Arc::new(Shard::new(doem, replica, shared.cfg.cache_capacity));
-                    shared.shards.write().insert(db.clone(), shard);
+                    let last_at = doem
+                        .timestamps()
+                        .last()
+                        .copied()
+                        .unwrap_or(Timestamp::NEG_INFINITY);
+                    let mut shards = shared.shards.write();
+                    let wal = match &shared.durable {
+                        Some(d) => match fresh_durable_db(d, shared, &db, &doem) {
+                            Ok(wal) => Some(wal),
+                            Err(e) => {
+                                return Response::err(
+                                    ErrKind::Io,
+                                    format!("load not durable ({e}); nothing installed"),
+                                )
+                            }
+                        },
+                        None => None,
+                    };
+                    let shard = Arc::new(Shard::new(
+                        doem,
+                        replica,
+                        shared.cfg.cache_capacity,
+                        wal,
+                        last_at,
+                    ));
+                    shards.insert(db.clone(), shard);
+                    drop(shards);
                     let g = shared.bump_global();
                     Response::Ok(format!("loaded {db}; generation {g}"))
                 }
@@ -652,20 +1169,11 @@ pub(crate) fn execute(shared: &Shared, req: Request) -> Response {
                 return not_found("database", &db);
             };
             let mut st = shard.state.write();
-            let t = Instant::now();
-            if st.doem.is_shared() || st.replica.is_shared() {
-                Metrics::bump(&shared.metrics.cow_clones);
-            }
-            let ShardState { doem, replica, .. } = &mut *st;
-            let outcome = apply_set(doem.make_mut(), replica.make_mut(), &changes, at);
-            shared.metrics.exec.record(t.elapsed());
-            match outcome {
-                Ok(()) => {
-                    let g = Shard::bump(&mut st, &shard.cache);
-                    shared.bump_global();
+            match commit_changes(shared, &shard, &db, &mut st, &changes, at) {
+                Ok(g) => {
                     Response::Ok(format!("applied {} ops at {at}; generation {g}", changes.len()))
                 }
-                Err(e) => Response::err(ErrKind::Conflict, format!("change set rejected: {e}")),
+                Err(resp) => resp,
             }
         }
         Request::Mutate { db, at, stmt } => {
@@ -681,23 +1189,13 @@ pub(crate) fn execute(shared: &Shared, req: Request) -> Response {
                     return Response::err(ErrKind::Conflict, format!("update rejected: {e}"));
                 }
             };
-            if st.doem.is_shared() || st.replica.is_shared() {
-                Metrics::bump(&shared.metrics.cow_clones);
-            }
-            let ShardState { doem, replica, .. } = &mut *st;
-            let outcome = apply_set(doem.make_mut(), replica.make_mut(), &compiled.changes, at);
-            shared.metrics.exec.record(t.elapsed());
-            match outcome {
-                Ok(()) => {
-                    let g = Shard::bump(&mut st, &shard.cache);
-                    shared.bump_global();
-                    Response::Ok(format!(
-                        "applied {} ops ({} created) at {at}; generation {g}",
-                        compiled.changes.len(),
-                        compiled.created.len()
-                    ))
-                }
-                Err(e) => Response::err(ErrKind::Conflict, format!("change set rejected: {e}")),
+            match commit_changes(shared, &shard, &db, &mut st, &compiled.changes, at) {
+                Ok(g) => Response::Ok(format!(
+                    "applied {} ops ({} created) at {at}; generation {g}",
+                    compiled.changes.len(),
+                    compiled.created.len()
+                )),
+                Err(resp) => resp,
             }
         }
         Request::Define { program } => {
@@ -816,6 +1314,7 @@ mod tests {
             panic!("STATS must return rows")
         };
         assert!(stats.iter().any(|l| l.starts_with("counter requests ")));
+        assert!(stats.iter().any(|l| l == "gauge read_only_shards 0"));
         svc.shutdown();
     }
 
@@ -1028,6 +1527,51 @@ mod tests {
         assert!(!c2.request_line("LOAD guide").is_error());
         let rows_after = c2.query("guide", "select guide.restaurant").unwrap();
         assert_eq!(rows_before, rows_after);
+        svc2.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shutdown_drains_already_queued_writes() {
+        let dir = std::env::temp_dir().join(format!(
+            "serve-drain-{}-{:?}",
+            std::process::id(),
+            thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let svc = Service::start(ServeConfig {
+            workers: 1,
+            queue_depth: 64,
+            wal_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let c = svc.client();
+        assert!(!c.request_line("CREATE d").is_error());
+        // Queue a burst of writes without waiting for any reply, then
+        // shut down: every admitted write must still execute and become
+        // durable.
+        let mut pendings = Vec::new();
+        for i in 0..20 {
+            let (_, p) = c.begin_line(&format!(
+                "UPDATE d AT 2Jan97 {}:{:02}pm ; {{creNode(n{}, {i}), addArc(n1, item, n{})}}",
+                1 + i / 60,
+                i % 60,
+                100 + i,
+                100 + i
+            ));
+            pendings.push(p);
+        }
+        svc.shutdown();
+        drop(pendings);
+
+        let svc2 = Service::start(ServeConfig {
+            wal_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let rows = svc2.client().query("d", "select d.item").unwrap();
+        assert_eq!(rows.len(), 20, "a drained shutdown must lose nothing");
         svc2.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -10,18 +10,29 @@
 //! socket as they complete. Requests tagged `#<id>` complete out of order
 //! (the tag comes back on the response's first line); untagged requests
 //! keep the classic contract — the reader blocks on each one, so their
-//! responses return in submission order.
+//! responses return in submission order. Tagged waits run on the
+//! service's fixed **completion pool**, not a thread per request, so a
+//! flood of deeply pipelined sessions cannot exhaust threads (the pool
+//! plus admission control bound everything).
 
 use crate::metrics::Metrics;
-use crate::protocol::Response;
+use crate::protocol::{parse_tagged_request, Request, Response};
 use crate::service::{Client, Service};
 use crossbeam::channel;
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
+
+/// Live session sockets, so [`TcpHandle::stop`] can sever them — a
+/// stopped endpoint must look to clients like a server that went away,
+/// not one that silently stopped listening. Sessions deregister
+/// themselves when they end.
+type SessionRegistry = Arc<Mutex<HashMap<u64, TcpStream>>>;
 
 /// Handle on a listening TCP endpoint. Dropping it does *not* stop the
 /// listener; call [`TcpHandle::stop`].
@@ -29,6 +40,7 @@ pub struct TcpHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
+    sessions: SessionRegistry,
 }
 
 impl TcpHandle {
@@ -37,12 +49,16 @@ impl TcpHandle {
         self.addr
     }
 
-    /// Stop accepting and join the accept loop. Connections already
-    /// handed to session threads drain on their own.
+    /// Stop accepting, join the accept loop, and close every open
+    /// session socket — connected clients observe a connection reset /
+    /// EOF, exactly as if the server process had exited.
     pub fn stop(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(t) = self.accept.take() {
             let _ = t.join();
+        }
+        for (_, stream) in self.sessions.lock().drain() {
+            let _ = stream.shutdown(Shutdown::Both);
         }
     }
 }
@@ -54,18 +70,21 @@ impl Service {
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let sessions: SessionRegistry = Arc::new(Mutex::new(HashMap::new()));
         let loop_stop = Arc::clone(&stop);
+        let loop_sessions = Arc::clone(&sessions);
         let service_stop = Arc::clone(&self.stop);
         let client = self.client();
         let accept = thread::Builder::new()
             .name("serve-accept".into())
             .spawn(move || {
-                accept_loop(&listener, &client, &loop_stop, &service_stop);
+                accept_loop(&listener, &client, &loop_stop, &service_stop, &loop_sessions);
             })?;
         Ok(TcpHandle {
             addr: local,
             stop,
             accept: Some(accept),
+            sessions,
         })
     }
 }
@@ -75,16 +94,24 @@ fn accept_loop(
     client: &Client,
     stop: &AtomicBool,
     service_stop: &AtomicBool,
+    sessions: &SessionRegistry,
 ) {
+    let next_id = AtomicU64::new(0);
     while !stop.load(Ordering::SeqCst) && !service_stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
                 Metrics::bump(&client.shared.metrics.sessions);
                 let session = client.clone();
+                let id = next_id.fetch_add(1, Ordering::Relaxed);
+                if let Ok(clone) = stream.try_clone() {
+                    sessions.lock().insert(id, clone);
+                }
+                let registry = Arc::clone(sessions);
                 let _ = thread::Builder::new()
                     .name("serve-session".into())
                     .spawn(move || {
                         let _ = serve_connection(stream, &session);
+                        registry.lock().remove(&id);
                     });
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -112,13 +139,11 @@ fn is_quit(line: &str) -> bool {
 /// at EOF, on a write error, or after `QUIT`.
 ///
 /// The reader submits each request through [`Client::begin_line`] and —
-/// for tagged requests — hands the wait to a short-lived waiter thread,
+/// for tagged requests — hands the wait to the service's completion pool,
 /// so later requests execute while earlier ones are still in flight. All
-/// frames funnel through one writer thread; in-flight tagged responses
-/// drain before the connection closes. Concurrent waiters are bounded by
-/// the service's queue depth plus worker count (anything beyond that is
-/// rejected `BUSY` at submission, and no waiter outlives the request
-/// timeout).
+/// frames funnel through one writer thread, which exits once every
+/// response sender is gone — i.e. after in-flight tagged responses have
+/// drained — so joining it is the connection's drain barrier.
 fn serve_connection(stream: TcpStream, client: &Client) -> std::io::Result<()> {
     stream.set_nonblocking(false)?;
     let mut writer = stream.try_clone()?;
@@ -138,7 +163,6 @@ fn serve_connection(stream: TcpStream, client: &Client) -> std::io::Result<()> {
             }
         })?;
 
-    let mut waiters = Vec::new();
     for line in reader.lines() {
         let line = line?;
         if line.trim().is_empty() {
@@ -153,58 +177,184 @@ fn serve_connection(stream: TcpStream, client: &Client) -> std::io::Result<()> {
                     break;
                 }
             }
-            Some(tag) => {
-                let tx = resp_tx.clone();
-                match thread::Builder::new()
-                    .name("serve-session-waiter".into())
-                    .spawn(move || {
-                        let _ = tx.send((Some(tag), pending.wait()));
-                    }) {
-                    Ok(handle) => waiters.push(handle),
-                    Err(_) => break,
-                }
-            }
+            // Tagged: the completion pool waits it out and forwards the
+            // tagged frame; the job holds its own resp_tx clone, which
+            // keeps the writer alive until the response is delivered.
+            Some(tag) => client.complete(tag, pending, resp_tx.clone()),
         }
         if quit {
             break;
         }
     }
-    // Let in-flight tagged responses drain, then release the writer.
-    for w in waiters {
-        let _ = w.join();
-    }
+    // Release our sender; the writer exits after the last in-flight
+    // completion job delivers its response and drops its clone.
     drop(resp_tx);
     let _ = writer_thread.join();
     Ok(())
 }
 
+/// Reconnect-and-retry policy for [`WireClient`]: how many times to retry
+/// an **idempotent** request after a connection-level failure, backing
+/// off exponentially (`initial`, doubling, capped at `max`) between
+/// attempts. Non-idempotent requests (writes) are never retried — a reset
+/// mid-write is undecidable and must surface to the caller.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retry attempts after the initial failure (0 disables retrying).
+    pub attempts: u32,
+    /// Backoff before the first retry.
+    pub initial: Duration,
+    /// Backoff ceiling.
+    pub max: Duration,
+}
+
+impl RetryPolicy {
+    /// Never retry — the default.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 0,
+            initial: Duration::ZERO,
+            max: Duration::ZERO,
+        }
+    }
+
+    /// A sensible default for riding out a server restart: `attempts`
+    /// retries starting at 20ms and doubling up to 500ms.
+    pub fn restarts(attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            attempts,
+            initial: Duration::from_millis(20),
+            max: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Whether an I/O failure suggests the connection (not the request)
+/// failed — the cases reconnecting can cure.
+fn is_connection_failure(e: &std::io::Error) -> bool {
+    use std::io::ErrorKind as K;
+    matches!(
+        e.kind(),
+        K::ConnectionReset
+            | K::ConnectionAborted
+            | K::ConnectionRefused
+            | K::BrokenPipe
+            | K::UnexpectedEof
+            | K::NotConnected
+    )
+}
+
+/// Whether a request line is safe to resend: it parses and takes the
+/// read-only path, excluding `SAVE` (which, though repeatable, performs
+/// storage writes the caller should see fail).
+fn is_idempotent(line: &str) -> bool {
+    match parse_tagged_request(line) {
+        (_, Ok(req)) => req.is_read() && !matches!(req, Request::Save { .. }),
+        (_, Err(_)) => false,
+    }
+}
+
 /// A minimal synchronous wire client: connect, send a line, read a frame.
 /// Used by the test suite and handy for scripting against `doem-serve`.
+///
+/// Optionally resilient: [`WireClient::set_timeout`] bounds every send and
+/// receive, and [`WireClient::set_retry`] makes [`WireClient::roundtrip`]
+/// reconnect and resend **idempotent** requests after a connection-level
+/// failure, so a restarting server is transparent to readers.
 pub struct WireClient {
+    addrs: Vec<SocketAddr>,
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    timeout: Option<Duration>,
+    retry: RetryPolicy,
 }
 
 impl WireClient {
-    /// Connect to a listening service.
+    /// Connect to a listening service (no timeout, no retries).
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<WireClient> {
-        let stream = TcpStream::connect(addr)?;
-        let writer = stream.try_clone()?;
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let (reader, writer) = WireClient::dial(&addrs, None)?;
         Ok(WireClient {
-            reader: BufReader::new(stream),
+            addrs,
+            reader,
             writer,
+            timeout: None,
+            retry: RetryPolicy::none(),
         })
     }
 
-    /// Send one request line and read the matching response frame.
+    fn dial(
+        addrs: &[SocketAddr],
+        timeout: Option<Duration>,
+    ) -> std::io::Result<(BufReader<TcpStream>, TcpStream)> {
+        let stream = TcpStream::connect(addrs)?;
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+        let writer = stream.try_clone()?;
+        Ok((BufReader::new(stream), writer))
+    }
+
+    /// Bound every subsequent send and receive (`None` blocks forever).
+    /// A request that overruns surfaces as a `WouldBlock`/`TimedOut`
+    /// I/O error.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        let stream = self.reader.get_ref();
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+        self.timeout = timeout;
+        Ok(())
+    }
+
+    /// Set the reconnect-and-retry policy for [`WireClient::roundtrip`].
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Send one request line and read the matching response frame. With a
+    /// [`RetryPolicy`] set, a connection-level failure on an idempotent
+    /// (read-only) request reconnects and resends with exponential
+    /// backoff; writes always surface the first failure.
     pub fn roundtrip(&mut self, line: &str) -> std::io::Result<Response> {
+        let first = match self.try_roundtrip(line) {
+            Ok(resp) => return Ok(resp),
+            Err(e) => e,
+        };
+        if self.retry.attempts == 0 || !is_connection_failure(&first) || !is_idempotent(line) {
+            return Err(first);
+        }
+        let mut last = first;
+        let mut backoff = self.retry.initial;
+        for _ in 0..self.retry.attempts {
+            thread::sleep(backoff);
+            backoff = (backoff * 2).min(self.retry.max);
+            match WireClient::dial(&self.addrs, self.timeout) {
+                Ok((reader, writer)) => {
+                    self.reader = reader;
+                    self.writer = writer;
+                }
+                Err(e) => {
+                    last = e;
+                    continue;
+                }
+            }
+            match self.try_roundtrip(line) {
+                Ok(resp) => return Ok(resp),
+                Err(e) if is_connection_failure(&e) => last = e,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+
+    fn try_roundtrip(&mut self, line: &str) -> std::io::Result<Response> {
         self.send(line)?;
         Ok(self.recv()?.1)
     }
 
     /// Send one request line without waiting for the response. Tag lines
     /// with `#<id> ` to pipeline; responses then come back via
-    /// [`WireClient::recv`] in completion order.
+    /// [`WireClient::recv`] in completion order. Never retries — resending
+    /// pipelined traffic is the caller's call.
     pub fn send(&mut self, line: &str) -> std::io::Result<()> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
@@ -299,5 +449,71 @@ mod tests {
         assert!(svc.metrics().sessions.load(Ordering::Relaxed) >= 4);
         handle.stop();
         svc.shutdown();
+    }
+
+    #[test]
+    fn deep_pipelining_uses_the_pool_not_a_thread_per_request() {
+        // 64 tagged requests over one connection with a 2-thread pool:
+        // everything completes and every tag comes back exactly once.
+        let svc = Service::start(ServeConfig {
+            completion_threads: 2,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        svc.install(&guide_figure2(), &history_example_2_3()).unwrap();
+        let handle = svc.listen("127.0.0.1:0").unwrap();
+        let mut wire = WireClient::connect(handle.addr()).unwrap();
+        for i in 0..64 {
+            wire.send(&format!("#t{i} QUERY guide select guide.restaurant"))
+                .unwrap();
+        }
+        let mut seen: Vec<String> = (0..64).map(|_| wire.recv().unwrap().0.unwrap()).collect();
+        seen.sort();
+        let mut want: Vec<String> = (0..64).map(|i| format!("t{i}")).collect();
+        want.sort();
+        assert_eq!(seen, want);
+        handle.stop();
+        svc.shutdown();
+    }
+
+    #[test]
+    fn idempotent_roundtrips_survive_a_server_restart() {
+        let svc = Service::start(ServeConfig::default()).unwrap();
+        svc.install(&guide_figure2(), &history_example_2_3()).unwrap();
+        let handle = svc.listen("127.0.0.1:0").unwrap();
+        let addr = handle.addr();
+
+        let mut wire = WireClient::connect(addr).unwrap();
+        wire.set_timeout(Some(Duration::from_secs(5))).unwrap();
+        wire.set_retry(RetryPolicy::restarts(50));
+        let before = wire
+            .roundtrip("QUERY guide select guide.restaurant")
+            .unwrap();
+
+        // Tear the whole service down, then bring a fresh one up on the
+        // same port while the client retries in another thread.
+        handle.stop();
+        svc.shutdown();
+        let retrier = thread::spawn(move || {
+            let resp = wire.roundtrip("QUERY guide select guide.restaurant");
+            (wire, resp)
+        });
+        thread::sleep(Duration::from_millis(100));
+        let svc2 = Service::start(ServeConfig::default()).unwrap();
+        svc2.install(&guide_figure2(), &history_example_2_3()).unwrap();
+        let handle2 = svc2.listen(addr).expect("rebind the same port");
+        let (mut wire, resp) = retrier.join().unwrap();
+        assert_eq!(resp.unwrap(), before, "reader rides out the restart");
+
+        // A write must NOT be silently retried: with the server up it
+        // simply works, so instead check the classifier directly.
+        assert!(!is_idempotent("UPDATE guide AT 1Mar97 9:00am ; {updNode(n1, 5)}"));
+        assert!(!is_idempotent("SAVE guide"));
+        assert!(is_idempotent("#x QUERY guide select guide.restaurant"));
+        assert!(is_idempotent("STATS"));
+        let resp = wire.roundtrip("PING").unwrap();
+        assert_eq!(resp, Response::Ok("pong".into()));
+        handle2.stop();
+        svc2.shutdown();
     }
 }

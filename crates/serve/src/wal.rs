@@ -1,0 +1,396 @@
+//! The per-database change-operation write-ahead log.
+//!
+//! The paper's central observation (§3) — a base snapshot `O` plus a
+//! history `H` of timestamped change sets fully determines the database
+//! through the `D(O, H)` construction — is, read operationally, the
+//! recipe for a write-ahead log. Each committed mutation appends one
+//! record to `<db>.wal`; recovery loads the latest checkpoint (a DOEM
+//! image saved through [`lore::LoreStore`], exactly the Section 5.1
+//! encoding `SAVE` uses) and replays the log tail through
+//! [`doem::apply_set`] — the *same* code path that executed the writes
+//! the first time.
+//!
+//! # Record format
+//!
+//! Records use the paper's own textual change-operation notation (the
+//! `Display`/[`oem::parse_history`] round trip), one history entry per
+//! record, framed for crash safety:
+//!
+//! ```text
+//! u32 LE payload length | u32 LE CRC-32 of payload | payload
+//! payload := "(<timestamp>, {op, op, …})\n"      e.g. (1Mar97 9:00am, {updNode(n1, 20)})
+//! ```
+//!
+//! The text is the source of truth — a WAL is inspectable with `cat` and
+//! editable with a text editor plus a reframing pass — while the length
+//! and checksum let recovery distinguish "log ends here" from "log was
+//! torn mid-append". The torn-tail rule: replay stops at the first frame
+//! that is incomplete, fails its checksum, or does not parse; everything
+//! before it is the **durable prefix**, everything from it on is
+//! discarded (and truncated away on reopen, so later appends never chase
+//! garbage bytes).
+//!
+//! Checkpoints: after `checkpoint_every` appends the service saves the
+//! shard's DOEM image (atomic tmp-file + rename, via the lore store) and
+//! only then truncates the log to zero. The crash window between save and
+//! truncate is closed by a timestamp high-water mark: durable shards
+//! enforce the paper's Definition 2.2 (change timestamps strictly
+//! increase), so the timestamp doubles as a log sequence number, and
+//! recovery skips log entries at or before the checkpoint's newest
+//! annotation timestamp instead of double-applying them.
+
+use crate::faults::{FaultMode, FaultPoint, Faults};
+use crate::metrics::Metrics;
+use oem::{parse_history, ChangeSet, Timestamp};
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+
+/// CRC-32 (IEEE 802.3, reflected) of `bytes` — hand-rolled, bitwise;
+/// the WAL's frame checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Render one history entry as a framed WAL record. Exposed so tests can
+/// compute exact record boundaries for crash-point enumeration.
+pub fn encode_record(at: Timestamp, changes: &ChangeSet) -> Vec<u8> {
+    let payload = format!("({at}, {changes})\n").into_bytes();
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// What [`replay`] recovered from a log file.
+#[derive(Debug, Default)]
+pub struct WalReplay {
+    /// The whole-record prefix, in append order.
+    pub entries: Vec<(Timestamp, ChangeSet)>,
+    /// Byte length of that prefix — the offset reopening truncates to.
+    pub good_len: u64,
+    /// Whether bytes past `good_len` existed (a torn or corrupt tail).
+    pub torn: bool,
+}
+
+/// Decode the longest whole-record prefix of a WAL file. A missing file
+/// is an empty log. Never fails on content: any framing, checksum, or
+/// parse defect ends the prefix and marks the replay torn.
+pub fn replay(path: &Path) -> std::io::Result<WalReplay> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(WalReplay::default()),
+        Err(e) => return Err(e),
+    }
+    let mut out = WalReplay::default();
+    let mut offset = 0usize;
+    while offset + 8 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        let end = offset + 8 + len;
+        if end > bytes.len() {
+            break; // incomplete frame: torn mid-append
+        }
+        let want = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        let payload = &bytes[offset + 8..end];
+        if crc32(payload) != want {
+            break; // checksum mismatch: torn or corrupt
+        }
+        let Ok(text) = std::str::from_utf8(payload) else {
+            break;
+        };
+        let Ok(history) = parse_history(text) else {
+            break;
+        };
+        let Some(entry) = history.entries().first() else {
+            break; // empty payload: not a record
+        };
+        if history.len() != 1 {
+            break;
+        }
+        out.entries.push((entry.at, entry.changes.clone()));
+        offset = end;
+        out.good_len = offset as u64;
+    }
+    out.torn = (out.good_len as usize) < bytes.len();
+    Ok(out)
+}
+
+/// The append half of one database's log. Held inside the shard state, so
+/// the shard's write lock serializes appends, rewinds, and truncation.
+#[derive(Debug)]
+pub struct DbWal {
+    path: PathBuf,
+    file: File,
+    /// Records appended since the last checkpoint; drives the service's
+    /// checkpoint-every-N policy.
+    pub since_checkpoint: u64,
+    /// Current byte length (kept to rewind a record whose in-memory
+    /// application was rejected after the append).
+    len: u64,
+}
+
+impl DbWal {
+    /// Open (creating if needed) the log at `path` for appending, first
+    /// truncating it to `keep_len` bytes — the durable prefix a prior
+    /// [`replay`] validated — so appends never follow a torn tail.
+    pub fn open(path: impl AsRef<Path>, keep_len: u64) -> std::io::Result<DbWal> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(&path)?;
+        if file.metadata()?.len() != keep_len {
+            file.set_len(keep_len)?;
+            file.sync_data()?;
+        }
+        Ok(DbWal {
+            path,
+            file,
+            since_checkpoint: 0,
+            len: keep_len,
+        })
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current byte length of the log.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` iff no records are in the log.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one record and fsync it. On success the record is durable
+    /// before the caller applies the change in memory — the write-ahead
+    /// contract. Fault-injection sites: the frame write ([`FaultPoint::WalAppend`],
+    /// honoring short writes) and the fsync ([`FaultPoint::WalFsync`]).
+    pub fn append(
+        &mut self,
+        at: Timestamp,
+        changes: &ChangeSet,
+        faults: &Faults,
+        metrics: &Metrics,
+    ) -> std::io::Result<u64> {
+        let frame = encode_record(at, changes);
+        match faults.check(FaultPoint::WalAppend) {
+            Some(FaultMode::Error) => {
+                Metrics::bump(&metrics.faults_injected);
+                return Err(Faults::injected_error(FaultPoint::WalAppend));
+            }
+            Some(FaultMode::ShortWrite(n)) => {
+                Metrics::bump(&metrics.faults_injected);
+                let n = n.min(frame.len());
+                self.file.write_all(&frame[..n])?;
+                let _ = self.file.sync_data();
+                self.len += n as u64;
+                return Err(Faults::injected_error(FaultPoint::WalAppend));
+            }
+            None => {}
+        }
+        self.file.write_all(&frame)?;
+        self.len += frame.len() as u64;
+        if faults.check(FaultPoint::WalFsync).is_some() {
+            Metrics::bump(&metrics.faults_injected);
+            return Err(Faults::injected_error(FaultPoint::WalFsync));
+        }
+        self.file.sync_data()?;
+        self.since_checkpoint += 1;
+        metrics.wal_appends.fetch_add(1, Ordering::Relaxed);
+        metrics
+            .wal_bytes
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        Ok(frame.len() as u64)
+    }
+
+    /// Cut the log back to `len` bytes — undo of an append whose change
+    /// set was rejected by in-memory application after being logged.
+    pub fn rewind(&mut self, len: u64) -> std::io::Result<()> {
+        self.file.set_len(len)?;
+        self.file.sync_data()?;
+        self.len = len;
+        Ok(())
+    }
+
+    /// Empty the log — the step *after* a successful checkpoint save.
+    pub fn truncate(&mut self) -> std::io::Result<()> {
+        self.rewind(0)?;
+        self.since_checkpoint = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oem::guide::history_example_2_3;
+    use oem::parse_change_set;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!(
+            "serve-wal-{tag}-{}-{:?}.wal",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn ts(s: &str) -> Timestamp {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn append_replay_round_trip() {
+        let path = tmp("rt");
+        let mut wal = DbWal::open(&path, 0).unwrap();
+        let m = Metrics::new();
+        let f = Faults::disabled();
+        for e in history_example_2_3().entries() {
+            wal.append(e.at, &e.changes, &f, &m).unwrap();
+        }
+        let r = replay(&path).unwrap();
+        assert_eq!(r.entries.len(), 3);
+        assert!(!r.torn);
+        assert_eq!(r.good_len, wal.len());
+        for (got, want) in r.entries.iter().zip(history_example_2_3().entries()) {
+            assert_eq!(got.0, want.at);
+            assert_eq!(format!("{}", got.1), format!("{}", want.changes));
+        }
+        assert_eq!(m.wal_appends.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn every_truncation_point_yields_the_longest_whole_prefix() {
+        let path = tmp("cut");
+        let mut wal = DbWal::open(&path, 0).unwrap();
+        let (m, f) = (Metrics::new(), Faults::disabled());
+        let mut boundaries = vec![0u64];
+        for e in history_example_2_3().entries() {
+            wal.append(e.at, &e.changes, &f, &m).unwrap();
+            boundaries.push(wal.len());
+        }
+        let full = std::fs::read(&path).unwrap();
+        for cut in 0..=full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let r = replay(&path).unwrap();
+            let want = boundaries.iter().filter(|&&b| b <= cut as u64).count() - 1;
+            assert_eq!(r.entries.len(), want, "cut at byte {cut}");
+            assert_eq!(r.good_len, boundaries[want], "cut at byte {cut}");
+            assert_eq!(r.torn, (cut as u64) != boundaries[want], "cut at byte {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_byte_ends_the_prefix() {
+        let path = tmp("corrupt");
+        let mut wal = DbWal::open(&path, 0).unwrap();
+        let (m, f) = (Metrics::new(), Faults::disabled());
+        for e in history_example_2_3().entries() {
+            wal.append(e.at, &e.changes, &f, &m).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload byte in the second record.
+        let first = replay(&path).unwrap().entries.len();
+        assert_eq!(first, 3);
+        let second_start = encode_record(
+            history_example_2_3().entries()[0].at,
+            &history_example_2_3().entries()[0].changes,
+        )
+        .len();
+        bytes[second_start + 10] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let r = replay(&path).unwrap();
+        assert_eq!(r.entries.len(), 1);
+        assert!(r.torn);
+    }
+
+    #[test]
+    fn reopen_truncates_torn_tail_before_appending() {
+        let path = tmp("reopen");
+        let mut wal = DbWal::open(&path, 0).unwrap();
+        let (m, f) = (Metrics::new(), Faults::disabled());
+        let h = history_example_2_3();
+        wal.append(h.entries()[0].at, &h.entries()[0].changes, &f, &m).unwrap();
+        let good = wal.len();
+        wal.append(h.entries()[1].at, &h.entries()[1].changes, &f, &m).unwrap();
+        drop(wal);
+        // Tear the second record, reopen keeping only the durable prefix,
+        // then append a fresh record: replay must see records 1 and 3.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 2]).unwrap();
+        let r = replay(&path).unwrap();
+        assert!(r.torn);
+        assert_eq!(r.good_len, good);
+        let mut wal = DbWal::open(&path, r.good_len).unwrap();
+        wal.append(h.entries()[2].at, &h.entries()[2].changes, &f, &m).unwrap();
+        let r = replay(&path).unwrap();
+        assert!(!r.torn);
+        assert_eq!(r.entries.len(), 2);
+        assert_eq!(r.entries[1].0, h.entries()[2].at);
+    }
+
+    #[test]
+    fn rewind_undoes_the_last_record() {
+        let path = tmp("rewind");
+        let mut wal = DbWal::open(&path, 0).unwrap();
+        let (m, f) = (Metrics::new(), Faults::disabled());
+        wal.append(ts("1Jan97"), &parse_change_set("{updNode(n1, 20)}").unwrap(), &f, &m)
+            .unwrap();
+        let keep = wal.len();
+        wal.append(ts("2Jan97"), &parse_change_set("{updNode(n1, 30)}").unwrap(), &f, &m)
+            .unwrap();
+        wal.rewind(keep).unwrap();
+        let r = replay(&path).unwrap();
+        assert_eq!(r.entries.len(), 1);
+        assert!(!r.torn);
+    }
+
+    #[test]
+    fn injected_short_write_leaves_a_torn_tail() {
+        let path = tmp("fault");
+        let mut wal = DbWal::open(&path, 0).unwrap();
+        let m = Metrics::new();
+        let h = history_example_2_3();
+        let f = Faults::fail_nth(FaultPoint::WalAppend, 1, FaultMode::ShortWrite(5), false);
+        wal.append(h.entries()[0].at, &h.entries()[0].changes, &f, &m).unwrap();
+        let err = wal
+            .append(h.entries()[1].at, &h.entries()[1].changes, &f, &m)
+            .unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        assert_eq!(m.faults_injected.load(Ordering::Relaxed), 1);
+        let r = replay(&path).unwrap();
+        assert_eq!(r.entries.len(), 1);
+        assert!(r.torn, "the 5 stray bytes must read as a torn tail");
+    }
+}

@@ -12,6 +12,12 @@ cargo build --release --offline
 echo "==> cargo test -q"
 cargo test -q --offline
 
+echo "==> fault matrix: serve recovery under fixed failpoint seeds"
+for seed in 7 1998 424242; do
+    echo "    SERVE_FAULT_SEED=$seed"
+    SERVE_FAULT_SEED=$seed cargo test -q --offline --test serve_recovery
+done
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

@@ -7,9 +7,16 @@
 //!
 //! ```text
 //! doem-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
-//!            [--store DIR] [--autotick-ms MS] [--tick-minutes M]
+//!            [--store DIR] [--wal DIR] [--checkpoint-every N]
+//!            [--autotick-ms MS] [--tick-minutes M]
 //!            [--translated] [--empty] [--create NAME]...
 //! ```
+//!
+//! With `--wal DIR` the service is durable: every committed mutation is
+//! logged before it is applied, databases found under DIR are recovered
+//! (checkpoint + log replay) on startup — in which case the guide fixture
+//! is only seeded if no recovered database already claims the name — and
+//! a clean shutdown checkpoints everything.
 //!
 //! The wire protocol (including `#<id>` pipelining tags) is specified in
 //! `crates/serve/PROTOCOL.md`.
@@ -21,7 +28,8 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: doem-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\
-         \x20                 [--store DIR] [--autotick-ms MS] [--tick-minutes M]\n\
+         \x20                 [--store DIR] [--wal DIR] [--checkpoint-every N]\n\
+         \x20                 [--autotick-ms MS] [--tick-minutes M]\n\
          \x20                 [--translated] [--empty] [--create NAME]..."
     );
     std::process::exit(2);
@@ -47,6 +55,8 @@ fn main() {
             "--queue" => cfg.queue_depth = parse_num(&val("--queue")),
             "--cache" => cfg.cache_capacity = parse_num(&val("--cache")),
             "--store" => cfg.store_dir = Some(val("--store").into()),
+            "--wal" => cfg.wal_dir = Some(val("--wal").into()),
+            "--checkpoint-every" => cfg.checkpoint_every = parse_num(&val("--checkpoint-every")) as u64,
             "--autotick-ms" => autotick_ms = Some(parse_num(&val("--autotick-ms")) as u64),
             "--tick-minutes" => tick_minutes = parse_num(&val("--tick-minutes")) as i64,
             "--translated" => cfg.strategy = chorel::Strategy::Translated,
@@ -73,7 +83,14 @@ fn main() {
             std::process::exit(1);
         }
     };
-    if seed_guide {
+    let recovered = svc.database_names();
+    if !recovered.is_empty() {
+        println!("doem-serve: recovered {}", recovered.join(", "));
+    }
+    // Seed the paper fixture unless told not to — or unless recovery
+    // already brought back a database named "guide" (overwriting a
+    // recovered database with the fixture would destroy durable state).
+    if seed_guide && !recovered.iter().any(|n| n == "guide") {
         svc.install(
             &oem::guide::guide_figure2(),
             &oem::guide::history_example_2_3(),
