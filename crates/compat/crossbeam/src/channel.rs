@@ -2,6 +2,7 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::panic::Location;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -135,18 +136,23 @@ struct Chan<T> {
     capacity: Option<usize>,
     not_empty: Condvar,
     not_full: Condvar,
+    /// Creation site, reported by the sanitizer's channel-leak check.
+    site: &'static Location<'static>,
 }
 
 /// Create an unbounded channel.
+#[track_caller]
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
     with_capacity(None)
 }
 
 /// Create a bounded channel holding at most `cap` queued messages.
+#[track_caller]
 pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
     with_capacity(Some(cap))
 }
 
+#[track_caller]
 fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
     let chan = Arc::new(Chan {
         state: Mutex::new(State {
@@ -157,6 +163,7 @@ fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         capacity,
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
+        site: Location::caller(),
     });
     (
         Sender {
@@ -242,9 +249,18 @@ impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
         let mut st = self.chan.state.lock().expect("channel lock");
         st.senders -= 1;
+        let orphaned = st.senders == 0 && st.receivers == 0;
+        let queued = st.queue.len();
         if st.senders == 0 {
             drop(st);
             self.chan.not_empty.notify_all();
+        } else {
+            drop(st);
+        }
+        // Last endpoint of any kind gone with messages still queued: the
+        // work in the queue can never be received.
+        if orphaned && sanitizer::enabled() {
+            sanitizer::on_channel_closed(queued, self.chan.site);
         }
     }
 }
@@ -353,9 +369,16 @@ impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
         let mut st = self.chan.state.lock().expect("channel lock");
         st.receivers -= 1;
+        let orphaned = st.senders == 0 && st.receivers == 0;
+        let queued = st.queue.len();
         if st.receivers == 0 {
             drop(st);
             self.chan.not_full.notify_all();
+        } else {
+            drop(st);
+        }
+        if orphaned && sanitizer::enabled() {
+            sanitizer::on_channel_closed(queued, self.chan.site);
         }
     }
 }

@@ -6,28 +6,42 @@
 //! — exactly `parking_lot`'s observable behavior, minus its performance
 //! tricks, which no test in this workspace depends on.
 //!
+//! Because every lock in the workspace passes through this crate, it doubles
+//! as the instrumentation point for the [`sanitizer`] crate: when
+//! `DOEM_SANITIZE=1`, each blocking acquisition records held-lock sets into
+//! a global lock-order graph (cycle = potential deadlock), a write-acquire
+//! while the same thread holds a read guard on the same `RwLock` is reported
+//! as a self-deadlock and panics instead of hanging forever, and a watchdog
+//! flags over-long holds. When the sanitizer is off (the default), each
+//! operation pays one relaxed atomic load and a branch.
+//!
 //! Known limitations versus the real crate: no eventual-fairness
 //! guarantee (the real `parking_lot` forces a fair unlock every ~0.5 ms;
 //! `std::sync` inherits whatever the OS primitive does, so a hot writer
-//! *can* starve readers longer), no `const fn` constructors, and none of
-//! the extras (`try_lock_for`, upgradable read locks, `MappedGuard`s).
-//! The serve layer's shard locks are held only for pointer-sized critical
-//! sections precisely so none of those guarantees are load-bearing.
+//! *can* starve readers longer), and none of the extras (`try_lock_for`,
+//! upgradable read locks, `MappedGuard`s). The serve layer's shard locks
+//! are held only for pointer-sized critical sections precisely so none of
+//! those guarantees are load-bearing.
 
 #![warn(missing_docs)]
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+use std::panic::Location;
 use std::sync::{self, PoisonError};
 use std::time::Duration;
 
+use sanitizer::{LockMode, LockTag};
+
 /// A poison-free mutual-exclusion lock.
 pub struct Mutex<T: ?Sized> {
+    tag: LockTag,
     inner: sync::Mutex<T>,
 }
 
 /// RAII guard for [`Mutex::lock`].
 pub struct MutexGuard<'a, T: ?Sized> {
+    tag: &'a LockTag,
     // `Option` so Condvar::wait can temporarily take the std guard.
     inner: Option<sync::MutexGuard<'a, T>>,
 }
@@ -36,6 +50,7 @@ impl<T> Mutex<T> {
     /// Create a new mutex.
     pub const fn new(value: T) -> Mutex<T> {
         Mutex {
+            tag: LockTag::new(),
             inner: sync::Mutex::new(value),
         }
     }
@@ -48,21 +63,41 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until available.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        if sanitizer::enabled() {
+            let site = Location::caller();
+            sanitizer::before_lock(&self.tag, LockMode::Exclusive, site);
+            let g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            sanitizer::after_lock(&self.tag, LockMode::Exclusive, site);
+            return MutexGuard {
+                tag: &self.tag,
+                inner: Some(g),
+            };
+        }
         MutexGuard {
+            tag: &self.tag,
             inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
         }
     }
 
     /// Try to acquire the lock without blocking.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
-                inner: Some(p.into_inner()),
-            }),
-            Err(sync::TryLockError::WouldBlock) => None,
+        let g = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        if sanitizer::enabled() {
+            // A try-acquire cannot block, so it adds no deadlock potential;
+            // it still registers as held for unlock/watchdog bookkeeping.
+            sanitizer::after_lock(&self.tag, LockMode::Exclusive, Location::caller());
         }
+        Some(MutexGuard {
+            tag: &self.tag,
+            inner: Some(g),
+        })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
@@ -96,18 +131,29 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if sanitizer::enabled() {
+            sanitizer::on_unlock(self.tag);
+        }
+    }
+}
+
 /// A poison-free reader-writer lock.
 pub struct RwLock<T: ?Sized> {
+    tag: LockTag,
     inner: sync::RwLock<T>,
 }
 
 /// RAII guard for [`RwLock::read`].
 pub struct RwLockReadGuard<'a, T: ?Sized> {
+    tag: &'a LockTag,
     inner: sync::RwLockReadGuard<'a, T>,
 }
 
 /// RAII guard for [`RwLock::write`].
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    tag: &'a LockTag,
     inner: sync::RwLockWriteGuard<'a, T>,
 }
 
@@ -115,6 +161,7 @@ impl<T> RwLock<T> {
     /// Create a new reader-writer lock.
     pub const fn new(value: T) -> RwLock<T> {
         RwLock {
+            tag: LockTag::new(),
             inner: sync::RwLock::new(value),
         }
     }
@@ -127,39 +174,75 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquire shared read access.
+    #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        if sanitizer::enabled() {
+            let site = Location::caller();
+            sanitizer::before_lock(&self.tag, LockMode::Shared, site);
+            let g = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+            sanitizer::after_lock(&self.tag, LockMode::Shared, site);
+            return RwLockReadGuard {
+                tag: &self.tag,
+                inner: g,
+            };
+        }
         RwLockReadGuard {
+            tag: &self.tag,
             inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
         }
     }
 
     /// Acquire exclusive write access.
+    #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        if sanitizer::enabled() {
+            let site = Location::caller();
+            sanitizer::before_lock(&self.tag, LockMode::Exclusive, site);
+            let g = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+            sanitizer::after_lock(&self.tag, LockMode::Exclusive, site);
+            return RwLockWriteGuard {
+                tag: &self.tag,
+                inner: g,
+            };
+        }
         RwLockWriteGuard {
+            tag: &self.tag,
             inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
         }
     }
 
     /// Try to acquire read access without blocking.
+    #[track_caller]
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.inner.try_read() {
-            Ok(g) => Some(RwLockReadGuard { inner: g }),
-            Err(sync::TryLockError::Poisoned(p)) => Some(RwLockReadGuard {
-                inner: p.into_inner(),
-            }),
-            Err(sync::TryLockError::WouldBlock) => None,
+        let g = match self.inner.try_read() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        if sanitizer::enabled() {
+            sanitizer::after_lock(&self.tag, LockMode::Shared, Location::caller());
         }
+        Some(RwLockReadGuard {
+            tag: &self.tag,
+            inner: g,
+        })
     }
 
     /// Try to acquire write access without blocking.
+    #[track_caller]
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.inner.try_write() {
-            Ok(g) => Some(RwLockWriteGuard { inner: g }),
-            Err(sync::TryLockError::Poisoned(p)) => Some(RwLockWriteGuard {
-                inner: p.into_inner(),
-            }),
-            Err(sync::TryLockError::WouldBlock) => None,
+        let g = match self.inner.try_write() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        if sanitizer::enabled() {
+            sanitizer::after_lock(&self.tag, LockMode::Exclusive, Location::caller());
         }
+        Some(RwLockWriteGuard {
+            tag: &self.tag,
+            inner: g,
+        })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
@@ -187,6 +270,14 @@ impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
     }
 }
 
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if sanitizer::enabled() {
+            sanitizer::on_unlock(self.tag);
+        }
+    }
+}
+
 impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
@@ -197,6 +288,14 @@ impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
 impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
         &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if sanitizer::enabled() {
+            sanitizer::on_unlock(self.tag);
+        }
     }
 }
 
@@ -228,21 +327,36 @@ impl Condvar {
     }
 
     /// Block until notified, atomically releasing the guard's lock.
+    #[track_caller]
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let san = sanitizer::enabled();
+        if san {
+            // The wait releases the mutex; the thread holds nothing while
+            // parked and re-registers the lock when the wait returns.
+            sanitizer::on_unlock(guard.tag);
+        }
         let inner = guard.inner.take().expect("guard present");
         guard.inner = Some(
             self.inner
                 .wait(inner)
                 .unwrap_or_else(PoisonError::into_inner),
         );
+        if san {
+            sanitizer::after_lock(guard.tag, LockMode::Exclusive, Location::caller());
+        }
     }
 
     /// Block until notified or `timeout` elapses.
+    #[track_caller]
     pub fn wait_for<T>(
         &self,
         guard: &mut MutexGuard<'_, T>,
         timeout: Duration,
     ) -> WaitTimeoutResult {
+        let san = sanitizer::enabled();
+        if san {
+            sanitizer::on_unlock(guard.tag);
+        }
         let inner = guard.inner.take().expect("guard present");
         let (inner, res) = match self.inner.wait_timeout(inner, timeout) {
             Ok((g, t)) => (g, t),
@@ -252,6 +366,9 @@ impl Condvar {
             }
         };
         guard.inner = Some(inner);
+        if san {
+            sanitizer::after_lock(guard.tag, LockMode::Exclusive, Location::caller());
+        }
         WaitTimeoutResult {
             timed_out: res.timed_out(),
         }

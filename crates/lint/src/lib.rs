@@ -1,0 +1,843 @@
+//! # lint — the `doem-lint` scanner library
+//!
+//! A hand-rolled Rust-source scanner enforcing doem-suite invariants the
+//! compiler can't check (run it with `cargo run --bin doem-lint`). Five
+//! rules, each with a one-line rationale; DESIGN.md §9 has the full
+//! catalog:
+//!
+//! * **serve-unwrap** — no `.unwrap()`/`.expect(` in `crates/serve/src`
+//!   outside `#[cfg(test)]`: a panicking worker takes its whole pool down,
+//!   request paths must return `serve::ErrKind` instead.
+//! * **guard-across-wal** — no lock guard held across a WAL / fsync /
+//!   checkpoint call: a multi-millisecond disk wait under a hot lock is
+//!   the latency bug the sanitizer's watchdog sees at runtime; this
+//!   catches it at review time. Deliberate sites (durable install under
+//!   the registry lock) live in the baseline, which only ratchets down.
+//! * **parser-fuzz** — every hand-rolled parser module carries a
+//!   `fuzz_tests` sibling (the CLAUDE.md panic-freedom contract).
+//! * **canonical-order** — the change-set application order
+//!   `creNode → remArc → updNode → addArc` (the completeness argument in
+//!   `oem::changeset`) is never restated in a different order, in code or
+//!   prose.
+//! * **missing-docs** — every crate root carries `#![warn(missing_docs)]`.
+//!
+//! The scanner itself honors the contract it enforces: it is hand-rolled,
+//! panic-free on arbitrary input (see `fuzz_tests` at the bottom), and
+//! never unwraps.
+//!
+//! Suppression: a `// lint: allow` comment on a line (or the line above)
+//! suppresses findings on it. The baseline file (`doem-lint.baseline`)
+//! holds per-rule, per-file finding *counts*: counts above baseline fail,
+//! counts below invite a `--write-baseline` ratchet.
+
+#![warn(missing_docs)]
+
+/// One diagnostic: rule, repo-relative file, 1-based line, message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule slug (e.g. `serve-unwrap`).
+    pub rule: &'static str,
+    /// Repo-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Source stripping
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Blank out comments and string/char-literal contents with spaces,
+/// preserving every newline (so line numbers survive) and the overall
+/// length. Handles nested `/* */`, `//`, `"…"` with escapes, `r#"…"#`
+/// raw strings, byte strings, char literals, and the char-vs-lifetime
+/// ambiguity (`'a'` strips, `'a` in `&'a T` doesn't). Never panics.
+pub fn strip_source(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut mode = Mode::Code;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match mode {
+            Mode::Code => match b {
+                b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                    mode = Mode::LineComment;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                }
+                b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                    mode = Mode::BlockComment(1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                }
+                b'"' => {
+                    mode = Mode::Str;
+                    out.push(b' ');
+                    i += 1;
+                }
+                b'r' | b'b' => {
+                    // Possible raw / byte string start: r", r#", br#", b".
+                    let mut j = i + 1;
+                    if b == b'b' && bytes.get(j) == Some(&b'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    let is_raw = (b == b'r' || bytes.get(i + 1) == Some(&b'r') || hashes == 0)
+                        && bytes.get(j) == Some(&b'"')
+                        && (b != b'b' || bytes.get(i + 1) == Some(&b'r') || j == i + 1);
+                    if is_raw && (b == b'r' || bytes.get(i + 1) == Some(&b'r')) {
+                        mode = Mode::RawStr(hashes);
+                        out.extend(std::iter::repeat_n(b' ', j - i + 1));
+                        i = j + 1;
+                    } else if b == b'b' && bytes.get(i + 1) == Some(&b'"') {
+                        mode = Mode::Str;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else {
+                        out.push(b);
+                        i += 1;
+                    }
+                }
+                b'\'' => {
+                    // Char literal vs lifetime. A literal is '\x', 'c', or
+                    // '\u{..}': detect by looking for a closing quote after
+                    // one (possibly escaped) char. Lifetimes ('a, 'static)
+                    // have an identifier and no nearby closing quote.
+                    if bytes.get(i + 1) == Some(&b'\\') {
+                        mode = Mode::Char;
+                        out.push(b' ');
+                        i += 1;
+                    } else if bytes.get(i + 2) == Some(&b'\'')
+                        && bytes.get(i + 1).is_some_and(|c| *c != b'\'')
+                    {
+                        out.extend_from_slice(b"   ");
+                        i += 3;
+                    } else {
+                        out.push(b);
+                        i += 1;
+                    }
+                }
+                _ => {
+                    out.push(b);
+                    i += 1;
+                }
+            },
+            Mode::LineComment => {
+                if b == b'\n' {
+                    mode = Mode::Code;
+                    out.push(b'\n');
+                } else {
+                    out.push(b' ');
+                }
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    mode = if depth <= 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    mode = Mode::BlockComment(depth.saturating_add(1));
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    out.push(if b == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if b == b'\\' {
+                    out.push(b' ');
+                    if bytes.get(i + 1).is_some() {
+                        out.push(b' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if b == b'"' {
+                    mode = Mode::Code;
+                    out.push(b' ');
+                    i += 1;
+                } else {
+                    out.push(if b == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if b == b'"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && bytes.get(j) == Some(&b'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        mode = Mode::Code;
+                        out.extend(std::iter::repeat_n(b' ', j - i));
+                        i = j;
+                    } else {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                } else {
+                    out.push(if b == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            Mode::Char => {
+                if b == b'\\' && bytes.get(i + 1).is_some() {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'\'' {
+                    mode = Mode::Code;
+                    out.push(b' ');
+                    i += 1;
+                } else if b == b'\n' {
+                    // Unterminated char literal (or a stray quote in
+                    // macro-land): bail back to code at end of line.
+                    mode = Mode::Code;
+                    out.push(b'\n');
+                    i += 1;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Stripping only substitutes ASCII for ASCII, so the output is valid
+    // UTF-8 whenever the input was; from_utf8_lossy keeps us total.
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+// ---------------------------------------------------------------------------
+// Line classification helpers
+// ---------------------------------------------------------------------------
+
+/// Per-line flags for lines inside a `#[cfg(test)] mod … { … }` region
+/// (computed on *stripped* source so braces in strings don't confuse the
+/// matcher). Index 0 = line 1.
+pub fn test_mod_lines(stripped: &str) -> Vec<bool> {
+    let lines: Vec<&str> = stripped.lines().collect();
+    let mut flags = vec![false; lines.len()];
+    let mut i = 0usize;
+    while i < lines.len() {
+        let t = lines[i].trim();
+        let is_cfg_test = t.contains("#[cfg(test)]");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Find the `mod` line (same line or within the next couple, to
+        // tolerate more attributes in between), then brace-match.
+        let mut j = i;
+        let mut found_mod = false;
+        while j < lines.len() && j <= i + 3 {
+            if lines[j].trim_start().starts_with("mod ")
+                || lines[j].trim_start().starts_with("pub mod ")
+                || (j == i && t.contains(" mod "))
+            {
+                found_mod = true;
+                break;
+            }
+            j += 1;
+        }
+        if !found_mod {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0i64;
+        let mut opened = false;
+        let mut k = j;
+        while k < lines.len() {
+            for c in lines[k].bytes() {
+                match c {
+                    b'{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    b'}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if let Some(f) = flags.get_mut(k) {
+                *f = true;
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            k += 1;
+        }
+        i = k + 1;
+    }
+    flags
+}
+
+/// Per-line suppression flags from `// lint: allow` comments in the *raw*
+/// source: the marker suppresses findings on its own line and the next.
+pub fn allow_lines(raw: &str) -> Vec<bool> {
+    let lines: Vec<&str> = raw.lines().collect();
+    let mut flags = vec![false; lines.len()];
+    for (i, l) in lines.iter().enumerate() {
+        if l.contains("lint: allow") {
+            flags[i] = true;
+            if let Some(f) = flags.get_mut(i + 1) {
+                *f = true;
+            }
+        }
+    }
+    flags
+}
+
+fn flag(v: &[bool], idx: usize) -> bool {
+    v.get(idx).copied().unwrap_or(false)
+}
+
+// ---------------------------------------------------------------------------
+// Rule: serve-unwrap
+// ---------------------------------------------------------------------------
+
+/// `crates/serve/src` request paths must return `serve::ErrKind` errors, not
+/// panic: flag `.unwrap()` / `.expect(` outside `#[cfg(test)]` modules.
+///
+pub fn scan_serve_unwrap(file: &str, raw: &str) -> Vec<Finding> {
+    let stripped = strip_source(raw);
+    let tests = test_mod_lines(&stripped);
+    let allows = allow_lines(raw);
+    let mut out = Vec::new();
+    for (i, line) in stripped.lines().enumerate() {
+        if flag(&tests, i) || flag(&allows, i) {
+            continue;
+        }
+        for pat in [".unwrap()", ".expect("] {
+            if line.contains(pat) {
+                out.push(Finding {
+                    rule: "serve-unwrap",
+                    file: file.to_string(),
+                    line: i + 1,
+                    message: format!(
+                        "`{pat}` in a serve request path — a panicking worker kills its pool; \
+                         return an ErrKind error (or mark provably-infallible sites with \
+                         `// lint: allow`)"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule: guard-across-wal
+// ---------------------------------------------------------------------------
+
+/// Calls that reach disk (WAL append/fsync, checkpoint, store save) —
+/// holding a lock guard across one stalls every peer of that lock for a
+/// disk round-trip.
+const WAL_CALLS: [&str; 6] = [
+    ".sync_data(",
+    ".sync_all(",
+    ".save_doem(",
+    "fresh_durable_db(",
+    "checkpoint_shard(",
+    "commit_changes(",
+];
+
+struct Guard {
+    name: String,
+    depth: i64,
+}
+
+/// Flag disk-reaching calls made while a lock guard (`let g = x.lock()` /
+/// `.read()` / `.write()` and `try_` variants) is live in scope.
+pub fn scan_guard_across_wal(file: &str, raw: &str) -> Vec<Finding> {
+    let stripped = strip_source(raw);
+    let tests = test_mod_lines(&stripped);
+    let allows = allow_lines(raw);
+    let mut out = Vec::new();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i64;
+    for (i, line) in stripped.lines().enumerate() {
+        if flag(&tests, i) {
+            // Keep depth bookkeeping honest even inside skipped regions.
+            for c in line.bytes() {
+                match c {
+                    b'{' => depth += 1,
+                    b'}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            guards.retain(|g| g.depth <= depth);
+            continue;
+        }
+        // Check calls BEFORE registering guards born on this line: the
+        // call `let g = m.lock()` is not "under" g itself, and a WAL call
+        // on the same line as the acquisition is textually ordered after.
+        if !guards.is_empty() && !flag(&allows, i) {
+            for call in WAL_CALLS {
+                if line.contains(call) {
+                    let held: Vec<&str> = guards.iter().map(|g| g.name.as_str()).collect();
+                    out.push(Finding {
+                        rule: "guard-across-wal",
+                        file: file.to_string(),
+                        line: i + 1,
+                        message: format!(
+                            "`{}` called while lock guard(s) [{}] are held — a disk round-trip \
+                             under a lock stalls every peer; stage the I/O outside the critical \
+                             section or baseline the site if the ordering is load-bearing",
+                            call.trim_start_matches('.').trim_end_matches('('),
+                            held.join(", ")
+                        ),
+                    });
+                }
+            }
+        }
+        // Guard births: `let [mut] NAME = …lock()/read()/write()…`.
+        if let Some(name) = guard_binding(line) {
+            guards.push(Guard { name, depth });
+        }
+        // Explicit early drops.
+        for g_idx in (0..guards.len()).rev() {
+            let needle = format!("drop({})", guards[g_idx].name);
+            let needle2 = format!("drop(({}", guards[g_idx].name);
+            if line.contains(&needle) || line.contains(&needle2) {
+                guards.remove(g_idx);
+            }
+        }
+        for c in line.bytes() {
+            match c {
+                b'{' => depth += 1,
+                b'}' => depth -= 1,
+                _ => {}
+            }
+        }
+        guards.retain(|g| g.depth <= depth);
+    }
+    out
+}
+
+/// If `line` binds a lock guard (`let [mut] name = ….lock()/.read()/
+/// .write()` or a `try_` variant), return the bound name.
+fn guard_binding(line: &str) -> Option<String> {
+    let has_acquire = [".lock()", ".read()", ".write()", ".try_lock()", ".try_read()", ".try_write()"]
+        .iter()
+        .any(|p| line.contains(p));
+    if !has_acquire {
+        return None;
+    }
+    let after_let = line.trim_start().strip_prefix("let ")?;
+    let after_mut = after_let.strip_prefix("mut ").unwrap_or(after_let);
+    let name: String = after_mut
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() || name == "_" {
+        return None;
+    }
+    // Tuple/struct patterns aren't guard bindings we can track.
+    if after_mut.trim_start().starts_with('(') {
+        return None;
+    }
+    Some(name)
+}
+
+// ---------------------------------------------------------------------------
+// Rule: parser-fuzz
+// ---------------------------------------------------------------------------
+
+/// A module that hand-rolls parsing (`pub fn parse*` or `impl FromStr`)
+/// must carry a `mod fuzz_tests` sibling proving panic-freedom.
+pub fn scan_parser_fuzz(file: &str, raw: &str) -> Vec<Finding> {
+    let stripped = strip_source(raw);
+    let tests = test_mod_lines(&stripped);
+    let mut first_parser_line = None;
+    for (i, line) in stripped.lines().enumerate() {
+        if flag(&tests, i) {
+            continue;
+        }
+        let t = line.trim_start();
+        let is_parser = t.starts_with("pub fn parse")
+            || (t.starts_with("impl") && t.contains("FromStr for"));
+        if is_parser {
+            first_parser_line = Some(i + 1);
+            break;
+        }
+    }
+    let Some(line) = first_parser_line else {
+        return Vec::new();
+    };
+    if stripped.lines().any(|l| {
+        let t = l.trim_start();
+        t.starts_with("mod fuzz_tests") || t.starts_with("pub mod fuzz_tests")
+    }) {
+        return Vec::new();
+    }
+    vec![Finding {
+        rule: "parser-fuzz",
+        file: file.to_string(),
+        line,
+        message: "hand-rolled parser module has no `fuzz_tests` sibling — add a proptest \
+                  never-panics module (see lorel::parser::fuzz_tests for the idiom)"
+            .to_string(),
+    }]
+}
+
+// ---------------------------------------------------------------------------
+// Rule: canonical-order
+// ---------------------------------------------------------------------------
+
+const OPS: [&str; 4] = ["creNode", "remArc", "updNode", "addArc"];
+
+fn op_phase(word: &str) -> Option<usize> {
+    OPS.iter()
+        .position(|o| word.eq_ignore_ascii_case(o))
+}
+
+/// Positions (byte offset, phase) of change-op names on a line, in
+/// textual order. Case-insensitive so `CreNode` enum variants count.
+fn ops_on_line(line: &str) -> Vec<(usize, usize)> {
+    let mut found = Vec::new();
+    for op in OPS {
+        let lower = line.to_ascii_lowercase();
+        let needle = op.to_ascii_lowercase();
+        let mut from = 0usize;
+        while let Some(pos) = lower.get(from..).and_then(|s| s.find(&needle)) {
+            let at = from + pos;
+            if let Some(phase) = op_phase(op) {
+                found.push((at, phase));
+            }
+            from = at + needle.len();
+        }
+    }
+    found.sort_unstable();
+    found.dedup();
+    found
+}
+
+/// Does the text between two op names on a line read as a pure arrow
+/// joint? Whitespace, backticks, and emphasis stars are cosmetic; the
+/// remainder must be exactly one `->` or `→`. Anything else (commas,
+/// words, parenthesised arguments) means the names are an enumeration,
+/// not an ordered chain.
+fn is_arrow_gap(gap: &str) -> bool {
+    let meat: String = gap
+        .chars()
+        .filter(|c| !c.is_whitespace() && *c != '`' && *c != '*')
+        .collect();
+    meat == "->" || meat == "\u{2192}"
+}
+
+/// Split the ops on a line into maximal arrow-joined chains of phases.
+fn arrow_chains(line: &str) -> Vec<Vec<usize>> {
+    let ops = ops_on_line(line);
+    let mut chains: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    for (idx, &(at, phase)) in ops.iter().enumerate() {
+        if current.is_empty() {
+            current.push(phase);
+        } else {
+            let (prev_at, prev_phase) = ops[idx - 1];
+            let prev_end = prev_at + OPS[prev_phase].len();
+            let joined = line.get(prev_end..at).is_some_and(is_arrow_gap);
+            if joined {
+                current.push(phase);
+            } else {
+                chains.push(std::mem::take(&mut current));
+                current.push(phase);
+            }
+        }
+    }
+    if !current.is_empty() {
+        chains.push(current);
+    }
+    chains.retain(|c| c.len() >= 2);
+    chains
+}
+
+/// The canonical change-set application order (`creNode → remArc →
+/// updNode → addArc`, `oem::changeset`'s completeness argument) must
+/// never be restated in a different order. Two checks:
+///
+/// 1. **Arrow chains** (docs, comments, prose): a run of ≥ 2 op names
+///    joined by `→`/`->` arrows must list them in ascending phase order.
+///    Comma-separated enumerations of the op *kinds* are not chains and
+///    carry no order claim. For Rust files, `#[cfg(test)]` regions are
+///    skipped (lint fixtures quote bad chains on purpose).
+/// 2. **Phase maps** (code): a ≤ 6-line window in which all four ops are
+///    matched to integers (`CreNode … => 0`) must assign ascending
+///    integers in canonical order.
+pub fn scan_canonical_order(file: &str, raw: &str, is_rust: bool) -> Vec<Finding> {
+    let allows = allow_lines(raw);
+    let mut out = Vec::new();
+    let lines: Vec<&str> = raw.lines().collect();
+    let tests = if is_rust {
+        test_mod_lines(&strip_source(raw))
+    } else {
+        Vec::new()
+    };
+    // Check 1: arrow chains, on raw text (the order statement usually
+    // lives in prose or doc comments).
+    for (i, line) in lines.iter().enumerate() {
+        if flag(&allows, i) || flag(&tests, i) {
+            continue;
+        }
+        for chain in arrow_chains(line) {
+            if chain.windows(2).any(|w| w[0] >= w[1]) {
+                out.push(Finding {
+                    rule: "canonical-order",
+                    file: file.to_string(),
+                    line: i + 1,
+                    message: format!(
+                        "change-op chain listed out of canonical order (found {:?}; the \
+                         completeness argument requires creNode -> remArc -> updNode -> addArc)",
+                        chain.iter().map(|&p| OPS[p]).collect::<Vec<_>>()
+                    ),
+                });
+            }
+        }
+    }
+    // Check 2: phase-map windows, on stripped code.
+    if is_rust {
+        let stripped = strip_source(raw);
+        let code_lines: Vec<&str> = stripped.lines().collect();
+        for start in 0..code_lines.len() {
+            let end = (start + 6).min(code_lines.len());
+            let mut map: [Option<i64>; 4] = [None; 4];
+            let mut complete_at = None;
+            for (j, line) in code_lines.iter().enumerate().take(end).skip(start) {
+                for (op_idx, op) in OPS.iter().enumerate() {
+                    if let Some(n) = arm_number(line, op) {
+                        map[op_idx] = Some(n);
+                    }
+                }
+                if map.iter().all(Option::is_some) {
+                    complete_at = Some(j);
+                    break;
+                }
+            }
+            let Some(j) = complete_at else { continue };
+            // Only report once per window family: require the window to
+            // START on a line contributing the creNode arm.
+            if arm_number(code_lines.get(start).copied().unwrap_or(""), OPS[0]).is_none() {
+                continue;
+            }
+            if flag(&allows, start) {
+                continue;
+            }
+            let nums: Vec<i64> = map.iter().map(|n| n.unwrap_or(0)).collect();
+            if nums.windows(2).any(|w| w[0] >= w[1]) {
+                out.push(Finding {
+                    rule: "canonical-order",
+                    file: file.to_string(),
+                    line: start + 1,
+                    message: format!(
+                        "phase map assigns non-canonical order {nums:?} to \
+                         (creNode, remArc, updNode, addArc) — application order is load-bearing \
+                         (oem::changeset completeness argument)"
+                    ),
+                });
+            }
+            let _ = j;
+        }
+    }
+    out
+}
+
+/// If `line` looks like a match arm pairing `op` with an integer
+/// (`CreNode … => 0`), return the integer.
+fn arm_number(line: &str, op: &str) -> Option<i64> {
+    let lower = line.to_ascii_lowercase();
+    let pos = lower.find(&op.to_ascii_lowercase())?;
+    let rest = lower.get(pos..)?;
+    let arrow = rest.find("=>")?;
+    let after = rest.get(arrow + 2..)?.trim_start();
+    let digits: String = after.chars().take_while(|c| c.is_ascii_digit()).collect();
+    if digits.is_empty() {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+// ---------------------------------------------------------------------------
+// Rule: missing-docs
+// ---------------------------------------------------------------------------
+
+/// Every crate root (`src/lib.rs`) must carry `#![warn(missing_docs)]`.
+pub fn scan_missing_docs(file: &str, raw: &str) -> Vec<Finding> {
+    let stripped = strip_source(raw);
+    if stripped.contains("#![warn(missing_docs)]") {
+        return Vec::new();
+    }
+    vec![Finding {
+        rule: "missing-docs",
+        file: file.to_string(),
+        line: 1,
+        message: "crate root lacks `#![warn(missing_docs)]` (workspace documentation contract)"
+            .to_string(),
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripper_blanks_comments_and_strings() {
+        let src = "let a = \"x.unwrap()\"; // .unwrap()\nlet b = y.unwrap();\n";
+        let s = strip_source(src);
+        assert_eq!(s.lines().count(), src.lines().count());
+        assert!(!s.lines().next().unwrap_or("").contains(".unwrap()"));
+        assert!(s.lines().nth(1).unwrap_or("").contains(".unwrap()"));
+    }
+
+    #[test]
+    fn stripper_handles_raw_strings_and_chars() {
+        let s = strip_source("let r = r#\"a \" b\"#; let c = '\\''; let l: &'static str = x;");
+        assert!(!s.contains("a \" b"));
+        assert!(s.contains("'static"));
+        let s2 = strip_source("proptest src in \"\\\\PC{0,80}\"");
+        assert!(!s2.contains("PC{0,80}"));
+    }
+
+    #[test]
+    fn test_mods_are_skipped() {
+        let src = "fn a() { b.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn t() { c.unwrap(); }\n}\n";
+        let f = scan_serve_unwrap("crates/serve/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn allow_marker_suppresses() {
+        let src = "fn a() {\n  // lint: allow\n  b.unwrap();\n  c.unwrap(); // lint: allow\n  e();\n  d.unwrap();\n}\n";
+        let f = scan_serve_unwrap("crates/serve/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 6);
+    }
+
+    #[test]
+    fn guard_across_wal_flags_and_releases() {
+        let src = "fn a(m: &Mutex<u8>) {\n  let g = m.lock();\n  file.sync_data()?;\n}\n";
+        let f = scan_guard_across_wal("crates/serve/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("[g]"));
+
+        let freed = "fn a(m: &Mutex<u8>) {\n  let g = m.lock();\n  drop(g);\n  file.sync_data()?;\n}\n";
+        assert!(scan_guard_across_wal("x.rs", freed).is_empty());
+
+        let scoped = "fn a(m: &Mutex<u8>) {\n  {\n    let g = m.lock();\n  }\n  file.sync_data()?;\n}\n";
+        assert!(scan_guard_across_wal("x.rs", scoped).is_empty());
+    }
+
+    #[test]
+    fn parser_fuzz_rule_requires_sibling() {
+        let bare = "pub fn parse_thing(s: &str) -> Result<(), ()> { Ok(()) }\n";
+        assert_eq!(scan_parser_fuzz("x.rs", bare).len(), 1);
+        let with = format!("{bare}#[cfg(test)]\nmod fuzz_tests {{}}\n");
+        assert!(scan_parser_fuzz("x.rs", &with).is_empty());
+        assert!(scan_parser_fuzz("x.rs", "fn nothing() {}\n").is_empty());
+    }
+
+    #[test]
+    fn canonical_order_arrow_chains() {
+        let good = "apply in creNode -> remArc -> updNode -> addArc order\n";
+        assert!(scan_canonical_order("DESIGN.md", good, false).is_empty());
+        let bad = "apply in addArc -> creNode order\n";
+        assert_eq!(scan_canonical_order("DESIGN.md", bad, false).len(), 1);
+        let unrelated = "x -> y\n";
+        assert!(scan_canonical_order("DESIGN.md", unrelated, false).is_empty());
+        // Comma-separated enumerations carry no order claim, even when the
+        // line also happens to contain an arrow elsewhere.
+        let enumeration =
+            "the ops (`creNode`, `updNode`, `addArc`, `remArc`) drive the HTML->OEM parser\n";
+        assert!(scan_canonical_order("DESIGN.md", enumeration, false).is_empty());
+        // A correct chain followed by prose that re-mentions an op is fine.
+        let chain_then_prose =
+            "order `creNode → remArc → updNode → addArc`: `remArc` only targets arcs\n";
+        assert!(scan_canonical_order("x.rs", chain_then_prose, false).is_empty());
+    }
+
+    #[test]
+    fn canonical_order_phase_maps() {
+        let good = "match op {\n  CreNode(..) => 0,\n  RemArc(..) => 1,\n  UpdNode(..) => 2,\n  AddArc(..) => 3,\n}\n";
+        assert!(scan_canonical_order("x.rs", good, true).is_empty());
+        let bad = "match op {\n  CreNode(..) => 0,\n  AddArc(..) => 1,\n  UpdNode(..) => 2,\n  RemArc(..) => 3,\n}\n";
+        assert_eq!(scan_canonical_order("x.rs", bad, true).len(), 1);
+    }
+
+    #[test]
+    fn missing_docs_rule() {
+        assert!(scan_missing_docs("x.rs", "#![warn(missing_docs)]\n").is_empty());
+        assert_eq!(scan_missing_docs("x.rs", "//! docs\n").len(), 1);
+        // The attribute in a comment doesn't count.
+        assert_eq!(
+            scan_missing_docs("x.rs", "// #![warn(missing_docs)]\n").len(),
+            1
+        );
+    }
+
+    /// The scanner honors the panic-freedom contract it enforces.
+    mod fuzz_tests {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+            #[test]
+            fn strip_source_never_panics(src in "\\PC{0,160}") {
+                let out = strip_source(&src);
+                prop_assert_eq!(out.lines().count(), src.lines().count());
+            }
+
+            #[test]
+            fn scanners_never_panic(src in "\\PC{0,160}") {
+                let _ = scan_serve_unwrap("crates/serve/src/f.rs", &src);
+                let _ = scan_guard_across_wal("f.rs", &src);
+                let _ = scan_parser_fuzz("f.rs", &src);
+                let _ = scan_canonical_order("f.rs", &src, true);
+                let _ = scan_canonical_order("f.md", &src, false);
+                let _ = scan_missing_docs("f.rs", &src);
+            }
+
+            #[test]
+            fn scanners_never_panic_on_rustish_soup(src in "(let |mut |\\.lock\\(\\)|\\.unwrap\\(\\)|sync_data\\(|creNode|=> 3|\\{|\\}|\"|'|//|/\\*|\n| ){0,60}") {
+                let _ = strip_source(&src);
+                let _ = scan_serve_unwrap("crates/serve/src/f.rs", &src);
+                let _ = scan_guard_across_wal("f.rs", &src);
+                let _ = scan_canonical_order("f.rs", &src, true);
+            }
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! `doem-lint` — run the project invariant scanners over the workspace.
+//!
+//! Usage: `cargo run --bin doem-lint [-- --root <path>] [--write-baseline]`
+//!
+//! Exit codes: 0 clean (relative to baseline), 1 findings above baseline,
+//! 2 usage / I/O error. Diagnostics are `file:line: [rule] message`.
+//!
+//! The baseline file (`doem-lint.baseline` at the workspace root) holds
+//! `rule<TAB>file<TAB>count` lines for findings that are accepted by
+//! design. It only ratchets down: a file whose count drops below its
+//! baseline prints a hint to regenerate; a count above baseline fails.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use lint::{scan_canonical_order, scan_guard_across_wal, scan_missing_docs, scan_parser_fuzz,
+           scan_serve_unwrap, Finding};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("doem-lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--write-baseline" => write_baseline = true,
+            "--help" | "-h" => {
+                eprintln!("usage: doem-lint [--root <path>] [--write-baseline]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("doem-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(default_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("doem-lint: cannot locate workspace root; pass --root");
+            return ExitCode::from(2);
+        }
+    };
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "doem-lint: {} does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let findings = scan_workspace(&root);
+    let baseline_path = root.join("doem-lint.baseline");
+
+    if write_baseline {
+        let text = render_baseline(&findings);
+        if let Err(e) = std::fs::write(&baseline_path, &text) {
+            eprintln!("doem-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        let entries = text.lines().filter(|l| !l.starts_with('#')).count();
+        println!(
+            "doem-lint: wrote baseline with {} entr{} ({} finding(s)) to {}",
+            entries,
+            if entries == 1 { "y" } else { "ies" },
+            findings.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match load_baseline(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("doem-lint: bad baseline {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut counts: BTreeMap<(String, String), Vec<&Finding>> = BTreeMap::new();
+    for f in &findings {
+        counts
+            .entry((f.rule.to_string(), f.file.clone()))
+            .or_default()
+            .push(f);
+    }
+
+    let mut failures = 0usize;
+    let mut ratchet_hints = 0usize;
+    for (key, group) in &counts {
+        let allowed = baseline.get(key).copied().unwrap_or(0);
+        match group.len().cmp(&allowed) {
+            std::cmp::Ordering::Greater => {
+                for f in group {
+                    println!("{f}");
+                }
+                println!(
+                    "doem-lint: [{}] {}: {} finding(s), baseline allows {}",
+                    key.0,
+                    key.1,
+                    group.len(),
+                    allowed
+                );
+                failures += group.len() - allowed;
+            }
+            std::cmp::Ordering::Less => ratchet_hints += 1,
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    // Baseline entries whose findings vanished entirely also invite a ratchet.
+    for key in baseline.keys() {
+        if !counts.contains_key(key) {
+            ratchet_hints += 1;
+        }
+    }
+    if ratchet_hints > 0 {
+        println!(
+            "doem-lint: {ratchet_hints} baseline entr{} exceed current findings — run with \
+             --write-baseline to ratchet down",
+            if ratchet_hints == 1 { "y" } else { "ies" }
+        );
+    }
+    if failures > 0 {
+        println!("doem-lint: {failures} finding(s) above baseline");
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "doem-lint: clean ({} finding(s), all baselined)",
+            findings.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+/// The lint crate lives at `<root>/crates/lint`, so the workspace root is
+/// two levels up from the manifest dir.
+fn default_root() -> Option<PathBuf> {
+    let manifest = std::env::var_os("CARGO_MANIFEST_DIR")?;
+    Path::new(&manifest).parent()?.parent().map(Path::to_path_buf)
+}
+
+/// Walk the workspace and run every rule over the files in its scope.
+fn scan_workspace(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut rust_files = Vec::new();
+    let mut md_files = Vec::new();
+    collect_files(root, root, &mut rust_files, &mut md_files, 0);
+    rust_files.sort();
+    md_files.sort();
+
+    for rel in &rust_files {
+        let Ok(raw) = std::fs::read_to_string(root.join(rel)) else {
+            continue;
+        };
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let in_compat = rel_str.starts_with("crates/compat/");
+        if rel_str.starts_with("crates/serve/src/") {
+            findings.extend(scan_serve_unwrap(&rel_str, &raw));
+        }
+        if rel_str.starts_with("crates/") && rel_str.contains("/src/") {
+            findings.extend(scan_guard_across_wal(&rel_str, &raw));
+            // Compat stand-ins mirror external crate APIs; their parsing
+            // surface (none today) is out of the fuzz contract's scope.
+            if !in_compat {
+                findings.extend(scan_parser_fuzz(&rel_str, &raw));
+            }
+        }
+        findings.extend(scan_canonical_order(&rel_str, &raw, true));
+        if rel_str.ends_with("src/lib.rs") {
+            findings.extend(scan_missing_docs(&rel_str, &raw));
+        }
+    }
+    for rel in &md_files {
+        let Ok(raw) = std::fs::read_to_string(root.join(rel)) else {
+            continue;
+        };
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        findings.extend(scan_canonical_order(&rel_str, &raw, false));
+    }
+    findings.sort_by(|a, b| {
+        (a.rule, &a.file, a.line).cmp(&(b.rule, &b.file, b.line))
+    });
+    findings
+}
+
+/// Recursive workspace walk: collects `.rs` under `crates/` (and top-level
+/// `tests/`, `src/` if present) and `.md` everywhere, skipping `target`,
+/// VCS internals, and anything deeper than a sane bound.
+fn collect_files(
+    root: &Path,
+    dir: &Path,
+    rust: &mut Vec<PathBuf>,
+    md: &mut Vec<PathBuf>,
+    depth: u32,
+) {
+    if depth > 8 {
+        return;
+    }
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') || name == "node_modules" {
+                continue;
+            }
+            collect_files(root, &path, rust, md, depth + 1);
+        } else if let Ok(rel) = path.strip_prefix(root) {
+            let rel_str = rel.to_string_lossy();
+            if name.ends_with(".rs")
+                && (rel_str.starts_with("crates/")
+                    || rel_str.starts_with("tests/")
+                    || rel_str.starts_with("src/"))
+            {
+                rust.push(rel.to_path_buf());
+            } else if name.ends_with(".md") {
+                md.push(rel.to_path_buf());
+            }
+        }
+    }
+}
+
+/// Parse `rule<TAB>file<TAB>count` lines; `#` comments and blanks skipped.
+fn load_baseline(path: &Path) -> Result<BTreeMap<(String, String), usize>, String> {
+    let mut map = BTreeMap::new();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(map),
+        Err(e) => return Err(e.to_string()),
+    };
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let (Some(rule), Some(file), Some(count)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!("line {}: expected rule<TAB>file<TAB>count", i + 1));
+        };
+        let count: usize = count
+            .trim()
+            .parse()
+            .map_err(|e| format!("line {}: bad count: {e}", i + 1))?;
+        map.insert((rule.to_string(), file.to_string()), count);
+    }
+    Ok(map)
+}
+
+/// Render the current findings as a baseline file body.
+fn render_baseline(findings: &[Finding]) -> String {
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for f in findings {
+        *counts
+            .entry((f.rule.to_string(), f.file.clone()))
+            .or_default() += 1;
+    }
+    let mut out = String::from(
+        "# doem-lint baseline: rule<TAB>file<TAB>accepted finding count.\n\
+         # Counts only ratchet down; regenerate with `cargo run --bin doem-lint -- --write-baseline`.\n",
+    );
+    for ((rule, file), count) in counts {
+        out.push_str(&format!("{rule}\t{file}\t{count}\n"));
+    }
+    out
+}

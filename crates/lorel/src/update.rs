@@ -627,3 +627,28 @@ mod tests {
         (creates,)
     }
 }
+
+#[cfg(test)]
+mod fuzz_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+        /// The update parser must reject garbage with an error, never panic.
+        #[test]
+        fn parse_update_never_panics(src in "\\PC{0,80}") {
+            let _ = parse_update(&src);
+        }
+
+        /// Inputs that start like real update statements exercise the
+        /// deeper clause parsing.
+        #[test]
+        fn parse_update_never_panics_on_updatish_input(
+            src in "update [a-z ]{0,20}(at|;|\\{|\\}|creNode|,){0,10}\\PC{0,30}"
+        ) {
+            let _ = parse_update(&src);
+        }
+    }
+}

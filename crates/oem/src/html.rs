@@ -305,3 +305,28 @@ mod tests {
         }
     }
 }
+
+#[cfg(test)]
+mod fuzz_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+        /// The HTML reader must survive arbitrary input without panicking.
+        #[test]
+        fn parse_html_never_panics(src in "\\PC{0,120}") {
+            let _ = parse_html("fuzz", &src);
+        }
+
+        /// Tag soup (unbalanced tags, stray brackets, entities) exercises
+        /// the tree-building recovery paths.
+        #[test]
+        fn parse_html_never_panics_on_tag_soup(
+            src in "(<|>|</|<a|<ul|<li|<h1|&amp;|&#x3B;|txt| |\n){0,40}"
+        ) {
+            let _ = parse_html("fuzz", &src);
+        }
+    }
+}

@@ -321,3 +321,33 @@ mod tests {
         assert_eq!(a.label.as_str(), "label with space");
     }
 }
+
+#[cfg(test)]
+mod fuzz_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+        /// All three change-notation entry points must reject garbage with
+        /// an error, never panic.
+        #[test]
+        fn change_notation_parsers_never_panic(src in "\\PC{0,80}") {
+            let _ = parse_op(&src);
+            let _ = parse_change_set(&src);
+            let _ = parse_history(&src);
+        }
+
+        /// Op-shaped soup (names, parens, commas, quotes) reaches the
+        /// argument parsing that plain garbage bounces off.
+        #[test]
+        fn change_notation_parsers_never_panic_on_opish_input(
+            src in "(creNode|remArc|updNode|addArc|\\(|\\)|,|\\{|\\}|n[0-9]|\"|at | ){0,25}"
+        ) {
+            let _ = parse_op(&src);
+            let _ = parse_change_set(&src);
+            let _ = parse_history(&src);
+        }
+    }
+}

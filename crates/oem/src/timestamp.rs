@@ -424,3 +424,28 @@ mod tests {
         assert_eq!("1Jan05".parse::<Timestamp>().unwrap().civil().0, 2005);
     }
 }
+
+#[cfg(test)]
+mod fuzz_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+        /// Timestamp parsing must reject garbage with an error, never panic.
+        #[test]
+        fn timestamp_from_str_never_panics(src in "\\PC{0,40}") {
+            let _ = src.parse::<Timestamp>();
+        }
+
+        /// Near-miss timestamps (digits, month fragments, am/pm tails)
+        /// exercise every arm of the civil-date validation.
+        #[test]
+        fn timestamp_from_str_never_panics_on_datish_input(
+            src in "[0-9]{0,4}(Jan|Feb|Mar|Jun|Dec|xx)?[0-9]{0,4}( [0-9]{1,2}:[0-9]{1,2}(am|pm|xm)?)?"
+        ) {
+            let _ = src.parse::<Timestamp>();
+        }
+    }
+}

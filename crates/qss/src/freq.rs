@@ -283,3 +283,27 @@ mod tests {
         }
     }
 }
+
+#[cfg(test)]
+mod fuzz_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+        /// Frequency parsing must reject garbage with an error, never panic.
+        #[test]
+        fn frequency_from_str_never_panics(src in "\\PC{0,60}") {
+            let _ = src.parse::<FrequencySpec>();
+        }
+
+        /// Schedule-shaped soup hits the keyword and time-of-day arms.
+        #[test]
+        fn frequency_from_str_never_panics_on_schedulish_input(
+            src in "(every|night|day|at|[0-9]{1,3}|:|am|pm|minutes|hours| ){0,12}"
+        ) {
+            let _ = src.parse::<FrequencySpec>();
+        }
+    }
+}

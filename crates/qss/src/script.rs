@@ -216,3 +216,28 @@ mod tests {
         }
     }
 }
+
+#[cfg(test)]
+mod fuzz_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+        /// The script parser must reject garbage with an error, never panic.
+        #[test]
+        fn script_parse_never_panics(src in "\\PC{0,120}") {
+            let _ = SubscriptionScript::parse(&src);
+        }
+
+        /// Statement-shaped soup (define/subscribe/create trigger openers
+        /// with broken bodies) exercises the multi-line buffering.
+        #[test]
+        fn script_parse_never_panics_on_statementish_input(
+            src in "(define |subscribe |create trigger |poll |filter |freq |as |\n|[a-z]{1,8}| ){0,20}"
+        ) {
+            let _ = SubscriptionScript::parse(&src);
+        }
+    }
+}

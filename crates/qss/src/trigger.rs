@@ -335,3 +335,27 @@ mod tests {
         assert_eq!(TriggerEvent::Removed("parking".into()).to_string(), "removed parking");
     }
 }
+
+#[cfg(test)]
+mod fuzz_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+        /// The trigger parser must reject garbage with an error, never panic.
+        #[test]
+        fn trigger_parse_never_panics(src in "\\PC{0,80}") {
+            let _ = Trigger::parse(&src);
+        }
+
+        /// Trigger-shaped soup reaches the event/condition/action arms.
+        #[test]
+        fn trigger_parse_never_panics_on_triggerish_input(
+            src in "(create trigger |on |created |updated |when |do |notify|record|[a-z]{1,6}| ){0,12}"
+        ) {
+            let _ = Trigger::parse(&src);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Leak fixtures: a channel orphaned with queued work and a thread handle
+//! dropped without a fate. Own test binary (= own process) so these
+//! intentional findings stay out of clean suites.
+
+use sanitizer::FindingKind;
+
+fn has_finding(kind: FindingKind, fragment: &str) -> bool {
+    sanitizer::findings()
+        .iter()
+        .any(|f| f.kind == kind && f.message.contains(fragment))
+}
+
+/// Dropping the last endpoint of a channel with messages still queued is
+/// submitted-but-never-received work: the sanitizer must flag it.
+#[test]
+fn orphaned_queued_channel_is_reported() {
+    sanitizer::enable();
+    let (tx, rx) = crossbeam::channel::bounded(4);
+    tx.send("queued and then abandoned").expect("receiver alive");
+    drop(rx);
+    drop(tx); // last endpoint goes with 1 message queued
+    assert!(
+        has_finding(FindingKind::ChannelLeak, "1 message(s) still queued"),
+        "expected a ChannelLeak finding, got: {:?}",
+        sanitizer::findings()
+    );
+}
+
+/// Fully drained channels may drop in any order without findings.
+#[test]
+fn drained_channel_is_clean() {
+    sanitizer::enable();
+    let (tx, rx) = crossbeam::channel::unbounded();
+    tx.send(1).expect("receiver alive");
+    assert_eq!(rx.recv(), Ok(1));
+    drop(tx);
+    drop(rx);
+    assert!(
+        !has_finding(FindingKind::ChannelLeak, "drained_channel"),
+        "a drained channel must not be a finding"
+    );
+}
+
+/// A tracked handle dropped without `join`/`detach` is a waiter nobody
+/// will reap.
+#[test]
+fn dropped_thread_handle_is_reported() {
+    sanitizer::enable();
+    let h = sanitizer::thread::spawn_tracked("fixture-leaked-thread", || ()).expect("spawn");
+    drop(h);
+    assert!(
+        has_finding(FindingKind::ThreadLeak, "fixture-leaked-thread"),
+        "expected a ThreadLeak finding, got: {:?}",
+        sanitizer::findings()
+    );
+}
+
+/// `join` and `detach` are the two sanctioned fates; neither is a finding.
+#[test]
+fn joined_and_detached_threads_are_clean() {
+    sanitizer::enable();
+    let h = sanitizer::thread::spawn_tracked("fixture-joined-thread", || 2 + 2).expect("spawn");
+    assert_eq!(h.join().expect("join"), 4);
+    let h = sanitizer::thread::spawn_tracked("fixture-detached-thread", || ()).expect("spawn");
+    h.detach();
+    assert!(!has_finding(FindingKind::ThreadLeak, "fixture-joined-thread"));
+    assert!(!has_finding(FindingKind::ThreadLeak, "fixture-detached-thread"));
+}

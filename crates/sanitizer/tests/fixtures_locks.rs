@@ -1,0 +1,108 @@
+//! Intentional lock-misuse fixtures the sanitizer must flag.
+//!
+//! This test binary is its own process, so the findings provoked here
+//! cannot leak into suites that assert cleanliness. Tests inside one
+//! binary share the global findings list; each assertion therefore
+//! matches on the finding kind plus a message fragment unique to its own
+//! fixture rather than on exact counts.
+
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use sanitizer::FindingKind;
+
+fn has_finding(kind: FindingKind, fragment: &str) -> bool {
+    sanitizer::findings()
+        .iter()
+        .any(|f| f.kind == kind && f.message.contains(fragment))
+}
+
+/// The classic inversion: one thread orders A then B, another B then A.
+/// Neither run deadlocks (the acquisitions never overlap), but the
+/// lock-order graph cycle proves some interleaving would.
+#[test]
+fn lock_inversion_is_reported_as_potential_deadlock() {
+    sanitizer::enable();
+    let a = Arc::new(Mutex::new(0u32));
+    let b = Arc::new(Mutex::new(0u32));
+
+    let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+    std::thread::spawn(move || {
+        let _ga = a2.lock();
+        let _gb = b2.lock();
+    })
+    .join()
+    .expect("A-then-B thread");
+
+    // The threads run sequentially — there is genuinely no deadlock in
+    // this execution, which is the point: the *order* is still wrong.
+    std::thread::spawn(move || {
+        let _gb = b.lock();
+        let _ga = a.lock();
+    })
+    .join()
+    .expect("B-then-A thread");
+
+    assert!(
+        has_finding(FindingKind::LockOrderCycle, "fixtures_locks.rs"),
+        "expected a LockOrderCycle finding naming this file, got: {:?}",
+        sanitizer::findings()
+    );
+}
+
+/// RwLock write-acquire while the same thread holds a read guard used to
+/// hang forever on the std primitive; the sanitizer now reports it and
+/// panics instead.
+#[test]
+fn rwlock_write_while_read_held_is_reported_not_hung() {
+    sanitizer::enable();
+    let l = RwLock::new(7u32);
+    let read_guard = l.read();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _w = l.write();
+    }));
+    drop(read_guard);
+    assert!(result.is_err(), "write-while-read must panic, not hang");
+    assert!(
+        has_finding(
+            FindingKind::SelfDeadlock,
+            "write-acquire while holding a read guard"
+        ),
+        "expected a SelfDeadlock finding, got: {:?}",
+        sanitizer::findings()
+    );
+}
+
+/// Mutex re-entry on the same thread is the same disease.
+#[test]
+fn mutex_reentry_is_reported_not_hung() {
+    sanitizer::enable();
+    let m = Mutex::new(1u32);
+    let outer = m.lock();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _inner = m.lock();
+    }));
+    drop(outer);
+    assert!(result.is_err(), "re-entry must panic, not hang");
+    assert!(
+        has_finding(FindingKind::SelfDeadlock, "re-acquiring a lock"),
+        "expected a SelfDeadlock finding, got: {:?}",
+        sanitizer::findings()
+    );
+}
+
+/// Shared re-acquisition of the same RwLock is allowed (readers coexist);
+/// the sanitizer must not cry wolf on it.
+#[test]
+fn recursive_reads_are_not_flagged() {
+    sanitizer::enable();
+    let l = RwLock::new(3u32);
+    let a = l.read();
+    let b = l.read();
+    assert_eq!(*a + *b, 6);
+    drop((a, b));
+    assert!(
+        !has_finding(FindingKind::SelfDeadlock, "recursive_reads"),
+        "shared/shared re-acquisition must not be a finding"
+    );
+}

@@ -34,10 +34,15 @@
 //! QSS state (subscriptions, the registry of named queries, the simulated
 //! clock) lives in a separate *control* shard with its own lock and
 //! generation, so QSS ticks invalidate only subscription-query caches,
-//! never per-database ones. The submitting session waits on a single-slot
-//! reply channel with a deadline — a worker stuck on a slow query turns
-//! into a `TIMEOUT` response instead of a hung session; pipelined sessions
-//! get the same guarantee through [`PendingReply::wait`].
+//! never per-database ones. The submitting session waits on a
+//! [`ReplySlot`] (a mutex + condvar pair) with a deadline — a worker
+//! stuck on a slow query turns into a `TIMEOUT` response instead of a
+//! hung session; pipelined sessions get the same guarantee through
+//! [`PendingReply::wait`]. The slot's abandonment mark is taken under the
+//! same lock the worker's delivery checks, so a response is either
+//! returned to the waiter or knowingly discarded — never stranded in a
+//! queue nobody reads (the sanitizer's channel-leak check runs over this
+//! path in CI).
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::faults::{FaultPoint, Faults};
@@ -49,13 +54,14 @@ use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use doem::{apply_set, current_snapshot, doem_from_history, DoemDatabase, SharedDoem};
 use lorel::{run_update, QueryRegistry};
 use oem::{ChangeSet, History, OemDatabase, SharedOem, Timestamp};
-use parking_lot::RwLock;
+use parking_lot::{Condvar, Mutex, RwLock};
 use qss::{QssServer, ScriptedSource, Source, Subscription};
+use sanitizer::thread::{spawn_tracked, TrackedHandle};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::{self, JoinHandle};
+use std::thread;
 use std::time::{Duration, Instant};
 
 /// The source type the embedded QSS polls: any [`Source`], boxed. `Sync`
@@ -252,10 +258,74 @@ impl Shared {
     }
 }
 
+/// A single-use reply rendezvous between a worker and the submitting
+/// session. Replaces a per-request `bounded(1)` channel: the timeout path
+/// marks the slot abandoned under the same lock the worker's delivery
+/// checks, so a response that races a timeout is either handed over or
+/// knowingly dropped — it can never sit queued in a channel whose last
+/// endpoint is about to drop (which the sanitizer reports as a leak).
+pub(crate) struct ReplySlot {
+    state: Mutex<SlotState>,
+    delivered: Condvar,
+}
+
+enum SlotState {
+    /// No response yet; the session may still be waiting.
+    Empty,
+    /// The worker's response, awaiting pickup.
+    Ready(Response),
+    /// The session timed out (or already picked up); deliveries are
+    /// discarded from here on.
+    Abandoned,
+}
+
+impl ReplySlot {
+    fn new() -> Arc<ReplySlot> {
+        Arc::new(ReplySlot {
+            state: Mutex::new(SlotState::Empty),
+            delivered: Condvar::new(),
+        })
+    }
+
+    /// Worker side: hand over the response. Returns it to the caller's
+    /// void if the waiter already gave up — the same contract as sending
+    /// to a dropped receiver, minus the leaked queue entry.
+    fn deliver(&self, resp: Response) {
+        let mut st = self.state.lock();
+        if matches!(*st, SlotState::Empty) {
+            *st = SlotState::Ready(resp);
+            drop(st);
+            self.delivered.notify_one();
+        }
+    }
+
+    /// Session side: block until the response lands or `timeout` elapses,
+    /// abandoning the slot on timeout.
+    fn wait(&self, timeout: Duration) -> Option<Response> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        loop {
+            if matches!(*st, SlotState::Ready(_)) {
+                let SlotState::Ready(resp) = std::mem::replace(&mut *st, SlotState::Abandoned)
+                else {
+                    unreachable!("matched Ready above");
+                };
+                return Some(resp);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                *st = SlotState::Abandoned;
+                return None;
+            }
+            let _ = self.delivered.wait_for(&mut st, deadline - now);
+        }
+    }
+}
+
 /// A queued unit of work.
 pub(crate) struct Job {
     pub(crate) req: Request,
-    pub(crate) reply: Sender<Response>,
+    pub(crate) reply: Arc<ReplySlot>,
     pub(crate) enqueued: Instant,
 }
 
@@ -275,9 +345,9 @@ pub struct Service {
     pub(crate) shared: Arc<Shared>,
     job_tx: Sender<Job>,
     completion_tx: Sender<CompletionJob>,
-    workers: Vec<JoinHandle<()>>,
-    completions: Vec<JoinHandle<()>>,
-    ticker: Option<JoinHandle<()>>,
+    workers: Vec<TrackedHandle<()>>,
+    completions: Vec<TrackedHandle<()>>,
+    ticker: Option<TrackedHandle<()>>,
     pub(crate) stop: Arc<AtomicBool>,
 }
 
@@ -332,35 +402,38 @@ impl Service {
             cfg,
         });
         let stop = Arc::new(AtomicBool::new(false));
+        // Tracked spawns: handles demand an explicit join (shutdown) or
+        // detach, and an OS-level spawn failure propagates instead of
+        // panicking the starter.
         let workers = (0..shared.cfg.workers.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 let rx = job_rx.clone();
                 let stop = Arc::clone(&stop);
-                thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &rx, &stop))
-                    .expect("spawn worker")
+                spawn_tracked(&format!("serve-worker-{i}"), move || {
+                    worker_loop(&shared, &rx, &stop)
+                })
             })
-            .collect();
+            .collect::<std::io::Result<Vec<_>>>()?;
         let completions = (0..shared.cfg.completion_threads.max(1))
             .map(|i| {
                 let rx = completion_rx.clone();
                 let stop = Arc::clone(&stop);
-                thread::Builder::new()
-                    .name(format!("serve-completion-{i}"))
-                    .spawn(move || completion_loop(&rx, &stop))
-                    .expect("spawn completion worker")
+                spawn_tracked(&format!("serve-completion-{i}"), move || {
+                    completion_loop(&rx, &stop)
+                })
             })
-            .collect();
-        let ticker = shared.cfg.autotick.map(|tick| {
-            let shared = Arc::clone(&shared);
-            let stop = Arc::clone(&stop);
-            thread::Builder::new()
-                .name("serve-qss-ticker".into())
-                .spawn(move || ticker_loop(&shared, tick, &stop))
-                .expect("spawn ticker")
-        });
+            .collect::<std::io::Result<Vec<_>>>()?;
+        let ticker = match shared.cfg.autotick {
+            Some(tick) => {
+                let shared = Arc::clone(&shared);
+                let stop = Arc::clone(&stop);
+                Some(spawn_tracked("serve-qss-ticker", move || {
+                    ticker_loop(&shared, tick, &stop)
+                })?)
+            }
+            None => None,
+        };
         Ok(Service {
             shared,
             job_tx,
@@ -593,8 +666,14 @@ fn recover_one(
     let mut good_len = 0u64;
     for (at, changes) in &replayed.entries[..usable] {
         if *at > ckpt_max {
-            apply_set(&mut doem, &mut replica, changes, *at)
-                .expect("prefix validated by the first pass");
+            // The first pass proved this prefix applies; failing here
+            // means the two passes disagree, which is corruption worth
+            // surfacing as an I/O error rather than a crash mid-recovery.
+            apply_set(&mut doem, &mut replica, changes, *at).map_err(|e| {
+                std::io::Error::other(format!(
+                    "recovery replay diverged from validation pass at {at}: {e}"
+                ))
+            })?;
             last_at = *at;
             applied += 1;
         }
@@ -652,8 +731,8 @@ pub struct PendingReply {
 enum PendingState {
     /// Resolved at submission time (parse error, BUSY, shutdown).
     Ready(Response),
-    /// A worker will send the response here.
-    Waiting(Receiver<Response>),
+    /// A worker will deliver the response here.
+    Waiting(Arc<ReplySlot>),
 }
 
 impl PendingReply {
@@ -671,10 +750,10 @@ impl PendingReply {
         let m = &self.shared.metrics;
         let resp = match self.state {
             PendingState::Ready(resp) => resp,
-            PendingState::Waiting(rx) => {
-                match rx.recv_timeout(self.shared.cfg.request_timeout) {
-                    Ok(resp) => resp,
-                    Err(_) => {
+            PendingState::Waiting(slot) => {
+                match slot.wait(self.shared.cfg.request_timeout) {
+                    Some(resp) => resp,
+                    None => {
                         Metrics::bump(&m.timeouts);
                         Response::err(
                             ErrKind::Timeout,
@@ -745,10 +824,10 @@ impl Client {
                 Response::err(ErrKind::Internal, "service is shutting down"),
             );
         }
-        let (reply_tx, reply_rx) = channel::bounded(1);
+        let slot = ReplySlot::new();
         let job = Job {
             req,
-            reply: reply_tx,
+            reply: Arc::clone(&slot),
             enqueued: Instant::now(),
         };
         let state = match self.tx.try_send(job) {
@@ -759,7 +838,7 @@ impl Client {
             Err(channel::TrySendError::Disconnected(_)) => {
                 PendingState::Ready(Response::err(ErrKind::Internal, "service is shut down"))
             }
-            Ok(()) => PendingState::Waiting(reply_rx),
+            Ok(()) => PendingState::Waiting(slot),
         };
         PendingReply {
             shared: Arc::clone(&self.shared),
@@ -796,38 +875,59 @@ impl Client {
 }
 
 fn worker_loop(shared: &Shared, rx: &Receiver<Job>, stop: &AtomicBool) {
+    let run = |job: Job| {
+        shared.metrics.queue.record(job.enqueued.elapsed());
+        let resp = execute(shared, job.req);
+        // The session may have timed out and gone; the slot discards.
+        job.reply.deliver(resp);
+    };
     loop {
         match rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(job) => {
-                shared.metrics.queue.record(job.enqueued.elapsed());
-                let resp = execute(shared, job.req);
-                // The session may have timed out and gone; that's fine.
-                let _ = job.reply.send(resp);
-            }
+            Ok(job) => run(job),
             // An idle tick with the stop flag set means the queue has
             // drained — shutdown processes everything already admitted.
+            // The final non-blocking sweep closes the window where a job
+            // admitted just before the flag flipped would otherwise be
+            // stranded in the queue when the last receiver drops.
             Err(RecvTimeoutError::Timeout) => {
                 if stop.load(Ordering::SeqCst) {
+                    while let Ok(job) = rx.try_recv() {
+                        run(job);
+                    }
                     return;
                 }
             }
-            Err(RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutError::Disconnected) => {
+                while let Ok(job) = rx.try_recv() {
+                    run(job);
+                }
+                return;
+            }
         }
     }
 }
 
 fn completion_loop(rx: &Receiver<CompletionJob>, stop: &AtomicBool) {
+    let run = |job: CompletionJob| {
+        let _ = job.out.send((Some(job.tag), job.pending.wait()));
+    };
     loop {
         match rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(job) => {
-                let _ = job.out.send((Some(job.tag), job.pending.wait()));
-            }
+            Ok(job) => run(job),
             Err(RecvTimeoutError::Timeout) => {
                 if stop.load(Ordering::SeqCst) {
+                    while let Ok(job) = rx.try_recv() {
+                        run(job);
+                    }
                     return;
                 }
             }
-            Err(RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutError::Disconnected) => {
+                while let Ok(job) = rx.try_recv() {
+                    run(job);
+                }
+                return;
+            }
         }
     }
 }

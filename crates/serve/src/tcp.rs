@@ -20,12 +20,13 @@ use crate::protocol::{parse_tagged_request, Request, Response};
 use crate::service::{Client, Service};
 use crossbeam::channel;
 use parking_lot::Mutex;
+use sanitizer::thread::{spawn_tracked, TrackedHandle};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::{self, JoinHandle};
+use std::thread;
 use std::time::Duration;
 
 /// Live session sockets, so [`TcpHandle::stop`] can sever them — a
@@ -39,7 +40,7 @@ type SessionRegistry = Arc<Mutex<HashMap<u64, TcpStream>>>;
 pub struct TcpHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
+    accept: Option<TrackedHandle<()>>,
     sessions: SessionRegistry,
 }
 
@@ -75,11 +76,9 @@ impl Service {
         let loop_sessions = Arc::clone(&sessions);
         let service_stop = Arc::clone(&self.stop);
         let client = self.client();
-        let accept = thread::Builder::new()
-            .name("serve-accept".into())
-            .spawn(move || {
-                accept_loop(&listener, &client, &loop_stop, &service_stop, &loop_sessions);
-            })?;
+        let accept = spawn_tracked("serve-accept", move || {
+            accept_loop(&listener, &client, &loop_stop, &service_stop, &loop_sessions);
+        })?;
         Ok(TcpHandle {
             addr: local,
             stop,
@@ -107,12 +106,15 @@ fn accept_loop(
                     sessions.lock().insert(id, clone);
                 }
                 let registry = Arc::clone(sessions);
-                let _ = thread::Builder::new()
-                    .name("serve-session".into())
-                    .spawn(move || {
-                        let _ = serve_connection(stream, &session);
-                        registry.lock().remove(&id);
-                    });
+                // Sessions are deliberately unsupervised: they end at EOF
+                // or when `TcpHandle::stop` severs their socket, and
+                // nothing needs their result — detach, don't leak.
+                if let Ok(h) = spawn_tracked("serve-session", move || {
+                    let _ = serve_connection(stream, &session);
+                    registry.lock().remove(&id);
+                }) {
+                    h.detach();
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 thread::sleep(Duration::from_millis(2));
@@ -149,19 +151,26 @@ fn serve_connection(stream: TcpStream, client: &Client) -> std::io::Result<()> {
     let mut writer = stream.try_clone()?;
     let reader = BufReader::new(stream);
     let (resp_tx, resp_rx) = channel::unbounded::<(Option<String>, Response)>();
-    let writer_thread = thread::Builder::new()
-        .name("serve-session-writer".into())
-        .spawn(move || {
-            while let Ok((tag, resp)) = resp_rx.recv() {
-                if writer
-                    .write_all(resp.render_tagged(tag.as_deref()).as_bytes())
-                    .and_then(|()| writer.flush())
-                    .is_err()
-                {
-                    break;
-                }
+    let writer_thread = spawn_tracked("serve-session-writer", move || {
+        // Once the socket dies, keep consuming (and discarding) frames
+        // until every sender is gone: in-flight completion jobs must
+        // never find their responses stranded in a queue whose receiver
+        // dropped mid-stream (the sanitizer reports that as a channel
+        // leak, and it would hide which responses were abandoned).
+        let mut socket_dead = false;
+        while let Ok((tag, resp)) = resp_rx.recv() {
+            if socket_dead {
+                continue;
             }
-        })?;
+            if writer
+                .write_all(resp.render_tagged(tag.as_deref()).as_bytes())
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                socket_dead = true;
+            }
+        }
+    })?;
 
     for line in reader.lines() {
         let line = line?;

@@ -98,12 +98,22 @@ pub fn replay(path: &Path) -> std::io::Result<WalReplay> {
     let mut out = WalReplay::default();
     let mut offset = 0usize;
     while offset + 8 <= bytes.len() {
-        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        let len = u32::from_le_bytes([
+            bytes[offset],
+            bytes[offset + 1],
+            bytes[offset + 2],
+            bytes[offset + 3],
+        ]) as usize;
         let end = offset + 8 + len;
         if end > bytes.len() {
             break; // incomplete frame: torn mid-append
         }
-        let want = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        let want = u32::from_le_bytes([
+            bytes[offset + 4],
+            bytes[offset + 5],
+            bytes[offset + 6],
+            bytes[offset + 7],
+        ]);
         let payload = &bytes[offset + 8..end];
         if crc32(payload) != want {
             break; // checksum mismatch: torn or corrupt

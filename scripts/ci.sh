@@ -18,6 +18,24 @@ for seed in 7 1998 424242; do
     SERVE_FAULT_SEED=$seed cargo test -q --offline --test serve_recovery
 done
 
+echo "==> doem-lint (workspace invariants vs doem-lint.baseline)"
+cargo run -q -p lint --offline --bin doem-lint
+
+echo "==> serve suite under DOEM_SANITIZE=1 (must report zero findings)"
+# The sanitizer fixtures in crates/sanitizer/tests *intentionally* emit
+# DOEM-SANITIZE findings, so the gate reruns only the serve crate's
+# binaries and fails on any finding line in their output.
+sanitize_out="$(DOEM_SANITIZE=1 cargo test -q --offline -p serve 2>&1)" || {
+    echo "$sanitize_out"
+    echo "ci: serve tests failed under DOEM_SANITIZE=1" >&2
+    exit 1
+}
+if grep -q "DOEM-SANITIZE \[" <<<"$sanitize_out"; then
+    grep "DOEM-SANITIZE \[" <<<"$sanitize_out" >&2
+    echo "ci: sanitizer reported findings in the serve suite" >&2
+    exit 1
+fi
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

@@ -194,6 +194,10 @@ proptest! {
             "select guide.restaurant.(price|cuisine)",
             "select R.link*.name from guide.restaurant R",
             "select X, T from guide.restaurant.<add at T>(note|tag) X",
+            "select R.name from guide.restaurant R where R.name like \"R%\"",
+            "select N from guide.restaurant.name N where N like \"%1%\"",
+            "select R from guide.restaurant R where R.<add at T>note and R.name like \"R_\"",
+            "select X.price from guide.% X where X.name like \"_ot\" or X.name like \"R0\"",
         ] {
             // Skip the ones the translator cannot express if any arise;
             // run_both_checked errors on mismatch, which is the assertion.
@@ -230,6 +234,8 @@ proptest! {
             "select guide.restaurant.name<cre at T> where T < 1Feb97",
             "select X from guide.% X where X.name",
             "select guide.restaurant.(price|cuisine)",
+            "select R.name from guide.restaurant R where R.name like \"R%\"",
+            "select R from guide.restaurant R where R.<add at T>note and R.name like \"R_\"",
         ] {
             let expected =
                 chorel::canonical_row_strings(&d, &chorel::run_both_checked(&d, query).unwrap());
