@@ -132,5 +132,79 @@ fn bench_checkpoint_tradeoff(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_append, bench_recovery, bench_checkpoint_tradeoff);
+fn bench_group_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal/group-commit");
+    group.sample_size(10);
+    // N writer threads pipeline through one sequencing worker; the
+    // committer either fsyncs every record (`gc-1`, the pre-pipeline
+    // behavior) or absorbs whatever queued while the previous fsync ran
+    // (`gc-8`). Comparing the legs at equal writer counts is the X8
+    // group-commit claim: amortized fsyncs, lower mean write latency.
+    for &writers in &[4usize, 8] {
+        for &gc in &[1usize, 8] {
+            let id = BenchmarkId::new(format!("writers-{writers}"), format!("gc-{gc}"));
+            group.bench_with_input(id, &(writers, gc), |b, &(writers, gc)| {
+                b.iter(|| {
+                    let dir = tmp(&format!("gc-{writers}-{gc}"));
+                    let svc = Service::start(serve::ServeConfig {
+                        wal_dir: Some(dir.clone()),
+                        workers: 1, // queue order == timestamp order: no conflicts
+                        checkpoint_every: 0,
+                        group_commit_max: gc,
+                        group_commit_window_us: 0,
+                        ..serve::ServeConfig::default()
+                    })
+                    .unwrap();
+                    let client = svc.client();
+                    assert!(!client.request_line("CREATE g").is_error());
+                    // Timestamp handout and submission share one mutex so
+                    // sequencing sees strictly increasing timestamps; the
+                    // wait happens outside it, which is where concurrent
+                    // riders pile onto the same fsync.
+                    let submit = std::sync::Mutex::new(0usize);
+                    std::thread::scope(|s| {
+                        for _ in 0..writers {
+                            s.spawn(|| {
+                                let client = svc.client();
+                                for _ in 0..8 {
+                                    let pending = {
+                                        let mut i = submit.lock().unwrap();
+                                        let (at, changes) = record(*i);
+                                        *i += 1;
+                                        client
+                                            .begin_line(&format!("UPDATE g AT {at} ; {changes}"))
+                                            .1
+                                    };
+                                    let resp = pending.wait();
+                                    assert!(!resp.is_error(), "{resp:?}");
+                                }
+                            });
+                        }
+                    });
+                    let m = svc.metrics();
+                    let appends = m.wal_appends.load(std::sync::atomic::Ordering::Relaxed);
+                    let fsyncs = m.wal_fsyncs.load(std::sync::atomic::Ordering::Relaxed);
+                    if gc > 1 {
+                        assert!(
+                            fsyncs < appends,
+                            "group commit never amortized: {fsyncs} fsyncs for {appends} appends"
+                        );
+                    }
+                    svc.shutdown();
+                    let _ = std::fs::remove_dir_all(&dir);
+                    black_box((appends, fsyncs))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_append,
+    bench_recovery,
+    bench_checkpoint_tradeoff,
+    bench_group_commit
+);
 criterion_main!(benches);

@@ -313,8 +313,17 @@ impl WaitTimeoutResult {
 }
 
 /// Condition variable working with [`Mutex`]/[`MutexGuard`].
+///
+/// Under the sanitizer, the condvar is a node in the lock-order
+/// wait-graph: parking while holding an *unrelated* lock adds
+/// `lock → condvar` edges, and notifying while holding locks adds
+/// `condvar → lock` edges — so a waiter that keeps a lock its notifier
+/// needs shows up as an ordering cycle (the lost-wakeup deadlock). The
+/// paired mutex is released before the edges are recorded, so notifying
+/// under it — the standard, correct pattern — stays silent.
 #[derive(Default)]
 pub struct Condvar {
+    tag: LockTag,
     inner: sync::Condvar,
 }
 
@@ -322,6 +331,7 @@ impl Condvar {
     /// Create a new condition variable.
     pub const fn new() -> Condvar {
         Condvar {
+            tag: LockTag::new(),
             inner: sync::Condvar::new(),
         }
     }
@@ -332,8 +342,12 @@ impl Condvar {
         let san = sanitizer::enabled();
         if san {
             // The wait releases the mutex; the thread holds nothing while
-            // parked and re-registers the lock when the wait returns.
+            // parked and re-registers the lock when the wait returns. Any
+            // *other* lock still held across the park becomes a
+            // wait-graph edge into this condvar.
+            let site = Location::caller();
             sanitizer::on_unlock(guard.tag);
+            sanitizer::on_condvar_wait(&self.tag, site);
         }
         let inner = guard.inner.take().expect("guard present");
         guard.inner = Some(
@@ -355,7 +369,9 @@ impl Condvar {
     ) -> WaitTimeoutResult {
         let san = sanitizer::enabled();
         if san {
+            let site = Location::caller();
             sanitizer::on_unlock(guard.tag);
+            sanitizer::on_condvar_wait(&self.tag, site);
         }
         let inner = guard.inner.take().expect("guard present");
         let (inner, res) = match self.inner.wait_timeout(inner, timeout) {
@@ -375,13 +391,21 @@ impl Condvar {
     }
 
     /// Wake one waiter.
+    #[track_caller]
     pub fn notify_one(&self) -> bool {
+        if sanitizer::enabled() {
+            sanitizer::on_condvar_notify(&self.tag, Location::caller());
+        }
         self.inner.notify_one();
         true
     }
 
     /// Wake all waiters.
+    #[track_caller]
     pub fn notify_all(&self) -> usize {
+        if sanitizer::enabled() {
+            sanitizer::on_condvar_notify(&self.tag, Location::caller());
+        }
         self.inner.notify_all();
         0
     }

@@ -359,6 +359,157 @@ pub fn scan_serve_unwrap(file: &str, raw: &str) -> Vec<Finding> {
 }
 
 // ---------------------------------------------------------------------------
+// Autofix: serve-unwrap
+// ---------------------------------------------------------------------------
+
+/// Per-line flags for lines inside a function whose declared return type
+/// is a `Result` (computed on *stripped* source). Signatures may span up
+/// to eight lines; the body is brace-matched from the opening `{`. Nested
+/// functions override their enclosing region (an inner `fn` returning
+/// `()` inside a `Result` fn is *not* flagged), so the flags are safe to
+/// drive the `.unwrap()` → `?` rewrite.
+fn result_fn_lines(stripped: &str) -> Vec<bool> {
+    let lines: Vec<&str> = stripped.lines().collect();
+    let mut flags = vec![false; lines.len()];
+    let mut i = 0usize;
+    while i < lines.len() {
+        let Some(fn_pos) = fn_keyword(lines[i]) else {
+            i += 1;
+            continue;
+        };
+        // Gather the signature text up to the body `{` (or a `;` for a
+        // trait method declaration, which has no body to flag).
+        let mut sig = String::new();
+        let mut brace_line = None;
+        let mut j = i;
+        'sig: while j < lines.len() && j <= i + 8 {
+            let seg = if j == i {
+                lines[j].get(fn_pos..).unwrap_or("")
+            } else {
+                lines[j]
+            };
+            for c in seg.chars() {
+                match c {
+                    '{' => {
+                        brace_line = Some(j);
+                        break 'sig;
+                    }
+                    ';' => break 'sig,
+                    _ => sig.push(c),
+                }
+            }
+            sig.push(' ');
+            j += 1;
+        }
+        let Some(bl) = brace_line else {
+            i = j + 1;
+            continue;
+        };
+        let returns_result = sig
+            .split("->")
+            .nth(1)
+            .is_some_and(|ret| ret.contains("Result"));
+        let mut depth = 0i64;
+        let mut opened = false;
+        let mut k = bl;
+        while k < lines.len() {
+            for c in lines[k].bytes() {
+                match c {
+                    b'{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    b'}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            // Overwrite (not |=) so an inner fn's verdict wins over the
+            // enclosing region's; outer-first scan order makes that right.
+            if let Some(f) = flags.get_mut(k) {
+                *f = returns_result;
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            k += 1;
+        }
+        i = bl + 1;
+    }
+    flags
+}
+
+/// Byte offset of an `fn ` keyword on `line`, rejecting identifiers that
+/// merely end in "fn" (`often `).
+fn fn_keyword(line: &str) -> Option<usize> {
+    let idx = line.find("fn ")?;
+    if idx > 0 {
+        let prev = line.as_bytes().get(idx - 1).copied().unwrap_or(b' ');
+        if prev.is_ascii_alphanumeric() || prev == b'_' {
+            return None;
+        }
+    }
+    Some(idx)
+}
+
+/// Rewrite the *trivial* serve-unwrap hits: a `.unwrap()` in a function
+/// whose return type is a `Result` becomes `?`. Returns the fixed source
+/// and the number of rewrites (0 means the text is returned unchanged).
+///
+/// Deliberately conservative — each skipped case stays a reported finding
+/// for a human:
+/// * lines inside `#[cfg(test)]` modules or under `// lint: allow`;
+/// * `.expect(…)` calls (the message is information the fix would lose);
+/// * lines where a `|` precedes the call (a closure body can't use `?`
+///   against the enclosing function's return type);
+/// * functions not returning `Result` (includes `Option`-returning fns —
+///   `?` on a `Result` there wouldn't compile anyway).
+///
+/// The rewrite is idempotent: the output contains no eligible `.unwrap()`
+/// sites, so a second pass reports zero rewrites.
+pub fn fix_serve_unwrap(raw: &str) -> (String, usize) {
+    let stripped = strip_source(raw);
+    let tests = test_mod_lines(&stripped);
+    let allows = allow_lines(raw);
+    let result_fns = result_fn_lines(&stripped);
+    let stripped_lines: Vec<&str> = stripped.lines().collect();
+    let mut rewrites = 0usize;
+    let mut out = String::with_capacity(raw.len());
+    for (i, line) in raw.lines().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        let eligible = flag(&result_fns, i) && !flag(&tests, i) && !flag(&allows, i);
+        let sl = stripped_lines.get(i).copied().unwrap_or("");
+        if !eligible || !sl.contains(".unwrap()") {
+            out.push_str(line);
+            continue;
+        }
+        // Stripping is length-preserving, so offsets found in the
+        // stripped line splice directly into the raw line (this is what
+        // keeps `.unwrap()` inside a string literal untouched).
+        const PAT: &str = ".unwrap()";
+        let mut cursor = 0usize;
+        while let Some(pos) = sl.get(cursor..).and_then(|s| s.find(PAT)) {
+            let at = cursor + pos;
+            let in_closure = sl.get(..at).is_some_and(|pre| pre.contains('|'));
+            out.push_str(line.get(cursor..at).unwrap_or(""));
+            if in_closure {
+                out.push_str(PAT);
+            } else {
+                out.push('?');
+                rewrites += 1;
+            }
+            cursor = at + PAT.len();
+        }
+        out.push_str(line.get(cursor..).unwrap_or(""));
+    }
+    if raw.ends_with('\n') {
+        out.push('\n');
+    }
+    (out, rewrites)
+}
+
+// ---------------------------------------------------------------------------
 // Rule: guard-across-wal
 // ---------------------------------------------------------------------------
 
@@ -370,8 +521,8 @@ const WAL_CALLS: [&str; 6] = [
     ".sync_all(",
     ".save_doem(",
     "fresh_durable_db(",
-    "checkpoint_shard(",
-    "commit_changes(",
+    "checkpoint_published(",
+    ".append_batch(",
 ];
 
 struct Guard {
@@ -747,6 +898,44 @@ mod tests {
     }
 
     #[test]
+    fn fix_rewrites_unwrap_in_result_fns() {
+        let before = "fn load(p: &str) -> std::io::Result<u64> {\n    let n = read(p).unwrap();\n    Ok(n)\n}\n";
+        let (after, n) = fix_serve_unwrap(before);
+        assert_eq!(n, 1);
+        assert!(after.contains("read(p)?;"), "{after}");
+        // The fixed file no longer trips the scanner.
+        assert!(scan_serve_unwrap("crates/serve/src/x.rs", &after).is_empty());
+    }
+
+    #[test]
+    fn fix_is_idempotent() {
+        let before = "fn a() -> Result<(), E> {\n    b().unwrap();\n    c().unwrap();\n    Ok(())\n}\n";
+        let (once, n1) = fix_serve_unwrap(before);
+        assert_eq!(n1, 2);
+        let (twice, n2) = fix_serve_unwrap(&once);
+        assert_eq!(n2, 0);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn fix_leaves_nontrivial_sites_alone() {
+        // Non-Result fn: `?` would not compile.
+        let void_fn = "fn a() {\n    b().unwrap();\n}\n";
+        assert_eq!(fix_serve_unwrap(void_fn).1, 0);
+        // Inner non-Result fn inside a Result fn.
+        let nested = "fn outer() -> Result<(), E> {\n    fn inner() {\n        b().unwrap();\n    }\n    inner();\n    Ok(())\n}\n";
+        assert_eq!(fix_serve_unwrap(nested).1, 0);
+        // Closure bodies can't use `?` against the enclosing fn.
+        let closure = "fn a() -> Result<(), E> {\n    spawn(move || b().unwrap());\n    Ok(())\n}\n";
+        assert_eq!(fix_serve_unwrap(closure).1, 0);
+        // Tests, allows, string literals, and `.expect(` stay put.
+        let src = "fn a() -> Result<(), E> {\n    // lint: allow\n    b().unwrap();\n    let s = \"x.unwrap()\";\n    c().expect(\"why\");\n    Ok(())\n}\n#[cfg(test)]\nmod tests {\n    fn t() -> Result<(), E> {\n        d().unwrap();\n        Ok(())\n    }\n}\n";
+        let (after, n) = fix_serve_unwrap(src);
+        assert_eq!(n, 0, "{after}");
+        assert_eq!(after, src);
+    }
+
+    #[test]
     fn guard_across_wal_flags_and_releases() {
         let src = "fn a(m: &Mutex<u8>) {\n  let g = m.lock();\n  file.sync_data()?;\n}\n";
         let f = scan_guard_across_wal("crates/serve/src/x.rs", src);
@@ -819,6 +1008,14 @@ mod tests {
             fn strip_source_never_panics(src in "\\PC{0,160}") {
                 let out = strip_source(&src);
                 prop_assert_eq!(out.lines().count(), src.lines().count());
+            }
+
+            #[test]
+            fn fixer_never_panics_and_converges(src in "\\PC{0,160}") {
+                let (once, _) = fix_serve_unwrap(&src);
+                let (twice, n2) = fix_serve_unwrap(&once);
+                prop_assert_eq!(n2, 0);
+                prop_assert_eq!(once, twice);
             }
 
             #[test]

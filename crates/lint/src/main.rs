@@ -1,9 +1,16 @@
 //! `doem-lint` — run the project invariant scanners over the workspace.
 //!
-//! Usage: `cargo run --bin doem-lint [-- --root <path>] [--write-baseline]`
+//! Usage: `cargo run --bin doem-lint [-- --root <path>] [--write-baseline]
+//! [--fix [--check]]`
 //!
-//! Exit codes: 0 clean (relative to baseline), 1 findings above baseline,
-//! 2 usage / I/O error. Diagnostics are `file:line: [rule] message`.
+//! `--fix` rewrites the *trivial* serve-unwrap findings in place
+//! (`.unwrap()` in a `Result`-returning fn under `crates/serve/src`
+//! becomes `?`) and exits; `--fix --check` writes nothing and exits 1 if
+//! any file *would* change — the CI guard that the autofix has been run.
+//!
+//! Exit codes: 0 clean (relative to baseline), 1 findings above baseline
+//! (or `--fix --check` dirty), 2 usage / I/O error. Diagnostics are
+//! `file:line: [rule] message`.
 //!
 //! The baseline file (`doem-lint.baseline` at the workspace root) holds
 //! `rule<TAB>file<TAB>count` lines for findings that are accepted by
@@ -16,12 +23,14 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use lint::{scan_canonical_order, scan_guard_across_wal, scan_missing_docs, scan_parser_fuzz,
-           scan_serve_unwrap, Finding};
+use lint::{fix_serve_unwrap, scan_canonical_order, scan_guard_across_wal, scan_missing_docs,
+           scan_parser_fuzz, scan_serve_unwrap, Finding};
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut write_baseline = false;
+    let mut fix = false;
+    let mut check = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -33,8 +42,12 @@ fn main() -> ExitCode {
                 }
             },
             "--write-baseline" => write_baseline = true,
+            "--fix" => fix = true,
+            "--check" => check = true,
             "--help" | "-h" => {
-                eprintln!("usage: doem-lint [--root <path>] [--write-baseline]");
+                eprintln!(
+                    "usage: doem-lint [--root <path>] [--write-baseline] [--fix [--check]]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -42,6 +55,10 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+    }
+    if check && !fix {
+        eprintln!("doem-lint: --check only makes sense with --fix");
+        return ExitCode::from(2);
     }
     let root = match root.or_else(default_root) {
         Some(r) => r,
@@ -56,6 +73,10 @@ fn main() -> ExitCode {
             root.display()
         );
         return ExitCode::from(2);
+    }
+
+    if fix {
+        return run_fix(&root, check);
     }
 
     let findings = scan_workspace(&root);
@@ -139,6 +160,54 @@ fn main() -> ExitCode {
         );
         ExitCode::SUCCESS
     }
+}
+
+/// Apply (or, with `check`, dry-run) the serve-unwrap autofix over the
+/// rule's scope, `crates/serve/src`. In check mode nothing is written and
+/// a dirty tree exits 1, so CI can demand the fix has been run.
+fn run_fix(root: &Path, check: bool) -> ExitCode {
+    let mut rust_files = Vec::new();
+    let mut md_files = Vec::new();
+    collect_files(root, root, &mut rust_files, &mut md_files, 0);
+    rust_files.sort();
+    let mut dirty = 0usize;
+    let mut total_rewrites = 0usize;
+    for rel in &rust_files {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if !rel_str.starts_with("crates/serve/src/") {
+            continue;
+        }
+        let path = root.join(rel);
+        let Ok(raw) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let (fixed, rewrites) = fix_serve_unwrap(&raw);
+        if rewrites == 0 {
+            continue;
+        }
+        dirty += 1;
+        total_rewrites += rewrites;
+        if check {
+            println!("doem-lint: --fix would rewrite {rewrites} site(s) in {rel_str}");
+        } else if let Err(e) = std::fs::write(&path, &fixed) {
+            eprintln!("doem-lint: cannot write {rel_str}: {e}");
+            return ExitCode::from(2);
+        } else {
+            println!("doem-lint: fixed {rewrites} unwrap site(s) in {rel_str}");
+        }
+    }
+    if check && dirty > 0 {
+        println!(
+            "doem-lint: {total_rewrites} trivial unwrap site(s) in {dirty} file(s) — \
+             run `cargo run --bin doem-lint -- --fix`"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "doem-lint: fix {}: {total_rewrites} rewrite(s) in {dirty} file(s)",
+        if check { "check clean" } else { "complete" }
+    );
+    ExitCode::SUCCESS
 }
 
 /// The lint crate lives at `<root>/crates/lint`, so the workspace root is

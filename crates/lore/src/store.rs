@@ -76,17 +76,33 @@ impl LoreStore {
     }
 
     /// Persist an OEM database under `name`.
+    ///
+    /// The slow part — writing and fsyncing the image into a uniquely
+    /// named temp file — happens *outside* the store's write lock; only
+    /// the atomic rename serializes. A group committer checkpointing one
+    /// database therefore never stalls behind another database's image
+    /// write, and a failed write leaves at most a stray `.tmp-N` file,
+    /// never a clobbered image.
     pub fn save(&self, name: &str, db: &OemDatabase) -> Result<()> {
+        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let bytes = encode_database(db);
         let final_path = self.path_for(name);
-        let tmp_path = final_path.with_extension("oem.tmp");
-        let _guard = self.write_lock.lock();
+        let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // Unique per write, and an extension `names()` won't count.
+        let tmp_path = final_path.with_extension(format!("tmp-{seq}"));
         {
             let mut f = fs::File::create(&tmp_path)?;
-            f.write_all(&bytes)?;
-            f.sync_all()?;
+            if let Err(e) = f.write_all(&bytes).and_then(|()| f.sync_all()) {
+                drop(f);
+                let _ = fs::remove_file(&tmp_path);
+                return Err(e.into());
+            }
         }
-        fs::rename(&tmp_path, &final_path)?;
+        let _guard = self.write_lock.lock();
+        if let Err(e) = fs::rename(&tmp_path, &final_path) {
+            let _ = fs::remove_file(&tmp_path);
+            return Err(e.into());
+        }
         Ok(())
     }
 

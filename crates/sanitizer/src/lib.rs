@@ -480,6 +480,44 @@ pub fn on_unlock(tag: &LockTag) {
     }
 }
 
+/// Called by the condvar stand-in just before parking, **after** the
+/// paired mutex was released ([`on_unlock`]). The condvar joins the
+/// wait-graph as a node: every lock still held across the wait gains a
+/// `held → condvar` edge, because the thread cannot make progress until
+/// the condvar is signaled — exactly a blocking acquisition from the
+/// graph's point of view. The paired mutex is deliberately *not* in the
+/// held set by then, so the ubiquitous correct pattern of notifying
+/// while holding the paired mutex reports nothing.
+pub fn on_condvar_wait(cv: &LockTag, site: &'static Location<'static>) {
+    let id = tag_id(cv, site);
+    let held: Vec<Hold> = HELD.with(|h| h.borrow().clone());
+    for h in held {
+        note_edge(h, id, site);
+    }
+}
+
+/// Called by the condvar stand-in on `notify_one`/`notify_all`. Every
+/// lock the notifier holds gains a `condvar → held` edge: the wakeup is
+/// only reachable through those locks. Combined with the wait side, a
+/// thread that parks on a condvar while holding an unrelated lock the
+/// notifier needs closes a `lock → condvar → lock` cycle — the
+/// lost-wakeup deadlock, reported like any other ordering cycle.
+pub fn on_condvar_notify(cv: &LockTag, site: &'static Location<'static>) {
+    let held: Vec<Hold> = HELD.with(|h| h.borrow().clone());
+    if held.is_empty() {
+        return;
+    }
+    let id = tag_id(cv, site);
+    let cv_hold = Hold {
+        id,
+        mode: LockMode::Exclusive,
+        site,
+    };
+    for h in held {
+        note_edge(cv_hold, h.id, h.site);
+    }
+}
+
 /// Called by the channel stand-in when a channel's last endpoint drops.
 /// Queued messages at that point can never be received: dropped work.
 pub fn on_channel_closed(queued: usize, site: &'static Location<'static>) {

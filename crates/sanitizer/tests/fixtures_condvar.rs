@@ -1,0 +1,97 @@
+//! Condvar wait-graph fixture: a thread that parks on a condvar while
+//! holding an *unrelated* lock, whose notifier needs that same lock,
+//! must be reported as a lock-order cycle — the lost-wakeup deadlock.
+//! Lives alone in this binary because it provokes findings on purpose;
+//! the clean and deadly scenarios share one test so the global findings
+//! list is inspected in a deterministic order.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use sanitizer::FindingKind;
+
+fn cycle_findings() -> Vec<sanitizer::Finding> {
+    sanitizer::findings()
+        .into_iter()
+        .filter(|f| {
+            f.kind == FindingKind::LockOrderCycle && f.message.contains("fixtures_condvar")
+        })
+        .collect()
+}
+
+#[test]
+fn lock_plus_condvar_cycle_is_reported_and_the_paired_mutex_is_not() {
+    sanitizer::enable();
+
+    // Part 1 — the standard pattern: set the flag under the paired
+    // mutex, notify while still holding it. Must stay silent: the wait
+    // releases the paired mutex before the condvar edge is recorded.
+    let pair = Arc::new((Mutex::new(false), Condvar::new()));
+    let p2 = Arc::clone(&pair);
+    let t = std::thread::spawn(move || {
+        let (lock, cv) = &*p2;
+        let mut done = lock.lock();
+        *done = true;
+        cv.notify_one();
+    });
+    {
+        let (lock, cv) = &*pair;
+        let mut done = lock.lock();
+        while !*done {
+            cv.wait(&mut done);
+        }
+    }
+    t.join().unwrap();
+    assert!(
+        cycle_findings().is_empty(),
+        "paired-mutex notify must not report: {:?}",
+        cycle_findings()
+    );
+
+    // Part 2 — the hazard. Waiter parks on the condvar while still
+    // holding `unrelated` (wait-graph edge `unrelated → cv`); the
+    // notifier signals while holding `unrelated` (edge `cv → unrelated`)
+    // — the wakeup is only reachable through the very lock the waiter
+    // kept, so the cycle closes. The short timeout keeps the fixture
+    // from actually deadlocking; the *order* is the finding either way.
+    struct Fixture {
+        unrelated: Mutex<u32>,
+        paired: Mutex<bool>,
+        cv: Condvar,
+    }
+    let fx = Arc::new(Fixture {
+        unrelated: Mutex::new(0),
+        paired: Mutex::new(false),
+        cv: Condvar::new(),
+    });
+    let fx2 = Arc::clone(&fx);
+    let waiter = std::thread::spawn(move || {
+        let _outer = fx2.unrelated.lock();
+        let mut ready = fx2.paired.lock();
+        while !*ready {
+            if fx2
+                .cv
+                .wait_for(&mut ready, Duration::from_millis(50))
+                .timed_out()
+            {
+                break;
+            }
+        }
+    });
+    waiter.join().unwrap();
+    {
+        let _outer = fx.unrelated.lock();
+        let mut ready = fx.paired.lock();
+        *ready = true;
+        drop(ready);
+        fx.cv.notify_one();
+    }
+
+    let findings = cycle_findings();
+    assert!(
+        !findings.is_empty(),
+        "expected a LockOrderCycle finding naming this fixture, got: {:?}",
+        sanitizer::findings()
+    );
+}

@@ -109,6 +109,13 @@ pub struct Metrics {
     pub wal_appends: AtomicU64,
     /// Bytes of framed WAL records appended successfully.
     pub wal_bytes: AtomicU64,
+    /// `fsync` calls the WAL performed. With group commit this grows once
+    /// per persisted *batch*, so `wal_fsyncs / wal_appends < 1` is the
+    /// batching win in one ratio.
+    pub wal_fsyncs: AtomicU64,
+    /// Persisted batches that carried more than one record — true group
+    /// commits, where concurrent writers shared a single fsync.
+    pub group_commits: AtomicU64,
     /// Snapshot checkpoints written (each followed by a log truncation).
     pub checkpoints: AtomicU64,
     /// Databases recovered from checkpoint + log replay at startup.
@@ -160,6 +167,8 @@ impl Metrics {
             format!("counter cow_clones {}", c(&self.cow_clones)),
             format!("counter wal_appends {}", c(&self.wal_appends)),
             format!("counter wal_bytes {}", c(&self.wal_bytes)),
+            format!("counter wal_fsyncs {}", c(&self.wal_fsyncs)),
+            format!("counter group_commits {}", c(&self.group_commits)),
             format!("counter checkpoints {}", c(&self.checkpoints)),
             format!("counter recoveries {}", c(&self.recoveries)),
             format!("counter torn_tails {}", c(&self.torn_tails)),

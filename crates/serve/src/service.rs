@@ -21,15 +21,25 @@
 //! shard generation, which structurally invalidates that shard's cache.
 //!
 //! Durability model (DESIGN.md §8): with [`ServeConfig::wal_dir`] set,
-//! every committed mutation appends one record to the database's
-//! [`wal`](crate::wal) *before* it is applied in memory, and
-//! [`Service::start`] recovers each database by loading its latest
-//! checkpoint and replaying the log tail through [`doem::apply_set`] —
-//! the paper's `D(O, H)` construction doubling as crash recovery. A shard
-//! whose log can no longer be written (disk full, injected fault) flips
-//! to **read-only**: queries keep serving from the in-memory snapshot,
-//! writes answer `ErrKind::ReadOnly`, and the condition is visible in
-//! `STATS`.
+//! each durable shard commits through a **staged group-commit pipeline**
+//! instead of doing WAL I/O under its state lock. A worker *sequences* a
+//! write under the shard's pipeline lock — validate the change set
+//! against the sequencing head, assign its strictly-increasing timestamp
+//! (the LSN), stage the encoded record on the commit queue — and moves
+//! on without waiting. A per-shard *group committer* drains the queue
+//! outside every lock, *persists* the whole batch with one `write` and
+//! one `fsync` (bounded by [`ServeConfig::group_commit_max`] and
+//! [`ServeConfig::group_commit_window_us`]), then *publishes*: applies
+//! the batch to the queried state in LSN order, bumps generations, and
+//! releases the waiting [`ReplySlot`]s — so no request is acked before
+//! its record and every earlier LSN are durable. [`Service::start`]
+//! recovers each database by loading its latest checkpoint and replaying
+//! the log tail through [`doem::apply_set`] — the paper's `D(O, H)`
+//! construction doubling as crash recovery. A shard whose log can no
+//! longer be written (disk full, injected fault) fails the whole staged
+//! batch with one coherent error and flips to **read-only**: queries
+//! keep serving from the in-memory snapshot, writes answer
+//! `ErrKind::ReadOnly`, and the condition is visible in `STATS`.
 //!
 //! QSS state (subscriptions, the registry of named queries, the simulated
 //! clock) lives in a separate *control* shard with its own lock and
@@ -57,7 +67,7 @@ use oem::{ChangeSet, History, OemDatabase, SharedOem, Timestamp};
 use parking_lot::{Condvar, Mutex, RwLock};
 use qss::{QssServer, ScriptedSource, Source, Subscription};
 use sanitizer::thread::{spawn_tracked, TrackedHandle};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -108,6 +118,16 @@ pub struct ServeConfig {
     /// its log). 0 disables automatic checkpoints — the log grows until
     /// shutdown. Ignored without `wal_dir`.
     pub checkpoint_every: u64,
+    /// Most records a group committer persists per `write`+`fsync` batch
+    /// (min 1). `1` restores one-fsync-per-write; larger values let
+    /// concurrent writers to one shard share a single disk round-trip.
+    /// Ignored without `wal_dir`.
+    pub group_commit_max: usize,
+    /// How long (µs) a committer lingers for more riders once it has at
+    /// least one staged record but fewer than `group_commit_max`. 0 (the
+    /// default) never waits: the batch is whatever accumulated while the
+    /// previous fsync was in flight — batching from backpressure alone.
+    pub group_commit_window_us: u64,
     /// Threads in the completion pool that waits out pipelined (tagged)
     /// TCP requests (min 1). Bounds waiter concurrency regardless of how
     /// many sessions pipeline how deeply.
@@ -130,6 +150,8 @@ impl Default for ServeConfig {
             store_dir: None,
             wal_dir: None,
             checkpoint_every: 64,
+            group_commit_max: 8,
+            group_commit_window_us: 0,
             completion_threads: 4,
             faults: Faults::disabled(),
         }
@@ -146,26 +168,96 @@ pub(crate) struct ShardState {
     /// Bumped by every successful write to this shard; cache keys carry
     /// it, so a bump structurally invalidates the shard's cache.
     pub(crate) generation: u64,
-    /// The durable log, when the service runs with a WAL directory.
-    pub(crate) wal: Option<DbWal>,
-    /// Highest change timestamp committed to this shard. Durable shards
-    /// enforce the paper's Definition 2.2 on it — change timestamps must
-    /// strictly increase — which makes the timestamp a log sequence
-    /// number: recovery skips WAL entries at or before the checkpoint's
-    /// high-water mark, so a crash between checkpoint save and log
-    /// truncation can never double-apply.
+    /// Highest change timestamp **published** to this shard. Durable
+    /// shards enforce the paper's Definition 2.2 on it — change
+    /// timestamps must strictly increase — which makes the timestamp a
+    /// log sequence number: recovery skips WAL entries at or before the
+    /// checkpoint's high-water mark, so a crash between checkpoint save
+    /// and log truncation can never double-apply.
     pub(crate) last_at: Timestamp,
     /// Set on persistent log I/O failure; writes answer
     /// [`ErrKind::ReadOnly`] while queries keep serving.
     pub(crate) read_only: bool,
 }
 
-/// One database shard: its own lock, generation counter, and result
-/// cache. Shards are handed around as `Arc<Shard>` so the registry lock
-/// is never held during execution.
+/// A write accepted by the sequence stage, parked on the commit queue
+/// until the group committer persists and publishes it.
+struct StagedCommit {
+    /// The assigned timestamp — the LSN. Strictly increasing along the
+    /// queue, so publish order is sequence order is log order.
+    at: Timestamp,
+    changes: ChangeSet,
+    /// The WAL frame, encoded at sequence time so the committer's batch
+    /// write is pure I/O.
+    frame: Vec<u8>,
+    /// Operation count, echoed in the ack.
+    ops: usize,
+    /// For `MUTATE`: how many nodes the compiled update created (the ack
+    /// text differs). `None` for `UPDATE`.
+    created: Option<usize>,
+    /// Where the submitting session is waiting; released at publish.
+    reply: Arc<ReplySlot>,
+}
+
+/// Why a committer is being asked to stop.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum StopKind {
+    /// Service shutdown: drain the queue, then take a final checkpoint.
+    Shutdown,
+    /// The shard is being replaced (`LOAD`/`install` over the same
+    /// name): drain the queue — already-sequenced writes still commit to
+    /// the outgoing incarnation — but skip the checkpoint; the new
+    /// incarnation resets the durable files anyway.
+    Replaced,
+}
+
+/// Everything under a durable shard's pipeline lock: the sequencing head
+/// (a second copy of the graphs, ahead of the published state by exactly
+/// the staged-but-unpublished writes) and the commit queue. The lock is
+/// held only for validation + staging — never across WAL I/O.
+struct PipelineState {
+    /// DOEM graph with every sequenced change applied. Validation target.
+    seq_doem: SharedDoem,
+    /// OEM replica in lockstep with `seq_doem`; `MUTATE` compiles here.
+    seq_replica: SharedOem,
+    /// Highest sequenced timestamp — the strict-LSN check reads this,
+    /// not the published `ShardState::last_at`.
+    seq_last_at: Timestamp,
+    /// Mirrors `ShardState::read_only` so refusal happens at sequencing.
+    read_only: bool,
+    /// Sequenced, not yet drained by the committer.
+    queue: VecDeque<StagedCommit>,
+    /// The batch the committer is persisting right now (timestamps +
+    /// change sets only). Together with `queue`, exactly the writes the
+    /// sequencing head is ahead of the published state by — what
+    /// [`rebuild_sequencing_head`] replays after a rejected change set.
+    persisting: Vec<(Timestamp, ChangeSet)>,
+    /// The shard's log, parked here between shard construction and
+    /// committer start; the committer takes it and owns it exclusively,
+    /// which is why no lock is ever held across an append or fsync.
+    wal: Option<DbWal>,
+    /// Set once by shutdown/replace; the committer drains and exits.
+    stop: Option<StopKind>,
+}
+
+/// The staged-commit machinery of one durable shard.
+pub(crate) struct CommitPipeline {
+    inner: Mutex<PipelineState>,
+    /// Signaled when the queue gains work or `stop` is set.
+    work: Condvar,
+}
+
+/// One database shard: its own lock, generation counter, result cache,
+/// and — when durable — its commit pipeline and group-committer thread.
+/// Shards are handed around as `Arc<Shard>` so the registry lock is
+/// never held during execution.
 pub(crate) struct Shard {
     pub(crate) state: RwLock<ShardState>,
     pub(crate) cache: ResultCache,
+    /// `Some` iff the shard is durable; writes sequence through it.
+    pub(crate) pipeline: Option<Arc<CommitPipeline>>,
+    /// The group-committer thread, joined on shutdown or replacement.
+    committer: Mutex<Option<TrackedHandle<()>>>,
 }
 
 impl Shard {
@@ -176,16 +268,37 @@ impl Shard {
         wal: Option<DbWal>,
         last_at: Timestamp,
     ) -> Shard {
+        let doem = SharedDoem::new(doem);
+        let replica = SharedOem::new(replica);
+        // The sequencing head starts as cheap Arc clones of the published
+        // graphs; the first sequenced write pays one copy-on-write clone
+        // and the two copies evolve independently from then on.
+        let pipeline = wal.map(|wal| {
+            Arc::new(CommitPipeline {
+                inner: Mutex::new(PipelineState {
+                    seq_doem: doem.snapshot(),
+                    seq_replica: replica.snapshot(),
+                    seq_last_at: last_at,
+                    read_only: false,
+                    queue: VecDeque::new(),
+                    persisting: Vec::new(),
+                    wal: Some(wal),
+                    stop: None,
+                }),
+                work: Condvar::new(),
+            })
+        });
         Shard {
             state: RwLock::new(ShardState {
-                doem: SharedDoem::new(doem),
-                replica: SharedOem::new(replica),
+                doem,
+                replica,
                 generation: 1,
-                wal,
                 last_at,
                 read_only: false,
             }),
             cache: ResultCache::new(cache_capacity),
+            pipeline,
+            committer: Mutex::new(None),
         }
     }
 
@@ -434,6 +547,17 @@ impl Service {
             }
             None => None,
         };
+        // Recovered shards were built before `shared` existed; give each
+        // durable one its group committer now.
+        let recovered: Vec<(String, Arc<Shard>)> = shared
+            .shards
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect();
+        for (name, shard) in recovered {
+            start_committer(&shared, &name, &shard)?;
+        }
         Ok(Service {
             shared,
             job_tx,
@@ -461,22 +585,10 @@ impl Service {
             .last()
             .copied()
             .unwrap_or(Timestamp::NEG_INFINITY);
-        // Hold the map lock across the durable prep: a racing CREATE/LOAD
-        // of the same name must not interleave with checkpoint + log reset.
-        let mut shards = self.shared.shards.write();
-        let wal = match &self.shared.durable {
-            Some(d) => Some(fresh_durable_db(d, &self.shared, &name, &doem)?),
-            None => None,
-        };
-        let shard = Arc::new(Shard::new(
-            doem,
-            replica,
-            self.shared.cfg.cache_capacity,
-            wal,
-            last_at,
-        ));
-        shards.insert(name, shard);
-        drop(shards);
+        install_shard(&self.shared, &name, doem, replica, last_at, false).map_err(|e| match e {
+            InstallError::Exists => std::io::Error::other(format!("database {name:?} exists")),
+            InstallError::Io(e) => e,
+        })?;
         self.shared.bump_global();
         Ok(())
     }
@@ -512,10 +624,12 @@ impl Service {
     }
 
     /// Stop the service, **draining** first: new submissions are refused
-    /// immediately, queued requests execute to completion, in-flight
-    /// replies are delivered, and every dirty writable shard is
-    /// checkpointed (WAL flushed and truncated) before this returns — a
-    /// clean shutdown followed by a restart loses nothing.
+    /// immediately, queued requests execute to completion (so every
+    /// admitted write is sequenced), the group committers drain their
+    /// commit queues — persisting, publishing, and acking everything
+    /// staged — and each takes a final checkpoint before exiting, so a
+    /// clean shutdown followed by a restart loses nothing and replays
+    /// nothing.
     pub fn shutdown(self) {
         let Service {
             shared,
@@ -534,33 +648,29 @@ impl Service {
         for w in workers {
             let _ = w.join();
         }
+        // Workers are gone, so the commit queues can only shrink: ask
+        // every committer to drain + checkpoint, then join them. Replies
+        // for staged writes are delivered before the join returns, which
+        // is why the completion pool is stopped after this.
+        let shards: Vec<Arc<Shard>> = shared.shards.read().values().map(Arc::clone).collect();
+        for shard in &shards {
+            if let Some(p) = &shard.pipeline {
+                p.inner.lock().stop.get_or_insert(StopKind::Shutdown);
+                p.work.notify_all();
+            }
+        }
+        for shard in &shards {
+            let handle = shard.committer.lock().take();
+            if let Some(h) = handle {
+                let _ = h.join();
+            }
+        }
         drop(completion_tx);
         for c in completions {
             let _ = c.join();
         }
         if let Some(t) = ticker {
             let _ = t.join();
-        }
-        // Final checkpoints: anything appended since the last checkpoint
-        // becomes part of the image and the logs reset, so the next start
-        // recovers without replay. Read-only shards are left untouched —
-        // their durable prefix on disk is already the best truth we have.
-        if let Some(d) = &shared.durable {
-            let shards: Vec<(String, Arc<Shard>)> = shared
-                .shards
-                .read()
-                .iter()
-                .map(|(k, v)| (k.clone(), Arc::clone(v)))
-                .collect();
-            for (name, shard) in shards {
-                let mut st = shard.state.write();
-                if st.read_only {
-                    continue;
-                }
-                if st.wal.as_ref().is_some_and(|w| !w.is_empty()) {
-                    let _ = checkpoint_shard(d, &shared.cfg.faults, &shared.metrics, &name, &mut st);
-                }
-            }
         }
     }
 }
@@ -683,29 +793,299 @@ fn recover_one(
     Ok((doem, replica, last_at, applied, good_len, torn))
 }
 
-/// Checkpoint one shard: save its DOEM image (atomic tmp + rename through
-/// the lore store), then truncate its log. Caller holds the shard's write
-/// lock. On failure the log is left intact — nothing durable is lost, the
-/// log just keeps growing until a later checkpoint succeeds.
-fn checkpoint_shard(
-    d: &Durability,
-    faults: &Faults,
-    metrics: &Metrics,
+/// Checkpoint one durable shard from its committer: snapshot the
+/// *published* DOEM (an `Arc` clone under a brief read lock), save the
+/// image outside every lock, then truncate the log. The committer is the
+/// sole appender and publisher, so persisted == published at every batch
+/// boundary and truncation cannot lose a record the image lacks. On
+/// failure the log is left intact — nothing durable is lost, the log
+/// just keeps growing until a later checkpoint succeeds.
+fn checkpoint_published(
+    shared: &Shared,
     name: &str,
-    st: &mut ShardState,
+    shard: &Shard,
+    wal: &mut DbWal,
 ) -> std::io::Result<()> {
-    if faults.check(FaultPoint::Checkpoint).is_some() {
-        Metrics::bump(&metrics.faults_injected);
+    let Some(d) = &shared.durable else {
+        return Ok(());
+    };
+    if shared.cfg.faults.check(FaultPoint::Checkpoint).is_some() {
+        Metrics::bump(&shared.metrics.faults_injected);
         return Err(Faults::injected_error(FaultPoint::Checkpoint));
     }
+    let doem = {
+        let st = shard.state.read();
+        st.doem.snapshot()
+    };
     d.store
-        .save_doem(name, &st.doem)
+        .save_doem(name, &doem)
         .map_err(|e| std::io::Error::other(e.to_string()))?;
-    if let Some(wal) = &mut st.wal {
-        wal.truncate()?;
-    }
-    Metrics::bump(&metrics.checkpoints);
+    wal.truncate()?;
+    Metrics::bump(&shared.metrics.checkpoints);
     Ok(())
+}
+
+/// Install (or replace) a shard under the map write lock. The previous
+/// incarnation's committer is stopped and joined **before** the durable
+/// files are reset, so its file handle can never scribble on the new
+/// incarnation's log; holding the map lock across the prep means a
+/// racing `CREATE`/`LOAD` of the same name cannot interleave with the
+/// checkpoint + log reset. The committer itself starts after the map
+/// lock drops.
+fn install_shard(
+    shared: &Arc<Shared>,
+    name: &str,
+    doem: DoemDatabase,
+    replica: OemDatabase,
+    last_at: Timestamp,
+    must_be_new: bool,
+) -> Result<Arc<Shard>, InstallError> {
+    let mut shards = shared.shards.write();
+    if let Some(old) = shards.get(name) {
+        if must_be_new {
+            return Err(InstallError::Exists);
+        }
+        retire_shard(old);
+    }
+    let wal = match &shared.durable {
+        Some(d) => Some(fresh_durable_db(d, shared, name, &doem).map_err(InstallError::Io)?),
+        None => None,
+    };
+    let shard = Arc::new(Shard::new(
+        doem,
+        replica,
+        shared.cfg.cache_capacity,
+        wal,
+        last_at,
+    ));
+    shards.insert(name.to_string(), Arc::clone(&shard));
+    drop(shards);
+    start_committer(shared, name, &shard).map_err(InstallError::Io)?;
+    Ok(shard)
+}
+
+/// Why [`install_shard`] refused.
+enum InstallError {
+    /// `must_be_new` and a same-named shard already exists.
+    Exists,
+    /// Durable prep or committer spawn failed; nothing was installed.
+    Io(std::io::Error),
+}
+
+/// Stop a shard's committer (drain, no checkpoint) and join it. Used
+/// when the shard is being replaced; a no-op for non-durable shards.
+fn retire_shard(shard: &Shard) {
+    if let Some(p) = &shard.pipeline {
+        p.inner.lock().stop.get_or_insert(StopKind::Replaced);
+        p.work.notify_all();
+    }
+    let handle = shard.committer.lock().take();
+    if let Some(h) = handle {
+        let _ = h.join();
+    }
+}
+
+/// Spawn the group committer for a durable shard, handing it exclusive
+/// ownership of the shard's [`DbWal`]. A no-op for non-durable shards.
+fn start_committer(
+    shared: &Arc<Shared>,
+    name: &str,
+    shard: &Arc<Shard>,
+) -> std::io::Result<()> {
+    let Some(pipeline) = &shard.pipeline else {
+        return Ok(());
+    };
+    let Some(wal) = pipeline.inner.lock().wal.take() else {
+        return Ok(());
+    };
+    let shared = Arc::clone(shared);
+    let shard_for_loop = Arc::clone(shard);
+    let db = name.to_string();
+    let handle = spawn_tracked(&format!("serve-committer-{name}"), move || {
+        committer_loop(&shared, &db, &shard_for_loop, wal)
+    })?;
+    *shard.committer.lock() = Some(handle);
+    Ok(())
+}
+
+/// The persist + publish stages: one thread per durable shard, the sole
+/// owner of the shard's WAL. Each round drains up to `group_commit_max`
+/// staged records (optionally lingering `group_commit_window_us` for
+/// riders), persists them with one `write`+`fsync` outside every lock,
+/// publishes them in LSN order, and releases the waiting reply slots. On
+/// stop it drains what is queued, then — for a shutdown, not a
+/// replacement — takes a final checkpoint so restart replays nothing.
+fn committer_loop(shared: &Arc<Shared>, db: &str, shard: &Arc<Shard>, mut wal: DbWal) {
+    let Some(pipeline) = &shard.pipeline else {
+        return;
+    };
+    let max = shared.cfg.group_commit_max.max(1);
+    let window = Duration::from_micros(shared.cfg.group_commit_window_us);
+    loop {
+        let (batch, stopping) = {
+            let mut ps = pipeline.inner.lock();
+            while ps.queue.is_empty() && ps.stop.is_none() {
+                pipeline.work.wait(&mut ps);
+            }
+            if !window.is_zero() && ps.stop.is_none() && ps.queue.len() < max {
+                // Linger for riders — but never past the window, and stop
+                // requests cut the wait short.
+                let deadline = Instant::now() + window;
+                while ps.queue.len() < max && ps.stop.is_none() {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    if pipeline.work.wait_for(&mut ps, deadline - now).timed_out() {
+                        break;
+                    }
+                }
+            }
+            let n = ps.queue.len().min(max);
+            let batch: Vec<StagedCommit> = ps.queue.drain(..n).collect();
+            // Record the in-flight batch for `rebuild_sequencing_head`.
+            ps.persisting = batch.iter().map(|s| (s.at, s.changes.clone())).collect();
+            (batch, ps.stop)
+        };
+        if batch.is_empty() {
+            // Stop requested and the queue is drained.
+            if stopping == Some(StopKind::Shutdown) && !wal.is_empty() {
+                let published_read_only = {
+                    let st = shard.state.read();
+                    st.read_only
+                };
+                if !published_read_only {
+                    let _ = checkpoint_published(shared, db, shard, &mut wal);
+                }
+            }
+            return;
+        }
+        if persist_and_publish(shared, db, shard, pipeline, &mut wal, batch) {
+            let due = shared
+                .durable
+                .as_ref()
+                .is_some_and(|d| d.checkpoint_every > 0 && wal.since_checkpoint >= d.checkpoint_every);
+            if due {
+                let _ = checkpoint_published(shared, db, shard, &mut wal);
+            }
+        }
+    }
+}
+
+/// Persist one staged batch (a single `write`+`fsync` through
+/// [`DbWal::append_batch`]) and, if that succeeds, publish it: apply
+/// each record to the queried state in LSN order, bump the generations,
+/// and release every rider's reply slot. Returns `true` on success.
+///
+/// Failure is **batch-coherent**: an append/fsync error means *no* rider
+/// is acked — every one receives the same `ErrKind::Io` response, the
+/// shard flips read-only (at both the pipeline and the published state,
+/// counted once in `read_only_flips`), and anything still queued is
+/// refused with `ErrKind::ReadOnly`. Whatever frame prefix physically
+/// reached the disk is indistinguishable from a crash mid-write, which
+/// recovery already handles: unacked records may or may not survive, but
+/// no acked record is ever lost.
+fn persist_and_publish(
+    shared: &Shared,
+    db: &str,
+    shard: &Shard,
+    pipeline: &CommitPipeline,
+    wal: &mut DbWal,
+    batch: Vec<StagedCommit>,
+) -> bool {
+    let frames: Vec<&[u8]> = batch.iter().map(|s| s.frame.as_slice()).collect();
+    if let Err(e) = wal.append_batch(&frames, &shared.cfg.faults, &shared.metrics) {
+        let stranded: Vec<StagedCommit> = {
+            let mut ps = pipeline.inner.lock();
+            ps.read_only = true;
+            ps.persisting.clear();
+            ps.queue.drain(..).collect()
+        };
+        {
+            let mut st = shard.state.write();
+            if !st.read_only {
+                st.read_only = true;
+                Metrics::bump(&shared.metrics.read_only_flips);
+            }
+        }
+        let resp = Response::err(
+            ErrKind::Io,
+            format!("log append failed ({e}); database {db:?} is now read-only"),
+        );
+        for s in batch {
+            s.reply.deliver(resp.clone());
+        }
+        for s in stranded {
+            s.reply.deliver(Response::err(
+                ErrKind::ReadOnly,
+                format!("database {db:?} is read-only after a log I/O failure"),
+            ));
+        }
+        return false;
+    }
+    let mut replies: Vec<(Arc<ReplySlot>, Response)> = Vec::with_capacity(batch.len());
+    let mut poisoned = false;
+    {
+        let mut st = shard.state.write();
+        if st.doem.is_shared() || st.replica.is_shared() {
+            Metrics::bump(&shared.metrics.cow_clones);
+        }
+        for s in &batch {
+            if poisoned {
+                replies.push((
+                    Arc::clone(&s.reply),
+                    Response::err(
+                        ErrKind::ReadOnly,
+                        format!("database {db:?} is read-only after a publish failure"),
+                    ),
+                ));
+                continue;
+            }
+            let ShardState { doem, replica, .. } = &mut *st;
+            match apply_set(doem.make_mut(), replica.make_mut(), &s.changes, s.at) {
+                Ok(()) => {
+                    st.last_at = s.at;
+                    let g = Shard::bump(&mut st, &shard.cache);
+                    shared.bump_global();
+                    let text = match s.created {
+                        Some(c) => format!(
+                            "applied {} ops ({c} created) at {}; generation {g}",
+                            s.ops, s.at
+                        ),
+                        None => format!("applied {} ops at {}; generation {g}", s.ops, s.at),
+                    };
+                    replies.push((Arc::clone(&s.reply), Response::Ok(text)));
+                }
+                Err(e) => {
+                    // Unreachable by construction — the sequence stage
+                    // already applied this exact set to the sequencing
+                    // head. If the copies diverge anyway, refuse further
+                    // writes rather than let memory and disk disagree.
+                    poisoned = true;
+                    st.read_only = true;
+                    Metrics::bump(&shared.metrics.read_only_flips);
+                    replies.push((
+                        Arc::clone(&s.reply),
+                        Response::err(
+                            ErrKind::Internal,
+                            format!("sequenced change could not be published: {e}"),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    for (slot, resp) in replies {
+        slot.deliver(resp);
+    }
+    {
+        let mut ps = pipeline.inner.lock();
+        if poisoned {
+            ps.read_only = true;
+        }
+        ps.persisting.clear();
+    }
+    !poisoned
 }
 
 /// An in-process session handle. Cloning is cheap; every clone shares the
@@ -874,12 +1254,15 @@ impl Client {
     }
 }
 
-fn worker_loop(shared: &Shared, rx: &Receiver<Job>, stop: &AtomicBool) {
+fn worker_loop(shared: &Arc<Shared>, rx: &Receiver<Job>, stop: &AtomicBool) {
     let run = |job: Job| {
         shared.metrics.queue.record(job.enqueued.elapsed());
-        let resp = execute(shared, job.req);
-        // The session may have timed out and gone; the slot discards.
-        job.reply.deliver(resp);
+        // A durable write returns `None` here — it was staged, and the
+        // group committer delivers the ack once the record is on disk.
+        if let Some(resp) = execute(shared, job.req, &job.reply) {
+            // The session may have timed out and gone; the slot discards.
+            job.reply.deliver(resp);
+        }
     };
     loop {
         match rx.recv_timeout(Duration::from_millis(50)) {
@@ -994,22 +1377,152 @@ fn cached_query(
     }
 }
 
-/// Commit one change set to a shard the WAL-first way. Caller holds the
-/// shard's write lock and has already compiled/validated the request
-/// shape; this function owns the durability contract:
-///
-/// 1. read-only shards refuse immediately ([`ErrKind::ReadOnly`]);
-/// 2. durable shards enforce strictly increasing change timestamps
-///    (Definition 2.2 — the log *is* a history);
-/// 3. the record is appended and fsynced **before** the in-memory apply;
-///    an append failure flips the shard read-only without touching state;
-/// 4. an in-memory rejection after a successful append rewinds the log,
-///    so memory and disk never disagree;
-/// 5. every `checkpoint_every` appends, the shard is checkpointed and its
-///    log truncated (failure is tolerated: the log just keeps growing).
-///
-/// Returns the new shard generation, or the error response to send.
-fn commit_changes(
+/// The write a sequence stage is being asked to stage.
+enum WriteKind {
+    /// `UPDATE`: an explicit change set.
+    Update(ChangeSet),
+    /// `MUTATE`: a Lorel update statement, compiled against the
+    /// sequencing head's replica under the pipeline lock.
+    Mutate(String),
+}
+
+/// The **sequence** stage of a durable write. Under the pipeline lock
+/// only: refuse read-only/stopping shards, enforce the strictly
+/// increasing timestamp (Definition 2.2 — the timestamp *is* the LSN),
+/// compile `MUTATE` statements against the sequencing head, apply the
+/// change set to the head to validate it, encode the WAL frame, and
+/// stage it on the commit queue. No I/O happens here; the committer
+/// persists and publishes, then releases `reply`. Returns `None` when
+/// the write was staged (the ack comes later) or `Some` error response
+/// to deliver immediately.
+fn sequence_write(
+    shared: &Shared,
+    shard: &Shard,
+    pipeline: &CommitPipeline,
+    db: &str,
+    at: Timestamp,
+    kind: WriteKind,
+    reply: &Arc<ReplySlot>,
+) -> Option<Response> {
+    let mut ps = pipeline.inner.lock();
+    if ps.read_only {
+        return Some(Response::err(
+            ErrKind::ReadOnly,
+            format!("database {db:?} is read-only after a log I/O failure"),
+        ));
+    }
+    if ps.stop.is_some() {
+        return Some(Response::err(
+            ErrKind::Conflict,
+            format!("database {db:?} is being replaced; retry"),
+        ));
+    }
+    if ps.queue.len() >= shared.cfg.queue_depth.max(1) {
+        Metrics::bump(&shared.metrics.busy_rejected);
+        return Some(Response::err(
+            ErrKind::Busy,
+            "commit queue full, try again",
+        ));
+    }
+    if at <= ps.seq_last_at {
+        return Some(Response::err(
+            ErrKind::Conflict,
+            format!(
+                "change set rejected: timestamp {at} is not after {} \
+                 (durable histories are strictly time-ordered)",
+                ps.seq_last_at
+            ),
+        ));
+    }
+    let t = Instant::now();
+    let (changes, created) = match kind {
+        WriteKind::Update(changes) => (changes, None),
+        WriteKind::Mutate(stmt) => match run_update(&ps.seq_replica, &stmt) {
+            Ok(c) => {
+                let created = c.created.len();
+                (c.changes, Some(created))
+            }
+            Err(e) => {
+                shared.metrics.exec.record(t.elapsed());
+                return Some(Response::err(
+                    ErrKind::Conflict,
+                    format!("update rejected: {e}"),
+                ));
+            }
+        },
+    };
+    let PipelineState {
+        seq_doem,
+        seq_replica,
+        ..
+    } = &mut *ps;
+    let outcome = apply_set(seq_doem.make_mut(), seq_replica.make_mut(), &changes, at);
+    shared.metrics.exec.record(t.elapsed());
+    if let Err(e) = outcome {
+        // `apply_set` applies op by op, so a rejected set can leave the
+        // head half-applied; rebuild it from the published state.
+        rebuild_sequencing_head(shard, &mut ps);
+        return Some(Response::err(
+            ErrKind::Conflict,
+            format!("change set rejected: {e}"),
+        ));
+    }
+    let frame = wal::encode_record(at, &changes);
+    ps.seq_last_at = at;
+    let ops = changes.len();
+    ps.queue.push_back(StagedCommit {
+        at,
+        changes,
+        frame,
+        ops,
+        created,
+        reply: Arc::clone(reply),
+    });
+    drop(ps);
+    pipeline.work.notify_one();
+    None
+}
+
+/// Restore a half-applied sequencing head after a rejected change set:
+/// snapshot the published state (cheap `Arc` clones under a brief read
+/// lock — the pipeline lock is already held, and lock order is pipeline
+/// → state everywhere) and replay exactly the staged-but-unpublished
+/// writes on top. Entries at or before the published high-water mark are
+/// skipped, which makes the replay immune to racing the committer's
+/// publish — the same idiom crash recovery uses against the checkpoint.
+/// Replay cannot fail (each set applied cleanly to this same lineage
+/// once already); if it somehow does, the shard is sequenced read-only
+/// rather than left on a diverged head.
+fn rebuild_sequencing_head(shard: &Shard, ps: &mut PipelineState) {
+    let (mut doem, mut replica, published_at) = {
+        let st = shard.state.read();
+        (st.doem.snapshot(), st.replica.snapshot(), st.last_at)
+    };
+    let pending = ps
+        .persisting
+        .iter()
+        .map(|(at, changes)| (*at, changes))
+        .chain(ps.queue.iter().map(|s| (s.at, &s.changes)));
+    for (at, changes) in pending {
+        if at <= published_at {
+            continue;
+        }
+        if apply_set(doem.make_mut(), replica.make_mut(), changes, at).is_err() {
+            ps.read_only = true;
+            break;
+        }
+    }
+    ps.seq_doem = doem;
+    ps.seq_replica = replica;
+    // `seq_last_at` is untouched: the rejected candidate never advanced
+    // it, and the replayed writes are all at or below it.
+}
+
+/// Commit one change set to a **non-durable** shard synchronously.
+/// Caller holds the shard's write lock; there is no log, so apply +
+/// publish collapse into one step. Returns the new shard generation, or
+/// the error response to send.
+fn commit_in_memory(
     shared: &Shared,
     shard: &Shard,
     db: &str,
@@ -1023,31 +1536,6 @@ fn commit_changes(
             format!("database {db:?} is read-only after a log I/O failure"),
         ));
     }
-    let wal_pos = match &mut st.wal {
-        Some(wal) => {
-            if at <= st.last_at {
-                return Err(Response::err(
-                    ErrKind::Conflict,
-                    format!(
-                        "change set rejected: timestamp {at} is not after {} \
-                         (durable histories are strictly time-ordered)",
-                        st.last_at
-                    ),
-                ));
-            }
-            let pos = wal.len();
-            if let Err(e) = wal.append(at, changes, &shared.cfg.faults, &shared.metrics) {
-                st.read_only = true;
-                Metrics::bump(&shared.metrics.read_only_flips);
-                return Err(Response::err(
-                    ErrKind::Io,
-                    format!("log append failed ({e}); database {db:?} is now read-only"),
-                ));
-            }
-            Some(pos)
-        }
-        None => None,
-    };
     let t = Instant::now();
     if st.doem.is_shared() || st.replica.is_shared() {
         Metrics::bump(&shared.metrics.cow_clones);
@@ -1060,38 +1548,26 @@ fn commit_changes(
             st.last_at = at;
             let g = Shard::bump(st, &shard.cache);
             shared.bump_global();
-            if let Some(d) = &shared.durable {
-                let due = d.checkpoint_every > 0
-                    && st
-                        .wal
-                        .as_ref()
-                        .is_some_and(|w| w.since_checkpoint >= d.checkpoint_every);
-                if due {
-                    let _ = checkpoint_shard(d, &shared.cfg.faults, &shared.metrics, db, st);
-                }
-            }
             Ok(g)
         }
-        Err(e) => {
-            if let (Some(pos), Some(wal)) = (wal_pos, &mut st.wal) {
-                if wal.rewind(pos).is_err() {
-                    st.read_only = true;
-                    Metrics::bump(&shared.metrics.read_only_flips);
-                }
-            }
-            Err(Response::err(
-                ErrKind::Conflict,
-                format!("change set rejected: {e}"),
-            ))
-        }
+        Err(e) => Err(Response::err(
+            ErrKind::Conflict,
+            format!("change set rejected: {e}"),
+        )),
     }
 }
 
 /// Execute one request. Queries resolve their shard, snapshot it, and
-/// evaluate lock-free; writes take only their own shard's write lock;
-/// QSS/registry requests take the control lock.
-pub(crate) fn execute(shared: &Shared, req: Request) -> Response {
-    match req {
+/// evaluate lock-free; durable writes sequence onto their shard's commit
+/// pipeline and return `None` (the group committer delivers the ack once
+/// the batch is durable); non-durable writes take only their own shard's
+/// write lock; QSS/registry requests take the control lock.
+pub(crate) fn execute(
+    shared: &Arc<Shared>,
+    req: Request,
+    reply: &Arc<ReplySlot>,
+) -> Option<Response> {
+    Some(match req {
         Request::Ping => Response::Ok("pong".into()),
         Request::Quit => Response::Ok("bye".into()),
         Request::Stats => {
@@ -1110,7 +1586,7 @@ pub(crate) fn execute(shared: &Shared, req: Request) -> Response {
         }
         Request::Generation { db: Some(db) } => {
             let Some(shard) = shared.shard(&db) else {
-                return not_found("database", &db);
+                return Some(not_found("database", &db));
             };
             let g = shard.state.read().generation;
             Response::Ok(g.to_string())
@@ -1122,57 +1598,46 @@ pub(crate) fn execute(shared: &Shared, req: Request) -> Response {
             Response::Rows(names)
         }
         Request::Create { db } => {
-            let mut shards = shared.shards.write();
-            if shards.contains_key(&db) {
-                return Response::err(ErrKind::Conflict, format!("database {db:?} exists"));
-            }
             let initial = OemDatabase::new(db.clone());
             let doem = DoemDatabase::from_snapshot(&initial);
-            // Durable prep under the map lock (see `fresh_durable_db`):
-            // checkpoint the empty image so the database exists across a
-            // crash from the moment CREATE is acknowledged.
-            let wal = match &shared.durable {
-                Some(d) => match fresh_durable_db(d, shared, &db, &doem) {
-                    Ok(wal) => Some(wal),
-                    Err(e) => {
-                        return Response::err(
-                            ErrKind::Io,
-                            format!("create not durable ({e}); nothing installed"),
-                        )
-                    }
-                },
-                None => None,
-            };
-            shards.insert(
-                db.clone(),
-                Arc::new(Shard::new(
-                    doem,
-                    initial,
-                    shared.cfg.cache_capacity,
-                    wal,
-                    Timestamp::NEG_INFINITY,
-                )),
-            );
-            drop(shards);
-            let g = shared.bump_global();
-            Response::Ok(format!("created {db}; generation {g}"))
+            // Durable prep happens under the map lock inside
+            // `install_shard`: the empty image is checkpointed so the
+            // database exists across a crash from the moment CREATE is
+            // acknowledged.
+            match install_shard(shared, &db, doem, initial, Timestamp::NEG_INFINITY, true) {
+                Ok(_) => {
+                    let g = shared.bump_global();
+                    Response::Ok(format!("created {db}; generation {g}"))
+                }
+                Err(InstallError::Exists) => {
+                    Response::err(ErrKind::Conflict, format!("database {db:?} exists"))
+                }
+                Err(InstallError::Io(e)) => Response::err(
+                    ErrKind::Io,
+                    format!("create not durable ({e}); nothing installed"),
+                ),
+            }
         }
         Request::Save { db } => {
             let Some(store) = &shared.store else {
-                return Response::err(ErrKind::Io, "no store configured");
+                return Some(Response::err(ErrKind::Io, "no store configured"));
             };
             let Some(shard) = shared.shard(&db) else {
-                return not_found("database", &db);
+                return Some(not_found("database", &db));
             };
-            let st = shard.state.read();
-            match store.save_doem(&db, &st.doem) {
+            // Snapshot under the read lock, write the image outside it.
+            let doem = {
+                let st = shard.state.read();
+                st.doem.snapshot()
+            };
+            match store.save_doem(&db, &doem) {
                 Ok(()) => Response::Ok(format!("saved {db}")),
                 Err(e) => Response::err(ErrKind::Io, format!("save failed: {e}")),
             }
         }
         Request::Load { db } => {
             let Some(store) = &shared.store else {
-                return Response::err(ErrKind::Io, "no store configured");
+                return Some(Response::err(ErrKind::Io, "no store configured"));
             };
             match store.load_doem(&db) {
                 Ok(doem) => {
@@ -1182,37 +1647,27 @@ pub(crate) fn execute(shared: &Shared, req: Request) -> Response {
                         .last()
                         .copied()
                         .unwrap_or(Timestamp::NEG_INFINITY);
-                    let mut shards = shared.shards.write();
-                    let wal = match &shared.durable {
-                        Some(d) => match fresh_durable_db(d, shared, &db, &doem) {
-                            Ok(wal) => Some(wal),
-                            Err(e) => {
-                                return Response::err(
-                                    ErrKind::Io,
-                                    format!("load not durable ({e}); nothing installed"),
-                                )
-                            }
-                        },
-                        None => None,
-                    };
-                    let shard = Arc::new(Shard::new(
-                        doem,
-                        replica,
-                        shared.cfg.cache_capacity,
-                        wal,
-                        last_at,
-                    ));
-                    shards.insert(db.clone(), shard);
-                    drop(shards);
-                    let g = shared.bump_global();
-                    Response::Ok(format!("loaded {db}; generation {g}"))
+                    match install_shard(shared, &db, doem, replica, last_at, false) {
+                        Ok(_) => {
+                            let g = shared.bump_global();
+                            Response::Ok(format!("loaded {db}; generation {g}"))
+                        }
+                        Err(InstallError::Exists) => Response::err(
+                            ErrKind::Conflict,
+                            format!("database {db:?} exists"),
+                        ),
+                        Err(InstallError::Io(e)) => Response::err(
+                            ErrKind::Io,
+                            format!("load not durable ({e}); nothing installed"),
+                        ),
+                    }
                 }
                 Err(e) => Response::err(ErrKind::NotFound, format!("load failed: {e}")),
             }
         }
         Request::Query { db, query, key } => {
             let Some(shard) = shared.shard(&db) else {
-                return not_found("database", &db);
+                return Some(not_found("database", &db));
             };
             // Snapshot: hold the shard lock only for an Arc clone.
             let (doem, generation) = {
@@ -1225,10 +1680,10 @@ pub(crate) fn execute(shared: &Shared, req: Request) -> Response {
             let ck = {
                 let ctl = shared.control.read();
                 if ctl.qss.doem_of(&id).is_none() {
-                    return Response::err(
+                    return Some(Response::err(
                         ErrKind::NotFound,
                         format!("no DOEM for subscription {id:?} (not yet polled?)"),
-                    );
+                    ));
                 }
                 CacheKey {
                     scope: format!("sub:{id}"),
@@ -1238,7 +1693,7 @@ pub(crate) fn execute(shared: &Shared, req: Request) -> Response {
             };
             if let Some(rows) = shared.sub_cache.get(&ck) {
                 Metrics::bump(&shared.metrics.cache_hits);
-                return Response::Rows(rows.as_ref().clone());
+                return Some(Response::Rows(rows.as_ref().clone()));
             }
             // Miss: materialize a snapshot (subscription DOEMs are small —
             // they hold poll results, not whole databases) and evaluate
@@ -1248,7 +1703,7 @@ pub(crate) fn execute(shared: &Shared, req: Request) -> Response {
                 match ctl.qss.doem_of(&id) {
                     Some(d) => d.clone(),
                     // Unsubscribed between the two lock acquisitions.
-                    None => return not_found("subscription", &id),
+                    None => return Some(not_found("subscription", &id)),
                 }
             };
             Metrics::bump(&shared.metrics.cache_misses);
@@ -1266,10 +1721,21 @@ pub(crate) fn execute(shared: &Shared, req: Request) -> Response {
         }
         Request::Update { db, at, changes } => {
             let Some(shard) = shared.shard(&db) else {
-                return not_found("database", &db);
+                return Some(not_found("database", &db));
             };
+            if let Some(pipeline) = shard.pipeline.clone() {
+                return sequence_write(
+                    shared,
+                    &shard,
+                    &pipeline,
+                    &db,
+                    at,
+                    WriteKind::Update(changes),
+                    reply,
+                );
+            }
             let mut st = shard.state.write();
-            match commit_changes(shared, &shard, &db, &mut st, &changes, at) {
+            match commit_in_memory(shared, &shard, &db, &mut st, &changes, at) {
                 Ok(g) => {
                     Response::Ok(format!("applied {} ops at {at}; generation {g}", changes.len()))
                 }
@@ -1278,18 +1744,35 @@ pub(crate) fn execute(shared: &Shared, req: Request) -> Response {
         }
         Request::Mutate { db, at, stmt } => {
             let Some(shard) = shared.shard(&db) else {
-                return not_found("database", &db);
+                return Some(not_found("database", &db));
             };
+            if let Some(pipeline) = shard.pipeline.clone() {
+                // The statement compiles against the sequencing head
+                // inside `sequence_write` — the freshest replica, ahead
+                // of the published state by the staged writes.
+                return sequence_write(
+                    shared,
+                    &shard,
+                    &pipeline,
+                    &db,
+                    at,
+                    WriteKind::Mutate(stmt),
+                    reply,
+                );
+            }
             let mut st = shard.state.write();
             let t = Instant::now();
             let compiled = match run_update(&st.replica, &stmt) {
                 Ok(c) => c,
                 Err(e) => {
                     shared.metrics.exec.record(t.elapsed());
-                    return Response::err(ErrKind::Conflict, format!("update rejected: {e}"));
+                    return Some(Response::err(
+                        ErrKind::Conflict,
+                        format!("update rejected: {e}"),
+                    ));
                 }
             };
-            match commit_changes(shared, &shard, &db, &mut st, &compiled.changes, at) {
+            match commit_in_memory(shared, &shard, &db, &mut st, &compiled.changes, at) {
                 Ok(g) => Response::Ok(format!(
                     "applied {} ops ({} created) at {at}; generation {g}",
                     compiled.changes.len(),
@@ -1316,13 +1799,16 @@ pub(crate) fn execute(shared: &Shared, req: Request) -> Response {
         } => {
             let mut ctl = shared.control.write();
             if ctl.qss.subscription_ids().iter().any(|s| s == &id) {
-                return Response::err(ErrKind::Conflict, format!("subscription {id:?} exists"));
+                return Some(Response::err(
+                    ErrKind::Conflict,
+                    format!("subscription {id:?} exists"),
+                ));
             }
             let sub =
                 match Subscription::from_registry(id.clone(), freq, &ctl.registry, &polling, &filter)
                 {
                     Ok(sub) => sub,
-                    Err(e) => return Response::err(ErrKind::NotFound, e.to_string()),
+                    Err(e) => return Some(Response::err(ErrKind::NotFound, e.to_string())),
                 };
             let clock = ctl.clock;
             ctl.qss.subscribe(sub, clock);
@@ -1334,7 +1820,7 @@ pub(crate) fn execute(shared: &Shared, req: Request) -> Response {
         Request::Unsubscribe { id } => {
             let mut ctl = shared.control.write();
             if !ctl.qss.subscription_ids().iter().any(|s| s == &id) {
-                return not_found("subscription", &id);
+                return Some(not_found("subscription", &id));
             }
             ctl.qss.unsubscribe(&id);
             ctl.generation += 1;
@@ -1345,7 +1831,7 @@ pub(crate) fn execute(shared: &Shared, req: Request) -> Response {
         Request::Tick { until } => {
             let mut ctl = shared.control.write();
             if until <= ctl.clock {
-                return Response::Ok(format!("clock already at {}", ctl.clock));
+                return Some(Response::Ok(format!("clock already at {}", ctl.clock)));
             }
             let t = Instant::now();
             let outcome = ctl.qss.run_until(until);
@@ -1372,7 +1858,7 @@ pub(crate) fn execute(shared: &Shared, req: Request) -> Response {
         Request::Notes { id } => {
             let ctl = shared.control.read();
             if id != "*" && !ctl.qss.subscription_ids().iter().any(|s| s == &id) {
-                return not_found("subscription", &id);
+                return Some(not_found("subscription", &id));
             }
             let rows = ctl
                 .qss
@@ -1383,7 +1869,7 @@ pub(crate) fn execute(shared: &Shared, req: Request) -> Response {
                 .collect();
             Response::Rows(rows)
         }
-    }
+    })
 }
 
 #[cfg(test)]

@@ -195,8 +195,7 @@ impl DbWal {
 
     /// Append one record and fsync it. On success the record is durable
     /// before the caller applies the change in memory — the write-ahead
-    /// contract. Fault-injection sites: the frame write ([`FaultPoint::WalAppend`],
-    /// honoring short writes) and the fsync ([`FaultPoint::WalFsync`]).
+    /// contract. A batch of one through [`DbWal::append_batch`].
     pub fn append(
         &mut self,
         at: Timestamp,
@@ -205,6 +204,36 @@ impl DbWal {
         metrics: &Metrics,
     ) -> std::io::Result<u64> {
         let frame = encode_record(at, changes);
+        self.append_batch(&[frame.as_slice()], faults, metrics)
+    }
+
+    /// Append a whole staged batch of pre-encoded frames as **one**
+    /// `write` followed by **one** `fsync` — the persist stage of the
+    /// group-commit pipeline. The batch commits or fails atomically from
+    /// the caller's point of view: an error means *no* frame in the batch
+    /// may be acknowledged (whatever prefix physically reached the disk is
+    /// governed by the torn-tail rule, exactly as for a crash mid-write).
+    ///
+    /// Fault-injection sites fire **once per batch**, not once per frame:
+    /// one [`FaultPoint::WalAppend`] check guards the coalesced write
+    /// (short writes cut the concatenated buffer, so a batch can tear
+    /// mid-frame like any crashed `write(2)`), and one
+    /// [`FaultPoint::WalFsync`] check guards the single fsync. The
+    /// `faults_injected` metric therefore grows by one per failpoint hit
+    /// regardless of how many records were riding the batch.
+    pub fn append_batch(
+        &mut self,
+        frames: &[&[u8]],
+        faults: &Faults,
+        metrics: &Metrics,
+    ) -> std::io::Result<u64> {
+        if frames.is_empty() {
+            return Ok(0);
+        }
+        let mut buf = Vec::with_capacity(frames.iter().map(|f| f.len()).sum());
+        for frame in frames {
+            buf.extend_from_slice(frame);
+        }
         match faults.check(FaultPoint::WalAppend) {
             Some(FaultMode::Error) => {
                 Metrics::bump(&metrics.faults_injected);
@@ -212,27 +241,33 @@ impl DbWal {
             }
             Some(FaultMode::ShortWrite(n)) => {
                 Metrics::bump(&metrics.faults_injected);
-                let n = n.min(frame.len());
-                self.file.write_all(&frame[..n])?;
+                let n = n.min(buf.len());
+                self.file.write_all(&buf[..n])?;
                 let _ = self.file.sync_data();
                 self.len += n as u64;
                 return Err(Faults::injected_error(FaultPoint::WalAppend));
             }
             None => {}
         }
-        self.file.write_all(&frame)?;
-        self.len += frame.len() as u64;
+        self.file.write_all(&buf)?;
+        self.len += buf.len() as u64;
         if faults.check(FaultPoint::WalFsync).is_some() {
             Metrics::bump(&metrics.faults_injected);
             return Err(Faults::injected_error(FaultPoint::WalFsync));
         }
         self.file.sync_data()?;
-        self.since_checkpoint += 1;
-        metrics.wal_appends.fetch_add(1, Ordering::Relaxed);
+        self.since_checkpoint += frames.len() as u64;
+        metrics
+            .wal_appends
+            .fetch_add(frames.len() as u64, Ordering::Relaxed);
         metrics
             .wal_bytes
-            .fetch_add(frame.len() as u64, Ordering::Relaxed);
-        Ok(frame.len() as u64)
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        metrics.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+        if frames.len() > 1 {
+            Metrics::bump(&metrics.group_commits);
+        }
+        Ok(buf.len() as u64)
     }
 
     /// Cut the log back to `len` bytes — undo of an append whose change

@@ -48,6 +48,33 @@ fn serve_workload_is_sanitize_clean() {
         ));
         assert!(!resp.is_error(), "{resp:?}");
     }
+    // Group-commit pipeline under instrumentation: a pipelined burst
+    // keeps the commit queue non-empty, so the committer's condvar
+    // waits, batched appends, and LSN-ordered publishes all run with
+    // the sanitizer watching. Two workers may sequence submissions out
+    // of order, so a strict-timestamp Conflict is a legitimate outcome —
+    // both the success and rejection paths are what we're smoking.
+    assert!(!c.request_line("CREATE burst").is_error());
+    let pending: Vec<_> = (0..12)
+        .map(|i| {
+            c.begin_line(&format!(
+                "UPDATE burst AT 3Jan97 {}:{:02}pm ; {{creNode(n{}, {i}), addArc(n1, item, n{})}}",
+                1 + i / 60,
+                i % 60,
+                80 + i,
+                80 + i
+            ))
+            .1
+        })
+        .collect();
+    for p in pending {
+        let resp = p.wait();
+        assert!(
+            !resp.is_error()
+                || matches!(resp, Response::Error { kind: serve::ErrKind::Conflict, .. }),
+            "{resp:?}"
+        );
+    }
     for _ in 0..3 {
         let resp = c.request_line("QUERY guide select guide.restaurant");
         assert!(matches!(resp, Response::Rows(ref r) if !r.is_empty()), "{resp:?}");

@@ -12,14 +12,28 @@ cargo build --release --offline
 echo "==> cargo test -q"
 cargo test -q --offline
 
-echo "==> fault matrix: serve recovery under fixed failpoint seeds"
+echo "==> fault matrix: serve recovery under fixed failpoint seeds x group-commit legs"
 for seed in 7 1998 424242; do
-    echo "    SERVE_FAULT_SEED=$seed"
-    SERVE_FAULT_SEED=$seed cargo test -q --offline --test serve_recovery
+    for gc in 1 8; do
+        echo "    SERVE_FAULT_SEED=$seed SERVE_GROUP_COMMIT=$gc"
+        SERVE_FAULT_SEED=$seed SERVE_GROUP_COMMIT=$gc \
+            cargo test -q --offline --test serve_recovery
+    done
 done
 
 echo "==> doem-lint (workspace invariants vs doem-lint.baseline)"
 cargo run -q -p lint --offline --bin doem-lint
+
+echo "==> doem-lint --fix --check (trivial serve unwraps must be fixed)"
+cargo run -q -p lint --offline --bin doem-lint -- --fix --check
+
+echo "==> guard-across-wal baseline ratchet (must stay at most 2 sites)"
+baseline_sites="$(grep -c '^guard-across-wal' doem-lint.baseline || true)"
+baseline_total="$(awk -F'\t' '/^guard-across-wal/ { sum += $3 } END { print sum + 0 }' doem-lint.baseline)"
+if [ "$baseline_total" -gt 2 ]; then
+    echo "ci: guard-across-wal baseline grew to $baseline_total findings across $baseline_sites file(s); the staged commit pipeline allows at most 2" >&2
+    exit 1
+fi
 
 echo "==> serve suite under DOEM_SANITIZE=1 (must report zero findings)"
 # The sanitizer fixtures in crates/sanitizer/tests *intentionally* emit

@@ -8,6 +8,7 @@
 //! ```text
 //! doem-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
 //!            [--store DIR] [--wal DIR] [--checkpoint-every N]
+//!            [--group-commit N] [--group-commit-window-us U]
 //!            [--autotick-ms MS] [--tick-minutes M]
 //!            [--translated] [--empty] [--create NAME]...
 //! ```
@@ -16,7 +17,11 @@
 //! logged before it is applied, databases found under DIR are recovered
 //! (checkpoint + log replay) on startup — in which case the guide fixture
 //! is only seeded if no recovered database already claims the name — and
-//! a clean shutdown checkpoints everything.
+//! a clean shutdown checkpoints everything. `--group-commit N` caps how
+//! many concurrent writes one fsync may cover (batching is invisible on
+//! the wire; see PROTOCOL.md), and `--group-commit-window-us U` optionally
+//! lets the committer linger to gather riders (default 0: batching comes
+//! only from records that queue while the previous fsync runs).
 //!
 //! The wire protocol (including `#<id>` pipelining tags) is specified in
 //! `crates/serve/PROTOCOL.md`.
@@ -29,6 +34,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: doem-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\
          \x20                 [--store DIR] [--wal DIR] [--checkpoint-every N]\n\
+         \x20                 [--group-commit N] [--group-commit-window-us U]\n\
          \x20                 [--autotick-ms MS] [--tick-minutes M]\n\
          \x20                 [--translated] [--empty] [--create NAME]..."
     );
@@ -57,6 +63,10 @@ fn main() {
             "--store" => cfg.store_dir = Some(val("--store").into()),
             "--wal" => cfg.wal_dir = Some(val("--wal").into()),
             "--checkpoint-every" => cfg.checkpoint_every = parse_num(&val("--checkpoint-every")) as u64,
+            "--group-commit" => cfg.group_commit_max = parse_num(&val("--group-commit")),
+            "--group-commit-window-us" => {
+                cfg.group_commit_window_us = parse_num(&val("--group-commit-window-us")) as u64
+            }
             "--autotick-ms" => autotick_ms = Some(parse_num(&val("--autotick-ms")) as u64),
             "--tick-minutes" => tick_minutes = parse_num(&val("--tick-minutes")) as i64,
             "--translated" => cfg.strategy = chorel::Strategy::Translated,

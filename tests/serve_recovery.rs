@@ -58,12 +58,22 @@ fn fresh_dir(tag: &str) -> PathBuf {
 }
 
 fn durable_cfg(dir: &Path, faults: Faults) -> ServeConfig {
-    ServeConfig {
+    let mut cfg = ServeConfig {
         wal_dir: Some(dir.to_path_buf()),
         checkpoint_every: 5, // small, so checkpoints happen mid-workload
         faults,
         ..ServeConfig::default()
+    };
+    // The CI fault matrix reruns this whole suite with batching off and
+    // on (`SERVE_GROUP_COMMIT` ∈ {1, 8}): every invariant here must hold
+    // at any batch size.
+    if let Some(gc) = std::env::var("SERVE_GROUP_COMMIT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+    {
+        cfg.group_commit_max = gc;
     }
+    cfg
 }
 
 /// Run the workload against a fresh service with the given fault plan.
@@ -185,6 +195,15 @@ fn seeded_fault_recovers_acked_writes_and_invents_nothing() {
             (i, !resp.is_error())
         })
         .collect();
+    // Fault accounting: every fired failpoint bumped `faults_injected`
+    // exactly once — a batched fsync with many riders still counts one.
+    assert_eq!(
+        svc.metrics()
+            .faults_injected
+            .load(std::sync::atomic::Ordering::Relaxed),
+        faults.fired(),
+        "seed {seed}: faults_injected diverged from the plan's fired count"
+    );
     drop(c);
     drop(svc);
 
@@ -220,6 +239,141 @@ fn seeded_fault_recovers_acked_writes_and_invents_nothing() {
                 "seed {seed}: {db} recovered an unknown timestamp {ts}"
             );
         }
+    }
+    svc2.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Pipelined writes for the batching tests: `n` strictly-increasing
+/// timestamps against a single database `p`.
+fn pipelined_writes(n: usize) -> Vec<(Timestamp, ChangeSet)> {
+    (0..n)
+        .map(|i| {
+            let at = format!("4Jan97 7:{:02}am", i + 1).parse().unwrap();
+            let changes = parse_change_set(&format!(
+                "{{creNode(n{0}, {1}), addArc(n1, item, n{0})}}",
+                500 + i,
+                i
+            ))
+            .unwrap();
+            (at, changes)
+        })
+        .collect()
+}
+
+/// Kill-9 at every *batch* boundary with group commit enabled: pipeline
+/// twelve writes through one worker (so submission order is sequencing
+/// order), arm a sticky fault at the `b`-th batched append, crash, and
+/// recover. The acked-prefix invariant must hold across batch
+/// boundaries: the ack set is a submission-order prefix, everything
+/// acked is recovered, and anything extra recovered (whole frames ahead
+/// of a torn batch tail) extends that same prefix in order.
+#[test]
+fn kill9_at_batch_boundaries_preserves_the_acked_prefix() {
+    // Twelve writes at `group_commit_max = 4` form at least three
+    // batches, so every boundary below is guaranteed to be reached.
+    let writes = pipelined_writes(12);
+    for boundary in 0..3u64 {
+        let mode = if boundary % 2 == 1 {
+            FaultMode::Error
+        } else {
+            // Mid-batch torn write: shorter than any whole batch.
+            FaultMode::ShortWrite(1 + (boundary as usize * 13) % 24)
+        };
+        let dir = fresh_dir(&format!("batch-kill9-{boundary}"));
+        let faults = Faults::fail_nth(FaultPoint::WalAppend, boundary, mode, true);
+        let mut cfg = durable_cfg(&dir, faults.clone());
+        cfg.workers = 1;
+        cfg.group_commit_max = 4;
+        cfg.group_commit_window_us = 2_000; // gather the pipelined riders
+        let svc = Service::start(cfg).unwrap();
+        let c = svc.client();
+        assert!(!c.request_line("CREATE p").is_error());
+        let pending: Vec<_> = writes
+            .iter()
+            .map(|(at, ch)| c.begin_line(&format!("UPDATE p AT {at} ; {ch}")).1)
+            .collect();
+        let acked: Vec<bool> = pending.into_iter().map(|p| !p.wait().is_error()).collect();
+        assert!(faults.fired() > 0, "boundary {boundary}: fault never fired");
+        let prefix = acked.iter().take_while(|&&a| a).count();
+        assert!(
+            acked[prefix..].iter().all(|&a| !a),
+            "boundary {boundary}: ack set is not a prefix: {acked:?}"
+        );
+        drop(c);
+        drop(svc); // kill-9: no drain checkpoint
+
+        let svc2 = Service::start(durable_cfg(&dir, Faults::disabled())).unwrap();
+        let got = svc2.doem_snapshot("p").expect("p must recover");
+        let recovered = got.timestamps();
+        assert!(
+            recovered.len() >= prefix,
+            "boundary {boundary}: acked write lost ({} < {prefix})",
+            recovered.len()
+        );
+        // Whatever survived is a submission-order prefix — never a write
+        // from a later LSN without every earlier one.
+        let initial = OemDatabase::new("p".to_string());
+        let mut want = DoemDatabase::from_snapshot(&initial);
+        let mut replica = initial;
+        for (at, ch) in &writes[..recovered.len()] {
+            apply_set(&mut want, &mut replica, ch, *at).unwrap();
+        }
+        assert!(
+            same_doem(&got, &want),
+            "boundary {boundary} ({mode:?}): recovered state is not the replay of a prefix"
+        );
+        svc2.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// One batch, one failpoint, many riders: a fault during the batched
+/// fsync must fail **every** rider of the batch with the same typed
+/// error, count one injected fault (per failpoint hit, not per queued
+/// record), and flip the shard read-only exactly once.
+#[test]
+fn fsync_fault_fails_the_whole_batch_coherently_and_counts_once() {
+    let dir = fresh_dir("batch-coherent");
+    let faults = Faults::fail_nth(FaultPoint::WalFsync, 0, FaultMode::Error, false);
+    let mut cfg = durable_cfg(&dir, faults.clone());
+    cfg.workers = 1;
+    cfg.group_commit_max = 8;
+    cfg.group_commit_window_us = 200_000; // hold the batch open wide
+    let svc = Service::start(cfg).unwrap();
+    let c = svc.client();
+    assert!(!c.request_line("CREATE p").is_error());
+    let writes = pipelined_writes(6);
+    let pending: Vec<_> = writes
+        .iter()
+        .map(|(at, ch)| c.begin_line(&format!("UPDATE p AT {at} ; {ch}")).1)
+        .collect();
+    let responses: Vec<Response> = pending.into_iter().map(|p| p.wait()).collect();
+    assert_eq!(faults.fired(), 1);
+    // All six were riders of the single gathered batch: identical error.
+    for (i, resp) in responses.iter().enumerate() {
+        assert!(
+            matches!(resp, Response::Error { kind: ErrKind::Io, .. }),
+            "rider {i}: expected the batch's Io error, got {resp:?}"
+        );
+    }
+    let m = svc.metrics();
+    use std::sync::atomic::Ordering::Relaxed;
+    assert_eq!(m.faults_injected.load(Relaxed), 1, "one failpoint hit, one count");
+    assert_eq!(m.read_only_flips.load(Relaxed), 1, "one batch failure, one flip");
+    drop(c);
+    drop(svc);
+
+    // The frames were written before the fsync failed, so recovery may
+    // legally surface any whole-record prefix of the unacked batch (the
+    // classic failed-fsync-acknowledgement case) — but only a prefix, in
+    // submission order, never an invented or reordered write.
+    let svc2 = Service::start(durable_cfg(&dir, Faults::disabled())).unwrap();
+    let got = svc2.doem_snapshot("p").expect("p must recover");
+    let recovered = got.timestamps();
+    assert!(recovered.len() <= writes.len());
+    for (i, ts) in recovered.iter().enumerate() {
+        assert_eq!(*ts, writes[i].0, "recovery is not a submission-order prefix");
     }
     svc2.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
@@ -367,6 +521,52 @@ mod torn_log_properties {
                     1
                 );
             }
+            svc.shutdown();
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        /// Batching must be invisible on disk: writing the same records
+        /// through `append_batch` in groups of `g` yields byte-identical
+        /// log images, and a crash at an arbitrary offset — including
+        /// mid-batch, straddling a batch boundary — still recovers the
+        /// longest whole-*record* prefix, never a whole-batch granule.
+        #[test]
+        fn batched_log_recovers_record_prefix_across_batch_boundaries(
+            n in 0usize..7,
+            g in 1usize..5,
+            cut_sel in 0usize..10_000,
+        ) {
+            let (bytes, boundaries, entries) = wal_image(n);
+            let dir = fresh_dir(&format!("prop-batch-{n}-{g}-{cut_sel}"));
+            std::fs::create_dir_all(&dir).unwrap();
+            let metrics = serve::metrics::Metrics::new();
+            let mut wal = serve::wal::DbWal::open(dir.join("p.wal"), 0).unwrap();
+            let frames: Vec<Vec<u8>> =
+                entries.iter().map(|(at, ch)| serve::wal::encode_record(*at, ch)).collect();
+            for chunk in frames.chunks(g) {
+                let refs: Vec<&[u8]> = chunk.iter().map(|f| f.as_slice()).collect();
+                wal.append_batch(&refs, &Faults::disabled(), &metrics).unwrap();
+            }
+            drop(wal);
+            let on_disk = std::fs::read(dir.join("p.wal")).unwrap();
+            prop_assert_eq!(&on_disk, &bytes, "batch size {} changed the image", g);
+
+            // Crash scene: checkpointed empty image + log cut anywhere.
+            let cut = cut_sel % (bytes.len() + 1);
+            let store = lore::LoreStore::open(&dir).unwrap();
+            let initial = OemDatabase::new("p".to_string());
+            store.save_doem("p", &DoemDatabase::from_snapshot(&initial)).unwrap();
+            std::fs::write(dir.join("p.wal"), &bytes[..cut]).unwrap();
+
+            let svc = Service::start(durable_cfg(&dir, Faults::disabled())).unwrap();
+            let got = svc.doem_snapshot("p").expect("p must recover");
+            let whole = boundaries.iter().filter(|&&b| b <= cut as u64).count() - 1;
+            let mut want = DoemDatabase::from_snapshot(&initial);
+            let mut replica = initial;
+            for (at, changes) in &entries[..whole] {
+                apply_set(&mut want, &mut replica, changes, *at).unwrap();
+            }
+            prop_assert!(same_doem(&got, &want), "n={} g={} cut={} whole={}", n, g, cut, whole);
             svc.shutdown();
             let _ = std::fs::remove_dir_all(&dir);
         }
