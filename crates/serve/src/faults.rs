@@ -20,7 +20,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
-/// A durability-pipeline site where a fault can fire.
+/// A durability- or replication-pipeline site where a fault can fire.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultPoint {
     /// The framed record write of a WAL append.
@@ -29,6 +29,14 @@ pub enum FaultPoint {
     WalFsync,
     /// A snapshot checkpoint (the save that precedes log truncation).
     Checkpoint,
+    /// The primary serving one `REPLICATE` batch — an [`FaultMode::Error`]
+    /// here looks to the follower like a network partition mid-stream.
+    ReplicateServe,
+    /// The follower applying one received replication batch —
+    /// [`FaultMode::Error`] drops the connection (partition on the
+    /// follower's side), [`FaultMode::Stall`] delays the apply (a slow,
+    /// lagging follower).
+    ReplicateApply,
 }
 
 /// How an injected fault manifests at its site.
@@ -40,6 +48,10 @@ pub enum FaultMode {
     /// failure — a kill-9 mid-`write(2)`. Clamped to the frame length;
     /// only meaningful at [`FaultPoint::WalAppend`].
     ShortWrite(usize),
+    /// The operation is delayed by this many milliseconds and then
+    /// proceeds normally — a slow disk or a lagging follower, not a
+    /// failure.
+    Stall(u64),
 }
 
 #[derive(Debug)]
@@ -102,6 +114,29 @@ impl Faults {
         };
         let sticky = rng.gen_bool(0.5);
         Faults::fail_nth(point, nth, mode, sticky)
+    }
+
+    /// Derive a **replication** plan pseudo-randomly from `seed`: a
+    /// partition on either side of the stream, or a slow-follower stall.
+    /// Kept separate from [`Faults::from_seed`] so the durability fault
+    /// matrix's seeds keep producing the exact same plans they always
+    /// have (the `SERVE_REPL_FAULT_SEED` CI legs use this one).
+    pub fn from_seed_replication(seed: u64, horizon: u64) -> Faults {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let point = if rng.gen_bool(0.5) {
+            FaultPoint::ReplicateServe
+        } else {
+            FaultPoint::ReplicateApply
+        };
+        let nth = rng.gen_range(0..horizon.max(1));
+        let mode = if rng.gen_bool(0.5) {
+            FaultMode::Error
+        } else {
+            FaultMode::Stall(rng.gen_range(1..50u64))
+        };
+        // Sticky partitions would sever the stream forever; replication
+        // plans are always one-shot so convergence stays reachable.
+        Faults::fail_nth(point, nth, mode, false)
     }
 
     /// Record one operation at `point`; `Some(mode)` means the caller
@@ -187,6 +222,29 @@ mod tests {
             };
             assert_eq!(fire(&a), fire(&b), "seed {seed}");
             assert!(a.fired() > 0, "a seeded plan must fire within its horizon");
+        }
+    }
+
+    #[test]
+    fn seeded_replication_plans_are_reproducible_and_one_shot() {
+        for seed in [0u64, 7, 1998, 424242] {
+            let a = Faults::from_seed_replication(seed, 50);
+            let b = Faults::from_seed_replication(seed, 50);
+            let fire = |f: &Faults| -> Vec<Option<FaultMode>> {
+                (0..50)
+                    .flat_map(|_| {
+                        [
+                            f.check(FaultPoint::ReplicateServe),
+                            f.check(FaultPoint::ReplicateApply),
+                        ]
+                    })
+                    .collect()
+            };
+            assert_eq!(fire(&a), fire(&b), "seed {seed}");
+            assert_eq!(a.fired(), 1, "replication plans are one-shot (seed {seed})");
+            // Replication plans never touch the durability points.
+            assert_eq!(b.check(FaultPoint::WalAppend), None);
+            assert_eq!(b.check(FaultPoint::Checkpoint), None);
         }
     }
 }

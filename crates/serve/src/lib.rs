@@ -46,6 +46,13 @@
 //! degrades to read-only ([`ErrKind::ReadOnly`]) instead of taking the
 //! service down.
 //!
+//! With [`ServeConfig::follow`] set the instance is a **replication
+//! follower** ([`replication`], DESIGN.md §10): it pulls the primary's
+//! WAL over the wire protocol (`REPLICATE` batches, checkpoint-image
+//! catch-up), replays it through the same commit pipeline, serves
+//! snapshot reads at its applied LSN (`LSN <db>`), and refuses client
+//! writes with the typed `READONLY` error.
+//!
 //! ```
 //! use serve::{Service, ServeConfig, Response};
 //! use oem::guide::{guide_figure2, history_example_2_3};
@@ -64,11 +71,13 @@ pub mod cache;
 pub mod faults;
 pub mod metrics;
 pub mod protocol;
+pub mod replication;
 mod service;
 mod tcp;
 pub mod wal;
 
 pub use faults::{FaultMode, FaultPoint, Faults};
 pub use protocol::{parse_request, parse_tagged_request, ErrKind, ProtoError, Request, Response};
+pub use replication::{snapshot_bytes, snapshot_from_bytes, ReplBatch};
 pub use service::{AutoTick, Client, DynSource, PendingReply, ServeConfig, Service};
 pub use tcp::{RetryPolicy, TcpHandle, WireClient};

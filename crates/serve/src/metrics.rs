@@ -128,6 +128,22 @@ pub struct Metrics {
     /// *current* count of read-only shards is the `read_only_shards`
     /// gauge appended to `STATS` by the service.
     pub read_only_flips: AtomicU64,
+    /// `REPLICATE` batches this primary served to followers (snapshot or
+    /// log-tail responses alike).
+    pub repl_batches_shipped: AtomicU64,
+    /// Log records shipped to followers inside those batches.
+    pub repl_records_shipped: AtomicU64,
+    /// Full checkpoint images shipped to followers (catch-up resyncs).
+    pub repl_snapshots_shipped: AtomicU64,
+    /// Records this follower applied through the canonical change-op
+    /// order into its shards.
+    pub repl_records_applied: AtomicU64,
+    /// Checkpoint images this follower installed (initial attach or
+    /// resync after falling behind the primary's retained tail).
+    pub repl_snapshots_installed: AtomicU64,
+    /// Times the follower's fetch loop reconnected to the primary after
+    /// a connection-level failure (the backoff path).
+    pub repl_reconnects: AtomicU64,
     /// Time spent parsing request lines.
     pub parse: Histogram,
     /// Time jobs spent queued before a worker picked them up.
@@ -174,6 +190,12 @@ impl Metrics {
             format!("counter torn_tails {}", c(&self.torn_tails)),
             format!("counter faults_injected {}", c(&self.faults_injected)),
             format!("counter read_only_flips {}", c(&self.read_only_flips)),
+            format!("counter repl_batches_shipped {}", c(&self.repl_batches_shipped)),
+            format!("counter repl_records_shipped {}", c(&self.repl_records_shipped)),
+            format!("counter repl_snapshots_shipped {}", c(&self.repl_snapshots_shipped)),
+            format!("counter repl_records_applied {}", c(&self.repl_records_applied)),
+            format!("counter repl_snapshots_installed {}", c(&self.repl_snapshots_installed)),
+            format!("counter repl_reconnects {}", c(&self.repl_reconnects)),
         ];
         self.parse.render("parse", &mut out);
         self.queue.render("queue", &mut out);

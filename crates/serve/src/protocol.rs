@@ -21,6 +21,8 @@
 //! TICK <ts>                                  advance QSS simulated time
 //! NOTES <id|*>                               pending QSS notifications
 //! SUBQUERY <id> <chorel query>               query a subscription's DOEM
+//! LSN <db>                                   applied/durable LSNs (lag probe)
+//! REPLICATE <db> FROM <lsn> [AS <peer>]      one replication batch
 //! QUIT                                       close the session
 //! ```
 //!
@@ -203,6 +205,24 @@ pub enum Request {
         /// Subscription id, or `*`.
         id: String,
     },
+    /// `LSN <db>` — the shard's applied and durable LSNs, the wire-level
+    /// replication-lag probe.
+    Lsn {
+        /// Database name.
+        db: String,
+    },
+    /// `REPLICATE <db> FROM <lsn> [AS <peer>]` — ask the primary for one
+    /// replication batch: a checkpoint image (when `from` predates the
+    /// retained log tail) or the log records strictly after `from`.
+    Replicate {
+        /// Database name.
+        db: String,
+        /// The follower's applied LSN; only changes after it are wanted.
+        from: Timestamp,
+        /// Optional follower identity, used by the primary to lease log
+        /// retention past checkpoints while this follower is attached.
+        peer: Option<String>,
+    },
 }
 
 impl Request {
@@ -220,6 +240,8 @@ impl Request {
                 | Request::Query { .. }
                 | Request::SubQuery { .. }
                 | Request::Notes { .. }
+                | Request::Lsn { .. }
+                | Request::Replicate { .. }
         )
     }
 }
@@ -488,6 +510,27 @@ fn parse_at_clause(rest: &str) -> Result<(Timestamp, &str), ProtoError> {
     Ok((at, payload.trim()))
 }
 
+/// Render an LSN — a change [`Timestamp`] — for the wire: its raw minute
+/// count as a decimal integer, or `-` for "no changes applied yet"
+/// (negative infinity, a freshly created database).
+pub fn lsn_to_wire(at: Timestamp) -> String {
+    if at == Timestamp::NEG_INFINITY {
+        "-".to_string()
+    } else {
+        at.raw_minutes().to_string()
+    }
+}
+
+/// Inverse of [`lsn_to_wire`].
+pub fn lsn_from_wire(s: &str) -> Result<Timestamp, ProtoError> {
+    if s == "-" {
+        return Ok(Timestamp::NEG_INFINITY);
+    }
+    s.parse::<i64>()
+        .map(Timestamp::from_raw_minutes)
+        .map_err(|_| ProtoError::syntax(format!("bad LSN {s:?} (raw minutes or '-')")))
+}
+
 fn parse_query_text(text: &str) -> Result<(Box<Query>, String), ProtoError> {
     if text.trim().is_empty() {
         return Err(ProtoError::syntax("missing query text"));
@@ -618,6 +661,24 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 })
             }
         }
+        "LSN" => Ok(Request::Lsn {
+            db: name_ok(rest.trim(), "database")?,
+        }),
+        "REPLICATE" => {
+            let (db, rest) = split_word(rest);
+            let db = name_ok(db, "database")?;
+            let rest = expect_kw(rest, "FROM")?;
+            let (lsn, rest) = split_word(rest);
+            let from = lsn_from_wire(lsn)?;
+            let rest = rest.trim();
+            let peer = if rest.is_empty() {
+                None
+            } else {
+                let peer = expect_kw(rest, "AS")?;
+                Some(name_ok(peer.trim(), "peer")?)
+            };
+            Ok(Request::Replicate { db, from, peer })
+        }
         other => Err(ProtoError {
             kind: ErrKind::Unknown,
             message: format!("unknown verb {other:?}"),
@@ -731,6 +792,56 @@ mod tests {
     }
 
     #[test]
+    fn replication_verbs_parse_and_classify_as_reads() {
+        match parse_request("LSN guide").unwrap() {
+            Request::Lsn { db } => assert_eq!(db, "guide"),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse_request("LSN guide").unwrap().is_read());
+        assert_eq!(parse_request("LSN").unwrap_err().kind, ErrKind::Syntax);
+
+        match parse_request("REPLICATE guide FROM -").unwrap() {
+            Request::Replicate { db, from, peer } => {
+                assert_eq!(db, "guide");
+                assert_eq!(from, Timestamp::NEG_INFINITY);
+                assert_eq!(peer, None);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse_request("REPLICATE guide FROM 14240400 AS follower-1").unwrap() {
+            Request::Replicate { from, peer, .. } => {
+                assert_eq!(from, Timestamp::from_raw_minutes(14_240_400));
+                assert_eq!(peer.as_deref(), Some("follower-1"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(parse_request("REPLICATE guide FROM -").unwrap().is_read());
+        assert_eq!(
+            parse_request("REPLICATE guide FROM nonsense").unwrap_err().kind,
+            ErrKind::Syntax
+        );
+        assert_eq!(
+            parse_request("REPLICATE guide AT 5").unwrap_err().kind,
+            ErrKind::Syntax
+        );
+    }
+
+    #[test]
+    fn lsn_wire_format_round_trips() {
+        for at in [
+            Timestamp::NEG_INFINITY,
+            Timestamp::from_raw_minutes(0),
+            Timestamp::from_raw_minutes(-5),
+            Timestamp::from_raw_minutes(14_240_400),
+        ] {
+            assert_eq!(lsn_from_wire(&lsn_to_wire(at)).unwrap(), at);
+        }
+        assert_eq!(lsn_to_wire(Timestamp::NEG_INFINITY), "-");
+        assert!(lsn_from_wire("12.5").is_err());
+        assert!(lsn_from_wire("").is_err());
+    }
+
+    #[test]
     fn tagged_requests_parse() {
         let (tag, req) = parse_tagged_request("#q1 PING");
         assert_eq!(tag.as_deref(), Some("q1"));
@@ -832,6 +943,7 @@ mod fuzz_tests {
             let _ = parse_request(&line);
             let _ = parse_tagged_request(&line);
             let _ = unescape(&line);
+            let _ = lsn_from_wire(&line);
         }
 
         /// Tagged frames round-trip for arbitrary tags and rows. (The tag
@@ -871,6 +983,8 @@ mod fuzz_tests {
                     "11:30pm", "select", "guide.restaurant", "where", "<",
                     "creNode(n9, C)", "{updNode(n1, 20)}", "1Jan97", "8:00pm",
                     "*", "price", "=", "\"x\"", "insert", "t[-1]",
+                    "REPLICATE", "LSN", "FROM", "AS", "-", "12345",
+                    "follower-1",
                 ]),
                 0..12,
             )

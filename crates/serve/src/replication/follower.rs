@@ -1,0 +1,212 @@
+//! The follower half of replication: a background thread that pulls
+//! batches from the primary and replays them into the local shards.
+//!
+//! The loop is deliberately client-shaped — it speaks the ordinary wire
+//! protocol through a [`WireClient`], so anything between a follower and
+//! its primary (proxies, fault injection, a different build) only has to
+//! understand the line protocol. Each cycle lists the primary's
+//! databases, then drives every one to the primary's applied LSN:
+//! `REPLICATE <db> FROM <applied> AS <id>` either returns a checkpoint
+//! image (installed wholesale, replacing the local shard) or a run of
+//! history entries, which are applied through the **same commit path as
+//! local writes** — sequenced onto the shard's group-commit pipeline
+//! when durable, so follower WALs, checkpoints, and crash recovery need
+//! no replication-specific code at all. The canonical change-op
+//! application order inside each record is [`doem::apply_set`]'s,
+//! identical on both sides by construction.
+//!
+//! Connection failures reconnect with exponential backoff (50ms doubling
+//! to 2s, counted in `repl_reconnects`); every sleep is stop-aware so
+//! shutdown never waits out a backoff.
+
+use crate::faults::{FaultMode, FaultPoint};
+use crate::metrics::Metrics;
+use crate::protocol::{lsn_to_wire, ErrKind, Response};
+use crate::replication::stream::ReplBatch;
+use crate::service::{apply_replicated, install_replicated, install_replicated_doem, Shared};
+use crate::tcp::WireClient;
+use doem::DoemDatabase;
+use oem::{OemDatabase, Timestamp};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// First reconnect delay; doubles per failure up to [`BACKOFF_MAX`].
+const BACKOFF_MIN: Duration = Duration::from_millis(50);
+/// Reconnect delay ceiling.
+const BACKOFF_MAX: Duration = Duration::from_secs(2);
+/// Per-roundtrip wire timeout — a wedged primary surfaces as a
+/// connection failure and re-enters the backoff path.
+const WIRE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// The follower thread body (spawned by `Service::start` when
+/// [`crate::ServeConfig::follow`] is set). Runs until `stop`.
+pub(crate) fn follower_loop(shared: &Arc<Shared>, stop: &AtomicBool) {
+    let Some(addr) = shared.cfg.follow.clone() else {
+        return;
+    };
+    let id = shared
+        .cfg
+        .follower_id
+        .clone()
+        .unwrap_or_else(|| format!("follower-{}", std::process::id()));
+    let mut backoff = BACKOFF_MIN;
+    while !stop.load(Ordering::SeqCst) {
+        let session = WireClient::connect(addr.as_str()).and_then(|mut client| {
+            client.set_timeout(Some(WIRE_TIMEOUT))?;
+            run_session(shared, &mut client, &id, stop)
+        });
+        match session {
+            // A session only returns cleanly on stop.
+            Ok(()) => return,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                Metrics::bump(&shared.metrics.repl_reconnects);
+                sleep_stop_aware(stop, backoff);
+                backoff = (backoff * 2).min(BACKOFF_MAX);
+            }
+        }
+        // Reset the backoff only after a session made real progress;
+        // a primary that accepts connections but errors immediately
+        // keeps backing off.
+        if shared.metrics.repl_records_applied.load(Ordering::Relaxed) > 0
+            || shared
+                .metrics
+                .repl_snapshots_installed
+                .load(Ordering::Relaxed)
+                > 0
+        {
+            backoff = BACKOFF_MIN;
+        }
+    }
+}
+
+/// One connected session: repeatedly list the primary's databases and
+/// drive each to the primary's applied LSN, then idle-poll. Any I/O or
+/// decode error tears the session down to the reconnect path.
+fn run_session(
+    shared: &Arc<Shared>,
+    client: &mut WireClient,
+    id: &str,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    while !stop.load(Ordering::SeqCst) {
+        let dbs = match client.roundtrip("DBS")? {
+            Response::Rows(rows) => rows,
+            other => {
+                return Err(std::io::Error::other(format!(
+                    "primary answered DBS with {other:?}"
+                )))
+            }
+        };
+        for db in dbs {
+            if stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            sync_db(shared, client, &db, id, stop)?;
+        }
+        sleep_stop_aware(stop, shared.cfg.follow_poll);
+    }
+    Ok(())
+}
+
+/// Drive one database to the primary's applied LSN: request batches from
+/// the local applied LSN until it catches the `primary_lsn` a batch
+/// carried. Snapshot batches replace the local shard wholesale; record
+/// batches commit through the ordinary write path.
+fn sync_db(
+    shared: &Arc<Shared>,
+    client: &mut WireClient,
+    db: &str,
+    id: &str,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let applied = applied_lsn(shared, db);
+        let line = format!("REPLICATE {db} FROM {} AS {id}", lsn_to_wire(applied));
+        let rows = match client.roundtrip(&line)? {
+            Response::Rows(rows) => rows,
+            // The database vanished between DBS and now; not an error.
+            Response::Error {
+                kind: ErrKind::NotFound,
+                ..
+            } => return Ok(()),
+            Response::Error { kind, message } => {
+                return Err(std::io::Error::other(format!(
+                    "primary refused {line:?}: {} {message}",
+                    kind.code()
+                )))
+            }
+            Response::Ok(msg) => {
+                return Err(std::io::Error::other(format!(
+                    "primary answered REPLICATE with OK {msg:?}"
+                )))
+            }
+        };
+        let batch = ReplBatch::from_rows(&rows).map_err(std::io::Error::other)?;
+        match shared.cfg.faults.check(FaultPoint::ReplicateApply) {
+            Some(FaultMode::Stall(ms)) => {
+                Metrics::bump(&shared.metrics.faults_injected);
+                sleep_stop_aware(stop, Duration::from_millis(ms));
+            }
+            Some(_) => {
+                Metrics::bump(&shared.metrics.faults_injected);
+                // Dropping the connection mid-apply is the follower-side
+                // partition; the reconnect path resumes from whatever
+                // actually committed.
+                return Err(crate::faults::Faults::injected_error(
+                    FaultPoint::ReplicateApply,
+                ));
+            }
+            None => {}
+        }
+        shared.repl.note_primary_lsn(db, batch.primary_lsn);
+        if let Some(image) = &batch.snapshot {
+            install_replicated(shared, db, image, batch.primary_lsn)
+                .map_err(std::io::Error::other)?;
+            Metrics::bump(&shared.metrics.repl_snapshots_installed);
+        } else {
+            if shared.shard(db).is_none() {
+                // A records-only batch means the primary's tail reaches
+                // back to the beginning of the history: materialize the
+                // empty database those records rebuild from (this is also
+                // how an empty CREATEd database arrives at a follower).
+                let empty = DoemDatabase::from_snapshot(&OemDatabase::new(db.to_string()));
+                install_replicated_doem(shared, db, empty, Timestamp::NEG_INFINITY)
+                    .map_err(std::io::Error::other)?;
+                Metrics::bump(&shared.metrics.repl_snapshots_installed);
+            }
+            for (at, changes) in &batch.records {
+                apply_replicated(shared, db, *at, changes).map_err(std::io::Error::other)?;
+                Metrics::bump(&shared.metrics.repl_records_applied);
+            }
+        }
+        if applied_lsn(shared, db) >= batch.primary_lsn {
+            return Ok(());
+        }
+    }
+}
+
+/// The local applied LSN for `db` (`NEG_INFINITY` when the shard does
+/// not exist yet — the empty-state attach asks for everything).
+fn applied_lsn(shared: &Shared, db: &str) -> Timestamp {
+    shared
+        .shard(db)
+        .map(|s| s.state.read().last_at)
+        .unwrap_or(Timestamp::NEG_INFINITY)
+}
+
+/// Sleep in short slices so a stop request never waits out a backoff.
+fn sleep_stop_aware(stop: &AtomicBool, total: Duration) {
+    let mut left = total;
+    while !left.is_zero() && !stop.load(Ordering::SeqCst) {
+        let slice = left.min(Duration::from_millis(50));
+        std::thread::sleep(slice);
+        left = left.saturating_sub(slice);
+    }
+}

@@ -57,7 +57,8 @@
 use crate::cache::{CacheKey, ResultCache};
 use crate::faults::{FaultPoint, Faults};
 use crate::metrics::Metrics;
-use crate::protocol::{ErrKind, Request, Response};
+use crate::protocol::{lsn_to_wire, ErrKind, Request, Response};
+use crate::replication::primary::{serve_replicate, ReplHub, ReplTail};
 use crate::wal::{self, DbWal};
 use chorel::{canonical_row_strings, run_chorel_parsed, Strategy};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
@@ -69,7 +70,7 @@ use qss::{QssServer, ScriptedSource, Source, Subscription};
 use sanitizer::thread::{spawn_tracked, TrackedHandle};
 use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -132,6 +133,20 @@ pub struct ServeConfig {
     /// TCP requests (min 1). Bounds waiter concurrency regardless of how
     /// many sessions pipeline how deeply.
     pub completion_threads: usize,
+    /// Follow a primary at this wire address: the instance becomes a
+    /// read-only **follower**, replaying the primary's change-op log
+    /// into its shards and refusing client writes with `READONLY`.
+    pub follow: Option<String>,
+    /// Follower identity sent with `REPLICATE … AS <peer>` (leases log
+    /// retention on the primary). Defaults to `follower-<pid>`.
+    pub follower_id: Option<String>,
+    /// Most history entries per `REPLICATE` batch (min 1).
+    pub replication_batch: usize,
+    /// Log-tail records each shard retains in memory for followers, past
+    /// checkpoints (min 1; leased followers can stretch this up to 8×).
+    pub replication_retain: usize,
+    /// How long a caught-up follower sleeps between poll rounds.
+    pub follow_poll: Duration,
     /// Fault-injection plan for the durability pipeline (tests; disabled
     /// by default and free when disabled).
     pub faults: Faults,
@@ -153,6 +168,11 @@ impl Default for ServeConfig {
             group_commit_max: 8,
             group_commit_window_us: 0,
             completion_threads: 4,
+            follow: None,
+            follower_id: None,
+            replication_batch: 64,
+            replication_retain: 1024,
+            follow_poll: Duration::from_millis(100),
             faults: Faults::disabled(),
         }
     }
@@ -178,6 +198,11 @@ pub(crate) struct ShardState {
     /// Set on persistent log I/O failure; writes answer
     /// [`ErrKind::ReadOnly`] while queries keep serving.
     pub(crate) read_only: bool,
+    /// The recent suffix of this shard's history, retained in memory for
+    /// followers (records survive checkpoint truncation here). Appended
+    /// under the same write lock that publishes a commit, so a
+    /// group-commit batch becomes visible to replication atomically.
+    pub(crate) tail: ReplTail,
 }
 
 /// A write accepted by the sequence stage, parked on the commit queue
@@ -258,6 +283,14 @@ pub(crate) struct Shard {
     pub(crate) pipeline: Option<Arc<CommitPipeline>>,
     /// The group-committer thread, joined on shutdown or replacement.
     committer: Mutex<Option<TrackedHandle<()>>>,
+    /// Replication retention floor: the minimum applied LSN (raw
+    /// minutes) across live follower leases, `i64::MAX` when none. Kept
+    /// as an atomic so the publish path never touches the lease table.
+    pub(crate) repl_floor: AtomicI64,
+    /// Highest LSN (raw minutes) known durable on this shard's disk —
+    /// stored by the committer after each batch fsync, rendered by
+    /// `LSN`/`STATS`. Meaningless for non-durable shards.
+    pub(crate) durable_lsn: AtomicI64,
 }
 
 impl Shard {
@@ -295,10 +328,13 @@ impl Shard {
                 generation: 1,
                 last_at,
                 read_only: false,
+                tail: ReplTail::new(last_at),
             }),
             cache: ResultCache::new(cache_capacity),
             pipeline,
             committer: Mutex::new(None),
+            repl_floor: AtomicI64::new(i64::MAX),
+            durable_lsn: AtomicI64::new(last_at.raw_minutes()),
         }
     }
 
@@ -356,13 +392,16 @@ pub(crate) struct Shared {
     pub(crate) accepting: AtomicBool,
     /// Monotonic write counter across *all* shards — the `GEN` verb.
     pub(crate) global_gen: AtomicU64,
+    /// Replication bookkeeping: follower leases (primary side) and
+    /// observed primary LSNs (follower side).
+    pub(crate) repl: ReplHub,
     pub(crate) metrics: Metrics,
 }
 
 impl Shared {
     /// Look up a shard, cloning its `Arc` so the map lock drops
     /// immediately.
-    fn shard(&self, db: &str) -> Option<Arc<Shard>> {
+    pub(crate) fn shard(&self, db: &str) -> Option<Arc<Shard>> {
         self.shards.read().get(db).cloned()
     }
 
@@ -461,6 +500,8 @@ pub struct Service {
     workers: Vec<TrackedHandle<()>>,
     completions: Vec<TrackedHandle<()>>,
     ticker: Option<TrackedHandle<()>>,
+    /// The replication fetch/apply thread (follower mode only).
+    follower: Option<TrackedHandle<()>>,
     pub(crate) stop: Arc<AtomicBool>,
 }
 
@@ -511,6 +552,7 @@ impl Service {
             durable,
             accepting: AtomicBool::new(true),
             global_gen: AtomicU64::new(1),
+            repl: ReplHub::new(),
             metrics,
             cfg,
         });
@@ -558,6 +600,16 @@ impl Service {
         for (name, shard) in recovered {
             start_committer(&shared, &name, &shard)?;
         }
+        let follower = match shared.cfg.follow {
+            Some(_) => {
+                let shared = Arc::clone(&shared);
+                let stop = Arc::clone(&stop);
+                Some(spawn_tracked("serve-follower", move || {
+                    crate::replication::follower::follower_loop(&shared, &stop)
+                })?)
+            }
+            None => None,
+        };
         Ok(Service {
             shared,
             job_tx,
@@ -565,6 +617,7 @@ impl Service {
             workers,
             completions,
             ticker,
+            follower,
             stop,
         })
     }
@@ -638,6 +691,7 @@ impl Service {
             workers,
             completions,
             ticker,
+            follower,
             stop,
         } = self;
         // Refuse new work, then signal loops; workers keep pulling until
@@ -647,6 +701,12 @@ impl Service {
         drop(job_tx);
         for w in workers {
             let _ = w.join();
+        }
+        // The follower joins before the committers stop: its in-flight
+        // record applies are acked by the committers, so stopping those
+        // first would strand it waiting out a reply timeout.
+        if let Some(f) = follower {
+            let _ = f.join();
         }
         // Workers are gone, so the commit queues can only shrink: ask
         // every committer to drain + checkpoint, then join them. Replies
@@ -1023,6 +1083,13 @@ fn persist_and_publish(
         }
         return false;
     }
+    if let Some(last) = batch.last() {
+        shard
+            .durable_lsn
+            .store(last.at.raw_minutes(), Ordering::Relaxed);
+    }
+    let retain = shared.cfg.replication_retain.max(1);
+    let repl_floor = shard.repl_floor.load(Ordering::Relaxed);
     let mut replies: Vec<(Arc<ReplySlot>, Response)> = Vec::with_capacity(batch.len());
     let mut poisoned = false;
     {
@@ -1045,6 +1112,7 @@ fn persist_and_publish(
             match apply_set(doem.make_mut(), replica.make_mut(), &s.changes, s.at) {
                 Ok(()) => {
                     st.last_at = s.at;
+                    st.tail.push(s.at, s.changes.clone(), retain, repl_floor);
                     let g = Shard::bump(&mut st, &shard.cache);
                     shared.bump_global();
                     let text = match s.created {
@@ -1546,6 +1614,12 @@ fn commit_in_memory(
     match outcome {
         Ok(()) => {
             st.last_at = at;
+            st.tail.push(
+                at,
+                changes.clone(),
+                shared.cfg.replication_retain.max(1),
+                shard.repl_floor.load(Ordering::Relaxed),
+            );
             let g = Shard::bump(st, &shard.cache);
             shared.bump_global();
             Ok(g)
@@ -1554,6 +1628,117 @@ fn commit_in_memory(
             ErrKind::Conflict,
             format!("change set rejected: {e}"),
         )),
+    }
+}
+
+/// Followers reject client writes by construction: every state change on
+/// a following instance arrives through replication replay, never
+/// through the request edge. Returns the `READONLY` response to send
+/// when this instance follows a primary, `None` otherwise.
+fn refuse_follower_write(shared: &Shared) -> Option<Response> {
+    shared.cfg.follow.as_ref().map(|primary| {
+        Response::err(
+            ErrKind::ReadOnly,
+            format!("this instance follows {primary}; writes go to the primary"),
+        )
+    })
+}
+
+/// Apply one replicated history record to a local shard through the
+/// **same commit path as a client write**: sequenced onto the group
+/// commit pipeline when the shard is durable (so the record lands in the
+/// follower's own WAL before it is visible), or committed in memory
+/// otherwise. Called only from the follower replay thread.
+pub(crate) fn apply_replicated(
+    shared: &Arc<Shared>,
+    db: &str,
+    at: Timestamp,
+    changes: &ChangeSet,
+) -> Result<(), String> {
+    let Some(shard) = shared.shard(db) else {
+        return Err(format!("no local shard for replicated database {db:?}"));
+    };
+    if let Some(pipeline) = shard.pipeline.clone() {
+        loop {
+            let slot = ReplySlot::new();
+            let staged = sequence_write(
+                shared,
+                &shard,
+                &pipeline,
+                db,
+                at,
+                WriteKind::Update(changes.clone()),
+                &slot,
+            );
+            match staged {
+                None => {
+                    // Staged; wait for the committer's ack so replication
+                    // never outruns the follower's own durability.
+                    return match slot.wait(shared.cfg.request_timeout) {
+                        Some(Response::Ok(_)) | Some(Response::Rows(_)) => Ok(()),
+                        Some(Response::Error { kind, message }) => {
+                            Err(format!("{}: {message}", kind.code()))
+                        }
+                        None => Err("timed out waiting for a replicated record to commit".into()),
+                    };
+                }
+                Some(Response::Error {
+                    kind: ErrKind::Busy,
+                    ..
+                }) => {
+                    // Queue full: replication has no client to push back
+                    // on, so yield and retry until the committer drains.
+                    std::thread::sleep(Duration::from_millis(1));
+                    continue;
+                }
+                Some(Response::Error { kind, message }) => {
+                    return Err(format!("{}: {message}", kind.code()))
+                }
+                Some(_) => return Ok(()),
+            }
+        }
+    }
+    let mut st = shard.state.write();
+    match commit_in_memory(shared, &shard, db, &mut st, changes, at) {
+        Ok(_) => Ok(()),
+        Err(Response::Error { kind, message }) => Err(format!("{}: {message}", kind.code())),
+        Err(_) => Err("replicated record rejected".into()),
+    }
+}
+
+/// Install a replicated checkpoint image as the local shard for `db`,
+/// replacing whatever was there (the primary's image is authoritative —
+/// a diverged or stale local shard is exactly what the image heals).
+/// Called only from the follower replay thread.
+pub(crate) fn install_replicated(
+    shared: &Arc<Shared>,
+    db: &str,
+    image: &[u8],
+    last_at: Timestamp,
+) -> Result<(), String> {
+    let doem = crate::replication::stream::snapshot_from_bytes(image)?;
+    install_replicated_doem(shared, db, doem, last_at)
+}
+
+/// [`install_replicated`] after decoding — also used directly by the
+/// follower to materialize an empty database when the primary's tail
+/// reaches back to the beginning (a records-only rebuild needs a shard
+/// to apply into).
+pub(crate) fn install_replicated_doem(
+    shared: &Arc<Shared>,
+    db: &str,
+    doem: DoemDatabase,
+    last_at: Timestamp,
+) -> Result<(), String> {
+    let replica = current_snapshot(&doem);
+    match install_shard(shared, db, doem, replica, last_at, false) {
+        Ok(_) => {
+            shared.bump_global();
+            Ok(())
+        }
+        Err(InstallError::Io(e)) => Err(format!("snapshot install not durable: {e}")),
+        // Unreachable with `must_be_new = false`, but harmless.
+        Err(InstallError::Exists) => Err(format!("database {db:?} exists")),
     }
 }
 
@@ -1572,12 +1757,37 @@ pub(crate) fn execute(
         Request::Quit => Response::Ok("bye".into()),
         Request::Stats => {
             let mut rows = shared.metrics.render();
-            let read_only = shared
+            let mut shards: Vec<(String, Arc<Shard>)> = shared
                 .shards
                 .read()
-                .values()
-                .filter(|s| s.state.read().read_only)
-                .count();
+                .iter()
+                .map(|(k, v)| (k.clone(), Arc::clone(v)))
+                .collect();
+            shards.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut read_only = 0usize;
+            for (name, shard) in &shards {
+                let (applied, ro) = {
+                    let st = shard.state.read();
+                    (st.last_at, st.read_only)
+                };
+                if ro {
+                    read_only += 1;
+                }
+                let durable = if shard.pipeline.is_some() {
+                    lsn_to_wire(Timestamp::from_raw_minutes(
+                        shard.durable_lsn.load(Ordering::Relaxed),
+                    ))
+                } else {
+                    "-".to_string()
+                };
+                let mut line = format!("lsn {name} applied={} durable={durable}", lsn_to_wire(applied));
+                if shared.cfg.follow.is_some() {
+                    if let Some(p) = shared.repl.observed_primary_lsn(name) {
+                        line.push_str(&format!(" primary={}", lsn_to_wire(p)));
+                    }
+                }
+                rows.push(line);
+            }
             rows.push(format!("gauge read_only_shards {read_only}"));
             Response::Rows(rows)
         }
@@ -1598,6 +1808,9 @@ pub(crate) fn execute(
             Response::Rows(names)
         }
         Request::Create { db } => {
+            if let Some(resp) = refuse_follower_write(shared) {
+                return Some(resp);
+            }
             let initial = OemDatabase::new(db.clone());
             let doem = DoemDatabase::from_snapshot(&initial);
             // Durable prep happens under the map lock inside
@@ -1636,6 +1849,9 @@ pub(crate) fn execute(
             }
         }
         Request::Load { db } => {
+            if let Some(resp) = refuse_follower_write(shared) {
+                return Some(resp);
+            }
             let Some(store) = &shared.store else {
                 return Some(Response::err(ErrKind::Io, "no store configured"));
             };
@@ -1720,6 +1936,9 @@ pub(crate) fn execute(
             }
         }
         Request::Update { db, at, changes } => {
+            if let Some(resp) = refuse_follower_write(shared) {
+                return Some(resp);
+            }
             let Some(shard) = shared.shard(&db) else {
                 return Some(not_found("database", &db));
             };
@@ -1743,6 +1962,9 @@ pub(crate) fn execute(
             }
         }
         Request::Mutate { db, at, stmt } => {
+            if let Some(resp) = refuse_follower_write(shared) {
+                return Some(resp);
+            }
             let Some(shard) = shared.shard(&db) else {
                 return Some(not_found("database", &db));
             };
@@ -1854,6 +2076,24 @@ pub(crate) fn execute(
                 }
                 Err(e) => Response::err(ErrKind::Conflict, format!("qss poll failed: {e}")),
             }
+        }
+        Request::Lsn { db } => {
+            let Some(shard) = shared.shard(&db) else {
+                return Some(not_found("database", &db));
+            };
+            let applied = shard.state.read().last_at;
+            let durable = if shard.pipeline.is_some() {
+                lsn_to_wire(Timestamp::from_raw_minutes(
+                    shard.durable_lsn.load(Ordering::Relaxed),
+                ))
+            } else {
+                // Non-durable shards have no log; nothing is durable.
+                "-".to_string()
+            };
+            Response::Ok(format!("applied {} durable {durable}", lsn_to_wire(applied)))
+        }
+        Request::Replicate { db, from, peer } => {
+            serve_replicate(shared, &db, from, peer.as_deref())
         }
         Request::Notes { id } => {
             let ctl = shared.control.read();

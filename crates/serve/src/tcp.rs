@@ -520,6 +520,12 @@ mod tests {
         assert!(!is_idempotent("SAVE guide"));
         assert!(is_idempotent("#x QUERY guide select guide.restaurant"));
         assert!(is_idempotent("STATS"));
+        // The replication verbs are reads: re-asking for an LSN or a
+        // batch after a reconnect is always safe (the follower's resume
+        // point is its own applied LSN, not connection state).
+        assert!(is_idempotent("LSN guide"));
+        assert!(is_idempotent("GEN guide"));
+        assert!(is_idempotent("REPLICATE guide FROM - AS follower-1"));
         let resp = wire.roundtrip("PING").unwrap();
         assert_eq!(resp, Response::Ok("pong".into()));
         handle2.stop();

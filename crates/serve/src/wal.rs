@@ -247,13 +247,25 @@ impl DbWal {
                 self.len += n as u64;
                 return Err(Faults::injected_error(FaultPoint::WalAppend));
             }
+            Some(FaultMode::Stall(ms)) => {
+                // A slow disk, not a dead one: delay, then write normally.
+                Metrics::bump(&metrics.faults_injected);
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
             None => {}
         }
         self.file.write_all(&buf)?;
         self.len += buf.len() as u64;
-        if faults.check(FaultPoint::WalFsync).is_some() {
-            Metrics::bump(&metrics.faults_injected);
-            return Err(Faults::injected_error(FaultPoint::WalFsync));
+        match faults.check(FaultPoint::WalFsync) {
+            Some(FaultMode::Stall(ms)) => {
+                Metrics::bump(&metrics.faults_injected);
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+            Some(_) => {
+                Metrics::bump(&metrics.faults_injected);
+                return Err(Faults::injected_error(FaultPoint::WalFsync));
+            }
+            None => {}
         }
         self.file.sync_data()?;
         self.since_checkpoint += frames.len() as u64;

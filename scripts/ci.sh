@@ -21,6 +21,26 @@ for seed in 7 1998 424242; do
     done
 done
 
+echo "==> fault matrix: replication stream under fixed partition/stall seeds"
+for seed in 7 1998 424242; do
+    echo "    SERVE_REPL_FAULT_SEED=$seed"
+    SERVE_REPL_FAULT_SEED=$seed \
+        cargo test -q --offline --test serve_replication
+done
+
+echo "==> replication smoke (1 primary, 2 followers) under DOEM_SANITIZE=1"
+repl_out="$(DOEM_SANITIZE=1 cargo test -q --offline --test serve_replication \
+    two_followers_track_a_live_primary 2>&1)" || {
+    echo "$repl_out"
+    echo "ci: replication smoke failed under DOEM_SANITIZE=1" >&2
+    exit 1
+}
+if grep -q "DOEM-SANITIZE \[" <<<"$repl_out"; then
+    grep "DOEM-SANITIZE \[" <<<"$repl_out" >&2
+    echo "ci: sanitizer reported findings in the replication smoke" >&2
+    exit 1
+fi
+
 echo "==> doem-lint (workspace invariants vs doem-lint.baseline)"
 cargo run -q -p lint --offline --bin doem-lint
 

@@ -10,6 +10,8 @@
 //!            [--store DIR] [--wal DIR] [--checkpoint-every N]
 //!            [--group-commit N] [--group-commit-window-us U]
 //!            [--autotick-ms MS] [--tick-minutes M]
+//!            [--follow HOST:PORT] [--follower-id NAME]
+//!            [--repl-batch N] [--repl-retain N] [--follow-poll-ms MS]
 //!            [--translated] [--empty] [--create NAME]...
 //! ```
 //!
@@ -23,7 +25,16 @@
 //! lets the committer linger to gather riders (default 0: batching comes
 //! only from records that queue while the previous fsync runs).
 //!
-//! The wire protocol (including `#<id>` pipelining tags) is specified in
+//! With `--follow HOST:PORT` the instance is a **replication follower**:
+//! it pulls WAL batches from the primary at that address, replays them in
+//! order, answers queries from snapshots at its applied LSN (readable via
+//! `LSN <db>` and `STATS`), and refuses client writes with `READONLY`.
+//! Followers never seed the guide fixture — their state comes from the
+//! primary. Combine with `--wal DIR` for a durable follower that crash-
+//! recovers locally before resuming the stream.
+//!
+//! The wire protocol (including `#<id>` pipelining tags and the
+//! `REPLICATE` verb's batch framing) is specified in
 //! `crates/serve/PROTOCOL.md`.
 
 use serve::{AutoTick, Response, ServeConfig, Service};
@@ -36,6 +47,8 @@ fn usage() -> ! {
          \x20                 [--store DIR] [--wal DIR] [--checkpoint-every N]\n\
          \x20                 [--group-commit N] [--group-commit-window-us U]\n\
          \x20                 [--autotick-ms MS] [--tick-minutes M]\n\
+         \x20                 [--follow HOST:PORT] [--follower-id NAME]\n\
+         \x20                 [--repl-batch N] [--repl-retain N] [--follow-poll-ms MS]\n\
          \x20                 [--translated] [--empty] [--create NAME]..."
     );
     std::process::exit(2);
@@ -69,6 +82,13 @@ fn main() {
             }
             "--autotick-ms" => autotick_ms = Some(parse_num(&val("--autotick-ms")) as u64),
             "--tick-minutes" => tick_minutes = parse_num(&val("--tick-minutes")) as i64,
+            "--follow" => cfg.follow = Some(val("--follow")),
+            "--follower-id" => cfg.follower_id = Some(val("--follower-id")),
+            "--repl-batch" => cfg.replication_batch = parse_num(&val("--repl-batch")),
+            "--repl-retain" => cfg.replication_retain = parse_num(&val("--repl-retain")),
+            "--follow-poll-ms" => {
+                cfg.follow_poll = Duration::from_millis(parse_num(&val("--follow-poll-ms")) as u64)
+            }
             "--translated" => cfg.strategy = chorel::Strategy::Translated,
             "--empty" => seed_guide = false,
             "--create" => create.push(val("--create")),
@@ -86,6 +106,7 @@ fn main() {
         });
     }
 
+    let following = cfg.follow.is_some();
     let svc = match Service::start(cfg) {
         Ok(svc) => svc,
         Err(e) => {
@@ -100,6 +121,11 @@ fn main() {
     // Seed the paper fixture unless told not to — or unless recovery
     // already brought back a database named "guide" (overwriting a
     // recovered database with the fixture would destroy durable state).
+    // Followers never seed: their entire state arrives from the primary,
+    // and a locally seeded "guide" would just be replaced by the stream.
+    if following {
+        seed_guide = false;
+    }
     if seed_guide && !recovered.iter().any(|n| n == "guide") {
         svc.install(
             &oem::guide::guide_figure2(),
@@ -123,6 +149,10 @@ fn main() {
         }
     };
     println!("doem-serve listening on {}", handle.addr());
+    if following {
+        println!("following a primary; writes here answer READONLY");
+        println!("try:  LSN guide   STATS   (lag shows as applied= vs primary=)");
+    }
     println!("try:  QUERY guide select guide.restaurant");
     println!("      UPDATE guide AT 1Mar97 9:00am ; {{updNode(n1, 25)}}");
     println!("      STATS   DBS   GEN   GEN <db>   quit");
