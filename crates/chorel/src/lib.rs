@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod delta;
 mod direct;
 mod encoded;
 mod engines;

@@ -3,10 +3,17 @@
 
 use crate::ast::{ArcAnnotExpr, LabelPattern, NodeAnnotExpr, PathStep, TimeRef};
 use crate::coerce;
+use crate::delta::SlotRestrict;
 use crate::error::{LorelError, Result};
 use crate::plan::{CompanionRole, Operand, Plan, Pred, VarSource};
 use crate::source::DataSource;
 use oem::{Label, NodeId, Timestamp, Value};
+
+/// An optional per-slot candidate restriction threaded through the
+/// enumeration (the semi-naive delta variants and the anchored-conjunct
+/// fast path in [`crate::delta`]). `Some((slot, r))` filters `slot`'s
+/// candidates through `r`; every other slot enumerates the full database.
+pub(crate) type Restrict<'a> = Option<(usize, &'a SlotRestrict<'a>)>;
 
 /// A variable binding.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -61,9 +68,18 @@ impl Candidate {
 
 /// Execute `plan` against `source`.
 pub fn execute(source: &dyn DataSource, plan: &Plan) -> Result<Rows> {
+    execute_restricted(source, plan, None)
+}
+
+/// Execute `plan` with an optional per-slot candidate restriction.
+pub(crate) fn execute_restricted(
+    source: &dyn DataSource,
+    plan: &Plan,
+    restrict: Restrict<'_>,
+) -> Result<Rows> {
     let mut tuple: Vec<Binding> = vec![Binding::Missing; plan.vars.len()];
     let mut rows = Vec::new();
-    enumerate_outer(source, plan, 0, &mut tuple, &mut rows)?;
+    enumerate_outer(source, plan, restrict, 0, &mut tuple, &mut rows)?;
     // Set semantics: deduplicate rows (order-preserving).
     let mut seen = std::collections::HashSet::with_capacity(rows.len());
     rows.retain(|r| seen.insert(r.clone()));
@@ -73,6 +89,7 @@ pub fn execute(source: &dyn DataSource, plan: &Plan) -> Result<Rows> {
 fn enumerate_outer(
     source: &dyn DataSource,
     plan: &Plan,
+    restrict: Restrict<'_>,
     idx: usize,
     tuple: &mut Vec<Binding>,
     rows: &mut Vec<Row>,
@@ -86,7 +103,7 @@ fn enumerate_outer(
         // All outer variables bound: evaluate where, emit a row.
         let ok = match &plan.where_pred {
             None => true,
-            Some(p) => eval_pred(source, plan, p, tuple)?,
+            Some(p) => eval_pred(source, plan, restrict, p, tuple)?,
         };
         if ok {
             let cols = plan
@@ -106,10 +123,10 @@ fn enumerate_outer(
     };
     let pos = plan.outer_order.iter().position(|&s| s == slot).expect("slot is in outer_order");
 
-    let candidates = candidates_for(source, plan, slot, tuple)?;
+    let candidates = candidates_for(source, plan, restrict, slot, tuple)?;
     for cand in candidates {
         bind_candidate(plan, slot, &cand, tuple);
-        enumerate_outer(source, plan, pos + 1, tuple, rows)?;
+        enumerate_outer(source, plan, restrict, pos + 1, tuple, rows)?;
     }
     // Restore missing for cleanliness (callers clone-free backtracking).
     clear_candidate(plan, slot, tuple);
@@ -162,6 +179,7 @@ fn clear_candidate(plan: &Plan, slot: usize, tuple: &mut [Binding]) {
 fn candidates_for(
     source: &dyn DataSource,
     plan: &Plan,
+    restrict: Restrict<'_>,
     slot: usize,
     tuple: &[Binding],
 ) -> Result<Vec<Candidate>> {
@@ -172,7 +190,13 @@ fn candidates_for(
             let Binding::Node(b) = tuple[*base] else {
                 return Ok(Vec::new()); // base missing or a value: no range
             };
-            step_candidates(source, plan, b, step, tuple)
+            let mut cands = step_candidates(source, plan, b, step, tuple)?;
+            if let Some((rslot, r)) = restrict {
+                if rslot == slot {
+                    cands.retain(|c| r.keeps(b, step, &c.target, c.arc_time, c.node_time));
+                }
+            }
+            Ok(cands)
         }
     }
 }
@@ -464,6 +488,7 @@ fn operand_value(
 fn eval_pred(
     source: &dyn DataSource,
     plan: &Plan,
+    restrict: Restrict<'_>,
     pred: &Pred,
     tuple: &mut Vec<Binding>,
 ) -> Result<bool> {
@@ -488,14 +513,18 @@ fn eval_pred(
             coerce::like(&v, &p)
         }
         Pred::And(a, b) => {
-            eval_pred(source, plan, a, tuple)? && eval_pred(source, plan, b, tuple)?
+            eval_pred(source, plan, restrict, a, tuple)?
+                && eval_pred(source, plan, restrict, b, tuple)?
         }
         Pred::Or(a, b) => {
-            eval_pred(source, plan, a, tuple)? || eval_pred(source, plan, b, tuple)?
+            eval_pred(source, plan, restrict, a, tuple)?
+                || eval_pred(source, plan, restrict, b, tuple)?
         }
-        Pred::Not(e) => !eval_pred(source, plan, e, tuple)?,
+        Pred::Not(e) => !eval_pred(source, plan, restrict, e, tuple)?,
         Pred::ExistsSlot(s) => !matches!(tuple[*s], Binding::Missing),
-        Pred::Exists { slots, pred } => exists_eval(source, plan, slots, pred, tuple, 0)?,
+        Pred::Exists { slots, pred } => {
+            exists_eval(source, plan, restrict, slots, pred, tuple, 0)?
+        }
     })
 }
 
@@ -505,6 +534,7 @@ fn eval_pred(
 fn exists_eval(
     source: &dyn DataSource,
     plan: &Plan,
+    restrict: Restrict<'_>,
     slots: &[usize],
     pred: &Pred,
     tuple: &mut Vec<Binding>,
@@ -516,20 +546,20 @@ fn exists_eval(
         .copied()
         .find(|&s| !matches!(plan.vars[s].source, VarSource::Companion { .. }));
     let Some(slot) = next else {
-        return eval_pred(source, plan, pred, tuple);
+        return eval_pred(source, plan, restrict, pred, tuple);
     };
     let pos = slots.iter().position(|&s| s == slot).expect("slot in slots") + 1;
 
-    let candidates = candidates_for(source, plan, slot, tuple)?;
+    let candidates = candidates_for(source, plan, restrict, slot, tuple)?;
     if candidates.is_empty() {
         tuple[slot] = Binding::Missing;
-        let r = exists_eval(source, plan, slots, pred, tuple, pos)?;
+        let r = exists_eval(source, plan, restrict, slots, pred, tuple, pos)?;
         clear_candidate(plan, slot, tuple);
         return Ok(r);
     }
     for cand in candidates {
         bind_candidate(plan, slot, &cand, tuple);
-        if exists_eval(source, plan, slots, pred, tuple, pos)? {
+        if exists_eval(source, plan, restrict, slots, pred, tuple, pos)? {
             clear_candidate(plan, slot, tuple);
             return Ok(true);
         }

@@ -35,6 +35,7 @@
 pub mod ast;
 mod coerce;
 mod defs;
+pub mod delta;
 mod engine;
 mod error;
 mod lexer;
@@ -47,6 +48,10 @@ mod update;
 
 pub use coerce::{coerce_compare, compare, like};
 pub use defs::QueryRegistry;
+pub use delta::{
+    anchored_execute, delta_execute, delta_maintain, delta_supported, delta_touches, find_anchor,
+    Anchor, DeltaSpec, DeltaUnsupported,
+};
 pub use engine::{execute, Binding, Row, Rows};
 pub use error::{LorelError, Result};
 pub use lexer::lex;

@@ -120,6 +120,46 @@ impl ChangeSet {
         self.ops.iter()
     }
 
+    /// Node ids this set creates (`creNode` targets).
+    ///
+    /// Together with [`ChangeSet::updated_nodes`], [`ChangeSet::added_arcs`]
+    /// and [`ChangeSet::removed_arcs`] this is the *delta-restriction*
+    /// surface incremental evaluation builds on: a semi-naive evaluator
+    /// restricts one query constraint at a time to candidates touched by
+    /// these sets while the remaining constraints see the full database
+    /// (see `DESIGN.md` §11).
+    ///
+    /// ```
+    /// use oem::{ChangeOp, ChangeSet, NodeId, Value};
+    /// let n9 = NodeId::from_raw(9);
+    /// let set = ChangeSet::from_ops([
+    ///     ChangeOp::CreNode(n9, Value::str("Hakata")),
+    ///     ChangeOp::add_arc(NodeId::from_raw(1), "restaurant", n9),
+    /// ])
+    /// .unwrap();
+    /// assert!(set.created_nodes().contains(&n9));
+    /// assert_eq!(set.added_arcs().len(), 1);
+    /// assert!(set.updated_nodes().is_empty() && set.removed_arcs().is_empty());
+    /// ```
+    pub fn created_nodes(&self) -> &HashSet<NodeId> {
+        &self.created
+    }
+
+    /// Node ids this set updates (`updNode` targets).
+    pub fn updated_nodes(&self) -> &HashSet<NodeId> {
+        &self.updated
+    }
+
+    /// Arcs this set inserts (`addArc` triples).
+    pub fn added_arcs(&self) -> &HashSet<ArcTriple> {
+        &self.added
+    }
+
+    /// Arcs this set deletes (`remArc` triples).
+    pub fn removed_arcs(&self) -> &HashSet<ArcTriple> {
+        &self.removed
+    }
+
     /// The canonical phase ordering `creNode → remArc → updNode → addArc`.
     ///
     /// By the scheduling argument in the module docs, this ordering is valid

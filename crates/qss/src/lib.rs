@@ -50,7 +50,7 @@ pub use freq::{FrequencySpec, ParseFrequencyError};
 pub use notify::{Notification, PollRecord};
 pub use persist::state_db_name;
 pub use script::SubscriptionScript;
-pub use server::{latest_result, PreviousResult, QssServer};
+pub use server::{latest_result, PreviousResult, QssServer, QssStats};
 pub use source::{
     library_source, mutate_guide, synthetic_guide, EvolvingSource, ScrambledSource,
     ScriptedSource, Source,

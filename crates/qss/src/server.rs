@@ -17,6 +17,17 @@
 //! subscription's frequency specification, against the source's state *at
 //! that timestamp* — no wall clock anywhere, so every scenario is
 //! deterministic and replayable.
+//!
+//! Three incremental paths (DESIGN.md §11) bound the per-poll cost by the
+//! *changes* rather than the database, which is what lets one server carry
+//! very large subscription populations: a [`Source::version`] gate elides
+//! the polling query and OEMdiff when the source provably did not change;
+//! a filter whose `where` clause anchors an annotation timestamp (the
+//! idiomatic `T > t[-1]`) is answered exactly by
+//! [`chorel::delta::anchored_eval`] over the annotations in the anchored
+//! window; and when the group's change clock proves that window empty, the
+//! filter is answered without evaluating anything. [`QssServer::stats`]
+//! counts each path.
 
 use crate::{Notification, PollRecord, Source, Subscription, Trigger, TriggerAction, TriggerFiring};
 use chorel::{resolve_poll_times, run_chorel_parsed, Strategy};
@@ -63,6 +74,33 @@ struct PollGroup {
     /// for appending history). Dropped between polls in
     /// [`PreviousResult::RecomputeFromDoem`] mode.
     replica: Option<OemDatabase>,
+    /// The source version observed by this group's last poll, when the
+    /// source exposes one ([`Source::version`]). An unchanged version lets
+    /// the next poll elide the polling query, OEMdiff, and history append.
+    last_version: Option<u64>,
+    /// The latest timestamp at which a non-empty change set was folded
+    /// into `doem` — the upper bound of every annotation timestamp in it.
+    /// `None` means provably no change was ever folded; a restored group
+    /// uses [`Timestamp::INFINITY`] (change times unknown, never skip).
+    last_change_at: Option<Timestamp>,
+}
+
+/// Counters for the incremental evaluation paths (DESIGN.md §11): how much
+/// of the per-poll pipeline the server managed to elide.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QssStats {
+    /// Polls that skipped the polling query, OEMdiff, and history append
+    /// because the source version was unchanged.
+    pub polls_elided: u64,
+    /// Filter evaluations answered by the anchored O(delta) path
+    /// (`chorel::delta::anchored_eval`).
+    pub filters_anchored: u64,
+    /// Filter evaluations proven empty from the group's change clock
+    /// without touching the engine at all.
+    pub filters_proven_empty: u64,
+    /// Filter evaluations that paid a full evaluation (no usable anchor,
+    /// or a non-direct strategy).
+    pub filters_full: u64,
 }
 
 /// The QSS server.
@@ -83,6 +121,11 @@ pub struct QssServer<S: Source> {
     strategy: Strategy,
     previous_mode: PreviousResult,
     store: Option<LoreStore>,
+    stats: QssStats,
+    /// Bumped every time any poll folds a non-empty change set into a
+    /// group's DOEM database. Lets embedders (doem-serve's control shard)
+    /// distinguish "ticked but nothing changed" from real change.
+    change_epoch: u64,
 }
 
 impl<S: Source> QssServer<S> {
@@ -100,7 +143,22 @@ impl<S: Source> QssServer<S> {
             strategy: Strategy::Direct,
             previous_mode: PreviousResult::Keep,
             store: None,
+            stats: QssStats::default(),
+            change_epoch: 0,
         }
+    }
+
+    /// Counters for the incremental paths: elided polls, anchored filter
+    /// evaluations, proven-empty skips, and full-evaluation fallbacks.
+    pub fn stats(&self) -> QssStats {
+        self.stats
+    }
+
+    /// Monotonic counter bumped whenever a poll folds a non-empty change
+    /// set into any group's DOEM database. Unchanged across polls ⇒ every
+    /// DOEM database (and thus every filter answer) is unchanged too.
+    pub fn change_epoch(&self) -> u64 {
+        self.change_epoch
     }
 
     /// Share one DOEM database among subscriptions whose polling queries
@@ -158,6 +216,8 @@ impl<S: Source> QssServer<S> {
                 key,
                 doem: DoemDatabase::from_snapshot(&empty),
                 replica: Some(empty),
+                last_version: None,
+                last_change_at: None,
             });
             self.groups.len() - 1
         });
@@ -217,6 +277,10 @@ impl<S: Source> QssServer<S> {
                 key,
                 doem,
                 replica: Some(replica),
+                last_version: None,
+                // Restored history: annotation times are unknown here, so
+                // the proven-empty skip must never fire.
+                last_change_at: Some(Timestamp::INFINITY),
             });
             self.groups.len() - 1
         });
@@ -336,47 +400,92 @@ impl<S: Source> QssServer<S> {
             .get_mut(id)
             .ok_or_else(|| LorelError::UnknownQuery(id.to_string()))?;
 
-        // --- Query Manager: polling query against the wrapper's view ---
-        let source_view = self.source.state_at(at);
-        let polled = lorel::run_parsed(&source_view, &state.sub.polling)?;
-        let mut result_db = polled.db;
-        result_db.set_name(state.sub.polling_name.clone());
-
-        // --- OEMdiff: previous result vs new result ---
+        // --- Version gate (DESIGN.md §11): an unchanged source version
+        // proves the snapshot identical to the previous poll's, so the
+        // polling query, OEMdiff, and the history append are all elided.
+        // The poll time is still recorded and the filter stage still runs,
+        // so notification semantics are untouched.
         let group = &mut self.groups[state.group];
-        let previous = match (&group.replica, self.previous_mode) {
-            (Some(r), PreviousResult::Keep) => r.clone(),
-            _ => {
-                let mut snap = doem::current_snapshot(&group.doem);
-                snap.set_name(state.sub.polling_name.clone());
-                snap
-            }
-        };
-        let diff_result = diff(&previous, &result_db, state.sub.match_mode)
-            .map_err(|e| LorelError::LimitExceeded(format!("diff failed: {e}")))?;
+        let version = self.source.version();
+        let elide = version.is_some() && version == group.last_version;
+        let mut n_changes = 0;
+        if elide {
+            self.stats.polls_elided += 1;
+        } else {
+            // --- Query Manager: polling query against the wrapper's view ---
+            let source_view = self.source.state_at(at);
+            let polled = lorel::run_parsed(&source_view, &state.sub.polling)?;
+            let mut result_db = polled.db;
+            result_db.set_name(state.sub.polling_name.clone());
 
-        // --- DOEM Manager: fold the change set into the history ---
-        state.poll_times.push(at);
-        if !diff_result.changes.is_empty() {
-            let mut replica = previous;
-            doem::apply_set(&mut group.doem, &mut replica, &diff_result.changes, at)
-                .map_err(|e| LorelError::LimitExceeded(format!("history append failed: {e}")))?;
-            group.replica = match self.previous_mode {
-                PreviousResult::Keep => Some(replica),
-                PreviousResult::RecomputeFromDoem => None,
+            // --- OEMdiff: previous result vs new result ---
+            let previous = match (&group.replica, self.previous_mode) {
+                (Some(r), PreviousResult::Keep) => r.clone(),
+                _ => {
+                    let mut snap = doem::current_snapshot(&group.doem);
+                    snap.set_name(state.sub.polling_name.clone());
+                    snap
+                }
             };
-        } else if self.previous_mode == PreviousResult::Keep {
-            group.replica = Some(previous);
+            let diff_result = diff(&previous, &result_db, state.sub.match_mode)
+                .map_err(|e| LorelError::LimitExceeded(format!("diff failed: {e}")))?;
+            n_changes = diff_result.changes.len();
+
+            // --- DOEM Manager: fold the change set into the history ---
+            if !diff_result.changes.is_empty() {
+                let mut replica = previous;
+                doem::apply_set(&mut group.doem, &mut replica, &diff_result.changes, at)
+                    .map_err(|e| {
+                        LorelError::LimitExceeded(format!("history append failed: {e}"))
+                    })?;
+                group.replica = match self.previous_mode {
+                    PreviousResult::Keep => Some(replica),
+                    PreviousResult::RecomputeFromDoem => None,
+                };
+                group.last_change_at = Some(at);
+                self.change_epoch += 1;
+            } else if self.previous_mode == PreviousResult::Keep {
+                group.replica = Some(previous);
+            }
+            group.last_version = version;
+            if let Some(store) = &self.store {
+                store
+                    .save_doem(&state.sub.id, &group.doem)
+                    .map_err(|e| LorelError::LimitExceeded(format!("store failed: {e}")))?;
+            }
         }
-        if let Some(store) = &self.store {
-            store
-                .save_doem(&state.sub.id, &group.doem)
-                .map_err(|e| LorelError::LimitExceeded(format!("store failed: {e}")))?;
-        }
+        state.poll_times.push(at);
 
         // --- Chorel Engine: t[i] preprocessing + filter query ---
         let filter = resolve_poll_times(&state.sub.filter, &state.poll_times)?;
-        let result = run_chorel_parsed(&group.doem, &filter, self.strategy)?;
+        let anchor = if self.strategy == Strategy::Direct {
+            chorel::delta::filter_anchor(&filter, group.doem.name())?
+        } else {
+            None
+        };
+        let result = match anchor {
+            Some(anchor) => {
+                // Every annotation timestamp in the group's DOEM database
+                // is at most `last_change_at`, so an anchor strictly ahead
+                // of it proves the answer empty with zero evaluations.
+                let quiet = match group.last_change_at {
+                    None => true,
+                    Some(last) if anchor.strict => last <= anchor.at,
+                    Some(last) => last < anchor.at,
+                };
+                if quiet {
+                    self.stats.filters_proven_empty += 1;
+                    chorel::delta::package_rows(&group.doem, &lorel::Rows { rows: Vec::new() })
+                } else {
+                    self.stats.filters_anchored += 1;
+                    chorel::delta::anchored_eval(&group.doem, &filter, &anchor)?
+                }
+            }
+            None => {
+                self.stats.filters_full += 1;
+                run_chorel_parsed(&group.doem, &filter, self.strategy)?
+            }
+        };
 
         // --- ECA triggers (Section 7 extension) -------------------------
         let mut fired: Vec<(TriggerFiring, TriggerAction)> = Vec::new();
@@ -403,7 +512,7 @@ impl<S: Source> QssServer<S> {
         let record = PollRecord {
             subscription: id.to_string(),
             at,
-            changes: diff_result.changes.len(),
+            changes: n_changes,
             filter_rows: result.len(),
         };
         self.polls.push(record);

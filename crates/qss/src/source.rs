@@ -38,6 +38,16 @@ pub trait Source: Send {
     fn change_times(&self, _after: Timestamp, _until: Timestamp) -> Option<Vec<Timestamp>> {
         None
     }
+
+    /// A counter that advances whenever the source's content changes, when
+    /// the wrapper can expose one (an HTTP `ETag`, a write counter, …).
+    /// When two polls observe the same version the server knows the
+    /// snapshot is identical and elides the polling query, OEMdiff, and
+    /// the history append entirely (DESIGN.md §11). `None` (the default)
+    /// means the source cannot tell and every poll pays the full pipeline.
+    fn version(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl<S: Source + ?Sized> Source for Box<S> {
@@ -51,6 +61,10 @@ impl<S: Source + ?Sized> Source for Box<S> {
 
     fn change_times(&self, after: Timestamp, until: Timestamp) -> Option<Vec<Timestamp>> {
         (**self).change_times(after, until)
+    }
+
+    fn version(&self) -> Option<u64> {
+        (**self).version()
     }
 }
 

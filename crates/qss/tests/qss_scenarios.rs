@@ -205,6 +205,104 @@ fn strategies_and_space_modes_agree() {
     );
 }
 
+/// The incremental filter paths (DESIGN.md §11) carry the Example 6.1
+/// trace: the idiomatic `T > t[-1]` filter is answered by the anchored
+/// O(delta) evaluator on change-carrying polls and proven empty from the
+/// group's change clock on quiet ones — never by a full evaluation.
+#[test]
+fn example_6_1_filters_run_incrementally() {
+    let mut server = QssServer::new(ScriptedSource::paper_guide());
+    server.subscribe(example_6_1_subscription(), ts("30Dec96 10:00am"));
+    server.run_until(ts("1Jan97 11:30pm")).unwrap();
+    let stats = server.stats();
+    // t1 (everything new) and t3 (Hakata) evaluate in the anchored window;
+    // t2's window is provably empty: the last fold predates t[-1].
+    assert_eq!(stats.filters_anchored, 2);
+    assert_eq!(stats.filters_proven_empty, 1);
+    assert_eq!(stats.filters_full, 0);
+    assert_eq!(stats.polls_elided, 0, "ScriptedSource exposes no version");
+    // And the change epoch moved only on the two change-carrying polls.
+    assert_eq!(server.change_epoch(), 2);
+}
+
+/// A translated-strategy server takes the full-evaluation path for every
+/// filter (restriction sets do not map onto the Section 5.1 encoding) and
+/// still produces the identical trace — `strategies_and_space_modes_agree`
+/// checks row equality, this checks the accounting.
+#[test]
+fn translated_strategy_counts_full_evaluations() {
+    let mut server =
+        QssServer::new(ScriptedSource::paper_guide()).with_strategy(chorel::Strategy::Translated);
+    server.subscribe(example_6_1_subscription(), ts("30Dec96 10:00am"));
+    server.run_until(ts("1Jan97 11:30pm")).unwrap();
+    let stats = server.stats();
+    assert_eq!(stats.filters_full, 3);
+    assert_eq!(stats.filters_anchored, 0);
+    assert_eq!(stats.filters_proven_empty, 0);
+}
+
+/// A source that can report a version lets the server elide the polling
+/// query, OEMdiff, and history append on unchanged polls — the trace and
+/// notifications are identical to the blind-polling run.
+#[test]
+fn version_gate_elides_unchanged_polls() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    struct VersionedSource {
+        inner: ScriptedSource,
+        version: Arc<AtomicU64>,
+    }
+    impl qss::Source for VersionedSource {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn state_at(&self, t: Timestamp) -> oem::OemDatabase {
+            self.inner.state_at(t)
+        }
+        fn version(&self) -> Option<u64> {
+            Some(self.version.load(Ordering::SeqCst))
+        }
+    }
+
+    let version = Arc::new(AtomicU64::new(1));
+    let mut server = QssServer::new(VersionedSource {
+        inner: ScriptedSource::paper_guide(),
+        version: version.clone(),
+    });
+    server.subscribe(example_6_1_subscription(), ts("30Dec96 10:00am"));
+
+    // t1: first poll always pays the pipeline (no version on record yet).
+    server.poll("S", ts("30Dec96 11:30pm")).unwrap();
+    assert_eq!(server.stats().polls_elided, 0);
+    // t2: version unchanged — polling query, diff, and append all elided,
+    // but the poll is still recorded and the filter still answered.
+    server.poll("S", ts("31Dec96 11:30pm")).unwrap();
+    assert_eq!(server.stats().polls_elided, 1);
+    // t3: the source changed (Hakata); the wrapper bumps its version and
+    // the full pipeline runs again.
+    version.fetch_add(1, Ordering::SeqCst);
+    let t3 = server.poll("S", ts("1Jan97 11:30pm")).unwrap();
+    assert_eq!(server.stats().polls_elided, 1);
+
+    // The trace matches the blind-polling Example 6.1 run exactly.
+    let polls: Vec<_> = server
+        .polls()
+        .iter()
+        .map(|p| (p.at, p.changes, p.filter_rows))
+        .collect();
+    assert_eq!(
+        polls,
+        vec![
+            (ts("30Dec96 11:30pm"), 30, 2),
+            (ts("31Dec96 11:30pm"), 0, 0),
+            (ts("1Jan97 11:30pm"), 5, 1),
+        ]
+    );
+    assert_eq!(t3.unwrap().rows(), 1);
+    assert_eq!(server.notifications().len(), 2);
+}
+
 /// DOEM databases persist through the Lore store and reload faithfully.
 #[test]
 fn subscription_doem_persists_and_reloads() {

@@ -4,9 +4,18 @@
 //! database (or `sub:<id>` DOEM) the query ran against, the canonical text
 //! comes from the parser's printer (so formatting differences share an
 //! entry), and the generation is the service's write counter. A write
-//! bumps the generation, which makes every older entry unreachable; the
-//! writer then calls [`ResultCache::retain_generation`] so dead entries
-//! don't occupy capacity.
+//! bumps the generation, which makes every older entry unreachable.
+//!
+//! Before the bump, the writer may carry entries across the write with
+//! [`ResultCache::advance_generation`] — the serve face of the semi-naive
+//! maintenance in [`chorel::delta`] (DESIGN.md §11). An entry that can be
+//! maintained keeps its raw engine rows alongside the wire strings (a
+//! [`CacheEntry`] with `maintain` populated); the publish stage unions the
+//! prior rows with the delta variants and re-canonicalizes, so a
+//! maintained entry stays byte-identical to a fresh evaluation. Entries
+//! that cannot be maintained (non-monotonic query × delta, or a translated
+//! strategy that has no direct rows) are dropped by the subsequent
+//! [`ResultCache::retain_generation`], exactly as before.
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -25,9 +34,22 @@ pub struct CacheKey {
     pub generation: u64,
 }
 
+/// A cached result: the canonical wire rows, plus — when the entry is
+/// eligible for semi-naive maintenance — the parsed query and the raw
+/// engine rows the strings were packaged from.
+#[derive(Debug)]
+pub struct CacheEntry {
+    /// Canonical wire rows (the `ROWS` payload sent to clients).
+    pub strings: Vec<String>,
+    /// Maintenance state: `None` means the entry can only be dropped at
+    /// the next write (translated-strategy results, subscription-scope
+    /// entries).
+    pub maintain: Option<(lorel::ast::Query, lorel::Rows)>,
+}
+
 #[derive(Debug, Default)]
 struct Inner {
-    map: HashMap<CacheKey, Arc<Vec<String>>>,
+    map: HashMap<CacheKey, Arc<CacheEntry>>,
     order: VecDeque<CacheKey>,
 }
 
@@ -48,17 +70,17 @@ impl ResultCache {
     }
 
     /// Look up a result.
-    pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<String>>> {
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<CacheEntry>> {
         self.inner.lock().map.get(key).cloned()
     }
 
     /// Store a result, evicting the oldest entry when full.
-    pub fn insert(&self, key: CacheKey, rows: Arc<Vec<String>>) {
+    pub fn insert(&self, key: CacheKey, entry: Arc<CacheEntry>) {
         if self.capacity == 0 {
             return;
         }
         let mut inner = self.inner.lock();
-        if inner.map.insert(key.clone(), rows).is_none() {
+        if inner.map.insert(key.clone(), entry).is_none() {
             inner.order.push_back(key);
             while inner.map.len() > self.capacity {
                 let Some(oldest) = inner.order.pop_front() else {
@@ -67,6 +89,52 @@ impl ResultCache {
                 inner.map.remove(&oldest);
             }
         }
+    }
+
+    /// Carry every maintainable entry at generation `from` over to
+    /// generation `to` through `f` — called at publish time, before the
+    /// generation bump. `f` receives the entry's parsed query and prior
+    /// raw rows and returns the maintained entry, or `None` when the
+    /// query × delta is outside the monotonic fragment; `None` (and any
+    /// entry with no maintenance state) drops the entry. Returns
+    /// `(maintained, dropped)`.
+    pub fn advance_generation<F>(&self, from: u64, to: u64, mut f: F) -> (u64, u64)
+    where
+        F: FnMut(&lorel::ast::Query, &lorel::Rows) -> Option<CacheEntry>,
+    {
+        let mut inner = self.inner.lock();
+        let stale: Vec<CacheKey> = inner
+            .map
+            .keys()
+            .filter(|k| k.generation == from)
+            .cloned()
+            .collect();
+        let (mut kept, mut dropped) = (0, 0);
+        for key in stale {
+            let entry = inner.map.remove(&key).expect("key collected above");
+            let maintained = entry
+                .maintain
+                .as_ref()
+                .and_then(|(query, prior)| f(query, prior));
+            match maintained {
+                Some(e) => {
+                    let new_key = CacheKey {
+                        generation: to,
+                        ..key.clone()
+                    };
+                    for k in inner.order.iter_mut().filter(|k| **k == key) {
+                        *k = new_key.clone();
+                    }
+                    inner.map.insert(new_key, Arc::new(e));
+                    kept += 1;
+                }
+                None => {
+                    inner.order.retain(|k| k != &key);
+                    dropped += 1;
+                }
+            }
+        }
+        (kept, dropped)
     }
 
     /// Drop every entry computed before `generation` (they can never be
@@ -102,22 +170,42 @@ mod tests {
         }
     }
 
+    fn plain(rows: &[&str]) -> Arc<CacheEntry> {
+        Arc::new(CacheEntry {
+            strings: rows.iter().map(|s| s.to_string()).collect(),
+            maintain: None,
+        })
+    }
+
+    fn maintainable(rows: &[&str]) -> Arc<CacheEntry> {
+        Arc::new(CacheEntry {
+            strings: rows.iter().map(|s| s.to_string()).collect(),
+            maintain: Some((
+                lorel::parse_query("select guide.restaurant").unwrap(),
+                lorel::Rows { rows: Vec::new() },
+            )),
+        })
+    }
+
     #[test]
     fn hit_miss_and_generation_isolation() {
         let cache = ResultCache::new(8);
-        let rows = Arc::new(vec!["r".to_string()]);
-        cache.insert(key("db", "q", 1), rows.clone());
-        assert_eq!(cache.get(&key("db", "q", 1)), Some(rows));
+        let entry = plain(&["r"]);
+        cache.insert(key("db", "q", 1), entry.clone());
+        assert_eq!(
+            cache.get(&key("db", "q", 1)).unwrap().strings,
+            entry.strings
+        );
         // Same text at a newer generation is a different key.
-        assert_eq!(cache.get(&key("db", "q", 2)), None);
-        assert_eq!(cache.get(&key("other", "q", 1)), None);
+        assert!(cache.get(&key("db", "q", 2)).is_none());
+        assert!(cache.get(&key("other", "q", 1)).is_none());
     }
 
     #[test]
     fn capacity_evicts_oldest() {
         let cache = ResultCache::new(2);
         for i in 0..3u64 {
-            cache.insert(key("db", &format!("q{i}"), 1), Arc::new(vec![]));
+            cache.insert(key("db", &format!("q{i}"), 1), plain(&[]));
         }
         assert_eq!(cache.len(), 2);
         assert!(cache.get(&key("db", "q0", 1)).is_none());
@@ -127,8 +215,8 @@ mod tests {
     #[test]
     fn retain_generation_purges_stale() {
         let cache = ResultCache::new(8);
-        cache.insert(key("db", "old", 1), Arc::new(vec![]));
-        cache.insert(key("db", "new", 2), Arc::new(vec![]));
+        cache.insert(key("db", "old", 1), plain(&[]));
+        cache.insert(key("db", "new", 2), plain(&[]));
         cache.retain_generation(2);
         assert_eq!(cache.len(), 1);
         assert!(cache.get(&key("db", "new", 2)).is_some());
@@ -137,7 +225,36 @@ mod tests {
     #[test]
     fn zero_capacity_disables() {
         let cache = ResultCache::new(0);
-        cache.insert(key("db", "q", 1), Arc::new(vec![]));
+        cache.insert(key("db", "q", 1), plain(&[]));
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn advance_generation_maintains_or_drops() {
+        let cache = ResultCache::new(8);
+        cache.insert(key("db", "kept", 3), maintainable(&["old"]));
+        cache.insert(key("db", "unsupported", 3), maintainable(&["x"]));
+        cache.insert(key("db", "no-state", 3), plain(&["y"]));
+        let (kept, dropped) = cache.advance_generation(3, 4, |_, _| {
+            // Pretend only the first query survives the fragment gate.
+            None
+        });
+        assert_eq!((kept, dropped), (0, 3));
+        assert!(cache.is_empty());
+
+        cache.insert(key("db", "kept", 3), maintainable(&["old"]));
+        let (kept, dropped) = cache.advance_generation(3, 4, |_, _| {
+            Some(CacheEntry {
+                strings: vec!["old".into(), "new".into()],
+                maintain: None,
+            })
+        });
+        assert_eq!((kept, dropped), (1, 0));
+        // The maintained entry answers at the *new* generation only.
+        assert!(cache.get(&key("db", "kept", 3)).is_none());
+        let e = cache.get(&key("db", "kept", 4)).expect("maintained");
+        assert_eq!(e.strings, vec!["old".to_string(), "new".to_string()]);
+        cache.retain_generation(4);
+        assert_eq!(cache.len(), 1, "maintained entries survive the bump");
     }
 }

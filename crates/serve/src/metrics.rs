@@ -96,6 +96,14 @@ pub struct Metrics {
     pub cache_hits: AtomicU64,
     /// Result-cache misses.
     pub cache_misses: AtomicU64,
+    /// Cache entries carried across a write by semi-naive maintenance
+    /// (prior rows ∪ delta variants, re-canonicalized) instead of being
+    /// invalidated (DESIGN.md §11).
+    pub cache_maintained: AtomicU64,
+    /// Cache entries dropped at a write because the query × delta left
+    /// the monotonic fragment (or the entry carried no maintenance
+    /// state) — the explicit full-re-evaluation fallback.
+    pub cache_fallback: AtomicU64,
     /// QSS polls executed by TICKs and the background task.
     pub qss_polls: AtomicU64,
     /// TCP sessions accepted.
@@ -177,6 +185,8 @@ impl Metrics {
             format!("counter timeouts {}", c(&self.timeouts)),
             format!("counter cache_hits {}", c(&self.cache_hits)),
             format!("counter cache_misses {}", c(&self.cache_misses)),
+            format!("counter cache_maintained {}", c(&self.cache_maintained)),
+            format!("counter cache_fallback {}", c(&self.cache_fallback)),
             format!("counter qss_polls {}", c(&self.qss_polls)),
             format!("counter sessions {}", c(&self.sessions)),
             format!("counter pipelined {}", c(&self.pipelined)),

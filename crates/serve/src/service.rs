@@ -54,7 +54,7 @@
 //! queue nobody reads (the sanitizer's channel-leak check runs over this
 //! path in CI).
 
-use crate::cache::{CacheKey, ResultCache};
+use crate::cache::{CacheEntry, CacheKey, ResultCache};
 use crate::faults::{FaultPoint, Faults};
 use crate::metrics::Metrics;
 use crate::protocol::{lsn_to_wire, ErrKind, Request, Response};
@@ -344,6 +344,44 @@ impl Shard {
         cache.retain_generation(state.generation);
         state.generation
     }
+}
+
+/// Carry a shard's cached results across one published change set
+/// (semi-naive maintenance, DESIGN.md §11). Called under the shard's
+/// write lock, after the change set was applied and *before* the
+/// generation bump: every entry at the current generation is either
+/// maintained — prior rows ∪ delta variants, re-canonicalized against the
+/// post-publish graph, byte-identical to a fresh evaluation — or dropped
+/// when the query × delta leaves the monotonic fragment, in which case
+/// the next read re-evaluates fully (`cache_fallback`).
+fn maintain_shard_cache(
+    shared: &Shared,
+    shard: &Shard,
+    st: &ShardState,
+    changes: &ChangeSet,
+    at: Timestamp,
+) {
+    let doem: &DoemDatabase = &st.doem;
+    let (kept, dropped) =
+        shard
+            .cache
+            .advance_generation(st.generation, st.generation + 1, |query, prior| {
+                chorel::delta::maintain_rows(doem, query, changes, at, &prior.rows)
+                    .ok()
+                    .flatten()
+                    .map(|rows| CacheEntry {
+                        strings: chorel::delta::canonical_strings_for_rows(doem, &rows),
+                        maintain: Some((query.clone(), rows)),
+                    })
+            });
+    shared
+        .metrics
+        .cache_maintained
+        .fetch_add(kept, Ordering::Relaxed);
+    shared
+        .metrics
+        .cache_fallback
+        .fetch_add(dropped, Ordering::Relaxed);
 }
 
 /// Everything behind the control shard's lock: QSS subscriptions, the
@@ -1113,6 +1151,7 @@ fn persist_and_publish(
                 Ok(()) => {
                     st.last_at = s.at;
                     st.tail.push(s.at, s.changes.clone(), retain, repl_floor);
+                    maintain_shard_cache(shared, shard, &st, &s.changes, s.at);
                     let g = Shard::bump(&mut st, &shard.cache);
                     shared.bump_global();
                     let text = match s.created {
@@ -1391,16 +1430,22 @@ fn ticker_loop(shared: &Shared, tick: AutoTick, stop: &AtomicBool) {
         }
         let mut ctl = shared.control.write();
         let horizon = ctl.clock.plus_minutes(tick.step_minutes);
+        let epoch = ctl.qss.change_epoch();
         if let Ok(polls) = ctl.qss.run_until(horizon) {
             ctl.clock = horizon;
             if polls > 0 {
-                ctl.generation += 1;
-                shared.sub_cache.retain_generation(ctl.generation);
-                shared.bump_global();
                 shared
                     .metrics
                     .qss_polls
                     .fetch_add(polls as u64, Ordering::Relaxed);
+            }
+            // Invalidate `sub:` entries only when a poll actually folded a
+            // change set: a quiet tick leaves every subscription DOEM —
+            // and thus every cached answer — untouched.
+            if ctl.qss.change_epoch() != epoch {
+                ctl.generation += 1;
+                shared.sub_cache.retain_generation(ctl.generation);
+                shared.bump_global();
             }
         }
     }
@@ -1427,9 +1472,9 @@ fn cached_query(
         canonical: key,
         generation,
     };
-    if let Some(rows) = cache.get(&ck) {
+    if let Some(entry) = cache.get(&ck) {
         Metrics::bump(&shared.metrics.cache_hits);
-        return Response::Rows(rows.as_ref().clone());
+        return Response::Rows(entry.strings.clone());
     }
     Metrics::bump(&shared.metrics.cache_misses);
     let t = Instant::now();
@@ -1438,7 +1483,25 @@ fn cached_query(
     match outcome {
         Ok(result) => {
             let rows = canonical_row_strings(doem, &result);
-            cache.insert(ck, Arc::new(rows.clone()));
+            // Direct-strategy results keep their raw engine rows so the
+            // publish stage can maintain the entry across writes instead
+            // of invalidating it (translated rows live in the encoding's
+            // id space and cannot be maintained directly).
+            let maintain = (shared.cfg.strategy == Strategy::Direct).then(|| {
+                (
+                    query.clone(),
+                    lorel::Rows {
+                        rows: result.rows.clone(),
+                    },
+                )
+            });
+            cache.insert(
+                ck,
+                Arc::new(CacheEntry {
+                    strings: rows.clone(),
+                    maintain,
+                }),
+            );
             Response::Rows(rows)
         }
         Err(e) => Response::err(ErrKind::Conflict, format!("query failed: {e}")),
@@ -1620,6 +1683,7 @@ fn commit_in_memory(
                 shared.cfg.replication_retain.max(1),
                 shard.repl_floor.load(Ordering::Relaxed),
             );
+            maintain_shard_cache(shared, shard, st, changes, at);
             let g = Shard::bump(st, &shard.cache);
             shared.bump_global();
             Ok(g)
@@ -1789,6 +1853,14 @@ pub(crate) fn execute(
                 rows.push(line);
             }
             rows.push(format!("gauge read_only_shards {read_only}"));
+            let qss = shared.control.read().qss.stats();
+            rows.push(format!("counter qss_polls_elided {}", qss.polls_elided));
+            rows.push(format!("counter qss_filters_anchored {}", qss.filters_anchored));
+            rows.push(format!(
+                "counter qss_filters_proven_empty {}",
+                qss.filters_proven_empty
+            ));
+            rows.push(format!("counter qss_filters_full {}", qss.filters_full));
             Response::Rows(rows)
         }
         Request::Generation { db: None } => {
@@ -1907,9 +1979,9 @@ pub(crate) fn execute(
                     generation: ctl.generation,
                 }
             };
-            if let Some(rows) = shared.sub_cache.get(&ck) {
+            if let Some(entry) = shared.sub_cache.get(&ck) {
                 Metrics::bump(&shared.metrics.cache_hits);
-                return Some(Response::Rows(rows.as_ref().clone()));
+                return Some(Response::Rows(entry.strings.clone()));
             }
             // Miss: materialize a snapshot (subscription DOEMs are small —
             // they hold poll results, not whole databases) and evaluate
@@ -1929,7 +2001,17 @@ pub(crate) fn execute(
             match outcome {
                 Ok(result) => {
                     let rows = canonical_row_strings(&doem, &result);
-                    shared.sub_cache.insert(ck, Arc::new(rows.clone()));
+                    // Subscription DOEMs change through polls, not the
+                    // publish stage, so these entries carry no maintenance
+                    // state; the epoch-gated tick keeps them alive across
+                    // quiet polls instead.
+                    shared.sub_cache.insert(
+                        ck,
+                        Arc::new(CacheEntry {
+                            strings: rows.clone(),
+                            maintain: None,
+                        }),
+                    );
                     Response::Rows(rows)
                 }
                 Err(e) => Response::err(ErrKind::Conflict, format!("query failed: {e}")),
@@ -2056,6 +2138,7 @@ pub(crate) fn execute(
                 return Some(Response::Ok(format!("clock already at {}", ctl.clock)));
             }
             let t = Instant::now();
+            let epoch = ctl.qss.change_epoch();
             let outcome = ctl.qss.run_until(until);
             shared.metrics.exec.record(t.elapsed());
             match outcome {
@@ -2065,7 +2148,10 @@ pub(crate) fn execute(
                         .metrics
                         .qss_polls
                         .fetch_add(polls as u64, Ordering::Relaxed);
-                    let g = if polls > 0 {
+                    // Bump the `sub:` generation only when a poll folded a
+                    // change set; ticks whose polls all came back empty
+                    // must not thrash freshly cached subscription answers.
+                    let g = if ctl.qss.change_epoch() != epoch {
                         ctl.generation += 1;
                         shared.sub_cache.retain_generation(ctl.generation);
                         shared.bump_global()
@@ -2141,6 +2227,7 @@ mod tests {
         };
         assert!(stats.iter().any(|l| l.starts_with("counter requests ")));
         assert!(stats.iter().any(|l| l == "gauge read_only_shards 0"));
+        assert!(stats.iter().any(|l| l.starts_with("counter qss_filters_proven_empty ")));
         svc.shutdown();
     }
 
@@ -2156,7 +2243,9 @@ mod tests {
         let hits = svc.metrics().cache_hits.load(Ordering::Relaxed);
         assert_eq!(hits, 1, "second identical query must hit the cache");
 
-        // A write invalidates: same text, fresh evaluation, new rows.
+        // A write moves the generation: same text, new rows (served by
+        // the maintained entry — `writes_maintain_cached_monotonic_queries`
+        // pins down the how).
         let resp =
             c.request_line("UPDATE guide AT 1Mar97 9:00am ; {creNode(n95, \"Via Mare\"), addArc(n4, restaurant, n95)}");
         assert!(!resp.is_error(), "{resp:?}");
@@ -2169,6 +2258,68 @@ mod tests {
         // The write bumped both the shard and the global counters.
         assert_eq!(c.request_line("GEN guide"), Response::Ok("2".into()));
         assert_eq!(c.request_line("GEN"), Response::Ok("3".into()));
+        svc.shutdown();
+    }
+
+    /// The publish stage maintains cached monotonic queries through a
+    /// write (DESIGN.md §11): the post-write query is a cache *hit*, and
+    /// its rows are byte-identical to a fresh evaluation.
+    #[test]
+    fn writes_maintain_cached_monotonic_queries() {
+        let svc = guide_service(ServeConfig::default());
+        let c = svc.client();
+        let q = "QUERY guide select guide.restaurant";
+        let _ = c.request_line(q); // prime (one miss)
+        let w = "UPDATE guide AT 1Mar97 9:00am ; {creNode(n95, \"Via Mare\"), addArc(n4, restaurant, n95)}";
+        assert!(!c.request_line(w).is_error());
+        assert_eq!(svc.metrics().cache_maintained.load(Ordering::Relaxed), 1);
+        assert_eq!(svc.metrics().cache_fallback.load(Ordering::Relaxed), 0);
+
+        let misses_before = svc.metrics().cache_misses.load(Ordering::Relaxed);
+        let maintained = c.request_line(q);
+        assert_eq!(
+            svc.metrics().cache_misses.load(Ordering::Relaxed),
+            misses_before,
+            "the maintained entry must answer the post-write query"
+        );
+
+        // Byte-identity: a second service replays the same write with a
+        // cold cache, so its answer is a fresh evaluation.
+        let fresh_svc = guide_service(ServeConfig::default());
+        let fc = fresh_svc.client();
+        assert!(!fc.request_line(w).is_error());
+        assert_eq!(maintained, fc.request_line(q));
+        fresh_svc.shutdown();
+        svc.shutdown();
+    }
+
+    /// A removal pushes the cached plain-arc query out of the monotonic
+    /// fragment: the entry is dropped (counted in `cache_fallback`) and
+    /// the next read re-evaluates fully — never a stale answer.
+    #[test]
+    fn removals_fall_back_to_full_reevaluation() {
+        let svc = guide_service(ServeConfig::default());
+        let c = svc.client();
+        let q = "QUERY guide select guide.restaurant";
+        let Response::Rows(before) = c.request_line(q) else {
+            panic!("prime failed")
+        };
+        // Janta loses its root arc (n6 is the Janta object).
+        let resp = c.request_line("UPDATE guide AT 1Mar97 9:00am ; {remArc(n4, restaurant, n6)}");
+        assert!(!resp.is_error(), "{resp:?}");
+        assert_eq!(svc.metrics().cache_maintained.load(Ordering::Relaxed), 0);
+        assert_eq!(svc.metrics().cache_fallback.load(Ordering::Relaxed), 1);
+
+        let misses_before = svc.metrics().cache_misses.load(Ordering::Relaxed);
+        let Response::Rows(after) = c.request_line(q) else {
+            panic!("query after removal failed")
+        };
+        assert_eq!(
+            svc.metrics().cache_misses.load(Ordering::Relaxed),
+            misses_before + 1,
+            "a dropped entry must force a fresh evaluation"
+        );
+        assert_eq!(after.len(), before.len() - 1);
         svc.shutdown();
     }
 
@@ -2287,6 +2438,55 @@ mod tests {
             svc.metrics().cache_hits.load(Ordering::Relaxed),
             hits_before + 1,
             "a QSS poll must not evict database query results"
+        );
+        svc.shutdown();
+    }
+
+    /// A tick whose polls all come back empty must not thrash freshly
+    /// cached subscription answers: the anchored window is provably empty
+    /// (zero filter evaluations), the `sub:` generation stays put (zero
+    /// cache writes), and the primed entry keeps answering.
+    #[test]
+    fn empty_delta_ticks_keep_subscription_caches_warm() {
+        let svc = guide_service(ServeConfig::default());
+        let c = svc.client();
+        c.request_line(
+            "DEFINE polling query Restaurants as select guide.restaurant \
+             define filter query NewRestaurants as \
+             select Restaurants.restaurant<cre at T> where T > t[-1]",
+        );
+        c.request_line(
+            "SUBSCRIBE S1 POLL Restaurants FILTER NewRestaurants FREQ every night at 11:30pm",
+        );
+        assert!(!c.request_line("TICK 1Jan97 11:30pm").is_error());
+        let sq = "SUBQUERY S1 select Restaurants.restaurant";
+        let first = c.request_line(sq); // prime the sub: cache
+        assert!(matches!(first, Response::Rows(ref r) if !r.is_empty()), "{first:?}");
+
+        let stats_before = svc.shared.control.read().qss.stats();
+        let entries_before = svc.shared.sub_cache.len();
+        // 2Jan97 was quiet in the paper's timeline: one poll, empty diff.
+        assert!(!c.request_line("TICK 2Jan97 11:30pm").is_error());
+        let stats = svc.shared.control.read().qss.stats();
+        assert_eq!(stats.filters_full, stats_before.filters_full);
+        assert_eq!(stats.filters_anchored, stats_before.filters_anchored);
+        assert_eq!(
+            stats.filters_proven_empty,
+            stats_before.filters_proven_empty + 1,
+            "the quiet poll's filter must be proven empty, not evaluated"
+        );
+        assert_eq!(
+            svc.shared.sub_cache.len(),
+            entries_before,
+            "an empty-delta tick must not write or drop cache entries"
+        );
+
+        // The primed entry still answers — a hit, not a recomputation.
+        let hits_before = svc.metrics().cache_hits.load(Ordering::Relaxed);
+        assert_eq!(c.request_line(sq), first);
+        assert_eq!(
+            svc.metrics().cache_hits.load(Ordering::Relaxed),
+            hits_before + 1
         );
         svc.shutdown();
     }

@@ -1,6 +1,15 @@
 #!/usr/bin/env python3
 """Summarize Criterion output (bench_output.txt) into the markdown tables
-embedded in EXPERIMENTS.md. Usage: python3 scripts/bench_tables.py"""
+embedded in EXPERIMENTS.md. Usage: python3 scripts/bench_tables.py
+
+Handles both the upstream Criterion report format (the indented
+`time: [low median high]` block) and the offline compat harness's
+single-line format:
+
+    bench: group/name/param    time: [min 1.23 µs mean 4.56 µs]  (N samples x M iters)
+
+For the former the middle estimate is reported; for the latter, the mean.
+"""
 import re
 import sys
 
@@ -8,6 +17,14 @@ def parse(path):
     results = {}
     pending = None
     for line in open(path):
+        # Offline compat harness: one self-contained line per benchmark.
+        # Durations contain a space ("1.23 µs"), so match around the
+        # min/mean keywords rather than splitting on whitespace.
+        cm = re.match(r"^bench:\s+(\S.*?)\s+time:\s+\[min (.+?) mean (.+?)\]", line)
+        if cm:
+            results[cm.group(1).strip()] = cm.group(3).strip()
+            pending = None
+            continue
         m = re.match(r"^(\S.*?)\s+time:\s+\[(\S+) (\S+) (\S+) (\S+) (\S+) (\S+)\]", line)
         if m:
             results[m.group(1).strip()] = f"{m.group(4)} {m.group(5)}"
@@ -32,17 +49,23 @@ def table(results, prefix, header):
         out.append(f"| `{name}` | {t} |")
     return "\n".join(out) + "\n"
 
+SECTIONS = [
+    ("X1", "chorel_engines/", "size / strategy / query"),
+    ("X2a", "index_ablation/", "history size / access"),
+    ("X2b", "vindex/", "db size / access"),
+    ("X3", "oemdiff/", "dimension / mode"),
+    ("X4", "snapshots/", "operation / history length"),
+    ("X5", "qss/", "scenario"),
+    ("X6", "lorel/", "workload"),
+    ("X7", "qss_serve/", "workload / load"),
+    ("X8", "wal/", "operation / configuration"),
+    ("X9", "replication/", "workload / followers"),
+    ("X10", "incremental/", "path / db size"),
+]
+
 if __name__ == "__main__":
     path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
     r = parse(path)
-    for section, prefix, header in [
-        ("X1", "chorel_engines/", "size / strategy / query"),
-        ("X2a", "index_ablation/", "history size / access"),
-        ("X2b", "vindex/", "db size / access"),
-        ("X3", "oemdiff/", "dimension / mode"),
-        ("X4", "snapshots/", "operation / history length"),
-        ("X5", "qss/", "scenario"),
-        ("X6", "lorel/", "workload"),
-    ]:
+    for section, prefix, header in SECTIONS:
         print(f"### {section} ({prefix})")
         print(table(r, prefix, header))

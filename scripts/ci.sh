@@ -55,6 +55,23 @@ if [ "$baseline_total" -gt 2 ]; then
     exit 1
 fi
 
+echo "==> incremental agreement proptest under DOEM_SANITIZE=1"
+# The semi-naive maintenance path (DESIGN.md §11) must agree with full
+# re-evaluation on random histories, and its serve/qss consumers take
+# locks in the maintenance fast path — so the agreement property reruns
+# with the sanitizer watching.
+inc_out="$(DOEM_SANITIZE=1 cargo test -q --offline --test properties \
+    incremental_agrees_with_full 2>&1)" || {
+    echo "$inc_out"
+    echo "ci: incremental agreement proptest failed under DOEM_SANITIZE=1" >&2
+    exit 1
+}
+if grep -q "DOEM-SANITIZE \[" <<<"$inc_out"; then
+    grep "DOEM-SANITIZE \[" <<<"$inc_out" >&2
+    echo "ci: sanitizer reported findings in the incremental agreement run" >&2
+    exit 1
+fi
+
 echo "==> serve suite under DOEM_SANITIZE=1 (must report zero findings)"
 # The sanitizer fixtures in crates/sanitizer/tests *intentionally* emit
 # DOEM-SANITIZE findings, so the gate reruns only the serve crate's
@@ -75,6 +92,9 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "==> cargo doc --workspace --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
+
+echo "==> cargo test --doc (runnable rustdoc examples)"
+cargo test -q --doc --workspace --offline
 
 echo "==> cargo run --bin experiments"
 out="$(cargo run -q --release --offline --bin experiments)"

@@ -13,6 +13,10 @@ MAPPING = {
     "X4": [("snapshots/", "operation / history length")],
     "X5": [("qss/", "scenario")],
     "X6": [("lorel/", "workload")],
+    "X7": [("qss_serve/", "workload / load")],
+    "X8": [("wal/", "operation / configuration")],
+    "X9": [("replication/", "workload / followers")],
+    "X10": [("incremental/", "path / db size")],
 }
 
 if __name__ == "__main__":
@@ -23,5 +27,5 @@ if __name__ == "__main__":
         block = "\n\n".join(table(results, prefix, header).rstrip() for prefix, header in specs)
         text = text.replace(f"<!--{marker}-->", block)
     open("EXPERIMENTS.md", "w").write(text)
-    leftover = re.findall(r"<!--X\d-->", text)
+    leftover = re.findall(r"<!--X\d+-->", text)
     print("injected; leftover markers:", leftover)

@@ -198,11 +198,75 @@ proptest! {
             "select N from guide.restaurant.name N where N like \"%1%\"",
             "select R from guide.restaurant R where R.<add at T>note and R.name like \"R_\"",
             "select X.price from guide.% X where X.name like \"_ot\" or X.name like \"R0\"",
+            // Monotonic-fragment shapes the incremental paths lean on
+            // (DESIGN.md §11): anchored top-level conjuncts on annotation
+            // timestamps, and multi-variable annotated chains.
+            "select R, T from guide.<add at T>restaurant R where T >= 1Jan97",
+            "select N, T from guide.restaurant R, R.name<cre at T> N where T > 31Dec96",
+            "select guide.#.price<upd at T> where T >= 1Jan97",
         ] {
             // Skip the ones the translator cannot express if any arise;
             // run_both_checked errors on mismatch, which is the assertion.
             chorel::run_both_checked(&d, query).unwrap();
         }
+    }
+
+    /// DESIGN.md §11's incremental identity: semi-naive maintenance of a
+    /// prior result through every step of a random history equals full
+    /// re-evaluation at that step — and `run_both_checked` makes the full
+    /// side itself agree across both execution strategies. Steps outside
+    /// the monotonic fragment take the documented fallback (full
+    /// re-evaluation) and keep stepping, exactly as serve's cache and the
+    /// QSS filters do.
+    #[test]
+    fn incremental_agrees_with_full(seed in 0u64..400, n in 2usize..8, steps in 1usize..6) {
+        let db = random_db(seed, n);
+        let h = random_history(&db, seed.wrapping_add(41), steps, 4);
+        let queries = [
+            "select guide.restaurant",
+            "select guide.<add>note",
+            "select guide.restaurant.<add at T>note where T >= 1Jan97",
+            "select T, NV from guide.restaurant.price<upd at T to NV>",
+            "select guide.restaurant.name<cre at T> where T < 1Feb97",
+            "select R from guide.restaurant R where R.<rem at T>parking and T > 1Jan97",
+            "select X, T from guide.restaurant.<add at T>(note|tag) X",
+        ];
+        let parsed: Vec<_> = queries
+            .iter()
+            .map(|q| lorel::parse_query(q).unwrap())
+            .collect();
+        let mut replica = db.clone();
+        let mut d = doem::DoemDatabase::from_snapshot(&db);
+        let mut prior: Vec<Vec<lorel::Row>> = parsed
+            .iter()
+            .map(|q| chorel::run_chorel_parsed(&d, q, chorel::Strategy::Direct).unwrap().rows)
+            .collect();
+        let mut maintained_steps = 0usize;
+        for entry in h.entries() {
+            doem::apply_set(&mut d, &mut replica, &entry.changes, entry.at).unwrap();
+            for (i, q) in parsed.iter().enumerate() {
+                let full = chorel::run_both_checked(&d, queries[i]).unwrap();
+                let maintained =
+                    chorel::delta::maintain_rows(&d, q, &entry.changes, entry.at, &prior[i])
+                        .unwrap();
+                match maintained {
+                    Some(rows) => {
+                        prop_assert_eq!(
+                            chorel::delta::canonical_strings_for_rows(&d, &rows),
+                            chorel::canonical_row_strings(&d, &full),
+                            "query {:?} diverged at {}", queries[i], entry.at
+                        );
+                        maintained_steps += 1;
+                        prior[i] = rows.rows;
+                    }
+                    None => prior[i] = full.rows,
+                }
+            }
+        }
+        // The pool is chosen so maintenance actually fires (annotated
+        // plans survive any delta); an all-fallback run would make the
+        // identity above vacuous.
+        prop_assert!(maintained_steps > 0, "every step fell back to full re-evaluation");
     }
 }
 
