@@ -1,0 +1,190 @@
+//! The `chaos` binary's hand-rolled argument parser.
+//!
+//! Per the repo convention, new parsers are written by hand and
+//! proptest-fuzzed for panic-freedom: [`parse_args`] returns `Err` on
+//! malformed input, never panics, and the fuzz test below feeds it
+//! arbitrary token streams to keep that true.
+
+use crate::schedule::ScheduleOpts;
+use std::path::PathBuf;
+
+/// Parsed command line for the `chaos` binary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CliOpts {
+    /// Seeds to run, in order.
+    pub seeds: Vec<u64>,
+    /// Schedule knobs shared by every seed.
+    pub followers: usize,
+    /// Client operations per seed.
+    pub ops: usize,
+    /// Fault injections per seed.
+    pub faults: usize,
+    /// Whether each schedule includes a promotion.
+    pub promote: bool,
+    /// Where failure artifacts are written.
+    pub artifact_dir: PathBuf,
+}
+
+impl Default for CliOpts {
+    fn default() -> CliOpts {
+        let d = ScheduleOpts::default();
+        CliOpts {
+            seeds: vec![7],
+            followers: d.followers,
+            ops: d.ops,
+            faults: d.faults,
+            promote: d.promote,
+            artifact_dir: PathBuf::from("target/chaos"),
+        }
+    }
+}
+
+impl CliOpts {
+    /// The schedule knobs these options describe.
+    pub fn schedule_opts(&self) -> ScheduleOpts {
+        ScheduleOpts {
+            followers: self.followers,
+            ops: self.ops,
+            faults: self.faults,
+            promote: self.promote,
+        }
+    }
+}
+
+/// Parse `--seeds a,b,c --ops N --faults N --followers N [--no-promote]
+/// [--artifact-dir PATH]`. Unknown flags, missing values, and malformed
+/// numbers are errors, never panics.
+pub fn parse_args(args: &[String]) -> Result<CliOpts, String> {
+    let mut opts = CliOpts::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seeds" => {
+                let v = it.next().ok_or("--seeds needs a comma-separated list")?;
+                let seeds: Result<Vec<u64>, _> = v
+                    .split(',')
+                    .map(|s| s.trim().parse::<u64>().map_err(|e| format!("seed {s:?}: {e}")))
+                    .collect();
+                opts.seeds = seeds?;
+                if opts.seeds.is_empty() {
+                    return Err("--seeds list is empty".to_string());
+                }
+            }
+            "--ops" => opts.ops = parse_num(it.next(), "--ops")?,
+            "--faults" => opts.faults = parse_num(it.next(), "--faults")?,
+            "--followers" => {
+                opts.followers = parse_num(it.next(), "--followers")?;
+                if opts.followers == 0 {
+                    return Err("--followers must be at least 1".to_string());
+                }
+            }
+            "--no-promote" => opts.promote = false,
+            "--artifact-dir" => {
+                opts.artifact_dir =
+                    PathBuf::from(it.next().ok_or("--artifact-dir needs a path")?);
+            }
+            other => return Err(format!("unknown flag {other:?} (see --help in README)")),
+        }
+    }
+    if opts.ops == 0 {
+        return Err("--ops must be at least 1".to_string());
+    }
+    Ok(opts)
+}
+
+fn parse_num(value: Option<&String>, flag: &str) -> Result<usize, String> {
+    let v = value.ok_or_else(|| format!("{flag} needs a number"))?;
+    v.parse::<usize>().map_err(|e| format!("{flag} {v:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_ci_invocation_parses() {
+        let args: Vec<String> = ["--seeds", "7,1998,424242"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let opts = parse_args(&args).unwrap();
+        assert_eq!(opts.seeds, vec![7, 1998, 424242]);
+        assert_eq!(opts.schedule_opts().ops, ScheduleOpts::default().ops);
+    }
+
+    #[test]
+    fn knobs_and_flags_apply() {
+        let args: Vec<String> = [
+            "--seeds",
+            "1",
+            "--ops",
+            "30",
+            "--faults",
+            "4",
+            "--followers",
+            "1",
+            "--no-promote",
+            "--artifact-dir",
+            "/tmp/x",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let opts = parse_args(&args).unwrap();
+        assert_eq!(opts.ops, 30);
+        assert_eq!(opts.faults, 4);
+        assert_eq!(opts.followers, 1);
+        assert!(!opts.promote);
+        assert_eq!(opts.artifact_dir, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn malformed_input_errors_cleanly() {
+        for bad in [
+            vec!["--seeds"],
+            vec!["--seeds", ""],
+            vec!["--seeds", "1,x"],
+            vec!["--ops", "-3"],
+            vec!["--followers", "0"],
+            vec!["--ops", "0"],
+            vec!["--frobnicate"],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(parse_args(&args).is_err(), "{bad:?} should not parse");
+        }
+    }
+}
+
+/// Panic-freedom fuzz, per the hand-rolled-parser convention (see
+/// `lorel::parser::fuzz_tests`): arbitrary token streams must parse or
+/// error, never panic.
+#[cfg(test)]
+mod fuzz_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+        #[test]
+        fn parser_never_panics(tokens in proptest::collection::vec("\\PC{0,12}", 0..8)) {
+            let _ = parse_args(&tokens);
+        }
+
+        /// Tokens drawn from the real vocabulary stress the value paths.
+        #[test]
+        fn flag_shaped_streams_never_panic(
+            picks in proptest::collection::vec(0usize..10, 0..10),
+            num in 0u64..=u64::MAX,
+        ) {
+            let vocab = [
+                "--seeds", "--ops", "--faults", "--followers", "--no-promote",
+                "--artifact-dir", "7,8", "", ",", "x",
+            ];
+            let mut tokens: Vec<String> =
+                picks.iter().map(|&i| vocab[i % vocab.len()].to_string()).collect();
+            tokens.push(num.to_string());
+            let _ = parse_args(&tokens);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! # chaos — deterministic topology torture for the serve layer
+//!
+//! DESIGN.md §12. One seed drives everything: [`Schedule::from_seed`]
+//! materializes a byte-reproducible plan of client writes and reads
+//! interleaved with failpoint arms, follower kill-9s, and a fenced
+//! failover; [`run_schedule`] executes it against a real in-process
+//! 1-primary/N-follower topology (every node a durable [`serve::Service`]
+//! with its own WAL, failpoint registry, and TCP listener); and the
+//! [`oracle`] checks the recorded histories against the paper's
+//! `D(O, H)` construction — durability of every ack, snapshot isolation
+//! of every LSN-bracketed read (via [`chorel::run_both_checked`], both
+//! execution strategies vouching), per-session monotonic reads, and
+//! whole-topology convergence to one canonical graph at one LSN.
+//!
+//! On an oracle failure the [`shrink`] pass bisects the schedule's
+//! fault-like events under a bounded re-run budget and writes a
+//! self-contained repro artifact (`target/chaos/failure-<seed>.txt`).
+//! The [`Sabotage`] knob deliberately breaks an invariant (a write
+//! acknowledged but never sent) so the pipeline that catches real bugs
+//! is itself tested end-to-end.
+//!
+//! The `chaos` binary (`cargo run --release -p chaos -- --seeds 7,1998`)
+//! runs a seed matrix and finishes with the failpoint **liveness
+//! audit**: every site in [`serve::FaultPoint::ALL`] must have actually
+//! fired somewhere in the matrix, so a failpoint that silently stops
+//! being reachable fails CI rather than rotting.
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod oracle;
+pub mod schedule;
+pub mod shrink;
+pub mod topology;
+
+pub use schedule::{Event, FaultSpec, Schedule, ScheduleOpts};
+pub use topology::{run_schedule, DB};
+
+use serve::FaultPoint;
+
+/// Deliberate invariant breakage, for testing the oracle itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sabotage {
+    /// No sabotage: the oracle is expected to pass.
+    None,
+    /// Record one write as acknowledged without sending it — a forged
+    /// durability promise the oracle's first check must catch.
+    PhantomAck,
+}
+
+/// An oracle check that failed, with enough detail to act on.
+#[derive(Clone, Debug)]
+pub struct OracleFailure {
+    /// Which check tripped: `durability`, `snapshot-isolation`,
+    /// `monotonic-reads`, `convergence`, `fencing`, `promotion`, or
+    /// `setup`.
+    pub check: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for OracleFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} check failed: {}", self.check, self.detail)
+    }
+}
+
+/// What a passing run did, for assertions and the CI summary line.
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// Writes acknowledged (schedule writes plus probes and fillers).
+    pub writes_acked: usize,
+    /// Reads recorded.
+    pub reads_total: usize,
+    /// Clean (LSN-bracketed) reads that were snapshot-checked.
+    pub reads_checked: usize,
+    /// Fault plans armed by the schedule.
+    pub faults_armed: usize,
+    /// Failpoint firings summed across every node.
+    pub faults_fired: u64,
+    /// Firings per site, merged across nodes (the liveness audit input).
+    pub fired_by_site: Vec<(FaultPoint, u64)>,
+    /// Follower kill-9/recovery cycles.
+    pub kills: usize,
+    /// Promotions performed (0 or 1).
+    pub promotions: usize,
+    /// The converged applied LSN in raw minutes.
+    pub final_lsn: i64,
+}
+
+impl RunSummary {
+    /// The one-line form the binary prints per seed.
+    pub fn render_line(&self, seed: u64) -> String {
+        let sites: Vec<String> = self
+            .fired_by_site
+            .iter()
+            .map(|(p, n)| format!("{p:?}={n}"))
+            .collect();
+        format!(
+            "seed {seed}: {} writes acked, {}/{} reads snapshot-checked, \
+             {} faults fired ({}), {} kills, {} promotion(s), LSN {}",
+            self.writes_acked,
+            self.reads_checked,
+            self.reads_total,
+            self.faults_fired,
+            sites.join(" "),
+            self.kills,
+            self.promotions,
+            self.final_lsn
+        )
+    }
+}
+
+/// Generate the schedule for `seed` and run it end-to-end.
+pub fn run_seed(
+    seed: u64,
+    opts: ScheduleOpts,
+    sabotage: Sabotage,
+) -> Result<RunSummary, (Schedule, OracleFailure)> {
+    let sched = Schedule::from_seed(seed, opts);
+    run_schedule(&sched, sabotage).map_err(|f| (sched, f))
+}

@@ -1,0 +1,294 @@
+//! The history-based consistency oracle: four checks over what the
+//! clients recorded and where the topology converged.
+//!
+//! The paper's `D(O, H)` construction is the oracle's whole theory: the
+//! acknowledged write history `H` (each entry a timestamped change set)
+//! fully determines every legal state of the database. Concretely:
+//!
+//! 1. **Durability** — every acknowledged write's timestamp appears in
+//!    every converged replica's history. An ack is a durability promise;
+//!    no fault schedule may un-make it.
+//! 2. **Snapshot isolation** — a read bracketed by equal LSN probes
+//!    observed exactly `O_t(D)`: re-evaluating the query over the
+//!    replay of the acked prefix `H ≤ t` (through
+//!    [`chorel::run_both_checked`], so *both* execution strategies vouch
+//!    for the expected rows) must reproduce the observed row set.
+//! 3. **Monotonic reads** — within one client session the LSN floor of
+//!    successive reads never decreases: a session is never served a
+//!    state older than one it has already seen, kills and failovers
+//!    included (the commit pipeline fsyncs before it applies, so nothing
+//!    visible can roll back).
+//! 4. **Convergence** — after the run quiesces, every node holds the
+//!    same canonical DOEM graph at the same applied LSN, by
+//!    [`doem::same_doem`] (ids, annotations, and history included).
+
+use crate::topology::DB;
+use crate::OracleFailure;
+use doem::{apply_set, same_doem, DoemDatabase};
+use oem::{parse_change_set, OemDatabase, Timestamp};
+
+/// One acknowledged write, as the client recorded it.
+#[derive(Clone, Copy, Debug)]
+pub struct AckedWrite {
+    /// The writer session.
+    pub session: usize,
+    /// The write's change timestamp — its LSN.
+    pub at: Timestamp,
+    /// OEM node id created (`n<nid>`).
+    pub nid: u64,
+    /// Integer payload.
+    pub val: i64,
+}
+
+/// One observed read, bracketed by LSN probes.
+#[derive(Clone, Debug)]
+pub struct ReadObs {
+    /// The reader session.
+    pub session: usize,
+    /// The topology node the read was pinned to.
+    pub node: usize,
+    /// The node's applied LSN just before the query.
+    pub lsn_floor: Timestamp,
+    /// Whether the probes bracketing the query agreed (only clean reads
+    /// are snapshot-checked; a racing replication apply makes the serve
+    /// point ambiguous, not wrong).
+    pub clean: bool,
+    /// The canonical row strings the service answered.
+    pub rows: Vec<String>,
+}
+
+/// Everything the run recorded.
+#[derive(Debug, Default)]
+pub struct History {
+    /// Acknowledged writes, in issue order (timestamps strictly increase).
+    pub acked: Vec<AckedWrite>,
+    /// Reads, in issue order.
+    pub reads: Vec<ReadObs>,
+}
+
+/// Replay the acked prefix `H ≤ upto` over an empty database — the
+/// oracle's reference state for a read served at LSN `upto`.
+fn rebuild(acked: &[AckedWrite], upto: Timestamp) -> DoemDatabase {
+    let initial = OemDatabase::new(DB.to_string());
+    let mut doem = DoemDatabase::from_snapshot(&initial);
+    let mut replica = initial;
+    for w in acked.iter().filter(|w| w.at <= upto) {
+        let changes = parse_change_set(&format!(
+            "{{creNode(n{0}, {1}), addArc(n1, item, n{0})}}",
+            w.nid, w.val
+        ))
+        .expect("oracle change set is well-formed");
+        apply_set(&mut doem, &mut replica, &changes, w.at).expect("oracle replay applies");
+    }
+    doem
+}
+
+/// Run all four checks. Returns the number of snapshot-checked reads.
+pub fn check_all(
+    history: &History,
+    snapshots: &[Option<DoemDatabase>],
+    lsns: &[i64],
+    primary: usize,
+) -> Result<usize, OracleFailure> {
+    // 1. Durability: every ack survived into every replica.
+    for (node, snap) in snapshots.iter().enumerate() {
+        let Some(snap) = snap else {
+            return Err(OracleFailure {
+                check: "durability",
+                detail: format!("node {node} lost the {DB:?} database entirely"),
+            });
+        };
+        let have = snap.timestamps();
+        for w in &history.acked {
+            if !have.contains(&w.at) {
+                return Err(OracleFailure {
+                    check: "durability",
+                    detail: format!(
+                        "acked write at {} (n{}, session {}) missing from node {node}",
+                        w.at, w.nid, w.session
+                    ),
+                });
+            }
+        }
+    }
+
+    // 4 (checked early so 2 and 3 can trust the replicas agree on what
+    // the converged graph *is*): identical canonical graphs at one LSN.
+    let reference = snapshots[primary].as_ref().expect("primary checked above");
+    for (node, snap) in snapshots.iter().enumerate() {
+        let snap = snap.as_ref().expect("checked above");
+        if lsns[node] != lsns[primary] {
+            return Err(OracleFailure {
+                check: "convergence",
+                detail: format!(
+                    "node {node} converged at LSN {} but the primary sits at {}",
+                    lsns[node], lsns[primary]
+                ),
+            });
+        }
+        if !same_doem(snap, reference) {
+            return Err(OracleFailure {
+                check: "convergence",
+                detail: format!(
+                    "node {node} and the primary hold different canonical graphs at LSN {}",
+                    lsns[primary]
+                ),
+            });
+        }
+    }
+
+    // 2. Snapshot isolation for every clean read.
+    let mut checked = 0usize;
+    for (i, read) in history.reads.iter().enumerate() {
+        if !read.clean {
+            continue;
+        }
+        let doem = rebuild(&history.acked, read.lsn_floor);
+        let result =
+            chorel::run_both_checked(&doem, &format!("select {DB}.item")).map_err(|e| {
+                OracleFailure {
+                    check: "snapshot-isolation",
+                    detail: format!("oracle re-evaluation failed for read {i}: {e}"),
+                }
+            })?;
+        let want = chorel::canonical_row_strings(&doem, &result);
+        if want != read.rows {
+            return Err(OracleFailure {
+                check: "snapshot-isolation",
+                detail: format!(
+                    "read {i} (session {}, node {}, LSN {}) observed {} rows, \
+                     re-evaluation of the acked prefix yields {} — observed {:?}, want {:?}",
+                    read.session,
+                    read.node,
+                    read.lsn_floor,
+                    read.rows.len(),
+                    want.len(),
+                    read.rows,
+                    want
+                ),
+            });
+        }
+        checked += 1;
+    }
+
+    // 3. Monotonic reads per session.
+    let mut floors: std::collections::HashMap<usize, (usize, Timestamp)> =
+        std::collections::HashMap::new();
+    for (i, read) in history.reads.iter().enumerate() {
+        if let Some((prev_i, prev)) = floors.get(&read.session) {
+            if read.lsn_floor < *prev {
+                return Err(OracleFailure {
+                    check: "monotonic-reads",
+                    detail: format!(
+                        "session {} went backwards: read {prev_i} saw LSN {prev}, \
+                         read {i} saw LSN {}",
+                        read.session, read.lsn_floor
+                    ),
+                });
+            }
+        }
+        floors.insert(read.session, (i, read.lsn_floor));
+    }
+
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(at: i64, nid: u64, val: i64) -> AckedWrite {
+        AckedWrite {
+            session: 0,
+            at: Timestamp::from_raw_minutes(at),
+            nid,
+            val,
+        }
+    }
+
+    #[test]
+    fn rebuild_replays_exactly_the_prefix() {
+        let acked = vec![write(10, 101, 1), write(12, 102, 2), write(14, 103, 3)];
+        let at12 = rebuild(&acked, Timestamp::from_raw_minutes(12));
+        assert_eq!(at12.timestamps().len(), 2);
+        let all = rebuild(&acked, Timestamp::from_raw_minutes(99));
+        assert_eq!(all.timestamps().len(), 3);
+    }
+
+    #[test]
+    fn durability_check_catches_a_lost_ack() {
+        let acked = vec![write(10, 101, 1)];
+        let empty = rebuild(&[], Timestamp::from_raw_minutes(0));
+        let history = History {
+            acked,
+            reads: Vec::new(),
+        };
+        let err = check_all(&history, &[Some(empty)], &[0], 0).unwrap_err();
+        assert_eq!(err.check, "durability");
+    }
+
+    #[test]
+    fn monotonic_check_catches_a_backwards_session() {
+        let history = History {
+            acked: Vec::new(),
+            reads: vec![
+                ReadObs {
+                    session: 3,
+                    node: 1,
+                    lsn_floor: Timestamp::from_raw_minutes(20),
+                    clean: false,
+                    rows: Vec::new(),
+                },
+                ReadObs {
+                    session: 3,
+                    node: 1,
+                    lsn_floor: Timestamp::from_raw_minutes(10),
+                    clean: false,
+                    rows: Vec::new(),
+                },
+            ],
+        };
+        let snap = rebuild(&[], Timestamp::from_raw_minutes(0));
+        let err = check_all(&history, &[Some(snap)], &[0], 0).unwrap_err();
+        assert_eq!(err.check, "monotonic-reads");
+    }
+
+    #[test]
+    fn snapshot_isolation_check_accepts_the_true_rows_and_rejects_others() {
+        let acked = vec![write(10, 101, 1), write(12, 102, 2)];
+        let at10 = rebuild(&acked, Timestamp::from_raw_minutes(10));
+        let result = chorel::run_both_checked(&at10, "select chaos.item").unwrap();
+        let rows = chorel::canonical_row_strings(&at10, &result);
+        assert_eq!(rows.len(), 1);
+
+        let converged = rebuild(&acked, Timestamp::from_raw_minutes(99));
+        let lsn = 12;
+        let good = History {
+            acked: acked.clone(),
+            reads: vec![ReadObs {
+                session: 2,
+                node: 0,
+                lsn_floor: Timestamp::from_raw_minutes(10),
+                clean: true,
+                rows: rows.clone(),
+            }],
+        };
+        assert_eq!(
+            check_all(&good, &[Some(converged.clone())], &[lsn], 0).unwrap(),
+            1
+        );
+
+        let bad = History {
+            acked,
+            reads: vec![ReadObs {
+                session: 2,
+                node: 0,
+                lsn_floor: Timestamp::from_raw_minutes(12),
+                clean: true,
+                rows, // stale: the prefix at 12 has two items
+            }],
+        };
+        let err = check_all(&bad, &[Some(converged)], &[lsn], 0).unwrap_err();
+        assert_eq!(err.check, "snapshot-isolation");
+    }
+}

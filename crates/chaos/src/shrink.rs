@@ -1,0 +1,96 @@
+//! Failure minimization: a ddmin-lite pass over the fault-like events of
+//! a failing schedule, plus the repro artifact the CI leg promises.
+//!
+//! When an oracle check fails, re-running the full schedule for every
+//! candidate reduction would dwarf the original run, so the shrinker is
+//! deliberately bounded: it bisects only the *fault-like* events (fault
+//! arms, kills, the promotion — client ops are the workload, not the
+//! suspects) in at most [`MAX_RERUNS`] re-executions, keeping any
+//! reduction that still fails the same check. The result — minimized or
+//! not — is written to `target/chaos/failure-<seed>.txt` together with
+//! the seed and the oracle's verdict, which is everything needed to
+//! reproduce: the schedule text *is* the plan, and the seed regenerates
+//! it byte-for-byte.
+
+use crate::schedule::Schedule;
+use crate::topology::run_schedule;
+use crate::{OracleFailure, Sabotage};
+use std::path::{Path, PathBuf};
+
+/// Re-execution budget for the whole minimization pass.
+pub const MAX_RERUNS: usize = 8;
+
+/// Bisect the fault-like events: try dropping halves (then quarters, …)
+/// of the candidate set; keep any reduction that still fails the same
+/// oracle check. Returns the smallest failing schedule found and the
+/// failure it produced.
+pub fn minimize(
+    sched: &Schedule,
+    sabotage: Sabotage,
+    failure: &OracleFailure,
+) -> (Schedule, OracleFailure) {
+    let mut best = sched.clone();
+    let mut best_failure = failure.clone();
+    let mut reruns = 0;
+    let mut chunk = best.fault_event_indices().len().div_ceil(2);
+    while chunk >= 1 && reruns < MAX_RERUNS {
+        let candidates = best.fault_event_indices();
+        if candidates.is_empty() {
+            break;
+        }
+        let mut reduced_this_round = false;
+        for window in candidates.chunks(chunk) {
+            if reruns >= MAX_RERUNS {
+                break;
+            }
+            let trial = best.without_events(window);
+            reruns += 1;
+            if let Err(f) = run_schedule(&trial, sabotage) {
+                if f.check == best_failure.check {
+                    best = trial;
+                    best_failure = f;
+                    reduced_this_round = true;
+                    break; // candidate indices shifted; recompute
+                }
+            }
+        }
+        if !reduced_this_round {
+            chunk /= 2;
+        }
+    }
+    (best, best_failure)
+}
+
+/// Minimize `sched` and write the repro artifact. Returns the artifact
+/// path.
+pub fn minimize_and_write(
+    sched: &Schedule,
+    sabotage: Sabotage,
+    failure: &OracleFailure,
+    out_dir: &Path,
+) -> std::io::Result<PathBuf> {
+    let (min, min_failure) = minimize(sched, sabotage, failure);
+    std::fs::create_dir_all(out_dir)?;
+    let path = out_dir.join(format!("failure-{}.txt", sched.seed));
+    let body = format!(
+        "chaos oracle failure\n\
+         seed: {}\n\
+         check: {}\n\
+         detail: {}\n\
+         events: {} (minimized from {})\n\
+         reproduce: cargo run --release -p chaos -- --seeds {} --ops {} --faults {} --followers {}\n\
+         \n{}",
+        sched.seed,
+        min_failure.check,
+        min_failure.detail,
+        min.events.len(),
+        sched.events.len(),
+        sched.seed,
+        sched.opts.ops,
+        sched.opts.faults,
+        sched.opts.followers,
+        min.render()
+    );
+    std::fs::write(&path, body)?;
+    Ok(path)
+}

@@ -14,7 +14,7 @@
 //!   by restricting that one constraint to annotations since `τ`, no
 //!   monotonicity requirement and no prior rows needed.
 //!
-//! Both paths are [`Strategy::Direct`]-only: restriction sets are phrased
+//! Both paths are [`Strategy::Direct`](crate::Strategy::Direct)-only: restriction sets are phrased
 //! over the DOEM graph and do not map onto the Section 5.1 encoding; a
 //! translated evaluator falls back to full evaluation. Correctness of the
 //! union identity is property-tested against full re-evaluation through

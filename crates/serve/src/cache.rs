@@ -111,7 +111,11 @@ impl ResultCache {
             .collect();
         let (mut kept, mut dropped) = (0, 0);
         for key in stale {
-            let entry = inner.map.remove(&key).expect("key collected above");
+            // Collected from the map under this same lock hold, so the
+            // remove cannot miss — but stay structurally panic-free.
+            let Some(entry) = inner.map.remove(&key) else {
+                continue;
+            };
             let maintained = entry
                 .maintain
                 .as_ref()

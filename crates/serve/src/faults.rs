@@ -14,6 +14,14 @@
 //! fails the chosen one, optionally *sticky* (every later matching
 //! operation fails too, simulating a disk that stays dead after the first
 //! `ENOSPC`, or a process that never comes back after kill-9).
+//!
+//! An armed handle holds a **registry** of plans over per-site operation
+//! counters, so several faults can be staged against one service — the
+//! chaos harness arms partitions, stalls, and disk faults against the
+//! same topology nodes over a run ([`Faults::arm_next`]). The registry
+//! also keeps per-site *seen*/*fired* tallies ([`Faults::fired_by_site`])
+//! for the failpoint liveness audit: a failpoint nobody reaches any more
+//! is a failpoint that has silently rotted.
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -39,6 +47,29 @@ pub enum FaultPoint {
     ReplicateApply,
 }
 
+impl FaultPoint {
+    /// Every registered failpoint site, in declaration order. The chaos
+    /// harness's liveness audit iterates this — adding a site without
+    /// extending the audit is caught by `all_sites_are_registered`.
+    pub const ALL: [FaultPoint; 5] = [
+        FaultPoint::WalAppend,
+        FaultPoint::WalFsync,
+        FaultPoint::Checkpoint,
+        FaultPoint::ReplicateServe,
+        FaultPoint::ReplicateApply,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            FaultPoint::WalAppend => 0,
+            FaultPoint::WalFsync => 1,
+            FaultPoint::Checkpoint => 2,
+            FaultPoint::ReplicateServe => 3,
+            FaultPoint::ReplicateApply => 4,
+        }
+    }
+}
+
 /// How an injected fault manifests at its site.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultMode {
@@ -54,25 +85,37 @@ pub enum FaultMode {
     Stall(u64),
 }
 
+/// One armed fault: a window `[from, from + count)` of operation indices
+/// at `point` (indices count only operations at that site) that fail as
+/// `mode` directs. `count == u64::MAX` is the sticky/unbounded window.
 #[derive(Debug)]
 struct Plan {
     point: FaultPoint,
-    /// Fail the operation with this 0-based index among operations
-    /// matching `point`.
-    nth: u64,
+    from: u64,
+    count: u64,
     mode: FaultMode,
-    /// Keep failing every matching operation after the first hit.
-    sticky: bool,
-    /// Matching operations observed so far.
-    seen: u64,
-    /// Faults actually fired.
     fired: u64,
+}
+
+impl Plan {
+    fn covers(&self, idx: u64) -> bool {
+        idx >= self.from && (self.count == u64::MAX || idx - self.from < self.count)
+    }
+}
+
+/// The shared state of an armed handle: the plan list plus per-site
+/// seen/fired tallies (indexed by [`FaultPoint::index`]).
+#[derive(Debug, Default)]
+struct Registry {
+    plans: Vec<Plan>,
+    seen: [u64; FaultPoint::ALL.len()],
+    site_fired: [u64; FaultPoint::ALL.len()],
 }
 
 /// A cloneable fault-injection handle; [`Faults::disabled`] is free.
 #[derive(Clone, Debug, Default)]
 pub struct Faults {
-    plan: Option<Arc<Mutex<Plan>>>,
+    inner: Option<Arc<Mutex<Registry>>>,
 }
 
 impl Faults {
@@ -81,19 +124,55 @@ impl Faults {
         Faults::default()
     }
 
+    /// An armed handle with no plans yet: operations are counted per
+    /// site (so the liveness audit sees traffic) and faults can be
+    /// staged later with [`Faults::arm_next`]. This is the chaos
+    /// harness's per-node handle.
+    pub fn armed() -> Faults {
+        Faults {
+            inner: Some(Arc::new(Mutex::new(Registry::default()))),
+        }
+    }
+
+    fn with_plan(plan: Plan) -> Faults {
+        let f = Faults::armed();
+        if let Some(inner) = &f.inner {
+            inner.lock().plans.push(plan);
+        }
+        f
+    }
+
     /// Fail the `nth` (0-based) operation at `point` with `mode`; when
     /// `sticky`, every later operation at `point` fails too.
     pub fn fail_nth(point: FaultPoint, nth: u64, mode: FaultMode, sticky: bool) -> Faults {
-        Faults {
-            plan: Some(Arc::new(Mutex::new(Plan {
-                point,
-                nth,
-                mode,
-                sticky,
-                seen: 0,
-                fired: 0,
-            }))),
-        }
+        Faults::with_plan(Plan {
+            point,
+            from: nth,
+            count: if sticky { u64::MAX } else { 1 },
+            mode,
+            fired: 0,
+        })
+    }
+
+    /// Stage a fault on a **live** handle: the next `count` operations at
+    /// `point` (counting from now, regardless of how many have already
+    /// happened) fail as `mode` directs. Returns `false` on a disabled
+    /// handle, which cannot be armed — it shares no state with the
+    /// service it was configured into.
+    pub fn arm_next(&self, point: FaultPoint, count: u64, mode: FaultMode) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        let mut reg = inner.lock();
+        let from = reg.seen[point.index()];
+        reg.plans.push(Plan {
+            point,
+            from,
+            count,
+            mode,
+            fired: 0,
+        });
+        true
     }
 
     /// Derive a plan pseudo-randomly from `seed`: a site, an operation
@@ -140,27 +219,50 @@ impl Faults {
     }
 
     /// Record one operation at `point`; `Some(mode)` means the caller
-    /// must fail it as `mode` directs.
+    /// must fail it as `mode` directs. With several overlapping plans the
+    /// earliest-armed one wins.
     pub fn check(&self, point: FaultPoint) -> Option<FaultMode> {
-        let plan = self.plan.as_ref()?;
-        let mut p = plan.lock();
-        if p.point != point {
-            return None;
-        }
-        let idx = p.seen;
-        p.seen += 1;
-        let hit = idx == p.nth || (p.sticky && idx > p.nth);
-        if hit {
-            p.fired += 1;
-            Some(p.mode)
-        } else {
-            None
-        }
+        let inner = self.inner.as_ref()?;
+        let mut reg = inner.lock();
+        let site = point.index();
+        let idx = reg.seen[site];
+        reg.seen[site] += 1;
+        let plan = reg
+            .plans
+            .iter_mut()
+            .find(|p| p.point == point && p.covers(idx))?;
+        plan.fired += 1;
+        let mode = plan.mode;
+        reg.site_fired[site] += 1;
+        Some(mode)
     }
 
-    /// How many faults have actually fired.
+    /// How many faults have actually fired, across every plan.
     pub fn fired(&self) -> u64 {
-        self.plan.as_ref().map_or(0, |p| p.lock().fired)
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.lock().site_fired.iter().sum())
+    }
+
+    /// Per-site fired tallies — the failpoint liveness audit. Disabled
+    /// handles report every site at zero.
+    pub fn fired_by_site(&self) -> Vec<(FaultPoint, u64)> {
+        let tally = |site: FaultPoint| {
+            self.inner
+                .as_ref()
+                .map_or(0, |i| i.lock().site_fired[site.index()])
+        };
+        FaultPoint::ALL.iter().map(|&p| (p, tally(p))).collect()
+    }
+
+    /// Per-site operation counts (reached, whether or not a fault fired).
+    pub fn seen_by_site(&self) -> Vec<(FaultPoint, u64)> {
+        let tally = |site: FaultPoint| {
+            self.inner
+                .as_ref()
+                .map_or(0, |i| i.lock().seen[site.index()])
+        };
+        FaultPoint::ALL.iter().map(|&p| (p, tally(p))).collect()
     }
 
     /// The `std::io::Error` an injected fault surfaces as.
@@ -180,6 +282,8 @@ mod tests {
             assert_eq!(f.check(FaultPoint::WalAppend), None);
         }
         assert_eq!(f.fired(), 0);
+        assert!(!f.arm_next(FaultPoint::WalAppend, 1, FaultMode::Error));
+        assert!(f.fired_by_site().iter().all(|(_, n)| *n == 0));
     }
 
     #[test]
@@ -246,5 +350,49 @@ mod tests {
             assert_eq!(b.check(FaultPoint::WalAppend), None);
             assert_eq!(b.check(FaultPoint::Checkpoint), None);
         }
+    }
+
+    #[test]
+    fn armed_windows_fire_relative_to_the_moment_of_arming() {
+        let f = Faults::armed();
+        // Two operations pass before anything is armed.
+        assert_eq!(f.check(FaultPoint::ReplicateServe), None);
+        assert_eq!(f.check(FaultPoint::ReplicateServe), None);
+        // The next 2 operations at the site fail; later ones pass again.
+        assert!(f.arm_next(FaultPoint::ReplicateServe, 2, FaultMode::Error));
+        let hits: Vec<bool> = (0..4)
+            .map(|_| f.check(FaultPoint::ReplicateServe).is_some())
+            .collect();
+        assert_eq!(hits, vec![true, true, false, false]);
+        assert_eq!(f.fired(), 2);
+        // Other sites were untouched but their traffic was counted.
+        assert_eq!(f.check(FaultPoint::WalAppend), None);
+        let seen: Vec<u64> = f.seen_by_site().into_iter().map(|(_, n)| n).collect();
+        assert_eq!(seen, vec![1, 0, 0, 6, 0]);
+    }
+
+    #[test]
+    fn several_plans_coexist_and_tally_per_site() {
+        let f = Faults::armed();
+        f.arm_next(FaultPoint::WalAppend, 1, FaultMode::Error);
+        f.arm_next(FaultPoint::Checkpoint, 1, FaultMode::Error);
+        assert!(f.check(FaultPoint::WalAppend).is_some());
+        assert!(f.check(FaultPoint::Checkpoint).is_some());
+        assert_eq!(f.check(FaultPoint::WalAppend), None);
+        let fired = f.fired_by_site();
+        assert_eq!(fired[FaultPoint::WalAppend.index()].1, 1);
+        assert_eq!(fired[FaultPoint::Checkpoint.index()].1, 1);
+        assert_eq!(fired[FaultPoint::WalFsync.index()].1, 0);
+        assert_eq!(f.fired(), 2);
+    }
+
+    #[test]
+    fn all_sites_are_registered() {
+        // `FaultPoint::ALL` must enumerate every variant exactly once at
+        // its own index — the liveness audit depends on it.
+        for (i, p) in FaultPoint::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        assert_eq!(Faults::disabled().fired_by_site().len(), FaultPoint::ALL.len());
     }
 }

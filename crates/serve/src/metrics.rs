@@ -152,6 +152,20 @@ pub struct Metrics {
     /// Times the follower's fetch loop reconnected to the primary after
     /// a connection-level failure (the backoff path).
     pub repl_reconnects: AtomicU64,
+    /// Gauge: the reconnect backoff (milliseconds) the follower's sync
+    /// loop slept before its most recent reconnect. Returns to the floor
+    /// after any session that made replication progress.
+    pub repl_backoff_ms: AtomicU64,
+    /// `AT now` allocations that found the wall clock at or behind the
+    /// shard's last LSN and clamped forward to `last_lsn + 1` instead
+    /// (Definition 2.2: change timestamps are strictly increasing).
+    pub clock_regressions: AtomicU64,
+    /// `PROMOTE` verbs accepted: shards flipped writable under a new
+    /// epoch fence.
+    pub promotions: AtomicU64,
+    /// Writes and replication batches rejected with the typed `FENCED`
+    /// error because they carried a deposed lineage's stale epoch.
+    pub fenced_rejects: AtomicU64,
     /// Time spent parsing request lines.
     pub parse: Histogram,
     /// Time jobs spent queued before a worker picked them up.
@@ -206,6 +220,10 @@ impl Metrics {
             format!("counter repl_records_applied {}", c(&self.repl_records_applied)),
             format!("counter repl_snapshots_installed {}", c(&self.repl_snapshots_installed)),
             format!("counter repl_reconnects {}", c(&self.repl_reconnects)),
+            format!("gauge repl_backoff_ms {}", c(&self.repl_backoff_ms)),
+            format!("counter clock_regressions {}", c(&self.clock_regressions)),
+            format!("counter promotions {}", c(&self.promotions)),
+            format!("counter fenced_rejects {}", c(&self.fenced_rejects)),
         ];
         self.parse.render("parse", &mut out);
         self.queue.render("queue", &mut out);

@@ -13,8 +13,8 @@
 //! CREATE <db>                                install an empty database
 //! SAVE <db>  /  LOAD <db>                    persist to / restore from store
 //! QUERY <db> <lorel-or-chorel query>         evaluate, canonical rows back
-//! UPDATE <db> AT <ts> ; <change set>         apply `{creNode(...), ...}`
-//! MUTATE <db> AT <ts> ; <update stmt>        compile a Lorel update & apply
+//! UPDATE <db> AT <ts|now> ; <change set>     apply `{creNode(...), ...}`
+//! MUTATE <db> AT <ts|now> ; <update stmt>    compile a Lorel update & apply
 //! DEFINE <define program>                    add named queries to registry
 //! SUBSCRIBE <id> POLL <q> FILTER <q> FREQ <spec>
 //! UNSUBSCRIBE <id>
@@ -23,6 +23,8 @@
 //! SUBQUERY <id> <chorel query>               query a subscription's DOEM
 //! LSN <db>                                   applied/durable LSNs (lag probe)
 //! REPLICATE <db> FROM <lsn> [AS <peer>]      one replication batch
+//! PROMOTE <db>                               flip a follower shard writable
+//! FENCE <db> <epoch>                         depose a stale primary shard
 //! QUIT                                       close the session
 //! ```
 //!
@@ -68,6 +70,10 @@ pub enum ErrKind {
     /// (e.g. disk full) disabled writes to it while queries keep serving
     /// from the in-memory snapshot.
     ReadOnly,
+    /// The shard was deposed by a newer promotion epoch (`FENCE`): its
+    /// lineage may no longer append — writes must go to the promoted
+    /// primary. Reads keep serving.
+    Fenced,
     /// Anything else; the service itself misbehaved.
     Internal,
 }
@@ -84,6 +90,7 @@ impl ErrKind {
             ErrKind::Conflict => "CONFLICT",
             ErrKind::Io => "IO",
             ErrKind::ReadOnly => "READONLY",
+            ErrKind::Fenced => "FENCED",
             ErrKind::Internal => "INTERNAL",
         }
     }
@@ -99,6 +106,7 @@ impl ErrKind {
             "CONFLICT" => ErrKind::Conflict,
             "IO" => ErrKind::Io,
             "READONLY" => ErrKind::ReadOnly,
+            "FENCED" => ErrKind::Fenced,
             _ => ErrKind::Internal,
         }
     }
@@ -154,21 +162,24 @@ pub enum Request {
         /// Canonical query text.
         key: String,
     },
-    /// `UPDATE <db> AT <ts> ; <change set>`
+    /// `UPDATE <db> AT <ts|now> ; <change set>`
     Update {
         /// Database name.
         db: String,
-        /// When the changes happened.
-        at: Timestamp,
+        /// When the changes happened; `None` (the `AT now` form) asks the
+        /// service to allocate the timestamp from its wall clock inside
+        /// the sequence stage, clamped to stay strictly increasing.
+        at: Option<Timestamp>,
         /// The parsed change set.
         changes: ChangeSet,
     },
-    /// `MUTATE <db> AT <ts> ; <lorel update statement>`
+    /// `MUTATE <db> AT <ts|now> ; <lorel update statement>`
     Mutate {
         /// Database name.
         db: String,
-        /// When the update happens.
-        at: Timestamp,
+        /// When the update happens; `None` for the server-allocated
+        /// `AT now` form.
+        at: Option<Timestamp>,
         /// The raw statement text — compiled under the write lock against
         /// the then-current snapshot (syntax is pre-checked at parse time).
         stmt: String,
@@ -222,6 +233,23 @@ pub enum Request {
         /// Optional follower identity, used by the primary to lease log
         /// retention past checkpoints while this follower is attached.
         peer: Option<String>,
+    },
+    /// `PROMOTE <db>` — flip this instance's shard of `db` writable at
+    /// its applied LSN, under a new epoch fence. Sent to a follower when
+    /// the primary is lost; the promoted instance best-effort deposes the
+    /// old primary with a `FENCE`.
+    Promote {
+        /// Database name.
+        db: String,
+    },
+    /// `FENCE <db> <epoch>` — depose this instance's shard of `db`: if
+    /// `epoch` is newer than the shard's own, its lineage stops accepting
+    /// appends (writes answer the typed `FENCED` error).
+    Fence {
+        /// Database name.
+        db: String,
+        /// The promoting instance's new epoch.
+        epoch: u64,
     },
 }
 
@@ -497,17 +525,22 @@ fn expect_kw<'a>(rest: &'a str, kw: &str) -> Result<&'a str, ProtoError> {
     }
 }
 
-/// `AT <ts> ; <payload>` — shared tail of UPDATE and MUTATE.
-fn parse_at_clause(rest: &str) -> Result<(Timestamp, &str), ProtoError> {
+/// `AT <ts|now> ; <payload>` — shared tail of UPDATE and MUTATE. The
+/// literal `now` (case-insensitive) returns `None`: the service allocates
+/// the timestamp from its wall clock inside the sequence stage.
+fn parse_at_clause(rest: &str) -> Result<(Option<Timestamp>, &str), ProtoError> {
     let rest = expect_kw(rest, "AT")?;
     let (ts_text, payload) = rest
         .split_once(';')
         .ok_or_else(|| ProtoError::syntax("expected ';' after the AT timestamp"))?;
+    let ts_text = ts_text.trim();
+    if ts_text.eq_ignore_ascii_case("now") {
+        return Ok((None, payload.trim()));
+    }
     let at: Timestamp = ts_text
-        .trim()
         .parse()
-        .map_err(|e| ProtoError::syntax(format!("bad timestamp {:?}: {e}", ts_text.trim())))?;
-    Ok((at, payload.trim()))
+        .map_err(|e| ProtoError::syntax(format!("bad timestamp {ts_text:?}: {e}")))?;
+    Ok((Some(at), payload.trim()))
 }
 
 /// Render an LSN — a change [`Timestamp`] — for the wire: its raw minute
@@ -679,6 +712,17 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             };
             Ok(Request::Replicate { db, from, peer })
         }
+        "PROMOTE" => Ok(Request::Promote {
+            db: name_ok(rest.trim(), "database")?,
+        }),
+        "FENCE" => {
+            let (db, rest) = split_word(rest);
+            let db = name_ok(db, "database")?;
+            let epoch = rest.trim().parse::<u64>().map_err(|_| {
+                ProtoError::syntax(format!("bad epoch {:?} (decimal u64)", rest.trim()))
+            })?;
+            Ok(Request::Fence { db, epoch })
+        }
         other => Err(ProtoError {
             kind: ErrKind::Unknown,
             message: format!("unknown verb {other:?}"),
@@ -758,7 +802,41 @@ mod tests {
             other => panic!("wrong parse: {other:?}"),
         }
         let r = parse_request("UPDATE guide AT 1Jan97 8:00pm ; updNode(n1, 20)").unwrap();
-        assert!(matches!(r, Request::Update { .. }));
+        assert!(matches!(r, Request::Update { at: Some(_), .. }));
+    }
+
+    #[test]
+    fn at_now_asks_the_server_to_allocate_the_timestamp() {
+        let r = parse_request("UPDATE guide AT now ; {updNode(n1, 20)}").unwrap();
+        assert!(matches!(r, Request::Update { at: None, .. }));
+        let r =
+            parse_request("MUTATE guide AT NOW ; update R := 5 from guide.restaurant R").unwrap();
+        assert!(matches!(r, Request::Mutate { at: None, .. }));
+        // `now` is a keyword of the AT clause only, not a timestamp.
+        assert_eq!(parse_request("TICK now").unwrap_err().kind, ErrKind::Syntax);
+    }
+
+    #[test]
+    fn promote_and_fence_parse_and_classify_as_writes() {
+        match parse_request("PROMOTE guide").unwrap() {
+            Request::Promote { db } => assert_eq!(db, "guide"),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(!parse_request("PROMOTE guide").unwrap().is_read());
+        assert_eq!(parse_request("PROMOTE").unwrap_err().kind, ErrKind::Syntax);
+
+        match parse_request("FENCE guide 3").unwrap() {
+            Request::Fence { db, epoch } => {
+                assert_eq!(db, "guide");
+                assert_eq!(epoch, 3);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(!parse_request("FENCE guide 3").unwrap().is_read());
+        assert_eq!(parse_request("FENCE guide").unwrap_err().kind, ErrKind::Syntax);
+        assert_eq!(parse_request("FENCE guide -1").unwrap_err().kind, ErrKind::Syntax);
+        // The typed error code round-trips.
+        assert_eq!(ErrKind::from_code(ErrKind::Fenced.code()), ErrKind::Fenced);
     }
 
     #[test]
@@ -984,7 +1062,7 @@ mod fuzz_tests {
                     "creNode(n9, C)", "{updNode(n1, 20)}", "1Jan97", "8:00pm",
                     "*", "price", "=", "\"x\"", "insert", "t[-1]",
                     "REPLICATE", "LSN", "FROM", "AS", "-", "12345",
-                    "follower-1",
+                    "follower-1", "PROMOTE", "FENCE", "now", "7",
                 ]),
                 0..12,
             )

@@ -16,8 +16,18 @@
 //! identical on both sides by construction.
 //!
 //! Connection failures reconnect with exponential backoff (50ms doubling
-//! to 2s, counted in `repl_reconnects`); every sleep is stop-aware so
+//! to 2s, counted in `repl_reconnects`, the last slept delay published
+//! as the `repl_backoff_ms` gauge); a session that made replication
+//! progress — applied records or installed a snapshot — returns the
+//! backoff to its floor, while a primary that accepts connections but
+//! errors immediately keeps backing off. Every sleep is stop-aware so
 //! shutdown never waits out a backoff.
+//!
+//! Promotion fencing: batches carry the serving shard's epoch. The sync
+//! loop skips shards this instance has `PROMOTE`d (they are their own
+//! lineage now), adopts newer epochs from batch headers, and rejects a
+//! batch whose epoch is *behind* the local shard's — a deposed primary
+//! resurfacing — with a `FENCED` session error.
 
 use crate::faults::{FaultMode, FaultPoint};
 use crate::metrics::Metrics;
@@ -39,6 +49,46 @@ const BACKOFF_MAX: Duration = Duration::from_secs(2);
 /// connection failure and re-enters the backoff path.
 const WIRE_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// The reconnect backoff policy, factored out of the loop so the reset
+/// rule is unit-testable: a session that made replication progress
+/// returns the delay to [`BACKOFF_MIN`]; consecutive no-progress
+/// failures double it up to [`BACKOFF_MAX`]. (An earlier version reset
+/// off the *all-time* progress counters, so after the first successful
+/// batch ever, every later outage was retried at the floor forever —
+/// hammering a struggling primary at 50ms for the rest of the process.)
+struct Backoff {
+    cur: Duration,
+}
+
+impl Backoff {
+    fn new() -> Backoff {
+        Backoff { cur: BACKOFF_MIN }
+    }
+
+    /// The delay to sleep after a failed session; `made_progress` says
+    /// whether *that session* applied records or installed a snapshot
+    /// before it died.
+    fn on_failure(&mut self, made_progress: bool) -> Duration {
+        if made_progress {
+            self.cur = BACKOFF_MIN;
+        }
+        let sleep = self.cur;
+        self.cur = (self.cur * 2).min(BACKOFF_MAX);
+        sleep
+    }
+}
+
+/// The two counters that define "this session made progress".
+fn progress(shared: &Shared) -> (u64, u64) {
+    (
+        shared.metrics.repl_records_applied.load(Ordering::Relaxed),
+        shared
+            .metrics
+            .repl_snapshots_installed
+            .load(Ordering::Relaxed),
+    )
+}
+
 /// The follower thread body (spawned by `Service::start` when
 /// [`crate::ServeConfig::follow`] is set). Runs until `stop`.
 pub(crate) fn follower_loop(shared: &Arc<Shared>, stop: &AtomicBool) {
@@ -50,8 +100,9 @@ pub(crate) fn follower_loop(shared: &Arc<Shared>, stop: &AtomicBool) {
         .follower_id
         .clone()
         .unwrap_or_else(|| format!("follower-{}", std::process::id()));
-    let mut backoff = BACKOFF_MIN;
+    let mut backoff = Backoff::new();
     while !stop.load(Ordering::SeqCst) {
+        let before = progress(shared);
         let session = WireClient::connect(addr.as_str()).and_then(|mut client| {
             client.set_timeout(Some(WIRE_TIMEOUT))?;
             run_session(shared, &mut client, &id, stop)
@@ -63,22 +114,14 @@ pub(crate) fn follower_loop(shared: &Arc<Shared>, stop: &AtomicBool) {
                 if stop.load(Ordering::SeqCst) {
                     return;
                 }
+                let sleep = backoff.on_failure(progress(shared) != before);
+                shared
+                    .metrics
+                    .repl_backoff_ms
+                    .store(sleep.as_millis() as u64, Ordering::Relaxed);
                 Metrics::bump(&shared.metrics.repl_reconnects);
-                sleep_stop_aware(stop, backoff);
-                backoff = (backoff * 2).min(BACKOFF_MAX);
+                sleep_stop_aware(stop, sleep);
             }
-        }
-        // Reset the backoff only after a session made real progress;
-        // a primary that accepts connections but errors immediately
-        // keeps backing off.
-        if shared.metrics.repl_records_applied.load(Ordering::Relaxed) > 0
-            || shared
-                .metrics
-                .repl_snapshots_installed
-                .load(Ordering::Relaxed)
-                > 0
-        {
-            backoff = BACKOFF_MIN;
         }
     }
 }
@@ -127,6 +170,11 @@ fn sync_db(
         if stop.load(Ordering::SeqCst) {
             return Ok(());
         }
+        // A promoted shard is its own lineage now: replaying the old
+        // primary into it would silently undo the fence.
+        if shared.shard(db).is_some_and(|s| s.is_promoted()) {
+            return Ok(());
+        }
         let applied = applied_lsn(shared, db);
         let line = format!("REPLICATE {db} FROM {} AS {id}", lsn_to_wire(applied));
         let rows = match client.roundtrip(&line)? {
@@ -165,6 +213,34 @@ fn sync_db(
             }
             None => {}
         }
+        // Epoch ordering: a batch behind the local shard's epoch comes
+        // from a deposed lineage (the old primary resurfacing) and must
+        // not be applied; a newer epoch is adopted below, after the
+        // batch lands (a snapshot install replaces the shard).
+        if let Some(shard) = shared.shard(db) {
+            if batch.epoch < shard.epoch() {
+                Metrics::bump(&shared.metrics.fenced_rejects);
+                return Err(std::io::Error::other(format!(
+                    "FENCED: primary's batch for {db:?} carries stale epoch {} (local {})",
+                    batch.epoch,
+                    shard.epoch()
+                )));
+            }
+        }
+        if crate::trace_enabled() {
+            let span = match (batch.records.first(), batch.records.last()) {
+                (Some((a, _)), Some((b, _))) => format!("{}..{}", a.raw_minutes(), b.raw_minutes()),
+                _ => "-".to_string(),
+            };
+            eprintln!(
+                "TRACE sync id={id} db={db} from={} primary_lsn={} epoch={} snapshot={} records={} [{span}]",
+                applied.raw_minutes(),
+                batch.primary_lsn.raw_minutes(),
+                batch.epoch,
+                batch.snapshot.is_some(),
+                batch.records.len(),
+            );
+        }
         shared.repl.note_primary_lsn(db, batch.primary_lsn);
         if let Some(image) = &batch.snapshot {
             install_replicated(shared, db, image, batch.primary_lsn)
@@ -185,6 +261,9 @@ fn sync_db(
                 apply_replicated(shared, db, *at, changes).map_err(std::io::Error::other)?;
                 Metrics::bump(&shared.metrics.repl_records_applied);
             }
+        }
+        if let Some(shard) = shared.shard(db) {
+            shard.adopt_epoch(batch.epoch);
         }
         if applied_lsn(shared, db) >= batch.primary_lsn {
             return Ok(());
@@ -208,5 +287,34 @@ fn sleep_stop_aware(stop: &AtomicBool, total: Duration) {
         let slice = left.min(Duration::from_millis(50));
         std::thread::sleep(slice);
         left = left.saturating_sub(slice);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_to_the_cap_without_progress() {
+        let mut b = Backoff::new();
+        let mut sleeps = Vec::new();
+        for _ in 0..8 {
+            sleeps.push(b.on_failure(false).as_millis());
+        }
+        assert_eq!(sleeps, vec![50, 100, 200, 400, 800, 1600, 2000, 2000]);
+    }
+
+    #[test]
+    fn progress_resets_only_the_session_that_made_it() {
+        let mut b = Backoff::new();
+        // Outage: four no-progress failures climb the ladder.
+        for _ in 0..4 {
+            b.on_failure(false);
+        }
+        // A session that synced some records before dying starts over…
+        assert_eq!(b.on_failure(true), BACKOFF_MIN);
+        // …but the *next* failure without progress does not get the
+        // floor again (the all-time-counter bug this struct replaces).
+        assert_eq!(b.on_failure(false), BACKOFF_MIN * 2);
     }
 }

@@ -23,6 +23,14 @@
 //! request edge) while the replay path commits through the same
 //! group-commit pipeline as local writes — a durable follower checkpoints
 //! and crash-recovers with zero replication-specific recovery code.
+//!
+//! **Failover** (DESIGN.md §12): `PROMOTE <db>` flips a follower shard
+//! writable at its applied LSN under a fresh **epoch fence**. The epoch
+//! is stamped into WAL records and `REPLICATE` batch headers; the old
+//! primary is told it is deposed (best-effort `FENCE <db> <epoch>`) and
+//! answers client writes with the typed `FENCED` error from then on,
+//! while a resurfacing deposed primary's stale batches are rejected by
+//! epoch comparison on the follower side.
 
 pub mod stream;
 

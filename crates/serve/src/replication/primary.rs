@@ -200,6 +200,21 @@ pub(crate) fn serve_replicate(
             (Some(st.doem.snapshot()), Vec::new(), st.last_at)
         }
     };
+    if crate::trace_enabled() {
+        let span = match (records.first(), records.last()) {
+            (Some((a, _)), Some((b, _))) => format!("{}..{}", a.raw_minutes(), b.raw_minutes()),
+            _ => "-".to_string(),
+        };
+        eprintln!(
+            "TRACE serve id={:?} db={db} from={} primary_lsn={} epoch={} snapshot={} records={} [{span}] peer={peer:?}",
+            shared.cfg.follower_id,
+            from.raw_minutes(),
+            primary_lsn.raw_minutes(),
+            shard.epoch(),
+            image.is_some(),
+            records.len(),
+        );
+    }
     let snapshot = image.map(|d| crate::replication::stream::snapshot_bytes(&d));
     Metrics::bump(&shared.metrics.repl_batches_shipped);
     if snapshot.is_some() {
@@ -215,6 +230,7 @@ pub(crate) fn serve_replicate(
         primary_lsn,
         snapshot,
         records,
+        epoch: shard.epoch(),
     };
     Response::Rows(batch.to_rows())
 }

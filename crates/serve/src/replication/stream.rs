@@ -7,10 +7,16 @@
 //! records:
 //!
 //! ```text
-//! REPL <db> FROM <from> AT <primary-lsn> SNAP <chunks> RECS <n>
+//! REPL <db> FROM <from> AT <primary-lsn> SNAP <chunks> RECS <n> [EPOCH <e>]
 //! SNAP <hex>            × chunks   (checkpoint image, lore-codec bytes)
 //! REC <lsn> {op, op, …} × n        (history entries strictly after FROM)
 //! ```
+//!
+//! The `EPOCH` token carries the serving shard's promotion epoch; a
+//! header without it (pre-failover peers) decodes as epoch 0. Followers
+//! adopt a newer epoch and reject batches from an older one with the
+//! typed `FENCED` error — a deposed primary cannot feed a follower that
+//! has already seen the promoted lineage.
 //!
 //! LSNs travel as raw minute counts (`-` for negative infinity — see
 //! [`lsn_to_wire`]), immune to timestamp display quirks. Records reuse
@@ -48,6 +54,9 @@ pub struct ReplBatch {
     /// History entries strictly after `from`, in LSN order. Empty for
     /// snapshot batches and for an already-caught-up follower.
     pub records: Vec<(Timestamp, ChangeSet)>,
+    /// The serving shard's promotion epoch when the batch was cut (0 for
+    /// a never-promoted lineage, and for headers from pre-epoch peers).
+    pub epoch: u64,
 }
 
 impl ReplBatch {
@@ -59,12 +68,13 @@ impl ReplBatch {
         };
         let mut rows = Vec::with_capacity(1 + chunks.len() + self.records.len());
         rows.push(format!(
-            "REPL {} FROM {} AT {} SNAP {} RECS {}",
+            "REPL {} FROM {} AT {} SNAP {} RECS {} EPOCH {}",
             self.db,
             lsn_to_wire(self.from),
             lsn_to_wire(self.primary_lsn),
             chunks.len(),
-            self.records.len()
+            self.records.len(),
+            self.epoch
         ));
         for chunk in chunks {
             rows.push(format!("SNAP {chunk}"));
@@ -95,6 +105,20 @@ impl ReplBatch {
         let chunks: usize = parse_count(words.next(), "SNAP")?;
         expect_kw(&mut words, "RECS")?;
         let n: usize = parse_count(words.next(), "RECS")?;
+        // EPOCH is optional for compatibility with pre-failover peers.
+        let epoch = match words.next() {
+            None => 0,
+            Some("EPOCH") => {
+                let w = words.next().ok_or("header missing EPOCH value")?;
+                w.parse::<u64>()
+                    .map_err(|_| format!("bad EPOCH value {w:?}"))?
+            }
+            Some(other) => {
+                return Err(format!(
+                    "trailing word {other:?} in replication header {header:?}"
+                ));
+            }
+        };
         if words.next().is_some() {
             return Err(format!("trailing words in replication header {header:?}"));
         }
@@ -135,6 +159,7 @@ impl ReplBatch {
             primary_lsn,
             snapshot,
             records,
+            epoch,
         })
     }
 }
@@ -225,9 +250,11 @@ mod tests {
             primary_lsn: records.last().unwrap().0,
             snapshot: None,
             records,
+            epoch: 3,
         };
         let rows = batch.to_rows();
         assert!(rows[0].starts_with("REPL guide FROM - AT "));
+        assert!(rows[0].ends_with(" EPOCH 3"));
         assert_eq!(ReplBatch::from_rows(&rows).unwrap(), batch);
     }
 
@@ -240,6 +267,7 @@ mod tests {
             primary_lsn: Timestamp::from_ymd(1997, 1, 1),
             snapshot: Some(snapshot_bytes(&doem)),
             records: Vec::new(),
+            epoch: 0,
         };
         let rows = batch.to_rows();
         let back = ReplBatch::from_rows(&rows).unwrap();
@@ -260,6 +288,7 @@ mod tests {
             primary_lsn: Timestamp::from_raw_minutes(9),
             snapshot: Some(image.clone()),
             records: Vec::new(),
+            epoch: 0,
         };
         let rows = batch.to_rows();
         assert_eq!(rows.len(), 1 + 4);
@@ -278,6 +307,7 @@ mod tests {
             primary_lsn: records.last().unwrap().0,
             snapshot: None,
             records,
+            epoch: 0,
         }
         .to_rows();
         // Truncated block, corrupted header, corrupted record.
@@ -292,6 +322,25 @@ mod tests {
         // A hostile count cannot demand an absurd allocation.
         assert!(ReplBatch::from_rows(&["REPL g FROM - AT - SNAP 0 RECS 99999999999".into()])
             .is_err());
+        // Epoch defects: missing value, non-numeric value, trailing junk.
+        assert!(ReplBatch::from_rows(&["REPL g FROM - AT - SNAP 0 RECS 0 EPOCH".into()])
+            .is_err());
+        assert!(ReplBatch::from_rows(&["REPL g FROM - AT - SNAP 0 RECS 0 EPOCH x".into()])
+            .is_err());
+        assert!(
+            ReplBatch::from_rows(&["REPL g FROM - AT - SNAP 0 RECS 0 EPOCH 1 junk".into()])
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn headers_without_epoch_decode_as_epoch_zero() {
+        // Batches from pre-failover primaries omit the EPOCH token; they
+        // must keep decoding as the never-promoted lineage (epoch 0).
+        let rows = vec!["REPL guide FROM - AT - SNAP 0 RECS 0".to_string()];
+        let batch = ReplBatch::from_rows(&rows).unwrap();
+        assert_eq!(batch.epoch, 0);
+        assert!(batch.records.is_empty());
     }
 }
 
@@ -323,6 +372,8 @@ mod fuzz_tests {
                 proptest::sample::select(vec![
                     "REPL guide FROM - AT 100 SNAP 0 RECS 1",
                     "REPL guide FROM 5 AT 9 SNAP 1 RECS 0",
+                    "REPL guide FROM - AT 100 SNAP 0 RECS 1 EPOCH 3",
+                    "EPOCH 3",
                     "REPL x FROM - AT - SNAP 0 RECS 0",
                     "SNAP deadbeef",
                     "SNAP zz",

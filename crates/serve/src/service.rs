@@ -89,6 +89,48 @@ pub struct AutoTick {
     pub step_minutes: i64,
 }
 
+/// The wall clock a write consults when it says `AT now`: an injectable
+/// source of [`Timestamp`]s so tests (and the chaos harness) can step
+/// time backwards and prove the LSN allocator still only moves forward.
+/// The default reads the system clock at minute resolution.
+#[derive(Clone)]
+pub struct WallClock(Arc<dyn Fn() -> Timestamp + Send + Sync>);
+
+impl WallClock {
+    /// The real wall clock: Unix time at minute resolution.
+    pub fn system() -> WallClock {
+        WallClock(Arc::new(|| {
+            let secs = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0);
+            Timestamp::from_raw_minutes((secs / 60) as i64)
+        }))
+    }
+
+    /// A clock driven by the given closure (tests inject regressions).
+    pub fn from_fn(f: impl Fn() -> Timestamp + Send + Sync + 'static) -> WallClock {
+        WallClock(Arc::new(f))
+    }
+
+    /// Read the clock.
+    pub fn now(&self) -> Timestamp {
+        (self.0)()
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> WallClock {
+        WallClock::system()
+    }
+}
+
+impl std::fmt::Debug for WallClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("WallClock(..)")
+    }
+}
+
 /// Service tuning knobs.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
@@ -150,6 +192,9 @@ pub struct ServeConfig {
     /// Fault-injection plan for the durability pipeline (tests; disabled
     /// by default and free when disabled).
     pub faults: Faults,
+    /// The wall clock `AT now` writes read. Injectable so tests can step
+    /// it backwards; the allocator clamps to `last LSN + 1` regardless.
+    pub clock: WallClock,
 }
 
 impl Default for ServeConfig {
@@ -174,6 +219,7 @@ impl Default for ServeConfig {
             replication_retain: 1024,
             follow_poll: Duration::from_millis(100),
             faults: Faults::disabled(),
+            clock: WallClock::system(),
         }
     }
 }
@@ -291,6 +337,19 @@ pub(crate) struct Shard {
     /// stored by the committer after each batch fsync, rendered by
     /// `LSN`/`STATS`. Meaningless for non-durable shards.
     pub(crate) durable_lsn: AtomicI64,
+    /// This lineage's promotion epoch: 0 for a never-promoted lineage,
+    /// bumped by `PROMOTE`, recovered from WAL record suffixes, and
+    /// adopted from newer replication batches. Stamped into every WAL
+    /// frame and `REPLICATE` header so a deposed primary's records are
+    /// recognizably stale.
+    pub(crate) epoch: AtomicU64,
+    /// The newest epoch a `FENCE` verb deposed this shard at; the shard
+    /// is fenced while it exceeds `epoch`, and fenced shards answer
+    /// client writes with the typed `FENCED` error (reads keep serving).
+    pub(crate) fenced_epoch: AtomicU64,
+    /// Set by `PROMOTE`: this follower-side shard takes client writes
+    /// and the sync loop stops replaying the old primary into it.
+    pub(crate) promoted: AtomicBool,
 }
 
 impl Shard {
@@ -300,6 +359,7 @@ impl Shard {
         cache_capacity: usize,
         wal: Option<DbWal>,
         last_at: Timestamp,
+        epoch: u64,
     ) -> Shard {
         let doem = SharedDoem::new(doem);
         let replica = SharedOem::new(replica);
@@ -335,7 +395,58 @@ impl Shard {
             committer: Mutex::new(None),
             repl_floor: AtomicI64::new(i64::MAX),
             durable_lsn: AtomicI64::new(last_at.raw_minutes()),
+            epoch: AtomicU64::new(epoch),
+            fenced_epoch: AtomicU64::new(0),
+            promoted: AtomicBool::new(false),
         }
+    }
+
+    /// This lineage's promotion epoch (0 = never promoted).
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// `true` while a newer lineage has deposed this shard: a `FENCE`
+    /// carried an epoch above the shard's own.
+    pub(crate) fn is_fenced(&self) -> bool {
+        self.fenced_epoch.load(Ordering::Relaxed) > self.epoch()
+    }
+
+    /// `true` once `PROMOTE` flipped this shard writable.
+    pub(crate) fn is_promoted(&self) -> bool {
+        self.promoted.load(Ordering::Relaxed)
+    }
+
+    /// Flip the shard writable under a fresh fence: the new epoch is
+    /// strictly above both its own and any epoch it was fenced at, so
+    /// the deposed lineage cannot fence it back with a stale number.
+    fn promote(&self) -> u64 {
+        let next = self
+            .epoch()
+            .max(self.fenced_epoch.load(Ordering::Relaxed))
+            + 1;
+        self.epoch.store(next, Ordering::Relaxed);
+        self.promoted.store(true, Ordering::Relaxed);
+        next
+    }
+
+    /// Record a `FENCE` from a newer lineage. Returns `true` iff the
+    /// epoch is strictly newer than anything this shard has seen (a
+    /// stale fence is refused so lineages cannot depose their
+    /// successors).
+    fn fence(&self, epoch: u64) -> bool {
+        if epoch > self.epoch() && epoch > self.fenced_epoch.load(Ordering::Relaxed) {
+            self.fenced_epoch.store(epoch, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Follower side: adopt a replication batch's newer epoch (never
+    /// moves backwards).
+    pub(crate) fn adopt_epoch(&self, epoch: u64) {
+        self.epoch.fetch_max(epoch, Ordering::Relaxed);
     }
 
     /// Bump the shard generation and drop newly unreachable cache entries.
@@ -771,6 +882,64 @@ impl Service {
             let _ = t.join();
         }
     }
+
+    /// Stop the service the way a crash would, as closely as an
+    /// in-process harness can: every background thread is signalled and
+    /// **joined** (so the data directory is quiesced before a successor
+    /// reopens it), but no final checkpoint is taken — the WAL is left
+    /// exactly as the group committers last persisted it, and restart
+    /// goes through real recovery.
+    ///
+    /// Simply `drop`ping a `Service` is **not** a crash: the struct only
+    /// holds `JoinHandle`s and `Arc` clones, so the committer, follower,
+    /// and worker threads keep running against the shared state — and a
+    /// successor opened over the same directory then races them on the
+    /// WAL file (two appenders, two truncators: checkpoint images and
+    /// log contents come apart). Chaos harnesses must call this instead.
+    pub fn crash_stop(self) {
+        let Service {
+            shared,
+            job_tx,
+            completion_tx,
+            workers,
+            completions,
+            ticker,
+            follower,
+            stop,
+        } = self;
+        shared.accepting.store(false, Ordering::SeqCst);
+        stop.store(true, Ordering::SeqCst);
+        drop(job_tx);
+        for w in workers {
+            let _ = w.join();
+        }
+        if let Some(f) = follower {
+            let _ = f.join();
+        }
+        // `Replaced` (not `Shutdown`): drain what is staged so no worker
+        // is stranded waiting on an ack, but take no final checkpoint —
+        // a crash does not get to tidy its log.
+        let shards: Vec<Arc<Shard>> = shared.shards.read().values().map(Arc::clone).collect();
+        for shard in &shards {
+            if let Some(p) = &shard.pipeline {
+                p.inner.lock().stop.get_or_insert(StopKind::Replaced);
+                p.work.notify_all();
+            }
+        }
+        for shard in &shards {
+            let handle = shard.committer.lock().take();
+            if let Some(h) = handle {
+                let _ = h.join();
+            }
+        }
+        drop(completion_tx);
+        for c in completions {
+            let _ = c.join();
+        }
+        if let Some(t) = ticker {
+            let _ = t.join();
+        }
+    }
 }
 
 /// Prepare the durable files for a brand-new incarnation of database
@@ -813,34 +982,57 @@ fn recover_all(
             .map_err(|e| std::io::Error::other(format!("checkpoint {stem:?}: {e}")))?;
         let name = doem.name().to_string();
         let wal_path = d.wal_path(&name);
-        let (doem, replica, last_at, applied, good_len, torn) = recover_one(doem, &wal_path)?;
-        let mut wal = DbWal::open(&wal_path, good_len)?;
-        wal.since_checkpoint = applied;
+        let recovered = recover_one(doem, &wal_path)?;
+        let mut wal = DbWal::open(&wal_path, recovered.good_len)?;
+        wal.since_checkpoint = recovered.applied;
         metrics.recoveries.fetch_add(1, Ordering::Relaxed);
-        if torn {
+        if recovered.torn {
             metrics.torn_tails.fetch_add(1, Ordering::Relaxed);
         }
+        if crate::trace_enabled() {
+            eprintln!(
+                "TRACE recover id={:?} db={name} last_at={} applied={} torn={} epoch={} history={}",
+                cfg.follower_id,
+                recovered.last_at.raw_minutes(),
+                recovered.applied,
+                recovered.torn,
+                recovered.epoch,
+                recovered.doem.timestamps().len(),
+            );
+        }
         let shard = Arc::new(Shard::new(
-            doem,
-            replica,
+            recovered.doem,
+            recovered.replica,
             cfg.cache_capacity,
             Some(wal),
-            last_at,
+            recovered.last_at,
+            recovered.epoch,
         ));
         shards.insert(name, shard);
     }
     Ok(())
 }
 
-/// Replay one database's log tail onto its checkpoint. Returns the
-/// recovered graphs, the timestamp high-water mark, how many entries were
-/// applied, the byte length of the durable prefix, and whether anything
-/// past it had to be discarded.
-#[allow(clippy::type_complexity)]
-fn recover_one(
-    checkpoint: DoemDatabase,
-    wal_path: &Path,
-) -> std::io::Result<(DoemDatabase, OemDatabase, Timestamp, u64, u64, bool)> {
+/// What [`recover_one`] rebuilt from a checkpoint plus its log tail.
+struct Recovered {
+    doem: DoemDatabase,
+    replica: OemDatabase,
+    /// The timestamp high-water mark (the recovered applied LSN).
+    last_at: Timestamp,
+    /// Entries replayed past the checkpoint.
+    applied: u64,
+    /// Byte length of the durable log prefix (anything past it is torn).
+    good_len: u64,
+    /// Whether anything past the durable prefix had to be discarded.
+    torn: bool,
+    /// The highest promotion epoch any usable record carried (the
+    /// checkpoint image itself carries none — a shard whose whole epoch
+    /// history was truncated re-adopts it from replication batches).
+    epoch: u64,
+}
+
+/// Replay one database's log tail onto its checkpoint.
+fn recover_one(checkpoint: DoemDatabase, wal_path: &Path) -> std::io::Result<Recovered> {
     let ckpt_max = checkpoint
         .timestamps()
         .last()
@@ -872,7 +1064,8 @@ fn recover_one(
     let mut last_at = ckpt_max;
     let mut applied = 0u64;
     let mut good_len = 0u64;
-    for (at, changes) in &replayed.entries[..usable] {
+    let mut epoch = 0u64;
+    for (i, (at, changes)) in replayed.entries[..usable].iter().enumerate() {
         if *at > ckpt_max {
             // The first pass proved this prefix applies; failing here
             // means the two passes disagree, which is corruption worth
@@ -885,10 +1078,19 @@ fn recover_one(
             last_at = *at;
             applied += 1;
         }
-        good_len += wal::encode_record(*at, changes).len() as u64;
+        good_len += wal::encode_record_epoch(*at, changes, replayed.epochs[i]).len() as u64;
+        epoch = epoch.max(replayed.epochs[i]);
     }
     let torn = replayed.torn || usable < replayed.entries.len();
-    Ok((doem, replica, last_at, applied, good_len, torn))
+    Ok(Recovered {
+        doem,
+        replica,
+        last_at,
+        applied,
+        good_len,
+        torn,
+        epoch,
+    })
 }
 
 /// Checkpoint one durable shard from its committer: snapshot the
@@ -949,12 +1151,16 @@ fn install_shard(
         Some(d) => Some(fresh_durable_db(d, shared, name, &doem).map_err(InstallError::Io)?),
         None => None,
     };
+    // Fresh incarnations start at epoch 0: a replicated snapshot install
+    // re-adopts the primary's epoch from the next batch header, and a
+    // recovered shard restores it from its WAL record suffixes.
     let shard = Arc::new(Shard::new(
         doem,
         replica,
         shared.cfg.cache_capacity,
         wal,
         last_at,
+        0,
     ));
     shards.insert(name.to_string(), Arc::clone(&shard));
     drop(shards);
@@ -1455,6 +1661,14 @@ fn not_found(what: &str, name: &str) -> Response {
     Response::err(ErrKind::NotFound, format!("no {what} named {name:?}"))
 }
 
+/// Dial `addr` and send one `FENCE <db> <epoch>` (short timeout, no
+/// retries — fencing a dead primary must not stall the promotion).
+fn fence_peer(addr: &str, db: &str, epoch: u64) -> std::io::Result<Response> {
+    let mut client = crate::tcp::WireClient::connect(addr)?;
+    client.set_timeout(Some(Duration::from_millis(500)))?;
+    client.roundtrip(&format!("FENCE {db} {epoch}"))
+}
+
 /// Run a parsed query against a DOEM snapshot through a shard's cache.
 /// The caller has already dropped every lock: `doem` is a snapshot
 /// handle, so evaluation happens entirely outside the shard.
@@ -1531,7 +1745,7 @@ fn sequence_write(
     shard: &Shard,
     pipeline: &CommitPipeline,
     db: &str,
-    at: Timestamp,
+    at: Option<Timestamp>,
     kind: WriteKind,
     reply: &Arc<ReplySlot>,
 ) -> Option<Response> {
@@ -1555,6 +1769,10 @@ fn sequence_write(
             "commit queue full, try again",
         ));
     }
+    // `AT now` resolves *inside* the sequence stage, under the pipeline
+    // lock, against the sequencing high-water mark — so two concurrent
+    // `AT now` writes can never race to the same LSN.
+    let at = at.unwrap_or_else(|| resolve_now(shared, ps.seq_last_at));
     if at <= ps.seq_last_at {
         return Some(Response::err(
             ErrKind::Conflict,
@@ -1598,7 +1816,7 @@ fn sequence_write(
             format!("change set rejected: {e}"),
         ));
     }
-    let frame = wal::encode_record(at, &changes);
+    let frame = wal::encode_record_epoch(at, &changes, shard.epoch());
     ps.seq_last_at = at;
     let ops = changes.len();
     ps.queue.push_back(StagedCommit {
@@ -1612,6 +1830,21 @@ fn sequence_write(
     drop(ps);
     pipeline.work.notify_one();
     None
+}
+
+/// Resolve an `AT now` write's timestamp against the shard's current
+/// high-water mark `last`: the wall clock when it is strictly ahead,
+/// otherwise `last + 1` minute — Definition 2.2 (change timestamps
+/// strictly increase) holds even across a wall-clock regression, which
+/// is counted in `clock_regressions`.
+fn resolve_now(shared: &Shared, last: Timestamp) -> Timestamp {
+    let now = shared.cfg.clock.now();
+    if now > last {
+        now
+    } else {
+        Metrics::bump(&shared.metrics.clock_regressions);
+        last.plus_minutes(1)
+    }
 }
 
 /// Restore a half-applied sequencing head after a rejected change set:
@@ -1708,6 +1941,30 @@ fn refuse_follower_write(shared: &Shared) -> Option<Response> {
     })
 }
 
+/// Refuse an `UPDATE`/`MUTATE` the shard cannot take: a fenced (deposed)
+/// shard answers the typed `FENCED` error — the client must retry
+/// against the promoted primary — and a follower-side shard that has not
+/// itself been promoted answers `READONLY` as before. Reads are never
+/// refused by either condition.
+fn refuse_unwritable(shared: &Shared, db: &str, shard: &Shard) -> Option<Response> {
+    if shard.is_fenced() {
+        Metrics::bump(&shared.metrics.fenced_rejects);
+        return Some(Response::err(
+            ErrKind::Fenced,
+            format!(
+                "database {db:?} was deposed at epoch {}; writes go to the promoted primary",
+                shard.fenced_epoch.load(Ordering::Relaxed)
+            ),
+        ));
+    }
+    if !shard.is_promoted() {
+        if let Some(resp) = refuse_follower_write(shared) {
+            return Some(resp);
+        }
+    }
+    None
+}
+
 /// Apply one replicated history record to a local shard through the
 /// **same commit path as a client write**: sequenced onto the group
 /// commit pipeline when the shard is durable (so the record lands in the
@@ -1730,7 +1987,7 @@ pub(crate) fn apply_replicated(
                 &shard,
                 &pipeline,
                 db,
-                at,
+                Some(at),
                 WriteKind::Update(changes.clone()),
                 &slot,
             );
@@ -1794,6 +2051,14 @@ pub(crate) fn install_replicated_doem(
     doem: DoemDatabase,
     last_at: Timestamp,
 ) -> Result<(), String> {
+    if crate::trace_enabled() {
+        eprintln!(
+            "TRACE install id={:?} db={db} last_at={} history={}",
+            shared.cfg.follower_id,
+            last_at.raw_minutes(),
+            doem.timestamps().len(),
+        );
+    }
     let replica = current_snapshot(&doem);
     match install_shard(shared, db, doem, replica, last_at, false) {
         Ok(_) => {
@@ -1844,7 +2109,11 @@ pub(crate) fn execute(
                 } else {
                     "-".to_string()
                 };
-                let mut line = format!("lsn {name} applied={} durable={durable}", lsn_to_wire(applied));
+                let mut line = format!(
+                    "lsn {name} applied={} durable={durable} epoch={}",
+                    lsn_to_wire(applied),
+                    shard.epoch()
+                );
                 if shared.cfg.follow.is_some() {
                     if let Some(p) = shared.repl.observed_primary_lsn(name) {
                         line.push_str(&format!(" primary={}", lsn_to_wire(p)));
@@ -2018,12 +2287,12 @@ pub(crate) fn execute(
             }
         }
         Request::Update { db, at, changes } => {
-            if let Some(resp) = refuse_follower_write(shared) {
-                return Some(resp);
-            }
             let Some(shard) = shared.shard(&db) else {
                 return Some(not_found("database", &db));
             };
+            if let Some(resp) = refuse_unwritable(shared, &db, &shard) {
+                return Some(resp);
+            }
             if let Some(pipeline) = shard.pipeline.clone() {
                 return sequence_write(
                     shared,
@@ -2036,6 +2305,7 @@ pub(crate) fn execute(
                 );
             }
             let mut st = shard.state.write();
+            let at = at.unwrap_or_else(|| resolve_now(shared, st.last_at));
             match commit_in_memory(shared, &shard, &db, &mut st, &changes, at) {
                 Ok(g) => {
                     Response::Ok(format!("applied {} ops at {at}; generation {g}", changes.len()))
@@ -2044,12 +2314,12 @@ pub(crate) fn execute(
             }
         }
         Request::Mutate { db, at, stmt } => {
-            if let Some(resp) = refuse_follower_write(shared) {
-                return Some(resp);
-            }
             let Some(shard) = shared.shard(&db) else {
                 return Some(not_found("database", &db));
             };
+            if let Some(resp) = refuse_unwritable(shared, &db, &shard) {
+                return Some(resp);
+            }
             if let Some(pipeline) = shard.pipeline.clone() {
                 // The statement compiles against the sequencing head
                 // inside `sequence_write` — the freshest replica, ahead
@@ -2065,6 +2335,7 @@ pub(crate) fn execute(
                 );
             }
             let mut st = shard.state.write();
+            let at = at.unwrap_or_else(|| resolve_now(shared, st.last_at));
             let t = Instant::now();
             let compiled = match run_update(&st.replica, &stmt) {
                 Ok(c) => c,
@@ -2176,10 +2447,61 @@ pub(crate) fn execute(
                 // Non-durable shards have no log; nothing is durable.
                 "-".to_string()
             };
-            Response::Ok(format!("applied {} durable {durable}", lsn_to_wire(applied)))
+            Response::Ok(format!(
+                "applied {} durable {durable} epoch {}",
+                lsn_to_wire(applied),
+                shard.epoch()
+            ))
         }
         Request::Replicate { db, from, peer } => {
             serve_replicate(shared, &db, from, peer.as_deref())
+        }
+        Request::Promote { db } => {
+            let Some(shard) = shared.shard(&db) else {
+                return Some(not_found("database", &db));
+            };
+            if shard.is_fenced() {
+                return Some(Response::err(
+                    ErrKind::Fenced,
+                    format!(
+                        "database {db:?} was deposed at epoch {}; promote the newer lineage",
+                        shard.fenced_epoch.load(Ordering::Relaxed)
+                    ),
+                ));
+            }
+            let epoch = shard.promote();
+            Metrics::bump(&shared.metrics.promotions);
+            // Best effort: tell the old primary it is deposed, so its
+            // clients get the typed `FENCED` error instead of writing
+            // into a lineage nobody replicates anymore. A dead or
+            // partitioned primary can't be reached — its stale batches
+            // are rejected by epoch comparison when it comes back.
+            if let Some(primary) = shared.cfg.follow.clone() {
+                let _ = fence_peer(&primary, &db, epoch);
+            }
+            let applied = shard.state.read().last_at;
+            Response::Ok(format!(
+                "promoted {db}; epoch {epoch} at {}",
+                lsn_to_wire(applied)
+            ))
+        }
+        Request::Fence { db, epoch } => {
+            let Some(shard) = shared.shard(&db) else {
+                return Some(not_found("database", &db));
+            };
+            if shard.fence(epoch) {
+                Response::Ok(format!("fenced {db} at epoch {epoch}"))
+            } else {
+                Response::err(
+                    ErrKind::Conflict,
+                    format!(
+                        "stale fence: epoch {epoch} is not newer than this lineage \
+                         (epoch {}, fenced at {})",
+                        shard.epoch(),
+                        shard.fenced_epoch.load(Ordering::Relaxed)
+                    ),
+                )
+            }
         }
         Request::Notes { id } => {
             let ctl = shared.control.read();

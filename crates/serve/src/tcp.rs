@@ -172,8 +172,18 @@ fn serve_connection(stream: TcpStream, client: &Client) -> std::io::Result<()> {
         }
     })?;
 
+    // A read error (severed socket, reset mid-line) must still flow
+    // through the drain barrier below — an early `?` return would drop
+    // the writer handle unjoined and strand its thread.
+    let mut read_result = Ok(());
     for line in reader.lines() {
-        let line = line?;
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                read_result = Err(e);
+                break;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -199,7 +209,7 @@ fn serve_connection(stream: TcpStream, client: &Client) -> std::io::Result<()> {
     // completion job delivers its response and drops its clone.
     drop(resp_tx);
     let _ = writer_thread.join();
-    Ok(())
+    read_result
 }
 
 /// Reconnect-and-retry policy for [`WireClient`]: how many times to retry

@@ -62,9 +62,23 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 }
 
 /// Render one history entry as a framed WAL record. Exposed so tests can
-/// compute exact record boundaries for crash-point enumeration.
+/// compute exact record boundaries for crash-point enumeration. Epoch-0
+/// shorthand for [`encode_record_epoch`].
 pub fn encode_record(at: Timestamp, changes: &ChangeSet) -> Vec<u8> {
-    let payload = format!("({at}, {changes})\n").into_bytes();
+    encode_record_epoch(at, changes, 0)
+}
+
+/// Render one history entry committed under promotion `epoch` as a framed
+/// WAL record. Epoch 0 (the original, pre-failover lineage) emits exactly
+/// the legacy payload — every WAL written before epochs existed replays
+/// unchanged — while promoted lineages append an ` @e<epoch>` suffix so
+/// recovery can restore the shard's fencing epoch from the log alone.
+pub fn encode_record_epoch(at: Timestamp, changes: &ChangeSet, epoch: u64) -> Vec<u8> {
+    let payload = if epoch == 0 {
+        format!("({at}, {changes})\n").into_bytes()
+    } else {
+        format!("({at}, {changes}) @e{epoch}\n").into_bytes()
+    };
     let mut frame = Vec::with_capacity(8 + payload.len());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     frame.extend_from_slice(&crc32(&payload).to_le_bytes());
@@ -72,11 +86,28 @@ pub fn encode_record(at: Timestamp, changes: &ChangeSet) -> Vec<u8> {
     frame
 }
 
+/// Split a record payload's optional ` @e<epoch>` suffix off, returning
+/// the history text and the epoch (0 when absent — the legacy format).
+fn split_epoch(text: &str) -> (&str, u64) {
+    let body = text.strip_suffix('\n').unwrap_or(text);
+    if let Some((head, tail)) = body.rsplit_once(" @e") {
+        if !tail.is_empty() && tail.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(epoch) = tail.parse() {
+                return (head, epoch);
+            }
+        }
+    }
+    (body, 0)
+}
+
 /// What [`replay`] recovered from a log file.
 #[derive(Debug, Default)]
 pub struct WalReplay {
     /// The whole-record prefix, in append order.
     pub entries: Vec<(Timestamp, ChangeSet)>,
+    /// The promotion epoch each entry was committed under, parallel to
+    /// `entries` (0 for records from before any failover).
+    pub epochs: Vec<u64>,
     /// Byte length of that prefix — the offset reopening truncates to.
     pub good_len: u64,
     /// Whether bytes past `good_len` existed (a torn or corrupt tail).
@@ -121,7 +152,8 @@ pub fn replay(path: &Path) -> std::io::Result<WalReplay> {
         let Ok(text) = std::str::from_utf8(payload) else {
             break;
         };
-        let Ok(history) = parse_history(text) else {
+        let (body, epoch) = split_epoch(text);
+        let Ok(history) = parse_history(body) else {
             break;
         };
         let Some(entry) = history.entries().first() else {
@@ -131,6 +163,7 @@ pub fn replay(path: &Path) -> std::io::Result<WalReplay> {
             break;
         }
         out.entries.push((entry.at, entry.changes.clone()));
+        out.epochs.push(epoch);
         offset = end;
         out.good_len = offset as u64;
     }
@@ -431,6 +464,41 @@ mod tests {
         let r = replay(&path).unwrap();
         assert_eq!(r.entries.len(), 1);
         assert!(!r.torn);
+    }
+
+    #[test]
+    fn epoch_records_round_trip_and_epoch_zero_is_the_legacy_format() {
+        let path = tmp("epoch");
+        let mut wal = DbWal::open(&path, 0).unwrap();
+        let (m, f) = (Metrics::new(), Faults::disabled());
+        let ch = parse_change_set("{updNode(n1, 20)}").unwrap();
+        // Epoch 0 must be byte-identical to the pre-epoch encoder output.
+        assert_eq!(
+            encode_record_epoch(ts("1Jan97"), &ch, 0),
+            encode_record(ts("1Jan97"), &ch)
+        );
+        let frames = [
+            encode_record_epoch(ts("1Jan97"), &ch, 0),
+            encode_record_epoch(ts("2Jan97"), &ch, 3),
+            encode_record_epoch(ts("3Jan97"), &ch, 3),
+        ];
+        let refs: Vec<&[u8]> = frames.iter().map(|fr| fr.as_slice()).collect();
+        wal.append_batch(&refs, &f, &m).unwrap();
+        let r = replay(&path).unwrap();
+        assert_eq!(r.entries.len(), 3);
+        assert_eq!(r.epochs, vec![0, 3, 3]);
+        assert!(!r.torn);
+        // The epoch suffix stays out of the parsed history text.
+        assert_eq!(r.entries[1].0, ts("2Jan97"));
+        assert_eq!(format!("{}", r.entries[1].1), format!("{ch}"));
+        // good_len is still recomputable record by record.
+        let total: usize = r
+            .entries
+            .iter()
+            .zip(&r.epochs)
+            .map(|((at, c), e)| encode_record_epoch(*at, c, *e).len())
+            .sum();
+        assert_eq!(r.good_len, total as u64);
     }
 
     #[test]

@@ -41,6 +41,25 @@ if grep -q "DOEM-SANITIZE \[" <<<"$repl_out"; then
     exit 1
 fi
 
+echo "==> chaos matrix: topology torture + consistency oracle + failpoint liveness audit"
+# Three full-size seeds (kill-9s, WAL/replication faults, one fenced
+# failover each) through the four oracle checks; a failing seed leaves
+# a minimized repro in target/chaos/failure-<seed>.txt (DESIGN.md §12).
+cargo run -q --release --offline -p chaos -- --seeds 7,1998,424242
+
+echo "==> chaos smoke under DOEM_SANITIZE=1"
+chaos_out="$(DOEM_SANITIZE=1 cargo run -q --release --offline -p chaos -- \
+    --seeds 3 --ops 60 --faults 8 --followers 2 2>&1)" || {
+    echo "$chaos_out"
+    echo "ci: chaos smoke failed under DOEM_SANITIZE=1" >&2
+    exit 1
+}
+if grep -q "DOEM-SANITIZE \[" <<<"$chaos_out"; then
+    grep "DOEM-SANITIZE \[" <<<"$chaos_out" >&2
+    echo "ci: sanitizer reported findings in the chaos smoke" >&2
+    exit 1
+fi
+
 echo "==> doem-lint (workspace invariants vs doem-lint.baseline)"
 cargo run -q -p lint --offline --bin doem-lint
 

@@ -1,0 +1,94 @@
+//! Tier-1 integration coverage for the chaos harness (DESIGN.md §12):
+//! schedule determinism, one full-size seeded torture run through every
+//! oracle check, and an end-to-end proof that the oracle + shrinker
+//! pipeline actually catches a broken invariant.
+
+use chaos::{run_seed, Sabotage, Schedule, ScheduleOpts};
+
+/// Equal seeds and opts must render byte-identical schedules — the
+/// reproducibility half of "deterministic chaos". (The unit test inside
+/// the crate checks the default opts; this one also pins a non-default
+/// shape so CLI-driven reruns stay reproducible.)
+#[test]
+fn schedule_is_byte_reproducible_across_shapes() {
+    for opts in [
+        ScheduleOpts::default(),
+        ScheduleOpts {
+            followers: 3,
+            ops: 60,
+            faults: 9,
+            promote: false,
+        },
+    ] {
+        let a = Schedule::from_seed(1998, opts).render();
+        let b = Schedule::from_seed(1998, opts).render();
+        assert_eq!(a, b, "seed 1998 must reproduce byte-for-byte");
+    }
+}
+
+/// The acceptance-floor run: 1 primary + 2 followers, ≥ 200 client ops,
+/// ≥ 20 injected faults including one fenced promotion — and all four
+/// oracle checks (durability, snapshot isolation, monotonic reads,
+/// convergence) pass.
+#[test]
+fn full_seed_run_passes_every_oracle_check() {
+    let opts = ScheduleOpts::default();
+    assert!(opts.ops >= 200 && opts.faults >= 20 && opts.followers >= 2);
+    let summary = match run_seed(7, opts, Sabotage::None) {
+        Ok(s) => s,
+        Err((_, failure)) => panic!("seed 7 failed the oracle: {failure}"),
+    };
+    assert!(
+        summary.writes_acked >= 100,
+        "expected a real write load, got {}",
+        summary.writes_acked
+    );
+    assert!(
+        summary.reads_checked >= 20,
+        "expected snapshot-checked reads, got {}",
+        summary.reads_checked
+    );
+    assert_eq!(summary.faults_armed, opts.faults);
+    assert!(
+        summary.faults_fired >= 20,
+        "expected >= 20 fault firings, got {}",
+        summary.faults_fired
+    );
+    for (point, fired) in &summary.fired_by_site {
+        assert!(*fired > 0, "failpoint site {point:?} never fired");
+    }
+    assert!(summary.kills >= 1, "no follower was ever crash-stopped");
+    assert_eq!(summary.promotions, 1, "the fenced failover did not run");
+}
+
+/// Break an invariant on purpose (one write acknowledged but never
+/// sent): the durability check must catch it, and the shrinker must
+/// write a self-contained repro artifact carrying the seed, the failed
+/// check, and the schedule text.
+#[test]
+fn sabotaged_run_is_caught_and_minimized_to_an_artifact() {
+    let opts = ScheduleOpts {
+        followers: 2,
+        ops: 40,
+        faults: 4,
+        promote: false,
+    };
+    let (sched, failure) =
+        run_seed(3, opts, Sabotage::PhantomAck).expect_err("a phantom ack must fail the oracle");
+    assert_eq!(failure.check, "durability", "wrong check tripped: {failure}");
+
+    let out_dir = std::env::temp_dir().join(format!("chaos-artifact-test-{}", std::process::id()));
+    let path = chaos::shrink::minimize_and_write(&sched, Sabotage::PhantomAck, &failure, &out_dir)
+        .expect("artifact write");
+    let body = std::fs::read_to_string(&path).expect("artifact readable");
+    let _ = std::fs::remove_dir_all(&out_dir);
+    assert!(body.contains("seed: 3"), "artifact missing the seed:\n{body}");
+    assert!(
+        body.contains("check: durability"),
+        "artifact missing the verdict:\n{body}"
+    );
+    assert!(
+        body.contains("\nwrite session="),
+        "artifact missing the schedule text:\n{body}"
+    );
+}

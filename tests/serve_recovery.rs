@@ -144,7 +144,7 @@ fn kill9_at_every_append_boundary_recovers_each_durable_prefix() {
         let acked = run_workload(&svc);
         assert!(faults.fired() > 0, "boundary {boundary}: fault never fired");
         assert!(!acked[boundary as usize].1, "boundary {boundary}: faulted write was acked");
-        drop(svc); // kill-9: no drain checkpoint, no flush beyond acked appends
+        svc.crash_stop(); // kill-9: no drain checkpoint, no flush beyond acked appends
 
         let svc2 = Service::start(durable_cfg(&dir, Faults::disabled())).unwrap();
         for db in ["alpha", "beta", "gamma"] {
@@ -205,7 +205,7 @@ fn seeded_fault_recovers_acked_writes_and_invents_nothing() {
         "seed {seed}: faults_injected diverged from the plan's fired count"
     );
     drop(c);
-    drop(svc);
+    svc.crash_stop();
 
     let svc2 = Service::start(durable_cfg(&dir, Faults::disabled())).unwrap();
     for (db, was_created) in created {
@@ -301,7 +301,7 @@ fn kill9_at_batch_boundaries_preserves_the_acked_prefix() {
             "boundary {boundary}: ack set is not a prefix: {acked:?}"
         );
         drop(c);
-        drop(svc); // kill-9: no drain checkpoint
+        svc.crash_stop(); // kill-9: no drain checkpoint
 
         let svc2 = Service::start(durable_cfg(&dir, Faults::disabled())).unwrap();
         let got = svc2.doem_snapshot("p").expect("p must recover");
@@ -362,7 +362,7 @@ fn fsync_fault_fails_the_whole_batch_coherently_and_counts_once() {
     assert_eq!(m.faults_injected.load(Relaxed), 1, "one failpoint hit, one count");
     assert_eq!(m.read_only_flips.load(Relaxed), 1, "one batch failure, one flip");
     drop(c);
-    drop(svc);
+    svc.crash_stop();
 
     // The frames were written before the fsync failed, so recovery may
     // legally surface any whole-record prefix of the unacked batch (the
@@ -418,7 +418,7 @@ fn disk_full_degrades_one_shard_to_read_only() {
     assert!(stats.iter().any(|l| l == "gauge read_only_shards 1"), "{stats:?}");
     assert!(stats.iter().any(|l| l == "counter faults_injected 1"), "{stats:?}");
     drop(c);
-    drop(svc); // crash; the read-only shard must not checkpoint in-memory state
+    svc.crash_stop(); // crash; the read-only shard must not checkpoint in-memory state
 
     let svc2 = Service::start(durable_cfg(&dir, Faults::disabled())).unwrap();
     let c2 = svc2.client();
@@ -454,6 +454,72 @@ fn clean_shutdown_then_restart_loses_nothing() {
         let want = expected_db(db, &acked);
         assert_recovered_equals(&svc2, db, &want, "clean shutdown");
     }
+    svc2.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `AT now` writes under a misbehaving wall clock: the LSN allocator
+/// must keep Definition 2.2 (strictly increasing change timestamps) even
+/// when the injected clock steps backwards or stalls, counting every
+/// clamp in `clock_regressions` — and the clamped history must survive a
+/// kill-9 like any other.
+#[test]
+fn at_now_clamps_clock_regressions_to_monotonic_lsns() {
+    use serve::WallClock;
+    use std::sync::atomic::{AtomicI64, Ordering::Relaxed};
+    use std::sync::Arc;
+
+    let hands = Arc::new(AtomicI64::new(0));
+    let clock = {
+        let hands = Arc::clone(&hands);
+        WallClock::from_fn(move || Timestamp::from_raw_minutes(hands.load(Relaxed)))
+    };
+    let dir = fresh_dir("clock-regress");
+    let mut cfg = durable_cfg(&dir, Faults::disabled());
+    cfg.clock = clock.clone();
+    let svc = Service::start(cfg).unwrap();
+    let c = svc.client();
+    assert!(!c.request_line("CREATE p").is_error());
+
+    let write = |i: usize, minutes: i64| {
+        hands.store(minutes, Relaxed);
+        let resp = c.request_line(&format!(
+            "UPDATE p AT now ; {{creNode(n{0}, {1}), addArc(n1, item, n{0})}}",
+            600 + i,
+            i
+        ));
+        assert!(!resp.is_error(), "write {i} at clock {minutes}: {resp:?}");
+    };
+    write(0, 100); // healthy clock: LSN 100
+    write(1, 50); // regression: clamps to 101
+    write(2, 101); // stalled (not strictly ahead of 101): clamps to 102
+    write(3, 200); // healthy again: LSN 200
+
+    let got: Vec<i64> = svc
+        .doem_snapshot("p")
+        .unwrap()
+        .timestamps()
+        .iter()
+        .map(|t| t.raw_minutes())
+        .collect();
+    assert_eq!(got, vec![100, 101, 102, 200]);
+    assert_eq!(svc.metrics().clock_regressions.load(std::sync::atomic::Ordering::Relaxed), 2);
+    let Response::Rows(stats) = c.request_line("STATS") else { panic!() };
+    assert!(stats.iter().any(|l| l == "counter clock_regressions 2"), "{stats:?}");
+    drop(c);
+    svc.crash_stop(); // kill-9: the clamped LSNs must be the durable ones too
+
+    let mut cfg2 = durable_cfg(&dir, Faults::disabled());
+    cfg2.clock = clock;
+    let svc2 = Service::start(cfg2).unwrap();
+    let got: Vec<i64> = svc2
+        .doem_snapshot("p")
+        .unwrap()
+        .timestamps()
+        .iter()
+        .map(|t| t.raw_minutes())
+        .collect();
+    assert_eq!(got, vec![100, 101, 102, 200], "clamped history lost in recovery");
     svc2.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -568,6 +634,80 @@ mod torn_log_properties {
             }
             prop_assert!(same_doem(&got, &want), "n={} g={} cut={} whole={}", n, g, cut, whole);
             svc.shutdown();
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        /// Satellite proptest: recovery is **idempotent**. Recovering a
+        /// checkpoint + log tail (possibly torn), crashing again without
+        /// writing anything, and recovering a second time — and then a
+        /// third time after a *clean* shutdown folded the log into the
+        /// checkpoint — must all yield the same canonical graph as the
+        /// single recovery. Replaying `H` twice must not double-apply,
+        /// and folding `H` into `O` must not change `D(O, H)`. Records
+        /// carry a non-zero epoch so the fence survives every round trip.
+        #[test]
+        fn recovery_is_idempotent_under_repeated_restarts(
+            n in 0usize..7,
+            cut_sel in 0usize..10_000,
+            epoch in 0u64..3,
+        ) {
+            let mut bytes = Vec::new();
+            let mut boundaries = vec![0u64];
+            let mut entries = Vec::new();
+            for i in 0..n {
+                let at: Timestamp = format!("6Jan97 8:{:02}am", i + 1).parse().unwrap();
+                let changes = parse_change_set(&format!(
+                    "{{creNode(n{0}, {1}), addArc(n1, item, n{0})}}",
+                    450 + i,
+                    i
+                ))
+                .unwrap();
+                bytes.extend_from_slice(&serve::wal::encode_record_epoch(at, &changes, epoch));
+                boundaries.push(bytes.len() as u64);
+                entries.push((at, changes));
+            }
+            let cut = cut_sel % (bytes.len() + 1);
+            let whole = boundaries.iter().filter(|&&b| b <= cut as u64).count() - 1;
+
+            let dir = fresh_dir(&format!("prop-idem-{n}-{cut}-{epoch}"));
+            let store = lore::LoreStore::open(&dir).unwrap();
+            let initial = OemDatabase::new("p".to_string());
+            store.save_doem("p", &DoemDatabase::from_snapshot(&initial)).unwrap();
+            std::fs::write(dir.join("p.wal"), &bytes[..cut]).unwrap();
+
+            // Oracle: the replay of the whole-record prefix, applied once.
+            let mut want = DoemDatabase::from_snapshot(&initial);
+            let mut replica = initial;
+            for (at, changes) in &entries[..whole] {
+                apply_set(&mut want, &mut replica, changes, *at).unwrap();
+            }
+            let want_epoch = if whole > 0 { epoch } else { 0 };
+
+            // First recovery, then a kill-9 (no checkpoint: the log tail
+            // is still on disk and will be replayed again).
+            let svc = Service::start(durable_cfg(&dir, Faults::disabled())).unwrap();
+            let g1 = svc.doem_snapshot("p").expect("p must recover");
+            prop_assert!(same_doem(&g1, &want), "first recovery diverged");
+            svc.crash_stop();
+
+            // Second recovery replays the identical checkpoint + tail.
+            let svc2 = Service::start(durable_cfg(&dir, Faults::disabled())).unwrap();
+            let g2 = svc2.doem_snapshot("p").expect("p must survive re-recovery");
+            prop_assert!(same_doem(&g2, &want), "second recovery double-applied");
+            let Response::Ok(lsn) = svc2.client().request_line("LSN p") else {
+                panic!("LSN p did not answer OK");
+            };
+            prop_assert!(
+                lsn.ends_with(&format!("epoch {want_epoch}")),
+                "recovered epoch wrong: {lsn:?} (want epoch {want_epoch})"
+            );
+            svc2.shutdown(); // clean: folds the tail into the checkpoint
+
+            // Third recovery reads only the folded checkpoint.
+            let svc3 = Service::start(durable_cfg(&dir, Faults::disabled())).unwrap();
+            let g3 = svc3.doem_snapshot("p").expect("p must survive the folded restart");
+            prop_assert!(same_doem(&g3, &want), "checkpoint fold changed the graph");
+            svc3.shutdown();
             let _ = std::fs::remove_dir_all(&dir);
         }
     }

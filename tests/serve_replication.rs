@@ -305,6 +305,143 @@ fn seeded_replication_faults_still_converge() {
     primary.shutdown();
 }
 
+/// Fenced failover: `PROMOTE` flips a caught-up follower writable under
+/// a fresh epoch, the deposed primary answers client writes with the
+/// typed `FENCED` error (reads keep serving), a stale `FENCE` cannot
+/// depose the new lineage, and the promotion is visible in `LSN`/STATS.
+#[test]
+fn promote_fences_the_old_primary_and_takes_writes() {
+    let primary = Service::start(ServeConfig::default()).unwrap();
+    let handle = primary.listen("127.0.0.1:0").unwrap();
+    let pc = primary.client();
+    assert!(!pc.request_line("CREATE p").is_error());
+    for (at, ch) in writes(6) {
+        assert!(!pc.request_line(&format!("UPDATE p AT {at} ; {ch}")).is_error());
+    }
+
+    let follower = Service::start(follower_cfg(&handle.addr().to_string(), "fo")).unwrap();
+    await_convergence(&primary, &follower, "p", Duration::from_secs(15));
+
+    // Promote the follower at its applied LSN.
+    let fc = follower.client();
+    let resp = fc.request_line("PROMOTE p");
+    let Response::Ok(msg) = resp else {
+        panic!("PROMOTE answered {resp:?}")
+    };
+    assert!(msg.contains("epoch 1"), "{msg}");
+
+    // The deposed primary refuses writes with the typed FENCED error…
+    let resp = pc.request_line("UPDATE p AT 6Jan97 ; {updNode(n700, 99)}");
+    assert!(
+        matches!(resp, Response::Error { kind: ErrKind::Fenced, .. }),
+        "deposed primary answered {resp:?}, want FENCED"
+    );
+    // …but keeps serving reads from its last snapshot.
+    assert_eq!(pc.query("p", "select p.item").unwrap().len(), 6);
+    // A stale fence cannot depose the promoted lineage back.
+    let resp = fc.request_line("FENCE p 1");
+    assert!(
+        matches!(resp, Response::Error { kind: ErrKind::Conflict, .. }),
+        "stale FENCE answered {resp:?}"
+    );
+
+    // The new primary takes writes and serves them.
+    let resp = fc.request_line(
+        "UPDATE p AT 5Jan97 7:01am ; {creNode(n900, 77), addArc(n1, item, n900)}",
+    );
+    assert!(!resp.is_error(), "{resp:?}");
+    assert_eq!(fc.query("p", "select p.item").unwrap().len(), 7);
+
+    // Epochs are visible: LSN on the new primary reports epoch 1, and
+    // both sides account the transition in their metrics.
+    let Response::Ok(lsn) = fc.request_line("LSN p") else { panic!() };
+    assert!(lsn.ends_with("epoch 1"), "{lsn}");
+    use std::sync::atomic::Ordering::Relaxed;
+    assert_eq!(follower.metrics().promotions.load(Relaxed), 1);
+    assert!(primary.metrics().fenced_rejects.load(Relaxed) >= 1);
+
+    handle.stop();
+    follower.shutdown();
+    primary.shutdown();
+}
+
+/// Regression: the reconnect backoff must grow across consecutive
+/// no-progress sessions *after* the follower has ever replicated
+/// something, and return to its floor only when a session makes fresh
+/// progress. (The old loop keyed the reset off the all-time applied
+/// counters, so one successful batch pinned the backoff at 50ms for the
+/// life of the process — a dying primary got hammered on every retry.)
+#[test]
+fn reconnect_backoff_grows_during_an_outage_and_resets_on_progress() {
+    let faults = Faults::armed();
+    let primary = Service::start(ServeConfig {
+        faults: faults.clone(),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let handle = primary.listen("127.0.0.1:0").unwrap();
+    let pc = primary.client();
+    assert!(!pc.request_line("CREATE p").is_error());
+    for (at, ch) in writes(4) {
+        assert!(!pc.request_line(&format!("UPDATE p AT {at} ; {ch}")).is_error());
+    }
+
+    let follower = Service::start(follower_cfg(&handle.addr().to_string(), "bk")).unwrap();
+    await_convergence(&primary, &follower, "p", Duration::from_secs(15));
+
+    // Outage: the next five REPLICATE serves error, killing five
+    // follower sessions in a row. The first dying session replicated
+    // records earlier (progress → floor), the next four did nothing —
+    // the backoff must climb 50, 100, 200, 400, 800.
+    assert!(faults.arm_next(FaultPoint::ReplicateServe, 5, FaultMode::Error));
+    let t0 = Instant::now();
+    while faults.fired() < 5 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(20),
+            "outage faults never finished firing ({} of 5)",
+            faults.fired()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    use std::sync::atomic::Ordering::Relaxed;
+    let t0 = Instant::now();
+    loop {
+        let gauge = follower.metrics().repl_backoff_ms.load(Relaxed);
+        if gauge >= 200 {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "backoff never grew past the floor during the outage (gauge {gauge})"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Heal: new writes replicate, then one more failure. That session
+    // made progress, so its reconnect sleeps the floor again.
+    for (i, (at, ch)) in writes(8).into_iter().enumerate().skip(4) {
+        assert!(
+            !pc.request_line(&format!("UPDATE p AT {at} ; {ch}")).is_error(),
+            "write {i}"
+        );
+    }
+    await_convergence(&primary, &follower, "p", Duration::from_secs(20));
+    assert!(faults.arm_next(FaultPoint::ReplicateServe, 1, FaultMode::Error));
+    let t0 = Instant::now();
+    while follower.metrics().repl_backoff_ms.load(Relaxed) != 50 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(20),
+            "backoff never returned to the floor after a session with progress (gauge {})",
+            follower.metrics().repl_backoff_ms.load(Relaxed)
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    handle.stop();
+    follower.shutdown();
+    primary.shutdown();
+}
+
 mod batching_properties {
     //! Satellite proptest: slicing the primary's history into arbitrary
     //! batch boundaries and shipping it through the wire framing yields a
@@ -347,6 +484,7 @@ mod batching_properties {
                     primary_lsn: records.last().map(|r| r.0).unwrap_or(Timestamp::NEG_INFINITY),
                     snapshot: None,
                     records: slice.to_vec(),
+                    epoch: 0,
                 };
                 let decoded = ReplBatch::from_rows(&batch.to_rows()).unwrap();
                 prop_assert_eq!(&decoded, &batch);
