@@ -1,0 +1,1472 @@
+//! # ast — Rust-lite item/block parser for the static lock analysis
+//!
+//! Parses a [`crate::token`] stream into the small slice of Rust the
+//! lock-order analysis needs (DESIGN.md §13):
+//!
+//! * **struct fields** (name + base type + whether the field is a
+//!   `Mutex`/`RwLock`/`Condvar`) — lock identity is keyed by
+//!   `Type.field`;
+//! * **statics** holding locks;
+//! * **fn items** with their impl-type context, parameter types, and a
+//!   flattened **event stream**: scope opens/closes, statement ends,
+//!   guard acquisitions (`.lock()`/`.read()`/`.write()` and `try_`
+//!   variants), condvar waits/notifies, `drop(..)` calls, ordinary
+//!   calls, and `let`-alias typing hints.
+//!
+//! The parser is forgiving by design: anything it does not recognize is
+//! skipped, and the analyses built on top are explicitly *approximate*
+//! (the soundness/completeness trade is documented in DESIGN.md §13 and
+//! cross-validated against the runtime sanitizer). It never panics on
+//! arbitrary input — `fuzz_tests` in `lib.rs` drives it with garbage.
+
+use crate::token::{tokenize, Tok, TokKind};
+
+// ---------------------------------------------------------------------------
+// Output model
+// ---------------------------------------------------------------------------
+
+/// Which lock primitive a field/static/local holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LockKind {
+    /// `parking_lot::Mutex` (or a std `Mutex` — indistinguishable here).
+    Mutex,
+    /// `parking_lot::RwLock`.
+    RwLock,
+    /// `parking_lot::Condvar` (a wait-graph node, not a guard source).
+    Condvar,
+}
+
+/// One struct field declaration (all fields, lock-typed or not — the
+/// non-lock ones drive `let`-alias typing).
+#[derive(Clone, Debug)]
+pub struct FieldDecl {
+    /// Declaring struct's name.
+    pub strukt: String,
+    /// Field name.
+    pub field: String,
+    /// Last non-wrapper identifier of the field's type (`CommitPipeline`
+    /// for `Option<Arc<CommitPipeline>>`), or empty if none.
+    pub base_ty: String,
+    /// `Some` iff the field's type mentions a lock primitive.
+    pub lock: Option<LockKind>,
+}
+
+/// A `static` item whose type mentions a lock primitive.
+#[derive(Clone, Debug)]
+pub struct StaticLock {
+    /// The static's name.
+    pub name: String,
+    /// Which primitive it holds.
+    pub kind: LockKind,
+}
+
+/// How a guard is acquired (maps 1:1 onto the compat `parking_lot` API).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AcqKind {
+    /// `.lock()`
+    Lock,
+    /// `.read()`
+    Read,
+    /// `.write()`
+    Write,
+    /// `.try_lock()`
+    TryLock,
+    /// `.try_read()`
+    TryRead,
+    /// `.try_write()`
+    TryWrite,
+}
+
+impl AcqKind {
+    /// The primitive this acquisition belongs to.
+    pub fn lock_kind(self) -> LockKind {
+        match self {
+            AcqKind::Lock | AcqKind::TryLock => LockKind::Mutex,
+            _ => LockKind::RwLock,
+        }
+    }
+}
+
+/// What a `let` binding's initializer looked like — the typing hint the
+/// analysis uses to resolve `var.field.lock()` receivers.
+#[derive(Clone, Debug)]
+pub enum AliasSrc {
+    /// Explicit annotation or `Type::new(..)` init: the base type name.
+    Type(String),
+    /// Init was a field access chain ending in this field name.
+    Field(String),
+    /// Init was a call to this (bare) function name.
+    Call(String),
+}
+
+/// One event in a function body, in source order. `Open`/`Close`/
+/// `StmtEnd` give the analysis exact guard extents without a full
+/// expression tree.
+#[derive(Clone, Debug)]
+pub enum Ev {
+    /// A `{` — one scope deeper.
+    Open,
+    /// A `}` — scope closes; guards born inside die.
+    Close,
+    /// A `;` at statement level — temporaries die.
+    StmtEnd,
+    /// A lock acquisition.
+    Acquire {
+        /// Receiver path segments (`["shard", "state"]` for
+        /// `shard.state.read()`). Last segment is the lock field/var.
+        recv: Vec<String>,
+        /// True when the receiver chain starts at an opaque expression
+        /// (`foo().bar.lock()`), so the head variable is unknown.
+        head_unknown: bool,
+        /// Which acquisition method.
+        kind: AcqKind,
+        /// `Some(name)` when bound by the enclosing `let`; `None` for a
+        /// temporary that dies at statement end.
+        binding: Option<String>,
+        /// True when the statement opens a block (`if let`, `while let`,
+        /// `for`, `match`): the guard/temporary lives until that block
+        /// closes instead of the statement end.
+        til_block: bool,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// `cv.wait(&mut g)` / `cv.wait_for(&mut g, ..)`.
+    CvWait {
+        /// Condvar receiver path.
+        recv: Vec<String>,
+        /// Whether the receiver head is opaque.
+        head_unknown: bool,
+        /// The paired guard variable (released during the wait).
+        paired: String,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// `cv.notify_one()` / `cv.notify_all()`.
+    CvNotify {
+        /// Condvar receiver path.
+        recv: Vec<String>,
+        /// Whether the receiver head is opaque.
+        head_unknown: bool,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// `drop(a)` / `drop((a, b))`: early guard release.
+    DropVars {
+        /// The identifiers inside the `drop(..)`.
+        names: Vec<String>,
+    },
+    /// Any other call, by bare (last-segment) name.
+    Call {
+        /// Callee's bare name.
+        name: String,
+        /// True for `recv.name(..)` method calls.
+        method: bool,
+        /// Receiver path for method calls (`self.inner.apply()` →
+        /// `["self", "inner"]`), or the `::` qualifier path for path
+        /// calls (`Wal::open()` → `["Wal"]`). Empty for plain calls.
+        recv: Vec<String>,
+        /// Typing hint for an opaque receiver (empty `recv`): the
+        /// struct-literal type or the producing call's name.
+        head_hint: Option<HeadHint>,
+        /// True when the argument list is empty (`x.join()` vs
+        /// `path.join("wal")` — some blocking rules require this).
+        empty: bool,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// `let name = Mutex::new(..)`-style local lock definition.
+    LocalLock {
+        /// Bound variable.
+        name: String,
+        /// Which primitive.
+        kind: LockKind,
+    },
+    /// Typing hint from a `let` binding.
+    Alias {
+        /// Bound variable.
+        name: String,
+        /// What the initializer looked like.
+        src: AliasSrc,
+    },
+}
+
+/// How an opaque method-call receiver can still be typed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HeadHint {
+    /// `Lexer { .. }.run()` — a struct-literal receiver of this type.
+    Ty(String),
+    /// `shard.svc().client()` — the receiver is the result of calling
+    /// this function; its return type types the receiver.
+    CallRet(String),
+}
+
+/// One parsed `fn` item.
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    /// Bare function name.
+    pub name: String,
+    /// Enclosing `impl` type's last path segment, if any.
+    pub impl_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the declared return type mentions `Result`.
+    pub returns_result: bool,
+    /// Last non-wrapper identifier of the return type (for `let` alias
+    /// typing through calls), or empty.
+    pub ret_base: String,
+    /// True under `#[cfg(test)]` or `#[test]`.
+    pub in_test: bool,
+    /// Whether the fn takes a `self` receiver (a *method*). Used to
+    /// restrict call resolution: `x.foo()` never reaches a free `foo`.
+    pub has_self: bool,
+    /// `(name, base type)` for each non-self parameter.
+    pub params: Vec<(String, String)>,
+    /// The body event stream (empty for bodyless trait methods).
+    pub body: Vec<Ev>,
+}
+
+/// Everything the analysis needs from one source file.
+#[derive(Clone, Debug, Default)]
+pub struct FileAst {
+    /// All parsed fn items.
+    pub fns: Vec<FnDef>,
+    /// All struct field declarations.
+    pub fields: Vec<FieldDecl>,
+    /// Lock-typed statics.
+    pub statics: Vec<StaticLock>,
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Type-path segments that wrap rather than name a value's base type.
+const WRAPPERS: &[&str] = &[
+    "Arc", "Rc", "Box", "Option", "Vec", "VecDeque", "Cell", "RefCell", "Result", "std", "sync",
+    "collections", "crate", "super", "self", "Self", "dyn", "impl", "mut", "ref", "HashMap",
+    "BTreeMap",
+];
+
+/// The "base type" of a type-token run, used for alias resolution: the
+/// first uppercase identifier that is neither a wrapper nor a lock
+/// primitive (`Option<Arc<CommitPipeline>>` → `CommitPipeline`,
+/// `Mutex<PipelineState>` → `PipelineState`). When only lock primitives
+/// appear (`Arc<Mutex<u32>>`), the first of those wins — the resolver
+/// treats a lock-named base type as "this variable *is* a lock".
+fn base_ty(toks: &[Tok<'_>]) -> String {
+    let uppercase_ident = |t: &&Tok<'_>| {
+        t.kind == TokKind::Ident
+            && !WRAPPERS.contains(&t.text)
+            && t.text.chars().next().is_some_and(|c| c.is_uppercase())
+    };
+    let is_lock = |s: &str| matches!(s, "Mutex" | "RwLock" | "Condvar");
+    if let Some(t) = toks.iter().filter(uppercase_ident).find(|t| !is_lock(t.text)) {
+        return t.text.to_string();
+    }
+    toks.iter()
+        .filter(uppercase_ident)
+        .find(|t| is_lock(t.text))
+        .map(|t| t.text.to_string())
+        .unwrap_or_default()
+}
+
+fn lock_kind_of(toks: &[Tok<'_>]) -> Option<LockKind> {
+    for t in toks {
+        if t.kind == TokKind::Ident {
+            match t.text {
+                "Mutex" => return Some(LockKind::Mutex),
+                "RwLock" => return Some(LockKind::RwLock),
+                "Condvar" => return Some(LockKind::Condvar),
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+fn acq_kind(name: &str) -> Option<AcqKind> {
+    Some(match name {
+        "lock" => AcqKind::Lock,
+        "read" => AcqKind::Read,
+        "write" => AcqKind::Write,
+        "try_lock" => AcqKind::TryLock,
+        "try_read" => AcqKind::TryRead,
+        "try_write" => AcqKind::TryWrite,
+        _ => return None,
+    })
+}
+
+struct Parser<'a> {
+    toks: Vec<Tok<'a>>,
+    i: usize,
+    out: FileAst,
+}
+
+/// Parse one file's source. Never panics; unrecognized constructs are
+/// skipped.
+pub fn parse_file(src: &str) -> FileAst {
+    let toks: Vec<Tok<'_>> = tokenize(src)
+        .into_iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let mut p = Parser {
+        toks,
+        i: 0,
+        out: FileAst::default(),
+    };
+    p.items(None, false, 0);
+    p.out
+}
+
+impl<'a> Parser<'a> {
+    fn at(&self, off: usize) -> Option<&Tok<'a>> {
+        self.toks.get(self.i + off)
+    }
+
+    fn bump(&mut self) {
+        self.i += 1;
+    }
+
+    /// Skip a balanced `(..)`, `[..]`, `{..}`, or `<..>` group whose
+    /// opener is the current token; no-op otherwise.
+    fn skip_group(&mut self) {
+        let (open, close) = match self.at(0).map(|t| t.kind) {
+            Some(TokKind::Punct(b'(')) => (b'(', b')'),
+            Some(TokKind::Punct(b'[')) => (b'[', b']'),
+            Some(TokKind::Punct(b'{')) => (b'{', b'}'),
+            Some(TokKind::Punct(b'<')) => (b'<', b'>'),
+            _ => return,
+        };
+        let mut depth = 0i64;
+        while let Some(t) = self.at(0) {
+            match t.kind {
+                TokKind::Punct(p) if p == open => depth += 1,
+                TokKind::Punct(p) if p == close => {
+                    // `->` is not a generics closer.
+                    if close == b'>' && self.prev_is_dash() {
+                        self.bump();
+                        continue;
+                    }
+                    depth -= 1;
+                    if depth <= 0 {
+                        self.bump();
+                        return;
+                    }
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    fn prev_is_dash(&self) -> bool {
+        self.i > 0
+            && self
+                .toks
+                .get(self.i - 1)
+                .is_some_and(|t| t.kind == TokKind::Punct(b'-'))
+    }
+
+    /// Item-level loop inside `impl`/`mod`/file scope. `depth` guards
+    /// against pathological nesting on fuzz input.
+    fn items(&mut self, impl_type: Option<&str>, in_test: bool, depth: u32) {
+        if depth > 64 {
+            return;
+        }
+        let mut attr_test = false;
+        while let Some(t) = self.at(0) {
+            match t.kind {
+                TokKind::Punct(b'}') => {
+                    self.bump();
+                    return;
+                }
+                TokKind::Punct(b'#') => {
+                    // Attribute: `#[...]` (or `#![...]`). Remember
+                    // cfg(test)/test markers for the next item.
+                    self.bump();
+                    if self.at(0).is_some_and(|t| t.is_punct(b'!')) {
+                        self.bump();
+                    }
+                    let start = self.i;
+                    self.skip_group();
+                    let body: Vec<&str> = self.toks[start..self.i.min(self.toks.len())]
+                        .iter()
+                        .filter(|t| t.kind == TokKind::Ident)
+                        .map(|t| t.text)
+                        .collect();
+                    if body.first() == Some(&"cfg") && body.contains(&"test")
+                        || body.first() == Some(&"test")
+                    {
+                        attr_test = true;
+                    }
+                }
+                TokKind::Ident => {
+                    let word = t.text;
+                    match word {
+                        "struct" => {
+                            self.bump();
+                            self.parse_struct();
+                            attr_test = false;
+                        }
+                        "static" | "const" => {
+                            self.bump();
+                            // `const fn …` is a function, not an item
+                            // binding — let the `fn` arm pick it up.
+                            if !self.at(0).is_some_and(|t| t.is_ident("fn")) {
+                                self.parse_static();
+                            }
+                            attr_test = false;
+                        }
+                        "impl" => {
+                            self.bump();
+                            self.parse_impl(in_test, depth);
+                            attr_test = false;
+                        }
+                        "mod" => {
+                            self.bump();
+                            // `mod name {` or `mod name;`
+                            if self.at(0).map(|t| t.kind) == Some(TokKind::Ident) {
+                                self.bump();
+                            }
+                            if self.at(0).is_some_and(|t| t.is_punct(b'{')) {
+                                self.bump();
+                                self.items(impl_type, in_test || attr_test, depth + 1);
+                            }
+                            attr_test = false;
+                        }
+                        "trait" => {
+                            self.bump();
+                            // `trait Name<..>: Bounds {` — items inside.
+                            while let Some(t) = self.at(0) {
+                                if t.is_punct(b'{') || t.is_punct(b';') {
+                                    break;
+                                }
+                                if t.is_punct(b'<') {
+                                    self.skip_group();
+                                } else {
+                                    self.bump();
+                                }
+                            }
+                            if self.at(0).is_some_and(|t| t.is_punct(b'{')) {
+                                self.bump();
+                                self.items(impl_type, in_test, depth + 1);
+                            }
+                            attr_test = false;
+                        }
+                        "fn" => {
+                            self.bump();
+                            self.parse_fn(impl_type, in_test || attr_test);
+                            attr_test = false;
+                        }
+                        _ => {
+                            self.bump();
+                        }
+                    }
+                }
+                TokKind::Punct(b'{') => {
+                    // An unexpected brace at item level (enum body, union,
+                    // …): recurse so inner items are still found.
+                    self.bump();
+                    self.items(impl_type, in_test, depth + 1);
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// After the `struct` keyword: record all named fields.
+    fn parse_struct(&mut self) {
+        let Some(name_tok) = self.at(0) else { return };
+        if name_tok.kind != TokKind::Ident {
+            return;
+        }
+        let strukt = name_tok.text.to_string();
+        self.bump();
+        if self.at(0).is_some_and(|t| t.is_punct(b'<')) {
+            self.skip_group();
+        }
+        // Tuple struct: `struct X(..);` — skip to the `;`.
+        if self.at(0).is_some_and(|t| t.is_punct(b'(')) {
+            self.skip_group();
+            while let Some(t) = self.at(0) {
+                let done = t.is_punct(b';');
+                self.bump();
+                if done {
+                    return;
+                }
+            }
+            return;
+        }
+        // Skip a `where` clause (or give up at `;` for unit structs).
+        while let Some(t) = self.at(0) {
+            if t.is_punct(b'{') {
+                break;
+            }
+            if t.is_punct(b';') {
+                self.bump();
+                return;
+            }
+            if t.is_punct(b'<') {
+                self.skip_group();
+            } else {
+                self.bump();
+            }
+        }
+        if !self.at(0).is_some_and(|t| t.is_punct(b'{')) {
+            return;
+        }
+        self.bump(); // `{`
+        loop {
+            match self.at(0) {
+                None => return,
+                Some(t) if t.is_punct(b'}') => {
+                    self.bump();
+                    return;
+                }
+                Some(t) if t.is_punct(b'#') => {
+                    self.bump();
+                    self.skip_group();
+                }
+                Some(t) if t.is_ident("pub") => {
+                    self.bump();
+                    if self.at(0).is_some_and(|t| t.is_punct(b'(')) {
+                        self.skip_group();
+                    }
+                }
+                Some(t) if t.kind == TokKind::Ident => {
+                    let field = t.text.to_string();
+                    self.bump();
+                    if !self.at(0).is_some_and(|t| t.is_punct(b':')) {
+                        continue;
+                    }
+                    self.bump();
+                    // Collect type tokens up to a `,` or the closing `}`
+                    // at group depth 0.
+                    let start = self.i;
+                    let mut angle = 0i64;
+                    while let Some(t) = self.at(0) {
+                        match t.kind {
+                            TokKind::Punct(b'<') => {
+                                angle += 1;
+                                self.bump();
+                            }
+                            TokKind::Punct(b'>') => {
+                                if !self.prev_is_dash() {
+                                    angle -= 1;
+                                }
+                                self.bump();
+                            }
+                            TokKind::Punct(b'(') | TokKind::Punct(b'[') => self.skip_group(),
+                            TokKind::Punct(b',') if angle <= 0 => break,
+                            TokKind::Punct(b'}') if angle <= 0 => break,
+                            _ => self.bump(),
+                        }
+                    }
+                    let ty = &self.toks[start.min(self.toks.len())..self.i.min(self.toks.len())];
+                    self.out.fields.push(FieldDecl {
+                        strukt: strukt.clone(),
+                        field,
+                        base_ty: base_ty(ty),
+                        lock: lock_kind_of(ty),
+                    });
+                    if self.at(0).is_some_and(|t| t.is_punct(b',')) {
+                        self.bump();
+                    }
+                }
+                Some(_) => self.bump(),
+            }
+        }
+    }
+
+    /// After `static`/`const`: record the item if its type holds a lock.
+    fn parse_static(&mut self) {
+        if self.at(0).is_some_and(|t| t.is_ident("mut")) {
+            self.bump();
+        }
+        let Some(name_tok) = self.at(0) else { return };
+        if name_tok.kind != TokKind::Ident {
+            return;
+        }
+        let name = name_tok.text.to_string();
+        self.bump();
+        if !self.at(0).is_some_and(|t| t.is_punct(b':')) {
+            return;
+        }
+        self.bump();
+        let start = self.i;
+        while let Some(t) = self.at(0) {
+            if t.is_punct(b'=') || t.is_punct(b';') {
+                break;
+            }
+            if t.is_punct(b'<') {
+                self.skip_group();
+            } else {
+                self.bump();
+            }
+        }
+        let ty: Vec<Tok<'a>> =
+            self.toks[start.min(self.toks.len())..self.i.min(self.toks.len())].to_vec();
+        if let Some(kind) = lock_kind_of(&ty) {
+            self.out.statics.push(StaticLock { name, kind });
+        }
+    }
+
+    /// After the `impl` keyword: resolve the implemented type's last path
+    /// segment, then parse the items inside.
+    fn parse_impl(&mut self, in_test: bool, depth: u32) {
+        if self.at(0).is_some_and(|t| t.is_punct(b'<')) {
+            self.skip_group();
+        }
+        let start = self.i;
+        while let Some(t) = self.at(0) {
+            if t.is_punct(b'{') || t.is_punct(b';') {
+                break;
+            }
+            if t.is_punct(b'<') {
+                self.skip_group();
+            } else {
+                self.bump();
+            }
+        }
+        let header = &self.toks[start.min(self.toks.len())..self.i.min(self.toks.len())];
+        // `impl Trait for Type` names Type after `for`; `impl Type` names
+        // it directly. `where` clauses end the type path.
+        let mut seg = header;
+        if let Some(pos) = header.iter().position(|t| t.is_ident("for")) {
+            seg = header.get(pos + 1..).unwrap_or(&[]);
+        }
+        let impl_type = seg
+            .iter()
+            .take_while(|t| !t.is_ident("where"))
+            .find(|t| {
+                t.kind == TokKind::Ident
+                    && !WRAPPERS.contains(&t.text)
+                    && t.text.chars().next().is_some_and(|c| c.is_uppercase())
+            })
+            .map(|t| t.text.to_string());
+        if self.at(0).is_some_and(|t| t.is_punct(b'{')) {
+            self.bump();
+            self.items(impl_type.as_deref(), in_test, depth + 1);
+        }
+    }
+
+    /// After the `fn` keyword: signature + body event stream.
+    fn parse_fn(&mut self, impl_type: Option<&str>, in_test: bool) {
+        let Some(name_tok) = self.at(0) else { return };
+        if name_tok.kind != TokKind::Ident {
+            return;
+        }
+        let name = name_tok.text.to_string();
+        let line = name_tok.line;
+        self.bump();
+        if self.at(0).is_some_and(|t| t.is_punct(b'<')) {
+            self.skip_group();
+        }
+        // Parameters.
+        let mut params = Vec::new();
+        let mut has_self = false;
+        if self.at(0).is_some_and(|t| t.is_punct(b'(')) {
+            self.bump();
+            let mut depth = 0i64;
+            let mut cur: Vec<Tok<'a>> = Vec::new();
+            let mut groups: Vec<Vec<Tok<'a>>> = Vec::new();
+            while let Some(t) = self.at(0) {
+                match t.kind {
+                    TokKind::Punct(b'(') | TokKind::Punct(b'[') | TokKind::Punct(b'<') => {
+                        depth += 1;
+                        cur.push(*t);
+                        self.bump();
+                    }
+                    TokKind::Punct(b'>') if self.prev_is_dash() => {
+                        cur.push(*t);
+                        self.bump();
+                    }
+                    TokKind::Punct(b')') | TokKind::Punct(b']') | TokKind::Punct(b'>') => {
+                        if t.is_punct(b')') && depth == 0 {
+                            self.bump();
+                            break;
+                        }
+                        depth -= 1;
+                        cur.push(*t);
+                        self.bump();
+                    }
+                    TokKind::Punct(b',') if depth == 0 => {
+                        groups.push(std::mem::take(&mut cur));
+                        self.bump();
+                    }
+                    _ => {
+                        cur.push(*t);
+                        self.bump();
+                    }
+                }
+            }
+            if !cur.is_empty() {
+                groups.push(cur);
+            }
+            for g in groups {
+                let Some(colon) = g.iter().position(|t| t.is_punct(b':')) else {
+                    // `self`, `&mut self`, `self` behind lifetimes.
+                    if g.iter().any(|t| t.is_ident("self")) {
+                        has_self = true;
+                    }
+                    continue;
+                };
+                let pname = g[..colon]
+                    .iter()
+                    .rev()
+                    .find(|t| t.kind == TokKind::Ident && t.text != "mut" && t.text != "ref")
+                    .map(|t| t.text.to_string());
+                let Some(pname) = pname else { continue };
+                if pname == "self" {
+                    // `self: Arc<Self>` style receiver.
+                    has_self = true;
+                    continue;
+                }
+                params.push((pname, base_ty(g.get(colon + 1..).unwrap_or(&[]))));
+            }
+        }
+        // Return type (up to `{`, `;`, or `where`).
+        let ret_start = self.i;
+        while let Some(t) = self.at(0) {
+            if t.is_punct(b'{') || t.is_punct(b';') || t.is_ident("where") {
+                break;
+            }
+            if t.is_punct(b'<') {
+                self.skip_group();
+            } else {
+                self.bump();
+            }
+        }
+        let ret_toks: Vec<Tok<'a>> =
+            self.toks[ret_start.min(self.toks.len())..self.i.min(self.toks.len())].to_vec();
+        let returns_result = ret_toks.iter().any(|t| t.is_ident("Result"));
+        let ret_base = base_ty(&ret_toks);
+        // Skip a `where` clause.
+        while let Some(t) = self.at(0) {
+            if t.is_punct(b'{') || t.is_punct(b';') {
+                break;
+            }
+            self.bump();
+        }
+        let body = if self.at(0).is_some_and(|t| t.is_punct(b'{')) {
+            self.bump();
+            self.parse_body()
+        } else {
+            if self.at(0).is_some_and(|t| t.is_punct(b';')) {
+                self.bump();
+            }
+            Vec::new()
+        };
+        self.out.fns.push(FnDef {
+            name,
+            impl_type: impl_type.map(str::to_string),
+            line,
+            returns_result,
+            ret_base,
+            in_test,
+            has_self,
+            params,
+            body,
+        });
+    }
+
+    /// Body walker: from just after the opening `{` to its matching `}`.
+    /// Produces the flat event stream the analyzer consumes.
+    fn parse_body(&mut self) -> Vec<Ev> {
+        let mut evs = Vec::new();
+        let mut depth = 0i64;
+        // Statement state.
+        let mut stmt_start = true;
+        let mut til_block = false;
+        let mut pending_let: Option<String> = None;
+        let mut let_consumed = false;
+        let mut init_toks: Vec<Tok<'a>> = Vec::new();
+        let mut collecting_init = false;
+
+        macro_rules! end_stmt {
+            () => {
+                if let Some(name) = pending_let.take() {
+                    if !let_consumed {
+                        emit_alias(&mut evs, &name, &init_toks);
+                    }
+                }
+                init_toks.clear();
+                collecting_init = false;
+                til_block = false;
+                stmt_start = true;
+                let_consumed = false;
+            };
+        }
+
+        while let Some(t) = self.at(0).copied() {
+            match t.kind {
+                TokKind::Punct(b'{') => {
+                    evs.push(Ev::Open);
+                    depth += 1;
+                    self.bump();
+                    // Entering a block ends the header of an
+                    // `if`/`while`/`for`/`match` statement.
+                    if let Some(name) = pending_let.take() {
+                        if !let_consumed {
+                            emit_alias(&mut evs, &name, &init_toks);
+                        }
+                    }
+                    init_toks.clear();
+                    collecting_init = false;
+                    til_block = false;
+                    stmt_start = true;
+                    let_consumed = false;
+                }
+                TokKind::Punct(b'}') => {
+                    self.bump();
+                    if depth == 0 {
+                        if let Some(name) = pending_let.take() {
+                            if !let_consumed {
+                                emit_alias(&mut evs, &name, &init_toks);
+                            }
+                        }
+                        return evs;
+                    }
+                    evs.push(Ev::Close);
+                    depth -= 1;
+                    stmt_start = true;
+                }
+                TokKind::Punct(b';') => {
+                    self.bump();
+                    end_stmt!();
+                    evs.push(Ev::StmtEnd);
+                }
+                TokKind::Ident => {
+                    let word = t.text;
+                    if stmt_start && matches!(word, "if" | "while" | "for" | "match" | "loop") {
+                        til_block = true;
+                        stmt_start = false;
+                        self.bump();
+                        continue;
+                    }
+                    if word == "else" {
+                        // `} else if let …` — keep statement-head state so
+                        // the chained `if` still scopes guards to its block.
+                        self.bump();
+                        continue;
+                    }
+                    if word == "let" {
+                        self.bump();
+                        // Pattern up to `=` (stop early at `{`/`;` on
+                        // malformed input).
+                        let mut last_ident: Option<String> = None;
+                        let mut annot: Vec<Tok<'a>> = Vec::new();
+                        let mut in_annot = false;
+                        while let Some(pt) = self.at(0) {
+                            if pt.is_punct(b'=')
+                                && !self.at(1).is_some_and(|n| n.is_punct(b'='))
+                            {
+                                self.bump();
+                                break;
+                            }
+                            if pt.is_punct(b'{') || pt.is_punct(b';') {
+                                break;
+                            }
+                            if pt.is_punct(b':') {
+                                in_annot = true;
+                                self.bump();
+                                continue;
+                            }
+                            if pt.kind == TokKind::Ident {
+                                if in_annot {
+                                    annot.push(*pt);
+                                } else if !matches!(
+                                    pt.text,
+                                    "mut" | "ref" | "box" | "Some" | "Ok" | "Err" | "None"
+                                ) {
+                                    last_ident = Some(pt.text.to_string());
+                                }
+                            }
+                            self.bump();
+                        }
+                        if let Some(name) = last_ident {
+                            if !annot.is_empty() {
+                                push_typed(&mut evs, &name, base_ty(&annot));
+                            }
+                            pending_let = Some(name);
+                            let_consumed = false;
+                        } else {
+                            pending_let = None;
+                        }
+                        init_toks.clear();
+                        collecting_init = pending_let.is_some();
+                        stmt_start = false;
+                        continue;
+                    }
+                    if stmt_start {
+                        stmt_start = false;
+                    }
+                    // Free call / macro / plain ident.
+                    if self.at(1).is_some_and(|n| n.is_punct(b'(')) {
+                        if word == "drop" && !self.prev_is_dot() {
+                            // drop(a) / drop((a, b))
+                            let mut names = Vec::new();
+                            self.bump(); // drop
+                            let mut pd = 0i64;
+                            while let Some(at) = self.at(0) {
+                                match at.kind {
+                                    TokKind::Punct(b'(') => {
+                                        pd += 1;
+                                        self.bump();
+                                    }
+                                    TokKind::Punct(b')') => {
+                                        pd -= 1;
+                                        self.bump();
+                                        if pd <= 0 {
+                                            break;
+                                        }
+                                    }
+                                    TokKind::Ident => {
+                                        names.push(at.text.to_string());
+                                        self.bump();
+                                    }
+                                    _ => self.bump(),
+                                }
+                            }
+                            evs.push(Ev::DropVars { names });
+                            continue;
+                        }
+                        if !matches!(
+                            word,
+                            "if" | "while"
+                                | "for"
+                                | "match"
+                                | "return"
+                                | "move"
+                                | "Some"
+                                | "Ok"
+                                | "Err"
+                                | "None"
+                        ) {
+                            let method = self.prev_is_dot();
+                            let recv = if method {
+                                self.path_ending(self.i.saturating_sub(1)).0
+                            } else if self.i >= 2
+                                && self.toks[self.i - 1].is_punct(b':')
+                                && self.toks[self.i - 2].is_punct(b':')
+                            {
+                                self.path_ending(self.i - 2).0
+                            } else {
+                                Vec::new()
+                            };
+                            let head_hint = if method && recv.is_empty() {
+                                self.i.checked_sub(2).and_then(|e| self.opaque_head_hint(e))
+                            } else {
+                                None
+                            };
+                            evs.push(Ev::Call {
+                                name: word.to_string(),
+                                method,
+                                recv,
+                                head_hint,
+                                empty: self.at(2).is_some_and(|t| t.is_punct(b')')),
+                                line: t.line,
+                            });
+                        }
+                    } else if self.at(1).is_some_and(|n| n.is_punct(b'!')) {
+                        // Macro: skip the name and bang; contents are
+                        // walked as ordinary tokens.
+                        if collecting_init {
+                            init_toks.push(t);
+                        }
+                        self.bump();
+                        self.bump();
+                        continue;
+                    }
+                    if collecting_init {
+                        init_toks.push(t);
+                    }
+                    self.bump();
+                }
+                TokKind::Punct(b'.') => {
+                    // Method call? Look ahead: `.name(` — acquisitions,
+                    // condvar ops, and generic method calls.
+                    if let (Some(name_t), Some(paren)) = (self.at(1).copied(), self.at(2).copied())
+                    {
+                        if name_t.kind == TokKind::Ident && paren.is_punct(b'(') {
+                            let mname = name_t.text;
+                            if let Some(kind) = acq_kind(mname) {
+                                if self.at(3).is_some_and(|x| x.is_punct(b')')) {
+                                    let (recv, head_unknown) = self.receiver_path();
+                                    let binding = self.acq_binding(&mut pending_let, 4);
+                                    if binding.is_some() {
+                                        let_consumed = true;
+                                    }
+                                    evs.push(Ev::Acquire {
+                                        recv,
+                                        head_unknown,
+                                        kind,
+                                        binding,
+                                        til_block,
+                                        line: name_t.line,
+                                    });
+                                    self.bump(); // .
+                                    self.bump(); // name
+                                    self.bump(); // (
+                                    self.bump(); // )
+                                    continue;
+                                }
+                            }
+                            if (mname == "wait" || mname == "wait_for")
+                                && self.at(3).is_some_and(|x| x.is_punct(b'&'))
+                                && self.at(4).is_some_and(|x| x.is_ident("mut"))
+                                && self.at(5).map(|x| x.kind) == Some(TokKind::Ident)
+                            {
+                                let (recv, head_unknown) = self.receiver_path();
+                                let paired =
+                                    self.at(5).map(|x| x.text.to_string()).unwrap_or_default();
+                                evs.push(Ev::CvWait {
+                                    recv,
+                                    head_unknown,
+                                    paired,
+                                    line: name_t.line,
+                                });
+                                self.bump(); // .
+                                self.bump(); // wait
+                                continue;
+                            }
+                            if mname == "notify_one" || mname == "notify_all" {
+                                let (recv, head_unknown) = self.receiver_path();
+                                evs.push(Ev::CvNotify {
+                                    recv,
+                                    head_unknown,
+                                    line: name_t.line,
+                                });
+                                self.bump();
+                                self.bump();
+                                continue;
+                            }
+                        }
+                    }
+                    if collecting_init {
+                        init_toks.push(t);
+                    }
+                    self.bump();
+                }
+                _ => {
+                    if collecting_init {
+                        init_toks.push(t);
+                    }
+                    if stmt_start && !matches!(t.kind, TokKind::Punct(b'#')) {
+                        stmt_start = false;
+                    }
+                    self.bump();
+                }
+            }
+        }
+        evs
+    }
+
+    fn prev_is_dot(&self) -> bool {
+        self.i > 0
+            && self
+                .toks
+                .get(self.i - 1)
+                .is_some_and(|t| t.kind == TokKind::Punct(b'.'))
+    }
+
+    /// Walk back from the current `.` to collect the receiver's
+    /// `ident(.ident)*` path. Returns the segments in source order plus
+    /// whether the chain starts at an opaque expression (call result,
+    /// index, `?`).
+    fn receiver_path(&self) -> (Vec<String>, bool) {
+        self.path_ending(self.i)
+    }
+
+    /// Recover a typing hint for an opaque method-call receiver whose
+    /// last token sits at index `end`: a struct-literal receiver
+    /// (`Lexer { .. }.run()` → [`HeadHint::Ty`]) or a call-result
+    /// receiver (`shard.svc().client()` → [`HeadHint::CallRet`]), with
+    /// a single trailing `?` tolerated (`open()?.lock()`).
+    fn opaque_head_hint(&self, mut end: usize) -> Option<HeadHint> {
+        if self.toks.get(end)?.is_punct(b'?') {
+            end = end.checked_sub(1)?;
+        }
+        let (open, close) = match self.toks.get(end)?.kind {
+            TokKind::Punct(b')') => (b'(', b')'),
+            TokKind::Punct(b'}') => (b'{', b'}'),
+            _ => return None,
+        };
+        let mut depth = 0i64;
+        let mut k = end;
+        loop {
+            let tk = self.toks.get(k)?;
+            if tk.is_punct(close) {
+                depth += 1;
+            } else if tk.is_punct(open) {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            k = k.checked_sub(1)?;
+        }
+        let prev = self.toks.get(k.checked_sub(1)?)?;
+        if prev.kind != TokKind::Ident {
+            return None;
+        }
+        let name = prev.text.to_string();
+        if open == b'(' {
+            // `name(..)` — but only if this really is a call, not a
+            // parenthesized expression after a keyword (`if (x) {..}`)
+            // or a tuple. Keywords never name calls.
+            if matches!(
+                name.as_str(),
+                "if" | "while" | "for" | "match" | "return" | "in" | "move"
+            ) {
+                return None;
+            }
+            Some(HeadHint::CallRet(name))
+        } else if name.chars().next().is_some_and(char::is_uppercase) {
+            // `Name { .. }.method()` — a struct literal. A lowercase
+            // ident before `{` is a block tail (`match x { .. }`).
+            Some(HeadHint::Ty(name))
+        } else {
+            None
+        }
+    }
+
+    /// [`Self::receiver_path`] generalized: collect the `ident(.ident |
+    /// ::ident)*` path that ends just *before* token index `j`.
+    fn path_ending(&self, j: usize) -> (Vec<String>, bool) {
+        let mut segs: Vec<String> = Vec::new();
+        let mut j = j;
+        loop {
+            if j == 0 {
+                break;
+            }
+            let prev = &self.toks[j - 1];
+            if prev.kind == TokKind::Ident {
+                segs.push(prev.text.to_string());
+                j -= 1;
+                // Continue over a preceding `.` or `::`.
+                if j >= 1 && self.toks[j - 1].is_punct(b'.') {
+                    j -= 1;
+                    continue;
+                }
+                if j >= 2
+                    && self.toks[j - 1].is_punct(b':')
+                    && self.toks[j - 2].is_punct(b':')
+                {
+                    j -= 2;
+                    continue;
+                }
+                break;
+            }
+            break;
+        }
+        segs.reverse();
+        let head_unknown = if segs.is_empty() {
+            true
+        } else {
+            j > 0
+                && self
+                    .toks
+                    .get(j - 1)
+                    .is_some_and(|t| {
+                        t.is_punct(b')') || t.is_punct(b']') || t.is_punct(b'?')
+                    })
+        };
+        (segs, head_unknown)
+    }
+
+    /// Decide whether the acquisition whose `(` `)` sit at offsets
+    /// `off-1`/`off` binds the pending `let`: the expression must end
+    /// right after (`;`, `{`, `else`), modulo a tail of
+    /// `.unwrap()`/`.expect(..)` (std-lock idiom).
+    fn acq_binding(&self, pending: &mut Option<String>, mut off: usize) -> Option<String> {
+        pending.as_ref()?;
+        loop {
+            match self.at(off) {
+                Some(t) if t.is_punct(b';') || t.is_punct(b'{') || t.is_ident("else") => {
+                    return pending.take();
+                }
+                Some(t) if t.is_punct(b'.') => {
+                    let name = self.at(off + 1)?;
+                    if name.is_ident("unwrap") || name.is_ident("expect") {
+                        // Skip `.unwrap()` / `.expect("...")`.
+                        let mut k = off + 2;
+                        if !self.at(k).is_some_and(|t| t.is_punct(b'(')) {
+                            return None;
+                        }
+                        let mut depth = 0i64;
+                        loop {
+                            match self.at(k) {
+                                Some(t) if t.is_punct(b'(') => depth += 1,
+                                Some(t) if t.is_punct(b')') => {
+                                    depth -= 1;
+                                    if depth <= 0 {
+                                        break;
+                                    }
+                                }
+                                Some(_) => {}
+                                None => return None,
+                            }
+                            k += 1;
+                        }
+                        off = k + 1;
+                        continue;
+                    }
+                    return None;
+                }
+                _ => return None,
+            }
+        }
+    }
+}
+
+/// Emit a typing hint for variable `name` given its base type `b` — a
+/// lock-named base means the variable *is* a lock.
+fn push_typed(evs: &mut Vec<Ev>, name: &str, b: String) {
+    let kind = match b.as_str() {
+        "Mutex" => Some(LockKind::Mutex),
+        "RwLock" => Some(LockKind::RwLock),
+        "Condvar" => Some(LockKind::Condvar),
+        _ => None,
+    };
+    if let Some(kind) = kind {
+        evs.push(Ev::LocalLock {
+            name: name.to_string(),
+            kind,
+        });
+    } else if !b.is_empty() {
+        evs.push(Ev::Alias {
+            name: name.to_string(),
+            src: AliasSrc::Type(b),
+        });
+    }
+}
+
+/// Emit the best typing hint for `let name = <init>;` from the collected
+/// initializer tokens.
+fn emit_alias(evs: &mut Vec<Ev>, name: &str, init: &[Tok<'_>]) {
+    if init.is_empty() {
+        return;
+    }
+    // `Mutex::new(..)` → local lock; `Type::new(..)` / `Type { .. }` → Type.
+    let b = base_ty(init);
+    if !b.is_empty() {
+        push_typed(evs, name, b);
+        return;
+    }
+    // Field-access chain: last `.field` ident not directly called.
+    let mut last_field: Option<&str> = None;
+    let mut last_call: Option<&str> = None;
+    let mut k = 0usize;
+    while k < init.len() {
+        if init[k].kind == TokKind::Ident {
+            let called = init.get(k + 1).is_some_and(|t| t.is_punct(b'('));
+            let after_dot = k > 0 && init[k - 1].is_punct(b'.');
+            if called {
+                last_call = Some(init[k].text);
+                last_field = None;
+            } else if after_dot || k == 0 {
+                last_field = Some(init[k].text);
+            }
+        }
+        k += 1;
+    }
+    if let Some(f) = last_field {
+        if init.iter().filter(|t| t.kind == TokKind::Ident).count() > 1 {
+            evs.push(Ev::Alias {
+                name: name.to_string(),
+                src: AliasSrc::Field(f.to_string()),
+            });
+            return;
+        }
+        // Single bare ident: an alias of another variable — model as a
+        // field-style lookup that the resolver treats as a var copy.
+        evs.push(Ev::Alias {
+            name: name.to_string(),
+            src: AliasSrc::Field(f.to_string()),
+        });
+        return;
+    }
+    if let Some(c) = last_call {
+        evs.push(Ev::Alias {
+            name: name.to_string(),
+            src: AliasSrc::Call(c.to_string()),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fns(src: &str) -> Vec<FnDef> {
+        parse_file(src).fns
+    }
+
+    #[test]
+    fn parses_fn_with_impl_context_and_params() {
+        let f = fns("impl Shard { fn go(&self, pipeline: &Arc<CommitPipeline>) -> Result<(), E> {} }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].name, "go");
+        assert_eq!(f[0].impl_type.as_deref(), Some("Shard"));
+        assert_eq!(f[0].params, vec![("pipeline".to_string(), "CommitPipeline".to_string())]);
+        assert!(f[0].returns_result);
+    }
+
+    #[test]
+    fn struct_lock_fields_are_recorded() {
+        let ast = parse_file(
+            "struct CommitPipeline { inner: Mutex<PipelineState>, work: Condvar }\n\
+             struct Shard { state: RwLock<ShardState>, cache: ResultCache }\n",
+        );
+        let locks: Vec<(&str, &str)> = ast
+            .fields
+            .iter()
+            .filter(|f| f.lock.is_some())
+            .map(|f| (f.strukt.as_str(), f.field.as_str()))
+            .collect();
+        assert_eq!(
+            locks,
+            [("CommitPipeline", "inner"), ("CommitPipeline", "work"), ("Shard", "state")]
+        );
+        let cache = ast.fields.iter().find(|f| f.field == "cache").expect("cache field");
+        assert_eq!(cache.base_ty, "ResultCache");
+    }
+
+    #[test]
+    fn body_events_capture_guard_lifecycle() {
+        let f = fns(
+            "fn go(m: &M) {\n\
+               let g = m.inner.lock();\n\
+               helper(1);\n\
+               drop(g);\n\
+               m.other.read();\n\
+             }\n",
+        );
+        let evs = &f[0].body;
+        let mut saw_bound = false;
+        let mut saw_temp = false;
+        let mut saw_call = false;
+        let mut saw_drop = false;
+        for e in evs {
+            match e {
+                Ev::Acquire { recv, binding, .. } => {
+                    if binding.as_deref() == Some("g") {
+                        assert_eq!(recv, &["m", "inner"]);
+                        saw_bound = true;
+                    } else {
+                        assert_eq!(recv, &["m", "other"]);
+                        saw_temp = true;
+                    }
+                }
+                Ev::Call { name, .. } if name == "helper" => saw_call = true,
+                Ev::DropVars { names } => {
+                    assert_eq!(names, &["g"]);
+                    saw_drop = true;
+                }
+                _ => {}
+            }
+        }
+        assert!(saw_bound && saw_temp && saw_call && saw_drop);
+    }
+
+    #[test]
+    fn if_let_try_lock_binds_til_block() {
+        let f = fns("fn go(m: &M) { if let Some(g) = m.inner.try_lock() { g.touch(); } }");
+        let acq = f[0]
+            .body
+            .iter()
+            .find_map(|e| match e {
+                Ev::Acquire { binding, til_block, kind, .. } => {
+                    Some((binding.clone(), *til_block, *kind))
+                }
+                _ => None,
+            })
+            .expect("acquire event");
+        assert_eq!(acq.0.as_deref(), Some("g"));
+        assert!(acq.1, "if-let guard scopes to the block");
+        assert_eq!(acq.2, AcqKind::TryLock);
+    }
+
+    #[test]
+    fn condvar_wait_and_notify_events() {
+        let f = fns(
+            "fn go(p: &P) {\n\
+               let mut ps = p.inner.lock();\n\
+               p.work.wait(&mut ps);\n\
+               p.work.notify_one();\n\
+             }\n",
+        );
+        let evs = &f[0].body;
+        assert!(evs.iter().any(|e| matches!(e,
+            Ev::CvWait { recv, paired, .. } if recv == &["p", "work"] && paired == "ps")));
+        assert!(evs.iter().any(|e| matches!(e,
+            Ev::CvNotify { recv, .. } if recv == &["p", "work"])));
+    }
+
+    #[test]
+    fn let_aliases_give_typing_hints() {
+        let f = fns(
+            "fn go(shard: &Shard) {\n\
+               let p = &shard.pipeline;\n\
+               let s = shared.shard(db);\n\
+               let m = Mutex::new(0);\n\
+             }\n",
+        );
+        let evs = &f[0].body;
+        assert!(evs.iter().any(|e| matches!(e,
+            Ev::Alias { name, src: AliasSrc::Field(fld) } if name == "p" && fld == "pipeline")));
+        assert!(evs.iter().any(|e| matches!(e,
+            Ev::Alias { name, src: AliasSrc::Call(c) } if name == "s" && c == "shard")));
+        assert!(evs.iter().any(|e| matches!(e,
+            Ev::LocalLock { name, kind: LockKind::Mutex } if name == "m")));
+    }
+
+    #[test]
+    fn cfg_test_marks_fns() {
+        let f = fns(
+            "fn prod() {}\n\
+             #[cfg(test)]\n\
+             mod tests { fn t() {} }\n\
+             #[test]\n\
+             fn unit() {}\n",
+        );
+        let by_name: std::collections::BTreeMap<&str, bool> =
+            f.iter().map(|f| (f.name.as_str(), f.in_test)).collect();
+        assert!(!by_name["prod"]);
+        assert!(by_name["t"]);
+        assert!(by_name["unit"]);
+    }
+}
+
+/// Proptest fuzzing: the parser must never panic, whatever bytes it is
+/// fed. Cross-checks against the stripper and the lock analysis live in
+/// the crate-root `fuzz_tests`; this sibling keeps the never-panics
+/// property next to the parser it guards (the `parser-fuzz` rule's
+/// contract for hand-rolled parsers).
+#[cfg(test)]
+mod fuzz_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+        #[test]
+        fn parse_file_never_panics(src in "\\PC{0,200}") {
+            let _ = parse_file(&src);
+        }
+
+        #[test]
+        fn parse_file_never_panics_on_rustish_soup(
+            src in "(fn f|impl T|\\{|\\}|\\(|\\)|self|\\.lock\\(\\)|::|\\?|//|\"|'|\n| ){0,60}"
+        ) {
+            let ast = parse_file(&src);
+            // Line numbers must stay within the source (1-based).
+            let lines = src.lines().count() as u32 + 1;
+            for f in &ast.fns {
+                prop_assert!(f.line <= lines);
+            }
+        }
+    }
+}

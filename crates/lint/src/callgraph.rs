@@ -1,0 +1,217 @@
+//! # callgraph — approximate workspace call graph + transitive effects
+//!
+//! Resolution is **by bare name**: a call `x.foo(..)` or `a::b::foo(..)`
+//! resolves to *every* workspace `fn foo`. That is a deliberate
+//! over-approximation (DESIGN.md §13): without type inference we cannot
+//! pick the right impl, and for a soundness-oriented lock analysis the
+//! union of all candidates is the safe choice. The cost is precision —
+//! popular names (`new`, `get`) fan out widely — which is why findings
+//! carry full witness chains: a false path is visible in the report.
+//!
+//! [`transitive`] propagates per-function facts (lock acquisitions,
+//! blocking calls, condvar notifies) up the call graph to a fixpoint,
+//! keeping one shortest witness chain per (function, fact).
+
+use crate::ast::{FileAst, FnDef};
+use std::collections::HashMap;
+
+/// A source location, `file:line` with a repo-relative path.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Site {
+    /// Repo-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+impl std::fmt::Display for Site {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.file, self.line)
+    }
+}
+
+/// One function in the workspace model.
+#[derive(Clone, Debug)]
+pub struct FnNode {
+    /// Repo-relative file the function lives in.
+    pub file: String,
+    /// The parsed definition.
+    pub def: FnDef,
+}
+
+/// The workspace call graph: all parsed fns plus a bare-name index.
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    /// All functions, in deterministic (file, line) order.
+    pub fns: Vec<FnNode>,
+    by_name: HashMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Build the graph from per-file ASTs. `files` must use repo-relative
+    /// paths; order does not matter (the result is sorted).
+    pub fn build(files: &[(String, FileAst)]) -> CallGraph {
+        let mut fns: Vec<FnNode> = Vec::new();
+        for (file, ast) in files {
+            for def in &ast.fns {
+                fns.push(FnNode {
+                    file: file.clone(),
+                    def: def.clone(),
+                });
+            }
+        }
+        fns.sort_by(|a, b| (&a.file, a.def.line).cmp(&(&b.file, b.def.line)));
+        let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.def.name.clone()).or_default().push(i);
+        }
+        CallGraph { fns, by_name }
+    }
+
+    /// All workspace fns with this bare name (empty for externals).
+    pub fn resolve(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// A fact reachable from a function, with the call-site chain that
+/// witnesses it: `chain[0]` is the call in the function's own body (or
+/// the fact's own site for direct facts), the last element is the fact's
+/// defining site.
+#[derive(Clone, Debug)]
+pub struct Effect<T> {
+    /// The propagated fact.
+    pub what: T,
+    /// Witness chain, outermost call first. Never empty.
+    pub chain: Vec<Site>,
+}
+
+/// Chains longer than this stop propagating: deep enough for real
+/// reports, and it bounds the fixpoint.
+const MAX_CHAIN: usize = 8;
+
+/// Propagate `direct` facts through `calls` (resolved callee index +
+/// call site, per function) to a fixpoint. Callers resolve names to
+/// indices first (see [`CallGraph::resolve`]) so they can apply
+/// receiver-type restrictions. Returns, per function, one best
+/// (shortest, then lexicographically first) witness chain per fact.
+pub fn transitive<T: Clone + Eq + std::hash::Hash + Ord>(
+    cg: &CallGraph,
+    direct: &[Vec<Effect<T>>],
+    calls: &[Vec<(usize, Site)>],
+) -> Vec<HashMap<T, Vec<Site>>> {
+    let n = cg.fns.len();
+    let mut out: Vec<HashMap<T, Vec<Site>>> = vec![HashMap::new(); n];
+    // callers[callee] = [(caller, call site)]
+    let mut callers: Vec<Vec<(usize, Site)>> = vec![Vec::new(); n];
+    for (caller, cs) in calls.iter().enumerate().take(n) {
+        for (callee, site) in cs {
+            if let Some(c) = callers.get_mut(*callee) {
+                c.push((caller, site.clone()));
+            }
+        }
+    }
+    let better = |cand: &Vec<Site>, old: Option<&Vec<Site>>| match old {
+        None => true,
+        Some(o) => (cand.len(), cand.as_slice()) < (o.len(), o.as_slice()),
+    };
+    let mut work: Vec<usize> = (0..n).collect();
+    for (f, effs) in direct.iter().enumerate().take(n) {
+        for e in effs {
+            if e.chain.is_empty() || e.chain.len() > MAX_CHAIN {
+                continue;
+            }
+            if better(&e.chain, out[f].get(&e.what)) {
+                out[f].insert(e.what.clone(), e.chain.clone());
+            }
+        }
+    }
+    while let Some(callee) = work.pop() {
+        // Push every fact of `callee` into each caller, prefixed by the
+        // call site.
+        let facts: Vec<(T, Vec<Site>)> = out[callee]
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        for (caller, site) in callers[callee].clone() {
+            let mut changed = false;
+            for (what, chain) in &facts {
+                if chain.len() + 1 > MAX_CHAIN {
+                    continue;
+                }
+                let mut cand = Vec::with_capacity(chain.len() + 1);
+                cand.push(site.clone());
+                cand.extend(chain.iter().cloned());
+                if better(&cand, out[caller].get(what)) {
+                    out[caller].insert(what.clone(), cand);
+                    changed = true;
+                }
+            }
+            if changed && !work.contains(&caller) {
+                work.push(caller);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse_file;
+
+    fn site(file: &str, line: u32) -> Site {
+        Site {
+            file: file.to_string(),
+            line,
+        }
+    }
+
+    #[test]
+    fn bare_name_resolution_is_an_over_approximation() {
+        let a = parse_file("impl A { fn go(&self) {} } fn go() {}");
+        let cg = CallGraph::build(&[("a.rs".to_string(), a)]);
+        assert_eq!(cg.resolve("go").len(), 2);
+        assert!(cg.resolve("missing").is_empty());
+    }
+
+    #[test]
+    fn transitive_facts_carry_call_chains() {
+        // c() has a direct fact; b() calls c(); a() calls b().
+        let ast = parse_file("fn a() { b(); } fn b() { c(); } fn c() {}");
+        let cg = CallGraph::build(&[("x.rs".to_string(), ast)]);
+        let idx = |name: &str| cg.resolve(name)[0];
+        let mut direct: Vec<Vec<Effect<&str>>> = vec![Vec::new(); cg.fns.len()];
+        direct[idx("c")].push(Effect {
+            what: "fact",
+            chain: vec![site("x.rs", 9)],
+        });
+        let mut calls: Vec<Vec<(usize, Site)>> = vec![Vec::new(); cg.fns.len()];
+        calls[idx("a")].push((idx("b"), site("x.rs", 1)));
+        calls[idx("b")].push((idx("c"), site("x.rs", 5)));
+        let eff = transitive(&cg, &direct, &calls);
+        let chain = &eff[idx("a")]["fact"];
+        assert_eq!(
+            chain,
+            &[site("x.rs", 1), site("x.rs", 5), site("x.rs", 9)]
+        );
+    }
+
+    #[test]
+    fn recursion_reaches_a_fixpoint() {
+        let ast = parse_file("fn a() { b(); } fn b() { a(); }");
+        let cg = CallGraph::build(&[("x.rs".to_string(), ast)]);
+        let idx = |name: &str| cg.resolve(name)[0];
+        let mut direct: Vec<Vec<Effect<&str>>> = vec![Vec::new(); cg.fns.len()];
+        direct[idx("b")].push(Effect {
+            what: "fact",
+            chain: vec![site("x.rs", 2)],
+        });
+        let mut calls: Vec<Vec<(usize, Site)>> = vec![Vec::new(); cg.fns.len()];
+        calls[idx("a")].push((idx("b"), site("x.rs", 1)));
+        calls[idx("b")].push((idx("a"), site("x.rs", 2)));
+        let eff = transitive(&cg, &direct, &calls);
+        assert!(eff[idx("a")].contains_key("fact"));
+        assert!(eff[idx("b")].contains_key("fact"));
+    }
+}

@@ -1,18 +1,14 @@
-//! # lint — the `doem-lint` scanner library
+//! # lint — the `doem-lint` static-analysis library
 //!
-//! A hand-rolled Rust-source scanner enforcing doem-suite invariants the
-//! compiler can't check (run it with `cargo run --bin doem-lint`). Five
-//! rules, each with a one-line rationale; DESIGN.md §9 has the full
-//! catalog:
+//! A hand-rolled Rust static-analysis engine enforcing doem-suite
+//! invariants the compiler can't check (run it with
+//! `cargo run --bin doem-lint`). Two layers:
+//!
+//! **Line rules** on stripped source (this module):
 //!
 //! * **serve-unwrap** — no `.unwrap()`/`.expect(` in `crates/serve/src`
 //!   outside `#[cfg(test)]`: a panicking worker takes its whole pool down,
 //!   request paths must return `serve::ErrKind` instead.
-//! * **guard-across-wal** — no lock guard held across a WAL / fsync /
-//!   checkpoint call: a multi-millisecond disk wait under a hot lock is
-//!   the latency bug the sanitizer's watchdog sees at runtime; this
-//!   catches it at review time. Deliberate sites (durable install under
-//!   the registry lock) live in the baseline, which only ratchets down.
 //! * **parser-fuzz** — every hand-rolled parser module carries a
 //!   `fuzz_tests` sibling (the CLAUDE.md panic-freedom contract).
 //! * **canonical-order** — the change-set application order
@@ -20,17 +16,41 @@
 //!   `oem::changeset`) is never restated in a different order, in code or
 //!   prose.
 //! * **missing-docs** — every crate root carries `#![warn(missing_docs)]`.
+//! * **stale-allow** — a `// lint: allow` marker that suppresses nothing
+//!   is itself a finding (see [`apply_allows`]): exemptions can't outlive
+//!   the code they excused.
+//!
+//! **Whole-program lock analysis** ([`token`] → [`ast`] → [`callgraph`] →
+//! [`locks`], DESIGN.md §13):
+//!
+//! * **lock-order-cycle** — a cycle in the static lock-order graph is a
+//!   potential deadlock, reported with full `file:line` acquisition
+//!   chains.
+//! * **guard-across-blocking** — a guard held across a blocking call
+//!   (fsync/WAL append, `write_all`, `recv`, `join`, condvar wait,
+//!   bounded-channel send), including through the call graph; this
+//!   subsumes the old `guard-across-wal` line rule.
+//!
+//! The static graph is cross-validated against the runtime sanitizer:
+//! every edge the sanitizer observes must exist statically
+//! ([`locks::runtime_subset`]); CI fails otherwise.
 //!
 //! The scanner itself honors the contract it enforces: it is hand-rolled,
 //! panic-free on arbitrary input (see `fuzz_tests` at the bottom), and
 //! never unwraps.
 //!
-//! Suppression: a `// lint: allow` comment on a line (or the line above)
-//! suppresses findings on it. The baseline file (`doem-lint.baseline`)
-//! holds per-rule, per-file finding *counts*: counts above baseline fail,
+//! Suppression: a `// lint: allow` line comment (a *real* comment — doc
+//! comments and string literals don't count) suppresses findings on its
+//! own line and the next. The baseline file (`doem-lint.baseline`) holds
+//! per-rule, per-file finding *counts*: counts above baseline fail,
 //! counts below invite a `--write-baseline` ratchet.
 
 #![warn(missing_docs)]
+
+pub mod ast;
+pub mod callgraph;
+pub mod locks;
+pub mod token;
 
 /// One diagnostic: rule, repo-relative file, 1-based line, message.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -306,18 +326,65 @@ pub fn test_mod_lines(stripped: &str) -> Vec<bool> {
 
 /// Per-line suppression flags from `// lint: allow` comments in the *raw*
 /// source: the marker suppresses findings on its own line and the next.
+///
+/// Markers are recognized by the tokenizer ([`token::allow_marker_lines`]):
+/// only a *plain* `//` line comment counts — doc comments (`///`, `//!`)
+/// and string literals mentioning the phrase are prose, not suppressions.
 pub fn allow_lines(raw: &str) -> Vec<bool> {
-    let lines: Vec<&str> = raw.lines().collect();
-    let mut flags = vec![false; lines.len()];
-    for (i, l) in lines.iter().enumerate() {
-        if l.contains("lint: allow") {
-            flags[i] = true;
-            if let Some(f) = flags.get_mut(i + 1) {
-                *f = true;
-            }
+    let n = raw.lines().count();
+    let mut flags = vec![false; n];
+    for line in token::allow_marker_lines(raw) {
+        let i = (line as usize).saturating_sub(1);
+        if let Some(f) = flags.get_mut(i) {
+            *f = true;
+        }
+        if let Some(f) = flags.get_mut(i + 1) {
+            *f = true;
         }
     }
     flags
+}
+
+/// Apply `// lint: allow` suppression to one file's findings, and audit
+/// the markers themselves: a marker that suppresses *zero* findings is
+/// reported as a `stale-allow` finding — exemptions can't outlive the
+/// code they excused.
+///
+/// This is the single suppression point: individual scanners report
+/// everything they see, and the driver funnels each file's combined
+/// findings (line rules + lock analysis) through here. `stale-allow`
+/// findings are deliberately not themselves suppressible.
+pub fn apply_allows(file: &str, raw: &str, findings: Vec<Finding>) -> Vec<Finding> {
+    let markers = token::allow_marker_lines(raw);
+    let mut used = vec![false; markers.len()];
+    let mut kept = Vec::new();
+    for f in findings {
+        let mut suppressed = false;
+        for (mi, &m) in markers.iter().enumerate() {
+            let m = m as usize;
+            if f.line == m || f.line == m + 1 {
+                used[mi] = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            kept.push(f);
+        }
+    }
+    for (mi, &m) in markers.iter().enumerate() {
+        if !used[mi] {
+            kept.push(Finding {
+                rule: "stale-allow",
+                file: file.to_string(),
+                line: m as usize,
+                message: "`// lint: allow` suppresses no finding — remove the marker \
+                          (stale exemptions hide future regressions at this site)"
+                    .to_string(),
+            });
+        }
+    }
+    kept.sort_by(|a, b| (a.line, a.rule, &a.message).cmp(&(b.line, b.rule, &b.message)));
+    kept
 }
 
 fn flag(v: &[bool], idx: usize) -> bool {
@@ -331,13 +398,14 @@ fn flag(v: &[bool], idx: usize) -> bool {
 /// `crates/serve/src` request paths must return `serve::ErrKind` errors, not
 /// panic: flag `.unwrap()` / `.expect(` outside `#[cfg(test)]` modules.
 ///
+/// Reports *all* sites — suppression happens centrally in [`apply_allows`]
+/// so stale markers stay detectable.
 pub fn scan_serve_unwrap(file: &str, raw: &str) -> Vec<Finding> {
     let stripped = strip_source(raw);
     let tests = test_mod_lines(&stripped);
-    let allows = allow_lines(raw);
     let mut out = Vec::new();
     for (i, line) in stripped.lines().enumerate() {
-        if flag(&tests, i) || flag(&allows, i) {
+        if flag(&tests, i) {
             continue;
         }
         for pat in [".unwrap()", ".expect("] {
@@ -465,28 +533,36 @@ fn fn_keyword(line: &str) -> Option<usize> {
 ///   `?` on a `Result` there wouldn't compile anyway).
 ///
 /// The rewrite is idempotent: the output contains no eligible `.unwrap()`
-/// sites, so a second pass reports zero rewrites.
+/// sites, so a second pass reports zero rewrites. It is also
+/// byte-ending-preserving: each line's terminator (`\n` or `\r\n`, or none
+/// on a final unterminated line) is copied through verbatim, so a CRLF
+/// file stays CRLF and `--fix --check` converges on it.
 pub fn fix_serve_unwrap(raw: &str) -> (String, usize) {
     let stripped = strip_source(raw);
     let tests = test_mod_lines(&stripped);
     let allows = allow_lines(raw);
     let result_fns = result_fn_lines(&stripped);
-    let stripped_lines: Vec<&str> = stripped.lines().collect();
     let mut rewrites = 0usize;
     let mut out = String::with_capacity(raw.len());
-    for (i, line) in raw.lines().enumerate() {
-        if i > 0 {
-            out.push('\n');
-        }
+    let mut off = 0usize;
+    for (i, seg) in raw.split_inclusive('\n').enumerate() {
+        // Stripping is length-preserving, so the raw segment's byte range
+        // addresses its stripped counterpart directly (this is what keeps
+        // `.unwrap()` inside a string literal untouched).
+        let sseg = stripped.get(off..off + seg.len()).unwrap_or("");
+        off += seg.len();
+        let term_len = if seg.ends_with("\r\n") {
+            2
+        } else {
+            usize::from(seg.ends_with('\n'))
+        };
+        let line = seg.get(..seg.len() - term_len).unwrap_or("");
+        let sl = sseg.get(..sseg.len().saturating_sub(term_len)).unwrap_or("");
         let eligible = flag(&result_fns, i) && !flag(&tests, i) && !flag(&allows, i);
-        let sl = stripped_lines.get(i).copied().unwrap_or("");
         if !eligible || !sl.contains(".unwrap()") {
-            out.push_str(line);
+            out.push_str(seg);
             continue;
         }
-        // Stripping is length-preserving, so offsets found in the
-        // stripped line splice directly into the raw line (this is what
-        // keeps `.unwrap()` inside a string literal untouched).
         const PAT: &str = ".unwrap()";
         let mut cursor = 0usize;
         while let Some(pos) = sl.get(cursor..).and_then(|s| s.find(PAT)) {
@@ -502,125 +578,9 @@ pub fn fix_serve_unwrap(raw: &str) -> (String, usize) {
             cursor = at + PAT.len();
         }
         out.push_str(line.get(cursor..).unwrap_or(""));
-    }
-    if raw.ends_with('\n') {
-        out.push('\n');
+        out.push_str(seg.get(seg.len() - term_len..).unwrap_or(""));
     }
     (out, rewrites)
-}
-
-// ---------------------------------------------------------------------------
-// Rule: guard-across-wal
-// ---------------------------------------------------------------------------
-
-/// Calls that reach disk (WAL append/fsync, checkpoint, store save) —
-/// holding a lock guard across one stalls every peer of that lock for a
-/// disk round-trip.
-const WAL_CALLS: [&str; 6] = [
-    ".sync_data(",
-    ".sync_all(",
-    ".save_doem(",
-    "fresh_durable_db(",
-    "checkpoint_published(",
-    ".append_batch(",
-];
-
-struct Guard {
-    name: String,
-    depth: i64,
-}
-
-/// Flag disk-reaching calls made while a lock guard (`let g = x.lock()` /
-/// `.read()` / `.write()` and `try_` variants) is live in scope.
-pub fn scan_guard_across_wal(file: &str, raw: &str) -> Vec<Finding> {
-    let stripped = strip_source(raw);
-    let tests = test_mod_lines(&stripped);
-    let allows = allow_lines(raw);
-    let mut out = Vec::new();
-    let mut guards: Vec<Guard> = Vec::new();
-    let mut depth = 0i64;
-    for (i, line) in stripped.lines().enumerate() {
-        if flag(&tests, i) {
-            // Keep depth bookkeeping honest even inside skipped regions.
-            for c in line.bytes() {
-                match c {
-                    b'{' => depth += 1,
-                    b'}' => depth -= 1,
-                    _ => {}
-                }
-            }
-            guards.retain(|g| g.depth <= depth);
-            continue;
-        }
-        // Check calls BEFORE registering guards born on this line: the
-        // call `let g = m.lock()` is not "under" g itself, and a WAL call
-        // on the same line as the acquisition is textually ordered after.
-        if !guards.is_empty() && !flag(&allows, i) {
-            for call in WAL_CALLS {
-                if line.contains(call) {
-                    let held: Vec<&str> = guards.iter().map(|g| g.name.as_str()).collect();
-                    out.push(Finding {
-                        rule: "guard-across-wal",
-                        file: file.to_string(),
-                        line: i + 1,
-                        message: format!(
-                            "`{}` called while lock guard(s) [{}] are held — a disk round-trip \
-                             under a lock stalls every peer; stage the I/O outside the critical \
-                             section or baseline the site if the ordering is load-bearing",
-                            call.trim_start_matches('.').trim_end_matches('('),
-                            held.join(", ")
-                        ),
-                    });
-                }
-            }
-        }
-        // Guard births: `let [mut] NAME = …lock()/read()/write()…`.
-        if let Some(name) = guard_binding(line) {
-            guards.push(Guard { name, depth });
-        }
-        // Explicit early drops.
-        for g_idx in (0..guards.len()).rev() {
-            let needle = format!("drop({})", guards[g_idx].name);
-            let needle2 = format!("drop(({}", guards[g_idx].name);
-            if line.contains(&needle) || line.contains(&needle2) {
-                guards.remove(g_idx);
-            }
-        }
-        for c in line.bytes() {
-            match c {
-                b'{' => depth += 1,
-                b'}' => depth -= 1,
-                _ => {}
-            }
-        }
-        guards.retain(|g| g.depth <= depth);
-    }
-    out
-}
-
-/// If `line` binds a lock guard (`let [mut] name = ….lock()/.read()/
-/// .write()` or a `try_` variant), return the bound name.
-fn guard_binding(line: &str) -> Option<String> {
-    let has_acquire = [".lock()", ".read()", ".write()", ".try_lock()", ".try_read()", ".try_write()"]
-        .iter()
-        .any(|p| line.contains(p));
-    if !has_acquire {
-        return None;
-    }
-    let after_let = line.trim_start().strip_prefix("let ")?;
-    let after_mut = after_let.strip_prefix("mut ").unwrap_or(after_let);
-    let name: String = after_mut
-        .chars()
-        .take_while(|c| c.is_alphanumeric() || *c == '_')
-        .collect();
-    if name.is_empty() || name == "_" {
-        return None;
-    }
-    // Tuple/struct patterns aren't guard bindings we can track.
-    if after_mut.trim_start().starts_with('(') {
-        return None;
-    }
-    Some(name)
 }
 
 // ---------------------------------------------------------------------------
@@ -749,7 +709,6 @@ fn arrow_chains(line: &str) -> Vec<Vec<usize>> {
 ///    matched to integers (`CreNode … => 0`) must assign ascending
 ///    integers in canonical order.
 pub fn scan_canonical_order(file: &str, raw: &str, is_rust: bool) -> Vec<Finding> {
-    let allows = allow_lines(raw);
     let mut out = Vec::new();
     let lines: Vec<&str> = raw.lines().collect();
     let tests = if is_rust {
@@ -760,7 +719,7 @@ pub fn scan_canonical_order(file: &str, raw: &str, is_rust: bool) -> Vec<Finding
     // Check 1: arrow chains, on raw text (the order statement usually
     // lives in prose or doc comments).
     for (i, line) in lines.iter().enumerate() {
-        if flag(&allows, i) || flag(&tests, i) {
+        if flag(&tests, i) {
             continue;
         }
         for chain in arrow_chains(line) {
@@ -801,9 +760,6 @@ pub fn scan_canonical_order(file: &str, raw: &str, is_rust: bool) -> Vec<Finding
             // Only report once per window family: require the window to
             // START on a line contributing the creNode arm.
             if arm_number(code_lines.get(start).copied().unwrap_or(""), OPS[0]).is_none() {
-                continue;
-            }
-            if flag(&allows, start) {
                 continue;
             }
             let nums: Vec<i64> = map.iter().map(|n| n.unwrap_or(0)).collect();
@@ -859,6 +815,88 @@ pub fn scan_missing_docs(file: &str, raw: &str) -> Vec<Finding> {
     }]
 }
 
+// ---------------------------------------------------------------------------
+// Workspace file collection (shared by the CLI and the cross-validation
+// tests, so both sides of the runtime-subset contract see the same set)
+// ---------------------------------------------------------------------------
+
+/// Recursive workspace walk: collects `.rs` under `crates/` (and
+/// top-level `tests/`, `src/` if present) and `.md` everywhere, skipping
+/// `target`, VCS internals, and anything deeper than a sane bound.
+/// Returns repo-relative `(rust_files, md_files)`, sorted.
+pub fn collect_workspace_files(
+    root: &std::path::Path,
+) -> (Vec<std::path::PathBuf>, Vec<std::path::PathBuf>) {
+    fn walk(
+        root: &std::path::Path,
+        dir: &std::path::Path,
+        rust: &mut Vec<std::path::PathBuf>,
+        md: &mut Vec<std::path::PathBuf>,
+        depth: u32,
+    ) {
+        if depth > 8 {
+            return;
+        }
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name.starts_with('.') || name == "node_modules" {
+                    continue;
+                }
+                walk(root, &path, rust, md, depth + 1);
+            } else if let Ok(rel) = path.strip_prefix(root) {
+                let rel_str = rel.to_string_lossy();
+                if name.ends_with(".rs")
+                    && (rel_str.starts_with("crates/")
+                        || rel_str.starts_with("tests/")
+                        || rel_str.starts_with("src/"))
+                {
+                    rust.push(rel.to_path_buf());
+                } else if name.ends_with(".md") {
+                    md.push(rel.to_path_buf());
+                }
+            }
+        }
+    }
+    let mut rust = Vec::new();
+    let mut md = Vec::new();
+    walk(root, root, &mut rust, &mut md, 0);
+    rust.sort();
+    md.sort();
+    (rust, md)
+}
+
+/// Is this repo-relative file in scope for the whole-program lock
+/// analysis? The compat shims and the sanitizer implement the lock
+/// primitives themselves — their internal `lock()` calls are the
+/// instrumentation, not users of it — so they stay out of the model.
+pub fn lock_scope(rel: &str) -> bool {
+    !rel.starts_with("crates/compat/") && !rel.starts_with("crates/sanitizer/")
+}
+
+/// Load every workspace source in scope for the lock analysis, as
+/// repo-relative `(path, source)` pairs — the exact input set
+/// `doem-lint` analyzes, for tests that must agree with it.
+pub fn lock_analysis_sources(root: &std::path::Path) -> Vec<(String, String)> {
+    let (rust, _) = collect_workspace_files(root);
+    let mut out = Vec::new();
+    for rel in rust {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if !lock_scope(&rel_str) {
+            continue;
+        }
+        if let Ok(raw) = std::fs::read_to_string(root.join(&rel)) {
+            out.push((rel_str, raw));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -892,9 +930,24 @@ mod tests {
     #[test]
     fn allow_marker_suppresses() {
         let src = "fn a() {\n  // lint: allow\n  b.unwrap();\n  c.unwrap(); // lint: allow\n  e();\n  d.unwrap();\n}\n";
-        let f = scan_serve_unwrap("crates/serve/src/x.rs", src);
+        let raw_findings = scan_serve_unwrap("crates/serve/src/x.rs", src);
+        assert_eq!(raw_findings.len(), 3, "scanner reports everything");
+        let f = apply_allows("crates/serve/src/x.rs", src, raw_findings);
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].line, 6);
+    }
+
+    #[test]
+    fn stale_allow_marker_is_a_finding() {
+        // A marker with nothing to suppress is itself reported …
+        let src = "fn a() {\n  // lint: allow\n  fine();\n}\n";
+        let f = apply_allows("x.rs", src, Vec::new());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!((f[0].rule, f[0].line), ("stale-allow", 2));
+        // … but doc comments and strings mentioning the phrase are not
+        // markers, so they can't go stale.
+        let prose = "/// about `// lint: allow` markers\nlet s = \"// lint: allow\";\n";
+        assert!(apply_allows("x.rs", prose, Vec::new()).is_empty());
     }
 
     #[test]
@@ -936,17 +989,22 @@ mod tests {
     }
 
     #[test]
-    fn guard_across_wal_flags_and_releases() {
-        let src = "fn a(m: &Mutex<u8>) {\n  let g = m.lock();\n  file.sync_data()?;\n}\n";
-        let f = scan_guard_across_wal("crates/serve/src/x.rs", src);
-        assert_eq!(f.len(), 1, "{f:?}");
-        assert!(f[0].message.contains("[g]"));
-
-        let freed = "fn a(m: &Mutex<u8>) {\n  let g = m.lock();\n  drop(g);\n  file.sync_data()?;\n}\n";
-        assert!(scan_guard_across_wal("x.rs", freed).is_empty());
-
-        let scoped = "fn a(m: &Mutex<u8>) {\n  {\n    let g = m.lock();\n  }\n  file.sync_data()?;\n}\n";
-        assert!(scan_guard_across_wal("x.rs", scoped).is_empty());
+    fn fix_preserves_crlf_line_endings() {
+        let before = "fn load(p: &str) -> std::io::Result<u64> {\r\n    let n = read(p).unwrap();\r\n    Ok(n)\r\n}\r\n";
+        let (after, n) = fix_serve_unwrap(before);
+        assert_eq!(n, 1);
+        assert!(after.contains("read(p)?;\r\n"), "{after:?}");
+        assert!(!after.contains("\n    Ok(n)\n"), "LF leak: {after:?}");
+        // Idempotent on the CRLF output: --fix --check converges.
+        let (twice, n2) = fix_serve_unwrap(&after);
+        assert_eq!(n2, 0);
+        assert_eq!(after, twice);
+        // Untouched CRLF input passes through byte-for-byte (no trailing-
+        // newline surgery, no \r loss) — including a final unterminated line.
+        let clean = "fn a() {}\r\nfn b() {}\r\nconst X: u8 = 0;";
+        let (out, n3) = fix_serve_unwrap(clean);
+        assert_eq!(n3, 0);
+        assert_eq!(out, clean);
     }
 
     #[test]
@@ -1019,21 +1077,62 @@ mod tests {
             }
 
             #[test]
+            fn fixer_preserves_line_terminators(src in "(ok\\(\\)\\.unwrap\\(\\);|fn f\\(\\) -> Result<u8, E> \\{|\\}|\r\n|\n|x){0,40}") {
+                // Whatever the fixer does to line *contents*, the sequence
+                // of terminators (\r\n vs \n vs none) is untouched.
+                let (fixed, _) = fix_serve_unwrap(&src);
+                let terms = |s: &str| s.split_inclusive('\n').map(|seg| {
+                    if seg.ends_with("\r\n") { 2u8 } else { u8::from(seg.ends_with('\n')) }
+                }).collect::<Vec<u8>>();
+                prop_assert_eq!(terms(&src), terms(&fixed));
+            }
+
+            #[test]
             fn scanners_never_panic(src in "\\PC{0,160}") {
                 let _ = scan_serve_unwrap("crates/serve/src/f.rs", &src);
-                let _ = scan_guard_across_wal("f.rs", &src);
                 let _ = scan_parser_fuzz("f.rs", &src);
                 let _ = scan_canonical_order("f.rs", &src, true);
                 let _ = scan_canonical_order("f.md", &src, false);
                 let _ = scan_missing_docs("f.rs", &src);
+                let _ = apply_allows("f.rs", &src, Vec::new());
             }
 
             #[test]
             fn scanners_never_panic_on_rustish_soup(src in "(let |mut |\\.lock\\(\\)|\\.unwrap\\(\\)|sync_data\\(|creNode|=> 3|\\{|\\}|\"|'|//|/\\*|\n| ){0,60}") {
                 let _ = strip_source(&src);
                 let _ = scan_serve_unwrap("crates/serve/src/f.rs", &src);
-                let _ = scan_guard_across_wal("f.rs", &src);
                 let _ = scan_canonical_order("f.rs", &src, true);
+            }
+
+            #[test]
+            fn tokenizer_agrees_with_stripper(src in "\\PC{0,160}") {
+                // The class-based stripper (tokenizer's view) and the
+                // state-machine stripper must blank exactly the same bytes.
+                prop_assert_eq!(token::strip_via_classes(&src), strip_source(&src));
+            }
+
+            #[test]
+            fn tokenizer_and_parser_never_panic(src in "\\PC{0,200}") {
+                let toks = token::tokenize(&src);
+                // Token texts are in-order slices of the source.
+                let mut at = 0usize;
+                for t in &toks {
+                    prop_assert!(t.start >= at);
+                    prop_assert_eq!(src.get(t.start..t.start + t.text.len()), Some(t.text));
+                    at = t.start;
+                }
+                let _ = token::allow_marker_lines(&src);
+                let _ = ast::parse_file(&src);
+            }
+
+            #[test]
+            fn lock_analysis_never_panics_on_rustish_soup(
+                src in "(fn f\\(\\)|impl S |struct S |\\{|\\}|;|let g = |self\\.m\\.lock\\(\\)|\\.write\\(\\)|m: Mutex<u8>,|drop\\(g\\)|\\.sync_data\\(\\)|wait\\(&mut g\\)|notify_one\\(\\)|\n| ){0,60}"
+            ) {
+                let files = vec![("crates/x/src/l.rs".to_string(), src.clone())];
+                let an = locks::analyze(&files);
+                let _ = locks::dot(&an);
+                let _ = locks::runtime_subset(&an, &[]);
             }
         }
     }

@@ -1,16 +1,22 @@
 //! `doem-lint` — run the project invariant scanners over the workspace.
 //!
 //! Usage: `cargo run --bin doem-lint [-- --root <path>] [--write-baseline]
-//! [--fix [--check]]`
+//! [--fix [--check]] [--graph dot] [--runtime-subset <dir>]`
 //!
 //! `--fix` rewrites the *trivial* serve-unwrap findings in place
 //! (`.unwrap()` in a `Result`-returning fn under `crates/serve/src`
 //! becomes `?`) and exits; `--fix --check` writes nothing and exits 1 if
 //! any file *would* change — the CI guard that the autofix has been run.
 //!
+//! `--graph dot` prints the static lock-order graph (Graphviz) and exits;
+//! `--runtime-subset <dir>` reads sanitizer-observed edges (`*.edges`
+//! files of `from_site<TAB>to_site` lines, written under
+//! `DOEM_SANITIZE_GRAPH`) and exits 1 unless every runtime edge is
+//! covered by the static graph — a missed edge is a lint soundness bug.
+//!
 //! Exit codes: 0 clean (relative to baseline), 1 findings above baseline
-//! (or `--fix --check` dirty), 2 usage / I/O error. Diagnostics are
-//! `file:line: [rule] message`.
+//! (or `--fix --check` dirty, or a runtime-subset violation), 2 usage /
+//! I/O error. Diagnostics are `file:line: [rule] message`.
 //!
 //! The baseline file (`doem-lint.baseline` at the workspace root) holds
 //! `rule<TAB>file<TAB>count` lines for findings that are accepted by
@@ -23,14 +29,17 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use lint::{fix_serve_unwrap, scan_canonical_order, scan_guard_across_wal, scan_missing_docs,
-           scan_parser_fuzz, scan_serve_unwrap, Finding};
+use lint::{apply_allows, collect_workspace_files, fix_serve_unwrap, lock_scope, locks,
+           scan_canonical_order, scan_missing_docs, scan_parser_fuzz, scan_serve_unwrap,
+           Finding};
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut write_baseline = false;
     let mut fix = false;
     let mut check = false;
+    let mut graph = false;
+    let mut subset_dir: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -44,9 +53,24 @@ fn main() -> ExitCode {
             "--write-baseline" => write_baseline = true,
             "--fix" => fix = true,
             "--check" => check = true,
+            "--graph" => match args.next().as_deref() {
+                Some("dot") => graph = true,
+                _ => {
+                    eprintln!("doem-lint: --graph requires the format `dot`");
+                    return ExitCode::from(2);
+                }
+            },
+            "--runtime-subset" => match args.next() {
+                Some(p) => subset_dir = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("doem-lint: --runtime-subset requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: doem-lint [--root <path>] [--write-baseline] [--fix [--check]]"
+                    "usage: doem-lint [--root <path>] [--write-baseline] [--fix [--check]] \
+                     [--graph dot] [--runtime-subset <dir>]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -79,7 +103,17 @@ fn main() -> ExitCode {
         return run_fix(&root, check);
     }
 
-    let findings = scan_workspace(&root);
+    let scan = scan_workspace(&root);
+
+    if graph {
+        print!("{}", locks::dot(&scan.analysis));
+        return ExitCode::SUCCESS;
+    }
+    if let Some(dir) = subset_dir {
+        return run_subset(&scan.analysis, &dir);
+    }
+
+    let findings = scan.findings;
     let baseline_path = root.join("doem-lint.baseline");
 
     if write_baseline {
@@ -166,10 +200,7 @@ fn main() -> ExitCode {
 /// rule's scope, `crates/serve/src`. In check mode nothing is written and
 /// a dirty tree exits 1, so CI can demand the fix has been run.
 fn run_fix(root: &Path, check: bool) -> ExitCode {
-    let mut rust_files = Vec::new();
-    let mut md_files = Vec::new();
-    collect_files(root, root, &mut rust_files, &mut md_files, 0);
-    rust_files.sort();
+    let (rust_files, _) = collect_workspace_files(root);
     let mut dirty = 0usize;
     let mut total_rewrites = 0usize;
     for rel in &rust_files {
@@ -210,6 +241,63 @@ fn run_fix(root: &Path, check: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Check sanitizer-observed lock-order edges against the static graph.
+/// `dir` holds `*.edges` files (one per CI leg) of
+/// `from_site<TAB>to_site` lines as written by `DOEM_SANITIZE_GRAPH`.
+/// Every runtime edge must be statically predicted; a violation means the
+/// static analysis missed real locking behavior and exits 1.
+fn run_subset(an: &locks::Analysis, dir: &Path) -> ExitCode {
+    let mut edges: Vec<(String, String)> = Vec::new();
+    let mut legs = 0usize;
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("doem-lint: cannot read {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("edges") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        legs += 1;
+        for line in text.lines() {
+            let mut parts = line.split('\t');
+            if let (Some(from), Some(to)) = (parts.next(), parts.next()) {
+                if !from.is_empty() && !to.is_empty() {
+                    edges.push((from.to_string(), to.to_string()));
+                }
+            }
+        }
+    }
+    edges.sort();
+    edges.dedup();
+    let violations = locks::runtime_subset(an, &edges);
+    if violations.is_empty() {
+        println!(
+            "doem-lint: runtime-subset clean ({} observed edge(s) from {legs} leg(s), all \
+             statically predicted; static graph has {} edge(s))",
+            edges.len(),
+            an.edges.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            println!("doem-lint: [runtime-subset] {v}");
+        }
+        println!(
+            "doem-lint: {} runtime edge(s) missing from the static lock-order graph — the \
+             static analysis missed real locking behavior (soundness bug in crates/lint)",
+            violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
 /// The lint crate lives at `<root>/crates/lint`, so the workspace root is
 /// two levels up from the manifest dir.
 fn default_root() -> Option<PathBuf> {
@@ -217,36 +305,66 @@ fn default_root() -> Option<PathBuf> {
     Path::new(&manifest).parent()?.parent().map(Path::to_path_buf)
 }
 
-/// Walk the workspace and run every rule over the files in its scope.
-fn scan_workspace(root: &Path) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    let mut rust_files = Vec::new();
-    let mut md_files = Vec::new();
-    collect_files(root, root, &mut rust_files, &mut md_files, 0);
-    rust_files.sort();
-    md_files.sort();
+/// Everything one workspace pass produces: suppressed-and-audited
+/// findings plus the lock analysis (for `--graph` / `--runtime-subset`).
+struct Scan {
+    findings: Vec<Finding>,
+    analysis: locks::Analysis,
+}
 
+/// Walk the workspace and run every rule over the files in its scope.
+fn scan_workspace(root: &Path) -> Scan {
+    let mut findings = Vec::new();
+    let (rust_files, md_files) = collect_workspace_files(root);
+
+    // Load every Rust file once; the lock analysis needs the whole
+    // workspace at once (call graph), the line rules go file-by-file.
+    let mut sources: Vec<(String, String)> = Vec::new();
     for rel in &rust_files {
         let Ok(raw) = std::fs::read_to_string(root.join(rel)) else {
             continue;
         };
-        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        sources.push((rel.to_string_lossy().replace('\\', "/"), raw));
+    }
+
+    let lock_inputs: Vec<(String, String)> = sources
+        .iter()
+        .filter(|(rel, _)| lock_scope(rel))
+        .cloned()
+        .collect();
+    let analysis = locks::analyze(&lock_inputs);
+
+    // Group the lock findings by file so each file's suppression pass
+    // sees them alongside its line-rule findings.
+    let mut lock_findings: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    for f in &analysis.findings {
+        lock_findings.entry(f.file.clone()).or_default().push(f.clone());
+    }
+
+    for (rel_str, raw) in &sources {
+        let mut file_findings = lock_findings.remove(rel_str).unwrap_or_default();
         let in_compat = rel_str.starts_with("crates/compat/");
         if rel_str.starts_with("crates/serve/src/") {
-            findings.extend(scan_serve_unwrap(&rel_str, &raw));
+            file_findings.extend(scan_serve_unwrap(rel_str, raw));
         }
         if rel_str.starts_with("crates/") && rel_str.contains("/src/") {
-            findings.extend(scan_guard_across_wal(&rel_str, &raw));
             // Compat stand-ins mirror external crate APIs; their parsing
             // surface (none today) is out of the fuzz contract's scope.
             if !in_compat {
-                findings.extend(scan_parser_fuzz(&rel_str, &raw));
+                file_findings.extend(scan_parser_fuzz(rel_str, raw));
             }
         }
-        findings.extend(scan_canonical_order(&rel_str, &raw, true));
+        file_findings.extend(scan_canonical_order(rel_str, raw, true));
         if rel_str.ends_with("src/lib.rs") {
-            findings.extend(scan_missing_docs(&rel_str, &raw));
+            file_findings.extend(scan_missing_docs(rel_str, raw));
         }
+        // Central suppression + stale-marker audit, per file.
+        findings.extend(apply_allows(rel_str, raw, file_findings));
+    }
+    // Lock findings in files the walker didn't load (shouldn't happen —
+    // the analysis only sees walked files) pass through unsuppressed.
+    for (_, fs) in lock_findings {
+        findings.extend(fs);
     }
     for rel in &md_files {
         let Ok(raw) = std::fs::read_to_string(root.join(rel)) else {
@@ -258,47 +376,7 @@ fn scan_workspace(root: &Path) -> Vec<Finding> {
     findings.sort_by(|a, b| {
         (a.rule, &a.file, a.line).cmp(&(b.rule, &b.file, b.line))
     });
-    findings
-}
-
-/// Recursive workspace walk: collects `.rs` under `crates/` (and top-level
-/// `tests/`, `src/` if present) and `.md` everywhere, skipping `target`,
-/// VCS internals, and anything deeper than a sane bound.
-fn collect_files(
-    root: &Path,
-    dir: &Path,
-    rust: &mut Vec<PathBuf>,
-    md: &mut Vec<PathBuf>,
-    depth: u32,
-) {
-    if depth > 8 {
-        return;
-    }
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if name == "target" || name.starts_with('.') || name == "node_modules" {
-                continue;
-            }
-            collect_files(root, &path, rust, md, depth + 1);
-        } else if let Ok(rel) = path.strip_prefix(root) {
-            let rel_str = rel.to_string_lossy();
-            if name.ends_with(".rs")
-                && (rel_str.starts_with("crates/")
-                    || rel_str.starts_with("tests/")
-                    || rel_str.starts_with("src/"))
-            {
-                rust.push(rel.to_path_buf());
-            } else if name.ends_with(".md") {
-                md.push(rel.to_path_buf());
-            }
-        }
-    }
+    Scan { findings, analysis }
 }
 
 /// Parse `rule<TAB>file<TAB>count` lines; `#` comments and blanks skipped.

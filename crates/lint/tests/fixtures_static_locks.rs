@@ -1,0 +1,199 @@
+//! Fixture suite for the static lock-order analysis: small synthetic
+//! "workspaces" with known deadlock shapes, checked down to the exact
+//! `file:line` witness chains the findings report. Complements the unit
+//! tests in `locks.rs` (which cover guard extents and key resolution)
+//! and the live cross-validation in the root `lock_graph_subset` test.
+
+use lint::locks::{analyze, runtime_subset, Analysis};
+
+fn an(files: &[(&str, &str)]) -> Analysis {
+    let owned: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.to_string()))
+        .collect();
+    analyze(&owned)
+}
+
+/// The canonical two-function inter-procedural inversion: `lock_a_then_b`
+/// takes `a` and calls a helper that takes `b`; `lock_b_then_a` does the
+/// reverse. Neither function inverts the order *locally* — only the call
+/// graph sees the cycle.
+#[test]
+fn two_fn_interprocedural_cycle_with_exact_chains() {
+    let src = "\
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    fn lock_a_then_b(&self) { let g = self.a.lock(); self.take_b(); }
+    fn take_b(&self) { let h = self.b.lock(); }
+    fn lock_b_then_a(&self) { let g = self.b.lock(); self.take_a(); }
+    fn take_a(&self) { let h = self.a.lock(); }
+}
+";
+    let a = an(&[("crates/x/src/lib.rs", src)]);
+
+    let ab = a
+        .edges
+        .get(&("S.a".to_string(), "S.b".to_string()))
+        .expect("edge S.a -> S.b");
+    // Witness: `a` acquired on line 3, then the call on line 3 reaches
+    // the `b` acquisition on line 4.
+    assert_eq!(ab.to_site.to_string(), "crates/x/src/lib.rs:4");
+    let chain: Vec<String> = ab.chain.iter().map(|s| s.to_string()).collect();
+    assert_eq!(
+        chain,
+        vec!["crates/x/src/lib.rs:3".to_string(), "crates/x/src/lib.rs:4".to_string()]
+    );
+
+    let ba = a
+        .edges
+        .get(&("S.b".to_string(), "S.a".to_string()))
+        .expect("edge S.b -> S.a");
+    let chain: Vec<String> = ba.chain.iter().map(|s| s.to_string()).collect();
+    assert_eq!(
+        chain,
+        vec!["crates/x/src/lib.rs:5".to_string(), "crates/x/src/lib.rs:6".to_string()]
+    );
+
+    let cycles: Vec<_> = a
+        .findings
+        .iter()
+        .filter(|f| f.rule == "lock-order-cycle")
+        .collect();
+    assert_eq!(cycles.len(), 1, "one cycle, reported once: {:#?}", a.findings);
+    assert!(
+        cycles[0].message.contains("S.a") && cycles[0].message.contains("S.b"),
+        "cycle names both locks: {}",
+        cycles[0].message
+    );
+}
+
+/// A guard held across `sync_data` (the fsync-under-lock shape the old
+/// `guard-across-wal` rule special-cased) is reported with the full
+/// acquisition-to-blocking chain, including through an intermediate fn.
+#[test]
+fn guard_across_fsync_reports_the_blocking_chain() {
+    let src = "\
+struct W { m: Mutex<u32> }
+impl W {
+    fn flush(&self) {
+        let g = self.m.lock();
+        self.persist();
+    }
+    fn persist(&self) {
+        self.file.sync_data();
+    }
+}
+";
+    let a = an(&[("crates/x/src/lib.rs", src)]);
+    let f = a
+        .findings
+        .iter()
+        .find(|f| f.rule == "guard-across-blocking")
+        .expect("guard-across-blocking finding");
+    assert_eq!(f.file, "crates/x/src/lib.rs");
+    assert_eq!(f.line, 4, "anchored at the acquisition");
+    assert!(
+        f.message.contains("`W.m`") && f.message.contains("sync_data"),
+        "names the lock and the blocking call: {}",
+        f.message
+    );
+    assert!(
+        f.message.contains("crates/x/src/lib.rs:5 -> crates/x/src/lib.rs:8"),
+        "chain runs call-site -> blocking-site: {}",
+        f.message
+    );
+}
+
+/// The ubiquitous condvar pattern — notify while holding the paired
+/// mutex, wait releases it — must NOT report: the wait side registers
+/// the condvar edge only against locks still held *besides* the paired
+/// mutex, and the notify side's `cv -> paired` edge closes no cycle.
+#[test]
+fn condvar_paired_mutex_is_not_a_false_positive() {
+    let src = "\
+struct Q { m: Mutex<u32>, cv: Condvar }
+impl Q {
+    fn consume(&self) {
+        let mut g = self.m.lock();
+        self.cv.wait(&mut g);
+    }
+    fn produce(&self) {
+        let g = self.m.lock();
+        self.cv.notify_one();
+    }
+}
+";
+    let a = an(&[("crates/x/src/lib.rs", src)]);
+    assert!(
+        a.findings.iter().all(|f| f.rule != "lock-order-cycle"),
+        "paired condvar use reported a cycle: {:#?}",
+        a.findings
+    );
+    // And the wait itself is not "blocking under the paired guard".
+    assert!(
+        a.findings.iter().all(|f| f.rule != "guard-across-blocking"),
+        "paired condvar wait reported guard-across-blocking: {:#?}",
+        a.findings
+    );
+}
+
+/// An *unrelated* lock held across the wait is the lost-wakeup deadlock
+/// and must still be reported as a cycle through the condvar node.
+#[test]
+fn condvar_wait_under_unrelated_lock_is_a_cycle() {
+    let src = "\
+struct Q { m: Mutex<u32>, other: Mutex<u32>, cv: Condvar }
+impl Q {
+    fn consume(&self) {
+        let o = self.other.lock();
+        let mut g = self.m.lock();
+        self.cv.wait(&mut g);
+    }
+    fn produce(&self) {
+        let o = self.other.lock();
+        self.cv.notify_one();
+    }
+}
+";
+    let a = an(&[("crates/x/src/lib.rs", src)]);
+    assert!(
+        a.findings.iter().any(|f| f.rule == "lock-order-cycle"),
+        "lost-wakeup shape not reported: {:#?}",
+        a.findings
+    );
+}
+
+/// The subset check must catch a deliberately deleted static edge: the
+/// negative control for the CI cross-validation gate.
+#[test]
+fn runtime_subset_catches_a_deleted_static_edge() {
+    let src = "\
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    fn ab(&self) {
+        let g = self.a.lock();
+        let h = self.b.lock();
+    }
+}
+";
+    let a = an(&[("crates/x/src/lib.rs", src)]);
+    // A runtime observation matching the static witness sites.
+    let edge = (
+        "crates/x/src/lib.rs:4".to_string(),
+        "crates/x/src/lib.rs:5".to_string(),
+    );
+    assert!(runtime_subset(&a, std::slice::from_ref(&edge)).is_empty());
+
+    let mut pruned = a.clone();
+    pruned
+        .edges
+        .remove(&("S.a".to_string(), "S.b".to_string()))
+        .expect("static edge to delete");
+    let violations = runtime_subset(&pruned, &[edge]);
+    assert_eq!(violations.len(), 1, "deleted edge not caught: {violations:#?}");
+    assert!(
+        violations[0].contains("no static counterpart"),
+        "violation explains the miss: {}",
+        violations[0]
+    );
+}

@@ -58,7 +58,11 @@ impl TcpHandle {
         if let Some(t) = self.accept.take() {
             let _ = t.join();
         }
-        for (_, stream) in self.sessions.lock().drain() {
+        // Drain under the lock, shut down outside it: session threads
+        // take this lock to deregister, so issuing socket syscalls while
+        // holding it would stall their exit.
+        let sessions: Vec<_> = self.sessions.lock().drain().collect();
+        for (_, stream) in sessions {
             let _ = stream.shutdown(Shutdown::Both);
         }
     }

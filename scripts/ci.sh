@@ -28,8 +28,17 @@ for seed in 7 1998 424242; do
         cargo test -q --offline --test serve_replication
 done
 
+# Every sanitized leg below also dumps its observed lock-order edges
+# (DOEM_SANITIZE_GRAPH) so the cross-validation gate can check
+# runtime ⊆ static afterwards. Paths are absolute because `cargo test`
+# runs test binaries with the package dir as cwd.
+lock_order_dir="$(pwd)/target/lock-order"
+rm -rf "$lock_order_dir"
+mkdir -p "$lock_order_dir"
+
 echo "==> replication smoke (1 primary, 2 followers) under DOEM_SANITIZE=1"
-repl_out="$(DOEM_SANITIZE=1 cargo test -q --offline --test serve_replication \
+repl_out="$(DOEM_SANITIZE=1 DOEM_SANITIZE_GRAPH="$lock_order_dir/repl.edges" \
+    cargo test -q --offline --test serve_replication \
     two_followers_track_a_live_primary 2>&1)" || {
     echo "$repl_out"
     echo "ci: replication smoke failed under DOEM_SANITIZE=1" >&2
@@ -48,7 +57,8 @@ echo "==> chaos matrix: topology torture + consistency oracle + failpoint livene
 cargo run -q --release --offline -p chaos -- --seeds 7,1998,424242
 
 echo "==> chaos smoke under DOEM_SANITIZE=1"
-chaos_out="$(DOEM_SANITIZE=1 cargo run -q --release --offline -p chaos -- \
+chaos_out="$(DOEM_SANITIZE=1 DOEM_SANITIZE_GRAPH="$lock_order_dir/chaos.edges" \
+    cargo run -q --release --offline -p chaos -- \
     --seeds 3 --ops 60 --faults 8 --followers 2 2>&1)" || {
     echo "$chaos_out"
     echo "ci: chaos smoke failed under DOEM_SANITIZE=1" >&2
@@ -66,11 +76,28 @@ cargo run -q -p lint --offline --bin doem-lint
 echo "==> doem-lint --fix --check (trivial serve unwraps must be fixed)"
 cargo run -q -p lint --offline --bin doem-lint -- --fix --check
 
-echo "==> guard-across-wal baseline ratchet (must stay at most 2 sites)"
-baseline_sites="$(grep -c '^guard-across-wal' doem-lint.baseline || true)"
-baseline_total="$(awk -F'\t' '/^guard-across-wal/ { sum += $3 } END { print sum + 0 }' doem-lint.baseline)"
-if [ "$baseline_total" -gt 2 ]; then
-    echo "ci: guard-across-wal baseline grew to $baseline_total findings across $baseline_sites file(s); the staged commit pipeline allows at most 2" >&2
+echo "==> guard-across-blocking baseline ratchet (must stay at most 10 findings)"
+baseline_sites="$(grep -c '^guard-across-blocking' doem-lint.baseline || true)"
+baseline_total="$(awk -F'\t' '/^guard-across-blocking/ { sum += $3 } END { print sum + 0 }' doem-lint.baseline)"
+if [ "$baseline_total" -gt 10 ]; then
+    echo "ci: guard-across-blocking baseline grew to $baseline_total findings across $baseline_sites file(s); only the two justified sites (install_shard durable prep, qss ticker persist) are accepted" >&2
+    exit 1
+fi
+
+echo "==> static/runtime lock-order cross-validation (runtime edges ⊆ static graph)"
+cargo run -q -p lint --offline --bin doem-lint -- --graph dot > "$lock_order_dir/static.dot"
+if ! cargo run -q -p lint --offline --bin doem-lint -- --runtime-subset "$lock_order_dir"; then
+    # Leave both graphs behind as diffable artifacts: the static
+    # prediction and the union of what the sanitized legs observed.
+    {
+        echo "digraph runtime_lock_order {"
+        awk -F'\t' 'NF == 2 && !seen[$0]++ { printf "  \"%s\" -> \"%s\";\n", $1, $2 }' \
+            "$lock_order_dir"/*.edges
+        echo "}"
+    } > "$lock_order_dir/runtime.dot"
+    echo "ci: runtime lock-order edges escaped the static graph (lint soundness bug); artifacts:" >&2
+    echo "ci:   static graph:  target/lock-order/static.dot" >&2
+    echo "ci:   runtime graph: target/lock-order/runtime.dot (+ per-leg .edges files)" >&2
     exit 1
 fi
 
@@ -79,7 +106,8 @@ echo "==> incremental agreement proptest under DOEM_SANITIZE=1"
 # re-evaluation on random histories, and its serve/qss consumers take
 # locks in the maintenance fast path — so the agreement property reruns
 # with the sanitizer watching.
-inc_out="$(DOEM_SANITIZE=1 cargo test -q --offline --test properties \
+inc_out="$(DOEM_SANITIZE=1 DOEM_SANITIZE_GRAPH="$lock_order_dir/inc.edges" \
+    cargo test -q --offline --test properties \
     incremental_agrees_with_full 2>&1)" || {
     echo "$inc_out"
     echo "ci: incremental agreement proptest failed under DOEM_SANITIZE=1" >&2
@@ -95,7 +123,8 @@ echo "==> serve suite under DOEM_SANITIZE=1 (must report zero findings)"
 # The sanitizer fixtures in crates/sanitizer/tests *intentionally* emit
 # DOEM-SANITIZE findings, so the gate reruns only the serve crate's
 # binaries and fails on any finding line in their output.
-sanitize_out="$(DOEM_SANITIZE=1 cargo test -q --offline -p serve 2>&1)" || {
+sanitize_out="$(DOEM_SANITIZE=1 DOEM_SANITIZE_GRAPH="$lock_order_dir/serve.edges" \
+    cargo test -q --offline -p serve 2>&1)" || {
     echo "$sanitize_out"
     echo "ci: serve tests failed under DOEM_SANITIZE=1" >&2
     exit 1
