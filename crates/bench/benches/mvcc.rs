@@ -1,0 +1,199 @@
+//! X11 — the MVCC version store vs whole-database copy-on-write
+//! (DESIGN.md §14).
+//!
+//! Three questions, all at the library layer (no serve instance):
+//!
+//! * **snapshot-under-write latency** — what a single write costs while a
+//!   reader still pins a snapshot: the persistent path-copy (PMap spine,
+//!   O(write × log n)) versus the deep whole-database rebuild the old COW
+//!   handle paid (O(n));
+//! * **resident memory of retained versions** — 64 retained versions of a
+//!   growing database: structurally shared versions cost O(db + total
+//!   writes), independent deep copies cost O(64 × db). Reported as `mem:`
+//!   lines by a counting allocator, not timed;
+//! * **`AS OF` cost vs version age** — resolving a historical read from
+//!   the version ring (clone a retained handle) versus the replay
+//!   fallback (`doem::snapshot_at`) used past the retention horizon.
+//!
+//! Expected shape: the COW write and the COW footprint grow linearly with
+//! database size while the MVCC write and footprint stay flat; ring reads
+//! are flat in version age while replay pays the full reconstruction.
+
+use bench::evolving_history;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oem::{ArcTriple, OemDatabase, SharedOem, Timestamp, Value, VersionRing};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Live heap bytes, maintained by [`CountingAlloc`].
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// A [`System`] wrapper that tracks live heap bytes so the memory
+/// comparison reports actual allocator-visible footprint, not estimates.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            LIVE.fetch_add(layout.size(), Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            LIVE.fetch_add(new_size, Ordering::Relaxed);
+            LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn live_bytes() -> usize {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// Rebuild `db` node by node through the public API, sharing nothing with
+/// the original — the cost model of the pre-§14 copy-on-write handle,
+/// where one write under an outstanding snapshot duplicated the whole
+/// database.
+fn deep_rebuild(db: &OemDatabase) -> OemDatabase {
+    let mut out = OemDatabase::with_root_id(db.name(), db.root());
+    for n in db.node_ids() {
+        if n == db.root() {
+            continue;
+        }
+        out.create_node_with_id(n, db.value(n).expect("node exists").clone())
+            .expect("fresh id");
+    }
+    for arc in db.arcs() {
+        out.insert_arc(arc).expect("endpoints rebuilt");
+    }
+    out
+}
+
+/// One small write: a fresh restaurant node hung off the root.
+fn small_write(db: &mut OemDatabase, i: i64) {
+    let root = db.root();
+    let n = db.create_node(Value::Int(i));
+    db.insert_arc(ArcTriple::new(root, "restaurant", n))
+        .expect("fresh node");
+}
+
+fn guide_of(n: usize) -> OemDatabase {
+    let (db, _) = evolving_history(11, n, 1, 1);
+    db
+}
+
+fn bench_snapshot_under_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mvcc/snapshot-under-write");
+    for &size in &[50usize, 200, 800] {
+        let live = SharedOem::new(guide_of(size));
+        // `live` itself is the outstanding snapshot: every iteration's
+        // handle is shared with it, so the first mutation must preserve
+        // the pinned state.
+        group.bench_with_input(BenchmarkId::new("mvcc", size), &size, |b, _| {
+            b.iter(|| {
+                let mut w = live.snapshot();
+                small_write(w.make_mut(), 1);
+                w
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cow-baseline", size), &size, |b, _| {
+            b.iter(|| {
+                let mut copy = deep_rebuild(black_box(&live));
+                small_write(&mut copy, 1);
+                copy
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Install `keep` versions of a size-`n` guide, one small write apart.
+/// `deep` simulates the old COW world where each retained version is an
+/// independent full copy; otherwise versions share structure.
+fn build_ring(base: &OemDatabase, keep: usize, deep: bool) -> VersionRing<SharedOem> {
+    let mut live = SharedOem::new(base.clone());
+    let mut ring = VersionRing::new();
+    for i in 0..keep {
+        small_write(live.make_mut(), i as i64);
+        let version = if deep {
+            SharedOem::new(deep_rebuild(&live))
+        } else {
+            live.snapshot()
+        };
+        ring.publish_entry(Timestamp::from_raw_minutes(i as i64 + 1), i as u64, version);
+    }
+    ring
+}
+
+/// Not a timed benchmark: prints `mem:` lines comparing the live heap
+/// footprint of 64 retained versions under both representations.
+fn report_retained_memory(_c: &mut Criterion) {
+    const KEEP: usize = 64;
+    for &size in &[50usize, 200, 800] {
+        let base = guide_of(size);
+        let before = live_bytes();
+        let shared = build_ring(&base, KEEP, false);
+        let shared_bytes = live_bytes().saturating_sub(before);
+        drop(shared);
+        let before = live_bytes();
+        let deep = build_ring(&base, KEEP, true);
+        let deep_bytes = live_bytes().saturating_sub(before);
+        drop(deep);
+        println!(
+            "mem: mvcc/retained-{KEEP}/{size}r  shared: {:.1} KiB  cow-deep: {:.1} KiB  ({:.1}x)",
+            shared_bytes as f64 / 1024.0,
+            deep_bytes as f64 / 1024.0,
+            deep_bytes as f64 / shared_bytes.max(1) as f64,
+        );
+    }
+}
+
+fn bench_as_of_by_age(c: &mut Criterion) {
+    // 240 versions over a 50-restaurant guide; the ring retains them all,
+    // the DOEM database supports replay to any point.
+    let (db, h) = evolving_history(13, 50, 240, 4);
+    let d = doem::doem_from_history(&db, &h).expect("valid by construction");
+    let mut live = SharedOem::new(db);
+    let mut ring = VersionRing::new();
+    for (g, e) in h.entries().iter().enumerate() {
+        e.changes
+            .apply_to(live.make_mut())
+            .expect("history is valid");
+        ring.publish_entry(e.at, g as u64, live.snapshot());
+    }
+
+    let len = h.len();
+    let mut group = c.benchmark_group("mvcc/as-of");
+    for (age_label, idx) in [("newest", len - 1), ("mid", len / 2), ("oldest", 0usize)] {
+        let at = h.entries()[idx].at;
+        group.bench_with_input(BenchmarkId::new("ring", age_label), &at, |b, at| {
+            b.iter(|| ring.at(black_box(*at)).expect("retained").value.snapshot())
+        });
+        group.bench_with_input(BenchmarkId::new("replay", age_label), &at, |b, at| {
+            b.iter(|| doem::snapshot_at(black_box(&d), *at))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_snapshot_under_write,
+    report_retained_memory,
+    bench_as_of_by_age
+);
+criterion_main!(benches);

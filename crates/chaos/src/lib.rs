@@ -52,8 +52,8 @@ pub enum Sabotage {
 #[derive(Clone, Debug)]
 pub struct OracleFailure {
     /// Which check tripped: `durability`, `snapshot-isolation`,
-    /// `monotonic-reads`, `convergence`, `fencing`, `promotion`, or
-    /// `setup`.
+    /// `monotonic-reads`, `convergence`, `as-of-convergence`, `fencing`,
+    /// `promotion`, or `setup`.
     pub check: &'static str,
     /// Human-readable specifics.
     pub detail: String,

@@ -53,6 +53,12 @@ pub struct ReadObs {
     /// are snapshot-checked; a racing replication apply makes the serve
     /// point ambiguous, not wrong).
     pub clean: bool,
+    /// `Some(t)` when this was a time-travel read (`AS OF t`): the serve
+    /// point is the pinned historical LSN itself — `lsn_floor` carries it
+    /// too, so the snapshot-isolation check applies unchanged — but the
+    /// monotonic-reads check must skip it (travelling backwards in time
+    /// is the whole point).
+    pub as_of: Option<Timestamp>,
     /// The canonical row strings the service answered.
     pub rows: Vec<String>,
 }
@@ -67,8 +73,9 @@ pub struct History {
 }
 
 /// Replay the acked prefix `H ≤ upto` over an empty database — the
-/// oracle's reference state for a read served at LSN `upto`.
-fn rebuild(acked: &[AckedWrite], upto: Timestamp) -> DoemDatabase {
+/// oracle's reference state for a read served at LSN `upto` (and for the
+/// harness's post-convergence `AS OF` agreement check).
+pub(crate) fn rebuild(acked: &[AckedWrite], upto: Timestamp) -> DoemDatabase {
     let initial = OemDatabase::new(DB.to_string());
     let mut doem = DoemDatabase::from_snapshot(&initial);
     let mut replica = initial;
@@ -171,10 +178,15 @@ pub fn check_all(
         checked += 1;
     }
 
-    // 3. Monotonic reads per session.
+    // 3. Monotonic reads per session. Time-travel reads are excluded on
+    // both sides: an `AS OF` read deliberately observes an old state and
+    // must neither trip the check nor lower the session's floor.
     let mut floors: std::collections::HashMap<usize, (usize, Timestamp)> =
         std::collections::HashMap::new();
     for (i, read) in history.reads.iter().enumerate() {
+        if read.as_of.is_some() {
+            continue;
+        }
         if let Some((prev_i, prev)) = floors.get(&read.session) {
             if read.lsn_floor < *prev {
                 return Err(OracleFailure {
@@ -237,6 +249,7 @@ mod tests {
                     node: 1,
                     lsn_floor: Timestamp::from_raw_minutes(20),
                     clean: false,
+                    as_of: None,
                     rows: Vec::new(),
                 },
                 ReadObs {
@@ -244,6 +257,7 @@ mod tests {
                     node: 1,
                     lsn_floor: Timestamp::from_raw_minutes(10),
                     clean: false,
+                    as_of: None,
                     rows: Vec::new(),
                 },
             ],
@@ -251,6 +265,64 @@ mod tests {
         let snap = rebuild(&[], Timestamp::from_raw_minutes(0));
         let err = check_all(&history, &[Some(snap)], &[0], 0).unwrap_err();
         assert_eq!(err.check, "monotonic-reads");
+    }
+
+    #[test]
+    fn as_of_reads_are_snapshot_checked_but_exempt_from_monotonicity() {
+        let acked = vec![write(10, 101, 1), write(12, 102, 2)];
+        let at10 = rebuild(&acked, Timestamp::from_raw_minutes(10));
+        let result = chorel::run_both_checked(&at10, "select chaos.item").unwrap();
+        let old_rows = chorel::canonical_row_strings(&at10, &result);
+        let converged = rebuild(&acked, Timestamp::from_raw_minutes(99));
+
+        // A head read at 12 followed by a time-travel read at 10 in the
+        // SAME session: legal, and the old rows are still verified.
+        let head = rebuild(&acked, Timestamp::from_raw_minutes(12));
+        let head_rows = chorel::canonical_row_strings(
+            &head,
+            &chorel::run_both_checked(&head, "select chaos.item").unwrap(),
+        );
+        let history = History {
+            acked: acked.clone(),
+            reads: vec![
+                ReadObs {
+                    session: 2,
+                    node: 0,
+                    lsn_floor: Timestamp::from_raw_minutes(12),
+                    clean: true,
+                    as_of: None,
+                    rows: head_rows,
+                },
+                ReadObs {
+                    session: 2,
+                    node: 0,
+                    lsn_floor: Timestamp::from_raw_minutes(10),
+                    clean: true,
+                    as_of: Some(Timestamp::from_raw_minutes(10)),
+                    rows: old_rows.clone(),
+                },
+            ],
+        };
+        assert_eq!(
+            check_all(&history, &[Some(converged.clone())], &[12], 0).unwrap(),
+            2,
+            "both reads snapshot-checked, no monotonicity trip"
+        );
+
+        // …but a *wrong* answer at the pinned point still fails.
+        let bad = History {
+            acked,
+            reads: vec![ReadObs {
+                session: 2,
+                node: 0,
+                lsn_floor: Timestamp::from_raw_minutes(12),
+                clean: true,
+                as_of: Some(Timestamp::from_raw_minutes(12)),
+                rows: old_rows, // stale: the prefix at 12 has two items
+            }],
+        };
+        let err = check_all(&bad, &[Some(converged)], &[12], 0).unwrap_err();
+        assert_eq!(err.check, "snapshot-isolation");
     }
 
     #[test]
@@ -270,6 +342,7 @@ mod tests {
                 node: 0,
                 lsn_floor: Timestamp::from_raw_minutes(10),
                 clean: true,
+                as_of: None,
                 rows: rows.clone(),
             }],
         };
@@ -285,6 +358,7 @@ mod tests {
                 node: 0,
                 lsn_floor: Timestamp::from_raw_minutes(12),
                 clean: true,
+                as_of: None,
                 rows, // stale: the prefix at 12 has two items
             }],
         };

@@ -104,6 +104,20 @@ pub enum Event {
         /// Topology node index (0 = initial primary).
         node: usize,
     },
+    /// A time-travel read (`QUERY … AS OF <lsn>`) pinned to one topology
+    /// node. The point is chosen at run time: `frac` picks an
+    /// acknowledged write's LSN proportionally far into the prefix the
+    /// target node has already applied, so the read always targets a
+    /// state the MVCC version store (or its snapshot-at fallback) must
+    /// reproduce exactly.
+    ReadAsOf {
+        /// Reader session id.
+        session: usize,
+        /// Topology node index (0 = initial primary).
+        node: usize,
+        /// Percentile (0–100) into the applied acked prefix.
+        frac: u8,
+    },
     /// Arm a fault plan at one node's failpoint registry.
     Fault {
         /// Topology node index the plan is armed on.
@@ -170,9 +184,17 @@ impl Schedule {
                     }
                 } else {
                     let node = rng.gen_range(0..=followers);
-                    Event::Read {
-                        session: WRITER_SESSIONS + node,
-                        node,
+                    let session = WRITER_SESSIONS + node;
+                    // A fifth of the reads time-travel: they pin an `AS OF`
+                    // point inside the applied prefix instead of the head.
+                    if rng.gen_bool(0.2) {
+                        Event::ReadAsOf {
+                            session,
+                            node,
+                            frac: rng.gen_range(0..=100),
+                        }
+                    } else {
+                        Event::Read { session, node }
                     }
                 }
             })
@@ -302,6 +324,13 @@ impl Schedule {
                 Event::Read { session, node } => {
                     out.push_str(&format!("read session={session} node={node}\n"))
                 }
+                Event::ReadAsOf {
+                    session,
+                    node,
+                    frac,
+                } => out.push_str(&format!(
+                    "read-as-of session={session} node={node} frac={frac}\n"
+                )),
                 Event::Fault {
                     node,
                     point,
@@ -420,6 +449,28 @@ mod tests {
             }
             if let Event::Kill { node } = ev {
                 assert!(*node >= 1, "kill aimed at the primary");
+            }
+        }
+    }
+
+    #[test]
+    fn schedules_interleave_as_of_reads_with_head_reads() {
+        let s = Schedule::from_seed(7, ScheduleOpts::default());
+        let as_of = s
+            .events
+            .iter()
+            .filter(|ev| matches!(ev, Event::ReadAsOf { .. }))
+            .count();
+        let head = s
+            .events
+            .iter()
+            .filter(|ev| matches!(ev, Event::Read { .. }))
+            .count();
+        assert!(as_of >= 5, "only {as_of} AS OF reads in the default plan");
+        assert!(head > as_of, "head reads must stay the majority");
+        for ev in &s.events {
+            if let Event::ReadAsOf { frac, .. } = ev {
+                assert!(*frac <= 100);
             }
         }
     }

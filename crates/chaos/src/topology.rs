@@ -29,7 +29,8 @@
 use crate::oracle::{AckedWrite, History, ReadObs};
 use crate::schedule::{Event, Schedule};
 use crate::{OracleFailure, RunSummary, Sabotage};
-use oem::Timestamp;
+use doem::current_snapshot;
+use oem::{same_database, Timestamp};
 use serve::protocol::lsn_from_wire;
 use serve::{ErrKind, FaultPoint, Faults, Response, ServeConfig, Service, TcpHandle};
 use std::path::PathBuf;
@@ -203,6 +204,11 @@ impl Harness {
                     at_minutes,
                 } => self.exec_write(*session, *nid, *val, *at_minutes, sabotage),
                 Event::Read { session, node } => self.exec_read(*session, *node),
+                Event::ReadAsOf {
+                    session,
+                    node,
+                    frac,
+                } => self.exec_read_as_of(*session, *node, *frac),
                 Event::Fault {
                     node,
                     point,
@@ -309,6 +315,48 @@ impl Harness {
             node,
             lsn_floor: before,
             clean: before == after,
+            as_of: None,
+            rows,
+        });
+    }
+
+    /// A time-travel read: resolve `frac` to an acked LSN the target node
+    /// has already applied, issue `QUERY … AS OF` against it, and record
+    /// the observation with the pinned point as its serve point. The
+    /// answer comes from the node's retained version ring when the point
+    /// is above its retention horizon, and from the snapshot-at replay
+    /// fallback otherwise — the oracle holds both to the same standard.
+    fn exec_read_as_of(&mut self, session: usize, node: usize, frac: u8) {
+        let node = node.min(self.nodes.len() - 1);
+        let client = self.nodes[node].svc().client();
+        let applied = match client.request_line(&format!("LSN {DB}")) {
+            Response::Ok(msg) => match parse_applied(&msg) {
+                Some(t) => t,
+                None => return,
+            },
+            // The shard has not replicated to this node yet: no read.
+            _ => return,
+        };
+        // Acked writes are a strictly increasing LSN sequence, so the
+        // applied candidates form a prefix; `frac` picks inside it.
+        let candidates = self.history.acked.iter().filter(|w| w.at <= applied).count();
+        if candidates == 0 {
+            return;
+        }
+        let idx = (candidates - 1) * usize::from(frac.min(100)) / 100;
+        let at = self.history.acked[idx].at;
+        let Response::Rows(rows) = client.request_line(&format!(
+            "QUERY {DB} AS OF {} select {DB}.item",
+            at.raw_minutes()
+        )) else {
+            return;
+        };
+        self.history.reads.push(ReadObs {
+            session,
+            node,
+            lsn_floor: at,
+            clean: true,
+            as_of: Some(at),
             rows,
         });
     }
@@ -469,6 +517,61 @@ impl Harness {
         }
     }
 
+    /// The fifth, MVCC-specific check: after convergence, `AS OF` at a
+    /// historical LSN must answer the replay of the acked prefix — on the
+    /// primary *and* every follower, whether the point is served from the
+    /// node's retained version ring or through the snapshot-at fallback.
+    /// Where a node still retains the version, its graph itself must
+    /// equal the replay (by [`oem::same_database`]), not just the rows.
+    fn check_as_of_convergence(&self) -> Result<(), OracleFailure> {
+        if self.history.acked.is_empty() {
+            return Ok(());
+        }
+        let at = self.history.acked[self.history.acked.len() / 2].at;
+        let reference = crate::oracle::rebuild(&self.history.acked, at);
+        let result = chorel::run_both_checked(&reference, &format!("select {DB}.item"))
+            .map_err(|e| OracleFailure {
+                check: "as-of-convergence",
+                detail: format!("reference replay at {at} failed to evaluate: {e}"),
+            })?;
+        let want = chorel::canonical_row_strings(&reference, &result);
+        for (i, node) in self.nodes.iter().enumerate() {
+            let resp = node.svc().client().request_line(&format!(
+                "QUERY {DB} AS OF {} select {DB}.item",
+                at.raw_minutes()
+            ));
+            let Response::Rows(rows) = resp else {
+                return Err(OracleFailure {
+                    check: "as-of-convergence",
+                    detail: format!("node {i} refused AS OF {at}: {resp:?}"),
+                });
+            };
+            if rows != want {
+                return Err(OracleFailure {
+                    check: "as-of-convergence",
+                    detail: format!(
+                        "node {i} answered {} rows AS OF {at}, the acked-prefix \
+                         replay yields {} — observed {rows:?}, want {want:?}",
+                        rows.len(),
+                        want.len()
+                    ),
+                });
+            }
+            if let Some(version) = node.svc().version_snapshot(DB, at) {
+                if !same_database(&version, &current_snapshot(&reference)) {
+                    return Err(OracleFailure {
+                        check: "as-of-convergence",
+                        detail: format!(
+                            "node {i} retains a version at {at} whose graph diverges \
+                             from the acked-prefix replay"
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn total_fired(&self) -> u64 {
         self.nodes.iter().map(|n| n.faults.fired()).sum()
     }
@@ -537,6 +640,7 @@ impl Harness {
         }
         let reads_checked =
             crate::oracle::check_all(&self.history, &snapshots, &lsns, self.primary)?;
+        self.check_as_of_convergence()?;
         Ok(RunSummary {
             writes_acked: self.history.acked.len(),
             reads_total: self.history.reads.len(),

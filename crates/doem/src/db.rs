@@ -12,16 +12,25 @@
 //! checks the DOEM-specific well-formedness rules instead.
 
 use crate::{ArcAnnotation, DoemError, NodeAnnotation, Result};
-use oem::{ArcTriple, NodeId, OemDatabase, Timestamp, Value};
-use std::collections::HashMap;
+use oem::{ArcTriple, Label, NodeId, OemDatabase, PMap, Timestamp, Value};
 use std::fmt;
 
+/// The arc annotations of one parent, bucketed as `(label, child, anns)`.
+type ArcBucket = Vec<(Label, NodeId, Vec<ArcAnnotation>)>;
+
 /// A DOEM database: an annotated OEM graph.
+///
+/// Both annotation maps are persistent PATRICIA maps ([`oem::PMap`]), so
+/// cloning a `DoemDatabase` shares structure with the original and a
+/// subsequent mutation copies only the touched spine — annotation lookups
+/// compose with versioned reads of the underlying graph (DESIGN.md §14).
+/// Arc annotations are bucketed per parent node, keyed by the parent's raw
+/// id, which keeps iteration order deterministic without hashing triples.
 #[derive(Clone, Debug)]
 pub struct DoemDatabase {
     graph: OemDatabase,
-    node_ann: HashMap<NodeId, Vec<NodeAnnotation>>,
-    arc_ann: HashMap<ArcTriple, Vec<ArcAnnotation>>,
+    node_ann: PMap<Vec<NodeAnnotation>>,
+    arc_ann: PMap<ArcBucket>,
 }
 
 impl DoemDatabase {
@@ -29,8 +38,8 @@ impl DoemDatabase {
     pub fn from_snapshot(snapshot: &OemDatabase) -> DoemDatabase {
         DoemDatabase {
             graph: snapshot.clone(),
-            node_ann: HashMap::new(),
-            arc_ann: HashMap::new(),
+            node_ann: PMap::new(),
+            arc_ann: PMap::new(),
         }
     }
 
@@ -57,22 +66,34 @@ impl DoemDatabase {
 
     /// The annotations of node `n`, in time order (`fN(n)`).
     pub fn node_annotations(&self, n: NodeId) -> &[NodeAnnotation] {
-        self.node_ann.get(&n).map(Vec::as_slice).unwrap_or(&[])
+        self.node_ann.get(n.raw()).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// The annotations of arc `a`, in time order (`fA(a)`).
     pub fn arc_annotations(&self, a: ArcTriple) -> &[ArcAnnotation] {
-        self.arc_ann.get(&a).map(Vec::as_slice).unwrap_or(&[])
+        self.arc_ann
+            .get(a.parent.raw())
+            .and_then(|bucket| {
+                bucket
+                    .iter()
+                    .find(|(l, c, _)| *l == a.label && *c == a.child)
+            })
+            .map(|(_, _, anns)| anns.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Nodes that carry at least one annotation.
     pub fn annotated_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.node_ann.keys().copied()
+        self.node_ann.keys().map(NodeId::from_raw)
     }
 
     /// Arcs that carry at least one annotation.
     pub fn annotated_arcs(&self) -> impl Iterator<Item = ArcTriple> + '_ {
-        self.arc_ann.keys().copied()
+        self.arc_ann.iter().flat_map(|(p, bucket)| {
+            bucket
+                .iter()
+                .map(move |(l, c, _)| ArcTriple::new(NodeId::from_raw(p), *l, *c))
+        })
     }
 
     /// The node's `cre` timestamp, if it was created during the recorded
@@ -159,7 +180,12 @@ impl DoemDatabase {
             .values()
             .flatten()
             .map(NodeAnnotation::at)
-            .chain(self.arc_ann.values().flatten().map(ArcAnnotation::at))
+            .chain(
+                self.arc_ann
+                    .values()
+                    .flat_map(|bucket| bucket.iter().flat_map(|(_, _, anns)| anns))
+                    .map(ArcAnnotation::at),
+            )
             .collect();
         ts.sort();
         ts.dedup();
@@ -169,7 +195,40 @@ impl DoemDatabase {
     /// Total number of annotations (nodes + arcs).
     pub fn annotation_count(&self) -> usize {
         self.node_ann.values().map(Vec::len).sum::<usize>()
-            + self.arc_ann.values().map(Vec::len).sum::<usize>()
+            + self
+                .arc_ann
+                .values()
+                .flat_map(|bucket| bucket.iter().map(|(_, _, anns)| anns.len()))
+                .sum::<usize>()
+    }
+
+    /// The annotation list of node `n`, created empty on first use.
+    fn node_anns_mut(&mut self, n: NodeId) -> &mut Vec<NodeAnnotation> {
+        let key = n.raw();
+        if !self.node_ann.contains_key(key) {
+            self.node_ann.insert(key, Vec::new());
+        }
+        self.node_ann.get_mut(key).expect("just inserted")
+    }
+
+    /// The annotation list of arc `a`, created empty on first use.
+    fn arc_anns_mut(&mut self, a: ArcTriple) -> &mut Vec<ArcAnnotation> {
+        let key = a.parent.raw();
+        if !self.arc_ann.contains_key(key) {
+            self.arc_ann.insert(key, Vec::new());
+        }
+        let bucket = self.arc_ann.get_mut(key).expect("just inserted");
+        let at = match bucket
+            .iter()
+            .position(|(l, c, _)| *l == a.label && *c == a.child)
+        {
+            Some(i) => i,
+            None => {
+                bucket.push((a.label, a.child, Vec::new()));
+                bucket.len() - 1
+            }
+        };
+        &mut bucket[at].2
     }
 
     // ---- recording (used by construction and the QSS DOEM manager) ----
@@ -178,7 +237,7 @@ impl DoemDatabase {
     /// `cre(t)`.
     pub fn record_create(&mut self, n: NodeId, v: Value, t: Timestamp) -> Result<()> {
         self.graph.create_node_with_id(n, v)?;
-        self.node_ann.entry(n).or_default().push(NodeAnnotation::Cre(t));
+        self.node_anns_mut(n).push(NodeAnnotation::Cre(t));
         Ok(())
     }
 
@@ -187,10 +246,7 @@ impl DoemDatabase {
     pub fn record_update(&mut self, n: NodeId, v: Value, t: Timestamp) -> Result<()> {
         let old = self.graph.value(n)?.clone();
         self.graph.set_value(n, v)?;
-        self.node_ann
-            .entry(n)
-            .or_default()
-            .push(NodeAnnotation::Upd { at: t, old });
+        self.node_anns_mut(n).push(NodeAnnotation::Upd { at: t, old });
         Ok(())
     }
 
@@ -201,7 +257,7 @@ impl DoemDatabase {
         if !self.graph.contains_arc(a) {
             self.graph.insert_arc(a)?;
         }
-        self.arc_ann.entry(a).or_default().push(ArcAnnotation::Add(t));
+        self.arc_anns_mut(a).push(ArcAnnotation::Add(t));
         Ok(())
     }
 
@@ -211,7 +267,7 @@ impl DoemDatabase {
         if !self.graph.contains_arc(a) {
             return Err(DoemError::Oem(oem::OemError::NoSuchArc(a)));
         }
-        self.arc_ann.entry(a).or_default().push(ArcAnnotation::Rem(t));
+        self.arc_anns_mut(a).push(ArcAnnotation::Rem(t));
         Ok(())
     }
 
@@ -235,7 +291,7 @@ impl DoemDatabase {
         if !self.graph.contains_node(n) {
             return Err(DoemError::Oem(oem::OemError::NoSuchNode(n)));
         }
-        self.node_ann.entry(n).or_default().push(ann);
+        self.node_anns_mut(n).push(ann);
         Ok(())
     }
 
@@ -244,7 +300,7 @@ impl DoemDatabase {
         if !self.graph.contains_arc(a) {
             return Err(DoemError::Oem(oem::OemError::NoSuchArc(a)));
         }
-        self.arc_ann.entry(a).or_default().push(ann);
+        self.arc_anns_mut(a).push(ann);
         Ok(())
     }
 
@@ -255,10 +311,32 @@ impl DoemDatabase {
     pub fn collect_garbage(&mut self) -> Vec<NodeId> {
         let dead = self.graph.collect_garbage();
         for n in &dead {
-            self.node_ann.remove(n);
+            self.node_ann.remove(n.raw());
+            self.arc_ann.remove(n.raw());
         }
+        // Prune annotations of arcs the graph no longer contains (the
+        // surviving parents' buckets may reference collected children).
         let graph = &self.graph;
-        self.arc_ann.retain(|a, _| graph.contains_arc(*a));
+        let stale: Vec<(u64, ArcBucket)> = self
+            .arc_ann
+            .iter()
+            .filter_map(|(p, bucket)| {
+                let parent = NodeId::from_raw(p);
+                let kept: ArcBucket = bucket
+                    .iter()
+                    .filter(|(l, c, _)| graph.contains_arc(ArcTriple::new(parent, *l, *c)))
+                    .cloned()
+                    .collect();
+                (kept.len() != bucket.len()).then_some((p, kept))
+            })
+            .collect();
+        for (p, kept) in stale {
+            if kept.is_empty() {
+                self.arc_ann.remove(p);
+            } else {
+                self.arc_ann.insert(p, kept);
+            }
+        }
         dead
     }
 
@@ -268,7 +346,8 @@ impl DoemDatabase {
     /// alternating `add`/`rem`; no annotation precedes its node's creation;
     /// annotations only on existing nodes/arcs.
     pub fn check_invariants(&self) -> Result<()> {
-        for (&n, anns) in &self.node_ann {
+        for (raw, anns) in &self.node_ann {
+            let n = NodeId::from_raw(raw);
             if !self.graph.contains_node(n) {
                 return Err(DoemError::Oem(oem::OemError::NoSuchNode(n)));
             }
@@ -302,18 +381,22 @@ impl DoemDatabase {
                 }
             }
         }
-        for (&arc, anns) in &self.arc_ann {
-            if !self.graph.contains_arc(arc) {
-                return Err(DoemError::Oem(oem::OemError::NoSuchArc(arc)));
-            }
-            let mut prev: Option<&ArcAnnotation> = None;
-            for a in anns {
-                if let Some(p) = prev {
-                    if a.at() <= p.at() || a.is_add() == p.is_add() {
-                        return Err(DoemError::BadArcAnnotations(arc));
-                    }
+        for (praw, bucket) in &self.arc_ann {
+            let parent = NodeId::from_raw(praw);
+            for (l, c, anns) in bucket {
+                let arc = ArcTriple::new(parent, *l, *c);
+                if !self.graph.contains_arc(arc) {
+                    return Err(DoemError::Oem(oem::OemError::NoSuchArc(arc)));
                 }
-                prev = Some(a);
+                let mut prev: Option<&ArcAnnotation> = None;
+                for a in anns {
+                    if let Some(p) = prev {
+                        if a.at() <= p.at() || a.is_add() == p.is_add() {
+                            return Err(DoemError::BadArcAnnotations(arc));
+                        }
+                    }
+                    prev = Some(a);
+                }
             }
         }
         Ok(())
@@ -342,13 +425,12 @@ impl fmt::Display for DoemDatabase {
     /// annotation table.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.graph)?;
-        let mut nodes: Vec<NodeId> = self.node_ann.keys().copied().collect();
-        nodes.sort();
-        for n in nodes {
+        // PMap iteration is ascending in the raw id, so nodes come out sorted.
+        for n in self.annotated_nodes() {
             let anns: Vec<String> = self.node_annotations(n).iter().map(|a| a.to_string()).collect();
             writeln!(f, "{n}: {}", anns.join(", "))?;
         }
-        let mut arcs: Vec<ArcTriple> = self.arc_ann.keys().copied().collect();
+        let mut arcs: Vec<ArcTriple> = self.annotated_arcs().collect();
         arcs.sort();
         for a in arcs {
             let anns: Vec<String> = self.arc_annotations(a).iter().map(|x| x.to_string()).collect();
@@ -501,10 +583,7 @@ mod tests {
         d.record_add(ArcTriple::new(d.root(), "x", c), ts("1Jan97"))
             .unwrap();
         // Corrupt: force a second cre.
-        d.node_ann
-            .get_mut(&c)
-            .unwrap()
-            .push(NodeAnnotation::Cre(ts("2Jan97")));
+        d.node_anns_mut(c).push(NodeAnnotation::Cre(ts("2Jan97")));
         assert!(matches!(
             d.check_invariants(),
             Err(DoemError::BadCreAnnotation(_))
@@ -516,10 +595,7 @@ mod tests {
         let (mut d, r, p) = tiny();
         let arc = ArcTriple::new(r, "price", p);
         d.record_remove(arc, ts("1Jan97")).unwrap();
-        d.arc_ann
-            .get_mut(&arc)
-            .unwrap()
-            .push(ArcAnnotation::Rem(ts("2Jan97")));
+        d.arc_anns_mut(arc).push(ArcAnnotation::Rem(ts("2Jan97")));
         assert!(matches!(
             d.check_invariants(),
             Err(DoemError::BadArcAnnotations(_))

@@ -11,8 +11,9 @@
 //! Collected ids are retired forever — Section 2.2 assumes deleted ids are
 //! never reused — so `creNode` on a previously used id is rejected.
 
+use crate::pmap::{PMap, PSet};
 use crate::{ArcTriple, Label, NodeId, OemError, Result, Value};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::HashSet;
 
 /// Per-node storage: the value and outgoing arcs in insertion order.
 #[derive(Clone, Debug)]
@@ -25,17 +26,27 @@ struct NodeData {
 }
 
 /// A rooted OEM database.
+///
+/// Storage is **persistent** (DESIGN.md §14): the node map is a
+/// path-copying PATRICIA trie ([`PMap`]), so cloning a database is O(1)
+/// and a clone diverging under writes shares every untouched subtree
+/// with its siblings. That makes [`crate::SharedOem`]'s copy-on-write
+/// `make_mut` cost O(write), not O(database) — the structural-sharing
+/// substrate of the MVCC version store.
 #[derive(Clone, Debug)]
 pub struct OemDatabase {
     /// The database name; the first component of a Lorel path expression
     /// resolves against it (e.g. `guide` in `guide.restaurant.price`).
     name: String,
     root: NodeId,
-    nodes: BTreeMap<NodeId, NodeData>,
-    /// Fast arc-membership checks (addArc/remArc preconditions).
-    arc_set: HashSet<ArcTriple>,
+    /// Nodes keyed by raw id; trie order is ascending id order.
+    nodes: PMap<NodeData>,
+    /// Total arcs — always the sum of the adjacency lists' lengths.
+    /// Membership checks scan the parent's (short) adjacency list; a
+    /// separate arc set would re-enter every arc into the clone path.
+    arc_count: usize,
     /// Ids that were used once and have been garbage-collected.
-    retired: HashSet<NodeId>,
+    retired: PSet,
     /// Next id handed out by [`OemDatabase::create_node`].
     next_id: u64,
 }
@@ -50,9 +61,9 @@ impl OemDatabase {
     /// fixtures that reproduce the paper's figures with the paper's node
     /// numbering (the Guide root is `n4`).
     pub fn with_root_id(name: impl Into<String>, root: NodeId) -> OemDatabase {
-        let mut nodes = BTreeMap::new();
+        let mut nodes = PMap::new();
         nodes.insert(
-            root,
+            root.0,
             NodeData {
                 value: Value::Complex,
                 out: Vec::new(),
@@ -62,8 +73,8 @@ impl OemDatabase {
             name: name.into(),
             root,
             nodes,
-            arc_set: HashSet::new(),
-            retired: HashSet::new(),
+            arc_count: 0,
+            retired: PSet::new(),
             next_id: root.0 + 1,
         }
     }
@@ -90,35 +101,38 @@ impl OemDatabase {
 
     /// Number of arcs currently in the database.
     pub fn arc_count(&self) -> usize {
-        self.arc_set.len()
+        self.arc_count
     }
 
     /// Whether `n` is currently an object of the database.
     pub fn contains_node(&self, n: NodeId) -> bool {
-        self.nodes.contains_key(&n)
+        self.nodes.contains_key(n.0)
     }
 
-    /// Whether the arc `(p, l, c)` is currently present.
+    /// Whether the arc `(p, l, c)` is currently present. O(out-degree of
+    /// the parent) — adjacency lists are the single source of truth.
     pub fn contains_arc(&self, arc: ArcTriple) -> bool {
-        self.arc_set.contains(&arc)
+        self.children(arc.parent)
+            .iter()
+            .any(|&(l, c)| l == arc.label && c == arc.child)
     }
 
     /// The value of object `n`.
     pub fn value(&self, n: NodeId) -> Result<&Value> {
         self.nodes
-            .get(&n)
+            .get(n.0)
             .map(|d| &d.value)
             .ok_or(OemError::NoSuchNode(n))
     }
 
     /// `true` iff `n` exists and is a complex object.
     pub fn is_complex(&self, n: NodeId) -> bool {
-        matches!(self.nodes.get(&n), Some(d) if d.value.is_complex())
+        matches!(self.nodes.get(n.0), Some(d) if d.value.is_complex())
     }
 
     /// Outgoing arcs of `n` in insertion order (empty for atomic objects).
     pub fn children(&self, n: NodeId) -> &[(Label, NodeId)] {
-        self.nodes.get(&n).map(|d| d.out.as_slice()).unwrap_or(&[])
+        self.nodes.get(n.0).map(|d| d.out.as_slice()).unwrap_or(&[])
     }
 
     /// The `l`-labeled children of `n`, in insertion order.
@@ -135,15 +149,17 @@ impl OemDatabase {
 
     /// All object ids, ascending.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes.keys().copied()
+        self.nodes.keys().map(NodeId)
     }
 
     /// All arcs, grouped by parent in id order, then insertion order.
     pub fn arcs(&self) -> impl Iterator<Item = ArcTriple> + '_ {
-        self.nodes.iter().flat_map(|(&p, d)| {
-            d.out
-                .iter()
-                .map(move |&(label, child)| ArcTriple { parent: p, label, child })
+        self.nodes.iter().flat_map(|(p, d)| {
+            d.out.iter().map(move |&(label, child)| ArcTriple {
+                parent: NodeId(p),
+                label,
+                child,
+            })
         })
     }
 
@@ -183,7 +199,7 @@ impl OemDatabase {
 
     /// `true` iff `n` was never used as an object id.
     pub fn is_fresh(&self, n: NodeId) -> bool {
-        !self.nodes.contains_key(&n) && !self.retired.contains(&n)
+        !self.nodes.contains_key(n.0) && !self.retired.contains(n.0)
     }
 
     /// Create a node with a caller-chosen fresh id (the paper's
@@ -194,7 +210,7 @@ impl OemDatabase {
             return Err(OemError::IdNotFresh(n));
         }
         self.nodes.insert(
-            n,
+            n.0,
             NodeData {
                 value,
                 out: Vec::new(),
@@ -211,7 +227,7 @@ impl OemDatabase {
         let id = NodeId(self.next_id);
         self.next_id += 1;
         self.nodes.insert(
-            id,
+            id.0,
             NodeData {
                 value,
                 out: Vec::new(),
@@ -223,7 +239,7 @@ impl OemDatabase {
     /// Overwrite the value of `n` unconditionally (no paper preconditions;
     /// see [`crate::ChangeOp::UpdNode`] for the checked path).
     pub fn set_value(&mut self, n: NodeId, value: Value) -> Result<()> {
-        let data = self.nodes.get_mut(&n).ok_or(OemError::NoSuchNode(n))?;
+        let data = self.nodes.get_mut(n.0).ok_or(OemError::NoSuchNode(n))?;
         data.value = value;
         Ok(())
     }
@@ -231,38 +247,37 @@ impl OemDatabase {
     /// Insert the arc `(p, l, c)`. Checks only existence/duplication, not
     /// parent complexity (see [`crate::ChangeOp::AddArc`] for full checks).
     pub fn insert_arc(&mut self, arc: ArcTriple) -> Result<()> {
-        if !self.nodes.contains_key(&arc.parent) {
+        if !self.nodes.contains_key(arc.parent.0) {
             return Err(OemError::NoSuchNode(arc.parent));
         }
-        if !self.nodes.contains_key(&arc.child) {
+        if !self.nodes.contains_key(arc.child.0) {
             return Err(OemError::NoSuchNode(arc.child));
         }
-        if !self.arc_set.insert(arc) {
+        if self.contains_arc(arc) {
             return Err(OemError::ArcExists(arc));
         }
         self.nodes
-            .get_mut(&arc.parent)
+            .get_mut(arc.parent.0)
             .expect("parent checked above")
             .out
             .push((arc.label, arc.child));
+        self.arc_count += 1;
         Ok(())
     }
 
     /// Remove the arc `(p, l, c)`.
     pub fn delete_arc(&mut self, arc: ArcTriple) -> Result<()> {
-        if !self.arc_set.remove(&arc) {
-            return Err(OemError::NoSuchArc(arc));
-        }
-        let out = &mut self
-            .nodes
-            .get_mut(&arc.parent)
-            .expect("arc_set implies parent exists")
-            .out;
-        let pos = out
+        let pos = self
+            .children(arc.parent)
             .iter()
             .position(|&(l, c)| l == arc.label && c == arc.child)
-            .expect("arc_set and adjacency agree");
-        out.remove(pos);
+            .ok_or(OemError::NoSuchArc(arc))?;
+        self.nodes
+            .get_mut(arc.parent.0)
+            .expect("children() found the arc")
+            .out
+            .remove(pos);
+        self.arc_count -= 1;
         Ok(())
     }
 
@@ -292,23 +307,18 @@ impl OemDatabase {
         let dead: Vec<NodeId> = self
             .nodes
             .keys()
-            .copied()
+            .map(NodeId)
             .filter(|n| !live.contains(n))
             .collect();
         for &n in &dead {
-            let data = self.nodes.remove(&n).expect("listed above");
-            for (label, child) in data.out {
-                self.arc_set.remove(&ArcTriple {
-                    parent: n,
-                    label,
-                    child,
-                });
-            }
-            self.retired.insert(n);
+            let data = self.nodes.remove(n.0).expect("listed above");
+            self.arc_count -= data.out.len();
+            self.retired.insert(n.0);
         }
         // Arcs *into* dead nodes can only originate from dead nodes (a live
-        // parent would make the child live), so the loop above removed them
-        // all; assert that in debug builds.
+        // parent would make the child live), so removing the dead nodes'
+        // own adjacency lists removed every dead-touching arc; assert that
+        // in debug builds.
         debug_assert!(self.arcs().all(|a| live.contains(&a.child)));
         dead
     }
@@ -316,38 +326,33 @@ impl OemDatabase {
     /// Check the Definition 2.1 invariants; used by tests and debug
     /// assertions. Returns a human-readable violation if any.
     pub fn check_invariants(&self) -> std::result::Result<(), String> {
-        if !self.nodes.contains_key(&self.root) {
+        if !self.nodes.contains_key(self.root.0) {
             return Err(format!("root {} is not an object", self.root));
         }
-        for (&n, data) in &self.nodes {
+        for (raw, data) in &self.nodes {
+            let n = NodeId(raw);
             if data.value.is_atomic() && !data.out.is_empty() {
                 return Err(format!("atomic object {n} has outgoing arcs"));
             }
             let mut seen = HashSet::new();
             for &(l, c) in &data.out {
-                if !self.nodes.contains_key(&c) {
+                if !self.nodes.contains_key(c.0) {
                     return Err(format!("dangling arc ({n}, {l}, {c})"));
                 }
                 if !seen.insert((l, c)) {
                     return Err(format!("duplicate arc ({n}, {l}, {c})"));
                 }
-                if !self.arc_set.contains(&ArcTriple {
-                    parent: n,
-                    label: l,
-                    child: c,
-                }) {
-                    return Err(format!("arc ({n}, {l}, {c}) missing from arc set"));
-                }
             }
         }
-        if self.arc_set.len() != self.nodes.values().map(|d| d.out.len()).sum::<usize>() {
-            return Err("arc set and adjacency lists disagree".to_string());
+        if self.arc_count != self.nodes.values().map(|d| d.out.len()).sum::<usize>() {
+            return Err("arc counter and adjacency lists disagree".to_string());
         }
         let live = self.reachable();
         if live.len() != self.nodes.len() {
             let orphan = self
                 .nodes
                 .keys()
+                .map(NodeId)
                 .find(|n| !live.contains(n))
                 .expect("count mismatch implies an orphan");
             return Err(format!("object {orphan} is unreachable from the root"));

@@ -52,8 +52,10 @@ mod ids;
 mod label;
 mod ops;
 mod parse_ops;
+mod pmap;
 mod shared;
 mod text;
+mod versioned;
 mod timestamp;
 mod traverse;
 mod value;
@@ -71,7 +73,9 @@ pub use ids::NodeId;
 pub use label::Label;
 pub use ops::ChangeOp;
 pub use parse_ops::{parse_change_set, parse_history, parse_op};
+pub use pmap::{PMap, PSet};
 pub use shared::SharedOem;
+pub use versioned::{VersionEntry, VersionRing, VersionedOem};
 pub use text::{parse_text, write_text, TextOptions};
 pub use timestamp::{ParseTimestampError, Timestamp};
 pub use traverse::{follow_path, max_depth, preorder, reachable_from};

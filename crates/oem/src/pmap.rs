@@ -1,0 +1,596 @@
+//! Persistent (path-copying) integer maps — the structural-sharing
+//! substrate of the MVCC version store (DESIGN.md §14).
+//!
+//! [`PMap`] is a big-endian PATRICIA trie in the style of Okasaki & Gill
+//! ("Fast Mergeable Integer Maps", 1998): interior nodes branch on the
+//! *highest* bit position at which their subtrees' keys differ, so an
+//! in-order traversal yields keys in ascending unsigned order — the same
+//! iteration contract as the `BTreeMap` it replaces inside
+//! [`crate::OemDatabase`]. Every interior edge is an [`Arc`], and updates
+//! copy only the O(log n) spine from the root down to the touched leaf
+//! (via [`Arc::make_mut`], which degrades to in-place mutation when a
+//! node is unshared). Cloning a map is therefore O(1), and two clones
+//! diverging under writes share every untouched subtree — a snapshot
+//! costs O(writes since the snapshot), not O(database).
+//!
+//! [`PSet`] is the set view (a `PMap<()>`).
+
+use std::sync::Arc;
+
+/// One trie node: a key/value leaf, or a branch on bit `bit` whose
+/// subtrees share the prefix `prefix` strictly above that bit.
+#[derive(Clone, Debug)]
+enum Node<V> {
+    Leaf {
+        key: u64,
+        value: V,
+    },
+    Branch {
+        /// The bits all keys below this node share, above `bit`; `bit`
+        /// and everything below it are zeroed.
+        prefix: u64,
+        /// The branching bit (exactly one bit set): keys with it clear
+        /// go left, keys with it set go right.
+        bit: u64,
+        left: Arc<Node<V>>,
+        right: Arc<Node<V>>,
+    },
+}
+
+/// The highest bit position at which `a` and `b` differ, as a one-bit
+/// mask. Caller guarantees `a != b`.
+fn branching_bit(a: u64, b: u64) -> u64 {
+    let diff = a ^ b;
+    debug_assert!(diff != 0);
+    1u64 << (63 - diff.leading_zeros())
+}
+
+/// Keep only the bits of `key` strictly above `bit`.
+fn mask(key: u64, bit: u64) -> u64 {
+    key & !(bit | (bit - 1))
+}
+
+/// Whether `key` lives under a branch with the given `prefix`/`bit`.
+fn matches_prefix(key: u64, prefix: u64, bit: u64) -> bool {
+    mask(key, bit) == prefix
+}
+
+/// Join two subtrees whose prefixes `p0`/`p1` are known to differ,
+/// branching on their highest differing bit.
+fn join<V>(p0: u64, t0: Arc<Node<V>>, p1: u64, t1: Arc<Node<V>>) -> Node<V> {
+    let bit = branching_bit(p0, p1);
+    let prefix = mask(p0, bit);
+    if p0 & bit == 0 {
+        Node::Branch {
+            prefix,
+            bit,
+            left: t0,
+            right: t1,
+        }
+    } else {
+        Node::Branch {
+            prefix,
+            bit,
+            left: t1,
+            right: t0,
+        }
+    }
+}
+
+/// A persistent map from `u64` keys to values with O(1) clone and
+/// O(log n) path-copying updates. Iteration is in ascending key order.
+#[derive(Clone, Debug)]
+pub struct PMap<V> {
+    root: Option<Arc<Node<V>>>,
+    len: usize,
+}
+
+impl<V> Default for PMap<V> {
+    fn default() -> PMap<V> {
+        PMap::new()
+    }
+}
+
+impl<V> PMap<V> {
+    /// The empty map.
+    pub fn new() -> PMap<V> {
+        PMap { root: None, len: 0 }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The value at `key`, if present.
+    pub fn get(&self, key: u64) -> Option<&V> {
+        let mut node = self.root.as_deref()?;
+        loop {
+            match node {
+                Node::Leaf { key: k, value } => {
+                    return if *k == key { Some(value) } else { None };
+                }
+                Node::Branch {
+                    prefix,
+                    bit,
+                    left,
+                    right,
+                } => {
+                    if !matches_prefix(key, *prefix, *bit) {
+                        return None;
+                    }
+                    node = if key & *bit == 0 { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterate `(key, &value)` in ascending key order.
+    pub fn iter(&self) -> Iter<'_, V> {
+        let mut stack = Vec::new();
+        if let Some(root) = self.root.as_deref() {
+            stack.push(root);
+        }
+        Iter { stack }
+    }
+
+    /// Iterate keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Iterate values in ascending key order.
+    pub fn values(&self) -> impl Iterator<Item = &V> + '_ {
+        self.iter().map(|(_, v)| v)
+    }
+}
+
+impl<V: Clone> PMap<V> {
+    /// Insert `key → value`, returning the previous value if any. Copies
+    /// only the spine from the root to the touched position; subtrees
+    /// shared with clones of this map stay shared.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        match &mut self.root {
+            None => {
+                self.root = Some(Arc::new(Node::Leaf { key, value }));
+                self.len += 1;
+                None
+            }
+            Some(root) => {
+                let prev = insert_rec(root, key, value);
+                if prev.is_none() {
+                    self.len += 1;
+                }
+                prev
+            }
+        }
+    }
+
+    /// A mutable borrow of the value at `key` (path-copying the spine so
+    /// sharing clones are unaffected), or `None` when absent.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        if !self.contains_key(key) {
+            return None;
+        }
+        Some(get_mut_rec(
+            self.root.as_mut().expect("presence checked"),
+            key,
+        ))
+    }
+
+    /// Remove `key`, returning its value if it was present.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let root = self.root.as_ref()?;
+        let (value, replacement) = remove_rec(root, key)?;
+        self.root = replacement;
+        self.len -= 1;
+        Some(value)
+    }
+}
+
+/// Recursive insert; `node`'s subtree is known non-empty.
+fn insert_rec<V: Clone>(node: &mut Arc<Node<V>>, key: u64, value: V) -> Option<V> {
+    // Divergence cases create a new branch *above* the existing subtree
+    // without touching (or cloning) its interior.
+    match &**node {
+        Node::Leaf { key: k, .. } if *k != key => {
+            let old = Arc::clone(node);
+            *node = Arc::new(join(key, Arc::new(Node::Leaf { key, value }), *k, old));
+            return None;
+        }
+        Node::Branch { prefix, bit, .. } if !matches_prefix(key, *prefix, *bit) => {
+            let old = Arc::clone(node);
+            *node = Arc::new(join(
+                key,
+                Arc::new(Node::Leaf { key, value }),
+                *prefix,
+                old,
+            ));
+            return None;
+        }
+        _ => {}
+    }
+    // The key belongs inside this node: path-copy it and descend.
+    match Arc::make_mut(node) {
+        Node::Leaf { value: v, .. } => Some(std::mem::replace(v, value)),
+        Node::Branch {
+            bit, left, right, ..
+        } => {
+            if key & *bit == 0 {
+                insert_rec(left, key, value)
+            } else {
+                insert_rec(right, key, value)
+            }
+        }
+    }
+}
+
+/// Recursive `get_mut`; the key is known present under `node`.
+fn get_mut_rec<V: Clone>(node: &mut Arc<Node<V>>, key: u64) -> &mut V {
+    match Arc::make_mut(node) {
+        Node::Leaf { value, .. } => value,
+        Node::Branch {
+            bit, left, right, ..
+        } => {
+            if key & *bit == 0 {
+                get_mut_rec(left, key)
+            } else {
+                get_mut_rec(right, key)
+            }
+        }
+    }
+}
+
+/// Purely functional removal: the removed value plus the replacement
+/// subtree (`None` when the subtree vanishes). Returns `None` when the
+/// key is absent (and then nothing was copied).
+#[allow(clippy::type_complexity)]
+fn remove_rec<V: Clone>(node: &Arc<Node<V>>, key: u64) -> Option<(V, Option<Arc<Node<V>>>)> {
+    match &**node {
+        Node::Leaf { key: k, value } => {
+            if *k == key {
+                Some((value.clone(), None))
+            } else {
+                None
+            }
+        }
+        Node::Branch {
+            prefix,
+            bit,
+            left,
+            right,
+        } => {
+            if !matches_prefix(key, *prefix, *bit) {
+                return None;
+            }
+            if key & *bit == 0 {
+                let (value, rep) = remove_rec(left, key)?;
+                let replacement = match rep {
+                    Some(l) => Arc::new(Node::Branch {
+                        prefix: *prefix,
+                        bit: *bit,
+                        left: l,
+                        right: Arc::clone(right),
+                    }),
+                    // A branch always has two children: collapsing to the
+                    // sibling keeps the PATRICIA invariant.
+                    None => Arc::clone(right),
+                };
+                Some((value, Some(replacement)))
+            } else {
+                let (value, rep) = remove_rec(right, key)?;
+                let replacement = match rep {
+                    Some(r) => Arc::new(Node::Branch {
+                        prefix: *prefix,
+                        bit: *bit,
+                        left: Arc::clone(left),
+                        right: r,
+                    }),
+                    None => Arc::clone(left),
+                };
+                Some((value, Some(replacement)))
+            }
+        }
+    }
+}
+
+/// Ascending-order iterator over a [`PMap`].
+pub struct Iter<'a, V> {
+    /// Unvisited subtrees; branches are expanded right-pushed-first so
+    /// the left (smaller-key) subtree pops first.
+    stack: Vec<&'a Node<V>>,
+}
+
+impl<'a, V> Iterator for Iter<'a, V> {
+    type Item = (u64, &'a V);
+
+    fn next(&mut self) -> Option<(u64, &'a V)> {
+        loop {
+            match self.stack.pop()? {
+                Node::Leaf { key, value } => return Some((*key, value)),
+                Node::Branch { left, right, .. } => {
+                    self.stack.push(right);
+                    self.stack.push(left);
+                }
+            }
+        }
+    }
+}
+
+impl<'a, V> IntoIterator for &'a PMap<V> {
+    type Item = (u64, &'a V);
+    type IntoIter = Iter<'a, V>;
+
+    fn into_iter(self) -> Iter<'a, V> {
+        self.iter()
+    }
+}
+
+impl<V: PartialEq> PartialEq for PMap<V> {
+    fn eq(&self, other: &PMap<V>) -> bool {
+        self.len == other.len && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<V: Eq> Eq for PMap<V> {}
+
+impl<V: Clone> FromIterator<(u64, V)> for PMap<V> {
+    fn from_iter<I: IntoIterator<Item = (u64, V)>>(iter: I) -> PMap<V> {
+        let mut map = PMap::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+/// A persistent `u64` set with O(1) clone — the set view of [`PMap`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PSet {
+    map: PMap<()>,
+}
+
+impl PSet {
+    /// The empty set.
+    pub fn new() -> PSet {
+        PSet { map: PMap::new() }
+    }
+
+    /// Insert `key`; `true` when it was newly added.
+    pub fn insert(&mut self, key: u64) -> bool {
+        self.map.insert(key, ()).is_none()
+    }
+
+    /// Whether `key` is a member.
+    pub fn contains(&self, key: u64) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Remove `key`; `true` when it was present.
+    pub fn remove(&mut self, key: u64) -> bool {
+        self.map.remove(key).is_some()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.map.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_map_answers_nothing() {
+        let m: PMap<i32> = PMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.get(0), None);
+        assert_eq!(m.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m = PMap::new();
+        assert_eq!(m.insert(5, "a"), None);
+        assert_eq!(m.insert(1, "b"), None);
+        assert_eq!(m.insert(9, "c"), None);
+        assert_eq!(m.insert(5, "a2"), Some("a"));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(5), Some(&"a2"));
+        assert_eq!(m.get(2), None);
+        assert_eq!(m.remove(1), Some("b"));
+        assert_eq!(m.remove(1), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_ascending_including_high_bit_keys() {
+        let keys = [u64::MAX, 0, 1, 1 << 63, 42, (1 << 63) | 7, 3];
+        let mut m = PMap::new();
+        for &k in &keys {
+            m.insert(k, k);
+        }
+        let seen: Vec<u64> = m.keys().collect();
+        let mut sorted = keys.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(seen, sorted);
+    }
+
+    #[test]
+    fn clones_share_structure_and_diverge_under_writes() {
+        let mut a = PMap::new();
+        for k in 0..100u64 {
+            a.insert(k, k as i64);
+        }
+        let b = a.clone();
+        a.insert(50, -1);
+        a.remove(10);
+        assert_eq!(b.get(50), Some(&50));
+        assert_eq!(b.get(10), Some(&10));
+        assert_eq!(a.get(50), Some(&-1));
+        assert_eq!(a.get(10), None);
+        assert_eq!(b.len(), 100);
+        assert_eq!(a.len(), 99);
+    }
+
+    #[test]
+    fn get_mut_path_copies_away_from_clones() {
+        let mut a = PMap::new();
+        a.insert(1, vec![1]);
+        a.insert(2, vec![2]);
+        let b = a.clone();
+        a.get_mut(1).unwrap().push(99);
+        assert_eq!(b.get(1), Some(&vec![1]));
+        assert_eq!(a.get(1), Some(&vec![1, 99]));
+        // Absent keys copy nothing and answer None.
+        assert!(a.get_mut(7).is_none());
+    }
+
+    #[test]
+    fn set_view_behaves_like_a_set() {
+        let mut s = PSet::new();
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(1));
+        assert!(s.contains(3));
+        assert!(!s.contains(2));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 3]);
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert_eq!(s.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod fuzz_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    /// A scripted operation against both the model and the trie.
+    #[derive(Clone, Debug)]
+    enum Op {
+        Insert(u64, i64),
+        Remove(u64),
+        GetMutAdd(u64, i64),
+    }
+
+    /// Decode one op from a raw code (the offline proptest stand-in has
+    /// no `prop_oneof`/`prop_map`, so scripts arrive as integer vectors).
+    /// Keys alternate between a small colliding domain — overwrites and
+    /// removes of present keys — and a hashed wide domain that exercises
+    /// high bits (including bit 63).
+    fn decode(code: u64) -> Op {
+        let key = if code.is_multiple_of(2) {
+            (code / 8) % 24
+        } else {
+            // SplitMix64 finalizer: spreads codes across all 64 bits.
+            let mut k = code.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            k = (k ^ (k >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            k = (k ^ (k >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            k ^ (k >> 31)
+        };
+        let value = (code as i64).wrapping_sub(500_000);
+        match code % 3 {
+            0 => Op::Insert(key, value),
+            1 => Op::Remove(key),
+            _ => Op::GetMutAdd(key, value),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+        /// The trie agrees with a `BTreeMap` model across random op
+        /// scripts — contents, lengths, return values, and ascending
+        /// iteration order.
+        #[test]
+        fn pmap_matches_btreemap_model(ops in proptest::collection::vec(0u64..1_000_000, 1..96)) {
+            let mut model: BTreeMap<u64, i64> = BTreeMap::new();
+            let mut map: PMap<i64> = PMap::new();
+            for &code in &ops {
+                match decode(code) {
+                    Op::Insert(k, v) => {
+                        prop_assert_eq!(map.insert(k, v), model.insert(k, v));
+                    }
+                    Op::Remove(k) => {
+                        prop_assert_eq!(map.remove(k), model.remove(&k));
+                    }
+                    Op::GetMutAdd(k, v) => {
+                        let got = map.get_mut(k).map(|slot| {
+                            *slot = slot.wrapping_add(v);
+                            *slot
+                        });
+                        let want = model.get_mut(&k).map(|slot| {
+                            *slot = slot.wrapping_add(v);
+                            *slot
+                        });
+                        prop_assert_eq!(got, want);
+                    }
+                }
+                prop_assert_eq!(map.len(), model.len());
+            }
+            let trie: Vec<(u64, i64)> = map.iter().map(|(k, &v)| (k, v)).collect();
+            let model: Vec<(u64, i64)> = model.into_iter().collect();
+            prop_assert_eq!(trie, model);
+        }
+
+        /// Structural sharing never lets a clone observe later writes:
+        /// snapshots taken mid-script stay frozen.
+        #[test]
+        fn clones_are_immutable_snapshots(ops in proptest::collection::vec(0u64..1_000_000, 1..72)) {
+            let mut model: BTreeMap<u64, i64> = BTreeMap::new();
+            let mut map: PMap<i64> = PMap::new();
+            let cut = ops.len() / 2;
+            let mut snapshot = None;
+            for (i, &code) in ops.iter().enumerate() {
+                if i == cut {
+                    snapshot = Some((map.clone(), model.clone()));
+                }
+                match decode(code) {
+                    Op::Insert(k, v) => {
+                        map.insert(k, v);
+                        model.insert(k, v);
+                    }
+                    Op::Remove(k) => {
+                        map.remove(k);
+                        model.remove(&k);
+                    }
+                    Op::GetMutAdd(k, v) => {
+                        if let Some(slot) = map.get_mut(k) {
+                            *slot = slot.wrapping_add(v);
+                        }
+                        if let Some(slot) = model.get_mut(&k) {
+                            *slot = slot.wrapping_add(v);
+                        }
+                    }
+                }
+            }
+            let (snap_map, snap_model) = snapshot.expect("cut < len");
+            let frozen: Vec<(u64, i64)> = snap_map.iter().map(|(k, &v)| (k, v)).collect();
+            let expected: Vec<(u64, i64)> = snap_model.into_iter().collect();
+            prop_assert_eq!(frozen, expected);
+        }
+    }
+}

@@ -1,12 +1,15 @@
-//! Cheap, copy-on-write snapshot handles over an OEM database.
+//! Cheap snapshot handles over an OEM database.
 //!
 //! A [`SharedOem`] is an [`Arc`]-backed handle: cloning it is O(1) and the
 //! clone observes the graph exactly as it was at clone time, no matter
 //! what later writers do. Writers go through [`SharedOem::make_mut`],
-//! which mutates in place while the handle is unshared and silently
-//! switches to copy-on-write (one deep clone) the moment a reader still
-//! holds an older snapshot. This is the mechanism behind snapshot-isolated
-//! query execution in the serve layer: readers clone the handle under a
+//! which mutates in place while the handle is unshared; the moment a
+//! reader still holds an older snapshot it switches to a *persistent*
+//! clone — O(1) at the handle, with the write itself path-copying only
+//! the touched spine of the underlying [`PMap`](crate::PMap) storage
+//! (DESIGN.md §14), never duplicating the whole database. This is the
+//! mechanism behind snapshot-isolated query execution and the MVCC
+//! version ring in the serve layer: readers clone the handle under a
 //! brief lock and evaluate entirely outside it.
 
 use crate::OemDatabase;
@@ -40,14 +43,15 @@ impl SharedOem {
     }
 
     /// Mutable access for writers. In-place while this handle is the only
-    /// owner; clones the database first (copy-on-write) when snapshots are
-    /// still outstanding, leaving them untouched.
+    /// owner; takes an O(1) persistent clone first when snapshots are
+    /// still outstanding, leaving them untouched — the write then
+    /// path-copies only what it touches (DESIGN.md §14).
     pub fn make_mut(&mut self) -> &mut OemDatabase {
         Arc::make_mut(&mut self.0)
     }
 
     /// Whether any snapshot of this handle is still alive (in which case
-    /// the next [`SharedOem::make_mut`] pays for a deep clone).
+    /// the next [`SharedOem::make_mut`] takes the persistent-clone path).
     pub fn is_shared(&self) -> bool {
         Arc::strong_count(&self.0) > 1
     }

@@ -110,9 +110,15 @@ pub struct Metrics {
     pub sessions: AtomicU64,
     /// Requests that carried a `#<id>` pipelining tag.
     pub pipelined: AtomicU64,
-    /// Writes that paid a copy-on-write clone because a query snapshot
-    /// was still outstanding.
+    /// Writes that paid a whole-database copy-on-write clone because a
+    /// query snapshot was still outstanding. With the MVCC version store
+    /// (DESIGN.md §14) publishing shares structure instead of cloning, so
+    /// this stays 0; the counter is kept so a regression is visible.
     pub cow_clones: AtomicU64,
+    /// Versions installed into shard version rings by the publish stage.
+    pub versions_installed: AtomicU64,
+    /// Versions unlinked from shard version rings by retention GC.
+    pub versions_gced: AtomicU64,
     /// WAL records appended (and fsynced) successfully.
     pub wal_appends: AtomicU64,
     /// Bytes of framed WAL records appended successfully.
@@ -205,6 +211,8 @@ impl Metrics {
             format!("counter sessions {}", c(&self.sessions)),
             format!("counter pipelined {}", c(&self.pipelined)),
             format!("counter cow_clones {}", c(&self.cow_clones)),
+            format!("counter versions_installed {}", c(&self.versions_installed)),
+            format!("counter versions_gced {}", c(&self.versions_gced)),
             format!("counter wal_appends {}", c(&self.wal_appends)),
             format!("counter wal_bytes {}", c(&self.wal_bytes)),
             format!("counter wal_fsyncs {}", c(&self.wal_fsyncs)),

@@ -12,7 +12,8 @@
 //! DBS                                        list installed databases
 //! CREATE <db>                                install an empty database
 //! SAVE <db>  /  LOAD <db>                    persist to / restore from store
-//! QUERY <db> <lorel-or-chorel query>         evaluate, canonical rows back
+//! QUERY <db> [AS OF <lsn|ts>] <query>        evaluate, canonical rows back
+//!                                            (AS OF pins a historical version)
 //! UPDATE <db> AT <ts|now> ; <change set>     apply `{creNode(...), ...}`
 //! MUTATE <db> AT <ts|now> ; <update stmt>    compile a Lorel update & apply
 //! DEFINE <define program>                    add named queries to registry
@@ -144,7 +145,7 @@ pub enum Request {
         /// Database name.
         db: String,
     },
-    /// `QUERY <db> <query>`
+    /// `QUERY <db> [AS OF <lsn|timestamp>] <query>`
     Query {
         /// Database name.
         db: String,
@@ -152,6 +153,10 @@ pub enum Request {
         query: Box<Query>,
         /// Canonical query text — the result-cache key component.
         key: String,
+        /// `AS OF` point: evaluate at the version in force at this LSN
+        /// (a pinned ring version, or `snapshot_at` replay beyond the
+        /// retention horizon). `None` queries the current state.
+        as_of: Option<Timestamp>,
     },
     /// `SUBQUERY <id> <query>` — query a subscription's DOEM database.
     SubQuery {
@@ -564,6 +569,34 @@ pub fn lsn_from_wire(s: &str) -> Result<Timestamp, ProtoError> {
         .map_err(|_| ProtoError::syntax(format!("bad LSN {s:?} (raw minutes or '-')")))
 }
 
+/// Parse an optional leading `AS OF <lsn|timestamp>` clause off a
+/// `QUERY` payload. The point accepts the `LSN` wire form (raw minutes,
+/// or `-` for negative infinity) or any [`Timestamp`] spelling
+/// (`8Jan97`, `1997-01-08`, …). Absent the clause, the payload is
+/// returned untouched — `AS` alone never starts a valid query, so the
+/// lookahead is unambiguous.
+fn parse_as_of_clause(text: &str) -> Result<(Option<Timestamp>, &str), ProtoError> {
+    let (w1, rest1) = split_word(text.trim_start());
+    if !w1.eq_ignore_ascii_case("AS") {
+        return Ok((None, text));
+    }
+    let (w2, rest2) = split_word(rest1);
+    if !w2.eq_ignore_ascii_case("OF") {
+        return Ok((None, text));
+    }
+    let (point, query) = split_word(rest2);
+    if point.is_empty() {
+        return Err(ProtoError::syntax("AS OF needs an LSN or timestamp"));
+    }
+    let at = match lsn_from_wire(point) {
+        Ok(at) => at,
+        Err(_) => point.parse::<Timestamp>().map_err(|e| {
+            ProtoError::syntax(format!("bad AS OF point {point:?}: {e}"))
+        })?,
+    };
+    Ok((Some(at), query))
+}
+
 fn parse_query_text(text: &str) -> Result<(Box<Query>, String), ProtoError> {
     if text.trim().is_empty() {
         return Err(ProtoError::syntax("missing query text"));
@@ -608,8 +641,14 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         "QUERY" => {
             let (db, text) = split_word(rest);
             let db = name_ok(db, "database")?;
+            let (as_of, text) = parse_as_of_clause(text)?;
             let (query, key) = parse_query_text(text)?;
-            Ok(Request::Query { db, query, key })
+            Ok(Request::Query {
+                db,
+                query,
+                key,
+                as_of,
+            })
         }
         "SUBQUERY" => {
             let (id, text) = split_word(rest);
@@ -789,6 +828,40 @@ mod tests {
             }
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn query_as_of_parses_lsn_and_timestamp_points() {
+        let r = parse_request("QUERY guide AS OF 12345 select guide.restaurant").unwrap();
+        match r {
+            Request::Query { db, as_of, .. } => {
+                assert_eq!(db, "guide");
+                assert_eq!(as_of, Some(Timestamp::from_raw_minutes(12345)));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let r = parse_request("QUERY guide AS OF 8Jan97 select guide.restaurant").unwrap();
+        match r {
+            Request::Query { as_of, .. } => {
+                assert_eq!(as_of, Some("8Jan97".parse().unwrap()));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // `-` is the NEG_INFINITY wire form, same as `LSN` output.
+        let r = parse_request("QUERY guide AS OF - select guide.restaurant").unwrap();
+        assert!(matches!(
+            r,
+            Request::Query {
+                as_of: Some(t),
+                ..
+            } if t == Timestamp::NEG_INFINITY
+        ));
+        // Without the clause, as_of is None and the query is untouched.
+        let r = parse_request("QUERY guide select guide.restaurant").unwrap();
+        assert!(matches!(r, Request::Query { as_of: None, .. }));
+        // A garbled point is a syntax error, not a silent current-state read.
+        assert!(parse_request("QUERY guide AS OF nonsense select guide.restaurant").is_err());
+        assert!(parse_request("QUERY guide AS OF").is_err());
     }
 
     #[test]
@@ -1061,7 +1134,7 @@ mod fuzz_tests {
                     "11:30pm", "select", "guide.restaurant", "where", "<",
                     "creNode(n9, C)", "{updNode(n1, 20)}", "1Jan97", "8:00pm",
                     "*", "price", "=", "\"x\"", "insert", "t[-1]",
-                    "REPLICATE", "LSN", "FROM", "AS", "-", "12345",
+                    "REPLICATE", "LSN", "FROM", "AS", "OF", "-", "12345",
                     "follower-1", "PROMOTE", "FENCE", "now", "7",
                 ]),
                 0..12,

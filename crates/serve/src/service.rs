@@ -15,10 +15,15 @@
 //! Inside a shard, queries are **snapshot isolated**: a reader takes the
 //! shard lock just long enough to clone a cheap [`SharedDoem`] handle
 //! (an `Arc` of the annotated graph) plus the generation, then evaluates
-//! Chorel entirely outside the lock. A slow query never stalls updates;
-//! an update that lands while snapshots are outstanding pays one
-//! copy-on-write clone (counted in `STATS` as `cow_clones`) and bumps the
-//! shard generation, which structurally invalidates that shard's cache.
+//! Chorel entirely outside the lock. A slow query never stalls updates:
+//! the graphs are persistent (path-copying) structures, so an update that
+//! lands while snapshots are outstanding allocates only the touched spine
+//! and shares the rest — the whole-database copy-on-write clone is gone
+//! (`cow_clones` in `STATS` stays 0) — and bumps the shard generation,
+//! which structurally invalidates that shard's cache. Each publish also
+//! installs the new replica into the shard's LSN-indexed **version ring**
+//! (DESIGN.md §14), retained up to [`ServeConfig::retain_lsns`] versions,
+//! which serves `QUERY … AS OF <lsn>` at any retained LSN without replay.
 //!
 //! Durability model (DESIGN.md §8): with [`ServeConfig::wal_dir`] set,
 //! each durable shard commits through a **staged group-commit pipeline**
@@ -64,7 +69,7 @@ use chorel::{canonical_row_strings, run_chorel_parsed, Strategy};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use doem::{apply_set, current_snapshot, doem_from_history, DoemDatabase, SharedDoem};
 use lorel::{run_update, QueryRegistry};
-use oem::{ChangeSet, History, OemDatabase, SharedOem, Timestamp};
+use oem::{ChangeSet, History, OemDatabase, SharedOem, Timestamp, VersionRing};
 use parking_lot::{Condvar, Mutex, RwLock};
 use qss::{QssServer, ScriptedSource, Source, Subscription};
 use sanitizer::thread::{spawn_tracked, TrackedHandle};
@@ -195,6 +200,11 @@ pub struct ServeConfig {
     /// The wall clock `AT now` writes read. Injectable so tests can step
     /// it backwards; the allocator clamps to `last LSN + 1` regardless.
     pub clock: WallClock,
+    /// Versions each shard's ring retains for `QUERY … AS OF` (min 1 —
+    /// the newest version always stays). Structural sharing makes a
+    /// retained version cost O(its write), not O(database); `AS OF`
+    /// reads below the horizon fall back to `doem::snapshot_at` replay.
+    pub retain_lsns: usize,
 }
 
 impl Default for ServeConfig {
@@ -220,6 +230,7 @@ impl Default for ServeConfig {
             follow_poll: Duration::from_millis(100),
             faults: Faults::disabled(),
             clock: WallClock::system(),
+            retain_lsns: 64,
         }
     }
 }
@@ -350,6 +361,11 @@ pub(crate) struct Shard {
     /// Set by `PROMOTE`: this follower-side shard takes client writes
     /// and the sync loop stops replaying the old primary into it.
     pub(crate) promoted: AtomicBool,
+    /// The MVCC version ring (DESIGN.md §14): one structurally shared
+    /// replica per published LSN, serving `QUERY … AS OF`. Locked only
+    /// for quick install/pin/GC operations — never across evaluation or
+    /// I/O — and always acquired *after* `state` when both are held.
+    pub(crate) versions: Mutex<VersionRing<SharedOem>>,
 }
 
 impl Shard {
@@ -363,9 +379,14 @@ impl Shard {
     ) -> Shard {
         let doem = SharedDoem::new(doem);
         let replica = SharedOem::new(replica);
+        // The ring's base version: whatever state the shard starts from
+        // (empty, loaded, recovered, replicated) is readable `AS OF` its
+        // install LSN onward.
+        let mut versions = VersionRing::new();
+        versions.publish_entry(last_at, 1, replica.snapshot());
         // The sequencing head starts as cheap Arc clones of the published
-        // graphs; the first sequenced write pays one copy-on-write clone
-        // and the two copies evolve independently from then on.
+        // graphs; the graphs are persistent, so the copies share all
+        // untouched structure as they evolve independently.
         let pipeline = wal.map(|wal| {
             Arc::new(CommitPipeline {
                 inner: Mutex::new(PipelineState {
@@ -398,6 +419,7 @@ impl Shard {
             epoch: AtomicU64::new(epoch),
             fenced_epoch: AtomicU64::new(0),
             promoted: AtomicBool::new(false),
+            versions: Mutex::new(versions),
         }
     }
 
@@ -493,6 +515,23 @@ fn maintain_shard_cache(
         .metrics
         .cache_fallback
         .fetch_add(dropped, Ordering::Relaxed);
+}
+
+/// Install the just-published replica into the shard's version ring and
+/// apply the retention horizon. Called under the shard's write lock after
+/// the generation bump (`state` → `versions` is the lock order), so the
+/// ring's newest entry is never behind the published state.
+fn install_version(shared: &Shared, shard: &Shard, st: &ShardState, at: Timestamp) {
+    let gced = {
+        let mut ring = shard.versions.lock();
+        ring.publish_entry(at, st.generation, st.replica.snapshot());
+        ring.retain(shared.cfg.retain_lsns)
+    };
+    Metrics::bump(&shared.metrics.versions_installed);
+    shared
+        .metrics
+        .versions_gced
+        .fetch_add(gced, Ordering::Relaxed);
 }
 
 /// Everything behind the control shard's lock: QSS subscriptions, the
@@ -823,6 +862,26 @@ impl Service {
         let shard = self.shared.shard(db)?;
         let st = shard.state.read();
         Some(st.doem.snapshot())
+    }
+
+    /// The retained version of database `db` in force at `lsn`: the
+    /// ring entry with the greatest LSN `<= lsn` (DESIGN.md §14). `None`
+    /// if no such database, or if `lsn` predates the retention horizon —
+    /// exactly when the `AS OF` query path falls back to
+    /// `doem::snapshot_at` replay. Used by the chaos oracle to re-check
+    /// observed reads against the version actually served.
+    pub fn version_snapshot(&self, db: &str, lsn: Timestamp) -> Option<SharedOem> {
+        let shard = self.shared.shard(db)?;
+        let ring = shard.versions.lock();
+        ring.at(lsn).map(|e| e.value.clone())
+    }
+
+    /// How many versions database `db`'s ring currently retains.
+    pub fn retained_versions(&self, db: &str) -> usize {
+        self.shared
+            .shard(db)
+            .map(|s| s.versions.lock().len())
+            .unwrap_or(0)
     }
 
     /// Stop the service, **draining** first: new submissions are refused
@@ -1338,9 +1397,6 @@ fn persist_and_publish(
     let mut poisoned = false;
     {
         let mut st = shard.state.write();
-        if st.doem.is_shared() || st.replica.is_shared() {
-            Metrics::bump(&shared.metrics.cow_clones);
-        }
         for s in &batch {
             if poisoned {
                 replies.push((
@@ -1359,6 +1415,7 @@ fn persist_and_publish(
                     st.tail.push(s.at, s.changes.clone(), retain, repl_floor);
                     maintain_shard_cache(shared, shard, &st, &s.changes, s.at);
                     let g = Shard::bump(&mut st, &shard.cache);
+                    install_version(shared, shard, &st, s.at);
                     shared.bump_global();
                     let text = match s.created {
                         Some(c) => format!(
@@ -1901,9 +1958,6 @@ fn commit_in_memory(
         ));
     }
     let t = Instant::now();
-    if st.doem.is_shared() || st.replica.is_shared() {
-        Metrics::bump(&shared.metrics.cow_clones);
-    }
     let ShardState { doem, replica, .. } = &mut *st;
     let outcome = apply_set(doem.make_mut(), replica.make_mut(), changes, at);
     shared.metrics.exec.record(t.elapsed());
@@ -1918,6 +1972,7 @@ fn commit_in_memory(
             );
             maintain_shard_cache(shared, shard, st, changes, at);
             let g = Shard::bump(st, &shard.cache);
+            install_version(shared, shard, st, at);
             shared.bump_global();
             Ok(g)
         }
@@ -2071,6 +2126,47 @@ pub(crate) fn install_replicated_doem(
     }
 }
 
+/// Evaluate a `QUERY … AS OF` at the version in force at `at`. The ring
+/// version is *pinned* for the duration of the evaluation — retention GC
+/// will not unlink it, so the chaos oracle's `version_snapshot` probe
+/// sees the same version the read was served from. Below the retention
+/// horizon the ring answers `None` and the read falls back to
+/// `doem::snapshot_at` replay over the full recorded history — identical
+/// rows by construction, since the replica is maintained in lockstep
+/// with that history. `AS OF` results bypass the result cache: entries
+/// are keyed by shard generation, which only ever names the *current*
+/// version.
+fn query_as_of(
+    shared: &Shared,
+    shard: &Shard,
+    at: Timestamp,
+    query: &lorel::ast::Query,
+) -> Response {
+    let pinned = shard.versions.lock().pin(at);
+    let doem = match &pinned {
+        Some((_, replica)) => DoemDatabase::from_snapshot(replica),
+        None => {
+            // Beyond the horizon (or before the base version): the
+            // paper's `O_t(D)`, reconstructed from the annotations.
+            let full = {
+                let st = shard.state.read();
+                st.doem.snapshot()
+            };
+            DoemDatabase::from_snapshot(&doem::snapshot_at(&full, at))
+        }
+    };
+    let t = Instant::now();
+    let outcome = run_chorel_parsed(&doem, query, shared.cfg.strategy);
+    shared.metrics.exec.record(t.elapsed());
+    if let Some((version_lsn, _)) = pinned {
+        shard.versions.lock().unpin(version_lsn);
+    }
+    match outcome {
+        Ok(result) => Response::Rows(canonical_row_strings(&doem, &result)),
+        Err(e) => Response::err(ErrKind::Conflict, format!("query failed: {e}")),
+    }
+}
+
 /// Execute one request. Queries resolve their shard, snapshot it, and
 /// evaluate lock-free; durable writes sequence onto their shard's commit
 /// pipeline and return `None` (the group committer delivers the ack once
@@ -2094,6 +2190,7 @@ pub(crate) fn execute(
                 .collect();
             shards.sort_by(|a, b| a.0.cmp(&b.0));
             let mut read_only = 0usize;
+            let mut retained = 0usize;
             for (name, shard) in &shards {
                 let (applied, ro) = {
                     let st = shard.state.read();
@@ -2102,6 +2199,7 @@ pub(crate) fn execute(
                 if ro {
                     read_only += 1;
                 }
+                retained += shard.versions.lock().len();
                 let durable = if shard.pipeline.is_some() {
                     lsn_to_wire(Timestamp::from_raw_minutes(
                         shard.durable_lsn.load(Ordering::Relaxed),
@@ -2122,6 +2220,7 @@ pub(crate) fn execute(
                 rows.push(line);
             }
             rows.push(format!("gauge read_only_shards {read_only}"));
+            rows.push(format!("gauge retained_lsns {retained}"));
             let qss = shared.control.read().qss.stats();
             rows.push(format!("counter qss_polls_elided {}", qss.polls_elided));
             rows.push(format!("counter qss_filters_anchored {}", qss.filters_anchored));
@@ -2222,10 +2321,18 @@ pub(crate) fn execute(
                 Err(e) => Response::err(ErrKind::NotFound, format!("load failed: {e}")),
             }
         }
-        Request::Query { db, query, key } => {
+        Request::Query {
+            db,
+            query,
+            key,
+            as_of,
+        } => {
             let Some(shard) = shared.shard(&db) else {
                 return Some(not_found("database", &db));
             };
+            if let Some(at) = as_of {
+                return Some(query_as_of(shared, &shard, at, &query));
+            }
             // Snapshot: hold the shard lock only for an Arc clone.
             let (doem, generation) = {
                 let st = shard.state.read();

@@ -70,6 +70,24 @@ if grep -q "DOEM-SANITIZE \[" <<<"$chaos_out"; then
     exit 1
 fi
 
+echo "==> MVCC time-travel torture under DOEM_SANITIZE=1"
+# Concurrent writers advancing the head, a snapshot pinned across the
+# whole run, and AS OF readers hopping over retained versions — the
+# version-ring lock (state → versions, DESIGN.md §14) must stay clean,
+# and its observed edges feed the cross-validation gate below.
+mvcc_out="$(DOEM_SANITIZE=1 DOEM_SANITIZE_GRAPH="$lock_order_dir/mvcc.edges" \
+    cargo test -q --offline --test serve_concurrency \
+    mvcc_time_travel_under_concurrent_writers 2>&1)" || {
+    echo "$mvcc_out"
+    echo "ci: MVCC time-travel leg failed under DOEM_SANITIZE=1" >&2
+    exit 1
+}
+if grep -q "DOEM-SANITIZE \[" <<<"$mvcc_out"; then
+    grep "DOEM-SANITIZE \[" <<<"$mvcc_out" >&2
+    echo "ci: sanitizer reported findings in the MVCC time-travel leg" >&2
+    exit 1
+fi
+
 echo "==> doem-lint (workspace invariants vs doem-lint.baseline)"
 cargo run -q -p lint --offline --bin doem-lint
 

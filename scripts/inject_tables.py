@@ -17,6 +17,7 @@ MAPPING = {
     "X8": [("wal/", "operation / configuration")],
     "X9": [("replication/", "workload / followers")],
     "X10": [("incremental/", "path / db size")],
+    "X11": [("mvcc/", "path / size or age")],
 }
 
 if __name__ == "__main__":

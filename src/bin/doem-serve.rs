@@ -12,7 +12,7 @@
 //!            [--autotick-ms MS] [--tick-minutes M]
 //!            [--follow HOST:PORT] [--follower-id NAME]
 //!            [--repl-batch N] [--repl-retain N] [--follow-poll-ms MS]
-//!            [--translated] [--empty] [--create NAME]...
+//!            [--retain-lsns N] [--translated] [--empty] [--create NAME]...
 //! ```
 //!
 //! With `--wal DIR` the service is durable: every committed mutation is
@@ -49,7 +49,7 @@ fn usage() -> ! {
          \x20                 [--autotick-ms MS] [--tick-minutes M]\n\
          \x20                 [--follow HOST:PORT] [--follower-id NAME]\n\
          \x20                 [--repl-batch N] [--repl-retain N] [--follow-poll-ms MS]\n\
-         \x20                 [--translated] [--empty] [--create NAME]..."
+         \x20                 [--retain-lsns N] [--translated] [--empty] [--create NAME]..."
     );
     std::process::exit(2);
 }
@@ -86,6 +86,7 @@ fn main() {
             "--follower-id" => cfg.follower_id = Some(val("--follower-id")),
             "--repl-batch" => cfg.replication_batch = parse_num(&val("--repl-batch")),
             "--repl-retain" => cfg.replication_retain = parse_num(&val("--repl-retain")),
+            "--retain-lsns" => cfg.retain_lsns = parse_num(&val("--retain-lsns")),
             "--follow-poll-ms" => {
                 cfg.follow_poll = Duration::from_millis(parse_num(&val("--follow-poll-ms")) as u64)
             }

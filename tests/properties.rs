@@ -315,6 +315,81 @@ proptest! {
         svc.shutdown();
     }
 
+    /// MVCC equivalence (DESIGN.md §14): `QUERY … AS OF t` through the
+    /// service must answer exactly what a direct `doem::snapshot_at(t)`
+    /// replay evaluates — with `run_both_checked` making both Chorel
+    /// strategies vouch for the replay side — at every recorded timestamp
+    /// of a random history plus every post-install write, and at a point
+    /// before all of them. `retain_lsns` is randomized down to 1 so the
+    /// same points are answered from the retained version ring *and*
+    /// (below the horizon) the snapshot-at replay fallback.
+    #[test]
+    fn as_of_through_serve_matches_snapshot_at_replay(
+        seed in 0u64..400, n in 2usize..8, steps in 1usize..5, retain in 1usize..4
+    ) {
+        let db = random_db(seed, n);
+        let h = random_history(&db, seed.wrapping_add(59), steps, 5);
+
+        let svc = serve::Service::start(serve::ServeConfig {
+            retain_lsns: retain,
+            ..serve::ServeConfig::default()
+        })
+        .unwrap();
+        svc.install(&db, &h).unwrap();
+        let client = svc.client();
+
+        // Points of interest: just before the history, every history
+        // timestamp, and every post-install write committed through the
+        // service (those are the ones the version ring actually retains).
+        let mut points: Vec<Timestamp> = h.entries().iter().map(|e| e.at).collect();
+        if let Some(first) = points.first() {
+            points.insert(0, Timestamp::from_raw_minutes(first.raw_minutes() - 1));
+        }
+        let serve::Response::Ok(lsn_line) = client.request_line("LSN guide") else {
+            panic!("LSN guide failed")
+        };
+        let head: i64 = lsn_line
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .expect("installed database has a numeric LSN");
+        for i in 0..4usize {
+            let at = Timestamp::from_raw_minutes(head + 1 + i as i64);
+            let resp = client.request_line(&format!(
+                "UPDATE guide AT {at} ; {{creNode(n{0}, {1}), addArc(n1, item, n{0})}}",
+                900 + i, i
+            ));
+            assert!(!resp.is_error(), "write {i}: {resp:?}");
+            points.push(at);
+        }
+
+        let full = svc.doem_snapshot("guide").unwrap();
+        for at in &points {
+            let replayed = doem::DoemDatabase::from_snapshot(&snapshot_at(&full, *at));
+            for query in [
+                "select guide.restaurant",
+                "select guide.restaurant.price",
+                "select guide.item",
+                "select X from guide.% X where X.name",
+            ] {
+                let expected = chorel::canonical_row_strings(
+                    &replayed,
+                    &chorel::run_both_checked(&replayed, query).unwrap(),
+                );
+                let resp = client.request_line(&format!(
+                    "QUERY guide AS OF {} {query}",
+                    at.raw_minutes()
+                ));
+                let serve::Response::Rows(served) = resp else {
+                    panic!("AS OF {at} rejected {query:?}: {resp:?}")
+                };
+                prop_assert_eq!(&served, &expected, "AS OF {} query {}", at, query);
+            }
+        }
+        svc.shutdown();
+    }
+
     /// Snapshot isolation through the service: with a writer appending
     /// change sets to one shard while readers query it, every observed
     /// result equals the rows of *some* serial prefix of the write

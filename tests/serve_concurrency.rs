@@ -143,6 +143,20 @@ fn eight_sessions_of_mixed_reads_and_writes_agree_with_baseline() {
     assert!(get("exec") > 0, "exec histogram must be populated");
     assert!(get("requests") > 100);
     assert_eq!(get("timeouts"), 0);
+    // MVCC accounting: every committed write published a new version, no
+    // write ever paid a whole-database copy-on-write clone, and the
+    // retained-version gauge reflects live rings.
+    assert_eq!(get("cow_clones"), 0, "MVCC publish must not COW-clone");
+    assert!(
+        get("versions_installed") as usize >= WRITERS * ROUNDS,
+        "each committed write installs a version"
+    );
+    let retained = stats
+        .iter()
+        .find_map(|l| l.strip_prefix("gauge retained_lsns "))
+        .and_then(|v| v.parse::<usize>().ok())
+        .expect("retained_lsns gauge present");
+    assert!(retained > 0, "version rings must retain live versions");
     svc.shutdown();
 }
 
@@ -167,6 +181,162 @@ fn cache_invalidation_keeps_results_fresh_under_interleaving() {
         expected += 1;
         assert_eq!(rows.len(), expected, "stale cache after write {i}");
     }
+    svc.shutdown();
+}
+
+/// The applied-LSN wire form (`LSN <db>` → `applied <lsn> …`).
+fn applied_lsn(client: &serve::Client, db: &str) -> String {
+    let Response::Ok(line) = client.request_line(&format!("LSN {db}")) else {
+        panic!("LSN {db} failed")
+    };
+    line.split_whitespace().nth(1).unwrap().to_string()
+}
+
+/// `AS OF <lsn>` must answer, live, the rows the database held when that
+/// LSN was the head — both from the retained version ring and (once the
+/// retention horizon passes the point) from the snapshot-at replay
+/// fallback — and both must be byte-identical to a direct
+/// `doem::snapshot_at` reconstruction.
+#[test]
+fn as_of_serves_every_recorded_point_and_falls_back_past_the_horizon() {
+    for retain in [64usize, 1] {
+        let svc = Service::start(ServeConfig {
+            retain_lsns: retain,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        svc.install(&guide_figure2(), &history_example_2_3()).unwrap();
+        let client = svc.client();
+        let q = "select guide.restaurant";
+        let mut points = vec![(applied_lsn(&client, "guide"), client.query("guide", q).unwrap())];
+        for i in 0..8 {
+            let id = 600 + i;
+            let resp = client.request_line(&format!(
+                "UPDATE guide AT 1Apr97 {}:00pm ; {{creNode(n{id}, {i}), addArc(n4, restaurant, n{id})}}",
+                1 + i
+            ));
+            assert!(!resp.is_error(), "{resp:?}");
+            points.push((applied_lsn(&client, "guide"), client.query("guide", q).unwrap()));
+        }
+        if retain > 1 {
+            assert!(
+                svc.retained_versions("guide") > 1,
+                "version ring must retain history"
+            );
+        }
+        let full = svc.doem_snapshot("guide").unwrap();
+        for (lsn, want) in &points {
+            let Response::Rows(rows) =
+                client.request_line(&format!("QUERY guide AS OF {lsn} {q}"))
+            else {
+                panic!("AS OF {lsn} failed (retain={retain})")
+            };
+            assert_eq!(&rows, want, "AS OF {lsn} (retain={retain})");
+            let at = Timestamp::from_raw_minutes(lsn.parse().unwrap());
+            let replay = doem::DoemDatabase::from_snapshot(&doem::snapshot_at(&full, at));
+            assert_eq!(
+                rows,
+                baseline(&replay, q),
+                "AS OF {lsn} vs snapshot_at replay (retain={retain})"
+            );
+        }
+        svc.shutdown();
+    }
+}
+
+/// The MVCC torture leg CI reruns under `DOEM_SANITIZE=1`: a writer
+/// advancing the head while a pre-write snapshot stays pinned for the
+/// whole run and concurrent `AS OF` readers hop across every recorded
+/// historical point. Each historical answer must be exact (the pinned
+/// base point byte-identical, every later point at its frozen row
+/// count), and none of it may cost a whole-database COW clone.
+#[test]
+fn mvcc_time_travel_under_concurrent_writers() {
+    let svc = Service::start(ServeConfig {
+        workers: 4,
+        retain_lsns: 16,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    svc.install(&guide_figure2(), &history_example_2_3()).unwrap();
+    let client = svc.client();
+    let q = "select guide.restaurant";
+
+    // Pin the pre-write state two ways: a DOEM snapshot handle held
+    // across the whole run, and its LSN for `AS OF` re-reads.
+    let pinned = svc.doem_snapshot("guide").unwrap();
+    let base_rows = baseline(&pinned, q);
+    let base_lsn = applied_lsn(&client, "guide");
+
+    // (lsn, expected row count) per committed write, shared with readers.
+    let base_count = base_rows.len();
+    let points = std::sync::Mutex::new(vec![(base_lsn.clone(), base_count)]);
+    let done = AtomicBool::new(false);
+
+    const WRITES: usize = 30;
+    thread::scope(|scope| {
+        let writer = svc.client();
+        let points_ref = &points;
+        let done_ref = &done;
+        scope.spawn(move || {
+            let mut count = base_count;
+            for i in 0..WRITES {
+                let id = 700 + i;
+                let resp = writer.request_line(&format!(
+                    "UPDATE guide AT 1May97 {}:{:02}pm ; \
+                     {{creNode(n{id}, {i}), addArc(n4, restaurant, n{id})}}",
+                    1 + i / 60,
+                    i % 60
+                ));
+                assert!(!resp.is_error(), "write {i}: {resp:?}");
+                count += 1;
+                points_ref
+                    .lock()
+                    .unwrap()
+                    .push((applied_lsn(&writer, "guide"), count));
+            }
+            done_ref.store(true, Ordering::SeqCst);
+        });
+        for r in 0..3 {
+            let reader = svc.client();
+            let points_ref = &points;
+            let done_ref = &done;
+            scope.spawn(move || {
+                let mut i = r;
+                loop {
+                    let finished = done_ref.load(Ordering::SeqCst);
+                    let (lsn, want) = {
+                        let pts = points_ref.lock().unwrap();
+                        pts[i % pts.len()].clone()
+                    };
+                    let Response::Rows(rows) =
+                        reader.request_line(&format!("QUERY guide AS OF {lsn} {q}"))
+                    else {
+                        panic!("reader {r}: AS OF {lsn} failed")
+                    };
+                    assert_eq!(rows.len(), want, "reader {r} AS OF {lsn}");
+                    i += 1;
+                    if finished && i % 7 == 0 {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    // The pinned base point still answers its exact pre-write rows, both
+    // through the live ring/fallback and through the held snapshot.
+    let Response::Rows(rows) = client.request_line(&format!("QUERY guide AS OF {base_lsn} {q}"))
+    else {
+        panic!("AS OF base failed")
+    };
+    assert_eq!(rows, base_rows, "the pinned base point drifted");
+    assert_eq!(baseline(&pinned, q), base_rows, "the held snapshot drifted");
+    assert_eq!(
+        svc.metrics().cow_clones.load(Ordering::Relaxed),
+        0,
+        "time travel under writes must not whole-database COW"
+    );
     svc.shutdown();
 }
 
@@ -246,10 +416,12 @@ fn slow_query_on_one_database_does_not_delay_writes_anywhere() {
         );
     });
 
-    // Writing to `big` mid-query must have paid at least one COW clone.
-    assert!(
-        svc.metrics().cow_clones.load(Ordering::Relaxed) >= 1,
-        "a write under an outstanding snapshot must copy-on-write"
+    // Writing to `big` mid-query shares structure with the outstanding
+    // snapshot instead of cloning the database — the MVCC invariant.
+    assert_eq!(
+        svc.metrics().cow_clones.load(Ordering::Relaxed),
+        0,
+        "a write under an outstanding snapshot must not whole-database COW"
     );
     // And the shard generations moved while the query ran.
     let c = svc.client();

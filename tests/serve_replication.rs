@@ -196,6 +196,42 @@ fn two_followers_track_a_live_primary() {
     primary.shutdown();
 }
 
+/// Followers install versions through the same publish stage as the
+/// primary, so `AS OF` at any LSN ≤ the applied position must answer the
+/// **same canonical rows** on both ends — at every historical point, not
+/// just the head.
+#[test]
+fn follower_answers_as_of_identically_to_the_primary() {
+    let primary = Service::start(ServeConfig::default()).unwrap();
+    let handle = primary.listen("127.0.0.1:0").unwrap();
+    let pc = primary.client();
+    assert!(!pc.request_line("CREATE tt").is_error());
+    let history = writes(10);
+    for (at, ch) in &history {
+        assert!(!pc.request_line(&format!("UPDATE tt AT {at} ; {ch}")).is_error());
+    }
+
+    let follower = Service::start(follower_cfg(&handle.addr().to_string(), "tt1")).unwrap();
+    await_convergence(&primary, &follower, "tt", Duration::from_secs(15));
+    let fc = follower.client();
+
+    for (at, _) in &history {
+        for q in ["select tt.item", "select X from tt.item X where X < 5"] {
+            let line = format!("QUERY tt AS OF {} {q}", at.raw_minutes());
+            let (Response::Rows(p_rows), Response::Rows(f_rows)) =
+                (pc.request_line(&line), fc.request_line(&line))
+            else {
+                panic!("AS OF at {at} failed")
+            };
+            assert_eq!(p_rows, f_rows, "AS OF rows diverged at {at} for {q:?}");
+        }
+    }
+
+    handle.stop();
+    follower.shutdown();
+    primary.shutdown();
+}
+
 /// Kill-9 a durable follower mid-replay, at several record boundaries:
 /// a sticky WAL-append fault kills the follower's log at boundary `b`
 /// (the same crash model the recovery suite uses — everything past the
